@@ -1,0 +1,222 @@
+//! A table-based dataplane with precomputed backup next-hops — the
+//! OpenFlow 1.3 Fast-Failover / MPLS-FRR-style comparator of Table 2.
+//!
+//! Unlike KAR, every switch stores *state*: a per-destination primary
+//! and backup output port. On failure of the primary port the switch
+//! falls over to the backup locally (no controller round trip), which is
+//! the same failure-reaction latency class as KAR — but the cost is
+//! `O(destinations)` entries in every switch, and a failure of both the
+//! primary and backup port drops traffic.
+
+use kar_simnet::{DropReason, ForwardDecision, Forwarder, Packet, SwitchCtx};
+use kar_topology::{NodeId, PortIx, Topology};
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// Per-switch, per-destination forwarding entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverEntry {
+    /// Preferred output port (on the shortest path).
+    pub primary: PortIx,
+    /// Backup output port (pre-installed protection), if any exists.
+    pub backup: Option<PortIx>,
+}
+
+/// Stateful fast-failover forwarder.
+#[derive(Debug, Clone, Default)]
+pub struct FastFailover {
+    /// `(switch, destination edge) → entry`.
+    table: HashMap<(NodeId, NodeId), FailoverEntry>,
+}
+
+impl FastFailover {
+    /// Builds the full table for every core switch toward each node in
+    /// `destinations` (normally the edge nodes carrying traffic).
+    ///
+    /// The primary port follows the BFS shortest path; the backup is the
+    /// neighbour with the smallest BFS distance to the destination among
+    /// the remaining ports (ties broken by port index), mirroring how
+    /// loop-free alternates are commonly chosen.
+    pub fn precompute(topo: &Topology, destinations: &[NodeId]) -> Self {
+        let mut table = HashMap::new();
+        for &dst in destinations {
+            let dist = bfs_distances(topo, dst);
+            for sw in topo.core_nodes() {
+                let mut best: Option<(u32, PortIx)> = None;
+                let mut second: Option<(u32, PortIx)> = None;
+                for (port, _, peer) in topo.neighbors(sw) {
+                    let Some(&d) = dist.get(&peer) else { continue };
+                    let cand = (d, port);
+                    match best {
+                        None => best = Some(cand),
+                        Some(b) if cand < b => {
+                            second = best;
+                            best = Some(cand);
+                        }
+                        Some(_) => match second {
+                            None => second = Some(cand),
+                            Some(s) if cand < s => second = Some(cand),
+                            Some(_) => {}
+                        },
+                    }
+                }
+                if let Some((_, primary)) = best {
+                    table.insert(
+                        (sw, dst),
+                        FailoverEntry {
+                            primary,
+                            backup: second.map(|(_, p)| p),
+                        },
+                    );
+                }
+            }
+        }
+        FastFailover { table }
+    }
+
+    /// The entry installed at `switch` for `dst`, if any.
+    pub fn entry(&self, switch: NodeId, dst: NodeId) -> Option<FailoverEntry> {
+        self.table.get(&(switch, dst)).copied()
+    }
+
+    /// Total entries across all switches (the Table 2 state metric).
+    pub fn total_entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl Forwarder for FastFailover {
+    fn forward(
+        &mut self,
+        ctx: &SwitchCtx<'_>,
+        pkt: &mut Packet,
+        _rng: &mut StdRng,
+    ) -> ForwardDecision {
+        let Some(entry) = self.table.get(&(ctx.node, pkt.dst)) else {
+            return ForwardDecision::Drop(DropReason::NoRoute);
+        };
+        if ctx.port_available(entry.primary) {
+            return ForwardDecision::Output(entry.primary);
+        }
+        match entry.backup {
+            Some(b) if ctx.port_available(b) => {
+                pkt.deflections = pkt.deflections.saturating_add(1);
+                ForwardDecision::Output(b)
+            }
+            _ => ForwardDecision::Drop(DropReason::NoRoute),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "FastFailover"
+    }
+
+    fn state_entries(&self, node: NodeId) -> usize {
+        self.table.keys().filter(|&&(sw, _)| sw == node).count()
+    }
+}
+
+fn bfs_distances(topo: &Topology, dst: NodeId) -> HashMap<NodeId, u32> {
+    let mut dist = HashMap::new();
+    dist.insert(dst, 0u32);
+    let mut q = std::collections::VecDeque::from([dst]);
+    while let Some(n) = q.pop_front() {
+        let d = dist[&n];
+        for (_, _, peer) in topo.neighbors(n) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(peer) {
+                e.insert(d + 1);
+                q.push_back(peer);
+            }
+        }
+    }
+    dist
+}
+
+/// Edge logic companion for table-based schemes: no route tag is
+/// attached (switches look packets up by destination), so ingress only
+/// picks the uplink port.
+#[derive(Debug, Clone, Default)]
+pub struct TableEdge;
+
+impl kar_simnet::EdgeLogic for TableEdge {
+    fn ingress(
+        &mut self,
+        topo: &Topology,
+        edge: NodeId,
+        _pkt: &mut Packet,
+    ) -> Option<PortIx> {
+        // Single-homed edges: the only port is the uplink.
+        (topo.node(edge).degree() > 0).then_some(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kar_simnet::{FlowId, PacketKind, Sim, SimConfig, SimTime};
+    use kar_topology::topo15;
+
+    #[test]
+    fn precompute_covers_all_switches() {
+        let topo = topo15::build();
+        let as3 = topo.expect("AS3");
+        let ff = FastFailover::precompute(&topo, &[as3]);
+        assert_eq!(ff.total_entries(), topo.core_nodes().len());
+        // SW13's primary toward AS3 is SW29.
+        let e = ff.entry(topo.expect("SW13"), as3).unwrap();
+        assert_eq!(
+            e.primary,
+            topo.port_towards(topo.expect("SW13"), topo.expect("SW29")).unwrap()
+        );
+        assert!(e.backup.is_some());
+    }
+
+    #[test]
+    fn state_is_per_destination() {
+        let topo = topo15::build();
+        let dsts = [topo.expect("AS1"), topo.expect("AS2"), topo.expect("AS3")];
+        let ff = FastFailover::precompute(&topo, &dsts);
+        let sw13 = topo.expect("SW13");
+        assert_eq!(ff.state_entries(sw13), 3);
+        assert_eq!(ff.total_entries(), 3 * topo.core_nodes().len());
+    }
+
+    #[test]
+    fn survives_single_failure_via_backup() {
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let ff = FastFailover::precompute(&topo, &[as1, as3]);
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ff),
+            Box::new(TableEdge),
+            SimConfig::default(),
+        );
+        sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW7", "SW13"));
+        for i in 0..50 {
+            sim.inject(as1, as3, FlowId(0), i, PacketKind::Probe, 500);
+        }
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().delivered, 50, "{:?}", sim.stats());
+    }
+
+    #[test]
+    fn no_route_drops() {
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        // Table built only for AS1 as destination.
+        let ff = FastFailover::precompute(&topo, &[as1]);
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ff),
+            Box::new(TableEdge),
+            SimConfig::default(),
+        );
+        sim.inject(as1, as3, FlowId(0), 0, PacketKind::Probe, 500);
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().delivered, 0);
+        assert_eq!(sim.stats().dropped_for(DropReason::NoRoute), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! A Path-Splicing-style baseline [4]: every switch stores `k` routing
+//! trees ("slices") per destination, each computed over independently
+//! perturbed link weights; when the preferred slice's port is down the
+//! switch hops to another slice.
+//!
+//! Faithful to the Table 2 classification: *stateful* (k entries per
+//! destination per switch — k× fast-failover's footprint), *not* source
+//! routing (the trees live in the network; we model the within-network
+//! reaction where a switch reroutes across slices locally), multiple
+//! failures supported as long as some slice avoids them. The paper's
+//! related-work critique — "routers follow certain rules that ensure
+//! loop-free, but reduce path diversity" — shows up here as the slices'
+//! shared shortest-path skeleton on lightly-meshed graphs.
+
+use kar_simnet::{DropReason, ForwardDecision, Forwarder, Packet, SwitchCtx};
+use kar_topology::{NodeId, PortIx, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Stateful path-splicing forwarder: `k` sliced next-hop tables.
+#[derive(Debug, Clone)]
+pub struct PathSplicing {
+    /// `(switch, destination) → next-hop port per slice`.
+    table: HashMap<(NodeId, NodeId), Vec<PortIx>>,
+    slices: usize,
+}
+
+impl PathSplicing {
+    /// Precomputes `k` slices toward each destination. Slice 0 uses
+    /// uniform weights (plain shortest paths); slices 1.. draw strongly
+    /// varied link weights (seeded), producing structurally different —
+    /// but each individually loop-free — trees. Splicing survives a
+    /// failure exactly when some slice's tree avoids it from the splice
+    /// point onward: diversity is probabilistic, which is the "reduced
+    /// path diversity" critique the paper levels at this class of
+    /// schemes.
+    pub fn precompute(topo: &Topology, destinations: &[NodeId], k: usize, seed: u64) -> Self {
+        let mut table: HashMap<(NodeId, NodeId), Vec<PortIx>> = HashMap::new();
+        for &dst in destinations {
+            for slice in 0..k {
+                let mut rng = StdRng::seed_from_u64(seed ^ ((slice as u64) << 24));
+                let weights: Vec<u64> = (0..topo.link_count())
+                    .map(|_| if slice == 0 { 10 } else { rng.gen_range(1..=20) })
+                    .collect();
+                let (next_hop, _dist) = weighted_tree(topo, dst, &weights);
+                for sw in topo.core_nodes() {
+                    if let Some(&port) = next_hop.get(&sw) {
+                        table.entry((sw, dst)).or_default().push(port);
+                    }
+                }
+            }
+        }
+        PathSplicing { table, slices: k }
+    }
+
+    /// Slices per destination.
+    pub fn slice_count(&self) -> usize {
+        self.slices
+    }
+
+    /// Total state entries (each slice of each `(switch, dst)` pair).
+    pub fn total_entries(&self) -> usize {
+        self.table.values().map(Vec::len).sum()
+    }
+}
+
+/// Dijkstra tree toward `dst` under per-link weights; returns each core
+/// switch's next-hop port and every node's distance to `dst`.
+fn weighted_tree(
+    topo: &Topology,
+    dst: NodeId,
+    weights: &[u64],
+) -> (HashMap<NodeId, PortIx>, HashMap<NodeId, u64>) {
+    let mut dist: HashMap<NodeId, u64> = HashMap::new();
+    let mut next: HashMap<NodeId, PortIx> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(dst, 0);
+    heap.push(std::cmp::Reverse((0u64, dst)));
+    while let Some(std::cmp::Reverse((d, n))) = heap.pop() {
+        if dist.get(&n).copied().unwrap_or(u64::MAX) < d {
+            continue;
+        }
+        for (_, l, peer) in topo.neighbors(n) {
+            let nd = d + weights[l.0];
+            if nd < dist.get(&peer).copied().unwrap_or(u64::MAX) {
+                dist.insert(peer, nd);
+                // peer's next hop toward dst is via this link back to n.
+                if let Some(port) = topo.port_towards(peer, n) {
+                    next.insert(peer, port);
+                }
+                heap.push(std::cmp::Reverse((nd, peer)));
+            }
+        }
+    }
+    (next, dist)
+}
+
+impl Forwarder for PathSplicing {
+    fn forward(
+        &mut self,
+        ctx: &SwitchCtx<'_>,
+        pkt: &mut Packet,
+        _rng: &mut StdRng,
+    ) -> ForwardDecision {
+        let Some(ports) = self.table.get(&(ctx.node, pkt.dst)) else {
+            return ForwardDecision::Drop(DropReason::NoRoute);
+        };
+        // The packet sticks to one slice (tree) — trees are loop-free,
+        // interleaving them is not. The deflection counter doubles as
+        // the current slice: it advances only when the sticky slice's
+        // port is down, splicing the rest of the journey onto the next
+        // tree.
+        for attempt in 0..ports.len() {
+            let slice = (pkt.deflections as usize + attempt) % ports.len();
+            let port = ports[slice];
+            if ctx.port_available(port) {
+                pkt.deflections = pkt.deflections.saturating_add(attempt as u16);
+                return ForwardDecision::Output(port);
+            }
+        }
+        ForwardDecision::Drop(DropReason::NoRoute)
+    }
+
+    fn name(&self) -> &str {
+        "PathSplicing"
+    }
+
+    fn state_entries(&self, node: NodeId) -> usize {
+        self.table
+            .iter()
+            .filter(|&(&(sw, _), _)| sw == node)
+            .map(|(_, v)| v.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TableEdge;
+    use kar_simnet::{FlowId, PacketKind, Sim, SimConfig, SimTime};
+    use kar_topology::topo15;
+
+    #[test]
+    fn state_grows_with_slices() {
+        let topo = topo15::build();
+        let dsts = [topo.expect("AS3")];
+        let ps2 = PathSplicing::precompute(&topo, &dsts, 2, 1);
+        let ps4 = PathSplicing::precompute(&topo, &dsts, 4, 1);
+        assert_eq!(ps2.slice_count(), 2);
+        assert_eq!(ps2.total_entries(), 2 * topo.core_nodes().len());
+        assert_eq!(ps4.total_entries(), 4 * topo.core_nodes().len());
+        // k× the stateful footprint of single-tree fast failover.
+        let sw13 = topo.expect("SW13");
+        assert_eq!(ps4.state_entries(sw13), 4);
+    }
+
+    fn run(slices: usize, failures: &[(&str, &str)]) -> u64 {
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let ps = PathSplicing::precompute(&topo, &[as3], slices, 0);
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ps),
+            Box::new(TableEdge),
+            SimConfig::default(),
+        );
+        for (a, b) in failures {
+            sim.schedule_link_down(SimTime::ZERO, topo.expect_link(a, b));
+        }
+        for i in 0..50 {
+            sim.inject(as1, as3, FlowId(0), i, PacketKind::Probe, 500);
+        }
+        sim.run_to_quiescence();
+        sim.stats().delivered
+    }
+
+    #[test]
+    fn healthy_network_delivers_on_slice_zero() {
+        assert_eq!(run(3, &[]), 50);
+    }
+
+    #[test]
+    fn splicing_survives_single_failures() {
+        for (a, b) in topo15::FAILURE_LOCATIONS {
+            let delivered = run(3, &[(a, b)]);
+            assert_eq!(delivered, 50, "failure {a}-{b}");
+        }
+    }
+
+    #[test]
+    fn enough_slices_survive_double_failures() {
+        let survived = run(4, &[("SW7", "SW13"), ("SW13", "SW29")]);
+        assert!(survived > 0, "some slice should avoid both failures");
+    }
+
+    #[test]
+    fn diversity_is_probabilistic_not_guaranteed() {
+        // The paper's critique of this scheme class: the slices' rules
+        // keep them loop-free but "reduce path diversity" — for some
+        // weight draws no slice avoids a given failure. Demonstrate that
+        // at least one seed in a small range fails a failure KAR's NIP
+        // deflection survives unconditionally.
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let mut failed_seeds = 0;
+        for seed in 0..6u64 {
+            let ps = PathSplicing::precompute(&topo, &[as3], 3, seed);
+            let mut sim = Sim::new(
+                &topo,
+                Box::new(ps),
+                Box::new(TableEdge),
+                SimConfig::default(),
+            );
+            sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW13", "SW29"));
+            for i in 0..20 {
+                sim.inject(as1, as3, FlowId(0), i, PacketKind::Probe, 500);
+            }
+            sim.run_to_quiescence();
+            if sim.stats().delivered < 20 {
+                failed_seeds += 1;
+            }
+        }
+        assert!(
+            failed_seeds > 0,
+            "splicing's diversity should not be unconditional"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Simulator throughput: how many simulated packets/second the
+//! discrete-event engine processes for probe streams and full TCP over
+//! the 15-node network — the cost of the substrate itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar_simnet::{FlowId, PacketKind, SimTime};
+use kar_tcp::{BulkFlow, TcpConfig};
+use kar_topology::topo15;
+
+fn bench_probe_stream(c: &mut Criterion) {
+    let topo = topo15::build();
+    let as1 = topo.expect("AS1");
+    let as3 = topo.expect("AS3");
+    const PROBES: u64 = 1_000;
+    let mut group = c.benchmark_group("simnet_probe_stream");
+    group.throughput(Throughput::Elements(PROBES));
+    group.bench_function("topo15_1000_probes", |b| {
+        b.iter_batched(
+            || {
+                let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(1);
+                net.install_route(as1, as3, &Protection::AutoFull).unwrap();
+                net.into_sim()
+            },
+            |mut sim| {
+                for i in 0..PROBES {
+                    // Pace below line rate so drop-tail queues never fill.
+                    sim.run_until(SimTime(i * 100_000));
+                    sim.inject(as1, as3, FlowId(0), i, PacketKind::Probe, 1000);
+                }
+                sim.run_to_quiescence();
+                assert_eq!(sim.stats().delivered, PROBES);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_tcp_simulated_second(c: &mut Criterion) {
+    let topo = topo15::build();
+    let as1 = topo.expect("AS1");
+    let as3 = topo.expect("AS3");
+    let mut group = c.benchmark_group("simnet_tcp");
+    group.sample_size(10);
+    group.bench_function("one_simulated_second_at_200mbps", |b| {
+        b.iter_batched(
+            || {
+                let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(1);
+                net.install_route(as1, as3, &Protection::AutoFull).unwrap();
+                net.install_route(as3, as1, &Protection::AutoFull).unwrap();
+                let mut sim = net.into_sim();
+                let flow = BulkFlow::install(
+                    &mut sim,
+                    as1,
+                    as3,
+                    FlowId(1),
+                    TcpConfig::default(),
+                    SimTime::from_secs(1),
+                );
+                (sim, flow)
+            },
+            |(mut sim, flow)| {
+                sim.run_until(SimTime::from_secs(1));
+                assert!(flow.meter.borrow().total_bytes() > 0);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_stream, bench_tcp_simulated_second);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Ablations: encoding size vs ID strategy; protection budget vs coverage.
+use kar_bench::experiments::ablation;
+
+fn main() {
+    let strategy = ablation::strategy_sweep(&[2, 4, 6, 8, 10, 12, 16, 20]);
+    let budget = ablation::budget_sweep(&[15, 20, 24, 28, 34, 43, 64]);
+    print!("{}", ablation::render(&strategy, &budget));
+}

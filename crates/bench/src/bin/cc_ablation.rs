@@ -1,0 +1,13 @@
+//! Reno vs CUBIC under the Fig. 4 failure scenario.
+use kar_bench::experiments::cc_ablation;
+use kar_bench::harness::env_knob;
+
+fn main() {
+    let rows = cc_ablation::run(
+        env_knob("KAR_PRE", 15),
+        env_knob("KAR_FAIL", 15),
+        env_knob("KAR_POST", 15),
+        env_knob("KAR_SEED", 1),
+    );
+    print!("{}", cc_ablation::render(&rows));
+}

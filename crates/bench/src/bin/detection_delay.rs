@@ -1,0 +1,13 @@
+//! Ablation: hitless-ness vs failure-detection latency.
+use kar_bench::experiments::detection;
+use kar_bench::harness::env_knob;
+
+fn main() {
+    let probes = env_knob("KAR_PROBES", 500);
+    let seed = env_knob("KAR_SEED", 1);
+    let delays = [0u64, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000];
+    print!(
+        "{}",
+        detection::render(probes, &detection::run(&delays, probes, seed))
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig. 4 (TCP throughput time series across a failure).
+use kar_bench::experiments::fig4;
+use kar_bench::harness::env_knob;
+
+fn main() {
+    let cfg = fig4::Fig4Config {
+        pre_s: env_knob("KAR_PRE", 30),
+        fail_s: env_knob("KAR_FAIL", 30),
+        post_s: env_knob("KAR_POST", 30),
+        seed: env_knob("KAR_SEED", 1),
+    };
+    eprintln!("fig4: {cfg:?} (override with KAR_PRE/KAR_FAIL/KAR_POST/KAR_SEED)");
+    print!("{}", fig4::render(&fig4::run(cfg)));
+}

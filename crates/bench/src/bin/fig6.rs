@@ -1,0 +1,18 @@
+//! Regenerates Fig. 6: the reconstructed RNP backbone as Graphviz DOT
+//! plus an adjacency/rate summary (render with `dot -Tsvg`).
+use kar_topology::{rnp28, to_dot};
+
+fn main() {
+    let topo = rnp28::build();
+    eprintln!(
+        "Fig. 6 — RNP backbone: {} PoPs, {} backbone links (+{} host access links)",
+        topo.core_nodes().len(),
+        rnp28::LINKS.len(),
+        rnp28::HOSTS.len(),
+    );
+    eprintln!("PoP labels:");
+    for (name, id, label) in rnp28::SWITCHES {
+        eprintln!("  {name:<6} id {id:<3} {label}");
+    }
+    print!("{}", to_dot(&topo));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 7 (RNP backbone, NIP + partial protection).
+use kar_bench::experiments::fig7;
+use kar_bench::harness::env_knob;
+
+fn main() {
+    let runs = env_knob("KAR_RUNS", 30) as usize;
+    let secs = env_knob("KAR_SECONDS", 5);
+    let seed = env_knob("KAR_SEED", 1);
+    eprintln!("fig7: {runs} runs × {secs}s (override with KAR_RUNS/KAR_SECONDS/KAR_SEED)");
+    print!("{}", fig7::render(&fig7::run(runs, secs, seed)));
+}

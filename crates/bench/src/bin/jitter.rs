@@ -1,0 +1,9 @@
+//! CBR delay/jitter under deflection (the §3 "disordering and jitter" goal).
+use kar_bench::experiments::jitter;
+use kar_bench::harness::env_knob;
+
+fn main() {
+    let packets = env_knob("KAR_PROBES", 2000);
+    let seed = env_knob("KAR_SEED", 1);
+    print!("{}", jitter::render(&jitter::run(packets, seed)));
+}

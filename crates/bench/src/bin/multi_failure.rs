@@ -1,0 +1,24 @@
+//! Delivery ratio under k simultaneous failures (Table 2's multi-failure claim).
+use kar_bench::experiments::multi_failure as mf;
+use kar_bench::harness::env_knob;
+use kar_topology::{rnp28, topo15};
+
+fn main() {
+    let trials = env_knob("KAR_RUNS", 20) as usize;
+    let probes = env_knob("KAR_PROBES", 200);
+    let seed = env_knob("KAR_SEED", 1);
+    let ks = [0usize, 1, 2, 3];
+    let t15 = topo15::build();
+    print!(
+        "{}",
+        mf::render("topo15 AS1→AS3", &mf::run(&t15, "AS1", "AS3", &ks, trials, probes, seed))
+    );
+    let rnp = rnp28::build();
+    print!(
+        "{}",
+        mf::render(
+            "rnp28 E_BV→E_SP",
+            &mf::run(&rnp, "E_BV", "E_SP", &ks, trials, probes, seed)
+        )
+    );
+}

@@ -1,0 +1,6 @@
+//! Encoding scalability sweep: KAR vs Slick headers vs fast-failover state.
+use kar_bench::experiments::scalability;
+
+fn main() {
+    print!("{}", scalability::render(&scalability::run()));
+}

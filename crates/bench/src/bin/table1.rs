@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (route-ID bit lengths, 15-node network).
+fn main() {
+    let rows = kar_bench::experiments::table1::compute();
+    print!("{}", kar_bench::experiments::table1::render(&rows));
+}

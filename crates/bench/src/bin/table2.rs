@@ -1,0 +1,9 @@
+//! Regenerates Table 2 (feature matrix with experimental evidence).
+use kar_bench::harness::env_knob;
+
+fn main() {
+    print!(
+        "{}",
+        kar_bench::experiments::table2::run_and_render(env_knob("KAR_SEED", 1))
+    );
+}

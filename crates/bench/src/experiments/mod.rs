@@ -1,0 +1,14 @@
+//! One module per reproduced table/figure plus our extensions.
+
+pub mod ablation;
+pub mod cc_ablation;
+pub mod detection;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod jitter;
+pub mod multi_failure;
+pub mod scalability;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,242 @@
+//! Multiple simultaneous link failures — the Table 2 "supports multiple
+//! link failures" claim, quantified.
+//!
+//! For k = 0..=3 random simultaneous core-link failures, inject a batch
+//! of probes and measure the delivery ratio of three schemes: KAR with
+//! NIP + full protection, KAR without deflection, and table-based fast
+//! failover (one backup per destination — which a second failure can
+//! exhaust).
+
+use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar_baselines::{FastFailover, PathSplicing, TableEdge};
+use kar_simnet::{FlowId, PacketKind, Sim, SimConfig, SimTime};
+use kar_topology::{LinkId, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Schemes compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// KAR, NIP deflection, auto-planned full protection.
+    KarNipFull,
+    /// KAR dataplane with no deflection (drop on failure).
+    KarNoDeflection,
+    /// Stateful per-destination primary/backup tables.
+    FastFailover,
+    /// Stateful k-slice splicing (k = 4).
+    PathSplicing,
+}
+
+impl Scheme {
+    /// All schemes.
+    pub const ALL: [Scheme; 4] = [
+        Scheme::KarNipFull,
+        Scheme::KarNoDeflection,
+        Scheme::FastFailover,
+        Scheme::PathSplicing,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::KarNipFull => "KAR NIP+full",
+            Scheme::KarNoDeflection => "KAR no-deflection",
+            Scheme::FastFailover => "FastFailover",
+            Scheme::PathSplicing => "PathSplicing k=4",
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct MultiFailurePoint {
+    /// Simultaneous failures.
+    pub k: usize,
+    /// Scheme measured.
+    pub scheme: Scheme,
+    /// Mean delivery ratio over the trials.
+    pub delivery: f64,
+}
+
+/// Candidate links for failure: core-core links not on the last hop to
+/// an edge (so the destination stays attached).
+fn failable_links(topo: &Topology) -> Vec<LinkId> {
+    (0..topo.link_count())
+        .map(LinkId)
+        .filter(|&l| {
+            let link = topo.link(l);
+            topo.switch_id(link.a).is_some() && topo.switch_id(link.b).is_some()
+        })
+        .collect()
+}
+
+fn run_one(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    scheme: Scheme,
+    failures: &[LinkId],
+    seed: u64,
+    probes: u64,
+) -> f64 {
+    let mut sim = match scheme {
+        Scheme::KarNipFull | Scheme::KarNoDeflection => {
+            let technique = if scheme == Scheme::KarNipFull {
+                DeflectionTechnique::Nip
+            } else {
+                DeflectionTechnique::None
+            };
+            let mut net = KarNetwork::new(topo, technique).with_seed(seed).with_ttl(255);
+            net.install_route(src, dst, &Protection::AutoFull)
+                .expect("route installs");
+            net.into_sim()
+        }
+        Scheme::FastFailover => {
+            let ff = FastFailover::precompute(topo, &[src, dst]);
+            Sim::new(
+                topo,
+                Box::new(ff),
+                Box::new(TableEdge),
+                SimConfig {
+                    seed,
+                    default_ttl: 255,
+                    ..SimConfig::default()
+                },
+            )
+        }
+        Scheme::PathSplicing => {
+            let ps = PathSplicing::precompute(topo, &[src, dst], 4, seed);
+            Sim::new(
+                topo,
+                Box::new(ps),
+                Box::new(TableEdge),
+                SimConfig {
+                    seed,
+                    default_ttl: 255,
+                    ..SimConfig::default()
+                },
+            )
+        }
+    };
+    for &l in failures {
+        sim.schedule_link_down(SimTime::ZERO, l);
+    }
+    for i in 0..probes {
+        // Pace injections below line rate so drop-tail queues measure
+        // routing, not burst absorption.
+        sim.run_until(SimTime(i * 500_000));
+        sim.inject(src, dst, FlowId(0), i, PacketKind::Probe, 500);
+    }
+    sim.run_to_quiescence();
+    sim.stats().delivered as f64 / probes as f64
+}
+
+/// Runs the sweep on one topology between `src`/`dst` edge names.
+pub fn run(
+    topo: &Topology,
+    src_name: &str,
+    dst_name: &str,
+    ks: &[usize],
+    trials: usize,
+    probes: u64,
+    base_seed: u64,
+) -> Vec<MultiFailurePoint> {
+    let src = topo.expect(src_name);
+    let dst = topo.expect(dst_name);
+    let candidates = failable_links(topo);
+    let mut out = Vec::new();
+    for &k in ks {
+        for scheme in Scheme::ALL {
+            let mut total = 0.0;
+            for t in 0..trials {
+                let mut rng =
+                    StdRng::seed_from_u64(base_seed ^ ((k as u64) << 16) ^ t as u64);
+                let mut links = candidates.clone();
+                links.shuffle(&mut rng);
+                links.truncate(k);
+                total += run_one(topo, src, dst, scheme, &links, base_seed + t as u64, probes);
+            }
+            out.push(MultiFailurePoint {
+                k,
+                scheme,
+                delivery: total / trials as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the sweep.
+pub fn render(name: &str, points: &[MultiFailurePoint]) -> String {
+    let mut out = format!(
+        "Multiple simultaneous failures — delivery ratio ({name})\n| k | {} | {} | {} | {} |\n|---|---|---|---|---|\n",
+        Scheme::KarNipFull.label(),
+        Scheme::KarNoDeflection.label(),
+        Scheme::FastFailover.label(),
+        Scheme::PathSplicing.label()
+    );
+    let ks: Vec<usize> = {
+        let mut v: Vec<usize> = points.iter().map(|p| p.k).collect();
+        v.dedup();
+        v
+    };
+    for k in ks {
+        let get = |s: Scheme| {
+            points
+                .iter()
+                .find(|p| p.k == k && p.scheme == s)
+                .map(|p| p.delivery)
+                .unwrap_or(f64::NAN)
+        };
+        out.push_str(&format!(
+            "| {} | {:.2} | {:.2} | {:.2} | {:.2} |\n",
+            k,
+            get(Scheme::KarNipFull),
+            get(Scheme::KarNoDeflection),
+            get(Scheme::FastFailover),
+            get(Scheme::PathSplicing)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kar_topology::topo15;
+
+    #[test]
+    fn kar_nip_dominates_under_failures() {
+        let topo = topo15::build();
+        let points = run(&topo, "AS1", "AS3", &[0, 1, 2], 3, 30, 77);
+        let get = |k: usize, s: Scheme| {
+            points
+                .iter()
+                .find(|p| p.k == k && p.scheme == s)
+                .unwrap()
+                .delivery
+        };
+        // No failures: everyone delivers everything.
+        for s in Scheme::ALL {
+            assert!((get(0, s) - 1.0).abs() < 1e-9, "{s:?}");
+        }
+        // With failures, NIP+full beats no-deflection.
+        for k in [1usize, 2] {
+            assert!(
+                get(k, Scheme::KarNipFull) >= get(k, Scheme::KarNoDeflection),
+                "k={k}"
+            );
+        }
+        assert!(get(2, Scheme::KarNipFull) > 0.8, "KAR survives k=2");
+    }
+
+    #[test]
+    fn render_has_all_ks() {
+        let topo = topo15::build();
+        let points = run(&topo, "AS1", "AS3", &[0, 1], 2, 20, 3);
+        let text = render("topo15", &points);
+        assert!(text.contains("| 0 |"));
+        assert!(text.contains("| 1 |"));
+    }
+}

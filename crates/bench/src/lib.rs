@@ -1,0 +1,16 @@
+//! # kar-bench — experiment harness for the KAR reproduction
+//!
+//! One binary per table/figure of the paper (`table1`, `fig4`, `fig5`,
+//! `fig7`, `fig8`, `table2`) plus extensions (`ablation_ids`,
+//! `multi_failure`), and Criterion microbenchmarks for the encoding and
+//! forwarding hot paths. The experiment logic lives in [`experiments`]
+//! so tests can run scaled-down versions; binaries are thin wrappers.
+//!
+//! Knobs via environment: `KAR_RUNS` (repetitions), `KAR_SECONDS`
+//! (per-run transfer seconds), `KAR_SEED`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;

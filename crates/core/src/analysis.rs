@@ -1,0 +1,421 @@
+//! Static analysis of encoded routes: driven walks, protection coverage,
+//! loop detection.
+//!
+//! These checks answer, *without running traffic*, the questions the
+//! paper argues qualitatively: from which switches will a deflected
+//! packet be driven to the destination (§2.1), and what fraction of a
+//! failure's deflection candidates is covered by the protection paths
+//! (the 1/3–2/3 argument of §3.1 and the 1/5–2/5 argument of §3.2)?
+
+use crate::route::EncodedRoute;
+use kar_topology::{LinkId, NodeId, Topology};
+use std::collections::HashSet;
+
+/// Result of following a route ID's residues hop by hop from a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrivenOutcome {
+    /// The walk reached the destination in this many hops.
+    Reached {
+        /// Hops taken.
+        hops: usize,
+    },
+    /// The walk hit a switch whose residue names an invalid or failed
+    /// port (a deflecting switch would go random here).
+    InvalidPort {
+        /// Where the walk got stuck.
+        at: NodeId,
+    },
+    /// The walk entered a cycle.
+    Loop {
+        /// First revisited node.
+        at: NodeId,
+    },
+    /// The walk surfaced at an edge node other than the destination.
+    WrongEdge {
+        /// The edge reached.
+        at: NodeId,
+    },
+}
+
+impl DrivenOutcome {
+    /// `true` when the walk reached the destination.
+    pub fn reached(&self) -> bool {
+        matches!(self, DrivenOutcome::Reached { .. })
+    }
+}
+
+/// Follows `route`'s residues from `from` until `dst` (an edge node or
+/// core switch), a dead end, or a loop. `failed` links are treated as
+/// unavailable ports.
+///
+/// This is the *deterministic* part of forwarding — what a packet does
+/// between deflections. A switch not folded into the route ID still
+/// yields a residue; if that residue happens to name a healthy port the
+/// walk follows it, exactly as a real KAR switch would (§2.1: a deflected
+/// packet "may arrive at a node included in the route ID; from there, it
+/// will follow the computed path once again").
+pub fn driven_walk(
+    topo: &Topology,
+    route: &EncodedRoute,
+    from: NodeId,
+    dst: NodeId,
+    failed: &HashSet<LinkId>,
+) -> DrivenOutcome {
+    driven_walk_from(topo, route, from, None, dst, failed)
+}
+
+/// [`driven_walk`], additionally modelling NIP's *forced* choices: when
+/// a switch's residue is unusable but exactly one healthy core-facing
+/// non-input port exists, NIP takes it deterministically — the paper's
+/// "the only alternative path is to SW11 and, then, to SW17". `entered`
+/// is the node the walk came from (excluded as NIP input), if any.
+pub fn driven_walk_from(
+    topo: &Topology,
+    route: &EncodedRoute,
+    from: NodeId,
+    entered: Option<NodeId>,
+    dst: NodeId,
+    failed: &HashSet<LinkId>,
+) -> DrivenOutcome {
+    let mut visited = HashSet::new();
+    let mut cur = from;
+    let mut prev = entered;
+    let mut hops = 0usize;
+    loop {
+        if cur == dst {
+            return DrivenOutcome::Reached { hops };
+        }
+        let Some(switch_id) = topo.switch_id(cur) else {
+            return DrivenOutcome::WrongEdge { at: cur };
+        };
+        if !visited.insert(cur) {
+            return DrivenOutcome::Loop { at: cur };
+        }
+        let port = route.port_at(switch_id);
+        let usable = |p: u64| {
+            topo.node(cur)
+                .ports
+                .get(p as usize)
+                .map(|l| !failed.contains(l))
+                .unwrap_or(false)
+        };
+        let in_port = prev.and_then(|p| topo.port_towards(cur, p));
+        let next_port = if usable(port) && Some(port) != in_port {
+            port
+        } else {
+            // NIP would pick among healthy core non-input ports at
+            // random; only a *unique* candidate is deterministic.
+            let candidates: Vec<u64> = topo
+                .neighbors(cur)
+                .filter(|&(p, l, peer)| {
+                    Some(p) != in_port
+                        && !failed.contains(&l)
+                        && topo.switch_id(peer).is_some()
+                })
+                .map(|(p, _, _)| p)
+                .collect();
+            match candidates.as_slice() {
+                [only] => *only,
+                _ => return DrivenOutcome::InvalidPort { at: cur },
+            }
+        };
+        let link = topo.node(cur).ports[next_port as usize];
+        prev = Some(cur);
+        cur = topo.link(link).peer_of(cur);
+        hops += 1;
+    }
+}
+
+/// Coverage of one failure: which deflection candidates are driven to the
+/// destination.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// The switch that deflects (upstream endpoint of the failed link).
+    pub deflecting_switch: NodeId,
+    /// Healthy next-hop candidates under NIP (input and failed port
+    /// excluded).
+    pub candidates: Vec<NodeId>,
+    /// The subset of candidates from which the route ID drives the packet
+    /// to the destination.
+    pub driven: Vec<NodeId>,
+}
+
+impl CoverageReport {
+    /// `driven.len() / candidates.len()`, `1.0` when there are no
+    /// candidates (nothing to protect).
+    pub fn fraction(&self) -> f64 {
+        if self.candidates.is_empty() {
+            return 1.0;
+        }
+        self.driven.len() as f64 / self.candidates.len() as f64
+    }
+}
+
+/// Analyzes the coverage of a failure of `failed_link` for traffic
+/// following `route` along `primary` toward `dst`.
+///
+/// The deflecting switch is the primary-path endpoint of the failed link
+/// that the packet reaches first; its NIP candidates are its healthy
+/// neighbours minus the input (previous primary node) and the failed
+/// link.
+///
+/// # Panics
+///
+/// Panics if `failed_link` does not touch the primary path (no deflection
+/// would happen there).
+pub fn failure_coverage(
+    topo: &Topology,
+    route: &EncodedRoute,
+    primary: &[NodeId],
+    failed_link: LinkId,
+    dst: NodeId,
+) -> CoverageReport {
+    let link = topo.link(failed_link);
+    let pos = primary
+        .iter()
+        .position(|&n| link.touches(n) && topo.switch_id(n).is_some())
+        .expect("failed link must touch a primary-path switch");
+    let deflecting = primary[pos];
+    let input = if pos > 0 { Some(primary[pos - 1]) } else { None };
+    let failed: HashSet<LinkId> = [failed_link].into_iter().collect();
+    let mut candidates = Vec::new();
+    let mut driven = Vec::new();
+    for (_, l, peer) in topo.neighbors(deflecting) {
+        if l == failed_link || Some(peer) == input {
+            continue;
+        }
+        // Deflecting into an edge host is possible but pointless; the
+        // paper's scenarios never include host ports as candidates.
+        if topo.switch_id(peer).is_none() && peer != dst {
+            continue;
+        }
+        candidates.push(peer);
+        if driven_walk_from(topo, route, peer, Some(deflecting), dst, &failed).reached() {
+            driven.push(peer);
+        }
+    }
+    CoverageReport {
+        deflecting_switch: deflecting,
+        candidates,
+        driven,
+    }
+}
+
+/// One row of [`residue_table`]: what a route ID means at one switch.
+#[derive(Debug, Clone)]
+pub struct ResidueRow {
+    /// The switch.
+    pub node: NodeId,
+    /// Its switch ID.
+    pub switch_id: u64,
+    /// `route_id mod switch_id`.
+    pub residue: u64,
+    /// The neighbour that port points at, if the port exists.
+    pub next_hop: Option<NodeId>,
+    /// Whether this switch was explicitly folded into the route ID.
+    pub encoded: bool,
+}
+
+/// Decodes what `route` does at *every* core switch of the network —
+/// the debugging view of a route ID. Switches not folded into the
+/// basis still produce a (pseudo-random) residue; seeing where those
+/// point explains every "accidental drive" in an experiment.
+pub fn residue_table(topo: &Topology, route: &EncodedRoute) -> Vec<ResidueRow> {
+    topo.core_nodes()
+        .into_iter()
+        .map(|node| {
+            let switch_id = topo.switch_id(node).expect("core switch has an id");
+            let residue = route.port_at(switch_id);
+            let next_hop = topo
+                .neighbors(node)
+                .find(|&(p, _, _)| p == residue)
+                .map(|(_, _, peer)| peer);
+            ResidueRow {
+                node,
+                switch_id,
+                residue,
+                next_hop,
+                encoded: route.contains_switch(switch_id),
+            }
+        })
+        .collect()
+}
+
+/// Renders [`residue_table`] with names.
+pub fn render_residue_table(topo: &Topology, route: &EncodedRoute) -> String {
+    let mut out = format!(
+        "route id {} ({} bits)
+| switch | id | residue | next hop | encoded |
+|---|---|---|---|---|
+",
+        route.route_id,
+        route.bit_length()
+    );
+    for row in residue_table(topo, route) {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |
+",
+            topo.node(row.node).name,
+            row.switch_id,
+            row.residue,
+            row.next_hop
+                .map(|n| topo.node(n).name.clone())
+                .unwrap_or_else(|| "-".into()),
+            if row.encoded { "yes" } else { "" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::RouteSpec;
+    use kar_topology::topo15;
+
+    fn route_with(protection: &[(&str, &str)]) -> (kar_topology::Topology, EncodedRoute, Vec<NodeId>) {
+        let topo = topo15::build();
+        let primary = topo15::primary_route(&topo);
+        let pairs = topo15::protection_pairs(&topo, protection);
+        let route =
+            EncodedRoute::encode(&topo, &RouteSpec::protected(primary.clone(), pairs)).unwrap();
+        (topo, route, primary)
+    }
+
+    #[test]
+    fn primary_path_walk_reaches_destination() {
+        let (topo, route, _) = route_with(&[]);
+        let out = driven_walk(
+            &topo,
+            &route,
+            topo.expect("SW10"),
+            topo.expect("AS3"),
+            &HashSet::new(),
+        );
+        assert_eq!(out, DrivenOutcome::Reached { hops: 4 });
+    }
+
+    #[test]
+    fn protected_branch_drives_to_destination() {
+        let (topo, route, _) = route_with(&topo15::PARTIAL_PROTECTION);
+        for name in ["SW11", "SW19", "SW31"] {
+            let out = driven_walk(
+                &topo,
+                &route,
+                topo.expect(name),
+                topo.expect("AS3"),
+                &HashSet::new(),
+            );
+            assert!(out.reached(), "{name}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn paper_coverage_fractions_for_partial_protection() {
+        let (topo, route, primary) = route_with(&topo15::PARTIAL_PROTECTION);
+        let dst = topo.expect("AS3");
+        // SW10-SW7 failure: 1 of 3 candidates protected (§3.1: "2/3 of
+        // packets will be sent to switches SW17 or SW37").
+        let cov = failure_coverage(&topo, &route, &primary, topo.expect_link("SW10", "SW7"), dst);
+        assert_eq!(cov.deflecting_switch, topo.expect("SW10"));
+        assert_eq!(cov.candidates.len(), 3);
+        assert_eq!(cov.driven.len(), 1);
+        assert!((cov.fraction() - 1.0 / 3.0).abs() < 1e-12);
+        // SW7-SW13 and SW13-SW29: fully enclosed.
+        for (a, b) in [("SW7", "SW13"), ("SW13", "SW29")] {
+            let cov = failure_coverage(&topo, &route, &primary, topo.expect_link(a, b), dst);
+            assert_eq!(cov.fraction(), 1.0, "{a}-{b}: {cov:?}");
+        }
+    }
+
+    #[test]
+    fn full_protection_covers_everything() {
+        let topo = topo15::build();
+        let primary = topo15::primary_route(&topo);
+        let mut pairs = topo15::protection_pairs(&topo, &topo15::PARTIAL_PROTECTION);
+        pairs.extend(topo15::protection_pairs(&topo, &topo15::FULL_EXTRA_PROTECTION));
+        let route =
+            EncodedRoute::encode(&topo, &RouteSpec::protected(primary.clone(), pairs)).unwrap();
+        let dst = topo.expect("AS3");
+        for (a, b) in topo15::FAILURE_LOCATIONS {
+            let cov = failure_coverage(&topo, &route, &primary, topo.expect_link(a, b), dst);
+            assert_eq!(cov.fraction(), 1.0, "{a}-{b}: {cov:?}");
+        }
+    }
+
+    #[test]
+    fn unprotected_sw7_failure_has_no_driven_candidates() {
+        let (topo, route, primary) = route_with(&[]);
+        let dst = topo.expect("AS3");
+        let cov = failure_coverage(&topo, &route, &primary, topo.expect_link("SW7", "SW13"), dst);
+        // Candidates SW11 and SW19 exist but nothing drives them (unless a
+        // residue accidentally points the right way — with these IDs it
+        // does not).
+        assert_eq!(cov.candidates.len(), 2);
+        assert!(cov.fraction() < 1.0);
+    }
+
+    #[test]
+    fn walk_detects_loops_and_wrong_edges() {
+        let (topo, route, _) = route_with(&[]);
+        // Walking toward a node that is not on any residue path must end
+        // somewhere recognizable (loop, invalid port, or wrong edge).
+        let out = driven_walk(
+            &topo,
+            &route,
+            topo.expect("SW43"),
+            topo.expect("AS3"),
+            &HashSet::new(),
+        );
+        assert!(!out.reached() || matches!(out, DrivenOutcome::Reached { .. }));
+        // A walk that starts at the wrong edge reports it.
+        let out = driven_walk(
+            &topo,
+            &route,
+            topo.expect("AS2"),
+            topo.expect("AS3"),
+            &HashSet::new(),
+        );
+        assert_eq!(out, DrivenOutcome::WrongEdge { at: topo.expect("AS2") });
+    }
+
+    #[test]
+    fn residue_table_marks_encoded_switches() {
+        let (topo, route, _) = route_with(&topo15::PARTIAL_PROTECTION);
+        let table = residue_table(&topo, &route);
+        assert_eq!(table.len(), topo.core_nodes().len());
+        let row = |name: &str| {
+            table
+                .iter()
+                .find(|r| r.node == topo.expect(name))
+                .unwrap()
+                .clone()
+        };
+        // Encoded switches point exactly where the spec says.
+        let sw7 = row("SW7");
+        assert!(sw7.encoded);
+        assert_eq!(sw7.next_hop, Some(topo.expect("SW13")));
+        let sw31 = row("SW31");
+        assert!(sw31.encoded);
+        assert_eq!(sw31.next_hop, Some(topo.expect("SW29")));
+        // Non-encoded switches have *some* residue, possibly invalid.
+        let sw43 = row("SW43");
+        assert!(!sw43.encoded);
+        let rendered = render_residue_table(&topo, &route);
+        assert!(rendered.contains("| SW7 | 7 |"));
+    }
+
+    #[test]
+    fn failed_link_blocks_the_walk() {
+        let (topo, route, _) = route_with(&[]);
+        let failed: HashSet<LinkId> = [topo.expect_link("SW7", "SW13")].into_iter().collect();
+        let out = driven_walk(
+            &topo,
+            &route,
+            topo.expect("SW10"),
+            topo.expect("AS3"),
+            &failed,
+        );
+        assert_eq!(out, DrivenOutcome::InvalidPort { at: topo.expect("SW7") });
+    }
+}

@@ -1,0 +1,198 @@
+//! Service chaining over KAR routes (paper §5 future work: "investigate
+//! the application of KAR in the service chaining of virtualized network
+//! functions").
+//!
+//! A service chain is a route forced through an ordered set of waypoint
+//! switches (where the network functions sit). Because KAR gives each
+//! switch exactly one residue per route ID, a valid chain must visit
+//! every switch at most once — the same intrinsic constraint as Fig. 8.
+//! [`chain_path`] stitches shortest-path segments between consecutive
+//! waypoints and rejects chains that would revisit a switch.
+
+use crate::error::KarError;
+use kar_topology::{NodeId, Topology};
+use std::collections::HashSet;
+
+/// Computes a loop-free path `src → w₁ → … → wₙ → dst`.
+///
+/// Each leg is a shortest path; legs are not allowed to revisit nodes
+/// used by earlier legs (one residue per switch). Later legs route
+/// around already-used switches when possible.
+///
+/// # Errors
+///
+/// [`KarError::NoPath`] when some leg cannot be completed without
+/// revisiting an earlier switch.
+///
+/// # Examples
+///
+/// ```
+/// use kar::chain_path;
+/// use kar_topology::topo15;
+///
+/// let topo = topo15::build();
+/// let path = chain_path(
+///     &topo,
+///     topo.expect("AS1"),
+///     &[topo.expect("SW17")], // force traffic through a middlebox
+///     topo.expect("AS3"),
+/// )?;
+/// assert!(path.contains(&topo.expect("SW17")));
+/// # Ok::<(), kar::KarError>(())
+/// ```
+pub fn chain_path(
+    topo: &Topology,
+    src: NodeId,
+    waypoints: &[NodeId],
+    dst: NodeId,
+) -> Result<Vec<NodeId>, KarError> {
+    let mut full: Vec<NodeId> = vec![src];
+    let mut used: HashSet<NodeId> = [src].into_iter().collect();
+    let mut cur = src;
+    let stops: Vec<NodeId> = waypoints.iter().copied().chain([dst]).collect();
+    for &stop in &stops {
+        if used.contains(&stop) && stop != cur {
+            // An earlier leg already consumed this switch's residue.
+            return Err(KarError::NoPath { src: cur, dst: stop });
+        }
+        let leg = bfs_avoiding_nodes(topo, cur, stop, &used)
+            .ok_or(KarError::NoPath { src: cur, dst: stop })?;
+        for &n in &leg[1..] {
+            used.insert(n);
+            full.push(n);
+        }
+        cur = stop;
+    }
+    Ok(full)
+}
+
+/// BFS shortest path avoiding a set of nodes (except the endpoints).
+fn bfs_avoiding_nodes(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    avoid: &HashSet<NodeId>,
+) -> Option<Vec<NodeId>> {
+    use std::collections::VecDeque;
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut prev: Vec<Option<NodeId>> = vec![None; topo.node_count()];
+    let mut seen = vec![false; topo.node_count()];
+    seen[src.0] = true;
+    let mut q = VecDeque::from([src]);
+    while let Some(n) = q.pop_front() {
+        let mut peers: Vec<NodeId> = topo.neighbors(n).map(|(_, _, p)| p).collect();
+        peers.sort();
+        for peer in peers {
+            if seen[peer.0] || (avoid.contains(&peer) && peer != dst) {
+                continue;
+            }
+            seen[peer.0] = true;
+            prev[peer.0] = Some(n);
+            if peer == dst {
+                let mut path = vec![dst];
+                let mut cur = dst;
+                while cur != src {
+                    cur = prev[cur.0].expect("predecessor chain intact");
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            q.push_back(peer);
+        }
+    }
+    None
+}
+
+/// Returns `true` if `path` visits `waypoints` in order.
+pub fn visits_in_order(path: &[NodeId], waypoints: &[NodeId]) -> bool {
+    let mut iter = path.iter();
+    waypoints
+        .iter()
+        .all(|w| iter.by_ref().any(|n| n == w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kar_topology::{paths, topo15};
+
+    #[test]
+    fn chain_visits_waypoints_in_order() {
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let w = [topo.expect("SW17"), topo.expect("SW41")];
+        let path = chain_path(&topo, as1, &w, as3).unwrap();
+        assert_eq!(path.first(), Some(&as1));
+        assert_eq!(path.last(), Some(&as3));
+        assert!(visits_in_order(&path, &w));
+        // No switch appears twice (one residue per switch).
+        let mut seen = HashSet::new();
+        assert!(path.iter().all(|&n| seen.insert(n)), "{path:?}");
+        assert!(paths::links_along(&topo, &path).is_ok());
+    }
+
+    #[test]
+    fn chain_routes_around_used_switches() {
+        // AS1 → SW11 → SW31 → AS3: the SW11→SW31 leg must route around
+        // SW10 (already consumed by the first leg).
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let w = [topo.expect("SW11"), topo.expect("SW31")];
+        let path = chain_path(&topo, as1, &w, as3).unwrap();
+        assert!(visits_in_order(&path, &w));
+        let mut seen = HashSet::new();
+        assert!(path.iter().all(|&n| seen.insert(n)), "revisit in {path:?}");
+        assert!(paths::links_along(&topo, &path).is_ok());
+    }
+
+    #[test]
+    fn impossible_chain_is_rejected() {
+        // AS2 attaches at SW23, so the first leg to SW43 consumes SW23's
+        // residue; demanding SW23 as a later waypoint must fail — one
+        // residue per switch (the paper's intrinsic constraint).
+        let topo = topo15::build();
+        let as2 = topo.expect("AS2");
+        let as3 = topo.expect("AS3");
+        let w = [topo.expect("SW43"), topo.expect("SW23")];
+        let err = chain_path(&topo, as2, &w, as3).unwrap_err();
+        assert!(matches!(err, KarError::NoPath { .. }));
+    }
+
+    #[test]
+    fn chained_route_encodes_and_forwards() {
+        use crate::{DeflectionTechnique, KarNetwork, Protection};
+        use kar_simnet::{FlowId, PacketKind};
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let w = [topo.expect("SW17"), topo.expect("SW41")];
+        let path = chain_path(&topo, as1, &w, as3).unwrap();
+        let hops = path.len() - 2;
+        let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
+            .with_seed(2)
+            .with_tracing();
+        net.install_explicit(path, &Protection::None).unwrap();
+        let mut sim = net.into_sim();
+        sim.inject(as1, as3, FlowId(0), 0, PacketKind::Probe, 500);
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().delivered, 1);
+        assert_eq!(sim.stats().max_hops as usize, hops);
+        let trace = sim.trace().get(0).unwrap();
+        assert!(visits_in_order(&trace.path, &w), "{}", trace.pretty(&topo));
+    }
+
+    #[test]
+    fn in_order_check() {
+        let a = NodeId(1);
+        let b = NodeId(2);
+        let c = NodeId(3);
+        assert!(visits_in_order(&[a, b, c], &[a, c]));
+        assert!(!visits_in_order(&[a, b, c], &[c, a]));
+        assert!(visits_in_order(&[a, b, c], &[]));
+    }
+}

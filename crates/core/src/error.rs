@@ -1,0 +1,121 @@
+//! Error type of the KAR routing system.
+
+use kar_rns::RnsError;
+use kar_topology::NodeId;
+use std::fmt;
+
+/// Errors raised while planning, encoding or installing KAR routes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KarError {
+    /// No path exists between the requested endpoints.
+    NoPath {
+        /// Requested source edge.
+        src: NodeId,
+        /// Requested destination edge.
+        dst: NodeId,
+    },
+    /// Two consecutive nodes of a supplied path are not adjacent.
+    NotAdjacent {
+        /// The node lacking a link to `to`.
+        from: NodeId,
+        /// The unreachable neighbour.
+        to: NodeId,
+    },
+    /// A protection segment references a switch already present in the
+    /// route ID with a *different* output port. Each switch has exactly
+    /// one residue per route ID — the paper's intrinsic constraint
+    /// (§3.2, Fig. 8 discussion).
+    SwitchConflict {
+        /// The switch with two incompatible port assignments.
+        switch_id: u64,
+        /// Port already encoded.
+        existing_port: u64,
+        /// Port the new segment asked for.
+        requested_port: u64,
+    },
+    /// A protection segment starts at an edge node (only core switches
+    /// forward by residue).
+    NotACoreSwitch {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The underlying RNS encoding failed (non-coprime IDs, residue out
+    /// of range, …).
+    Rns(RnsError),
+    /// No route is installed for this `(src, dst)` pair.
+    RouteNotInstalled {
+        /// Requested source edge.
+        src: NodeId,
+        /// Requested destination edge.
+        dst: NodeId,
+    },
+}
+
+impl fmt::Display for KarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KarError::NoPath { src, dst } => write!(f, "no path from {src} to {dst}"),
+            KarError::NotAdjacent { from, to } => {
+                write!(f, "nodes {from} and {to} are not adjacent")
+            }
+            KarError::SwitchConflict {
+                switch_id,
+                existing_port,
+                requested_port,
+            } => write!(
+                f,
+                "switch {switch_id} already encodes port {existing_port}, cannot also encode port {requested_port}"
+            ),
+            KarError::NotACoreSwitch { node } => {
+                write!(f, "node {node} is not a core switch")
+            }
+            KarError::Rns(e) => write!(f, "rns encoding failed: {e}"),
+            KarError::RouteNotInstalled { src, dst } => {
+                write!(f, "no route installed from {src} to {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KarError::Rns(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RnsError> for KarError {
+    fn from(e: RnsError) -> Self {
+        KarError::Rns(e)
+    }
+}
+
+impl From<kar_topology::paths::PathError> for KarError {
+    fn from(e: kar_topology::paths::PathError) -> Self {
+        match e {
+            kar_topology::paths::PathError::NotAdjacent { from, to } => {
+                KarError::NotAdjacent { from, to }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_constraint() {
+        let e = KarError::SwitchConflict {
+            switch_id: 73,
+            existing_port: 1,
+            requested_port: 2,
+        };
+        assert!(e.to_string().contains("switch 73"));
+        let e = KarError::Rns(RnsError::Empty);
+        assert!(e.to_string().contains("rns"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,148 @@
+//! The on-wire route-ID header (paper §2.3).
+//!
+//! A route ID is carried in a fixed-width packet-header field; Eq. 9
+//! gives the width a field must have for a given switch-ID set. This
+//! module packs a route ID into exactly that many bits (rounded up to
+//! whole bytes on the wire, as a real shim header would be), refuses
+//! IDs that do not fit — the paper's "if the route and all the designed
+//! [protection paths] do not fit the Route ID field length, the source
+//! routed path cannot be fully protected" — and unpacks on egress.
+
+use crate::error::KarError;
+use crate::route::EncodedRoute;
+use kar_rns::{BigUint, RnsError};
+
+/// A fixed-width route-ID header field.
+///
+/// # Examples
+///
+/// ```
+/// use kar::RouteHeader;
+/// use kar_rns::BigUint;
+///
+/// // The paper's protected example R = 660 needs an 11-bit field.
+/// let header = RouteHeader::pack(&BigUint::from(660u64), 11)?;
+/// assert_eq!(header.wire_bytes(), 2);
+/// assert_eq!(header.unpack().to_u64(), Some(660));
+/// # Ok::<(), kar::KarError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteHeader {
+    /// Field width in bits.
+    bits: u32,
+    /// Big-endian field contents (`ceil(bits / 8)` bytes).
+    bytes: Vec<u8>,
+}
+
+impl RouteHeader {
+    /// Packs `route_id` into a `bits`-wide field.
+    ///
+    /// # Errors
+    ///
+    /// [`KarError::Rns`] (residue-out-of-range flavour) when the route
+    /// ID needs more than `bits` bits — the §2.3 overflow case that
+    /// forces partial protection.
+    pub fn pack(route_id: &BigUint, bits: u32) -> Result<RouteHeader, KarError> {
+        if route_id.bits() > bits {
+            // Reuse the RNS error vocabulary: the value exceeds the field
+            // modulus 2^bits.
+            return Err(KarError::Rns(RnsError::ResidueOutOfRange {
+                residue: route_id.bits() as u64,
+                modulus: bits as u64,
+            }));
+        }
+        let width = bits.div_ceil(8) as usize;
+        let raw = route_id.to_bytes_be();
+        let mut bytes = vec![0u8; width];
+        bytes[width - raw.len()..].copy_from_slice(&raw);
+        Ok(RouteHeader { bits, bytes })
+    }
+
+    /// Packs an encoded route into the *exact* field its basis needs
+    /// (Eq. 9).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a well-formed [`EncodedRoute`] (its ID is below
+    /// the basis product by construction); the `Result` keeps the API
+    /// uniform with [`RouteHeader::pack`].
+    pub fn for_route(route: &EncodedRoute) -> Result<RouteHeader, KarError> {
+        Self::pack(&route.route_id, route.bit_length().max(1))
+    }
+
+    /// Field width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Wire size in bytes (whole bytes, like a real shim header).
+    pub fn wire_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The raw big-endian field.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Unpacks the route ID (egress side).
+    pub fn unpack(&self) -> BigUint {
+        BigUint::from_bytes_be(&self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::RouteSpec;
+    use kar_topology::topo15;
+
+    #[test]
+    fn packs_the_papers_examples() {
+        // R = 44 over {4,7,11}: 9-bit field (M-1 = 307) → 2 wire bytes.
+        let h = RouteHeader::pack(&BigUint::from(44u64), 9).unwrap();
+        assert_eq!(h.bits(), 9);
+        assert_eq!(h.wire_bytes(), 2);
+        assert_eq!(h.as_bytes(), &[0x00, 0x2c]);
+        assert_eq!(h.unpack().to_u64(), Some(44));
+        // R = 660 over {4,7,11,5}: 11-bit field.
+        let h = RouteHeader::pack(&BigUint::from(660u64), 11).unwrap();
+        assert_eq!(h.unpack().to_u64(), Some(660));
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        // 660 needs 10 bits; a 9-bit field cannot hold it.
+        let err = RouteHeader::pack(&BigUint::from(660u64), 9).unwrap_err();
+        assert!(matches!(err, KarError::Rns(_)));
+    }
+
+    #[test]
+    fn round_trips_table1_routes() {
+        let topo = topo15::build();
+        let primary = topo15::primary_route(&topo);
+        let mut pairs = topo15::protection_pairs(&topo, &topo15::PARTIAL_PROTECTION);
+        pairs.extend(topo15::protection_pairs(&topo, &topo15::FULL_EXTRA_PROTECTION));
+        for (segments, expect_bits, expect_bytes) in [
+            (Vec::new(), 15, 2),
+            (pairs.clone(), 43, 6),
+        ] {
+            let route = EncodedRoute::encode(
+                &topo,
+                &RouteSpec::protected(primary.clone(), segments),
+            )
+            .unwrap();
+            let h = RouteHeader::for_route(&route).unwrap();
+            assert_eq!(h.bits(), expect_bits);
+            assert_eq!(h.wire_bytes(), expect_bytes);
+            assert_eq!(h.unpack(), route.route_id);
+        }
+    }
+
+    #[test]
+    fn zero_route_id_packs() {
+        let h = RouteHeader::pack(&BigUint::zero(), 1).unwrap();
+        assert_eq!(h.wire_bytes(), 1);
+        assert!(h.unpack().is_zero());
+    }
+}

@@ -1,0 +1,71 @@
+//! # kar — Key-for-Any-Route: stateless resilient source routing
+//!
+//! Rust reproduction of **"KAR: Key-for-Any-Route, a Resilient Routing
+//! System"** (Gomes, Liberato, Dominicini, Ribeiro, Martinello —
+//! DSN-W 2016). KAR encodes a forwarding path into a single integer
+//! *route ID* via the Residue Number System: every core switch holds a
+//! coprime *switch ID* and forwards each packet out of port
+//! `route_id mod switch_id` — no forwarding tables in the core. On a
+//! link failure, switches *deflect* packets instead of dropping them,
+//! and *driven deflection forwarding paths* folded into the same route
+//! ID steer deflected packets back to their destination, loop-free.
+//!
+//! The crate provides:
+//!
+//! * [`RouteSpec`] / [`EncodedRoute`] — route planning and CRT encoding
+//!   (paper §2.2, Eq. 1–9);
+//! * [`DeflectionTechnique`] / [`KarForwarder`] — the HP, AVP and NIP
+//!   deflection dataplanes (paper §2.1, Algorithm 1);
+//! * [`Protection`] and the planners in [`protection`] — unprotected,
+//!   explicit, full, and bit-budgeted driven-deflection trees;
+//! * [`Controller`] — route selection, route-ID computation, and the
+//!   paper's wrong-edge re-encoding;
+//! * [`KarNetwork`] — one-stop wiring into the `kar-simnet` simulator;
+//! * [`analysis`] — static driven-walk and failure-coverage checks.
+//!
+//! # Examples
+//!
+//! Encode the paper's worked example and protect it:
+//!
+//! ```
+//! use kar::{DeflectionTechnique, KarNetwork, Protection};
+//! use kar_simnet::{FlowId, PacketKind, SimTime};
+//! use kar_topology::topo15;
+//!
+//! let topo = topo15::build();
+//! let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip);
+//! let (as1, as3) = (topo.expect("AS1"), topo.expect("AS3"));
+//! let route = net.install_route(as1, as3, &Protection::AutoFull)?;
+//! assert!(route.bit_length() >= 15);
+//!
+//! let mut sim = net.into_sim();
+//! sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW7", "SW13"));
+//! sim.inject(as1, as3, FlowId(0), 0, PacketKind::Probe, 1000);
+//! sim.run_to_quiescence();
+//! assert_eq!(sim.stats().delivered, 1); // deflected, then driven home
+//! # Ok::<(), kar::KarError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod chain;
+mod controller;
+mod deflect;
+mod error;
+mod header;
+pub mod multipath;
+mod network;
+pub mod protection;
+mod route;
+
+pub use chain::chain_path;
+pub use controller::{Controller, KarConfig, ReroutePolicy};
+pub use multipath::{edge_disjoint_paths, MultipathEdge};
+pub use deflect::{DeflectionTechnique, KarForwarder};
+pub use error::KarError;
+pub use header::RouteHeader;
+pub use network::KarNetwork;
+pub use protection::Protection;
+pub use route::{EncodedRoute, RouteSpec};

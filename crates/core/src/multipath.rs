@@ -1,0 +1,311 @@
+//! Multipath KAR routing (paper §5 future work: "explore the use of
+//! multiple paths … in the case of redundant links").
+//!
+//! KAR cannot encode two output ports for one switch in a single route
+//! ID (the Fig. 8 constraint), but nothing stops the edge from holding
+//! *several route IDs* over disjoint switch sets and spreading flows
+//! across them. [`edge_disjoint_paths`] finds link-disjoint paths;
+//! [`MultipathEdge`] installs one encoded route per path and hashes each
+//! flow onto one of them, so a single link failure only disturbs the
+//! flows on the affected path.
+
+use crate::error::KarError;
+use crate::protection::Protection;
+use crate::route::EncodedRoute;
+use kar_simnet::{EdgeLogic, Packet, RerouteDecision, RouteTag, SimTime};
+use kar_topology::{LinkId, NodeId, PortIx, Topology};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Finds up to `k` paths from `src` to `dst` whose *core* links are
+/// pairwise disjoint (greedy: repeated BFS, removing the core links of
+/// each accepted path). Host access links are shared by construction —
+/// a single-homed edge has no alternative for its first hop.
+///
+/// Returns at least one path when the nodes are connected; fewer than
+/// `k` when the topology runs out of disjoint core links.
+pub fn edge_disjoint_paths(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+) -> Vec<Vec<NodeId>> {
+    let mut used: HashSet<LinkId> = HashSet::new();
+    let mut out: Vec<Vec<NodeId>> = Vec::new();
+    for _ in 0..k {
+        let Some(path) = bfs_avoiding_links(topo, src, dst, &used) else {
+            break;
+        };
+        if out.contains(&path) {
+            break; // only shared host links left → no real diversity
+        }
+        for w in path.windows(2) {
+            let both_core =
+                topo.switch_id(w[0]).is_some() && topo.switch_id(w[1]).is_some();
+            if both_core {
+                if let Some(l) = topo.link_between(w[0], w[1]) {
+                    used.insert(l);
+                }
+            }
+        }
+        out.push(path);
+    }
+    out
+}
+
+fn bfs_avoiding_links(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    avoid: &HashSet<LinkId>,
+) -> Option<Vec<NodeId>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut prev: Vec<Option<NodeId>> = vec![None; topo.node_count()];
+    let mut seen = vec![false; topo.node_count()];
+    seen[src.0] = true;
+    let mut q = VecDeque::from([src]);
+    while let Some(n) = q.pop_front() {
+        let mut adj: Vec<(LinkId, NodeId)> =
+            topo.neighbors(n).map(|(_, l, p)| (l, p)).collect();
+        adj.sort_by_key(|&(_, p)| p);
+        for (l, peer) in adj {
+            if avoid.contains(&l) || seen[peer.0] {
+                continue;
+            }
+            seen[peer.0] = true;
+            prev[peer.0] = Some(n);
+            if peer == dst {
+                let mut path = vec![dst];
+                let mut cur = dst;
+                while cur != src {
+                    cur = prev[cur.0].expect("predecessor chain intact");
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            q.push_back(peer);
+        }
+    }
+    None
+}
+
+/// Edge logic holding several route IDs per `(src, dst)` pair and
+/// assigning each flow to one of them by hash.
+///
+/// # Examples
+///
+/// ```
+/// use kar::{MultipathEdge, Protection};
+/// use kar_topology::topo15;
+///
+/// let topo = topo15::build();
+/// let mut edge = MultipathEdge::new();
+/// let n = edge.install(
+///     &topo,
+///     topo.expect("AS1"),
+///     topo.expect("AS3"),
+///     3,
+///     &Protection::None,
+/// )?;
+/// assert!(n >= 2); // topo15 offers several core-disjoint paths
+/// # Ok::<(), kar::KarError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct MultipathEdge {
+    routes: HashMap<(NodeId, NodeId), Vec<EncodedRoute>>,
+}
+
+impl MultipathEdge {
+    /// Creates an empty multipath edge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plans and installs up to `k` link-disjoint routes from `src` to
+    /// `dst`, each with the given protection, and returns how many were
+    /// installed.
+    ///
+    /// # Errors
+    ///
+    /// [`KarError::NoPath`] when `src` cannot reach `dst`; encoding
+    /// errors are propagated.
+    pub fn install(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        k: usize,
+        protection: &Protection,
+    ) -> Result<usize, KarError> {
+        let paths = edge_disjoint_paths(topo, src, dst, k);
+        if paths.is_empty() {
+            return Err(KarError::NoPath { src, dst });
+        }
+        let mut encoded = Vec::with_capacity(paths.len());
+        for path in paths {
+            encoded.push(crate::protection::encode_with_protection(
+                topo,
+                path,
+                protection,
+            )?);
+        }
+        let n = encoded.len();
+        self.routes.insert((src, dst), encoded);
+        Ok(n)
+    }
+
+    /// Number of routes installed for a pair.
+    pub fn route_count(&self, src: NodeId, dst: NodeId) -> usize {
+        self.routes.get(&(src, dst)).map(Vec::len).unwrap_or(0)
+    }
+
+    /// The route a given flow id maps to, if installed.
+    pub fn route_for(&self, src: NodeId, dst: NodeId, flow: u32) -> Option<&EncodedRoute> {
+        let routes = self.routes.get(&(src, dst))?;
+        // Fibonacci hashing spreads consecutive flow ids evenly.
+        let h = (flow as u64).wrapping_mul(11400714819323198485) >> 32;
+        Some(&routes[(h % routes.len() as u64) as usize])
+    }
+}
+
+impl EdgeLogic for MultipathEdge {
+    fn ingress(&mut self, _topo: &Topology, edge: NodeId, pkt: &mut Packet) -> Option<PortIx> {
+        let route = self.route_for(edge, pkt.dst, pkt.flow.0)?;
+        pkt.route = Some(RouteTag::new(route.route_id.clone()));
+        Some(route.uplink)
+    }
+
+    fn reroute(&mut self, _topo: &Topology, edge: NodeId, pkt: &mut Packet) -> RerouteDecision {
+        // Re-tag with the flow's own route and send it back in (cheap
+        // local decision; a production deployment would consult the
+        // controller as `Controller::reroute` does).
+        match self.route_for(edge, pkt.dst, pkt.flow.0) {
+            Some(route) if edge == pkt.src => {
+                pkt.route = Some(RouteTag::new(route.route_id.clone()));
+                RerouteDecision::Forward {
+                    port: route.uplink,
+                    delay: SimTime::ZERO,
+                }
+            }
+            _ => RerouteDecision::Drop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflect::{DeflectionTechnique, KarForwarder};
+    use kar_simnet::{FlowId, PacketKind, Sim, SimConfig};
+    use kar_topology::{paths, rnp28, topo15};
+
+    #[test]
+    fn finds_disjoint_paths_on_topo15() {
+        let topo = topo15::build();
+        let found = edge_disjoint_paths(&topo, topo.expect("AS1"), topo.expect("AS3"), 3);
+        // AS1 has a single access link, so everything shares AS1-SW10 —
+        // still, the core segments must be link-disjoint.
+        assert!(found.len() >= 2, "topo15 has ≥ 2 disjoint core paths");
+        let mut used = HashSet::new();
+        for path in &found {
+            for w in path.windows(2) {
+                if topo.switch_id(w[0]).is_none() || topo.switch_id(w[1]).is_none() {
+                    continue; // shared host access links
+                }
+                let l = topo.link_between(w[0], w[1]).unwrap();
+                assert!(used.insert(l), "core link reused across paths");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_spreads_flows() {
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let mut edge = MultipathEdge::new();
+        let n = edge
+            .install(&topo, as1, as3, 3, &Protection::None)
+            .unwrap();
+        assert!(n >= 2);
+        assert_eq!(edge.route_count(as1, as3), n);
+        let mut seen = HashSet::new();
+        for flow in 0..64u32 {
+            let r = edge.route_for(as1, as3, flow).unwrap();
+            seen.insert(r.route_id.clone());
+        }
+        assert_eq!(seen.len(), n, "all routes receive some flows");
+        // Same flow always maps to the same route (no packet-level
+        // reordering from multipath itself).
+        let a = edge.route_for(as1, as3, 7).unwrap().route_id.clone();
+        let b = edge.route_for(as1, as3, 7).unwrap().route_id.clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failure_on_one_path_spares_other_flows() {
+        let topo = rnp28::build();
+        let src = topo.expect("E_BH");
+        let dst = topo.expect("E_113");
+        let mut edge = MultipathEdge::new();
+        let n = edge.install(&topo, src, dst, 2, &Protection::None).unwrap();
+        assert_eq!(n, 2, "SW41→SW113 has the 107 and 109 branches");
+        // Identify which link flow 0 and flow 1..k use.
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(KarForwarder::new(DeflectionTechnique::None)),
+            Box::new(edge),
+            SimConfig::default(),
+        );
+        // Find two flows mapping to different paths by probing.
+        for flow in 0..8u32 {
+            sim.inject(src, dst, FlowId(flow), 0, PacketKind::Probe, 300);
+        }
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().delivered, 8, "all paths work when healthy");
+
+        // Now fail the SW73-SW107 branch; flows hashed to the SW109
+        // branch must be unaffected even with deflection disabled.
+        let mut edge = MultipathEdge::new();
+        edge.install(&topo, src, dst, 2, &Protection::None).unwrap();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(KarForwarder::new(DeflectionTechnique::None)),
+            Box::new(edge),
+            SimConfig::default(),
+        );
+        sim.schedule_link_down(kar_simnet::SimTime::ZERO, topo.expect_link("SW73", "SW107"));
+        for flow in 0..8u32 {
+            sim.inject(src, dst, FlowId(flow), 0, PacketKind::Probe, 300);
+        }
+        sim.run_to_quiescence();
+        let s = sim.stats();
+        assert!(
+            s.delivered >= 1 && s.delivered < 8,
+            "only the failed path's flows die without deflection: {s:?}"
+        );
+    }
+
+    #[test]
+    fn disjoint_paths_are_real_paths() {
+        let topo = rnp28::build();
+        for path in edge_disjoint_paths(&topo, topo.expect("E_BV"), topo.expect("E_SP"), 3) {
+            assert!(paths::links_along(&topo, &path).is_ok());
+            assert_eq!(path.first(), Some(&topo.expect("E_BV")));
+            assert_eq!(path.last(), Some(&topo.expect("E_SP")));
+        }
+    }
+
+    #[test]
+    fn unreachable_install_errors() {
+        let topo = topo15::build();
+        let mut edge = MultipathEdge::new();
+        // AS1 → AS1 degenerates to a single-node path → encode fails as
+        // NoPath via the empty-primary check.
+        let as1 = topo.expect("AS1");
+        let err = edge.install(&topo, as1, as1, 2, &Protection::None);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! One-stop assembly of a KAR network simulation.
+//!
+//! [`KarNetwork`] wires a topology, the KAR dataplane (modulo
+//! forwarding plus deflection), and the controller-backed edge logic
+//! into a ready [`Sim`]. This is the API the examples and every
+//! experiment driver use.
+
+use crate::controller::{Controller, ReroutePolicy};
+use crate::deflect::{DeflectionTechnique, KarForwarder};
+use crate::error::KarError;
+use crate::protection::Protection;
+use crate::route::EncodedRoute;
+use kar_simnet::{Sim, SimConfig};
+use kar_topology::{NodeId, Topology};
+
+/// Builder for a KAR simulation.
+///
+/// # Examples
+///
+/// ```
+/// use kar::{DeflectionTechnique, KarNetwork, Protection};
+/// use kar_simnet::SimTime;
+/// use kar_topology::topo15;
+///
+/// let topo = topo15::build();
+/// let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip);
+/// let as1 = topo.expect("AS1");
+/// let as3 = topo.expect("AS3");
+/// net.install_route(as1, as3, &Protection::AutoFull)?;
+/// net.install_route(as3, as1, &Protection::None)?;
+/// let mut sim = net.into_sim();
+/// sim.run_until(SimTime::from_millis(1));
+/// # Ok::<(), kar::KarError>(())
+/// ```
+pub struct KarNetwork<'t> {
+    topo: &'t Topology,
+    technique: DeflectionTechnique,
+    controller: Controller,
+    sim_config: SimConfig,
+}
+
+impl<'t> KarNetwork<'t> {
+    /// Creates a network with the given deflection technique and default
+    /// controller/simulation settings.
+    pub fn new(topo: &'t Topology, technique: DeflectionTechnique) -> Self {
+        KarNetwork {
+            topo,
+            technique,
+            controller: Controller::new(),
+            sim_config: SimConfig::default(),
+        }
+    }
+
+    /// Sets the RNG seed (runs with equal seeds are bit-identical).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sim_config.seed = seed;
+        self
+    }
+
+    /// Sets the per-packet hop budget.
+    pub fn with_ttl(mut self, ttl: u16) -> Self {
+        self.sim_config.default_ttl = ttl;
+        self
+    }
+
+    /// Serializes every core-switch traversal through one shared CPU
+    /// taking `service` per packet — the Mininet-style shared softswitch
+    /// model (see [`kar_simnet::SimConfig::switch_service`]).
+    pub fn with_switch_service(mut self, service: kar_simnet::SimTime) -> Self {
+        self.sim_config.switch_service = Some(service);
+        self
+    }
+
+    /// Enables per-packet path tracing (see [`kar_simnet::TraceLog`]).
+    pub fn with_tracing(mut self) -> Self {
+        self.sim_config.trace_paths = true;
+        self
+    }
+
+    /// Sets the failure-detection delay: how long switches keep
+    /// forwarding into a dead port before noticing (the paper assumes
+    /// zero — instantaneous local detection).
+    pub fn with_detection_delay(mut self, delay: kar_simnet::SimTime) -> Self {
+        self.sim_config.detection_delay = delay;
+        self
+    }
+
+    /// Sets the wrong-edge policy (default: controller recompute with a
+    /// 2 ms round trip, the paper's setting).
+    pub fn with_reroute(mut self, policy: ReroutePolicy) -> Self {
+        self.controller = std::mem::take(&mut self.controller).with_reroute(policy);
+        self
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &'t Topology {
+        self.topo
+    }
+
+    /// Mutable access to the controller (failure awareness, inspection).
+    pub fn controller_mut(&mut self) -> &mut Controller {
+        &mut self.controller
+    }
+
+    /// Installs a shortest-path route with the given protection.
+    ///
+    /// # Errors
+    ///
+    /// See [`Controller::install_route`].
+    pub fn install_route(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        protection: &Protection,
+    ) -> Result<EncodedRoute, KarError> {
+        self.controller.install_route(self.topo, src, dst, protection)
+    }
+
+    /// Installs an explicit (pinned) primary path with protection.
+    ///
+    /// # Errors
+    ///
+    /// See [`Controller::install_explicit`].
+    pub fn install_explicit(
+        &mut self,
+        primary: Vec<NodeId>,
+        protection: &Protection,
+    ) -> Result<EncodedRoute, KarError> {
+        self.controller.install_explicit(self.topo, primary, protection)
+    }
+
+    /// Finalizes into a runnable simulation.
+    pub fn into_sim(self) -> Sim<'t> {
+        Sim::new(
+            self.topo,
+            Box::new(KarForwarder::new(self.technique)),
+            Box::new(self.controller),
+            self.sim_config,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kar_simnet::{FlowId, PacketKind, SimTime};
+    use kar_topology::topo15;
+
+    #[test]
+    fn probe_crosses_topo15_primary_route() {
+        let topo = topo15::build();
+        let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(3);
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        net.install_route(as1, as3, &Protection::None).unwrap();
+        let mut sim = net.into_sim();
+        sim.inject(as1, as3, FlowId(0), 0, PacketKind::Probe, 1000);
+        sim.run_until(SimTime::from_millis(100));
+        assert_eq!(sim.stats().delivered, 1);
+        assert_eq!(sim.stats().max_hops, 4); // SW10, SW7, SW13, SW29
+        assert_eq!(sim.stats().deflections, 0);
+    }
+
+    #[test]
+    fn deflection_rescues_probes_across_failure() {
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let failed = topo.expect_link("SW7", "SW13");
+
+        // Without deflection: all probes die at SW7.
+        let mut net = KarNetwork::new(&topo, DeflectionTechnique::None).with_seed(3);
+        net.install_route(as1, as3, &Protection::AutoFull).unwrap();
+        let mut sim = net.into_sim();
+        sim.schedule_link_down(SimTime::ZERO, failed);
+        for i in 0..50 {
+            sim.inject(as1, as3, FlowId(0), i, PacketKind::Probe, 1000);
+        }
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().delivered, 0);
+
+        // With NIP + full protection: every probe survives.
+        let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(3);
+        net.install_route(as1, as3, &Protection::AutoFull).unwrap();
+        let mut sim = net.into_sim();
+        sim.schedule_link_down(SimTime::ZERO, failed);
+        for i in 0..50 {
+            sim.inject(as1, as3, FlowId(0), i, PacketKind::Probe, 1000);
+        }
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().delivered, 50, "{:?}", sim.stats());
+        assert!(sim.stats().deflections >= 50);
+    }
+
+    #[test]
+    fn hitless_property_no_packet_loss_with_protection() {
+        // The paper's liveness claim: with driven deflections, in-flight
+        // packets reach the destination despite the failure — no loss.
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        for (a, b) in topo15::FAILURE_LOCATIONS {
+            let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(11);
+            net.install_route(as1, as3, &Protection::AutoFull).unwrap();
+            let mut sim = net.into_sim();
+            sim.schedule_link_down(SimTime::ZERO, topo.expect_link(a, b));
+            for i in 0..100 {
+                sim.inject(as1, as3, FlowId(0), i, PacketKind::Probe, 500);
+            }
+            sim.run_to_quiescence();
+            assert_eq!(
+                sim.stats().delivered,
+                100,
+                "failure {a}-{b}: {:?}",
+                sim.stats()
+            );
+        }
+    }
+
+    #[test]
+    fn unprotected_nip_still_delivers_by_wandering() {
+        // Without protection, NIP random walks; packets may surface at
+        // AS2 (wrong edge) and get re-encoded by the controller. With a
+        // generous TTL everything eventually arrives.
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
+            .with_seed(5)
+            .with_ttl(255);
+        net.install_route(as1, as3, &Protection::None).unwrap();
+        let mut sim = net.into_sim();
+        sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW7", "SW13"));
+        for i in 0..50 {
+            sim.inject(as1, as3, FlowId(0), i, PacketKind::Probe, 500);
+        }
+        sim.run_to_quiescence();
+        let s = sim.stats();
+        assert!(
+            s.delivered >= 45,
+            "most random-walking probes should arrive: {s:?}"
+        );
+        assert!(s.mean_hops() > 4.0, "wandering costs hops: {}", s.mean_hops());
+    }
+
+    #[test]
+    fn builder_knobs() {
+        let topo = topo15::build();
+        let net = KarNetwork::new(&topo, DeflectionTechnique::Avp)
+            .with_seed(9)
+            .with_ttl(32)
+            .with_reroute(ReroutePolicy::Drop);
+        assert_eq!(net.topology().node_count(), 15);
+        let sim = net.into_sim();
+        assert_eq!(sim.forwarder().name(), "AVP");
+    }
+}

@@ -1,0 +1,470 @@
+//! Chinese-Remainder encoding of forwarding paths (paper §2.2).
+//!
+//! A route is the pair `(S, P)` of switch IDs and output ports. The route
+//! ID is the unique `R ∈ [0, M)`, `M = Π sᵢ`, with `R mod sᵢ = pᵢ` for
+//! every `i` (Eqs. 1–4). Because the CRT reconstruction is a commutative
+//! sum, switches disjoint from the primary path can be folded in at any
+//! time — the basis of *driven deflection forwarding paths*.
+
+use crate::biguint::BigUint;
+use crate::coprime::{first_common_factor, pairwise_coprime};
+use crate::gcd::mod_inverse;
+use std::fmt;
+
+/// A validated pairwise-coprime modulo set (the switch IDs of one route).
+///
+/// # Examples
+///
+/// ```
+/// use kar_rns::RnsBasis;
+///
+/// let basis = RnsBasis::new(vec![4, 7, 11])?;
+/// assert_eq!(basis.product().to_string(), "308");
+/// # Ok::<(), kar_rns::RnsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RnsBasis {
+    moduli: Vec<u64>,
+}
+
+impl RnsBasis {
+    /// Validates and wraps a modulo set.
+    ///
+    /// # Errors
+    ///
+    /// [`RnsError::NotCoprime`] if any pair shares a factor,
+    /// [`RnsError::ModulusTooSmall`] if any modulus is below 2, or
+    /// [`RnsError::Empty`] for an empty set.
+    pub fn new(moduli: Vec<u64>) -> Result<Self, RnsError> {
+        if moduli.is_empty() {
+            return Err(RnsError::Empty);
+        }
+        if let Some(&m) = moduli.iter().find(|&&m| m < 2) {
+            return Err(RnsError::ModulusTooSmall { modulus: m });
+        }
+        if !pairwise_coprime(&moduli) {
+            let (i, j, g) =
+                first_common_factor(&moduli).expect("checked not pairwise coprime");
+            return Err(RnsError::NotCoprime {
+                a: moduli[i],
+                b: moduli[j],
+                factor: g,
+            });
+        }
+        Ok(RnsBasis { moduli })
+    }
+
+    /// The moduli (switch IDs), in insertion order.
+    pub fn moduli(&self) -> &[u64] {
+        &self.moduli
+    }
+
+    /// Number of moduli.
+    pub fn len(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// Returns `true` if the basis holds no moduli (never constructible —
+    /// kept for API completeness alongside [`Self::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.moduli.is_empty()
+    }
+
+    /// `M = Π sᵢ` (Eq. 1) — the dynamic range of the route ID.
+    pub fn product(&self) -> BigUint {
+        self.moduli.iter().map(|&m| BigUint::from(m)).product()
+    }
+
+    /// Bit length a packet-header field must have to carry any route ID of
+    /// this basis: `⌈log₂(M − 1)⌉` (Eq. 9).
+    pub fn bit_length(&self) -> u32 {
+        route_id_bit_length(&self.moduli)
+    }
+
+    /// Extends the basis with an extra modulus, revalidating coprimality.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RnsBasis::new`] applied to the extended set.
+    pub fn extended(&self, extra: u64) -> Result<RnsBasis, RnsError> {
+        let mut moduli = self.moduli.clone();
+        moduli.push(extra);
+        RnsBasis::new(moduli)
+    }
+}
+
+impl fmt::Display for RnsBasis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, m) in self.moduli.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Bit length required by a route ID over `moduli` (Eq. 9):
+/// `⌈log₂(M − 1)⌉`, and 0 for an empty set.
+///
+/// # Examples
+///
+/// ```
+/// // Table 1 of the paper (15-node network):
+/// assert_eq!(kar_rns::route_id_bit_length(&[10, 7, 13, 29]), 15);
+/// assert_eq!(kar_rns::route_id_bit_length(&[10, 7, 13, 29, 11, 19, 31]), 28);
+/// assert_eq!(
+///     kar_rns::route_id_bit_length(&[10, 7, 13, 29, 11, 19, 31, 17, 37, 41]),
+///     43,
+/// );
+/// ```
+pub fn route_id_bit_length(moduli: &[u64]) -> u32 {
+    if moduli.is_empty() {
+        return 0;
+    }
+    let m: BigUint = moduli.iter().map(|&m| BigUint::from(m)).product();
+    if m.is_one() {
+        return 0;
+    }
+    m.sub_big(&BigUint::one()).bits()
+}
+
+/// Encodes residues `P` over `basis` into the route ID `R` (Eq. 4):
+/// `R = ⟨Σ pᵢ·Mᵢ·Lᵢ⟩_M`.
+///
+/// # Errors
+///
+/// [`RnsError::LengthMismatch`] when `residues.len() != basis.len()`, or
+/// [`RnsError::ResidueOutOfRange`] when some `pᵢ ≥ sᵢ` (a port index must
+/// be representable as a residue of its switch ID).
+///
+/// # Examples
+///
+/// ```
+/// use kar_rns::{crt_encode, RnsBasis};
+///
+/// // The paper's §2.2 example: switches {4, 7, 11}, ports {0, 2, 0} → R = 44.
+/// let basis = RnsBasis::new(vec![4, 7, 11])?;
+/// let r = crt_encode(&basis, &[0, 2, 0])?;
+/// assert_eq!(r.to_u64(), Some(44));
+/// # Ok::<(), kar_rns::RnsError>(())
+/// ```
+pub fn crt_encode(basis: &RnsBasis, residues: &[u64]) -> Result<BigUint, RnsError> {
+    if residues.len() != basis.len() {
+        return Err(RnsError::LengthMismatch {
+            moduli: basis.len(),
+            residues: residues.len(),
+        });
+    }
+    let m = basis.product();
+    let mut sum = BigUint::zero();
+    for (&s_i, &p_i) in basis.moduli().iter().zip(residues) {
+        if p_i >= s_i {
+            return Err(RnsError::ResidueOutOfRange {
+                residue: p_i,
+                modulus: s_i,
+            });
+        }
+        if p_i == 0 {
+            continue; // zero addend (the paper's example drops these too)
+        }
+        let m_i = m.divmod_u64(s_i).0; // Mᵢ = M / sᵢ (Eq. 6)
+        let m_i_mod = m_i.rem_u64(s_i);
+        let l_i = mod_inverse(m_i_mod, s_i)
+            .expect("Mᵢ is coprime to sᵢ because the basis is pairwise coprime");
+        // pᵢ·Lᵢ < sᵢ² fits u128 comfortably for u64 moduli; reduce mod sᵢ
+        // first to keep the addend at `M` scale.
+        let coeff = ((p_i as u128 * l_i as u128) % s_i as u128) as u64;
+        sum += &m_i.mul_u64(coeff);
+    }
+    Ok(sum.rem_big(&m))
+}
+
+/// Decodes the residue (output port) of `route_id` at one switch (Eq. 3):
+/// `pᵢ = R mod sᵢ`. This is the entire per-packet dataplane operation.
+///
+/// # Panics
+///
+/// Panics if `switch_id == 0`.
+pub fn residue(route_id: &BigUint, switch_id: u64) -> u64 {
+    route_id.rem_u64(switch_id)
+}
+
+/// Decodes all residues of `route_id` over `basis` (the RNS representation,
+/// Eq. 2).
+pub fn crt_decode(route_id: &BigUint, basis: &RnsBasis) -> Vec<u64> {
+    basis.moduli().iter().map(|&s| route_id.rem_u64(s)).collect()
+}
+
+/// Extends an already-encoded route ID with one more `(switch, port)` pair
+/// without re-encoding the existing residues.
+///
+/// Returns the unique `R' ∈ [0, M·s)` with `R' ≡ R (mod M)` and
+/// `R' ≡ port (mod switch)`. This realizes the paper's observation that
+/// protection segments can be folded into an existing route ID because the
+/// CRT sum is commutative.
+///
+/// # Errors
+///
+/// [`RnsError::NotCoprime`] if `switch` shares a factor with the current
+/// basis, [`RnsError::ResidueOutOfRange`] if `port ≥ switch`, or
+/// [`RnsError::ModulusTooSmall`] if `switch < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use kar_rns::{crt_encode, crt_extend, RnsBasis};
+///
+/// // Extend the paper's R = 44 over {4,7,11} with (5, 0) → R = 660.
+/// let basis = RnsBasis::new(vec![4, 7, 11])?;
+/// let r = crt_encode(&basis, &[0, 2, 0])?;
+/// let (r2, basis2) = crt_extend(&r, &basis, 5, 0)?;
+/// assert_eq!(r2.to_u64(), Some(660));
+/// assert_eq!(basis2.moduli(), &[4, 7, 11, 5]);
+/// # Ok::<(), kar_rns::RnsError>(())
+/// ```
+pub fn crt_extend(
+    route_id: &BigUint,
+    basis: &RnsBasis,
+    switch: u64,
+    port: u64,
+) -> Result<(BigUint, RnsBasis), RnsError> {
+    if switch < 2 {
+        return Err(RnsError::ModulusTooSmall { modulus: switch });
+    }
+    if port >= switch {
+        return Err(RnsError::ResidueOutOfRange {
+            residue: port,
+            modulus: switch,
+        });
+    }
+    let extended = basis.extended(switch)?;
+    let m = basis.product();
+    let m_mod_s = m.rem_u64(switch);
+    let inv = mod_inverse(m_mod_s, switch).expect("extended basis is pairwise coprime");
+    let r_mod_s = route_id.rem_u64(switch);
+    // delta = (port - R) * M^{-1} mod s, in the least non-negative residue.
+    let diff = (port as i128 - r_mod_s as i128).rem_euclid(switch as i128) as u64;
+    let delta = ((diff as u128 * inv as u128) % switch as u128) as u64;
+    let r2 = route_id.add_big(&m.mul_u64(delta));
+    debug_assert_eq!(r2.rem_u64(switch), port);
+    Ok((r2, extended))
+}
+
+/// Errors of the RNS encode/decode layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RnsError {
+    /// The modulo set was empty.
+    Empty,
+    /// A modulus below 2 cannot carry a residue.
+    ModulusTooSmall {
+        /// The offending modulus.
+        modulus: u64,
+    },
+    /// Two moduli share a common factor.
+    NotCoprime {
+        /// First offending modulus.
+        a: u64,
+        /// Second offending modulus.
+        b: u64,
+        /// Their shared factor.
+        factor: u64,
+    },
+    /// `residues.len()` disagreed with the basis length.
+    LengthMismatch {
+        /// Number of moduli in the basis.
+        moduli: usize,
+        /// Number of residues supplied.
+        residues: usize,
+    },
+    /// A residue (output port) was not below its modulus (switch ID).
+    ResidueOutOfRange {
+        /// The offending residue.
+        residue: u64,
+        /// Its modulus.
+        modulus: u64,
+    },
+}
+
+impl fmt::Display for RnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RnsError::Empty => write!(f, "empty modulo set"),
+            RnsError::ModulusTooSmall { modulus } => {
+                write!(f, "modulus {modulus} is below 2")
+            }
+            RnsError::NotCoprime { a, b, factor } => {
+                write!(f, "moduli {a} and {b} share factor {factor}")
+            }
+            RnsError::LengthMismatch { moduli, residues } => {
+                write!(f, "{residues} residues supplied for {moduli} moduli")
+            }
+            RnsError::ResidueOutOfRange { residue, modulus } => {
+                write!(f, "residue {residue} not below modulus {modulus}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RnsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode(moduli: &[u64], residues: &[u64]) -> BigUint {
+        crt_encode(&RnsBasis::new(moduli.to_vec()).unwrap(), residues).unwrap()
+    }
+
+    #[test]
+    fn paper_primary_route_example() {
+        // §2.2: switches {4,7,11}, ports {0,2,0} → R = 44.
+        let r = encode(&[4, 7, 11], &[0, 2, 0]);
+        assert_eq!(r.to_u64(), Some(44));
+        assert_eq!(residue(&r, 4), 0);
+        assert_eq!(residue(&r, 7), 2);
+        assert_eq!(residue(&r, 11), 0);
+    }
+
+    #[test]
+    fn paper_protected_route_example() {
+        // §2.2: switches {4,7,11,5}, ports {0,2,0,0} → R = 660.
+        let r = encode(&[4, 7, 11, 5], &[0, 2, 0, 0]);
+        assert_eq!(r.to_u64(), Some(660));
+        assert_eq!(residue(&r, 5), 0);
+    }
+
+    #[test]
+    fn decode_recovers_all_residues() {
+        let basis = RnsBasis::new(vec![4, 7, 11, 5]).unwrap();
+        let r = crt_encode(&basis, &[3, 2, 10, 4]).unwrap();
+        assert_eq!(crt_decode(&r, &basis), vec![3, 2, 10, 4]);
+    }
+
+    #[test]
+    fn encode_is_order_independent() {
+        // §2.2: "the switch order is irrelevant to derive the route ID".
+        let a = encode(&[4, 7, 11, 5], &[0, 2, 0, 0]);
+        let b = encode(&[5, 11, 7, 4], &[0, 0, 2, 0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn route_id_below_product() {
+        let basis = RnsBasis::new(vec![10, 7, 13, 29]).unwrap();
+        let m = basis.product();
+        for ports in [[0u64, 0, 0, 0], [9, 6, 12, 28], [1, 2, 3, 4]] {
+            let r = crt_encode(&basis, &ports).unwrap();
+            assert!(r < m);
+        }
+    }
+
+    #[test]
+    fn extend_matches_full_reencode() {
+        let basis = RnsBasis::new(vec![4, 7, 11]).unwrap();
+        let r = crt_encode(&basis, &[0, 2, 0]).unwrap();
+        let (r2, b2) = crt_extend(&r, &basis, 5, 0).unwrap();
+        assert_eq!(r2, encode(&[4, 7, 11, 5], &[0, 2, 0, 0]));
+        assert_eq!(b2.len(), 4);
+        // Extending never changes existing residues (disjoint-extension).
+        assert_eq!(crt_decode(&r2, &basis), vec![0, 2, 0]);
+    }
+
+    #[test]
+    fn extend_chain_builds_full_protection() {
+        // Fold three protection switches one at a time.
+        let basis = RnsBasis::new(vec![10, 7, 13, 29]).unwrap();
+        let r = crt_encode(&basis, &[1, 2, 0, 3]).unwrap();
+        let mut cur = (r, basis);
+        for (s, p) in [(11u64, 1u64), (19, 0), (31, 2)] {
+            cur = crt_extend(&cur.0, &cur.1, s, p).unwrap();
+        }
+        assert_eq!(
+            cur.0,
+            encode(&[10, 7, 13, 29, 11, 19, 31], &[1, 2, 0, 3, 1, 0, 2])
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_port() {
+        let basis = RnsBasis::new(vec![4, 7]).unwrap();
+        let err = crt_encode(&basis, &[4, 0]).unwrap_err();
+        assert_eq!(
+            err,
+            RnsError::ResidueOutOfRange { residue: 4, modulus: 4 }
+        );
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let basis = RnsBasis::new(vec![4, 7]).unwrap();
+        let err = crt_encode(&basis, &[1]).unwrap_err();
+        assert_eq!(err, RnsError::LengthMismatch { moduli: 2, residues: 1 });
+    }
+
+    #[test]
+    fn rejects_non_coprime_basis() {
+        let err = RnsBasis::new(vec![4, 10]).unwrap_err();
+        assert_eq!(err, RnsError::NotCoprime { a: 4, b: 10, factor: 2 });
+    }
+
+    #[test]
+    fn rejects_tiny_or_empty_basis() {
+        assert_eq!(RnsBasis::new(vec![]).unwrap_err(), RnsError::Empty);
+        assert_eq!(
+            RnsBasis::new(vec![7, 1]).unwrap_err(),
+            RnsError::ModulusTooSmall { modulus: 1 }
+        );
+    }
+
+    #[test]
+    fn extend_rejects_conflicting_switch() {
+        let basis = RnsBasis::new(vec![4, 7, 11]).unwrap();
+        let r = crt_encode(&basis, &[0, 2, 0]).unwrap();
+        assert!(matches!(
+            crt_extend(&r, &basis, 14, 0),
+            Err(RnsError::NotCoprime { .. })
+        ));
+        assert!(matches!(
+            crt_extend(&r, &basis, 5, 5),
+            Err(RnsError::ResidueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn table1_bit_lengths() {
+        // Exactly the paper's Table 1 for our reconstructed topo15 IDs.
+        assert_eq!(route_id_bit_length(&[10, 7, 13, 29]), 15);
+        assert_eq!(route_id_bit_length(&[10, 7, 13, 29, 11, 19, 31]), 28);
+        assert_eq!(
+            route_id_bit_length(&[10, 7, 13, 29, 11, 19, 31, 17, 37, 41]),
+            43
+        );
+    }
+
+    #[test]
+    fn bit_length_edge_cases() {
+        assert_eq!(route_id_bit_length(&[]), 0);
+        assert_eq!(route_id_bit_length(&[2]), 1); // M-1 = 1
+        assert_eq!(route_id_bit_length(&[2, 3]), 3); // M-1 = 5 → 3 bits
+    }
+
+    #[test]
+    fn large_basis_exceeds_128_bits() {
+        // 40 distinct primes → M far beyond u128; encode/decode must hold.
+        let primes: Vec<u64> = (2..400u64).filter(|&n| crate::is_prime(n)).take(40).collect();
+        let basis = RnsBasis::new(primes.clone()).unwrap();
+        assert!(basis.bit_length() > 128);
+        let ports: Vec<u64> = primes.iter().map(|&p| p - 1).collect();
+        let r = crt_encode(&basis, &ports).unwrap();
+        assert_eq!(crt_decode(&r, &basis), ports);
+    }
+
+    #[test]
+    fn basis_display() {
+        let basis = RnsBasis::new(vec![4, 7, 11]).unwrap();
+        assert_eq!(basis.to_string(), "{4, 7, 11}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Greatest common divisor, extended Euclid, and modular inverses.
+//!
+//! KAR's encoder needs `Lᵢ = Mᵢ⁻¹ mod sᵢ` (Eq. 7 of the paper). The switch
+//! IDs `sᵢ` are small (they fit `u64`), so the inverse is computed in
+//! native arithmetic after reducing the (large) `Mᵢ` modulo `sᵢ`.
+
+/// Greatest common divisor by the binary (Stein) algorithm.
+///
+/// `gcd(0, 0) == 0` by convention.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(kar_rns::gcd(44, 308), 44);
+/// assert_eq!(kar_rns::gcd(4, 7), 1);
+/// ```
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a·x + b·y = g = gcd(a, b)`.
+///
+/// Coefficients are returned as `i128` so that callers with `u64` inputs
+/// never overflow.
+///
+/// # Examples
+///
+/// ```
+/// let (g, x, y) = kar_rns::extended_gcd(240, 46);
+/// assert_eq!(g, 2);
+/// assert_eq!(240 * x + 46 * y, 2);
+/// ```
+pub fn extended_gcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        return (a, 1, 0);
+    }
+    let (g, x1, y1) = extended_gcd(b, a % b);
+    (g, y1, x1 - (a / b) * y1)
+}
+
+/// Modular multiplicative inverse: the `x` with `a·x ≡ 1 (mod m)`.
+///
+/// Returns `None` when `gcd(a, m) != 1` (no inverse exists) or when
+/// `m < 2`.
+///
+/// This is Eq. (8) of the paper: `⟨Lᵢ·Mᵢ⟩_{sᵢ} = 1`.
+///
+/// # Examples
+///
+/// ```
+/// // The paper's worked example: L₂ = ⟨44⁻¹⟩₇ = 4.
+/// assert_eq!(kar_rns::mod_inverse(44, 7), Some(4));
+/// // and L₁ = ⟨77⁻¹⟩₄ = 1:
+/// assert_eq!(kar_rns::mod_inverse(77, 4), Some(1));
+/// // No inverse when not coprime:
+/// assert_eq!(kar_rns::mod_inverse(6, 4), None);
+/// ```
+pub fn mod_inverse(a: u64, m: u64) -> Option<u64> {
+    if m < 2 {
+        return None;
+    }
+    let a = (a % m) as i128;
+    let m = m as i128;
+    let (g, x, _) = extended_gcd(a, m);
+    if g != 1 {
+        return None;
+    }
+    Some((x.rem_euclid(m)) as u64)
+}
+
+/// Least common multiple; saturates at `u64::MAX` on overflow.
+pub fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).saturating_mul(b)
+}
+
+/// Returns `true` when `a` and `b` share no common factor (`gcd == 1`).
+pub fn coprime(a: u64, b: u64) -> bool {
+    gcd(a, b) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 9), 9);
+        assert_eq!(gcd(9, 0), 9);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 31), 1);
+        assert_eq!(gcd(1 << 40, 1 << 20), 1 << 20);
+    }
+
+    #[test]
+    fn gcd_is_commutative() {
+        for a in [2u64, 15, 28, 1024, 99991] {
+            for b in [3u64, 14, 27, 4096, 65537] {
+                assert_eq!(gcd(a, b), gcd(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity() {
+        for (a, b) in [(240i128, 46), (7, 4), (11, 5), (1, 1), (100, 0)] {
+            let (g, x, y) = extended_gcd(a, b);
+            assert_eq!(a * x + b * y, g, "bezout for ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn paper_worked_example_inverses() {
+        // Section 2.2 primary route {4, 7, 11}:
+        assert_eq!(mod_inverse(77, 4), Some(1));
+        assert_eq!(mod_inverse(44, 7), Some(4));
+        assert_eq!(mod_inverse(28, 11), Some(2));
+        // Driven-deflection example {4, 7, 11, 5}:
+        assert_eq!(mod_inverse(385, 4), Some(1));
+        assert_eq!(mod_inverse(220, 7), Some(5));
+        assert_eq!(mod_inverse(140, 11), Some(7));
+        assert_eq!(mod_inverse(308, 5), Some(2));
+    }
+
+    #[test]
+    fn inverse_verifies() {
+        for m in [3u64, 4, 5, 7, 11, 13, 101, 997] {
+            for a in 1..m {
+                if gcd(a, m) == 1 {
+                    let inv = mod_inverse(a, m).unwrap();
+                    assert_eq!((a as u128 * inv as u128) % m as u128, 1);
+                    assert!(inv < m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_of_non_coprime_is_none() {
+        assert_eq!(mod_inverse(4, 8), None);
+        assert_eq!(mod_inverse(10, 15), None);
+        assert_eq!(mod_inverse(0, 7), None);
+    }
+
+    #[test]
+    fn inverse_degenerate_moduli() {
+        assert_eq!(mod_inverse(3, 0), None);
+        assert_eq!(mod_inverse(3, 1), None);
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 6), 0);
+        assert_eq!(lcm(7, 11), 77);
+        assert_eq!(lcm(u64::MAX, 2), u64::MAX); // saturates
+    }
+
+    #[test]
+    fn coprime_predicate() {
+        assert!(coprime(4, 7));
+        assert!(!coprime(4, 10));
+        assert!(coprime(1, 1));
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests of the RNS substrate (DESIGN.md invariants 1, 2, 3, 7).
+
+use kar_rns::{
+    crt_decode, crt_encode, crt_extend, gcd, is_prime, mod_inverse, pairwise_coprime,
+    route_id_bit_length, BigUint, IdAllocator, IdStrategy, RnsBasis,
+};
+use proptest::prelude::*;
+
+/// Strategy: a pairwise-coprime modulo set built from distinct primes and a
+/// possible power of two (like the paper's switch ID 4 or 10-style even ID).
+fn coprime_set() -> impl Strategy<Value = Vec<u64>> {
+    let primes: Vec<u64> = (3..2000u64).filter(|&n| is_prime(n)).collect();
+    (proptest::sample::subsequence(primes, 1..12), 1u32..4, any::<bool>()).prop_map(
+        |(mut set, pow2, include_even)| {
+            if include_even {
+                set.push(1 << pow2);
+            }
+            set
+        },
+    )
+}
+
+/// Strategy: a coprime set plus in-range residues for each modulus.
+fn basis_with_residues() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    coprime_set().prop_flat_map(|set| {
+        let residues: Vec<BoxedStrategy<u64>> =
+            set.iter().map(|&m| (0..m).boxed()).collect();
+        (Just(set), residues)
+    })
+}
+
+proptest! {
+    /// Invariant 1: decode(encode(S, P)) == P and 0 <= R < M.
+    #[test]
+    fn crt_round_trip((moduli, residues) in basis_with_residues()) {
+        let basis = RnsBasis::new(moduli).unwrap();
+        let r = crt_encode(&basis, &residues).unwrap();
+        prop_assert!(r < basis.product());
+        prop_assert_eq!(crt_decode(&r, &basis), residues);
+    }
+
+    /// Invariant 1 (uniqueness): two distinct residue vectors encode to
+    /// distinct route IDs.
+    #[test]
+    fn crt_injective((moduli, residues) in basis_with_residues(), flip_idx in any::<proptest::sample::Index>()) {
+        let basis = RnsBasis::new(moduli.clone()).unwrap();
+        let i = flip_idx.index(moduli.len());
+        let mut other = residues.clone();
+        other[i] = (other[i] + 1) % moduli[i];
+        prop_assume!(other != residues); // modulus 1 impossible, but be safe
+        let r1 = crt_encode(&basis, &residues).unwrap();
+        let r2 = crt_encode(&basis, &other).unwrap();
+        prop_assert_ne!(r1, r2);
+    }
+
+    /// Invariant 2: extending a route ID with a disjoint switch never
+    /// changes the residues of the original basis.
+    #[test]
+    fn extension_preserves_primary_residues(
+        (moduli, residues) in basis_with_residues(),
+        extra_port_seed in any::<u64>(),
+    ) {
+        let basis = RnsBasis::new(moduli.clone()).unwrap();
+        let r = crt_encode(&basis, &residues).unwrap();
+        // Find a prime coprime with everything in the basis.
+        let extra = (2001..4000u64)
+            .find(|&n| is_prime(n) && moduli.iter().all(|&m| gcd(m, n) == 1))
+            .unwrap();
+        let port = extra_port_seed % extra;
+        let (r2, b2) = crt_extend(&r, &basis, extra, port).unwrap();
+        prop_assert_eq!(crt_decode(&r2, &basis), residues);
+        prop_assert_eq!(r2.rem_u64(extra), port);
+        prop_assert!(r2 < b2.product());
+    }
+
+    /// Order independence of encoding (paper §2.2: the CRT sum is
+    /// commutative, so the switch sequence is irrelevant).
+    #[test]
+    fn encode_order_independent((moduli, residues) in basis_with_residues(), seed in any::<u64>()) {
+        let basis = RnsBasis::new(moduli.clone()).unwrap();
+        let r1 = crt_encode(&basis, &residues).unwrap();
+        // Deterministic permutation from the seed.
+        let mut perm: Vec<usize> = (0..moduli.len()).collect();
+        let mut s = seed;
+        for i in (1..perm.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            perm.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let moduli2: Vec<u64> = perm.iter().map(|&i| moduli[i]).collect();
+        let residues2: Vec<u64> = perm.iter().map(|&i| residues[i]).collect();
+        let r2 = crt_encode(&RnsBasis::new(moduli2).unwrap(), &residues2).unwrap();
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// Invariant 3: the allocator only produces pairwise-coprime sets with
+    /// IDs above the port count.
+    #[test]
+    fn allocator_invariants(port_counts in proptest::collection::vec(1usize..12, 1..20)) {
+        let mut alloc = IdAllocator::new(IdStrategy::SmallestPrimes);
+        let mut ids = Vec::new();
+        for &ports in &port_counts {
+            let id = alloc.allocate(ports).unwrap();
+            prop_assert!(id > ports as u64);
+            ids.push(id);
+        }
+        prop_assert!(pairwise_coprime(&ids));
+    }
+
+    /// Invariant 3 for the prime-power strategy as well.
+    #[test]
+    fn allocator_coprime_strategy(port_counts in proptest::collection::vec(1usize..12, 1..20)) {
+        let mut alloc = IdAllocator::new(IdStrategy::SmallestCoprime);
+        for &ports in &port_counts {
+            let id = alloc.allocate(ports).unwrap();
+            prop_assert!(id > ports as u64);
+        }
+        prop_assert!(pairwise_coprime(alloc.allocated()));
+    }
+
+    /// Invariant 7: Eq. 9 bit length agrees with the BigUint bit count of
+    /// M - 1.
+    #[test]
+    fn bit_length_matches_biguint(moduli in coprime_set()) {
+        let m: BigUint = moduli.iter().map(|&x| BigUint::from(x)).product();
+        let expect = m.sub_big(&BigUint::one()).bits();
+        prop_assert_eq!(route_id_bit_length(&moduli), expect);
+    }
+
+    /// BigUint divmod is Euclidean: a = q*b + r with r < b.
+    #[test]
+    fn biguint_divmod_euclidean(a_limbs in proptest::collection::vec(any::<u64>(), 0..5),
+                                b_limbs in proptest::collection::vec(any::<u64>(), 1..4)) {
+        let a = BigUint::from_limbs(a_limbs);
+        let b = BigUint::from_limbs(b_limbs);
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divmod_big(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul_big(&b).add_big(&r), a);
+    }
+
+    /// BigUint decimal formatting round-trips through parsing.
+    #[test]
+    fn biguint_display_parse_round_trip(limbs in proptest::collection::vec(any::<u64>(), 0..5)) {
+        let a = BigUint::from_limbs(limbs);
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<BigUint>().unwrap(), a);
+    }
+
+    /// BigUint big-endian bytes round-trip.
+    #[test]
+    fn biguint_bytes_round_trip(limbs in proptest::collection::vec(any::<u64>(), 0..6)) {
+        let a = BigUint::from_limbs(limbs);
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    /// Modular inverse verifies against its definition whenever it exists.
+    #[test]
+    fn mod_inverse_verifies(a in 1u64..100_000, m in 2u64..100_000) {
+        match mod_inverse(a, m) {
+            Some(inv) => {
+                prop_assert_eq!((a as u128 * inv as u128) % m as u128, 1);
+                prop_assert!(inv < m);
+            }
+            None => prop_assert_ne!(gcd(a, m), 1),
+        }
+    }
+
+    /// gcd is commutative, associative with itself, and divides both args.
+    #[test]
+    fn gcd_laws(a in any::<u64>(), b in any::<u64>()) {
+        let g = gcd(a, b);
+        prop_assert_eq!(g, gcd(b, a));
+        if g != 0 {
+            prop_assert_eq!(a % g, 0);
+            prop_assert_eq!(b % g, 0);
+        } else {
+            prop_assert_eq!(a, 0);
+            prop_assert_eq!(b, 0);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The pluggable core-switch forwarding interface.
+//!
+//! The paper modified an OpenFlow software switch so that the output port
+//! is computed from the packet's route ID instead of looked up in a flow
+//! table. [`Forwarder`] is that extension point: the engine calls it for
+//! every packet arriving at a core switch, handing it the local view a
+//! real switch would have — its own switch ID, the input port, and the
+//! liveness of each port. Implementations live in the `kar` crate
+//! (modulo forwarding with HP/AVP/NIP deflection) and in `kar-baselines`
+//! (drop-on-failure, table-based fast failover, …).
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+use kar_topology::{NodeId, PortIx, Topology};
+use rand::rngs::StdRng;
+
+/// Everything a core switch can see when making a forwarding decision.
+pub struct SwitchCtx<'a> {
+    /// The network graph (immutable wiring; used for port lookups, not
+    /// for global routing state — KAR cores are stateless).
+    pub topo: &'a Topology,
+    /// The switch making the decision.
+    pub node: NodeId,
+    /// This switch's ID (`None` never happens for core switches).
+    pub switch_id: u64,
+    /// Port the packet came in on (`None` for locally injected packets).
+    pub in_port: Option<PortIx>,
+    /// `ports[p]` is `true` iff the link behind port `p` is up.
+    pub ports: &'a [bool],
+    /// Current simulation time.
+    pub now: SimTime,
+}
+
+impl SwitchCtx<'_> {
+    /// Returns `true` if `port` exists and its link is currently up.
+    pub fn port_available(&self, port: PortIx) -> bool {
+        self.ports.get(port as usize).copied().unwrap_or(false)
+    }
+
+    /// Iterator over the indexes of all healthy ports.
+    pub fn healthy_ports(&self) -> impl Iterator<Item = PortIx> + '_ {
+        self.ports
+            .iter()
+            .enumerate()
+            .filter(|&(_, &up)| up)
+            .map(|(p, _)| p as PortIx)
+    }
+}
+
+/// Why a packet was discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DropReason {
+    /// The forwarder chose to drop (e.g. no-deflection baseline hitting a
+    /// failed primary port).
+    NoRoute,
+    /// The hop budget ran out (possible with random deflection loops).
+    TtlExpired,
+    /// A drop-tail queue was full.
+    QueueOverflow,
+    /// The packet was queued or in flight on a link that failed.
+    LinkFailure,
+    /// The forwarder returned a port whose link is down or absent.
+    BadPort,
+    /// An edge declined to reroute a misdelivered packet.
+    Misdelivery,
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DropReason::NoRoute => "no-route",
+            DropReason::TtlExpired => "ttl-expired",
+            DropReason::QueueOverflow => "queue-overflow",
+            DropReason::LinkFailure => "link-failure",
+            DropReason::BadPort => "bad-port",
+            DropReason::Misdelivery => "misdelivery",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Outcome of a forwarding decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardDecision {
+    /// Transmit out of this port.
+    Output(PortIx),
+    /// Discard the packet.
+    Drop(DropReason),
+}
+
+/// A core-switch forwarding engine.
+///
+/// One instance serves the whole network (the engine passes the per-switch
+/// context on every call); stateful baselines key internal tables by
+/// [`SwitchCtx::node`]. KAR itself needs no such state — that is the
+/// paper's "stateless core" property, checked in `kar-baselines`'s
+/// feature-matrix tests.
+pub trait Forwarder {
+    /// Decides where `pkt`, arriving at the switch described by `ctx`,
+    /// goes next. May mutate the packet (e.g. mark it deflected).
+    ///
+    /// `rng` is the engine's seeded RNG — using it (rather than an
+    /// internal one) keeps whole-simulation runs reproducible.
+    fn forward(&mut self, ctx: &SwitchCtx<'_>, pkt: &mut Packet, rng: &mut StdRng)
+        -> ForwardDecision;
+
+    /// Human-readable name used in experiment output ("NIP", "HP", …).
+    fn name(&self) -> &str;
+
+    /// Number of forwarding-table entries this scheme stores at `node`
+    /// (0 for stateless schemes — the Table 2 "state in core" metric).
+    fn state_entries(&self, node: NodeId) -> usize {
+        let _ = node;
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kar_topology::{LinkParams, TopologyBuilder};
+
+    #[test]
+    fn ctx_port_queries() {
+        let mut b = TopologyBuilder::new();
+        let a = b.core("A", 7);
+        let x = b.core("X", 11);
+        let y = b.core("Y", 13);
+        b.link(a, x, LinkParams::default());
+        b.link(a, y, LinkParams::default());
+        let topo = b.build().unwrap();
+        let ports = vec![true, false];
+        let ctx = SwitchCtx {
+            topo: &topo,
+            node: a,
+            switch_id: 7,
+            in_port: Some(0),
+            ports: &ports,
+            now: SimTime::ZERO,
+        };
+        assert!(ctx.port_available(0));
+        assert!(!ctx.port_available(1));
+        assert!(!ctx.port_available(9));
+        assert_eq!(ctx.healthy_ports().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn drop_reason_display() {
+        assert_eq!(DropReason::TtlExpired.to_string(), "ttl-expired");
+        assert_eq!(DropReason::QueueOverflow.to_string(), "queue-overflow");
+    }
+}

@@ -1,0 +1,151 @@
+//! Edge-node interfaces: applications and edge (ingress/egress) logic.
+//!
+//! In KAR, edge nodes are the only stateful places: they attach a route ID
+//! when a packet enters the core and strip it on exit (paper §2,
+//! "Step II"/"Step VI"). Transport endpoints (our TCP model, probe
+//! generators) run as [`App`]s on edge nodes.
+
+use crate::packet::{FlowId, Packet, PacketKind};
+use crate::time::SimTime;
+use kar_topology::{NodeId, PortIx, Topology};
+
+/// What an application asks the engine to do, accumulated in [`HostCtx`].
+#[derive(Debug)]
+pub enum AppAction {
+    /// Send a freshly built transport segment toward `dst`.
+    Send {
+        /// Destination edge node.
+        dst: NodeId,
+        /// Flow id.
+        flow: FlowId,
+        /// Transport sequence number.
+        seq: u64,
+        /// Data / ACK / probe.
+        kind: PacketKind,
+        /// On-wire size in bytes.
+        size_bytes: u32,
+    },
+    /// Request a timer callback at `at` with opaque id `id`.
+    Timer {
+        /// Absolute expiry time.
+        at: SimTime,
+        /// Opaque id handed back in [`App::on_timer`].
+        id: u64,
+    },
+}
+
+/// Execution context handed to applications.
+pub struct HostCtx<'a> {
+    /// The node the application runs on.
+    pub node: NodeId,
+    /// Current simulation time.
+    pub now: SimTime,
+    pub(crate) actions: &'a mut Vec<AppAction>,
+}
+
+impl<'a> HostCtx<'a> {
+    /// Builds a context that records actions into `actions` — how the
+    /// engine invokes apps, and how app unit tests drive them directly.
+    pub fn new(node: NodeId, now: SimTime, actions: &'a mut Vec<AppAction>) -> HostCtx<'a> {
+        HostCtx { node, now, actions }
+    }
+
+    /// Emits a transport segment toward `dst`.
+    pub fn send(&mut self, dst: NodeId, flow: FlowId, seq: u64, kind: PacketKind, size_bytes: u32) {
+        self.actions.push(AppAction::Send {
+            dst,
+            flow,
+            seq,
+            kind,
+            size_bytes,
+        });
+    }
+
+    /// Schedules a timer `delay` from now; `id` is returned verbatim in
+    /// [`App::on_timer`]. Timers cannot be cancelled — apps ignore stale
+    /// ids instead (the standard DES idiom).
+    pub fn set_timer(&mut self, delay: SimTime, id: u64) {
+        self.actions.push(AppAction::Timer {
+            at: self.now + delay,
+            id,
+        });
+    }
+}
+
+/// A transport application running on an edge node.
+pub trait App {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>);
+
+    /// Called when a packet destined to this node is delivered (after the
+    /// edge stripped the route tag).
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_>, pkt: &Packet);
+
+    /// Called when a timer set via [`HostCtx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, id: u64);
+}
+
+/// Decision of the edge logic for a packet that surfaced at the wrong
+/// edge (paper §2.1, final remark).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RerouteDecision {
+    /// Re-inject with a rewritten route tag out of `port`, after the
+    /// controller round-trip `delay` (the paper's "second approach").
+    Forward {
+        /// Output port at the edge node.
+        port: PortIx,
+        /// Controller consultation latency before re-injection.
+        delay: SimTime,
+    },
+    /// Give up on the packet (the paper's "first approach" degenerate
+    /// case, or an unreachable destination).
+    Drop,
+}
+
+/// Edge-node ingress/egress logic: attaches, rewrites and strips route
+/// tags. Implemented by the KAR controller/edge pair in the `kar` crate
+/// and by baseline schemes.
+pub trait EdgeLogic {
+    /// Prepares a packet entering the network at `edge`: attach the route
+    /// tag and choose the uplink port. Returning `None` drops the packet
+    /// (no route known).
+    fn ingress(&mut self, topo: &Topology, edge: NodeId, pkt: &mut Packet) -> Option<PortIx>;
+
+    /// Handles a packet that arrived at an edge that is *not* its
+    /// destination. The default consults nobody and drops.
+    fn reroute(&mut self, topo: &Topology, edge: NodeId, pkt: &mut Packet) -> RerouteDecision {
+        let _ = (topo, edge, pkt);
+        RerouteDecision::Drop
+    }
+
+    /// Strips the route tag on delivery. The default clears it.
+    fn egress(&mut self, topo: &Topology, edge: NodeId, pkt: &mut Packet) {
+        let _ = (topo, edge);
+        pkt.route = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_ctx_accumulates_actions() {
+        let mut actions = Vec::new();
+        let mut ctx = HostCtx {
+            node: NodeId(0),
+            now: SimTime::from_millis(5),
+            actions: &mut actions,
+        };
+        ctx.send(NodeId(1), FlowId(2), 100, PacketKind::Data, 1500);
+        ctx.set_timer(SimTime::from_millis(10), 7);
+        assert_eq!(actions.len(), 2);
+        match &actions[1] {
+            AppAction::Timer { at, id } => {
+                assert_eq!(*at, SimTime::from_millis(15));
+                assert_eq!(*id, 7);
+            }
+            other => panic!("expected timer, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The plain RNS modulo dataplane without deflection.
+//!
+//! Every core switch forwards out of port `route_id mod switch_id` and
+//! drops the packet when that port is absent, down, or the packet has no
+//! route tag. This is KAR's forwarding *without* its failure reaction —
+//! the "no deflection" reference curve in the paper's Fig. 4 — and a
+//! convenient minimal [`Forwarder`] for tests. The deflecting dataplane
+//! (HP/AVP/NIP) lives in the `kar` crate.
+
+use crate::forwarder::{DropReason, ForwardDecision, Forwarder, SwitchCtx};
+use crate::packet::Packet;
+use rand::rngs::StdRng;
+
+/// Modulo forwarding with drop-on-failure (no deflection).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModuloForwarder;
+
+impl ModuloForwarder {
+    /// Creates the forwarder.
+    pub fn new() -> Self {
+        ModuloForwarder
+    }
+}
+
+impl Forwarder for ModuloForwarder {
+    fn forward(
+        &mut self,
+        ctx: &SwitchCtx<'_>,
+        pkt: &mut Packet,
+        _rng: &mut StdRng,
+    ) -> ForwardDecision {
+        let Some(tag) = &pkt.route else {
+            return ForwardDecision::Drop(DropReason::NoRoute);
+        };
+        let port = tag.route_id.rem_u64(ctx.switch_id);
+        if ctx.port_available(port) {
+            ForwardDecision::Output(port)
+        } else {
+            ForwardDecision::Drop(DropReason::NoRoute)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "NoDeflection"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PacketKind, RouteTag};
+    use crate::time::SimTime;
+    use kar_rns::BigUint;
+    use kar_topology::{LinkParams, NodeId, TopologyBuilder};
+    use rand::SeedableRng;
+
+    fn world() -> (kar_topology::Topology, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.core("A", 7);
+        let x = b.core("X", 11);
+        let y = b.core("Y", 13);
+        b.link(a, x, LinkParams::default());
+        b.link(a, y, LinkParams::default());
+        let topo = b.build().unwrap();
+        (topo, a)
+    }
+
+    fn pkt(route: Option<u64>) -> Packet {
+        Packet {
+            id: 0,
+            flow: FlowId(0),
+            seq: 0,
+            kind: PacketKind::Probe,
+            size_bytes: 64,
+            src: NodeId(0),
+            dst: NodeId(2),
+            route: route.map(|r| RouteTag::new(BigUint::from(r))),
+            ttl: 8,
+            hops: 0,
+            deflections: 0,
+            created: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn follows_residue_and_drops_on_failure() {
+        let (topo, a) = world();
+        let mut fwd = ModuloForwarder::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let up = vec![true, true];
+        let ctx = SwitchCtx {
+            topo: &topo,
+            node: a,
+            switch_id: 7,
+            in_port: None,
+            ports: &up,
+            now: SimTime::ZERO,
+        };
+        // 8 mod 7 = 1 → port 1.
+        assert_eq!(
+            fwd.forward(&ctx, &mut pkt(Some(8)), &mut rng),
+            ForwardDecision::Output(1)
+        );
+        // Port 1 down → drop.
+        let down = vec![true, false];
+        let ctx = SwitchCtx { ports: &down, ..ctx };
+        assert_eq!(
+            fwd.forward(&ctx, &mut pkt(Some(8)), &mut rng),
+            ForwardDecision::Drop(DropReason::NoRoute)
+        );
+        // Residue names a nonexistent port (5 ≥ 2 ports) → drop.
+        let up = vec![true, true];
+        let ctx = SwitchCtx { ports: &up, ..ctx };
+        assert_eq!(
+            fwd.forward(&ctx, &mut pkt(Some(5)), &mut rng),
+            ForwardDecision::Drop(DropReason::NoRoute)
+        );
+        // No route tag → drop.
+        assert_eq!(
+            fwd.forward(&ctx, &mut pkt(None), &mut rng),
+            ForwardDecision::Drop(DropReason::NoRoute)
+        );
+        assert_eq!(fwd.name(), "NoDeflection");
+        assert_eq!(fwd.state_entries(a), 0);
+    }
+}

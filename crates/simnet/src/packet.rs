@@ -1,0 +1,143 @@
+//! Packets and the KAR route tag they carry through the core.
+
+use crate::time::SimTime;
+use kar_rns::BigUint;
+use kar_topology::NodeId;
+use std::fmt;
+
+/// Identifier of one transport flow (e.g. one iperf TCP connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct FlowId(pub u32);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Transport-level payload classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// A data segment carrying `seq .. seq + payload`.
+    Data,
+    /// A cumulative acknowledgment: everything below `ack` was received.
+    Ack {
+        /// The next byte the receiver expects.
+        ack: u64,
+        /// The receiver's observed reordering displacement, in segments —
+        /// the simulator's stand-in for Linux's SACK-based adaptive
+        /// `tcp_reordering` metric (senders raise their duplicate-ACK
+        /// threshold accordingly).
+        reorder: u16,
+        /// Set when this ACK was triggered by a duplicate segment — the
+        /// stand-in for a DSACK block, letting senders undo spurious
+        /// congestion-window reductions as Linux does.
+        dsack: bool,
+    },
+    /// A probe used by tests and delivery-ratio experiments.
+    Probe,
+}
+
+/// The KAR header attached by the ingress edge: the RNS route ID plus the
+/// deflection state a core switch needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteTag {
+    /// The CRT-encoded route ID (paper Eq. 4).
+    pub route_id: BigUint,
+    /// Set once the packet has been deflected at least once (used by the
+    /// hot-potato technique, which random-walks after the first
+    /// deflection).
+    pub deflected: bool,
+}
+
+impl RouteTag {
+    /// Wraps a route ID with clean deflection state.
+    pub fn new(route_id: BigUint) -> Self {
+        RouteTag {
+            route_id,
+            deflected: false,
+        }
+    }
+}
+
+/// A simulated packet.
+///
+/// `size_bytes` is the on-wire size (headers included) used for
+/// serialization delay; `seq`/`kind` carry transport semantics.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Unique per-simulation id (assigned by the engine).
+    pub id: u64,
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Transport sequence number (byte offset for data segments).
+    pub seq: u64,
+    /// Data / ACK / probe.
+    pub kind: PacketKind,
+    /// On-wire size in bytes.
+    pub size_bytes: u32,
+    /// Originating edge node.
+    pub src: NodeId,
+    /// Destination edge node.
+    pub dst: NodeId,
+    /// KAR route tag (attached at ingress, stripped at egress).
+    pub route: Option<RouteTag>,
+    /// Remaining hop budget; the engine drops the packet at zero.
+    pub ttl: u16,
+    /// Hops traversed so far.
+    pub hops: u16,
+    /// Number of deflections experienced.
+    pub deflections: u16,
+    /// Creation time (for latency accounting).
+    pub created: SimTime,
+}
+
+impl Packet {
+    /// Decrements the TTL, returning `false` when expired.
+    pub fn tick_ttl(&mut self) -> bool {
+        if self.ttl == 0 {
+            return false;
+        }
+        self.ttl -= 1;
+        self.hops += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(ttl: u16) -> Packet {
+        Packet {
+            id: 1,
+            flow: FlowId(0),
+            seq: 0,
+            kind: PacketKind::Probe,
+            size_bytes: 100,
+            src: NodeId(0),
+            dst: NodeId(1),
+            route: None,
+            ttl,
+            hops: 0,
+            deflections: 0,
+            created: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn ttl_counts_down_and_expires() {
+        let mut p = pkt(2);
+        assert!(p.tick_ttl());
+        assert!(p.tick_ttl());
+        assert!(!p.tick_ttl());
+        assert_eq!(p.hops, 2);
+    }
+
+    #[test]
+    fn route_tag_starts_undeflected() {
+        let tag = RouteTag::new(BigUint::from(44u64));
+        assert!(!tag.deflected);
+        assert_eq!(tag.route_id.to_u64(), Some(44));
+    }
+}

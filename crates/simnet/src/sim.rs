@@ -1,0 +1,1135 @@
+//! The discrete-event simulation engine.
+//!
+//! This replaces the paper's Mininet + OpenFlow-softswitch emulation: links
+//! serialize packets at their configured rate into drop-tail queues,
+//! propagation is a fixed delay, link failures are scheduled events that a
+//! switch observes instantly as port status (the paper assumes fast local
+//! failure detection), and all randomness flows from one seeded RNG so
+//! every run is reproducible.
+
+use crate::forwarder::{DropReason, ForwardDecision, Forwarder, SwitchCtx};
+use crate::host::{App, AppAction, EdgeLogic, HostCtx, RerouteDecision};
+use crate::packet::{FlowId, Packet, PacketKind};
+use crate::stats::Stats;
+use crate::time::{tx_time, SimTime};
+use crate::trace::{PacketFate, TraceLog};
+use kar_topology::{LinkId, NodeId, NodeKind, PortIx, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// RNG seed: equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// Hop budget given to each injected packet. Deflection random walks
+    /// are cut off here (the paper's transient loops are bounded the same
+    /// way in its softswitch prototype).
+    pub default_ttl: u16,
+    /// Per-packet service time of a *shared* switching CPU, if any.
+    ///
+    /// The paper's evaluation runs every OpenFlow softswitch in user
+    /// space on one Mininet host, so the aggregate forwarding capacity
+    /// is fixed and goodput falls as deflections inflate per-packet hop
+    /// counts. `Some(t)` models that: every core-switch traversal is
+    /// serialized through one shared server taking `t` per packet.
+    /// `None` (the default) forwards at infinite speed.
+    pub switch_service: Option<SimTime>,
+    /// Record every packet's node path in a [`TraceLog`] (costs memory;
+    /// off by default).
+    pub trace_paths: bool,
+    /// How long after a link failure the adjacent switches still see the
+    /// port as up. The paper assumes instantaneous local detection
+    /// (`ZERO`, the default); real detection (loss-of-light, BFD) takes
+    /// from microseconds to tens of milliseconds, and packets forwarded
+    /// into the dead port during that window are lost.
+    pub detection_delay: SimTime,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 1,
+            default_ttl: 64,
+            switch_service: None,
+            trace_paths: false,
+            detection_delay: SimTime::ZERO,
+        }
+    }
+}
+
+/// One direction of a link at runtime.
+#[derive(Debug, Default)]
+struct DirState {
+    queue: VecDeque<Packet>,
+    transmitting: Option<Packet>,
+    /// Bumped whenever the direction is force-cleared (link failure) so
+    /// stale `TxDone` events can be recognized and ignored.
+    epoch: u64,
+}
+
+#[derive(Debug, Default)]
+struct LinkState {
+    down: bool,
+    /// When the current failure was detected by the adjacent switches
+    /// (failure time + detection delay); ports read as up before this.
+    detected_at: Option<SimTime>,
+    dirs: [DirState; 2],
+}
+
+enum Event {
+    Start(NodeId),
+    Arrive {
+        pkt: Packet,
+        node: NodeId,
+        in_port: Option<PortIx>,
+        /// Whether the shared switching CPU already served this arrival.
+        cpu_done: bool,
+    },
+    TxDone {
+        link: LinkId,
+        dir: usize,
+        epoch: u64,
+    },
+    Timer {
+        node: NodeId,
+        id: u64,
+    },
+    LinkDown(LinkId),
+    LinkUp(LinkId),
+    Reinject {
+        pkt: Packet,
+        node: NodeId,
+        port: PortIx,
+    },
+}
+
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event network simulator.
+///
+/// Wire up a topology, a [`Forwarder`] (the core dataplane), an
+/// [`EdgeLogic`] (ingress/egress), and apps on edge nodes; schedule
+/// failures; then [`Sim::run_until`] an end time and read [`Sim::stats`].
+///
+/// # Examples
+///
+/// A two-switch network delivering a probe end to end is exercised in the
+/// crate tests (`sim::tests::probe_crosses_static_route`); realistic
+/// usage goes through the `kar` crate's [`KarNetwork`] façade, which
+/// assembles all the pieces.
+///
+/// [`KarNetwork`]: https://docs.rs/kar
+pub struct Sim<'t> {
+    topo: &'t Topology,
+    now: SimTime,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    links: Vec<LinkState>,
+    forwarder: Box<dyn Forwarder>,
+    edge_logic: Box<dyn EdgeLogic>,
+    apps: Vec<Option<Box<dyn App>>>,
+    rng: StdRng,
+    stats: Stats,
+    config: SimConfig,
+    next_pkt_id: u64,
+    next_event_seq: u64,
+    in_flight: u64,
+    /// Shared switching CPU is busy until this time (see
+    /// [`SimConfig::switch_service`]).
+    cpu_busy_until: SimTime,
+    trace: TraceLog,
+}
+
+impl<'t> Sim<'t> {
+    /// Creates an engine over `topo` with the given dataplane and edge
+    /// logic.
+    pub fn new(
+        topo: &'t Topology,
+        forwarder: Box<dyn Forwarder>,
+        edge_logic: Box<dyn EdgeLogic>,
+        config: SimConfig,
+    ) -> Self {
+        let mut links = Vec::with_capacity(topo.link_count());
+        links.resize_with(topo.link_count(), LinkState::default);
+        Sim {
+            topo,
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            links,
+            forwarder,
+            edge_logic,
+            apps: (0..topo.node_count()).map(|_| None).collect(),
+            rng: StdRng::seed_from_u64(config.seed),
+            stats: Stats::default(),
+            config,
+            next_pkt_id: 0,
+            next_event_seq: 0,
+            in_flight: 0,
+            cpu_busy_until: SimTime::ZERO,
+            trace: TraceLog::default(),
+        }
+    }
+
+    /// Attaches an application to an edge node; its `on_start` runs at
+    /// time zero (or immediately if the simulation already started).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is a core switch — apps live on edges.
+    pub fn add_app(&mut self, node: NodeId, app: Box<dyn App>) {
+        assert!(
+            matches!(self.topo.node(node).kind, NodeKind::Edge),
+            "apps attach to edge nodes, {} is a core switch",
+            self.topo.node(node).name
+        );
+        self.apps[node.0] = Some(app);
+        self.push(self.now, Event::Start(node));
+    }
+
+    /// Schedules a link failure at `at`. Queued and serializing packets on
+    /// the link are lost; the adjacent switches see the port down
+    /// immediately after.
+    pub fn schedule_link_down(&mut self, at: SimTime, link: LinkId) {
+        self.push(at, Event::LinkDown(link));
+    }
+
+    /// Schedules a link repair at `at`.
+    pub fn schedule_link_up(&mut self, at: SimTime, link: LinkId) {
+        self.push(at, Event::LinkUp(link));
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Packets currently inside the network (queued, serializing,
+    /// propagating, or awaiting controller reinjection). Together with
+    /// [`Stats`] this gives the conservation invariant
+    /// `injected == delivered + dropped + in_flight`.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Whether `link` is currently up.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        !self.links[link.0].down
+    }
+
+    /// The engine's forwarder (for post-run inspection, e.g. state-table
+    /// sizes in the Table 2 experiment).
+    pub fn forwarder(&self) -> &dyn Forwarder {
+        self.forwarder.as_ref()
+    }
+
+    /// Per-packet path traces (empty unless
+    /// [`SimConfig::trace_paths`] was set).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Runs the event loop until simulated time reaches `until`.
+    /// Events at exactly `until` are processed.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if entry.at > until {
+                break;
+            }
+            let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            self.dispatch(entry.ev);
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Runs until the event queue drains completely (useful for letting
+    /// in-flight packets settle after traffic stops).
+    pub fn run_to_quiescence(&mut self) {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            self.now = entry.at;
+            self.dispatch(entry.ev);
+        }
+    }
+
+    fn push(&mut self, at: SimTime, ev: Event) {
+        let seq = self.next_event_seq;
+        self.next_event_seq += 1;
+        self.heap.push(Reverse(HeapEntry { at, seq, ev }));
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Start(node) => self.run_app(node, AppEntry::Start),
+            Event::Timer { node, id } => self.run_app(node, AppEntry::Timer(id)),
+            Event::Arrive {
+                pkt,
+                node,
+                in_port,
+                cpu_done,
+            } => self.on_arrive(pkt, node, in_port, cpu_done),
+            Event::TxDone { link, dir, epoch } => self.on_tx_done(link, dir, epoch),
+            Event::LinkDown(link) => self.on_link_down(link),
+            Event::LinkUp(link) => {
+                self.links[link.0].down = false;
+                self.links[link.0].detected_at = None;
+            }
+            Event::Reinject { pkt, node, port } => self.send_out_port(node, port, pkt),
+        }
+    }
+
+    fn on_link_down(&mut self, link: LinkId) {
+        let detected = self.now + self.config.detection_delay;
+        let ls = &mut self.links[link.0];
+        ls.down = true;
+        ls.detected_at = Some(detected);
+        let mut lost = 0u64;
+        for dir in &mut ls.dirs {
+            lost += dir.queue.len() as u64 + dir.transmitting.is_some() as u64;
+            dir.queue.clear();
+            dir.transmitting = None;
+            dir.epoch += 1;
+        }
+        for _ in 0..lost {
+            self.stats.record_drop(DropReason::LinkFailure);
+        }
+        self.in_flight -= lost;
+    }
+
+    fn on_tx_done(&mut self, link: LinkId, dir: usize, epoch: u64) {
+        let delay = SimTime(self.topo.link(link).params.delay_ns);
+        let rate = self.topo.link(link).params.rate_bps;
+        let ls = &mut self.links[link.0];
+        if ls.dirs[dir].epoch != epoch {
+            return; // stale: the direction was cleared by a failure
+        }
+        let pkt = ls.dirs[dir]
+            .transmitting
+            .take()
+            .expect("TxDone with current epoch implies a packet in service");
+        self.stats.record_link_tx(link, pkt.size_bytes as u64);
+        // Serialization finished: the packet is on the wire and will
+        // arrive after the propagation delay.
+        let l = self.topo.link(link);
+        let (to_node, in_port) = if dir == 0 {
+            (l.b, l.b_port)
+        } else {
+            (l.a, l.a_port)
+        };
+        let at = self.now + delay;
+        self.push(
+            at,
+            Event::Arrive {
+                pkt,
+                node: to_node,
+                in_port: Some(in_port),
+                cpu_done: false,
+            },
+        );
+        // Start serving the next queued packet, if any.
+        let ls = &mut self.links[link.0];
+        if let Some(next) = ls.dirs[dir].queue.pop_front() {
+            let t = tx_time(next.size_bytes, rate);
+            let epoch = ls.dirs[dir].epoch;
+            ls.dirs[dir].transmitting = Some(next);
+            let at = self.now + t;
+            self.push(at, Event::TxDone { link, dir, epoch });
+        }
+    }
+
+    fn enqueue_on_link(&mut self, from: NodeId, link: LinkId, pkt: Packet) {
+        let l = self.topo.link(link);
+        let rate = l.params.rate_bps;
+        let cap = l.params.queue_pkts;
+        let dir = if from == l.a { 0 } else { 1 };
+        let ls = &mut self.links[link.0];
+        if ls.down {
+            self.drop_pkt(pkt.id, DropReason::LinkFailure);
+            return;
+        }
+        let d = &mut ls.dirs[dir];
+        if d.transmitting.is_some() {
+            if d.queue.len() >= cap {
+                self.drop_pkt(pkt.id, DropReason::QueueOverflow);
+            } else {
+                d.queue.push_back(pkt);
+            }
+        } else {
+            let t = tx_time(pkt.size_bytes, rate);
+            let epoch = d.epoch;
+            d.transmitting = Some(pkt);
+            let at = self.now + t;
+            self.push(at, Event::TxDone { link, dir, epoch });
+        }
+    }
+
+    fn drop_pkt(&mut self, pkt_id: u64, reason: DropReason) {
+        self.stats.record_drop(reason);
+        self.in_flight -= 1;
+        if self.config.trace_paths {
+            self.trace.finish(pkt_id, PacketFate::Dropped(reason));
+        }
+    }
+
+    fn send_out_port(&mut self, node: NodeId, port: PortIx, pkt: Packet) {
+        match self.topo.node(node).ports.get(port as usize) {
+            Some(&link) => self.enqueue_on_link(node, link, pkt),
+            None => self.drop_pkt(pkt.id, DropReason::BadPort),
+        }
+    }
+
+    fn on_arrive(
+        &mut self,
+        mut pkt: Packet,
+        node: NodeId,
+        in_port: Option<PortIx>,
+        cpu_done: bool,
+    ) {
+        let topo = self.topo;
+        if self.config.trace_paths && !cpu_done {
+            self.trace.visit(pkt.id, node);
+        }
+        // Core-switch traversals optionally pass through the shared
+        // switching CPU first (Mininet-style userspace forwarding).
+        if !cpu_done && matches!(topo.node(node).kind, NodeKind::Core { .. }) {
+            if let Some(service) = self.config.switch_service {
+                let start = self.cpu_busy_until.max(self.now);
+                self.cpu_busy_until = start + service;
+                let at = self.cpu_busy_until;
+                self.push(
+                    at,
+                    Event::Arrive {
+                        pkt,
+                        node,
+                        in_port,
+                        cpu_done: true,
+                    },
+                );
+                return;
+            }
+        }
+        match topo.node(node).kind {
+            NodeKind::Edge => {
+                if pkt.dst == node {
+                    self.edge_logic.egress(topo, node, &mut pkt);
+                    self.stats.record_delivery(&pkt, self.now);
+                    self.in_flight -= 1;
+                    if self.config.trace_paths {
+                        self.trace.finish(pkt.id, PacketFate::Delivered);
+                    }
+                    self.run_app(node, AppEntry::Packet(pkt));
+                } else {
+                    // Wrong edge: paper §2.1 — consult the controller to
+                    // rewrite the route ID, then send the packet back in.
+                    match self.edge_logic.reroute(topo, node, &mut pkt) {
+                        RerouteDecision::Forward { port, delay } => {
+                            pkt.ttl = self.config.default_ttl;
+                            let at = self.now + delay;
+                            self.push(at, Event::Reinject { pkt, node, port });
+                        }
+                        RerouteDecision::Drop => {
+                            self.drop_pkt(pkt.id, DropReason::Misdelivery)
+                        }
+                    }
+                }
+            }
+            NodeKind::Core { switch_id } => {
+                if !pkt.tick_ttl() {
+                    self.drop_pkt(pkt.id, DropReason::TtlExpired);
+                    return;
+                }
+                let statuses: Vec<bool> = topo
+                    .node(node)
+                    .ports
+                    .iter()
+                    .map(|&l| {
+                        let ls = &self.links[l.0];
+                        // A failed link reads as up until detection.
+                        !ls.down || ls.detected_at.map(|t| self.now < t).unwrap_or(false)
+                    })
+                    .collect();
+                let ctx = SwitchCtx {
+                    topo,
+                    node,
+                    switch_id,
+                    in_port,
+                    ports: &statuses,
+                    now: self.now,
+                };
+                match self.forwarder.forward(&ctx, &mut pkt, &mut self.rng) {
+                    ForwardDecision::Output(p) => {
+                        if !statuses.get(p as usize).copied().unwrap_or(false) {
+                            self.drop_pkt(pkt.id, DropReason::BadPort);
+                        } else {
+                            self.send_out_port(node, p, pkt);
+                        }
+                    }
+                    ForwardDecision::Drop(reason) => self.drop_pkt(pkt.id, reason),
+                }
+            }
+        }
+    }
+
+    fn run_app(&mut self, node: NodeId, entry: AppEntry) {
+        let Some(mut app) = self.apps[node.0].take() else {
+            return; // deliveries to app-less edges are still counted in stats
+        };
+        let mut actions = Vec::new();
+        {
+            let mut ctx = HostCtx {
+                node,
+                now: self.now,
+                actions: &mut actions,
+            };
+            match entry {
+                AppEntry::Start => app.on_start(&mut ctx),
+                AppEntry::Timer(id) => app.on_timer(&mut ctx, id),
+                AppEntry::Packet(pkt) => app.on_packet(&mut ctx, &pkt),
+            }
+        }
+        self.apps[node.0] = Some(app);
+        for action in actions {
+            match action {
+                AppAction::Timer { at, id } => self.push(at, Event::Timer { node, id }),
+                AppAction::Send {
+                    dst,
+                    flow,
+                    seq,
+                    kind,
+                    size_bytes,
+                } => self.inject(node, dst, flow, seq, kind, size_bytes),
+            }
+        }
+    }
+
+    /// Injects one packet at `src` (normally called via app actions, but
+    /// public so tests and delivery-ratio experiments can drive the
+    /// network without a transport stack).
+    pub fn inject(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        flow: FlowId,
+        seq: u64,
+        kind: PacketKind,
+        size_bytes: u32,
+    ) {
+        let mut pkt = Packet {
+            id: self.next_pkt_id,
+            flow,
+            seq,
+            kind,
+            size_bytes,
+            src,
+            dst,
+            route: None,
+            ttl: self.config.default_ttl,
+            hops: 0,
+            deflections: 0,
+            created: self.now,
+        };
+        self.next_pkt_id += 1;
+        self.stats.record_injection();
+        self.in_flight += 1;
+        if self.config.trace_paths {
+            self.trace.visit(pkt.id, src);
+        }
+        let topo = self.topo;
+        match self.edge_logic.ingress(topo, src, &mut pkt) {
+            Some(port) => self.send_out_port(src, port, pkt),
+            None => {
+                let id = pkt.id;
+                self.drop_pkt(id, DropReason::NoRoute)
+            }
+        }
+    }
+}
+
+enum AppEntry {
+    Start,
+    Timer(u64),
+    Packet(Packet),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::RouteTag;
+    use kar_rns::{crt_encode, RnsBasis};
+    use kar_topology::{LinkParams, TopologyBuilder};
+
+    /// Forwarder that follows `route_id mod switch_id` and drops on
+    /// failure — the minimal KAR dataplane, used here to test the engine
+    /// itself (richer deflection lives in the `kar` crate).
+    struct ModuloDrop;
+
+    impl Forwarder for ModuloDrop {
+        fn forward(
+            &mut self,
+            ctx: &SwitchCtx<'_>,
+            pkt: &mut Packet,
+            _rng: &mut StdRng,
+        ) -> ForwardDecision {
+            let Some(tag) = &pkt.route else {
+                return ForwardDecision::Drop(DropReason::NoRoute);
+            };
+            let port = tag.route_id.rem_u64(ctx.switch_id);
+            if ctx.port_available(port) {
+                ForwardDecision::Output(port)
+            } else {
+                ForwardDecision::Drop(DropReason::NoRoute)
+            }
+        }
+
+        fn name(&self) -> &str {
+            "modulo-drop"
+        }
+    }
+
+    /// Edge logic with one fixed route tag for every packet.
+    struct FixedTag {
+        route_id: kar_rns::BigUint,
+        uplink: PortIx,
+    }
+
+    impl EdgeLogic for FixedTag {
+        fn ingress(&mut self, _t: &Topology, _e: NodeId, pkt: &mut Packet) -> Option<PortIx> {
+            pkt.route = Some(RouteTag::new(self.route_id.clone()));
+            Some(self.uplink)
+        }
+    }
+
+    /// S — SW4 — SW7 — D with the paper's example encoding.
+    fn line_world() -> (Topology, kar_rns::BigUint) {
+        let mut b = TopologyBuilder::new();
+        let s = b.edge("S");
+        let sw4 = b.core("SW4", 4);
+        let sw7 = b.core("SW7", 7);
+        let d = b.edge("D");
+        b.link(s, sw4, LinkParams::new(100, 10));
+        b.link(sw4, sw7, LinkParams::new(100, 10));
+        b.link(sw7, d, LinkParams::new(100, 10));
+        let topo = b.build().unwrap();
+        // SW4 must exit port 1 (towards SW7), SW7 port 1 (towards D).
+        let basis = RnsBasis::new(vec![4, 7]).unwrap();
+        let r = crt_encode(&basis, &[1, 1]).unwrap();
+        (topo, r)
+    }
+
+    #[test]
+    fn probe_crosses_static_route() {
+        let (topo, r) = line_world();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig::default(),
+        );
+        let s = topo.expect("S");
+        let d = topo.expect("D");
+        sim.inject(s, d, FlowId(0), 0, PacketKind::Probe, 1000);
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.stats().delivered, 1);
+        assert_eq!(sim.stats().dropped(), 0);
+        assert_eq!(sim.in_flight(), 0);
+        assert_eq!(sim.stats().max_hops, 2);
+    }
+
+    #[test]
+    fn latency_matches_store_and_forward_math() {
+        let (topo, r) = line_world();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig::default(),
+        );
+        sim.inject(
+            topo.expect("S"),
+            topo.expect("D"),
+            FlowId(0),
+            0,
+            PacketKind::Probe,
+            1000,
+        );
+        sim.run_to_quiescence();
+        // Three store-and-forward hops at 100 Mbit/s: 3 × (80 µs tx + 10 µs prop).
+        assert!((sim.stats().mean_latency_s() - 3.0 * 90e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_failure_drops_and_conserves() {
+        let (topo, r) = line_world();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig::default(),
+        );
+        let failed = topo.expect_link("SW4", "SW7");
+        sim.schedule_link_down(SimTime::ZERO, failed);
+        sim.inject(
+            topo.expect("S"),
+            topo.expect("D"),
+            FlowId(0),
+            0,
+            PacketKind::Probe,
+            1000,
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().delivered, 0);
+        assert_eq!(sim.stats().dropped_for(DropReason::NoRoute), 1);
+        assert_eq!(sim.in_flight(), 0);
+        assert!(!sim.link_is_up(failed));
+    }
+
+    #[test]
+    fn link_repair_restores_delivery() {
+        let (topo, r) = line_world();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig::default(),
+        );
+        let l = topo.expect_link("SW4", "SW7");
+        sim.schedule_link_down(SimTime::ZERO, l);
+        sim.schedule_link_up(SimTime::from_millis(1), l);
+        sim.run_until(SimTime::from_millis(2));
+        assert!(sim.link_is_up(l));
+        sim.inject(
+            topo.expect("S"),
+            topo.expect("D"),
+            FlowId(0),
+            0,
+            PacketKind::Probe,
+            1000,
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().delivered, 1);
+    }
+
+    #[test]
+    fn queue_overflow_is_bounded_drop_tail() {
+        let mut b = TopologyBuilder::new();
+        let s = b.edge("S");
+        let c = b.core("C", 5);
+        let d = b.edge("D");
+        // Slow link with a 2-packet queue.
+        b.link(s, c, LinkParams::new(1000, 1));
+        let slow = LinkParams::new(1, 1).with_queue(2);
+        b.link(c, d, slow);
+        let topo = b.build().unwrap();
+        let basis = RnsBasis::new(vec![5]).unwrap();
+        let r = crt_encode(&basis, &[1]).unwrap();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig::default(),
+        );
+        for i in 0..10 {
+            sim.inject(
+                topo.expect("S"),
+                topo.expect("D"),
+                FlowId(0),
+                i,
+                PacketKind::Probe,
+                1500,
+            );
+        }
+        sim.run_to_quiescence();
+        // 1 serializing + 2 queued survive; 7 overflow.
+        assert_eq!(sim.stats().dropped_for(DropReason::QueueOverflow), 7);
+        assert_eq!(sim.stats().delivered, 3);
+        assert_eq!(sim.in_flight(), 0);
+    }
+
+    #[test]
+    fn failure_loses_queued_packets() {
+        let mut b = TopologyBuilder::new();
+        let s = b.edge("S");
+        let c = b.core("C", 5);
+        let d = b.edge("D");
+        b.link(s, c, LinkParams::new(1000, 1));
+        b.link(c, d, LinkParams::new(1, 1)); // 12 ms per 1500 B packet
+        let topo = b.build().unwrap();
+        let basis = RnsBasis::new(vec![5]).unwrap();
+        let r = crt_encode(&basis, &[1]).unwrap();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig::default(),
+        );
+        for i in 0..5 {
+            sim.inject(
+                topo.expect("S"),
+                topo.expect("D"),
+                FlowId(0),
+                i,
+                PacketKind::Probe,
+                1500,
+            );
+        }
+        // Fail C-D while packets sit in its queue.
+        sim.schedule_link_down(SimTime::from_millis(5), topo.expect_link("C", "D"));
+        sim.run_to_quiescence();
+        assert!(sim.stats().dropped_for(DropReason::LinkFailure) >= 4);
+        assert_eq!(
+            sim.stats().delivered + sim.stats().dropped(),
+            sim.stats().injected
+        );
+        assert_eq!(sim.in_flight(), 0);
+    }
+
+    #[test]
+    fn ttl_expiry_kills_looping_packets() {
+        // Two switches pointing at each other: route id chosen so each
+        // sends back to the other forever.
+        let mut b = TopologyBuilder::new();
+        let s = b.edge("S");
+        let c1 = b.core("C1", 5);
+        let c2 = b.core("C2", 7);
+        b.link(s, c1, LinkParams::new(100, 1));
+        b.link(c1, c2, LinkParams::new(100, 1));
+        let topo = b.build().unwrap();
+        // C1 exits port 1 (to C2); C2 exits port 0 (back to C1).
+        let basis = RnsBasis::new(vec![5, 7]).unwrap();
+        let r = crt_encode(&basis, &[1, 0]).unwrap();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig {
+                seed: 1,
+                default_ttl: 16,
+                ..SimConfig::default()
+            },
+        );
+        sim.inject(
+            topo.expect("S"),
+            NodeId(999).min(topo.expect("S")), // destination never reached; use S itself
+            FlowId(0),
+            0,
+            PacketKind::Probe,
+            100,
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().dropped_for(DropReason::TtlExpired), 1);
+        assert_eq!(sim.in_flight(), 0);
+    }
+
+    /// An app that sends one probe on start and records deliveries.
+    struct PingApp {
+        dst: NodeId,
+        got: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+
+    impl App for PingApp {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+            ctx.send(self.dst, FlowId(9), 0, PacketKind::Probe, 500);
+            ctx.set_timer(SimTime::from_millis(1), 42);
+        }
+        fn on_packet(&mut self, _ctx: &mut HostCtx<'_>, pkt: &Packet) {
+            assert_eq!(pkt.flow, FlowId(9));
+            self.got.set(self.got.get() + 1);
+        }
+        fn on_timer(&mut self, _ctx: &mut HostCtx<'_>, id: u64) {
+            assert_eq!(id, 42);
+        }
+    }
+
+    #[test]
+    fn apps_send_receive_and_time() {
+        let (topo, r) = line_world();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig::default(),
+        );
+        let got = std::rc::Rc::new(std::cell::Cell::new(0));
+        let s = topo.expect("S");
+        let d = topo.expect("D");
+        sim.add_app(
+            s,
+            Box::new(PingApp {
+                dst: d,
+                got: got.clone(),
+            }),
+        );
+        sim.add_app(
+            d,
+            Box::new(PingApp {
+                dst: s,
+                got: got.clone(),
+            }),
+        );
+        // D's probe back to S has no usable reverse route tag in this
+        // fixture (same tag, so SW7 computes port 1 → D again: the packet
+        // surfaces at D, the wrong edge, and default reroute drops it).
+        sim.run_until(SimTime::from_secs(1));
+        assert!(got.get() >= 1);
+        assert_eq!(
+            sim.stats().injected,
+            sim.stats().delivered + sim.stats().dropped() + sim.in_flight()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "apps attach to edge nodes")]
+    fn app_on_core_switch_panics() {
+        let (topo, r) = line_world();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig::default(),
+        );
+        sim.add_app(topo.expect("SW4"), Box::new(ModuloApp));
+    }
+
+    struct ModuloApp;
+    impl App for ModuloApp {
+        fn on_start(&mut self, _ctx: &mut HostCtx<'_>) {}
+        fn on_packet(&mut self, _ctx: &mut HostCtx<'_>, _pkt: &Packet) {}
+        fn on_timer(&mut self, _ctx: &mut HostCtx<'_>, _id: u64) {}
+    }
+
+    #[test]
+    fn traces_record_full_paths() {
+        let (topo, r) = line_world();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig {
+                trace_paths: true,
+                ..SimConfig::default()
+            },
+        );
+        sim.inject(
+            topo.expect("S"),
+            topo.expect("D"),
+            FlowId(0),
+            0,
+            PacketKind::Probe,
+            500,
+        );
+        sim.run_to_quiescence();
+        let trace = sim.trace().get(0).expect("packet 0 traced");
+        let names: Vec<&str> = trace
+            .path
+            .iter()
+            .map(|&n| topo.node(n).name.as_str())
+            .collect();
+        assert_eq!(names, vec!["S", "SW4", "SW7", "D"]);
+        assert_eq!(trace.fate, crate::trace::PacketFate::Delivered);
+        assert_eq!(trace.revisits(), 0);
+        assert!(trace.pretty(&topo).contains("S → SW4 → SW7 → D"));
+    }
+
+    #[test]
+    fn traces_record_drop_fate() {
+        let (topo, r) = line_world();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig {
+                trace_paths: true,
+                ..SimConfig::default()
+            },
+        );
+        sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW4", "SW7"));
+        sim.inject(
+            topo.expect("S"),
+            topo.expect("D"),
+            FlowId(0),
+            0,
+            PacketKind::Probe,
+            500,
+        );
+        sim.run_to_quiescence();
+        let trace = sim.trace().get(0).unwrap();
+        assert_eq!(
+            trace.fate,
+            crate::trace::PacketFate::Dropped(DropReason::NoRoute)
+        );
+        assert_eq!(trace.path.len(), 2); // S, SW4
+    }
+
+    #[test]
+    fn link_bytes_are_accounted() {
+        let (topo, r) = line_world();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig::default(),
+        );
+        for i in 0..5 {
+            sim.inject(
+                topo.expect("S"),
+                topo.expect("D"),
+                FlowId(0),
+                i,
+                PacketKind::Probe,
+                1000,
+            );
+        }
+        sim.run_to_quiescence();
+        for name in [("S", "SW4"), ("SW4", "SW7"), ("SW7", "D")] {
+            let l = topo.expect_link(name.0, name.1);
+            assert_eq!(sim.stats().bytes_on(l), 5000, "{name:?}");
+        }
+    }
+
+    #[test]
+    fn detection_delay_blackholes_packets_until_detected() {
+        // With a 1 ms detection delay, a switch keeps forwarding into a
+        // dead port — those packets are lost. After detection the
+        // (drop-on-failure) forwarder reports NoRoute instead.
+        let (topo, r) = line_world();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig {
+                detection_delay: SimTime::from_millis(1),
+                ..SimConfig::default()
+            },
+        );
+        sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW4", "SW7"));
+        // Before detection: forwarded into the dead link → LinkFailure.
+        sim.run_until(SimTime::from_micros(100));
+        sim.inject(
+            topo.expect("S"),
+            topo.expect("D"),
+            FlowId(0),
+            0,
+            PacketKind::Probe,
+            500,
+        );
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(sim.stats().dropped_for(DropReason::LinkFailure), 1);
+        // After detection: the forwarder sees the port down → NoRoute.
+        sim.run_until(SimTime::from_millis(2));
+        sim.inject(
+            topo.expect("S"),
+            topo.expect("D"),
+            FlowId(0),
+            1,
+            PacketKind::Probe,
+            500,
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().dropped_for(DropReason::NoRoute), 1);
+        assert_eq!(sim.stats().delivered, 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed| {
+            let (topo, r) = line_world();
+            let mut sim = Sim::new(
+                &topo,
+                Box::new(ModuloDrop),
+                Box::new(FixedTag {
+                    route_id: r,
+                    uplink: 0,
+                }),
+                SimConfig {
+                    seed,
+                    default_ttl: 64,
+                    ..SimConfig::default()
+                },
+            );
+            for i in 0..50 {
+                sim.inject(
+                    topo.expect("S"),
+                    topo.expect("D"),
+                    FlowId(0),
+                    i,
+                    PacketKind::Probe,
+                    1000 + (i as u32 % 500),
+                );
+            }
+            sim.run_to_quiescence();
+            (
+                sim.stats().delivered,
+                sim.stats().delivered_bytes,
+                sim.stats().total_latency_ns,
+            )
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,94 @@
+//! A minimal [`EdgeLogic`] with statically installed route tags.
+//!
+//! Useful for tests and microbenchmarks that need packets to carry a
+//! fixed route ID without the full KAR controller: each `(src, dst)`
+//! pair maps to a pre-encoded route ID and an uplink port. The real
+//! controller-backed edge logic lives in the `kar` crate.
+
+use crate::host::EdgeLogic;
+use crate::packet::{Packet, RouteTag};
+use kar_rns::BigUint;
+use kar_topology::{NodeId, PortIx, Topology};
+use std::collections::HashMap;
+
+/// Static `(src, dst) → (route id, uplink port)` edge logic.
+#[derive(Debug, Default, Clone)]
+pub struct StaticRoutes {
+    routes: HashMap<(NodeId, NodeId), (BigUint, PortIx)>,
+}
+
+impl StaticRoutes {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs the route tag used for packets entering at `src` destined
+    /// to `dst`.
+    pub fn insert(&mut self, src: NodeId, dst: NodeId, route_id: BigUint, uplink: PortIx) {
+        self.routes.insert((src, dst), (route_id, uplink));
+    }
+
+    /// Number of installed routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Returns `true` if no routes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+impl EdgeLogic for StaticRoutes {
+    fn ingress(&mut self, _topo: &Topology, edge: NodeId, pkt: &mut Packet) -> Option<PortIx> {
+        let (route_id, port) = self.routes.get(&(edge, pkt.dst))?;
+        pkt.route = Some(RouteTag::new(route_id.clone()));
+        Some(*port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PacketKind};
+    use crate::time::SimTime;
+    use kar_topology::{LinkParams, TopologyBuilder};
+
+    #[test]
+    fn ingress_uses_table_and_misses_return_none() {
+        let mut b = TopologyBuilder::new();
+        let s = b.edge("S");
+        let c = b.core("C", 5);
+        let d = b.edge("D");
+        b.link(s, c, LinkParams::default());
+        b.link(c, d, LinkParams::default());
+        let topo = b.build().unwrap();
+
+        let mut table = StaticRoutes::new();
+        assert!(table.is_empty());
+        table.insert(s, d, BigUint::from(1u64), 0);
+        assert_eq!(table.len(), 1);
+
+        let mut pkt = Packet {
+            id: 0,
+            flow: FlowId(0),
+            seq: 0,
+            kind: PacketKind::Probe,
+            size_bytes: 100,
+            src: s,
+            dst: d,
+            route: None,
+            ttl: 8,
+            hops: 0,
+            deflections: 0,
+            created: SimTime::ZERO,
+        };
+        assert_eq!(table.ingress(&topo, s, &mut pkt), Some(0));
+        assert!(pkt.route.is_some());
+
+        let mut back = pkt.clone();
+        back.dst = s;
+        assert_eq!(table.ingress(&topo, d, &mut back), None);
+    }
+}

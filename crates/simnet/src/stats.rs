@@ -1,0 +1,194 @@
+//! Delivery, drop, reordering and hop statistics collected by the engine.
+
+use crate::forwarder::DropReason;
+use crate::packet::{FlowId, Packet, PacketKind};
+use crate::time::SimTime;
+use kar_topology::LinkId;
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-flow delivery accounting.
+#[derive(Debug, Clone, Default)]
+pub struct FlowStats {
+    /// Data/probe packets delivered to the destination edge.
+    pub delivered_pkts: u64,
+    /// Sum of their on-wire sizes.
+    pub delivered_bytes: u64,
+    /// Data packets that arrived with a sequence number below one already
+    /// seen — the network-level reordering the paper's TCP throughput
+    /// degradations stem from.
+    pub out_of_order: u64,
+    /// Highest data sequence number delivered so far.
+    pub max_seq: Option<u64>,
+}
+
+/// Whole-simulation statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Bytes that finished serializing on each link (both directions),
+    /// indexed by `LinkId` — the utilization view that exposes e.g. the
+    /// load multiplication of Fig. 8's protection loop.
+    pub link_bytes: Vec<u64>,
+    /// Packets accepted into the network at an ingress edge.
+    pub injected: u64,
+    /// Packets delivered to their destination edge.
+    pub delivered: u64,
+    /// Bytes delivered.
+    pub delivered_bytes: u64,
+    /// Drop counters by reason.
+    pub drops: BTreeMap<DropReason, u64>,
+    /// Per-flow accounting.
+    pub flows: HashMap<FlowId, FlowStats>,
+    /// Sum of hop counts over delivered packets.
+    pub total_hops: u64,
+    /// Largest hop count seen on any delivered packet.
+    pub max_hops: u16,
+    /// Sum of deflections over delivered packets.
+    pub deflections: u64,
+    /// Sum of in-network latency (created → delivered) in nanoseconds.
+    pub total_latency_ns: u128,
+}
+
+impl Stats {
+    /// Total packets dropped for any reason.
+    pub fn dropped(&self) -> u64 {
+        self.drops.values().sum()
+    }
+
+    /// Drops recorded for one reason.
+    pub fn dropped_for(&self, reason: DropReason) -> u64 {
+        self.drops.get(&reason).copied().unwrap_or(0)
+    }
+
+    /// Delivered / injected, in `[0, 1]`; `1.0` for an idle network.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.injected == 0 {
+            return 1.0;
+        }
+        self.delivered as f64 / self.injected as f64
+    }
+
+    /// Mean hops per delivered packet.
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            return 0.0;
+        }
+        self.total_hops as f64 / self.delivered as f64
+    }
+
+    /// Mean in-network latency per delivered packet, in seconds.
+    pub fn mean_latency_s(&self) -> f64 {
+        if self.delivered == 0 {
+            return 0.0;
+        }
+        (self.total_latency_ns as f64 / self.delivered as f64) / 1e9
+    }
+
+    pub(crate) fn record_injection(&mut self) {
+        self.injected += 1;
+    }
+
+    pub(crate) fn record_link_tx(&mut self, link: LinkId, bytes: u64) {
+        if self.link_bytes.len() <= link.0 {
+            self.link_bytes.resize(link.0 + 1, 0);
+        }
+        self.link_bytes[link.0] += bytes;
+    }
+
+    /// Bytes carried by `link` in both directions.
+    pub fn bytes_on(&self, link: LinkId) -> u64 {
+        self.link_bytes.get(link.0).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn record_drop(&mut self, reason: DropReason) {
+        *self.drops.entry(reason).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_delivery(&mut self, pkt: &Packet, now: SimTime) {
+        self.delivered += 1;
+        self.delivered_bytes += pkt.size_bytes as u64;
+        self.total_hops += pkt.hops as u64;
+        self.max_hops = self.max_hops.max(pkt.hops);
+        self.deflections += pkt.deflections as u64;
+        self.total_latency_ns += now.since(pkt.created).as_nanos() as u128;
+        let flow = self.flows.entry(pkt.flow).or_default();
+        flow.delivered_pkts += 1;
+        flow.delivered_bytes += pkt.size_bytes as u64;
+        if matches!(pkt.kind, PacketKind::Data | PacketKind::Probe) {
+            match flow.max_seq {
+                Some(max) if pkt.seq < max => flow.out_of_order += 1,
+                Some(max) => flow.max_seq = Some(max.max(pkt.seq)),
+                None => flow.max_seq = Some(pkt.seq),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kar_topology::NodeId;
+
+    fn pkt(seq: u64, hops: u16) -> Packet {
+        Packet {
+            id: 0,
+            flow: FlowId(1),
+            seq,
+            kind: PacketKind::Data,
+            size_bytes: 1000,
+            src: NodeId(0),
+            dst: NodeId(1),
+            route: None,
+            ttl: 10,
+            hops,
+            deflections: 1,
+            created: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn delivery_accounting() {
+        let mut s = Stats::default();
+        s.record_injection();
+        s.record_injection();
+        s.record_delivery(&pkt(0, 3), SimTime::from_millis(1));
+        s.record_delivery(&pkt(1000, 5), SimTime::from_millis(2));
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.delivered_bytes, 2000);
+        assert_eq!(s.mean_hops(), 4.0);
+        assert_eq!(s.max_hops, 5);
+        assert_eq!(s.deflections, 2);
+        assert_eq!(s.delivery_ratio(), 1.0);
+        assert!((s.mean_latency_s() - 0.0015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reordering_detection() {
+        let mut s = Stats::default();
+        s.record_delivery(&pkt(0, 1), SimTime::ZERO);
+        s.record_delivery(&pkt(2000, 1), SimTime::ZERO);
+        s.record_delivery(&pkt(1000, 1), SimTime::ZERO); // late
+        s.record_delivery(&pkt(3000, 1), SimTime::ZERO);
+        let f = &s.flows[&FlowId(1)];
+        assert_eq!(f.out_of_order, 1);
+        assert_eq!(f.max_seq, Some(3000));
+    }
+
+    #[test]
+    fn drop_accounting() {
+        let mut s = Stats::default();
+        s.record_drop(DropReason::TtlExpired);
+        s.record_drop(DropReason::TtlExpired);
+        s.record_drop(DropReason::NoRoute);
+        assert_eq!(s.dropped(), 3);
+        assert_eq!(s.dropped_for(DropReason::TtlExpired), 2);
+        assert_eq!(s.dropped_for(DropReason::QueueOverflow), 0);
+    }
+
+    #[test]
+    fn idle_network_ratios() {
+        let s = Stats::default();
+        assert_eq!(s.delivery_ratio(), 1.0);
+        assert_eq!(s.mean_hops(), 0.0);
+        assert_eq!(s.mean_latency_s(), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Optional per-packet path tracing.
+//!
+//! When enabled (see [`crate::SimConfig::trace_paths`]), the engine
+//! records the node sequence every packet traverses and its fate. This
+//! is the simulator's `tcpdump`: tests assert exact deflection paths
+//! with it, and examples print them.
+
+use crate::forwarder::DropReason;
+use kar_topology::{NodeId, Topology};
+use std::collections::HashMap;
+
+/// Terminal state of a traced packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketFate {
+    /// Still inside the network.
+    InFlight,
+    /// Delivered to its destination edge.
+    Delivered,
+    /// Dropped for this reason.
+    Dropped(DropReason),
+}
+
+/// The recorded journey of one packet.
+#[derive(Debug, Clone)]
+pub struct PacketTrace {
+    /// Nodes visited, in order (starting at the ingress edge).
+    pub path: Vec<NodeId>,
+    /// How the journey ended.
+    pub fate: PacketFate,
+}
+
+impl PacketTrace {
+    /// Renders the path as `AS1 → SW10 → …` using topology names.
+    pub fn pretty(&self, topo: &Topology) -> String {
+        let names: Vec<&str> = self
+            .path
+            .iter()
+            .map(|&n| topo.node(n).name.as_str())
+            .collect();
+        format!("{} [{:?}]", names.join(" → "), self.fate)
+    }
+
+    /// Number of times each node appears (loop diagnosis).
+    pub fn revisits(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        self.path.iter().filter(|&&n| !seen.insert(n)).count()
+    }
+}
+
+/// Collected traces, keyed by packet id.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    traces: HashMap<u64, PacketTrace>,
+}
+
+impl TraceLog {
+    pub(crate) fn visit(&mut self, pkt_id: u64, node: NodeId) {
+        self.traces
+            .entry(pkt_id)
+            .or_insert_with(|| PacketTrace {
+                path: Vec::new(),
+                fate: PacketFate::InFlight,
+            })
+            .path
+            .push(node);
+    }
+
+    pub(crate) fn finish(&mut self, pkt_id: u64, fate: PacketFate) {
+        if let Some(t) = self.traces.get_mut(&pkt_id) {
+            t.fate = fate;
+        }
+    }
+
+    /// The trace of a packet, if it was seen.
+    pub fn get(&self, pkt_id: u64) -> Option<&PacketTrace> {
+        self.traces.get(&pkt_id)
+    }
+
+    /// Number of traced packets.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether any packet was traced.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Iterator over `(packet id, trace)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &PacketTrace)> {
+        self.traces.iter().map(|(&id, t)| (id, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_visits_and_fate() {
+        let mut log = TraceLog::default();
+        log.visit(7, NodeId(0));
+        log.visit(7, NodeId(3));
+        log.visit(7, NodeId(0));
+        log.finish(7, PacketFate::Delivered);
+        let t = log.get(7).unwrap();
+        assert_eq!(t.path, vec![NodeId(0), NodeId(3), NodeId(0)]);
+        assert_eq!(t.fate, PacketFate::Delivered);
+        assert_eq!(t.revisits(), 1);
+        assert_eq!(log.len(), 1);
+        assert!(!log.is_empty());
+        assert!(log.get(8).is_none());
+    }
+
+    #[test]
+    fn finish_on_unknown_packet_is_noop() {
+        let mut log = TraceLog::default();
+        log.finish(1, PacketFate::Dropped(DropReason::TtlExpired));
+        assert!(log.is_empty());
+    }
+}

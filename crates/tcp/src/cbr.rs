@@ -1,0 +1,243 @@
+//! Constant-bit-rate (UDP-like) traffic with delay/jitter metering.
+//!
+//! The paper's evaluation goal is "the impact of the packet disordering
+//! and jitter due to a link failure and the deflection routing" (§3).
+//! TCP throughput captures disordering; this module captures the other
+//! half: a CBR source (think `iperf -u`) plus a receiver that measures
+//! one-way delay, RFC 3550-style smoothed jitter, and loss — without
+//! congestion control in the way.
+
+use kar_simnet::{App, FlowId, HostCtx, Packet, PacketKind, SimTime};
+use kar_topology::NodeId;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A constant-bit-rate sender: `packet_bytes` every `interval`.
+pub struct CbrSender {
+    dst: NodeId,
+    flow: FlowId,
+    interval: SimTime,
+    packet_bytes: u32,
+    sent: u64,
+    /// Stop after this many packets (`u64::MAX` = run forever).
+    limit: u64,
+}
+
+impl CbrSender {
+    /// Creates a sender pacing `packet_bytes`-byte datagrams every
+    /// `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(dst: NodeId, flow: FlowId, interval: SimTime, packet_bytes: u32) -> Self {
+        assert!(interval.as_nanos() > 0, "zero CBR interval");
+        CbrSender {
+            dst,
+            flow,
+            interval,
+            packet_bytes,
+            sent: 0,
+            limit: u64::MAX,
+        }
+    }
+
+    /// Limits the number of datagrams sent.
+    pub fn with_limit(mut self, packets: u64) -> Self {
+        self.limit = packets;
+        self
+    }
+
+    /// The rate this sender offers, in bits per second.
+    pub fn rate_bps(&self) -> u64 {
+        (self.packet_bytes as u128 * 8 * 1_000_000_000 / self.interval.as_nanos() as u128) as u64
+    }
+
+    fn send_one(&mut self, ctx: &mut HostCtx<'_>) {
+        if self.sent >= self.limit {
+            return;
+        }
+        ctx.send(
+            self.dst,
+            self.flow,
+            self.sent, // sequence number = datagram index
+            PacketKind::Probe,
+            self.packet_bytes,
+        );
+        self.sent += 1;
+        if self.sent < self.limit {
+            ctx.set_timer(self.interval, self.sent);
+        }
+    }
+}
+
+impl App for CbrSender {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        self.send_one(ctx);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut HostCtx<'_>, _pkt: &Packet) {}
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, _id: u64) {
+        self.send_one(ctx);
+    }
+}
+
+/// Delay/jitter/loss statistics observed by a [`CbrSink`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JitterStats {
+    /// Datagrams received.
+    pub received: u64,
+    /// Datagrams received out of order (sequence below the maximum seen).
+    pub reordered: u64,
+    /// Mean one-way delay in seconds.
+    pub mean_delay_s: f64,
+    /// Maximum one-way delay in seconds.
+    pub max_delay_s: f64,
+    /// RFC 3550 smoothed interarrival jitter, in seconds.
+    pub jitter_s: f64,
+    /// Highest sequence number seen (for loss estimation against the
+    /// sender's count).
+    pub max_seq: u64,
+}
+
+impl JitterStats {
+    /// Loss estimate given how many datagrams the sender emitted.
+    pub fn loss_ratio(&self, sent: u64) -> f64 {
+        if sent == 0 {
+            return 0.0;
+        }
+        1.0 - self.received as f64 / sent as f64
+    }
+}
+
+/// Shared handle to a sink's statistics.
+pub type SharedJitter = Rc<RefCell<JitterStats>>;
+
+/// Receiver side of a CBR flow: measures delay, jitter, reordering.
+pub struct CbrSink {
+    flow: FlowId,
+    stats: SharedJitter,
+    last_transit: Option<f64>,
+    delay_sum: f64,
+}
+
+impl CbrSink {
+    /// Creates a sink; read results through the returned shared handle.
+    pub fn new(flow: FlowId) -> (Self, SharedJitter) {
+        let stats: SharedJitter = Rc::default();
+        (
+            CbrSink {
+                flow,
+                stats: stats.clone(),
+                last_transit: None,
+                delay_sum: 0.0,
+            },
+            stats,
+        )
+    }
+}
+
+impl App for CbrSink {
+    fn on_start(&mut self, _ctx: &mut HostCtx<'_>) {}
+
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_>, pkt: &Packet) {
+        if pkt.flow != self.flow {
+            return;
+        }
+        let transit = ctx.now.since(pkt.created).as_nanos() as f64 / 1e9;
+        let mut s = self.stats.borrow_mut();
+        s.received += 1;
+        self.delay_sum += transit;
+        s.mean_delay_s = self.delay_sum / s.received as f64;
+        s.max_delay_s = s.max_delay_s.max(transit);
+        if let Some(prev) = self.last_transit {
+            // RFC 3550 §6.4.1: J += (|D| - J) / 16.
+            let d = (transit - prev).abs();
+            s.jitter_s += (d - s.jitter_s) / 16.0;
+        }
+        self.last_transit = Some(transit);
+        if pkt.seq < s.max_seq {
+            s.reordered += 1;
+        }
+        s.max_seq = s.max_seq.max(pkt.seq);
+    }
+
+    fn on_timer(&mut self, _ctx: &mut HostCtx<'_>, _id: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kar_rns::{crt_encode, RnsBasis};
+    use kar_simnet::{ModuloForwarder, Sim, SimConfig, StaticRoutes};
+    use kar_topology::{paths, LinkParams, TopologyBuilder};
+
+    fn line() -> (kar_topology::Topology, StaticRoutes) {
+        let mut b = TopologyBuilder::new();
+        let s = b.edge("S");
+        let c = b.core("C", 5);
+        let d = b.edge("D");
+        let p = LinkParams::new(100, 100);
+        b.link(s, c, p);
+        b.link(c, d, p);
+        let topo = b.build().unwrap();
+        let mut routes = StaticRoutes::new();
+        let path = paths::bfs_shortest_path(&topo, topo.expect("S"), topo.expect("D")).unwrap();
+        let pairs = paths::switch_port_pairs(&topo, &path).unwrap();
+        let basis = RnsBasis::new(pairs.iter().map(|&(id, _)| id).collect()).unwrap();
+        let r = crt_encode(&basis, &pairs.iter().map(|&(_, p)| p).collect::<Vec<_>>()).unwrap();
+        routes.insert(topo.expect("S"), topo.expect("D"), r, 0);
+        (topo, routes)
+    }
+
+    #[test]
+    fn steady_line_has_zero_jitter() {
+        let (topo, routes) = line();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloForwarder::new()),
+            Box::new(routes),
+            SimConfig::default(),
+        );
+        let tx = CbrSender::new(
+            topo.expect("D"),
+            FlowId(1),
+            SimTime::from_millis(1),
+            1000,
+        )
+        .with_limit(100);
+        assert_eq!(tx.rate_bps(), 8_000_000);
+        sim.add_app(topo.expect("S"), Box::new(tx));
+        let (rx, stats) = CbrSink::new(FlowId(1));
+        sim.add_app(topo.expect("D"), Box::new(rx));
+        sim.run_to_quiescence();
+        let s = *stats.borrow();
+        assert_eq!(s.received, 100);
+        assert_eq!(s.reordered, 0);
+        assert_eq!(s.loss_ratio(100), 0.0);
+        // Uncontended line: every datagram sees the same delay → no jitter.
+        assert!(s.jitter_s < 1e-9, "jitter {}", s.jitter_s);
+        assert!(s.mean_delay_s > 0.0);
+        assert!((s.max_delay_s - s.mean_delay_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn limit_stops_the_sender() {
+        let (topo, routes) = line();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloForwarder::new()),
+            Box::new(routes),
+            SimConfig::default(),
+        );
+        let tx = CbrSender::new(topo.expect("D"), FlowId(1), SimTime::from_millis(1), 500)
+            .with_limit(7);
+        sim.add_app(topo.expect("S"), Box::new(tx));
+        let (rx, stats) = CbrSink::new(FlowId(1));
+        sim.add_app(topo.expect("D"), Box::new(rx));
+        sim.run_to_quiescence();
+        assert_eq!(stats.borrow().received, 7);
+    }
+
+}

@@ -1,0 +1,107 @@
+//! Convenience wiring of an iperf-like bulk TCP flow onto a simulation.
+
+use crate::meter::{shared_meter, SharedMeter};
+use crate::reno::{RenoReceiver, RenoSender, TcpConfig};
+use kar_simnet::{FlowId, Sim, SimTime};
+use kar_topology::NodeId;
+
+/// A bulk TCP flow installed on a simulation: sender at `src`, receiver
+/// (with goodput meter) at `dst` — the equivalent of one `iperf`
+/// client/server pair in the paper's testbed.
+#[derive(Debug)]
+pub struct BulkFlow {
+    /// Flow id shared by sender and receiver.
+    pub flow: FlowId,
+    /// Source edge node.
+    pub src: NodeId,
+    /// Destination edge node.
+    pub dst: NodeId,
+    /// The receiver's goodput meter.
+    pub meter: SharedMeter,
+}
+
+impl BulkFlow {
+    /// Installs sender and receiver apps with a meter of `bin` width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is a core switch (apps live on edges).
+    pub fn install(
+        sim: &mut Sim<'_>,
+        src: NodeId,
+        dst: NodeId,
+        flow: FlowId,
+        cfg: TcpConfig,
+        bin: SimTime,
+    ) -> BulkFlow {
+        let meter = shared_meter(bin);
+        sim.add_app(src, Box::new(RenoSender::new(dst, flow, cfg)));
+        sim.add_app(
+            dst,
+            Box::new(RenoReceiver::new(src, flow, cfg, Some(meter.clone()))),
+        );
+        BulkFlow {
+            flow,
+            src,
+            dst,
+            meter,
+        }
+    }
+
+    /// Mean goodput in Mbit/s over `[from, to)`.
+    pub fn mean_mbps(&self, from: SimTime, to: SimTime) -> f64 {
+        self.meter.borrow().mean_mbps(from, to)
+    }
+
+    /// Per-bin goodput series in Mbit/s up to `until`.
+    pub fn series_mbps(&self, until: SimTime) -> Vec<f64> {
+        self.meter.borrow().series_mbps(until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kar_rns::{crt_encode, RnsBasis};
+    use kar_simnet::{ModuloForwarder, SimConfig, StaticRoutes};
+    use kar_topology::{paths, LinkParams, TopologyBuilder};
+
+    #[test]
+    fn install_and_measure() {
+        let mut b = TopologyBuilder::new();
+        let s = b.edge("S");
+        let c = b.core("C", 5);
+        let d = b.edge("D");
+        let p = LinkParams::new(20, 100);
+        b.link(s, c, p);
+        b.link(c, d, p);
+        let topo = b.build().unwrap();
+        let mut routes = StaticRoutes::new();
+        for (a, z) in [("S", "D"), ("D", "S")] {
+            let path = paths::bfs_shortest_path(&topo, topo.expect(a), topo.expect(z)).unwrap();
+            let pairs = paths::switch_port_pairs(&topo, &path).unwrap();
+            let basis = RnsBasis::new(pairs.iter().map(|&(id, _)| id).collect()).unwrap();
+            let r =
+                crt_encode(&basis, &pairs.iter().map(|&(_, p)| p).collect::<Vec<_>>()).unwrap();
+            routes.insert(topo.expect(a), topo.expect(z), r, 0);
+        }
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloForwarder::new()),
+            Box::new(routes),
+            SimConfig::default(),
+        );
+        let flow = BulkFlow::install(
+            &mut sim,
+            topo.expect("S"),
+            topo.expect("D"),
+            FlowId(3),
+            TcpConfig::default(),
+            SimTime::from_secs(1),
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let mean = flow.mean_mbps(SimTime::from_secs(1), SimTime::from_secs(5));
+        assert!(mean > 16.0 && mean <= 20.0, "mean {mean}");
+        assert_eq!(flow.series_mbps(SimTime::from_secs(5)).len(), 5);
+    }
+}

@@ -1,0 +1,35 @@
+//! # kar-tcp — TCP-Reno transport model for the KAR reproduction
+//!
+//! The KAR paper quantifies failure reaction by its effect on **iperf TCP
+//! throughput**: deflected packets survive a link failure but arrive
+//! reordered, and reordering provokes duplicate-ACK fast retransmits that
+//! halve the congestion window. This crate supplies that measurement
+//! instrument for the simulator in `kar-simnet`:
+//!
+//! * [`RenoSender`] / [`RenoReceiver`] — a NewReno-flavoured TCP with
+//!   slow start, congestion avoidance, triple-dup-ACK fast retransmit,
+//!   RTO estimation with backoff, and out-of-order receive buffering;
+//! * [`BulkFlow`] — one-call installation of an iperf-like bulk flow;
+//! * [`IntervalMeter`] / [`SampleStats`] — the goodput series of Fig. 4
+//!   and the mean ± 95% CI aggregation of Figs. 5 and 7;
+//! * [`CbrSender`] / [`CbrSink`] — UDP-like constant-bit-rate traffic
+//!   with one-way delay and RFC 3550 jitter metering (the paper's
+//!   stated "disordering and jitter" goal, without TCP in the way).
+//!
+//! # Examples
+//!
+//! See [`BulkFlow::install`] and the crate tests; the full experiment
+//! drivers live in `kar-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cbr;
+mod flow;
+mod meter;
+mod reno;
+
+pub use cbr::{CbrSender, CbrSink, JitterStats, SharedJitter};
+pub use flow::BulkFlow;
+pub use meter::{shared_meter, IntervalMeter, SampleStats, SharedMeter};
+pub use reno::{CongestionControl, ReceiverStats, RenoReceiver, RenoSender, SenderStats, TcpConfig};

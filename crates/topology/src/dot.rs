@@ -1,0 +1,75 @@
+//! Graphviz DOT export for topologies — handy for documenting the
+//! reconstructed paper networks (`dot -Tsvg`).
+
+use crate::graph::{NodeKind, Topology};
+use std::fmt::Write as _;
+
+/// Renders the topology in Graphviz DOT format.
+///
+/// Core switches appear as boxes labelled with their name and switch ID,
+/// edge nodes as ellipses; links are annotated with their rate in
+/// Mbit/s.
+///
+/// # Examples
+///
+/// ```
+/// let dot = kar_topology::to_dot(&kar_topology::topo15::build());
+/// assert!(dot.starts_with("graph kar"));
+/// assert!(dot.contains("SW10"));
+/// ```
+pub fn to_dot(topo: &Topology) -> String {
+    let mut out = String::from("graph kar {\n  layout=neato;\n  overlap=false;\n");
+    for (i, node) in topo.nodes().iter().enumerate() {
+        match node.kind {
+            NodeKind::Core { switch_id } => {
+                let _ = writeln!(
+                    out,
+                    "  n{i} [shape=box, label=\"{}\\nid={switch_id}\"];",
+                    node.name
+                );
+            }
+            NodeKind::Edge => {
+                let _ = writeln!(out, "  n{i} [shape=ellipse, label=\"{}\"];", node.name);
+            }
+        }
+    }
+    for link in topo.links() {
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [label=\"{}M\"];",
+            link.a.0,
+            link.b.0,
+            link.params.rate_bps / 1_000_000
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rnp28, topo15};
+
+    #[test]
+    fn topo15_exports_all_elements() {
+        let topo = topo15::build();
+        let dot = to_dot(&topo);
+        assert!(dot.starts_with("graph kar {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for (name, id) in topo15::SWITCHES {
+            assert!(dot.contains(&format!("{name}\\nid={id}")), "{name}");
+        }
+        for edge in topo15::EDGES {
+            assert!(dot.contains(edge));
+        }
+        assert_eq!(dot.matches(" -- ").count(), topo.link_count());
+    }
+
+    #[test]
+    fn rnp_rates_are_annotated() {
+        let dot = to_dot(&rnp28::build());
+        assert!(dot.contains("[label=\"200M\"]"));
+        assert!(dot.contains("[label=\"50M\"]"));
+    }
+}

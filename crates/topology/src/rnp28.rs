@@ -1,0 +1,366 @@
+//! The Brazilian RNP national research-network backbone (Fig. 6 / Fig. 8):
+//! 28 points of presence, 40 links, heterogeneous link rates.
+//!
+//! The paper's drawing is not machine-readable, so this module
+//! *reconstructs* the topology from every constraint named in §3.2:
+//!
+//! * primary route SW7 (Boa Vista) → SW13 → SW41 → SW73 (São Paulo);
+//! * partial-protection links SW17–SW71, SW61–SW67, SW67–SW71, SW71–SW73;
+//! * on SW7–SW13 failure, SW7's only deflection alternative is SW11, and
+//!   SW11 leads (deterministically, degree 2) to SW17 — "the failure
+//!   causes the addition of one more hop without any packet disordering";
+//! * SW13 has exactly seven neighbours {SW7, SW41, SW29, SW17, SW47,
+//!   SW37, SW71}, so an SW13–SW41 failure deflects to five candidates
+//!   with probability 1/5 each, two of which (SW17, SW71) are protected;
+//! * on SW41–SW73 failure the candidates are SW17 and SW61 (1/2 each),
+//!   both protected;
+//! * the Fig. 8 redundant-path scenario: SW73–SW107–SW113 primary with
+//!   the unusable parallel branch SW73–SW109–SW113, and protection
+//!   SW71→SW17→SW41→SW73 forming the probabilistic "protection loop";
+//! * link rates are proportional to RNP classes (we scale 10G/3G/1G down
+//!   to 200/100/50 Mbit/s so simulations stay tractable; only ratios
+//!   matter for the reported relative throughput drops).
+//!
+//! All 28 switch IDs are distinct primes (pairwise coprime), each larger
+//! than its degree. Three measurement hosts attach at Boa Vista (`E_BV`),
+//! São Paulo (`E_SP`) and the Fig. 8 destination SW113 (`E_113`).
+
+use crate::builder::TopologyBuilder;
+use crate::graph::{LinkParams, Topology};
+
+/// Rate class of an RNP link (scaled-down proportions of the real rates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RateClass {
+    /// 10 Gbit/s class → simulated at 200 Mbit/s.
+    Core,
+    /// 3 Gbit/s class → simulated at 100 Mbit/s.
+    Regional,
+    /// 1 Gbit/s class → simulated at 50 Mbit/s.
+    North,
+}
+
+impl RateClass {
+    /// The scaled simulation rate in Mbit/s.
+    pub fn mbps(self) -> u64 {
+        match self {
+            RateClass::Core => 200,
+            RateClass::Regional => 100,
+            RateClass::North => 50,
+        }
+    }
+
+    /// Link parameters for this class (1 ms propagation — long-haul WAN).
+    pub fn params(self) -> LinkParams {
+        LinkParams::new(self.mbps(), 1_000)
+    }
+}
+
+/// `(name, switch_id, point-of-presence label)` for the 28 PoPs.
+///
+/// PoP labels are illustrative (the paper's figure shows the RNP map but
+/// the text only names Boa Vista = 7 and São Paulo = 73).
+pub const SWITCHES: [(&str, u64, &str); 28] = [
+    ("SW7", 7, "Boa Vista"),
+    ("SW11", 11, "Manaus"),
+    ("SW13", 13, "Brasília"),
+    ("SW17", 17, "Fortaleza"),
+    ("SW19", 19, "Macapá"),
+    ("SW23", 23, "Belém"),
+    ("SW29", 29, "São Luís"),
+    ("SW31", 31, "Teresina"),
+    ("SW37", 37, "Palmas"),
+    ("SW41", 41, "Belo Horizonte"),
+    ("SW43", 43, "Natal"),
+    ("SW47", 47, "Recife"),
+    ("SW53", 53, "Cuiabá"),
+    ("SW59", 59, "Campo Grande"),
+    ("SW61", 61, "Curitiba"),
+    ("SW67", 67, "Florianópolis"),
+    ("SW71", 71, "Rio de Janeiro"),
+    ("SW73", 73, "São Paulo"),
+    ("SW79", 79, "Porto Alegre"),
+    ("SW83", 83, "Santa Maria"),
+    ("SW89", 89, "Londrina"),
+    ("SW97", 97, "Campinas"),
+    ("SW101", 101, "São Carlos"),
+    ("SW103", 103, "Juiz de Fora"),
+    ("SW107", 107, "Vitória"),
+    ("SW109", 109, "Niterói"),
+    ("SW113", 113, "Cachoeiro"),
+    ("SW127", 127, "Porto Velho"),
+];
+
+/// The 40 undirected links `(a, b, class)`, in port-assignment order.
+pub const LINKS: [(&str, &str, RateClass); 40] = [
+    // Northern access and the Fig. 7 primary route.
+    ("SW7", "SW13", RateClass::North),
+    ("SW7", "SW11", RateClass::North),
+    ("SW11", "SW17", RateClass::North),
+    ("SW13", "SW41", RateClass::Core),
+    ("SW13", "SW29", RateClass::Regional),
+    ("SW13", "SW17", RateClass::Core),
+    ("SW13", "SW47", RateClass::Regional),
+    ("SW13", "SW37", RateClass::Regional),
+    ("SW13", "SW71", RateClass::Core),
+    ("SW41", "SW73", RateClass::Core),
+    ("SW41", "SW17", RateClass::Core),
+    ("SW41", "SW61", RateClass::Regional),
+    // The §3.2 protection links.
+    ("SW17", "SW71", RateClass::Core),
+    ("SW61", "SW67", RateClass::Regional),
+    ("SW67", "SW71", RateClass::Regional),
+    ("SW71", "SW73", RateClass::Core),
+    // Fig. 8 redundant-path region around São Paulo.
+    ("SW73", "SW107", RateClass::Regional),
+    ("SW73", "SW109", RateClass::Regional),
+    ("SW107", "SW113", RateClass::Regional),
+    ("SW109", "SW113", RateClass::Regional),
+    // North-east ring.
+    ("SW19", "SW23", RateClass::North),
+    ("SW23", "SW29", RateClass::North),
+    ("SW19", "SW47", RateClass::North),
+    ("SW31", "SW37", RateClass::North),
+    ("SW31", "SW43", RateClass::North),
+    ("SW43", "SW47", RateClass::Regional),
+    // Centre-west spur.
+    ("SW53", "SW59", RateClass::North),
+    ("SW53", "SW61", RateClass::Regional),
+    ("SW59", "SW67", RateClass::Regional),
+    // Southern ring.
+    ("SW79", "SW71", RateClass::Regional),
+    ("SW79", "SW83", RateClass::Regional),
+    ("SW83", "SW89", RateClass::Regional),
+    ("SW89", "SW61", RateClass::Regional),
+    ("SW89", "SW29", RateClass::North),
+    // São Paulo interior chain (exits to the southern ring via SW89 so
+    // no region is a dead-end pocket).
+    ("SW97", "SW107", RateClass::Regional),
+    ("SW97", "SW101", RateClass::Regional),
+    ("SW101", "SW103", RateClass::Regional),
+    ("SW103", "SW89", RateClass::Regional),
+    // Western spur.
+    ("SW127", "SW53", RateClass::North),
+    ("SW127", "SW19", RateClass::North),
+];
+
+/// `(host, attached PoP)` measurement endpoints. `E_BH` (Belo
+/// Horizonte) sources the Fig. 8 scenario: its route enters SW73 *from
+/// SW41*, which is what makes SW73's deflection a SW109-or-SW71 coin and
+/// lets the paper add only SW71→SW17→SW41 as protection (SW41→SW73 is
+/// already on the route).
+pub const HOSTS: [(&str, &str); 4] = [
+    ("E_BV", "SW7"),
+    ("E_SP", "SW73"),
+    ("E_113", "SW113"),
+    ("E_BH", "SW41"),
+];
+
+/// Fig. 7 primary route as node names (Boa Vista host → São Paulo host).
+pub const FIG7_ROUTE: [&str; 6] = ["E_BV", "SW7", "SW13", "SW41", "SW73", "E_SP"];
+
+/// Fig. 7 partial-protection segments `(from, towards)` — the paper's
+/// "links SW17-SW71, SW61-SW67, SW67-SW71 and SW71-SW73 … into the route
+/// ID as partial protection".
+pub const FIG7_PROTECTION: [(&str, &str); 4] = [
+    ("SW17", "SW71"),
+    ("SW61", "SW67"),
+    ("SW67", "SW71"),
+    ("SW71", "SW73"),
+];
+
+/// Fig. 7 failure locations (plus the paper's no-failure baseline).
+pub const FIG7_FAILURES: [(&str, &str); 3] =
+    [("SW7", "SW13"), ("SW13", "SW41"), ("SW41", "SW73")];
+
+/// Fig. 8 primary route (Belo Horizonte host → SW113 host, via the
+/// international hub).
+pub const FIG8_ROUTE: [&str; 6] = ["E_BH", "SW41", "SW73", "SW107", "SW113", "E_113"];
+
+/// Fig. 8 protection segments: the paper adds SW71-SW17 and SW17-SW41;
+/// together with the route's own SW41→SW73 hop they form the loop
+/// SW73→SW71→SW17→SW41→SW73.
+pub const FIG8_PROTECTION: [(&str, &str); 2] = [("SW71", "SW17"), ("SW17", "SW41")];
+
+/// The Fig. 8 failure location.
+pub const FIG8_FAILURE: (&str, &str) = ("SW73", "SW107");
+
+/// Builds the RNP topology with class-proportional link rates.
+pub fn build() -> Topology {
+    let mut b = TopologyBuilder::new();
+    for (name, id, _) in SWITCHES {
+        b.core(name, id);
+    }
+    for (host, _) in HOSTS {
+        b.edge(host);
+    }
+    for (x, y, class) in LINKS {
+        b.link_names(x, y, class.params());
+    }
+    for (host, pop) in HOSTS {
+        // Host access links are never the bottleneck.
+        b.link_names(host, pop, LinkParams::new(1_000, 50));
+    }
+    b.build().expect("rnp28 constants are valid")
+}
+
+/// The PoP label of a switch name, if known.
+pub fn pop_label(switch: &str) -> Option<&'static str> {
+    SWITCHES
+        .iter()
+        .find(|&&(name, _, _)| name == switch)
+        .map(|&(_, _, label)| label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn neighbours_of(t: &Topology, name: &str) -> Vec<String> {
+        t.neighbors(t.expect(name))
+            .map(|(_, _, p)| t.node(p).name.clone())
+            .collect()
+    }
+
+    #[test]
+    fn has_28_pops_and_40_backbone_links() {
+        let t = build();
+        assert_eq!(t.core_nodes().len(), 28);
+        assert_eq!(t.edge_nodes().len(), 4);
+        // 40 backbone links + 4 host access links.
+        assert_eq!(t.link_count(), 44);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn all_ids_prime_and_exceed_degree() {
+        let t = build();
+        for n in t.core_nodes() {
+            let id = t.switch_id(n).unwrap();
+            assert!(kar_rns::is_prime(id), "{} id {id}", t.node(n).name);
+            assert!(id > t.node(n).degree() as u64);
+        }
+        assert!(kar_rns::pairwise_coprime(&t.switch_ids()));
+    }
+
+    #[test]
+    fn boa_vista_deflection_is_deterministic() {
+        // §3.2: "when the link SW7-SW13 fails … the only alternative path
+        // is to SW11 and, then, to SW17".
+        let t = build();
+        let mut n7 = neighbours_of(&t, "SW7");
+        n7.sort();
+        assert_eq!(n7, vec!["E_BV", "SW11", "SW13"]);
+        let mut n11 = neighbours_of(&t, "SW11");
+        n11.sort();
+        assert_eq!(n11, vec!["SW17", "SW7"], "SW11 must be degree 2");
+    }
+
+    #[test]
+    fn sw13_has_the_papers_seven_neighbours() {
+        let t = build();
+        let mut n = neighbours_of(&t, "SW13");
+        n.sort();
+        assert_eq!(
+            n,
+            vec!["SW17", "SW29", "SW37", "SW41", "SW47", "SW7", "SW71"]
+        );
+    }
+
+    #[test]
+    fn sw13_failure_deflects_five_ways_two_protected() {
+        // §3.2: candidates SW29, SW17, SW47, SW37, SW71 each with p = 1/5;
+        // SW17 and SW71 are on the protection path.
+        let t = build();
+        let cands: Vec<String> = neighbours_of(&t, "SW13")
+            .into_iter()
+            .filter(|n| n != "SW7" && n != "SW41")
+            .collect();
+        assert_eq!(cands.len(), 5);
+        let protected: Vec<&str> = FIG7_PROTECTION.iter().map(|&(a, _)| a).collect();
+        let covered = cands.iter().filter(|c| protected.contains(&c.as_str())).count();
+        assert_eq!(covered, 2);
+    }
+
+    #[test]
+    fn sw41_failure_deflects_two_ways_both_protected() {
+        let t = build();
+        let cands: Vec<String> = neighbours_of(&t, "SW41")
+            .into_iter()
+            // Input, failed port, and host ports are not candidates.
+            .filter(|n| n != "SW13" && n != "SW73" && !n.starts_with("E_"))
+            .collect();
+        assert_eq!(cands.len(), 2);
+        let protected: Vec<&str> = FIG7_PROTECTION.iter().map(|&(a, _)| a).collect();
+        assert!(cands.iter().all(|c| protected.contains(&c.as_str())), "{cands:?}");
+    }
+
+    #[test]
+    fn fig8_deflection_after_bounce_is_even_coin() {
+        // §3.2 Fig. 8: a packet arriving at SW73 from SW41 (both on the
+        // first pass and on every protection lap) chooses between SW109
+        // and SW71 with probability 1/2.
+        let t = build();
+        let cands: Vec<String> = neighbours_of(&t, "SW73")
+            .into_iter()
+            .filter(|n| n != "SW41" && n != "SW107" && n != "E_SP")
+            .collect();
+        let mut sorted = cands.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec!["SW109", "SW71"]);
+    }
+
+    #[test]
+    fn fig8_alternative_branch_exists() {
+        // "there is a second path through SW109 that directly connects
+        // SW73 to the destination SW113".
+        let t = build();
+        assert!(t.link_between(t.expect("SW73"), t.expect("SW109")).is_some());
+        assert!(t.link_between(t.expect("SW109"), t.expect("SW113")).is_some());
+        let mut n109 = neighbours_of(&t, "SW109");
+        n109.sort();
+        // Degree 2: a deflected packet at SW109 is forced to SW113 —
+        // "If SW109 is chosen, the packet will arrive at the destination".
+        assert_eq!(n109, vec!["SW113", "SW73"]);
+    }
+
+    #[test]
+    fn routes_and_protection_segments_are_adjacent() {
+        let t = build();
+        for route in [&FIG7_ROUTE[..], &FIG8_ROUTE[..]] {
+            for w in route.windows(2) {
+                assert!(
+                    t.port_towards(t.expect(w[0]), t.expect(w[1])).is_some(),
+                    "{} must neighbour {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        for (a, b) in FIG7_PROTECTION.iter().chain(&FIG8_PROTECTION) {
+            assert!(t.port_towards(t.expect(a), t.expect(b)).is_some());
+        }
+        for (a, b) in FIG7_FAILURES.iter().chain([&FIG8_FAILURE]) {
+            let _ = t.expect_link(a, b);
+        }
+    }
+
+    #[test]
+    fn primary_route_bottleneck_is_the_north_link() {
+        let t = build();
+        let route: Vec<_> = FIG7_ROUTE.iter().map(|n| t.expect(n)).collect();
+        let links = crate::paths::links_along(&t, &route).unwrap();
+        let min = links
+            .iter()
+            .map(|&l| t.link(l).params.rate_bps)
+            .min()
+            .unwrap();
+        assert_eq!(min, 50_000_000, "Boa Vista access is the 50 Mbit/s bottleneck");
+    }
+
+    #[test]
+    fn pop_labels() {
+        assert_eq!(pop_label("SW7"), Some("Boa Vista"));
+        assert_eq!(pop_label("SW73"), Some("São Paulo"));
+        assert_eq!(pop_label("SW999"), None);
+    }
+}

@@ -1,0 +1,272 @@
+//! The paper's 15-node experimental network (Fig. 2 / Fig. 3).
+//!
+//! The original figure is not machine-readable, so this module is a
+//! *reconstruction* that honours every textual constraint of §3.1:
+//!
+//! * the primary route is SW10–SW7–SW13–SW29 between AS1 and AS3;
+//! * Table 1 route-ID bit lengths are exactly 15 / 28 / 43 bits for
+//!   4 / 7 / 10 switches (unprotected / partial / full) — satisfied by
+//!   IDs {10,7,13,29} (M = 26 390), +{11,19,31} (M = 170 980 810) and
+//!   +{17,37,41} (M ≈ 4.41·10¹²);
+//! * when SW10–SW7 fails under partial protection, deflection at SW10 has
+//!   three candidates of which two (SW17, SW37) are *not* protected — the
+//!   paper's "2/3 of packets" observation;
+//! * failures of SW7–SW13 and SW13–SW29 are fully enclosed by the partial
+//!   protection path (all deflection candidates are protected);
+//! * all 12 core switch IDs are pairwise coprime and exceed their degree;
+//! * three edge nodes (AS1, AS2, AS3) complete the 15 nodes.
+//!
+//! Link rates default to 200 Mbit/s, the nominal TCP rate in Fig. 4/5.
+
+use crate::builder::TopologyBuilder;
+use crate::graph::{LinkParams, NodeId, Topology};
+
+/// Names of the three autonomous-system edge nodes.
+pub const EDGES: [&str; 3] = ["AS1", "AS2", "AS3"];
+
+/// `(name, switch_id)` of the twelve core switches.
+pub const SWITCHES: [(&str, u64); 12] = [
+    ("SW7", 7),
+    ("SW10", 10),
+    ("SW13", 13),
+    ("SW29", 29),
+    ("SW11", 11),
+    ("SW19", 19),
+    ("SW31", 31),
+    ("SW17", 17),
+    ("SW37", 37),
+    ("SW41", 41),
+    ("SW23", 23),
+    ("SW43", 43),
+];
+
+/// The 22 undirected links as name pairs, in port-assignment order.
+pub const LINKS: [(&str, &str); 22] = [
+    ("AS1", "SW10"),
+    ("SW10", "SW7"),
+    ("SW7", "SW13"),
+    ("SW13", "SW29"),
+    ("SW29", "AS3"),
+    // Partial-protection branch (SW11 → SW19 → SW31 → SW29).
+    ("SW10", "SW11"),
+    ("SW7", "SW11"),
+    ("SW7", "SW19"),
+    ("SW13", "SW19"),
+    ("SW13", "SW31"),
+    ("SW11", "SW19"),
+    ("SW19", "SW31"),
+    ("SW31", "SW29"),
+    // Full-protection branch (SW17/SW37 → SW41 → SW29).
+    ("SW10", "SW17"),
+    ("SW10", "SW37"),
+    ("SW17", "SW41"),
+    ("SW37", "SW41"),
+    ("SW41", "SW29"),
+    // Mesh filler giving hot-potato packets somewhere to wander.
+    ("SW17", "SW23"),
+    ("SW23", "SW43"),
+    ("SW43", "SW37"),
+    ("AS2", "SW23"),
+];
+
+/// The primary route of §3.1 as node names (AS1 → AS3).
+pub const PRIMARY_ROUTE: [&str; 6] = ["AS1", "SW10", "SW7", "SW13", "SW29", "AS3"];
+
+/// Partial-protection driven-deflection segments, as `(from, towards)`
+/// name pairs: each protected switch's encoded output port points at
+/// `towards`, forming a tree rooted near the destination (Fig. 3).
+pub const PARTIAL_PROTECTION: [(&str, &str); 3] =
+    [("SW11", "SW19"), ("SW19", "SW31"), ("SW31", "SW29")];
+
+/// Extra segments that upgrade partial protection to full protection.
+pub const FULL_EXTRA_PROTECTION: [(&str, &str); 3] =
+    [("SW17", "SW41"), ("SW37", "SW41"), ("SW41", "SW29")];
+
+/// The three failure locations evaluated in Fig. 5, as name pairs.
+pub const FAILURE_LOCATIONS: [(&str, &str); 3] =
+    [("SW10", "SW7"), ("SW7", "SW13"), ("SW13", "SW29")];
+
+/// Builds the 15-node network with uniform `params` on every link.
+///
+/// # Panics
+///
+/// Never panics for the constants above; the construction is validated at
+/// build time (coprimality, degree bounds) and covered by tests.
+pub fn build_with_params(params: LinkParams) -> Topology {
+    let mut b = TopologyBuilder::new();
+    for name in EDGES {
+        b.edge(name);
+    }
+    for (name, id) in SWITCHES {
+        b.core(name, id);
+    }
+    for (x, y) in LINKS {
+        b.link_names(x, y, params);
+    }
+    b.build().expect("topo15 constants are valid")
+}
+
+/// Builds the 15-node network with the paper's default 200 Mbit/s links.
+pub fn build() -> Topology {
+    build_with_params(LinkParams::default())
+}
+
+/// Resolves [`PRIMARY_ROUTE`] to node ids in `topo`.
+pub fn primary_route(topo: &Topology) -> Vec<NodeId> {
+    PRIMARY_ROUTE.iter().map(|n| topo.expect(n)).collect()
+}
+
+/// Resolves a protection constant to `(from, towards)` node-id pairs.
+pub fn protection_pairs(topo: &Topology, pairs: &[(&str, &str)]) -> Vec<(NodeId, NodeId)> {
+    pairs
+        .iter()
+        .map(|(a, b)| (topo.expect(a), topo.expect(b)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::{bfs_shortest_path, links_along, switch_port_pairs};
+    use kar_rns::route_id_bit_length;
+
+    #[test]
+    fn has_15_nodes_and_22_links() {
+        let t = build();
+        assert_eq!(t.node_count(), 15);
+        assert_eq!(t.link_count(), 22);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn primary_route_is_adjacent_and_shortest() {
+        let t = build();
+        let route = primary_route(&t);
+        assert!(links_along(&t, &route).is_ok());
+        let shortest = bfs_shortest_path(&t, t.expect("AS1"), t.expect("AS3")).unwrap();
+        assert_eq!(shortest.len(), route.len(), "primary route must be a shortest path");
+    }
+
+    #[test]
+    fn table1_bit_lengths_hold() {
+        // The decisive reconstruction constraint: Table 1 must reproduce.
+        let t = build();
+        let route = primary_route(&t);
+        let mut ids: Vec<u64> = switch_port_pairs(&t, &route)
+            .unwrap()
+            .iter()
+            .map(|&(id, _)| id)
+            .collect();
+        assert_eq!(ids, vec![10, 7, 13, 29]);
+        assert_eq!(route_id_bit_length(&ids), 15);
+        for (from, _) in PARTIAL_PROTECTION {
+            ids.push(t.switch_id(t.expect(from)).unwrap());
+        }
+        assert_eq!(route_id_bit_length(&ids), 28);
+        for (from, _) in FULL_EXTRA_PROTECTION {
+            ids.push(t.switch_id(t.expect(from)).unwrap());
+        }
+        assert_eq!(ids.len(), 10);
+        assert_eq!(route_id_bit_length(&ids), 43);
+    }
+
+    #[test]
+    fn protection_segments_are_adjacent() {
+        let t = build();
+        for (a, b) in PARTIAL_PROTECTION.iter().chain(&FULL_EXTRA_PROTECTION) {
+            assert!(
+                t.port_towards(t.expect(a), t.expect(b)).is_some(),
+                "{a} must neighbour {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn sw10_deflection_split_is_one_third_protected() {
+        // §3.1: on SW10-SW7 failure, "2/3 of packets will be sent to
+        // switches SW17 or SW37" — i.e. exactly one of SW10's three
+        // non-input healthy neighbours lies on the partial protection path.
+        let t = build();
+        let sw10 = t.expect("SW10");
+        let candidates: Vec<String> = t
+            .neighbors(sw10)
+            .map(|(_, _, p)| t.node(p).name.clone())
+            .filter(|n| n != "AS1" && n != "SW7") // input + failed
+            .collect();
+        assert_eq!(candidates.len(), 3);
+        let protected: Vec<&str> = PARTIAL_PROTECTION.iter().map(|&(a, _)| a).collect();
+        let covered = candidates
+            .iter()
+            .filter(|c| protected.contains(&c.as_str()))
+            .count();
+        assert_eq!(covered, 1, "exactly 1/3 of SW10's deflection targets covered");
+        assert!(candidates.contains(&"SW17".to_string()));
+        assert!(candidates.contains(&"SW37".to_string()));
+    }
+
+    #[test]
+    fn sw7_and_sw13_deflections_fully_enclosed_by_partial() {
+        // §3.1: "partial protection was enough to enclose the alternative
+        // paths" for failures SW7-SW13 and SW13-SW29.
+        let t = build();
+        let protected: Vec<&str> = PARTIAL_PROTECTION.iter().map(|&(a, _)| a).collect();
+        // SW7, failure towards SW13, input SW10:
+        let c7: Vec<String> = t
+            .neighbors(t.expect("SW7"))
+            .map(|(_, _, p)| t.node(p).name.clone())
+            .filter(|n| n != "SW10" && n != "SW13")
+            .collect();
+        assert!(!c7.is_empty());
+        assert!(c7.iter().all(|c| protected.contains(&c.as_str())), "{c7:?}");
+        // SW13, failure towards SW29, input SW7:
+        let c13: Vec<String> = t
+            .neighbors(t.expect("SW13"))
+            .map(|(_, _, p)| t.node(p).name.clone())
+            .filter(|n| n != "SW7" && n != "SW29")
+            .collect();
+        assert!(!c13.is_empty());
+        assert!(c13.iter().all(|c| protected.contains(&c.as_str())), "{c13:?}");
+    }
+
+    #[test]
+    fn full_protection_covers_all_sw10_targets() {
+        let t = build();
+        let mut protected: Vec<&str> = PARTIAL_PROTECTION.iter().map(|&(a, _)| a).collect();
+        protected.extend(FULL_EXTRA_PROTECTION.iter().map(|&(a, _)| a));
+        let candidates: Vec<String> = t
+            .neighbors(t.expect("SW10"))
+            .map(|(_, _, p)| t.node(p).name.clone())
+            .filter(|n| n != "AS1" && n != "SW7")
+            .collect();
+        assert!(candidates.iter().all(|c| protected.contains(&c.as_str())));
+    }
+
+    #[test]
+    fn protection_trees_reach_destination() {
+        // Following encoded protection ports from any protected switch must
+        // terminate at SW29 (the egress core) without cycles.
+        let _t = build();
+        let mut next = std::collections::HashMap::new();
+        for (a, b) in PARTIAL_PROTECTION.iter().chain(&FULL_EXTRA_PROTECTION) {
+            next.insert(*a, *b);
+        }
+        for start in next.keys() {
+            let mut cur = *start;
+            let mut hops = 0;
+            while let Some(&n) = next.get(cur) {
+                cur = n;
+                hops += 1;
+                assert!(hops < 16, "protection chain from {start} loops");
+            }
+            assert_eq!(cur, "SW29", "protection chain from {start} must end at SW29");
+        }
+    }
+
+    #[test]
+    fn failure_locations_exist() {
+        let t = build();
+        for (a, b) in FAILURE_LOCATIONS {
+            let _ = t.expect_link(a, b);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Compare the three deflection techniques (HP, AVP, NIP) plus the
+//! no-deflection baseline under a live TCP transfer across a failure —
+//! a miniature of the paper's Fig. 4.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example deflection_comparison
+//! ```
+
+use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar_simnet::{FlowId, SimTime};
+use kar_tcp::{BulkFlow, TcpConfig};
+use kar_topology::topo15;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = topo15::build();
+    let as1 = topo.expect("AS1");
+    let as3 = topo.expect("AS3");
+    let failed = topo.expect_link("SW7", "SW13");
+    let total = SimTime::from_secs(9);
+
+    println!("bulk TCP AS1→AS3, SW7-SW13 fails at t=3s, repairs at t=6s");
+    println!("{:<14} {:>8} {:>8} {:>8}", "technique", "before", "during", "after");
+    for technique in DeflectionTechnique::ALL {
+        let mut net = KarNetwork::new(&topo, technique).with_seed(7);
+        net.install_route(as1, as3, &Protection::AutoBudget { max_bits: 43 })?;
+        net.install_route(as3, as1, &Protection::AutoFull)?;
+        let mut sim = net.into_sim();
+        sim.schedule_link_down(SimTime::from_secs(3), failed);
+        sim.schedule_link_up(SimTime::from_secs(6), failed);
+        let flow = BulkFlow::install(
+            &mut sim,
+            as1,
+            as3,
+            FlowId(1),
+            TcpConfig::default(),
+            SimTime::from_secs(1),
+        );
+        sim.run_until(total);
+        let mbps = |a: u64, b: u64| flow.mean_mbps(SimTime::from_secs(a), SimTime::from_secs(b));
+        println!(
+            "{:<14} {:>7.1}M {:>7.1}M {:>7.1}M",
+            technique.label(),
+            mbps(1, 3),
+            mbps(4, 6),
+            mbps(7, 9),
+        );
+    }
+    println!("\nExpected shape: NoDeflection starves during the failure;");
+    println!("NIP sustains the most throughput; HP is the worst deflector.");
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Quickstart: encode a route, fail a link, watch deflection save the day.
+//!
+//! Reproduces the paper's §2 worked example end to end:
+//!
+//! 1. Encode the route {4, 7, 11} × ports {0, 2, 0} → route ID 44.
+//! 2. Fold in the protection switch 5 → route ID 660.
+//! 3. Build the paper's 15-node network, install a protected route,
+//!    fail the primary path, and verify every packet still arrives.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar_rns::{crt_encode, crt_extend, residue, RnsBasis};
+use kar_simnet::{FlowId, PacketKind, SimTime};
+use kar_topology::topo15;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Part 1: the paper's arithmetic -------------------------------
+    println!("== RNS route encoding (paper §2.2) ==");
+    let basis = RnsBasis::new(vec![4, 7, 11])?;
+    let route_id = crt_encode(&basis, &[0, 2, 0])?;
+    println!("switches {{4,7,11}} × ports {{0,2,0}}  →  route ID {route_id}");
+    assert_eq!(route_id.to_u64(), Some(44));
+
+    let (protected, extended) = crt_extend(&route_id, &basis, 5, 0)?;
+    println!("fold in protection switch 5 (port 0)  →  route ID {protected}");
+    assert_eq!(protected.to_u64(), Some(660));
+    println!(
+        "any switch forwards with one modulo: 660 mod 7 = {}, 660 mod 5 = {}",
+        residue(&protected, 7),
+        residue(&protected, 5),
+    );
+    println!(
+        "header needs {} bits for this basis (Eq. 9)\n",
+        extended.bit_length()
+    );
+
+    // --- Part 2: a failure on the 15-node network ---------------------
+    println!("== Driven deflection on the 15-node network (paper §3.1) ==");
+    let topo = topo15::build();
+    let as1 = topo.expect("AS1");
+    let as3 = topo.expect("AS3");
+
+    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(42);
+    let route = net.install_route(as1, as3, &Protection::AutoFull)?;
+    println!(
+        "installed AS1→AS3: switches {:?}, {} header bits",
+        route.pairs.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+        route.bit_length()
+    );
+
+    let mut sim = net.into_sim();
+    // Fail the middle of the primary route before any packet is sent.
+    sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW7", "SW13"));
+    for i in 0..100 {
+        sim.inject(as1, as3, FlowId(0), i, PacketKind::Probe, 1000);
+    }
+    sim.run_to_quiescence();
+
+    let stats = sim.stats();
+    println!(
+        "SW7-SW13 failed: delivered {}/{} probes, {} deflections, mean {:.1} hops",
+        stats.delivered,
+        stats.injected,
+        stats.deflections,
+        stats.mean_hops()
+    );
+    assert_eq!(stats.delivered, 100, "driven deflection must save all packets");
+    println!("no packet was lost — the paper's hitless property");
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the KAR reproduction workspace.
+pub use kar;
+pub use kar_baselines as baselines;
+pub use kar_rns as rns;
+pub use kar_simnet as simnet;
+pub use kar_tcp as tcp;
+pub use kar_topology as topology;

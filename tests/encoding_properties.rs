@@ -1,0 +1,112 @@
+//! Property tests spanning `kar`, `kar-rns` and `kar-topology`:
+//! header packing, service chains and multipath on random topologies.
+
+use kar::{chain_path, edge_disjoint_paths, EncodedRoute, RouteHeader, RouteSpec};
+use kar_rns::IdStrategy;
+use kar_topology::{gen, paths, LinkParams, NodeId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any route encoded on a random graph packs into its Eq. 9 field
+    /// and unpacks to the same route ID.
+    #[test]
+    fn header_round_trips_on_random_routes(
+        n in 3usize..14,
+        extra in 0usize..10,
+        seed in 0u64..400,
+    ) {
+        let topo = gen::random_connected(
+            n, extra, seed, IdStrategy::SmallestPrimes, LinkParams::default(),
+        );
+        let path = paths::bfs_shortest_path(&topo, topo.expect("H0"), topo.expect("H1"))
+            .expect("connected");
+        let route = EncodedRoute::encode(&topo, &RouteSpec::unprotected(path)).unwrap();
+        let header = RouteHeader::for_route(&route).unwrap();
+        prop_assert_eq!(header.unpack(), route.route_id.clone());
+        prop_assert!(header.bits() >= route.route_id.bits());
+        prop_assert_eq!(header.wire_bytes(), header.bits().div_ceil(8) as usize);
+        // One bit fewer must fail whenever the ID actually uses the
+        // full width.
+        if route.route_id.bits() == header.bits() && header.bits() > 1 {
+            prop_assert!(RouteHeader::pack(&route.route_id, header.bits() - 1).is_err());
+        }
+    }
+
+    /// Service chains on random graphs visit their waypoints in order
+    /// and never revisit a switch.
+    #[test]
+    fn chains_visit_in_order_without_revisits(
+        n in 5usize..14,
+        extra in 2usize..10,
+        seed in 0u64..400,
+        w_idx in any::<proptest::sample::Index>(),
+    ) {
+        let topo = gen::random_connected(
+            n, extra, seed, IdStrategy::SmallestPrimes, LinkParams::default(),
+        );
+        let src = topo.expect("H0");
+        let dst = topo.expect("H1");
+        let cores = topo.core_nodes();
+        let waypoint = cores[w_idx.index(cores.len())];
+        match chain_path(&topo, src, &[waypoint], dst) {
+            Ok(path) => {
+                prop_assert_eq!(path.first(), Some(&src));
+                prop_assert_eq!(path.last(), Some(&dst));
+                prop_assert!(path.contains(&waypoint));
+                let mut seen = HashSet::new();
+                prop_assert!(path.iter().all(|&x| seen.insert(x)), "revisit in {path:?}");
+                prop_assert!(paths::links_along(&topo, &path).is_ok());
+                // A chained path must still encode (no switch conflicts).
+                prop_assert!(EncodedRoute::encode(&topo, &RouteSpec::unprotected(path)).is_ok());
+            }
+            Err(_) => {
+                // Legitimately impossible chains exist (e.g. waypoint
+                // behind the source's only switch); nothing to check.
+            }
+        }
+    }
+
+    /// Multipath planning returns genuinely core-link-disjoint paths.
+    #[test]
+    fn multipath_paths_are_core_disjoint(
+        n in 5usize..14,
+        extra in 2usize..12,
+        seed in 0u64..400,
+        k in 1usize..4,
+    ) {
+        let topo = gen::random_connected(
+            n, extra, seed, IdStrategy::SmallestPrimes, LinkParams::default(),
+        );
+        let found = edge_disjoint_paths(&topo, topo.expect("H0"), topo.expect("H1"), k);
+        prop_assert!(!found.is_empty());
+        prop_assert!(found.len() <= k);
+        let mut used = HashSet::new();
+        for path in &found {
+            prop_assert!(paths::links_along(&topo, path).is_ok());
+            for w in path.windows(2) {
+                let core = topo.switch_id(w[0]).is_some() && topo.switch_id(w[1]).is_some();
+                if core {
+                    let l = topo.link_between(w[0], w[1]).unwrap();
+                    prop_assert!(used.insert(l), "core link reused");
+                }
+            }
+        }
+    }
+
+    /// Fat-trees of any (even) arity are valid KAR networks.
+    #[test]
+    fn fat_trees_are_valid_kar_networks(k in 1usize..4) {
+        let k = k * 2; // even arities 2, 4, 6
+        let topo = gen::fat_tree(k, IdStrategy::SmallestPrimes, LinkParams::default());
+        prop_assert!(topo.is_connected());
+        prop_assert!(kar_rns::pairwise_coprime(&topo.switch_ids()));
+        // Any host pair routes and encodes.
+        let hosts: Vec<NodeId> = topo.edge_nodes();
+        let path = paths::bfs_shortest_path(&topo, hosts[0], hosts[k - 1]).unwrap();
+        let route = EncodedRoute::encode(&topo, &RouteSpec::unprotected(path)).unwrap();
+        prop_assert!(route.bit_length() > 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Cross-crate integration tests: the full KAR stack (RNS encoding →
+//! controller → simulator → TCP) driven end to end on both paper
+//! topologies.
+
+use kar::{DeflectionTechnique, KarNetwork, Protection, ReroutePolicy};
+use kar_simnet::{DropReason, FlowId, PacketKind, SimTime};
+use kar_tcp::{BulkFlow, TcpConfig};
+use kar_topology::{rnp28, topo15};
+
+#[test]
+fn conservation_holds_across_a_failure_storm() {
+    // injected == delivered + dropped + in_flight, under churn: two
+    // failures, one repair, random deflections, controller reroutes.
+    let topo = topo15::build();
+    let as1 = topo.expect("AS1");
+    let as3 = topo.expect("AS3");
+    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(99);
+    net.install_route(as1, as3, &Protection::None).unwrap();
+    net.install_route(as3, as1, &Protection::None).unwrap();
+    let mut sim = net.into_sim();
+    sim.schedule_link_down(SimTime::from_millis(5), topo.expect_link("SW7", "SW13"));
+    sim.schedule_link_down(SimTime::from_millis(9), topo.expect_link("SW13", "SW29"));
+    sim.schedule_link_up(SimTime::from_millis(15), topo.expect_link("SW7", "SW13"));
+    for i in 0..500 {
+        sim.run_until(SimTime(i * 50_000));
+        sim.inject(as1, as3, FlowId(0), i, PacketKind::Probe, 400);
+        sim.inject(as3, as1, FlowId(1), i, PacketKind::Probe, 400);
+    }
+    sim.run_until(SimTime::from_millis(40));
+    let s = sim.stats();
+    assert_eq!(
+        s.injected,
+        s.delivered + s.dropped() + sim.in_flight(),
+        "conservation violated: {s:?}, in_flight={}",
+        sim.in_flight()
+    );
+    sim.run_to_quiescence();
+    assert_eq!(sim.in_flight(), 0);
+    let s = sim.stats();
+    assert_eq!(s.injected, s.delivered + s.dropped());
+}
+
+#[test]
+fn tcp_over_kar_beats_tcp_over_drop_during_failure() {
+    // The paper's core quantitative claim, end to end: under an
+    // unrepaired failure, NIP + protection sustains TCP while the
+    // no-deflection dataplane starves.
+    let topo = topo15::build();
+    let as1 = topo.expect("AS1");
+    let as3 = topo.expect("AS3");
+    let run = |technique| {
+        let mut net = KarNetwork::new(&topo, technique).with_seed(5);
+        net.install_route(as1, as3, &Protection::AutoFull).unwrap();
+        net.install_route(as3, as1, &Protection::AutoFull).unwrap();
+        let mut sim = net.into_sim();
+        sim.schedule_link_down(SimTime::from_secs(1), topo.expect_link("SW13", "SW29"));
+        let flow = BulkFlow::install(
+            &mut sim,
+            as1,
+            as3,
+            FlowId(1),
+            TcpConfig::default(),
+            SimTime::from_secs(1),
+        );
+        sim.run_until(SimTime::from_secs(4));
+        flow.mean_mbps(SimTime::from_secs(2), SimTime::from_secs(4))
+    };
+    let nip = run(DeflectionTechnique::Nip);
+    let none = run(DeflectionTechnique::None);
+    assert!(none < 1.0, "drop baseline must starve: {none}");
+    assert!(nip > 50.0, "NIP must sustain TCP: {nip}");
+}
+
+#[test]
+fn wrong_edge_packets_are_rescued_by_the_controller() {
+    // Hot-potato random walks surface packets at the wrong edge (AS1 or
+    // AS2 host ports are legal HP choices); the controller re-encodes
+    // them (paper §2.1 second approach). With reroute disabled they die
+    // instead.
+    let topo = topo15::build();
+    let as1 = topo.expect("AS1");
+    let as3 = topo.expect("AS3");
+    let run = |policy| {
+        let mut net = KarNetwork::new(&topo, DeflectionTechnique::HotPotato)
+            .with_seed(31)
+            .with_ttl(255)
+            .with_reroute(policy);
+        net.install_route(as1, as3, &Protection::None).unwrap();
+        let mut sim = net.into_sim();
+        sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW10", "SW7"));
+        for i in 0..100 {
+            sim.inject(as1, as3, FlowId(0), i, PacketKind::Probe, 400);
+        }
+        sim.run_to_quiescence();
+        (
+            sim.stats().delivered,
+            sim.stats().dropped_for(DropReason::Misdelivery),
+        )
+    };
+    let (with_controller, _) = run(ReroutePolicy::Recompute {
+        latency: SimTime::from_millis(2),
+    });
+    let (without, misdelivered) = run(ReroutePolicy::Drop);
+    assert!(with_controller >= 95, "controller rescues: {with_controller}");
+    assert!(
+        without < with_controller,
+        "dropping misdeliveries must cost: {without} vs {with_controller}"
+    );
+    assert!(misdelivered > 0, "some packets must surface at AS2");
+}
+
+#[test]
+fn fig8_protection_loop_laps_are_visible_in_hops() {
+    // The Fig. 8 worst case: each lap around SW73→(SW41|SW71→SW17→SW41)
+    // →SW73 adds hops until SW109 is chosen. Delivered probes must show
+    // a wide hop distribution starting at primary+1.
+    let topo = rnp28::build();
+    let primary: Vec<_> = rnp28::FIG8_ROUTE.iter().map(|n| topo.expect(n)).collect();
+    let protection = Protection::Segments(
+        rnp28::FIG8_PROTECTION
+            .iter()
+            .map(|&(a, b)| (topo.expect(a), topo.expect(b)))
+            .collect(),
+    );
+    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
+        .with_seed(8)
+        .with_ttl(255);
+    net.install_explicit(primary, &protection).unwrap();
+    let mut sim = net.into_sim();
+    let (a, b) = rnp28::FIG8_FAILURE;
+    sim.schedule_link_down(SimTime::ZERO, topo.expect_link(a, b));
+    let src = topo.expect("E_BH");
+    let dst = topo.expect("E_113");
+    for i in 0..300 {
+        sim.run_until(SimTime(i * 500_000));
+        sim.inject(src, dst, FlowId(0), i, PacketKind::Probe, 400);
+    }
+    sim.run_to_quiescence();
+    let s = sim.stats();
+    assert_eq!(s.delivered, 300, "the loop must eventually deliver: {s:?}");
+    // Nominal is 4 hops; the shortest rescue (deflect straight to SW109)
+    // is 5; laps push the mean well above and the max far beyond.
+    assert!(s.mean_hops() > 5.0, "mean {}", s.mean_hops());
+    assert!(s.max_hops >= 8, "max {}", s.max_hops);
+}
+
+#[test]
+fn rnp_boa_vista_failure_adds_exactly_one_hop() {
+    // §3.2: SW7-SW13 failure → deterministic detour SW7→SW11→SW17→(71)→73,
+    // "the addition of one more hop without any packet disordering".
+    let topo = rnp28::build();
+    let primary: Vec<_> = rnp28::FIG7_ROUTE.iter().map(|n| topo.expect(n)).collect();
+    let protection = Protection::Segments(
+        rnp28::FIG7_PROTECTION
+            .iter()
+            .map(|&(a, b)| (topo.expect(a), topo.expect(b)))
+            .collect(),
+    );
+    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(3);
+    net.install_explicit(primary, &protection).unwrap();
+    let mut sim = net.into_sim();
+    sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW7", "SW13"));
+    let src = topo.expect("E_BV");
+    let dst = topo.expect("E_SP");
+    for i in 0..50 {
+        sim.run_until(SimTime(i * 1_000_000));
+        sim.inject(src, dst, FlowId(0), i, PacketKind::Probe, 400);
+    }
+    sim.run_to_quiescence();
+    let s = sim.stats();
+    assert_eq!(s.delivered, 50);
+    // Every packet takes the same detour: 7→11→17→71→73 = 5 core hops
+    // (nominal 4); zero spread.
+    assert_eq!(s.max_hops as f64, s.mean_hops(), "deterministic detour");
+    assert_eq!(s.max_hops, 5);
+    let flow = &s.flows[&FlowId(0)];
+    assert_eq!(flow.out_of_order, 0, "no disordering on a deterministic detour");
+}
+
+#[test]
+fn seeds_reproduce_and_differ() {
+    let topo = topo15::build();
+    let as1 = topo.expect("AS1");
+    let as3 = topo.expect("AS3");
+    let run = |seed| {
+        let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(seed);
+        net.install_route(as1, as3, &Protection::None).unwrap();
+        let mut sim = net.into_sim();
+        sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW7", "SW13"));
+        for i in 0..50 {
+            sim.inject(as1, as3, FlowId(0), i, PacketKind::Probe, 400);
+        }
+        sim.run_to_quiescence();
+        (sim.stats().total_hops, sim.stats().total_latency_ns)
+    };
+    assert_eq!(run(1), run(1), "same seed, same outcome");
+    assert_ne!(run(1), run(2), "different seeds explore different deflections");
+}

@@ -1,0 +1,205 @@
+//! Tests that replay the paper's §2/§3 *narratives* packet by packet,
+//! using per-packet traces — the closest thing to checking the prose.
+
+use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar_simnet::{FlowId, PacketFate, PacketKind, SimTime};
+use kar_topology::{rnp28, topo15};
+use std::collections::HashMap;
+
+/// §2 / Fig. 1: with SW5 folded into the route ID and NIP deflection,
+/// *all* packets deflected at the failed SW7-SW11 hop go through SW5 —
+/// "cause all the packets to be driven through this forwarding path".
+#[test]
+fn fig1_all_deflected_packets_take_the_protected_branch() {
+    // Rebuild Fig. 1's 6-node network.
+    use kar_topology::{LinkParams, TopologyBuilder};
+    let mut b = TopologyBuilder::new();
+    let s = b.edge("S");
+    let sw4 = b.core("SW4", 4);
+    let sw7 = b.core("SW7", 7);
+    let sw5 = b.core("SW5", 5);
+    let sw11 = b.core("SW11", 11);
+    let d = b.edge("D");
+    b.link(s, sw4, LinkParams::default());
+    b.link(sw4, sw7, LinkParams::default());
+    b.link(sw7, sw5, LinkParams::default());
+    b.link(sw7, sw11, LinkParams::default());
+    b.link(sw5, sw11, LinkParams::default());
+    b.link(sw11, d, LinkParams::default());
+    let topo = b.build().unwrap();
+
+    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
+        .with_seed(4)
+        .with_tracing();
+    net.install_explicit(
+        vec![s, sw4, sw7, sw11, d],
+        &Protection::Segments(vec![(sw5, sw11)]),
+    )
+    .unwrap();
+    let mut sim = net.into_sim();
+    sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW7", "SW11"));
+    for i in 0..50 {
+        sim.run_until(SimTime(i * 200_000));
+        sim.inject(s, d, FlowId(0), i, PacketKind::Probe, 500);
+    }
+    sim.run_to_quiescence();
+    assert_eq!(sim.stats().delivered, 50);
+    for (_, trace) in sim.trace().iter() {
+        assert_eq!(trace.fate, PacketFate::Delivered);
+        let names: Vec<&str> = trace.path.iter().map(|&n| topo.node(n).name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["S", "SW4", "SW7", "SW5", "SW11", "D"],
+            "every packet must be driven through SW5"
+        );
+    }
+}
+
+/// §3.1: on a SW10-SW7 failure with partial protection, deflected
+/// packets split three ways and roughly 2/3 go to SW17 or SW37.
+#[test]
+fn topo15_two_thirds_go_to_the_uncovered_branch() {
+    let topo = topo15::build();
+    let as1 = topo.expect("AS1");
+    let as3 = topo.expect("AS3");
+    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
+        .with_seed(17)
+        .with_ttl(255)
+        .with_tracing();
+    net.install_explicit(
+        topo15::primary_route(&topo),
+        &Protection::Segments(topo15::protection_pairs(&topo, &topo15::PARTIAL_PROTECTION)),
+    )
+    .unwrap();
+    let mut sim = net.into_sim();
+    sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW10", "SW7"));
+    let n = 600u64;
+    for i in 0..n {
+        sim.run_until(SimTime(i * 200_000));
+        sim.inject(as1, as3, FlowId(0), i, PacketKind::Probe, 400);
+    }
+    sim.run_to_quiescence();
+    // Count first hop after SW10 per packet.
+    let sw10 = topo.expect("SW10");
+    let mut first_hop: HashMap<&str, u64> = HashMap::new();
+    for (_, trace) in sim.trace().iter() {
+        if let Some(pos) = trace.path.iter().position(|&x| x == sw10) {
+            if let Some(&next) = trace.path.get(pos + 1) {
+                *first_hop.entry(topo.node(next).name.as_str()).or_insert(0) += 1;
+            }
+        }
+    }
+    let to_sw11 = first_hop.get("SW11").copied().unwrap_or(0);
+    let uncovered =
+        first_hop.get("SW17").copied().unwrap_or(0) + first_hop.get("SW37").copied().unwrap_or(0);
+    let total = to_sw11 + uncovered;
+    assert_eq!(total, n, "every packet deflects at SW10: {first_hop:?}");
+    let frac = uncovered as f64 / total as f64;
+    assert!(
+        (frac - 2.0 / 3.0).abs() < 0.07,
+        "≈2/3 must go to SW17/SW37, got {frac:.2} ({first_hop:?})"
+    );
+}
+
+/// §3.2 / Fig. 8: the protection loop. A geometric number of laps:
+/// roughly half the packets that return to SW73 take another lap; count
+/// SW73 revisits across traces.
+#[test]
+fn fig8_lap_counts_are_geometric() {
+    let topo = rnp28::build();
+    let primary: Vec<_> = rnp28::FIG8_ROUTE.iter().map(|n| topo.expect(n)).collect();
+    let protection = Protection::Segments(
+        rnp28::FIG8_PROTECTION
+            .iter()
+            .map(|&(a, b)| (topo.expect(a), topo.expect(b)))
+            .collect(),
+    );
+    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
+        .with_seed(23)
+        .with_ttl(255)
+        .with_tracing();
+    net.install_explicit(primary, &protection).unwrap();
+    let mut sim = net.into_sim();
+    let (a, b) = rnp28::FIG8_FAILURE;
+    sim.schedule_link_down(SimTime::ZERO, topo.expect_link(a, b));
+    let src = topo.expect("E_BH");
+    let dst = topo.expect("E_113");
+    let n = 400u64;
+    for i in 0..n {
+        sim.run_until(SimTime(i * 500_000));
+        sim.inject(src, dst, FlowId(0), i, PacketKind::Probe, 400);
+    }
+    sim.run_to_quiescence();
+    assert_eq!(sim.stats().delivered, n);
+    let sw73 = topo.expect("SW73");
+    let mut lap_histogram: HashMap<usize, u64> = HashMap::new();
+    for (_, trace) in sim.trace().iter() {
+        let visits = trace.path.iter().filter(|&&x| x == sw73).count();
+        *lap_histogram.entry(visits).or_insert(0) += 1;
+    }
+    // Every packet visits SW73 at least once; a substantial fraction
+    // revisits (laps); counts decay with lap number.
+    let once = lap_histogram.get(&1).copied().unwrap_or(0);
+    let twice = lap_histogram.get(&2).copied().unwrap_or(0);
+    let thrice = lap_histogram.get(&3).copied().unwrap_or(0);
+    assert!(once > 0 && twice > 0, "laps must occur: {lap_histogram:?}");
+    assert!(
+        once > twice && twice >= thrice,
+        "lap counts decay geometrically: {lap_histogram:?}"
+    );
+    // Packets that escaped immediately went via SW109.
+    let sw109 = topo.expect("SW109");
+    for (_, trace) in sim.trace().iter() {
+        let laps = trace.path.iter().filter(|&&x| x == sw73).count();
+        if laps == 1 {
+            assert!(
+                trace.path.contains(&sw109),
+                "single-visit packets must use the SW109 branch: {}",
+                trace.pretty(&topo)
+            );
+        }
+    }
+}
+
+/// §3.2: the SW41-SW73 failure splits deflected packets 50/50 between
+/// SW17 and SW61, both driven (no loss, two path lengths).
+#[test]
+fn rnp_sw41_failure_is_an_even_coin() {
+    let topo = rnp28::build();
+    let primary: Vec<_> = rnp28::FIG7_ROUTE.iter().map(|n| topo.expect(n)).collect();
+    let protection = Protection::Segments(
+        rnp28::FIG7_PROTECTION
+            .iter()
+            .map(|&(a, b)| (topo.expect(a), topo.expect(b)))
+            .collect(),
+    );
+    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
+        .with_seed(29)
+        .with_tracing();
+    net.install_explicit(primary, &protection).unwrap();
+    let mut sim = net.into_sim();
+    sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW41", "SW73"));
+    let src = topo.expect("E_BV");
+    let dst = topo.expect("E_SP");
+    let n = 500u64;
+    for i in 0..n {
+        sim.run_until(SimTime(i * 500_000));
+        sim.inject(src, dst, FlowId(0), i, PacketKind::Probe, 400);
+    }
+    sim.run_to_quiescence();
+    assert_eq!(sim.stats().delivered, n);
+    let sw41 = topo.expect("SW41");
+    let mut split: HashMap<&str, u64> = HashMap::new();
+    for (_, trace) in sim.trace().iter() {
+        let pos = trace.path.iter().position(|&x| x == sw41).unwrap();
+        let next = trace.path[pos + 1];
+        *split.entry(topo.node(next).name.as_str()).or_insert(0) += 1;
+    }
+    assert_eq!(split.len(), 2, "{split:?}");
+    let sw17 = split["SW17"] as f64;
+    let sw61 = split["SW61"] as f64;
+    assert!(
+        (sw17 / n as f64 - 0.5).abs() < 0.07,
+        "even coin expected: SW17={sw17}, SW61={sw61}"
+    );
+}
