@@ -139,12 +139,7 @@ fn bfs_distances(topo: &Topology, dst: NodeId) -> HashMap<NodeId, u32> {
 pub struct TableEdge;
 
 impl kar_simnet::EdgeLogic for TableEdge {
-    fn ingress(
-        &mut self,
-        topo: &Topology,
-        edge: NodeId,
-        _pkt: &mut Packet,
-    ) -> Option<PortIx> {
+    fn ingress(&mut self, topo: &Topology, edge: NodeId, _pkt: &mut Packet) -> Option<PortIx> {
         // Single-homed edges: the only port is the uplink.
         (topo.node(edge).degree() > 0).then_some(0)
     }
@@ -166,7 +161,8 @@ mod tests {
         let e = ff.entry(topo.expect("SW13"), as3).unwrap();
         assert_eq!(
             e.primary,
-            topo.port_towards(topo.expect("SW13"), topo.expect("SW29")).unwrap()
+            topo.port_towards(topo.expect("SW13"), topo.expect("SW29"))
+                .unwrap()
         );
         assert!(e.backup.is_some());
     }

@@ -94,8 +94,7 @@ mod tests {
         let as3 = topo.expect("AS3");
         let failed = topo.expect_link("SW7", "SW13");
         let switchover = SimTime::from_millis(100);
-        let edge =
-            NotifyRerouteEdge::plan(&topo, &[(as1, as3)], failed, switchover).unwrap();
+        let edge = NotifyRerouteEdge::plan(&topo, &[(as1, as3)], failed, switchover).unwrap();
         assert_eq!(edge.switchover(), switchover);
         let mut sim = Sim::new(
             &topo,

@@ -41,7 +41,13 @@ impl PathSplicing {
             for slice in 0..k {
                 let mut rng = StdRng::seed_from_u64(seed ^ ((slice as u64) << 24));
                 let weights: Vec<u64> = (0..topo.link_count())
-                    .map(|_| if slice == 0 { 10 } else { rng.gen_range(1..=20) })
+                    .map(|_| {
+                        if slice == 0 {
+                            10
+                        } else {
+                            rng.gen_range(1..=20)
+                        }
+                    })
                     .collect();
                 let (next_hop, _dist) = weighted_tree(topo, dst, &weights);
                 for sw in topo.core_nodes() {

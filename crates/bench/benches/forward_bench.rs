@@ -12,7 +12,11 @@ use kar_topology::topo15;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn probe(route_id: Option<BigUint>, src: kar_topology::NodeId, dst: kar_topology::NodeId) -> Packet {
+fn probe(
+    route_id: Option<BigUint>,
+    src: kar_topology::NodeId,
+    dst: kar_topology::NodeId,
+) -> Packet {
     Packet {
         id: 0,
         flow: FlowId(0),

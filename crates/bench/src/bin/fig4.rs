@@ -1,6 +1,7 @@
 //! Regenerates Fig. 4 (TCP throughput time series across a failure).
 use kar_bench::experiments::fig4;
 use kar_bench::harness::env_knob;
+use kar_bench::runner;
 
 fn main() {
     let cfg = fig4::Fig4Config {
@@ -9,6 +10,9 @@ fn main() {
         post_s: env_knob("KAR_POST", 30),
         seed: env_knob("KAR_SEED", 1),
     };
-    eprintln!("fig4: {cfg:?} (override with KAR_PRE/KAR_FAIL/KAR_POST/KAR_SEED)");
-    print!("{}", fig4::render(&fig4::run(cfg)));
+    let jobs = runner::jobs_from_args(std::env::args());
+    eprintln!(
+        "fig4: {cfg:?}, {jobs} jobs (override with KAR_PRE/KAR_FAIL/KAR_POST/KAR_SEED, --jobs N)"
+    );
+    print!("{}", fig4::render(&fig4::run_jobs(cfg, jobs)));
 }

@@ -48,7 +48,9 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
-    let command = argv.next().ok_or("missing command (route|residues|probe|dot)")?;
+    let command = argv
+        .next()
+        .ok_or("missing command (route|residues|probe|dot)")?;
     let mut args = Args {
         command,
         topo: "topo15".into(),
@@ -155,7 +157,10 @@ fn run() -> Result<(), String> {
                         .find(|&(p, _, _)| p == port)
                         .map(|(_, _, n)| topo.node(n).name.clone())
                         .unwrap_or_else(|| "?".into());
-                    println!("  {} (id {id}) exits port {port} → {peer}", topo.node(node).name);
+                    println!(
+                        "  {} (id {id}) exits port {port} → {peer}",
+                        topo.node(node).name
+                    );
                 }
             } else {
                 print!("{}", render_residue_table(&topo, &route));
@@ -168,7 +173,8 @@ fn run() -> Result<(), String> {
             let mut net = KarNetwork::new(&topo, args.technique)
                 .with_seed(args.seed)
                 .with_ttl(255);
-            net.install_route(from, to, &prot).map_err(|e| e.to_string())?;
+            net.install_route(from, to, &prot)
+                .map_err(|e| e.to_string())?;
             let mut sim = net.into_sim();
             if let Some(spec) = &args.fail {
                 let (a, b) = spec
@@ -202,7 +208,9 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
-        other => Err(format!("unknown command {other} (route|residues|probe|dot)")),
+        other => Err(format!(
+            "unknown command {other} (route|residues|probe|dot)"
+        )),
     }
 }
 

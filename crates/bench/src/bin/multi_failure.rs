@@ -11,7 +11,10 @@ fn main() {
     let t15 = topo15::build();
     print!(
         "{}",
-        mf::render("topo15 AS1→AS3", &mf::run(&t15, "AS1", "AS3", &ks, trials, probes, seed))
+        mf::render(
+            "topo15 AS1→AS3",
+            &mf::run(&t15, "AS1", "AS3", &ks, trials, probes, seed)
+        )
     );
     let rnp = rnp28::build();
     print!(

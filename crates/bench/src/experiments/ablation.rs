@@ -32,9 +32,8 @@ pub fn strategy_sweep(lengths: &[usize]) -> Vec<StrategyRow> {
         .map(|&n| {
             let bits = |strategy: IdStrategy| {
                 let topo = gen::line(n, strategy, LinkParams::default());
-                let path =
-                    paths::bfs_shortest_path(&topo, topo.expect("H0"), topo.expect("H1"))
-                        .expect("line is connected");
+                let path = paths::bfs_shortest_path(&topo, topo.expect("H0"), topo.expect("H1"))
+                    .expect("line is connected");
                 EncodedRoute::encode(&topo, &RouteSpec::unprotected(path))
                     .expect("line encodes")
                     .bit_length()
@@ -131,7 +130,9 @@ mod tests {
             assert!(r.smallest_coprime <= r.smallest_primes, "{r:?}");
         }
         // Bits grow with path length.
-        assert!(rows.windows(2).all(|w| w[1].smallest_primes > w[0].smallest_primes));
+        assert!(rows
+            .windows(2)
+            .all(|w| w[1].smallest_primes > w[0].smallest_primes));
     }
 
     #[test]

@@ -53,14 +53,12 @@ pub fn run(pre: u64, fail: u64, post: u64, seed: u64) -> Vec<CcRow> {
                 before: res
                     .meter
                     .mean_mbps(SimTime::from_secs(1.min(pre)), SimTime::from_secs(pre)),
-                during: res.meter.mean_mbps(
-                    SimTime::from_secs(pre + 1),
-                    SimTime::from_secs(pre + fail),
-                ),
-                after: res.meter.mean_mbps(
-                    SimTime::from_secs(pre + fail + 1),
-                    total,
-                ),
+                during: res
+                    .meter
+                    .mean_mbps(SimTime::from_secs(pre + 1), SimTime::from_secs(pre + fail)),
+                after: res
+                    .meter
+                    .mean_mbps(SimTime::from_secs(pre + fail + 1), total),
             }
         })
         .collect()

@@ -8,10 +8,13 @@
 //! 200 Mbit/s, a ≈25% disordering penalty); HP is the worst deflecting
 //! technique.
 
-use crate::harness::{run_tcp, FailureWindow, TcpRun};
-use kar::{DeflectionTechnique, Protection};
+use crate::harness::{FailureWindow, TcpRun};
+use crate::runner;
+use crate::telemetry::{self, RunRecord};
+use kar::{DeflectionTechnique, EncodingCache, Protection};
 use kar_simnet::SimTime;
 use kar_topology::topo15;
+use std::sync::Arc;
 
 /// Configuration of the Fig. 4 experiment.
 #[derive(Debug, Clone, Copy)]
@@ -54,8 +57,8 @@ pub struct Fig4Series {
 }
 
 /// Runs the four curves (NoDeflection, HP, AVP, NIP) with the paper's
-/// Fig. 3 partial protection.
-pub fn run(cfg: Fig4Config) -> Vec<Fig4Series> {
+/// Fig. 3 partial protection, one worker thread per curve up to `jobs`.
+pub fn run_jobs(cfg: Fig4Config, jobs: usize) -> Vec<Fig4Series> {
     let topo = topo15::build();
     let primary = topo15::primary_route(&topo);
     let protection =
@@ -64,30 +67,48 @@ pub fn run(cfg: Fig4Config) -> Vec<Fig4Series> {
     let down = SimTime::from_secs(cfg.pre_s);
     let up = SimTime::from_secs(cfg.pre_s + cfg.fail_s);
     let link = topo.expect_link("SW7", "SW13");
-    DeflectionTechnique::ALL
+    let cache = Arc::new(EncodingCache::new());
+    let specs: Vec<TcpRun<'_>> = DeflectionTechnique::ALL
         .iter()
-        .map(|&technique| {
-            let spec = TcpRun {
-                technique,
-                protection: protection.clone(),
-                duration: total,
-                failure: Some(FailureWindow { link, down, up }),
-                seed: cfg.seed,
-                // Calibrated so the 200 Mbit/s no-failure workload runs
-                // the shared softswitch near saturation, as in the
-                // paper's single-host emulation.
-                switch_service: Some(SimTime::from_micros(7)),
-                ..TcpRun::new(&topo, primary.clone())
-            };
-            let res = run_tcp(&spec);
+        .map(|&technique| TcpRun {
+            technique,
+            protection: protection.clone(),
+            duration: total,
+            failure: Some(FailureWindow { link, down, up }),
+            seed: cfg.seed,
+            // Calibrated so the 200 Mbit/s no-failure workload runs
+            // the shared softswitch near saturation, as in the
+            // paper's single-host emulation.
+            switch_service: Some(SimTime::from_micros(7)),
+            cache: Some(cache.clone()),
+            ..TcpRun::new(&topo, primary.clone())
+        })
+        .collect();
+    let results = runner::run_all(&specs, jobs);
+    let records: Vec<RunRecord> = results
+        .iter()
+        .enumerate()
+        .map(|(i, res)| {
+            RunRecord::new(
+                "fig4",
+                DeflectionTechnique::ALL[i].label(),
+                i,
+                &specs[i],
+                res,
+            )
+        })
+        .collect();
+    telemetry::emit(&records);
+    results
+        .iter()
+        .zip(DeflectionTechnique::ALL)
+        .map(|(res, technique)| {
             // Skip the first second of both windows (slow-start /
             // failure-detection transients), as iperf interval reads do.
             let mean_before = res
                 .meter
                 .mean_mbps(SimTime::from_secs(1.min(cfg.pre_s)), down);
-            let mean_during_failure = res
-                .meter
-                .mean_mbps(down + SimTime::from_secs(1), up);
+            let mean_during_failure = res.meter.mean_mbps(down + SimTime::from_secs(1), up);
             Fig4Series {
                 technique,
                 series: res.meter.series_mbps(total),
@@ -97,6 +118,11 @@ pub fn run(cfg: Fig4Config) -> Vec<Fig4Series> {
             }
         })
         .collect()
+}
+
+/// Serial [`run_jobs`].
+pub fn run(cfg: Fig4Config) -> Vec<Fig4Series> {
+    run_jobs(cfg, 1)
 }
 
 /// Renders the per-second series as CSV (`t,NoDeflection,HP,AVP,NIP`)

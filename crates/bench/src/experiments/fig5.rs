@@ -9,11 +9,14 @@
 //! SW10-SW7 failure, where only 1/3 of deflected packets are driven
 //! (≈80 vs ≈140 Mbit/s for NIP).
 
-use crate::harness::{run_tcp, FailureWindow, TcpRun};
-use kar::{DeflectionTechnique, Protection};
+use crate::harness::{FailureWindow, TcpRun};
+use crate::runner;
+use crate::telemetry::{self, RunRecord};
+use kar::{DeflectionTechnique, EncodingCache, Protection};
 use kar_simnet::SimTime;
 use kar_tcp::SampleStats;
-use kar_topology::topo15;
+use kar_topology::{topo15, Topology};
+use std::sync::Arc;
 
 /// Protection level labels of the figure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,13 +50,15 @@ impl ProtectionLevel {
     pub fn protection(self, topo: &kar_topology::Topology) -> Protection {
         match self {
             ProtectionLevel::Unprotected => Protection::None,
-            ProtectionLevel::Partial => Protection::Segments(topo15::protection_pairs(
-                topo,
-                &topo15::PARTIAL_PROTECTION,
-            )),
+            ProtectionLevel::Partial => {
+                Protection::Segments(topo15::protection_pairs(topo, &topo15::PARTIAL_PROTECTION))
+            }
             ProtectionLevel::Full => {
                 let mut segs = topo15::protection_pairs(topo, &topo15::PARTIAL_PROTECTION);
-                segs.extend(topo15::protection_pairs(topo, &topo15::FULL_EXTRA_PROTECTION));
+                segs.extend(topo15::protection_pairs(
+                    topo,
+                    &topo15::FULL_EXTRA_PROTECTION,
+                ));
                 Protection::Segments(segs)
             }
         }
@@ -73,34 +78,72 @@ pub struct Fig5Cell {
     pub stats: SampleStats,
 }
 
-/// Runs the full grid: `runs` repetitions of `secs`-second transfers per
-/// cell.
-pub fn run(runs: usize, secs: u64, base_seed: u64) -> Vec<Fig5Cell> {
-    let topo = topo15::build();
-    let primary = topo15::primary_route(&topo);
-    let mut cells = Vec::new();
+/// Builds the flat spec list of the Fig. 5 grid, in cell-major order
+/// (`runs` consecutive specs per cell), plus the cell coordinates of
+/// every spec. One shared encoding cache serves the whole sweep — each
+/// `(protection level, direction)` route is sealed once and reused by
+/// the other `3 × runs - 1` runs that need it.
+pub fn spec_set(
+    topo: &Topology,
+    runs: usize,
+    secs: u64,
+    base_seed: u64,
+) -> (Vec<TcpRun<'_>>, Vec<String>) {
+    let primary = topo15::primary_route(topo);
+    let cache = Arc::new(EncodingCache::new());
+    let mut specs = Vec::new();
+    let mut labels = Vec::new();
     for (a, b) in topo15::FAILURE_LOCATIONS {
         let link = topo.expect_link(a, b);
         for level in ProtectionLevel::ALL {
             for technique in [DeflectionTechnique::Avp, DeflectionTechnique::Nip] {
+                for r in 0..runs {
+                    specs.push(TcpRun {
+                        technique,
+                        protection: level.protection(topo),
+                        duration: SimTime::from_secs(secs),
+                        failure: Some(FailureWindow {
+                            link,
+                            down: SimTime::ZERO,
+                            up: SimTime::from_secs(secs + 1), // never repaired
+                        }),
+                        seed: base_seed + r as u64 * 7919,
+                        // Same shared-softswitch calibration as Fig. 4.
+                        switch_service: Some(SimTime::from_micros(7)),
+                        cache: Some(cache.clone()),
+                        ..TcpRun::new(topo, primary.clone())
+                    });
+                    labels.push(format!("{a}-{b}/{}/{technique}/r{r}", level.label()));
+                }
+            }
+        }
+    }
+    (specs, labels)
+}
+
+/// Runs the full grid: `runs` repetitions of `secs`-second transfers per
+/// cell, on `jobs` worker threads (results are independent of `jobs`).
+pub fn run_jobs(runs: usize, secs: u64, base_seed: u64, jobs: usize) -> Vec<Fig5Cell> {
+    let topo = topo15::build();
+    let (specs, labels) = spec_set(&topo, runs, secs, base_seed);
+    let results = runner::run_all(&specs, jobs);
+    let records: Vec<RunRecord> = results
+        .iter()
+        .enumerate()
+        .map(|(i, res)| RunRecord::new("fig5", &labels[i], i, &specs[i], res))
+        .collect();
+    telemetry::emit(&records);
+    let mut cells = Vec::new();
+    let mut next = results.iter();
+    for (a, b) in topo15::FAILURE_LOCATIONS {
+        for level in ProtectionLevel::ALL {
+            for technique in [DeflectionTechnique::Avp, DeflectionTechnique::Nip] {
                 let samples: Vec<f64> = (0..runs)
-                    .map(|r| {
-                        let spec = TcpRun {
-                            technique,
-                            protection: level.protection(&topo),
-                            duration: SimTime::from_secs(secs),
-                            failure: Some(FailureWindow {
-                                link,
-                                down: SimTime::ZERO,
-                                up: SimTime::from_secs(secs + 1), // never repaired
-                            }),
-                            seed: base_seed + r as u64 * 7919,
-                            // Same shared-softswitch calibration as Fig. 4.
-                            switch_service: Some(SimTime::from_micros(7)),
-                            ..TcpRun::new(&topo, primary.clone())
-                        };
-                        let res = run_tcp(&spec);
-                        res.meter.mean_mbps(SimTime::ZERO, SimTime::from_secs(secs))
+                    .map(|_| {
+                        next.next()
+                            .expect("one result per spec")
+                            .meter
+                            .mean_mbps(SimTime::ZERO, SimTime::from_secs(secs))
                     })
                     .collect();
                 cells.push(Fig5Cell {
@@ -113,6 +156,11 @@ pub fn run(runs: usize, secs: u64, base_seed: u64) -> Vec<Fig5Cell> {
         }
     }
     cells
+}
+
+/// Serial [`run_jobs`].
+pub fn run(runs: usize, secs: u64, base_seed: u64) -> Vec<Fig5Cell> {
+    run_jobs(runs, secs, base_seed, 1)
 }
 
 /// Renders the grid as a table with 95% confidence intervals.
@@ -175,7 +223,9 @@ mod tests {
         // Observation 2: for SW10-SW7 (the 2/3-uncovered failure), full
         // protection clearly beats partial; for the enclosed failures the
         // two are comparable.
-        let full_107 = cell(&cells, "SW10-SW7", ProtectionLevel::Full, nip).stats.mean;
+        let full_107 = cell(&cells, "SW10-SW7", ProtectionLevel::Full, nip)
+            .stats
+            .mean;
         let part_107 = cell(&cells, "SW10-SW7", ProtectionLevel::Partial, nip)
             .stats
             .mean;
@@ -183,7 +233,9 @@ mod tests {
             full_107 > part_107 * 1.2,
             "full ({full_107}) must clearly beat partial ({part_107}) for SW10-SW7"
         );
-        let full_713 = cell(&cells, "SW7-SW13", ProtectionLevel::Full, nip).stats.mean;
+        let full_713 = cell(&cells, "SW7-SW13", ProtectionLevel::Full, nip)
+            .stats
+            .mean;
         let part_713 = cell(&cells, "SW7-SW13", ProtectionLevel::Partial, nip)
             .stats
             .mean;

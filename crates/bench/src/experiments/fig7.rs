@@ -8,11 +8,14 @@
 //! driven); SW41-SW73 costs ≈30% (two-way deflection, both driven, but
 //! over paths of different length → persistent reordering).
 
-use crate::harness::{run_tcp, FailureWindow, TcpRun};
-use kar::{DeflectionTechnique, Protection};
+use crate::harness::{FailureWindow, TcpRun};
+use crate::runner;
+use crate::telemetry::{self, RunRecord};
+use kar::{DeflectionTechnique, EncodingCache, Protection};
 use kar_simnet::SimTime;
 use kar_tcp::SampleStats;
 use kar_topology::rnp28;
+use std::sync::Arc;
 
 /// One bar of Fig. 7.
 #[derive(Debug, Clone)]
@@ -27,8 +30,9 @@ pub struct Fig7Cell {
     pub mean_reordered: f64,
 }
 
-/// Runs the four bars: `runs` repetitions of `secs`-second transfers.
-pub fn run(runs: usize, secs: u64, base_seed: u64) -> Vec<Fig7Cell> {
+/// Runs the four bars (`runs` repetitions of `secs`-second transfers
+/// each) on `jobs` worker threads; results are independent of `jobs`.
+pub fn run_jobs(runs: usize, secs: u64, base_seed: u64, jobs: usize) -> Vec<Fig7Cell> {
     let topo = rnp28::build();
     let primary: Vec<_> = rnp28::FIG7_ROUTE.iter().map(|n| topo.expect(n)).collect();
     let protection = Protection::Segments(
@@ -37,39 +41,53 @@ pub fn run(runs: usize, secs: u64, base_seed: u64) -> Vec<Fig7Cell> {
             .map(|&(a, b)| (topo.expect(a), topo.expect(b)))
             .collect(),
     );
-    let mut cases: Vec<(String, Option<kar_topology::LinkId>)> =
-        vec![("none".to_string(), None)];
+    let mut cases: Vec<(String, Option<kar_topology::LinkId>)> = vec![("none".to_string(), None)];
     for (a, b) in rnp28::FIG7_FAILURES {
         cases.push((format!("{a}-{b}"), Some(topo.expect_link(a, b))));
     }
+    let cache = Arc::new(EncodingCache::new());
+    let mut specs = Vec::new();
+    let mut labels = Vec::new();
+    for (name, link) in &cases {
+        for r in 0..runs {
+            specs.push(TcpRun {
+                technique: DeflectionTechnique::Nip,
+                protection: protection.clone(),
+                duration: SimTime::from_secs(secs),
+                failure: link.map(|l| FailureWindow {
+                    link: l,
+                    down: SimTime::ZERO,
+                    up: SimTime::from_secs(secs + 1),
+                }),
+                seed: base_seed + r as u64 * 104_729,
+                // Shared-softswitch calibration for the RNP
+                // workload (≈90% CPU at the no-failure rate).
+                switch_service: Some(SimTime::from_micros(20)),
+                cache: Some(cache.clone()),
+                ..TcpRun::new(&topo, primary.clone())
+            });
+            labels.push(format!("{name}/r{r}"));
+        }
+    }
+    let results = runner::run_all(&specs, jobs);
+    let records: Vec<RunRecord> = results
+        .iter()
+        .enumerate()
+        .map(|(i, res)| RunRecord::new("fig7", &labels[i], i, &specs[i], res))
+        .collect();
+    telemetry::emit(&records);
     let mut cells: Vec<Fig7Cell> = cases
-        .into_iter()
-        .map(|(name, link)| {
-            let mut reordered = 0u64;
-            let samples: Vec<f64> = (0..runs)
-                .map(|r| {
-                    let spec = TcpRun {
-                        technique: DeflectionTechnique::Nip,
-                        protection: protection.clone(),
-                        duration: SimTime::from_secs(secs),
-                        failure: link.map(|l| FailureWindow {
-                            link: l,
-                            down: SimTime::ZERO,
-                            up: SimTime::from_secs(secs + 1),
-                        }),
-                        seed: base_seed + r as u64 * 104_729,
-                        // Shared-softswitch calibration for the RNP
-                        // workload (≈90% CPU at the no-failure rate).
-                        switch_service: Some(SimTime::from_micros(20)),
-                        ..TcpRun::new(&topo, primary.clone())
-                    };
-                    let res = run_tcp(&spec);
-                    reordered += res.reordered;
-                    res.meter.mean_mbps(SimTime::ZERO, SimTime::from_secs(secs))
-                })
+        .iter()
+        .enumerate()
+        .map(|(ci, (name, _))| {
+            let case_results = &results[ci * runs..(ci + 1) * runs];
+            let reordered: u64 = case_results.iter().map(|res| res.reordered).sum();
+            let samples: Vec<f64> = case_results
+                .iter()
+                .map(|res| res.meter.mean_mbps(SimTime::ZERO, SimTime::from_secs(secs)))
                 .collect();
             Fig7Cell {
-                failure: name,
+                failure: name.clone(),
                 stats: SampleStats::from_samples(&samples),
                 relative: 0.0,
                 mean_reordered: reordered as f64 / runs as f64,
@@ -78,9 +96,18 @@ pub fn run(runs: usize, secs: u64, base_seed: u64) -> Vec<Fig7Cell> {
         .collect();
     let nominal = cells[0].stats.mean;
     for c in &mut cells {
-        c.relative = if nominal > 0.0 { c.stats.mean / nominal } else { 0.0 };
+        c.relative = if nominal > 0.0 {
+            c.stats.mean / nominal
+        } else {
+            0.0
+        };
     }
     cells
+}
+
+/// Serial [`run_jobs`].
+pub fn run(runs: usize, secs: u64, base_seed: u64) -> Vec<Fig7Cell> {
+    run_jobs(runs, secs, base_seed, 1)
 }
 
 /// Renders the bars with relative throughput.

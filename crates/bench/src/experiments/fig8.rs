@@ -7,11 +7,14 @@
 //! SW109 (delivery) and SW71 (another lap). The paper measures 54.8% of
 //! nominal TCP throughput as the cost of those laps.
 
-use crate::harness::{run_tcp, FailureWindow, TcpRun};
-use kar::{DeflectionTechnique, Protection};
+use crate::harness::{FailureWindow, TcpRun};
+use crate::runner;
+use crate::telemetry::{self, RunRecord};
+use kar::{DeflectionTechnique, EncodingCache, Protection};
 use kar_simnet::SimTime;
 use kar_tcp::SampleStats;
 use kar_topology::rnp28;
+use std::sync::Arc;
 
 /// Result of the Fig. 8 experiment.
 #[derive(Debug, Clone)]
@@ -29,8 +32,10 @@ pub struct Fig8Result {
     pub hops_failure: f64,
 }
 
-/// Runs the experiment: `runs` repetitions of `secs`-second transfers.
-pub fn run(runs: usize, secs: u64, base_seed: u64) -> Fig8Result {
+/// Runs the experiment (`runs` repetitions of `secs`-second transfers
+/// per case) on `jobs` worker threads; results are independent of
+/// `jobs`.
+pub fn run_jobs(runs: usize, secs: u64, base_seed: u64, jobs: usize) -> Fig8Result {
     let topo = rnp28::build();
     let primary: Vec<_> = rnp28::FIG8_ROUTE.iter().map(|n| topo.expect(n)).collect();
     let protection = Protection::Segments(
@@ -41,38 +46,54 @@ pub fn run(runs: usize, secs: u64, base_seed: u64) -> Fig8Result {
     );
     let (fa, fb) = rnp28::FIG8_FAILURE;
     let failed = topo.expect_link(fa, fb);
+    let cache = Arc::new(EncodingCache::new());
+    let cases = [
+        ("nominal", None),
+        (
+            "SW73-SW107",
+            Some(FailureWindow {
+                link: failed,
+                down: SimTime::ZERO,
+                up: SimTime::from_secs(secs + 1),
+            }),
+        ),
+    ];
+    let mut specs = Vec::new();
+    let mut labels = Vec::new();
+    for (name, failure) in cases {
+        for r in 0..runs {
+            specs.push(TcpRun {
+                technique: DeflectionTechnique::Nip,
+                protection: protection.clone(),
+                duration: SimTime::from_secs(secs),
+                failure,
+                seed: base_seed + r as u64 * 15_485_863,
+                ttl: 255, // protection loops need headroom
+                // Same RNP shared-softswitch calibration as Fig. 7.
+                switch_service: Some(SimTime::from_micros(20)),
+                cache: Some(cache.clone()),
+                ..TcpRun::new(&topo, primary.clone())
+            });
+            labels.push(format!("{name}/r{r}"));
+        }
+    }
+    let results = runner::run_all(&specs, jobs);
+    let records: Vec<RunRecord> = results
+        .iter()
+        .enumerate()
+        .map(|(i, res)| RunRecord::new("fig8", &labels[i], i, &specs[i], res))
+        .collect();
+    telemetry::emit(&records);
     let mut hops = [0.0f64; 2];
-    let mut collect = |failure: Option<FailureWindow>, idx: usize| -> Vec<f64> {
-        (0..runs)
-            .map(|r| {
-                let spec = TcpRun {
-                    technique: DeflectionTechnique::Nip,
-                    protection: protection.clone(),
-                    duration: SimTime::from_secs(secs),
-                    failure,
-                    seed: base_seed + r as u64 * 15_485_863,
-                    ttl: 255, // protection loops need headroom
-                    // Same RNP shared-softswitch calibration as Fig. 7.
-                    switch_service: Some(SimTime::from_micros(20)),
-                    ..TcpRun::new(&topo, primary.clone())
-                };
-                let res = run_tcp(&spec);
-                hops[idx] += res.mean_hops / runs as f64;
-                res.meter.mean_mbps(SimTime::ZERO, SimTime::from_secs(secs))
-            })
-            .collect()
-    };
-    let nominal_samples = collect(None, 0);
-    let failure_samples = collect(
-        Some(FailureWindow {
-            link: failed,
-            down: SimTime::ZERO,
-            up: SimTime::from_secs(secs + 1),
-        }),
-        1,
-    );
-    let nominal = SampleStats::from_samples(&nominal_samples);
-    let with_failure = SampleStats::from_samples(&failure_samples);
+    let mut samples = [Vec::new(), Vec::new()];
+    for (idx, case_results) in results.chunks(runs.max(1)).enumerate() {
+        for res in case_results {
+            hops[idx] += res.mean_hops / runs as f64;
+            samples[idx].push(res.meter.mean_mbps(SimTime::ZERO, SimTime::from_secs(secs)));
+        }
+    }
+    let nominal = SampleStats::from_samples(&samples[0]);
+    let with_failure = SampleStats::from_samples(&samples[1]);
     Fig8Result {
         ratio: if nominal.mean > 0.0 {
             with_failure.mean / nominal.mean
@@ -84,6 +105,11 @@ pub fn run(runs: usize, secs: u64, base_seed: u64) -> Fig8Result {
         hops_nominal: hops[0],
         hops_failure: hops[1],
     }
+}
+
+/// Serial [`run_jobs`].
+pub fn run(runs: usize, secs: u64, base_seed: u64) -> Fig8Result {
+    run_jobs(runs, secs, base_seed, 1)
 }
 
 /// Renders the result with the paper's 54.8% reference point.
@@ -114,7 +140,11 @@ mod tests {
     #[test]
     fn protection_loop_costs_throughput_not_delivery() {
         let r = run(2, 3, 9);
-        assert!(r.nominal.mean > 60.0, "nominal ≈ 100 Mbit/s: {:?}", r.nominal);
+        assert!(
+            r.nominal.mean > 60.0,
+            "nominal ≈ 100 Mbit/s: {:?}",
+            r.nominal
+        );
         assert!(
             r.ratio > 0.1 && r.ratio < 0.95,
             "failure must cost real throughput: ratio {}",

@@ -31,13 +31,15 @@ pub fn run(packets: u64, seed: u64) -> Vec<JitterRow> {
     DeflectionTechnique::ALL
         .iter()
         .map(|&technique| {
-            let mut net = KarNetwork::new(&topo, technique).with_seed(seed).with_ttl(255);
+            let mut net = KarNetwork::new(&topo, technique)
+                .with_seed(seed)
+                .with_ttl(255);
             net.install_route(as1, as3, &Protection::AutoFull)
                 .expect("route installs");
             let mut sim = net.into_sim();
             sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW10", "SW7"));
-            let tx = CbrSender::new(as3, FlowId(1), SimTime::from_micros(150), 1000)
-                .with_limit(packets);
+            let tx =
+                CbrSender::new(as3, FlowId(1), SimTime::from_micros(150), 1000).with_limit(packets);
             sim.add_app(as1, Box::new(tx));
             let (rx, stats) = CbrSink::new(FlowId(1));
             sim.add_app(as3, Box::new(rx));

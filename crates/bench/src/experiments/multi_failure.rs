@@ -87,7 +87,9 @@ fn run_one(
             } else {
                 DeflectionTechnique::None
             };
-            let mut net = KarNetwork::new(topo, technique).with_seed(seed).with_ttl(255);
+            let mut net = KarNetwork::new(topo, technique)
+                .with_seed(seed)
+                .with_ttl(255);
             net.install_route(src, dst, &Protection::AutoFull)
                 .expect("route installs");
             net.into_sim()
@@ -150,8 +152,7 @@ pub fn run(
         for scheme in Scheme::ALL {
             let mut total = 0.0;
             for t in 0..trials {
-                let mut rng =
-                    StdRng::seed_from_u64(base_seed ^ ((k as u64) << 16) ^ t as u64);
+                let mut rng = StdRng::seed_from_u64(base_seed ^ ((k as u64) << 16) ^ t as u64);
                 let mut links = candidates.clone();
                 links.shuffle(&mut rng);
                 links.truncate(k);

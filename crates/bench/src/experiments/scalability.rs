@@ -88,7 +88,13 @@ pub fn render(points: &[ScalePoint]) -> String {
     for p in points {
         out.push_str(&format!(
             "| {} | {} | {} | {} | {:.1} | {} | {} |\n",
-            p.network, p.switches, p.hops, p.kar_bytes, p.kar_encode_us, p.slick_bytes, p.ff_entries
+            p.network,
+            p.switches,
+            p.hops,
+            p.kar_bytes,
+            p.kar_encode_us,
+            p.slick_bytes,
+            p.ff_entries
         ));
     }
     out

@@ -25,7 +25,10 @@ pub fn compute() -> Vec<Table1Row> {
     let primary = topo15::primary_route(&topo);
     let partial = topo15::protection_pairs(&topo, &topo15::PARTIAL_PROTECTION);
     let mut full = partial.clone();
-    full.extend(topo15::protection_pairs(&topo, &topo15::FULL_EXTRA_PROTECTION));
+    full.extend(topo15::protection_pairs(
+        &topo,
+        &topo15::FULL_EXTRA_PROTECTION,
+    ));
 
     let encode = |prot: Vec<_>| {
         EncodedRoute::encode(&topo, &RouteSpec::protected(primary.clone(), prot))

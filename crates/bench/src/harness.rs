@@ -2,10 +2,12 @@
 //! an optional scheduled link failure — the shape of every throughput
 //! experiment in the paper (§3).
 
-use kar::{DeflectionTechnique, KarNetwork, Protection, ReroutePolicy};
+use kar::{DeflectionTechnique, EncodingCache, KarNetwork, Protection, ReroutePolicy};
 use kar_simnet::{FlowId, SimTime};
 use kar_tcp::{BulkFlow, CongestionControl, IntervalMeter, TcpConfig};
 use kar_topology::{LinkId, NodeId, Topology};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A failure window: the link goes down at `down` and up at `up`.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +52,10 @@ pub struct TcpRun<'a> {
     /// converts deflection hop-inflation into throughput loss. Calibrate
     /// per topology so the no-failure run sits near saturation.
     pub switch_service: Option<SimTime>,
+    /// Optional shared route-encoding cache. Sweeps that re-run the same
+    /// routes attach one cache to every spec; cached encodes are
+    /// byte-identical to fresh ones, so results are unaffected.
+    pub cache: Option<Arc<EncodingCache>>,
 }
 
 impl<'a> TcpRun<'a> {
@@ -68,12 +74,13 @@ impl<'a> TcpRun<'a> {
             ttl: 128,
             congestion: CongestionControl::Reno,
             switch_service: None,
+            cache: None,
         }
     }
 }
 
 /// Result of one TCP run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TcpRunResult {
     /// The receiver's goodput meter.
     pub meter: IntervalMeter,
@@ -87,6 +94,27 @@ pub struct TcpRunResult {
     pub mean_hops: f64,
     /// Out-of-order data arrivals observed at the destination edge.
     pub reordered: u64,
+    /// Host wall-clock time the run took (telemetry only — excluded from
+    /// [`TcpRunResult::digest`] because it varies between invocations).
+    pub wall: Duration,
+}
+
+impl TcpRunResult {
+    /// A canonical serialization of every *simulated* quantity — all
+    /// fields except the host wall clock. Two runs of the same spec are
+    /// deterministic exactly when their digests are byte-identical, which
+    /// is what the parallel-runner conformance tests compare.
+    pub fn digest(&self) -> String {
+        format!(
+            "meter={:?} delivered={} dropped={} deflections={} mean_hops={:?} reordered={}",
+            self.meter,
+            self.delivered,
+            self.dropped,
+            self.deflections,
+            self.mean_hops,
+            self.reordered,
+        )
+    }
 }
 
 /// Executes one bulk-TCP run and returns the meter plus network stats.
@@ -101,6 +129,7 @@ pub struct TcpRunResult {
 /// Panics if the scenario is malformed (routes fail to install) —
 /// experiment constants are validated by tests.
 pub fn run_tcp(spec: &TcpRun<'_>) -> TcpRunResult {
+    let started = Instant::now();
     let src = *spec.primary.first().expect("non-empty primary");
     let dst = *spec.primary.last().expect("non-empty primary");
     let mut net = KarNetwork::new(spec.topo, spec.technique)
@@ -111,6 +140,9 @@ pub fn run_tcp(spec: &TcpRun<'_>) -> TcpRunResult {
         });
     if let Some(service) = spec.switch_service {
         net = net.with_switch_service(service);
+    }
+    if let Some(cache) = &spec.cache {
+        net = net.with_encoding_cache(cache.clone());
     }
     net.install_explicit(spec.primary.clone(), &spec.protection)
         .expect("forward route installs");
@@ -145,6 +177,7 @@ pub fn run_tcp(spec: &TcpRun<'_>) -> TcpRunResult {
         deflections: stats.deflections,
         mean_hops: stats.mean_hops(),
         reordered: flow_stats.map(|f| f.out_of_order).unwrap_or(0),
+        wall: started.elapsed(),
     }
 }
 

@@ -7,10 +7,19 @@
 //! so tests can run scaled-down versions; binaries are thin wrappers.
 //!
 //! Knobs via environment: `KAR_RUNS` (repetitions), `KAR_SECONDS`
-//! (per-run transfer seconds), `KAR_SEED`.
+//! (per-run transfer seconds), `KAR_SEED`, `KAR_JOBS` (worker threads,
+//! also `--jobs N` on every sweep binary), `KAR_TELEMETRY` (JSON-lines
+//! sink: `-` for stderr or a file path to append to).
+//!
+//! Sweeps run through [`runner`] — a work-stealing thread pool whose
+//! parallel results are byte-identical to the serial order (each run
+//! seeds its own simulator; nothing is global) — and can stream
+//! per-run [`telemetry`] records.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod harness;
+pub mod runner;
+pub mod telemetry;

@@ -1,0 +1,156 @@
+//! Parallel experiment runner: fans [`TcpRun`] specs across worker
+//! threads with deterministic, serial-identical results.
+//!
+//! Each spec is self-contained — `run_tcp` builds a fresh network and
+//! simulator seeded from `spec.seed`, never touching global state — so
+//! runs commute. The runner exploits that: workers pull spec indices
+//! from a shared atomic counter (work stealing — fast runs free their
+//! worker for the next spec), and results are slotted back by index.
+//! The output vector at `jobs = N` is therefore byte-identical to the
+//! serial `jobs = 1` sweep, which the conformance tests in this module
+//! and `tests/parallel_determinism.rs` enforce.
+
+use crate::harness::{run_tcp, TcpRun, TcpRunResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Worker-thread count to use when the caller expresses no preference:
+/// the `--jobs N` CLI flag, then the `KAR_JOBS` environment variable,
+/// then all available cores.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves the worker count from CLI arguments and environment:
+/// `--jobs N` / `--jobs=N` wins, then `KAR_JOBS`, then every core.
+/// Invalid or zero values fall back to the next source.
+pub fn jobs_from_args<I: IntoIterator<Item = String>>(args: I) -> usize {
+    let mut args = args.into_iter();
+    let mut from_flag = None;
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            from_flag = args.next().and_then(|v| v.parse().ok());
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            from_flag = v.parse().ok();
+        }
+    }
+    let from_env = std::env::var("KAR_JOBS").ok().and_then(|v| v.parse().ok());
+    from_flag
+        .or(from_env)
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(default_jobs)
+}
+
+/// Runs every spec and returns the results in spec order.
+///
+/// `jobs = 1` runs serially on the calling thread; `jobs > 1` fans out
+/// over `min(jobs, specs.len())` worker threads. Both produce identical
+/// results (see the module docs).
+pub fn run_all(specs: &[TcpRun<'_>], jobs: usize) -> Vec<TcpRunResult> {
+    let jobs = jobs.max(1).min(specs.len().max(1));
+    if jobs <= 1 {
+        return specs.iter().map(run_tcp).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, TcpRunResult)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= specs.len() {
+                    break;
+                }
+                let result = run_tcp(&specs[idx]);
+                if tx.send((idx, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<TcpRunResult>> = specs.iter().map(|_| None).collect();
+        for (idx, result) in rx {
+            slots[idx] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every spec index was claimed by exactly one worker"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::FailureWindow;
+    use kar::{EncodingCache, Protection};
+    use kar_simnet::SimTime;
+    use kar_topology::topo15;
+    use std::sync::Arc;
+
+    fn spec_set(topo: &kar_topology::Topology, n: usize) -> Vec<TcpRun<'_>> {
+        let primary = topo15::primary_route(topo);
+        let cache = Arc::new(EncodingCache::new());
+        (0..n)
+            .map(|r| TcpRun {
+                protection: Protection::AutoFull,
+                duration: SimTime::from_secs(2),
+                failure: (r % 2 == 0).then(|| FailureWindow {
+                    link: topo.expect_link("SW7", "SW13"),
+                    down: SimTime::ZERO,
+                    up: SimTime::from_secs(3),
+                }),
+                seed: 100 + r as u64 * 7919,
+                cache: Some(cache.clone()),
+                ..TcpRun::new(topo, primary.clone())
+            })
+            .collect()
+    }
+
+    /// The tentpole conformance property: a parallel sweep is
+    /// byte-identical to the serial one.
+    #[test]
+    fn parallel_results_match_serial_byte_for_byte() {
+        let topo = topo15::build();
+        let specs = spec_set(&topo, 6);
+        let serial = run_all(&specs, 1);
+        let parallel = run_all(&specs, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.digest(), p.digest());
+        }
+    }
+
+    #[test]
+    fn oversubscribed_jobs_are_clamped() {
+        let topo = topo15::build();
+        let specs = spec_set(&topo, 2);
+        let results = run_all(&specs, 64);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.delivered > 0));
+    }
+
+    #[test]
+    fn empty_spec_set_is_fine() {
+        assert!(run_all(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn jobs_flag_parsing() {
+        let parse = |args: &[&str]| jobs_from_args(args.iter().map(|s| s.to_string()));
+        std::env::remove_var("KAR_JOBS");
+        assert_eq!(parse(&["--jobs", "3"]), 3);
+        assert_eq!(parse(&["--jobs=5"]), 5);
+        assert_eq!(parse(&["--jobs", "2", "--jobs", "7"]), 7, "last flag wins");
+        assert_eq!(parse(&["--jobs", "junk"]), default_jobs());
+        assert_eq!(parse(&["--jobs", "0"]), default_jobs());
+        assert_eq!(parse(&[]), default_jobs());
+        std::env::set_var("KAR_JOBS", "2");
+        assert_eq!(parse(&[]), 2, "KAR_JOBS fallback");
+        assert_eq!(parse(&["--jobs", "9"]), 9, "flag beats env");
+        std::env::remove_var("KAR_JOBS");
+    }
+}

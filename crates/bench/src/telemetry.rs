@@ -1,0 +1,259 @@
+//! Machine-readable run telemetry: one JSON line per experiment run.
+//!
+//! Every `TcpRun` the harness executes can be summarized as a
+//! [`RunRecord`] — the run's coordinates (experiment, label, index,
+//! seed), its simulated outcome (throughput, drops, deflections,
+//! hop inflation, reordering) and the host wall-clock cost. Records
+//! serialize to single-line JSON objects, so a sweep's telemetry is a
+//! [JSON-lines](https://jsonlines.org) stream that `jq`, pandas or a
+//! spreadsheet ingest directly.
+//!
+//! Emission is opt-in via the `KAR_TELEMETRY` environment variable:
+//! unset means off, `-` streams to stderr (keeping stdout clean for the
+//! experiment's table), anything else appends to that file path.
+
+use crate::harness::{TcpRun, TcpRunResult};
+use kar_simnet::SimTime;
+use std::fmt::Write as _;
+
+/// Telemetry of one completed run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Experiment name (`"fig5"`, `"fig7"`, …).
+    pub experiment: String,
+    /// Human-readable run coordinates within the experiment
+    /// (e.g. `"SW10-SW7/Full/NIP/r2"`).
+    pub label: String,
+    /// Index of the run in the sweep's spec order.
+    pub index: usize,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Deflection technique label.
+    pub technique: String,
+    /// Simulated duration in seconds.
+    pub duration_s: f64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Deflection events.
+    pub deflections: u64,
+    /// Mean hops per delivered packet.
+    pub mean_hops: f64,
+    /// `mean_hops` relative to the primary path's hop count (1.0 means
+    /// no deflection detours).
+    pub hop_inflation: f64,
+    /// Out-of-order arrivals at the destination edge.
+    pub reordered: u64,
+    /// Mean goodput over the full run (Mbit/s).
+    pub mean_mbps: f64,
+    /// Host wall-clock milliseconds the run took.
+    pub wall_ms: f64,
+}
+
+impl RunRecord {
+    /// Builds the record for one `(spec, result)` pair.
+    pub fn new(
+        experiment: &str,
+        label: &str,
+        index: usize,
+        spec: &TcpRun<'_>,
+        result: &TcpRunResult,
+    ) -> Self {
+        // `hops` counts core-switch traversals; the primary path lists
+        // edge + cores + edge, so its nominal hop count is len - 2.
+        let nominal_hops = spec.primary.len().saturating_sub(2) as f64;
+        RunRecord {
+            experiment: experiment.to_string(),
+            label: label.to_string(),
+            index,
+            seed: spec.seed,
+            technique: spec.technique.label().to_string(),
+            duration_s: spec.duration.as_nanos() as f64 / 1e9,
+            delivered: result.delivered,
+            dropped: result.dropped,
+            deflections: result.deflections,
+            mean_hops: result.mean_hops,
+            hop_inflation: if nominal_hops > 0.0 {
+                result.mean_hops / nominal_hops
+            } else {
+                0.0
+            },
+            reordered: result.reordered,
+            mean_mbps: result.meter.mean_mbps(SimTime::ZERO, spec.duration),
+            wall_ms: result.wall.as_secs_f64() * 1e3,
+        }
+    }
+
+    /// Serializes as one JSON object on a single line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        write!(out, "\"experiment\":\"{}\"", escape(&self.experiment)).unwrap();
+        write!(out, ",\"label\":\"{}\"", escape(&self.label)).unwrap();
+        write!(out, ",\"index\":{}", self.index).unwrap();
+        write!(out, ",\"seed\":{}", self.seed).unwrap();
+        write!(out, ",\"technique\":\"{}\"", escape(&self.technique)).unwrap();
+        write!(out, ",\"duration_s\":{}", json_f64(self.duration_s)).unwrap();
+        write!(out, ",\"delivered\":{}", self.delivered).unwrap();
+        write!(out, ",\"dropped\":{}", self.dropped).unwrap();
+        write!(out, ",\"deflections\":{}", self.deflections).unwrap();
+        write!(out, ",\"mean_hops\":{}", json_f64(self.mean_hops)).unwrap();
+        write!(out, ",\"hop_inflation\":{}", json_f64(self.hop_inflation)).unwrap();
+        write!(out, ",\"reordered\":{}", self.reordered).unwrap();
+        write!(out, ",\"mean_mbps\":{}", json_f64(self.mean_mbps)).unwrap();
+        write!(out, ",\"wall_ms\":{}", json_f64(self.wall_ms)).unwrap();
+        out.push('}');
+        out
+    }
+}
+
+/// Formats a float as a JSON value (`null` for non-finite values, which
+/// bare JSON cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes records as JSON lines to any sink.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn write_jsonl<W: std::io::Write>(mut sink: W, records: &[RunRecord]) -> std::io::Result<()> {
+    for record in records {
+        writeln!(sink, "{}", record.to_json())?;
+    }
+    Ok(())
+}
+
+/// Emits records according to the `KAR_TELEMETRY` environment variable:
+/// unset → no-op, `-` → stderr, a path → append to that file. Emission
+/// failures are reported on stderr but never abort an experiment.
+pub fn emit(records: &[RunRecord]) {
+    let Ok(target) = std::env::var("KAR_TELEMETRY") else {
+        return;
+    };
+    let outcome = if target == "-" {
+        write_jsonl(std::io::stderr().lock(), records)
+    } else {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&target)
+            .and_then(|file| write_jsonl(file, records))
+    };
+    if let Err(err) = outcome {
+        eprintln!("telemetry: cannot write to {target}: {err}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kar_topology::topo15;
+
+    fn sample_record() -> RunRecord {
+        let topo = topo15::build();
+        let spec = TcpRun {
+            duration: SimTime::from_secs(2),
+            seed: 77,
+            ..TcpRun::new(&topo, topo15::primary_route(&topo))
+        };
+        let result = crate::harness::run_tcp(&spec);
+        RunRecord::new("harness", "baseline/r0", 0, &spec, &result)
+    }
+
+    #[test]
+    fn record_reflects_spec_and_result() {
+        let record = sample_record();
+        assert_eq!(record.experiment, "harness");
+        assert_eq!(record.seed, 77);
+        assert_eq!(record.technique, "NIP");
+        assert!((record.duration_s - 2.0).abs() < 1e-12);
+        assert!(record.delivered > 0);
+        assert!(record.mean_mbps > 0.0);
+        // No failure → packets stay on the 4-hop primary path.
+        assert!((record.hop_inflation - 1.0).abs() < 1e-9, "{record:?}");
+        assert!(record.wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn json_line_is_well_formed() {
+        let json = sample_record().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"experiment\":\"harness\""));
+        assert!(json.contains("\"label\":\"baseline/r0\""));
+        assert!(json.contains("\"seed\":77"));
+        // Every key is present exactly once.
+        for key in [
+            "experiment",
+            "label",
+            "index",
+            "seed",
+            "technique",
+            "duration_s",
+            "delivered",
+            "dropped",
+            "deflections",
+            "mean_hops",
+            "hop_inflation",
+            "reordered",
+            "mean_mbps",
+            "wall_ms",
+        ] {
+            assert_eq!(
+                json.matches(&format!("\"{key}\":")).count(),
+                1,
+                "key {key} in {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn escaping_and_nonfinite_floats() {
+        let mut record = sample_record();
+        record.label = "quote\" slash\\ tab\t".to_string();
+        record.mean_hops = f64::NAN;
+        record.hop_inflation = f64::INFINITY;
+        let json = record.to_json();
+        assert!(json.contains("quote\\\" slash\\\\ tab\\t"));
+        assert!(json.contains("\"mean_hops\":null"));
+        assert!(json.contains("\"hop_inflation\":null"));
+    }
+
+    #[test]
+    fn write_jsonl_emits_one_line_per_record() {
+        let records = vec![sample_record(), sample_record()];
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &records).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+}

@@ -108,9 +108,7 @@ pub fn driven_walk_from(
             let candidates: Vec<u64> = topo
                 .neighbors(cur)
                 .filter(|&(p, l, peer)| {
-                    Some(p) != in_port
-                        && !failed.contains(&l)
-                        && topo.switch_id(peer).is_some()
+                    Some(p) != in_port && !failed.contains(&l) && topo.switch_id(peer).is_some()
                 })
                 .map(|(p, _, _)| p)
                 .collect();
@@ -176,7 +174,11 @@ pub fn failure_coverage(
         .position(|&n| link.touches(n) && topo.switch_id(n).is_some())
         .expect("failed link must touch a primary-path switch");
     let deflecting = primary[pos];
-    let input = if pos > 0 { Some(primary[pos - 1]) } else { None };
+    let input = if pos > 0 {
+        Some(primary[pos - 1])
+    } else {
+        None
+    };
     let failed: HashSet<LinkId> = [failed_link].into_iter().collect();
     let mut candidates = Vec::new();
     let mut driven = Vec::new();
@@ -273,7 +275,9 @@ mod tests {
     use crate::route::RouteSpec;
     use kar_topology::topo15;
 
-    fn route_with(protection: &[(&str, &str)]) -> (kar_topology::Topology, EncodedRoute, Vec<NodeId>) {
+    fn route_with(
+        protection: &[(&str, &str)],
+    ) -> (kar_topology::Topology, EncodedRoute, Vec<NodeId>) {
         let topo = topo15::build();
         let primary = topo15::primary_route(&topo);
         let pairs = topo15::protection_pairs(&topo, protection);
@@ -316,7 +320,13 @@ mod tests {
         let dst = topo.expect("AS3");
         // SW10-SW7 failure: 1 of 3 candidates protected (§3.1: "2/3 of
         // packets will be sent to switches SW17 or SW37").
-        let cov = failure_coverage(&topo, &route, &primary, topo.expect_link("SW10", "SW7"), dst);
+        let cov = failure_coverage(
+            &topo,
+            &route,
+            &primary,
+            topo.expect_link("SW10", "SW7"),
+            dst,
+        );
         assert_eq!(cov.deflecting_switch, topo.expect("SW10"));
         assert_eq!(cov.candidates.len(), 3);
         assert_eq!(cov.driven.len(), 1);
@@ -333,7 +343,10 @@ mod tests {
         let topo = topo15::build();
         let primary = topo15::primary_route(&topo);
         let mut pairs = topo15::protection_pairs(&topo, &topo15::PARTIAL_PROTECTION);
-        pairs.extend(topo15::protection_pairs(&topo, &topo15::FULL_EXTRA_PROTECTION));
+        pairs.extend(topo15::protection_pairs(
+            &topo,
+            &topo15::FULL_EXTRA_PROTECTION,
+        ));
         let route =
             EncodedRoute::encode(&topo, &RouteSpec::protected(primary.clone(), pairs)).unwrap();
         let dst = topo.expect("AS3");
@@ -347,7 +360,13 @@ mod tests {
     fn unprotected_sw7_failure_has_no_driven_candidates() {
         let (topo, route, primary) = route_with(&[]);
         let dst = topo.expect("AS3");
-        let cov = failure_coverage(&topo, &route, &primary, topo.expect_link("SW7", "SW13"), dst);
+        let cov = failure_coverage(
+            &topo,
+            &route,
+            &primary,
+            topo.expect_link("SW7", "SW13"),
+            dst,
+        );
         // Candidates SW11 and SW19 exist but nothing drives them (unless a
         // residue accidentally points the right way — with these IDs it
         // does not).
@@ -376,7 +395,12 @@ mod tests {
             topo.expect("AS3"),
             &HashSet::new(),
         );
-        assert_eq!(out, DrivenOutcome::WrongEdge { at: topo.expect("AS2") });
+        assert_eq!(
+            out,
+            DrivenOutcome::WrongEdge {
+                at: topo.expect("AS2")
+            }
+        );
     }
 
     #[test]
@@ -416,6 +440,11 @@ mod tests {
             topo.expect("AS3"),
             &failed,
         );
-        assert_eq!(out, DrivenOutcome::InvalidPort { at: topo.expect("SW7") });
+        assert_eq!(
+            out,
+            DrivenOutcome::InvalidPort {
+                at: topo.expect("SW7")
+            }
+        );
     }
 }

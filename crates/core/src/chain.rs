@@ -53,10 +53,15 @@ pub fn chain_path(
     for &stop in &stops {
         if used.contains(&stop) && stop != cur {
             // An earlier leg already consumed this switch's residue.
-            return Err(KarError::NoPath { src: cur, dst: stop });
+            return Err(KarError::NoPath {
+                src: cur,
+                dst: stop,
+            });
         }
-        let leg = bfs_avoiding_nodes(topo, cur, stop, &used)
-            .ok_or(KarError::NoPath { src: cur, dst: stop })?;
+        let leg = bfs_avoiding_nodes(topo, cur, stop, &used).ok_or(KarError::NoPath {
+            src: cur,
+            dst: stop,
+        })?;
         for &n in &leg[1..] {
             used.insert(n);
             full.push(n);
@@ -109,9 +114,7 @@ fn bfs_avoiding_nodes(
 /// Returns `true` if `path` visits `waypoints` in order.
 pub fn visits_in_order(path: &[NodeId], waypoints: &[NodeId]) -> bool {
     let mut iter = path.iter();
-    waypoints
-        .iter()
-        .all(|w| iter.by_ref().any(|n| n == w))
+    waypoints.iter().all(|w| iter.by_ref().any(|n| n == w))
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 //! re-encoding here uses the *intact* topology, not the failed one. Flip
 //! [`Controller::set_failure_aware`] to study the alternative.
 
+use crate::cache::EncodingCache;
 use crate::deflect::DeflectionTechnique;
 use crate::error::KarError;
 use crate::protection::{encode_with_protection, Protection};
@@ -23,6 +24,7 @@ use crate::route::EncodedRoute;
 use kar_simnet::{EdgeLogic, Packet, RerouteDecision, RouteTag, SimTime};
 use kar_topology::{paths, LinkId, NodeId, PortIx, Topology};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// What an edge does with a packet that surfaced at the wrong edge
 /// (paper §2.1, final design remark).
@@ -61,6 +63,9 @@ pub struct Controller {
     /// failure-aware — the paper's controller ignores failures).
     failed: HashSet<LinkId>,
     failure_aware: bool,
+    /// Optional shared encoding memo; a cached encode is byte-identical
+    /// to a fresh one, so this only affects speed.
+    cache: Option<Arc<EncodingCache>>,
 }
 
 impl Controller {
@@ -73,6 +78,26 @@ impl Controller {
     pub fn with_reroute(mut self, policy: ReroutePolicy) -> Self {
         self.reroute = policy;
         self
+    }
+
+    /// Routes all route-ID computation through a shared
+    /// [`EncodingCache`] (typically one per experiment sweep).
+    pub fn with_encoding_cache(mut self, cache: Arc<EncodingCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Encodes via the shared cache when one is attached.
+    fn encode(
+        &self,
+        topo: &Topology,
+        primary: Vec<NodeId>,
+        protection: &Protection,
+    ) -> Result<EncodedRoute, KarError> {
+        match &self.cache {
+            Some(cache) => cache.encode_with_protection(topo, primary, protection),
+            None => encode_with_protection(topo, primary, protection),
+        }
     }
 
     /// When `true`, wrong-edge re-encoding avoids links marked failed via
@@ -134,7 +159,7 @@ impl Controller {
         protection: &Protection,
     ) -> Result<EncodedRoute, KarError> {
         let primary = self.select_path(topo, src, dst)?;
-        let route = encode_with_protection(topo, primary, protection)?;
+        let route = self.encode(topo, primary, protection)?;
         self.table.insert((src, dst), route.clone());
         Ok(route)
     }
@@ -158,7 +183,7 @@ impl Controller {
             })?,
             *primary.last().expect("non-empty checked above"),
         );
-        let route = encode_with_protection(topo, primary, protection)?;
+        let route = self.encode(topo, primary, protection)?;
         self.table.insert((src, dst), route.clone());
         Ok(route)
     }
@@ -230,7 +255,7 @@ impl EdgeLogic for Controller {
                         let Ok(primary) = self.select_path(topo, edge, pkt.dst) else {
                             return RerouteDecision::Drop;
                         };
-                        match encode_with_protection(topo, primary, &Protection::None) {
+                        match self.encode(topo, primary, &Protection::None) {
                             Ok(r) => {
                                 self.table.insert((edge, pkt.dst), r.clone());
                                 r
@@ -401,6 +426,27 @@ mod tests {
             route2.pairs.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
             vec![10, 7, 13, 29]
         );
+    }
+
+    #[test]
+    fn cached_install_matches_uncached() {
+        let topo = topo15::build();
+        let cache = std::sync::Arc::new(crate::cache::EncodingCache::new());
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let mut plain = Controller::new();
+        let expected = plain
+            .install_route(&topo, as1, as3, &Protection::AutoFull)
+            .unwrap();
+        for _ in 0..3 {
+            let mut cached = Controller::new().with_encoding_cache(cache.clone());
+            let route = cached
+                .install_route(&topo, as1, as3, &Protection::AutoFull)
+                .unwrap();
+            assert_eq!(route, expected);
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
     }
 
     #[test]

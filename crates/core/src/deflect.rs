@@ -247,7 +247,12 @@ mod tests {
         }
     }
 
-    fn ctx<'a>(topo: &'a Topology, node: NodeId, in_port: Option<u64>, ports: &'a [bool]) -> SwitchCtx<'a> {
+    fn ctx<'a>(
+        topo: &'a Topology,
+        node: NodeId,
+        in_port: Option<u64>,
+        ports: &'a [bool],
+    ) -> SwitchCtx<'a> {
         SwitchCtx {
             topo,
             node,
@@ -357,6 +362,117 @@ mod tests {
             fwd.forward(&ctx(&topo, a, Some(0), &only0), &mut p, &mut rng),
             ForwardDecision::Drop(DropReason::NoRoute)
         );
+    }
+
+    /// Degree-1 switch (id 7) with its single neighbour X on port 0.
+    fn stub() -> (Topology, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.core("A", 7);
+        let x = b.core("X", 11);
+        b.link(a, x, LinkParams::default());
+        let topo = b.build().unwrap();
+        (topo, a)
+    }
+
+    /// Degree-2 switch (id 7) with neighbours X (port 0) and Y (port 1).
+    fn chain() -> (Topology, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.core("A", 7);
+        let x = b.core("X", 11);
+        let y = b.core("Y", 13);
+        b.link(a, x, LinkParams::default());
+        b.link(a, y, LinkParams::default());
+        let topo = b.build().unwrap();
+        (topo, a)
+    }
+
+    /// At a degree-1 switch every arriving packet's only exit is the
+    /// port it came in on. NIP must drop (Algorithm 1's fallback has no
+    /// candidate); AVP happily ping-pongs it back.
+    #[test]
+    fn nip_drops_at_degree_one_switch() {
+        let (topo, a) = stub();
+        let up = vec![true];
+        let mut rng = StdRng::seed_from_u64(1);
+        // 7 mod 7 = 0: the residue names the input port itself.
+        let mut fwd = KarForwarder::new(DeflectionTechnique::Nip);
+        let mut p = pkt(7, false);
+        assert_eq!(
+            fwd.forward(&ctx(&topo, a, Some(0), &up), &mut p, &mut rng),
+            ForwardDecision::Drop(DropReason::NoRoute)
+        );
+        // 5 mod 7 = 5: the residue is out of range — same dead end.
+        let mut p = pkt(5, false);
+        assert_eq!(
+            fwd.forward(&ctx(&topo, a, Some(0), &up), &mut p, &mut rng),
+            ForwardDecision::Drop(DropReason::NoRoute)
+        );
+        // AVP ping-pongs both packets back out the input port — via the
+        // residue for route 7 (no deflection counted), via the random
+        // fallback for the out-of-range route 5.
+        let mut avp = KarForwarder::new(DeflectionTechnique::Avp);
+        for (route_id, deflections) in [(7, 0), (5, 1)] {
+            let mut p = pkt(route_id, false);
+            assert_eq!(
+                avp.forward(&ctx(&topo, a, Some(0), &up), &mut p, &mut rng),
+                ForwardDecision::Output(0)
+            );
+            assert_eq!(p.deflections, deflections, "route {route_id}");
+        }
+    }
+
+    /// At a degree-2 switch whose other port is down, the input port is
+    /// the only healthy exit: NIP drops, AVP returns the packet.
+    #[test]
+    fn nip_drops_at_degree_two_switch_with_other_port_down() {
+        let (topo, a) = chain();
+        let only_input = vec![true, false];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut fwd = KarForwarder::new(DeflectionTechnique::Nip);
+        // 8 mod 7 = 1: the residue names the down port.
+        let mut p = pkt(8, false);
+        assert_eq!(
+            fwd.forward(&ctx(&topo, a, Some(0), &only_input), &mut p, &mut rng),
+            ForwardDecision::Drop(DropReason::NoRoute)
+        );
+        // 7 mod 7 = 0: the residue names the (healthy) input port.
+        let mut p = pkt(7, false);
+        assert_eq!(
+            fwd.forward(&ctx(&topo, a, Some(0), &only_input), &mut p, &mut rng),
+            ForwardDecision::Drop(DropReason::NoRoute)
+        );
+        let mut avp = KarForwarder::new(DeflectionTechnique::Avp);
+        let mut p = pkt(8, false);
+        assert_eq!(
+            avp.forward(&ctx(&topo, a, Some(0), &only_input), &mut p, &mut rng),
+            ForwardDecision::Output(0)
+        );
+    }
+
+    /// Degree-2 with both ports healthy is NIP's deterministic case: the
+    /// packet must leave on the port it did not arrive on, whatever the
+    /// residue says.
+    #[test]
+    fn nip_is_deterministic_at_degree_two() {
+        let (topo, a) = chain();
+        let up = vec![true, true];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut fwd = KarForwarder::new(DeflectionTechnique::Nip);
+        for route_id in [7, 8, 5] {
+            // Residues 0 (input), 1 (the other port), 5 (out of range).
+            let mut p = pkt(route_id, false);
+            assert_eq!(
+                fwd.forward(&ctx(&topo, a, Some(0), &up), &mut p, &mut rng),
+                ForwardDecision::Output(1),
+                "route_id {route_id}"
+            );
+            let mut p = pkt(route_id, false);
+            assert_eq!(
+                fwd.forward(&ctx(&topo, a, Some(1), &up), &mut p, &mut rng),
+                ForwardDecision::Output(0),
+                "route_id {route_id} reversed"
+            );
+        }
     }
 
     #[test]

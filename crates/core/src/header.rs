@@ -122,16 +122,14 @@ mod tests {
         let topo = topo15::build();
         let primary = topo15::primary_route(&topo);
         let mut pairs = topo15::protection_pairs(&topo, &topo15::PARTIAL_PROTECTION);
-        pairs.extend(topo15::protection_pairs(&topo, &topo15::FULL_EXTRA_PROTECTION));
-        for (segments, expect_bits, expect_bytes) in [
-            (Vec::new(), 15, 2),
-            (pairs.clone(), 43, 6),
-        ] {
-            let route = EncodedRoute::encode(
-                &topo,
-                &RouteSpec::protected(primary.clone(), segments),
-            )
-            .unwrap();
+        pairs.extend(topo15::protection_pairs(
+            &topo,
+            &topo15::FULL_EXTRA_PROTECTION,
+        ));
+        for (segments, expect_bits, expect_bytes) in [(Vec::new(), 15, 2), (pairs.clone(), 43, 6)] {
+            let route =
+                EncodedRoute::encode(&topo, &RouteSpec::protected(primary.clone(), segments))
+                    .unwrap();
             let h = RouteHeader::for_route(&route).unwrap();
             assert_eq!(h.bits(), expect_bits);
             assert_eq!(h.wire_bytes(), expect_bytes);

@@ -20,6 +20,8 @@
 //!   explicit, full, and bit-budgeted driven-deflection trees;
 //! * [`Controller`] — route selection, route-ID computation, and the
 //!   paper's wrong-edge re-encoding;
+//! * [`EncodingCache`] — a shared, thread-safe route-encoding memo for
+//!   repeated-route workloads (experiment sweeps);
 //! * [`KarNetwork`] — one-stop wiring into the `kar-simnet` simulator;
 //! * [`analysis`] — static driven-walk and failure-coverage checks.
 //!
@@ -50,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cache;
 pub mod chain;
 mod controller;
 mod deflect;
@@ -60,12 +63,13 @@ mod network;
 pub mod protection;
 mod route;
 
+pub use cache::{CacheStats, EncodingCache};
 pub use chain::chain_path;
 pub use controller::{Controller, KarConfig, ReroutePolicy};
-pub use multipath::{edge_disjoint_paths, MultipathEdge};
 pub use deflect::{DeflectionTechnique, KarForwarder};
 pub use error::KarError;
 pub use header::RouteHeader;
+pub use multipath::{edge_disjoint_paths, MultipathEdge};
 pub use network::KarNetwork;
 pub use protection::Protection;
 pub use route::{EncodedRoute, RouteSpec};

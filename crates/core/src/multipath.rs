@@ -39,8 +39,7 @@ pub fn edge_disjoint_paths(
             break; // only shared host links left → no real diversity
         }
         for w in path.windows(2) {
-            let both_core =
-                topo.switch_id(w[0]).is_some() && topo.switch_id(w[1]).is_some();
+            let both_core = topo.switch_id(w[0]).is_some() && topo.switch_id(w[1]).is_some();
             if both_core {
                 if let Some(l) = topo.link_between(w[0], w[1]) {
                     used.insert(l);
@@ -66,8 +65,7 @@ fn bfs_avoiding_links(
     seen[src.0] = true;
     let mut q = VecDeque::from([src]);
     while let Some(n) = q.pop_front() {
-        let mut adj: Vec<(LinkId, NodeId)> =
-            topo.neighbors(n).map(|(_, l, p)| (l, p)).collect();
+        let mut adj: Vec<(LinkId, NodeId)> = topo.neighbors(n).map(|(_, l, p)| (l, p)).collect();
         adj.sort_by_key(|&(_, p)| p);
         for (l, peer) in adj {
             if avoid.contains(&l) || seen[peer.0] {
@@ -146,9 +144,7 @@ impl MultipathEdge {
         let mut encoded = Vec::with_capacity(paths.len());
         for path in paths {
             encoded.push(crate::protection::encode_with_protection(
-                topo,
-                path,
-                protection,
+                topo, path, protection,
             )?);
         }
         let n = encoded.len();
@@ -226,9 +222,7 @@ mod tests {
         let as1 = topo.expect("AS1");
         let as3 = topo.expect("AS3");
         let mut edge = MultipathEdge::new();
-        let n = edge
-            .install(&topo, as1, as3, 3, &Protection::None)
-            .unwrap();
+        let n = edge.install(&topo, as1, as3, 3, &Protection::None).unwrap();
         assert!(n >= 2);
         assert_eq!(edge.route_count(as1, as3), n);
         let mut seen = HashSet::new();

@@ -5,6 +5,7 @@
 //! into a ready [`Sim`]. This is the API the examples and every
 //! experiment driver use.
 
+use crate::cache::EncodingCache;
 use crate::controller::{Controller, ReroutePolicy};
 use crate::deflect::{DeflectionTechnique, KarForwarder};
 use crate::error::KarError;
@@ -12,6 +13,7 @@ use crate::protection::Protection;
 use crate::route::EncodedRoute;
 use kar_simnet::{Sim, SimConfig};
 use kar_topology::{NodeId, Topology};
+use std::sync::Arc;
 
 /// Builder for a KAR simulation.
 ///
@@ -92,6 +94,14 @@ impl<'t> KarNetwork<'t> {
         self
     }
 
+    /// Attaches a shared route-encoding cache to the controller. Cached
+    /// encodes are byte-identical to fresh ones — sharing one cache
+    /// across simulations (or threads) changes speed, never results.
+    pub fn with_encoding_cache(mut self, cache: Arc<EncodingCache>) -> Self {
+        self.controller = std::mem::take(&mut self.controller).with_encoding_cache(cache);
+        self
+    }
+
     /// The underlying topology.
     pub fn topology(&self) -> &'t Topology {
         self.topo
@@ -113,7 +123,8 @@ impl<'t> KarNetwork<'t> {
         dst: NodeId,
         protection: &Protection,
     ) -> Result<EncodedRoute, KarError> {
-        self.controller.install_route(self.topo, src, dst, protection)
+        self.controller
+            .install_route(self.topo, src, dst, protection)
     }
 
     /// Installs an explicit (pinned) primary path with protection.
@@ -126,7 +137,8 @@ impl<'t> KarNetwork<'t> {
         primary: Vec<NodeId>,
         protection: &Protection,
     ) -> Result<EncodedRoute, KarError> {
-        self.controller.install_explicit(self.topo, primary, protection)
+        self.controller
+            .install_explicit(self.topo, primary, protection)
     }
 
     /// Finalizes into a runnable simulation.
@@ -240,7 +252,11 @@ mod tests {
             s.delivered >= 45,
             "most random-walking probes should arrive: {s:?}"
         );
-        assert!(s.mean_hops() > 4.0, "wandering costs hops: {}", s.mean_hops());
+        assert!(
+            s.mean_hops() > 4.0,
+            "wandering costs hops: {}",
+            s.mean_hops()
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ fn tree_toward(
 /// hosts ignored).
 fn candidates_of(topo: &Topology, primary: &[NodeId], idx: usize) -> Vec<NodeId> {
     let node = primary[idx];
-    let input = if idx > 0 { Some(primary[idx - 1]) } else { None };
+    let input = if idx > 0 {
+        Some(primary[idx - 1])
+    } else {
+        None
+    };
     let failed_towards = primary.get(idx + 1).copied();
     topo.neighbors(node)
         .map(|(_, _, peer)| peer)
@@ -147,10 +151,7 @@ pub fn plan_with_budget(
     // Candidate order: plan_full pushes segments walking from candidates
     // of upstream-to-downstream switches; re-rank chains by proximity to
     // destination: later primary switches first.
-    let mut base_ids: Vec<u64> = primary
-        .iter()
-        .filter_map(|&n| topo.switch_id(n))
-        .collect();
+    let mut base_ids: Vec<u64> = primary.iter().filter_map(|&n| topo.switch_id(n)).collect();
     let mut chosen: Vec<(NodeId, NodeId)> = Vec::new();
     // Group `full` into chains per starting candidate, preserving inner
     // order (each chain must be added atomically — half a chain strands
@@ -200,7 +201,11 @@ pub fn plan_with_budget(
 
 /// Resolves a [`Protection`] request into concrete segments for a primary
 /// path.
-pub fn resolve(topo: &Topology, primary: &[NodeId], protection: &Protection) -> Vec<(NodeId, NodeId)> {
+pub fn resolve(
+    topo: &Topology,
+    primary: &[NodeId],
+    protection: &Protection,
+) -> Vec<(NodeId, NodeId)> {
     match protection {
         Protection::None => Vec::new(),
         Protection::Segments(segs) => segs.clone(),
@@ -298,12 +303,9 @@ mod tests {
     fn budget_zero_extra_means_unprotected() {
         let topo = topo15::build();
         let primary = topo15::primary_route(&topo);
-        let route = encode_with_protection(
-            &topo,
-            primary,
-            &Protection::AutoBudget { max_bits: 15 },
-        )
-        .unwrap();
+        let route =
+            encode_with_protection(&topo, primary, &Protection::AutoBudget { max_bits: 15 })
+                .unwrap();
         assert_eq!(route.pairs.len(), 4);
         assert_eq!(route.bit_length(), 15);
     }
@@ -335,19 +337,17 @@ mod tests {
         let total: f64 = topo15::FAILURE_LOCATIONS
             .iter()
             .map(|&(a, b)| {
-                failure_coverage(&topo, &generous, &primary, topo.expect_link(a, b), dst)
-                    .fraction()
+                failure_coverage(&topo, &generous, &primary, topo.expect_link(a, b), dst).fraction()
             })
             .sum();
-        assert!((total - 3.0).abs() < 1e-9, "full coverage at 64 bits: {total}");
+        assert!(
+            (total - 3.0).abs() < 1e-9,
+            "full coverage at 64 bits: {total}"
+        );
         // Intermediate budgets cover at least the guaranteed (encoded)
         // candidates of the cheapest chains.
-        let mid = encode_with_protection(
-            &topo,
-            primary,
-            &Protection::AutoBudget { max_bits: 30 },
-        )
-        .unwrap();
+        let mid = encode_with_protection(&topo, primary, &Protection::AutoBudget { max_bits: 30 })
+            .unwrap();
         assert!(mid.pairs.len() > 4 && mid.pairs.len() < generous.pairs.len());
     }
 

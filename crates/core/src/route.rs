@@ -84,21 +84,41 @@ impl EncodedRoute {
     /// # Ok::<(), kar::KarError>(())
     /// ```
     pub fn encode(topo: &Topology, spec: &RouteSpec) -> Result<EncodedRoute, KarError> {
+        let (pairs, uplink) = EncodedRoute::collect_pairs(topo, spec)?;
+        EncodedRoute::from_pairs(pairs, uplink)
+    }
+
+    /// Resolves a spec into its `(switch_id, port)` residue pairs plus
+    /// the ingress uplink — the topology-walking half of [`Self::encode`],
+    /// with no CRT arithmetic.
+    ///
+    /// The returned pairs (with the uplink) fully determine the encoded
+    /// route, which is what makes route encoding memoizable (see
+    /// [`crate::cache::EncodingCache`]).
+    ///
+    /// # Errors
+    ///
+    /// The path/adjacency/conflict conditions of [`Self::encode`].
+    pub fn collect_pairs(
+        topo: &Topology,
+        spec: &RouteSpec,
+    ) -> Result<(Vec<(u64, PortIx)>, PortIx), KarError> {
         if spec.primary.len() < 2 {
             let n = spec.primary.first().copied().unwrap_or(NodeId(0));
             return Err(KarError::NoPath { src: n, dst: n });
         }
-        let uplink = topo
-            .port_towards(spec.primary[0], spec.primary[1])
-            .ok_or(KarError::NotAdjacent {
-                from: spec.primary[0],
-                to: spec.primary[1],
-            })?;
+        let uplink =
+            topo.port_towards(spec.primary[0], spec.primary[1])
+                .ok_or(KarError::NotAdjacent {
+                    from: spec.primary[0],
+                    to: spec.primary[1],
+                })?;
         let mut pairs: Vec<(u64, PortIx)> = Vec::new();
         for w in spec.primary.windows(2) {
-            let port = topo
-                .port_towards(w[0], w[1])
-                .ok_or(KarError::NotAdjacent { from: w[0], to: w[1] })?;
+            let port = topo.port_towards(w[0], w[1]).ok_or(KarError::NotAdjacent {
+                from: w[0],
+                to: w[1],
+            })?;
             if let Some(id) = topo.switch_id(w[0]) {
                 push_pair(&mut pairs, id, port)?;
             }
@@ -112,6 +132,17 @@ impl EncodedRoute {
                 .ok_or(KarError::NotAdjacent { from, to: towards })?;
             push_pair(&mut pairs, id, port)?;
         }
+        Ok((pairs, uplink))
+    }
+
+    /// Seals residue pairs into a route ID — the CRT-arithmetic half of
+    /// [`Self::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`KarError::Rns`] on non-coprime IDs or a port not below its
+    /// switch ID.
+    pub fn from_pairs(pairs: Vec<(u64, PortIx)>, uplink: PortIx) -> Result<EncodedRoute, KarError> {
         let basis = RnsBasis::new(pairs.iter().map(|&(id, _)| id).collect())?;
         let ports: Vec<u64> = pairs.iter().map(|&(_, p)| p).collect();
         let route_id = crt_encode(&basis, &ports)?;
@@ -222,9 +253,11 @@ mod tests {
         assert_eq!(partial.pairs.len(), 7);
 
         let mut full_pairs = topo15::protection_pairs(&topo, &topo15::PARTIAL_PROTECTION);
-        full_pairs.extend(topo15::protection_pairs(&topo, &topo15::FULL_EXTRA_PROTECTION));
-        let full =
-            EncodedRoute::encode(&topo, &RouteSpec::protected(primary, full_pairs)).unwrap();
+        full_pairs.extend(topo15::protection_pairs(
+            &topo,
+            &topo15::FULL_EXTRA_PROTECTION,
+        ));
+        let full = EncodedRoute::encode(&topo, &RouteSpec::protected(primary, full_pairs)).unwrap();
         assert_eq!(full.bit_length(), 43);
         assert_eq!(full.pairs.len(), 10);
     }
@@ -245,11 +278,8 @@ mod tests {
         assert!(matches!(err, KarError::SwitchConflict { switch_id: 7, .. }));
         // Re-stating the same port is fine (dedup).
         let sw13 = topo.expect("SW13");
-        let ok = EncodedRoute::encode(
-            &topo,
-            &RouteSpec::protected(primary, vec![(sw7, sw13)]),
-        )
-        .unwrap();
+        let ok =
+            EncodedRoute::encode(&topo, &RouteSpec::protected(primary, vec![(sw7, sw13)])).unwrap();
         assert_eq!(ok.pairs.len(), 4);
     }
 
@@ -287,11 +317,9 @@ mod tests {
     #[test]
     fn uplink_is_first_hop_port() {
         let topo = topo15::build();
-        let route = EncodedRoute::encode(
-            &topo,
-            &RouteSpec::unprotected(topo15::primary_route(&topo)),
-        )
-        .unwrap();
+        let route =
+            EncodedRoute::encode(&topo, &RouteSpec::unprotected(topo15::primary_route(&topo)))
+                .unwrap();
         let as1 = topo.expect("AS1");
         assert_eq!(
             route.uplink,

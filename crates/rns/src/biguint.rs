@@ -82,9 +82,7 @@ impl BigUint {
     pub fn bits(&self) -> u32 {
         match self.limbs.last() {
             None => 0,
-            Some(&top) => {
-                (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros())
-            }
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
         }
     }
 
@@ -557,9 +555,7 @@ impl FromStr for BigUint {
             if ch == '_' {
                 continue;
             }
-            let d = ch
-                .to_digit(10)
-                .ok_or(ParseBigUintError { offending: ch })?;
+            let d = ch.to_digit(10).ok_or(ParseBigUintError { offending: ch })?;
             out = out.mul_u64(10).add_big(&BigUint::from(d as u64));
         }
         Ok(out)
@@ -706,7 +702,10 @@ mod tests {
 
     #[test]
     fn parse_allows_separators() {
-        assert_eq!("26_390".parse::<BigUint>().unwrap(), BigUint::from(26390u64));
+        assert_eq!(
+            "26_390".parse::<BigUint>().unwrap(),
+            BigUint::from(26390u64)
+        );
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Memoized CRT encoding for repeated-route workloads.
+//!
+//! Experiment sweeps encode the same handful of `(switch-set, port-set)`
+//! combinations thousands of times (every repetition of a run re-installs
+//! the same routes). The arithmetic in [`crt_encode`] — one modular
+//! inverse and one big-integer multiply-add per modulus — dwarfs a hash
+//! lookup, so a small memo table turns the steady-state cost into a
+//! clone of the cached route ID.
+//!
+//! The key is the full `(moduli, residues)` pair: the route ID is a pure
+//! function of exactly those inputs, so a hit is always byte-identical to
+//! a recomputation and caching can never change results, only speed.
+
+use crate::biguint::BigUint;
+use crate::crt::{crt_encode, RnsBasis, RnsError};
+use std::collections::HashMap;
+
+/// A memo table in front of [`crt_encode`].
+///
+/// # Examples
+///
+/// ```
+/// use kar_rns::{CrtCache, RnsBasis};
+///
+/// let basis = RnsBasis::new(vec![4, 7, 11])?;
+/// let mut cache = CrtCache::new();
+/// let first = cache.encode(&basis, &[0, 2, 0])?;
+/// let second = cache.encode(&basis, &[0, 2, 0])?;
+/// assert_eq!(first, second);
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// # Ok::<(), kar_rns::RnsError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct CrtCache {
+    map: HashMap<(Vec<u64>, Vec<u64>), BigUint>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CrtCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        CrtCache::default()
+    }
+
+    /// [`crt_encode`] with memoization.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`crt_encode`]; errors are not cached (they are
+    /// cheap — validation fails before any arithmetic).
+    pub fn encode(&mut self, basis: &RnsBasis, residues: &[u64]) -> Result<BigUint, RnsError> {
+        let key = (basis.moduli().to_vec(), residues.to_vec());
+        if let Some(cached) = self.map.get(&key) {
+            self.hits += 1;
+            return Ok(cached.clone());
+        }
+        let route_id = crt_encode(basis, residues)?;
+        self.misses += 1;
+        self.map.insert(key, route_id.clone());
+        Ok(route_id)
+    }
+
+    /// Number of lookups answered from the memo table.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that fell through to [`crt_encode`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct `(moduli, residues)` pairs stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops all cached entries and resets the counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_is_identical_to_recomputation() {
+        let basis = RnsBasis::new(vec![10, 7, 13, 29]).unwrap();
+        let mut cache = CrtCache::new();
+        let direct = crt_encode(&basis, &[1, 2, 0, 3]).unwrap();
+        assert_eq!(cache.encode(&basis, &[1, 2, 0, 3]).unwrap(), direct);
+        assert_eq!(cache.encode(&basis, &[1, 2, 0, 3]).unwrap(), direct);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_residues_are_distinct_entries() {
+        let basis = RnsBasis::new(vec![4, 7, 11]).unwrap();
+        let mut cache = CrtCache::new();
+        let a = cache.encode(&basis, &[0, 2, 0]).unwrap();
+        let b = cache.encode(&basis, &[1, 2, 0]).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn same_residues_under_different_basis_do_not_collide() {
+        let b1 = RnsBasis::new(vec![4, 7, 11]).unwrap();
+        let b2 = RnsBasis::new(vec![5, 7, 11]).unwrap();
+        let mut cache = CrtCache::new();
+        let r1 = cache.encode(&b1, &[0, 2, 0]).unwrap();
+        let r2 = cache.encode(&b2, &[0, 2, 0]).unwrap();
+        assert_eq!(cache.misses(), 2, "distinct bases must miss separately");
+        assert_eq!(r1.rem_u64(4), 0);
+        assert_eq!(r2.rem_u64(5), 0);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let basis = RnsBasis::new(vec![4, 7]).unwrap();
+        let mut cache = CrtCache::new();
+        assert!(cache.encode(&basis, &[9, 0]).is_err());
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let basis = RnsBasis::new(vec![4, 7]).unwrap();
+        let mut cache = CrtCache::new();
+        cache.encode(&basis, &[1, 2]).unwrap();
+        cache.encode(&basis, &[1, 2]).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+}

@@ -103,8 +103,8 @@ impl IdAllocator {
     /// coprime, mirroring the network-wide invariant.
     pub fn with_reserved(strategy: IdStrategy, reserved: &[u64]) -> Result<Self, IdError> {
         if !pairwise_coprime(reserved) {
-            let (i, j, g) = first_common_factor(reserved)
-                .expect("non-coprime set must have an offending pair");
+            let (i, j, g) =
+                first_common_factor(reserved).expect("non-coprime set must have an offending pair");
             return Err(IdError::NotCoprime {
                 a: reserved[i],
                 b: reserved[j],
@@ -256,10 +256,12 @@ mod tests {
 
     #[test]
     fn topo15_and_rnp_id_sets_are_coprime() {
-        assert!(pairwise_coprime(&[10, 7, 13, 29, 11, 19, 31, 17, 37, 41, 23, 43]));
         assert!(pairwise_coprime(&[
-            7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-            97, 101, 103, 107, 109, 113, 127
+            10, 7, 13, 29, 11, 19, 31, 17, 37, 41, 23, 43
+        ]));
+        assert!(pairwise_coprime(&[
+            7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+            101, 103, 107, 109, 113, 127
         ]));
     }
 
@@ -323,7 +325,11 @@ mod tests {
         let err = IdAllocator::with_reserved(IdStrategy::SmallestPrimes, &[6, 9]).unwrap_err();
         assert_eq!(
             err,
-            IdError::NotCoprime { a: 6, b: 9, factor: 3 }
+            IdError::NotCoprime {
+                a: 6,
+                b: 9,
+                factor: 3
+            }
         );
         assert!(err.to_string().contains("share factor 3"));
     }
@@ -341,9 +347,9 @@ mod tests {
         assert_eq!(
             primes,
             vec![
-                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73,
-                79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163,
-                167, 173, 179, 181, 191, 193, 197, 199
+                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+                83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167,
+                173, 179, 181, 191, 193, 197, 199
             ]
         );
     }

@@ -43,8 +43,7 @@ impl RnsBasis {
             return Err(RnsError::ModulusTooSmall { modulus: m });
         }
         if !pairwise_coprime(&moduli) {
-            let (i, j, g) =
-                first_common_factor(&moduli).expect("checked not pairwise coprime");
+            let (i, j, g) = first_common_factor(&moduli).expect("checked not pairwise coprime");
             return Err(RnsError::NotCoprime {
                 a: moduli[i],
                 b: moduli[j],
@@ -195,7 +194,11 @@ pub fn residue(route_id: &BigUint, switch_id: u64) -> u64 {
 /// Decodes all residues of `route_id` over `basis` (the RNS representation,
 /// Eq. 2).
 pub fn crt_decode(route_id: &BigUint, basis: &RnsBasis) -> Vec<u64> {
-    basis.moduli().iter().map(|&s| route_id.rem_u64(s)).collect()
+    basis
+        .moduli()
+        .iter()
+        .map(|&s| route_id.rem_u64(s))
+        .collect()
 }
 
 /// Extends an already-encoded route ID with one more `(switch, port)` pair
@@ -393,7 +396,10 @@ mod tests {
         let err = crt_encode(&basis, &[4, 0]).unwrap_err();
         assert_eq!(
             err,
-            RnsError::ResidueOutOfRange { residue: 4, modulus: 4 }
+            RnsError::ResidueOutOfRange {
+                residue: 4,
+                modulus: 4
+            }
         );
     }
 
@@ -401,13 +407,26 @@ mod tests {
     fn rejects_length_mismatch() {
         let basis = RnsBasis::new(vec![4, 7]).unwrap();
         let err = crt_encode(&basis, &[1]).unwrap_err();
-        assert_eq!(err, RnsError::LengthMismatch { moduli: 2, residues: 1 });
+        assert_eq!(
+            err,
+            RnsError::LengthMismatch {
+                moduli: 2,
+                residues: 1
+            }
+        );
     }
 
     #[test]
     fn rejects_non_coprime_basis() {
         let err = RnsBasis::new(vec![4, 10]).unwrap_err();
-        assert_eq!(err, RnsError::NotCoprime { a: 4, b: 10, factor: 2 });
+        assert_eq!(
+            err,
+            RnsError::NotCoprime {
+                a: 4,
+                b: 10,
+                factor: 2
+            }
+        );
     }
 
     #[test]
@@ -454,7 +473,10 @@ mod tests {
     #[test]
     fn large_basis_exceeds_128_bits() {
         // 40 distinct primes → M far beyond u128; encode/decode must hold.
-        let primes: Vec<u64> = (2..400u64).filter(|&n| crate::is_prime(n)).take(40).collect();
+        let primes: Vec<u64> = (2..400u64)
+            .filter(|&n| crate::is_prime(n))
+            .take(40)
+            .collect();
         let basis = RnsBasis::new(primes.clone()).unwrap();
         assert!(basis.bit_length() > 128);
         let ports: Vec<u64> = primes.iter().map(|&p| p - 1).collect();

@@ -11,6 +11,7 @@
 //! * [`gcd`], [`extended_gcd`], [`mod_inverse`] — Euclidean toolkit;
 //! * [`RnsBasis`], [`crt_encode`], [`crt_decode`], [`crt_extend`],
 //!   [`residue`] — the Chinese-Remainder encoder of paper §2.2;
+//! * [`CrtCache`] — memoized encoding for repeated-route workloads;
 //! * [`route_id_bit_length`] — header-size math of paper §2.3 (Eq. 9);
 //! * [`IdAllocator`], [`pairwise_coprime`] — switch-ID assignment.
 //!
@@ -40,11 +41,17 @@
 #![warn(missing_docs)]
 
 mod biguint;
+mod cache;
 mod coprime;
 mod crt;
 mod gcd;
 
 pub use biguint::{BigUint, ParseBigUintError};
-pub use coprime::{first_common_factor, is_prime, pairwise_coprime, IdAllocator, IdError, IdStrategy};
-pub use crt::{crt_decode, crt_encode, crt_extend, residue, route_id_bit_length, RnsBasis, RnsError};
+pub use cache::CrtCache;
+pub use coprime::{
+    first_common_factor, is_prime, pairwise_coprime, IdAllocator, IdError, IdStrategy,
+};
+pub use crt::{
+    crt_decode, crt_encode, crt_extend, residue, route_id_bit_length, RnsBasis, RnsError,
+};
 pub use gcd::{coprime, extended_gcd, gcd, lcm, mod_inverse};

@@ -10,21 +10,23 @@ use proptest::prelude::*;
 /// possible power of two (like the paper's switch ID 4 or 10-style even ID).
 fn coprime_set() -> impl Strategy<Value = Vec<u64>> {
     let primes: Vec<u64> = (3..2000u64).filter(|&n| is_prime(n)).collect();
-    (proptest::sample::subsequence(primes, 1..12), 1u32..4, any::<bool>()).prop_map(
-        |(mut set, pow2, include_even)| {
+    (
+        proptest::sample::subsequence(primes, 1..12),
+        1u32..4,
+        any::<bool>(),
+    )
+        .prop_map(|(mut set, pow2, include_even)| {
             if include_even {
                 set.push(1 << pow2);
             }
             set
-        },
-    )
+        })
 }
 
 /// Strategy: a coprime set plus in-range residues for each modulus.
 fn basis_with_residues() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
     coprime_set().prop_flat_map(|set| {
-        let residues: Vec<BoxedStrategy<u64>> =
-            set.iter().map(|&m| (0..m).boxed()).collect();
+        let residues: Vec<BoxedStrategy<u64>> = set.iter().map(|&m| (0..m).boxed()).collect();
         (Just(set), residues)
     })
 }
@@ -90,6 +92,41 @@ proptest! {
         let residues2: Vec<u64> = perm.iter().map(|&i| residues[i]).collect();
         let r2 = crt_encode(&RnsBasis::new(moduli2).unwrap(), &residues2).unwrap();
         prop_assert_eq!(r1, r2);
+    }
+
+    /// CRT commutativity end-to-end (paper §2.2): take a primary path's
+    /// switches and a disjoint set of protection switches; folding the
+    /// protection switches into the primary route ID one at a time via
+    /// `crt_extend` still decodes the correct port at *every* primary
+    /// switch, and agrees with encoding the whole set in one shot.
+    #[test]
+    fn protection_fold_preserves_primary_ports(
+        (moduli, residues) in basis_with_residues(),
+        split_idx in any::<proptest::sample::Index>(),
+    ) {
+        prop_assume!(moduli.len() >= 2);
+        // 1..len switches form the primary path; the rest protect it.
+        let k = 1 + split_idx.index(moduli.len() - 1);
+        let (primary_m, protect_m) = moduli.split_at(k);
+        let (primary_p, protect_p) = residues.split_at(k);
+        let mut basis = RnsBasis::new(primary_m.to_vec()).unwrap();
+        let mut r = crt_encode(&basis, primary_p).unwrap();
+        for (&switch, &port) in protect_m.iter().zip(protect_p) {
+            let (r2, b2) = crt_extend(&r, &basis, switch, port).unwrap();
+            r = r2;
+            basis = b2;
+        }
+        // Every primary switch still computes its original output port…
+        for (&switch, &port) in primary_m.iter().zip(primary_p) {
+            prop_assert_eq!(r.rem_u64(switch), port);
+        }
+        // …every protection switch got its driven port…
+        for (&switch, &port) in protect_m.iter().zip(protect_p) {
+            prop_assert_eq!(r.rem_u64(switch), port);
+        }
+        // …and the fold equals the one-shot joint encoding.
+        let joint = crt_encode(&RnsBasis::new(moduli.clone()).unwrap(), &residues).unwrap();
+        prop_assert_eq!(r, joint);
     }
 
     /// Invariant 3: the allocator only produces pairwise-coprime sets with

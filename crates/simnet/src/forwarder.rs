@@ -101,8 +101,12 @@ pub trait Forwarder {
     ///
     /// `rng` is the engine's seeded RNG — using it (rather than an
     /// internal one) keeps whole-simulation runs reproducible.
-    fn forward(&mut self, ctx: &SwitchCtx<'_>, pkt: &mut Packet, rng: &mut StdRng)
-        -> ForwardDecision;
+    fn forward(
+        &mut self,
+        ctx: &SwitchCtx<'_>,
+        pkt: &mut Packet,
+        rng: &mut StdRng,
+    ) -> ForwardDecision;
 
     /// Human-readable name used in experiment output ("NIP", "HP", …).
     fn name(&self) -> &str;

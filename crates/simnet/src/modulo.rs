@@ -103,7 +103,10 @@ mod tests {
         );
         // Port 1 down → drop.
         let down = vec![true, false];
-        let ctx = SwitchCtx { ports: &down, ..ctx };
+        let ctx = SwitchCtx {
+            ports: &down,
+            ..ctx
+        };
         assert_eq!(
             fwd.forward(&ctx, &mut pkt(Some(8)), &mut rng),
             ForwardDecision::Drop(DropReason::NoRoute)

@@ -455,9 +455,7 @@ impl<'t> Sim<'t> {
                             let at = self.now + delay;
                             self.push(at, Event::Reinject { pkt, node, port });
                         }
-                        RerouteDecision::Drop => {
-                            self.drop_pkt(pkt.id, DropReason::Misdelivery)
-                        }
+                        RerouteDecision::Drop => self.drop_pkt(pkt.id, DropReason::Misdelivery),
                     }
                 }
             }

@@ -200,13 +200,8 @@ mod tests {
             Box::new(routes),
             SimConfig::default(),
         );
-        let tx = CbrSender::new(
-            topo.expect("D"),
-            FlowId(1),
-            SimTime::from_millis(1),
-            1000,
-        )
-        .with_limit(100);
+        let tx = CbrSender::new(topo.expect("D"), FlowId(1), SimTime::from_millis(1), 1000)
+            .with_limit(100);
         assert_eq!(tx.rate_bps(), 8_000_000);
         sim.add_app(topo.expect("S"), Box::new(tx));
         let (rx, stats) = CbrSink::new(FlowId(1));
@@ -231,13 +226,12 @@ mod tests {
             Box::new(routes),
             SimConfig::default(),
         );
-        let tx = CbrSender::new(topo.expect("D"), FlowId(1), SimTime::from_millis(1), 500)
-            .with_limit(7);
+        let tx =
+            CbrSender::new(topo.expect("D"), FlowId(1), SimTime::from_millis(1), 500).with_limit(7);
         sim.add_app(topo.expect("S"), Box::new(tx));
         let (rx, stats) = CbrSink::new(FlowId(1));
         sim.add_app(topo.expect("D"), Box::new(rx));
         sim.run_to_quiescence();
         assert_eq!(stats.borrow().received, 7);
     }
-
 }

@@ -81,8 +81,7 @@ mod tests {
             let path = paths::bfs_shortest_path(&topo, topo.expect(a), topo.expect(z)).unwrap();
             let pairs = paths::switch_port_pairs(&topo, &path).unwrap();
             let basis = RnsBasis::new(pairs.iter().map(|&(id, _)| id).collect()).unwrap();
-            let r =
-                crt_encode(&basis, &pairs.iter().map(|&(_, p)| p).collect::<Vec<_>>()).unwrap();
+            let r = crt_encode(&basis, &pairs.iter().map(|&(_, p)| p).collect::<Vec<_>>()).unwrap();
             routes.insert(topo.expect(a), topo.expect(z), r, 0);
         }
         let mut sim = Sim::new(

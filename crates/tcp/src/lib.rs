@@ -32,4 +32,6 @@ mod reno;
 pub use cbr::{CbrSender, CbrSink, JitterStats, SharedJitter};
 pub use flow::BulkFlow;
 pub use meter::{shared_meter, IntervalMeter, SampleStats, SharedMeter};
-pub use reno::{CongestionControl, ReceiverStats, RenoReceiver, RenoSender, SenderStats, TcpConfig};
+pub use reno::{
+    CongestionControl, ReceiverStats, RenoReceiver, RenoSender, SenderStats, TcpConfig,
+};

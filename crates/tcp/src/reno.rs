@@ -262,9 +262,8 @@ impl RenoSender {
 
     fn arm_rto(&mut self, ctx: &mut HostCtx<'_>) {
         self.timer_gen += 1;
-        let shifted = SimTime(
-            (self.rto.as_nanos() << self.backoff.min(16)).min(self.cfg.max_rto.as_nanos()),
-        );
+        let shifted =
+            SimTime((self.rto.as_nanos() << self.backoff.min(16)).min(self.cfg.max_rto.as_nanos()));
         ctx.set_timer(shifted, self.timer_gen);
     }
 
@@ -356,8 +355,7 @@ impl RenoSender {
                     // would conclude).
                     if !self.recovery_dsack {
                         self.send_segment(ctx, ack, true);
-                        self.cwnd =
-                            (self.cwnd - newly_acked as f64).max(self.cfg.mss as f64);
+                        self.cwnd = (self.cwnd - newly_acked as f64).max(self.cfg.mss as f64);
                     }
                 }
                 Some(_) => {
@@ -440,8 +438,7 @@ impl App for RenoSender {
                         // fired — escalate (bounded by the flight, the
                         // largest extent that can matter) to adapt in
                         // O(log) steps.
-                        let flight_segs =
-                            (self.flight() / self.cfg.mss as u64) as u32;
+                        let flight_segs = (self.flight() / self.cfg.mss as u64) as u32;
                         self.reorder_est = (self.dupack_threshold() * 2)
                             .max(flight_segs)
                             .min(self.cfg.max_reordering);
@@ -630,10 +627,8 @@ impl App for RenoReceiver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kar_simnet::{
-        ModuloForwarder, Sim, SimConfig, SimTime, StaticRoutes,
-    };
     use kar_rns::{crt_encode, RnsBasis};
+    use kar_simnet::{ModuloForwarder, Sim, SimConfig, SimTime, StaticRoutes};
     use kar_topology::{paths, LinkParams, Topology, TopologyBuilder};
 
     /// S — C3 — C5 — D line with symmetric static routes.
@@ -650,11 +645,9 @@ mod tests {
         let topo = b.build().unwrap();
         let mut routes = StaticRoutes::new();
         for (src, dst) in [("S", "D"), ("D", "S")] {
-            let path =
-                paths::bfs_shortest_path(&topo, topo.expect(src), topo.expect(dst)).unwrap();
+            let path = paths::bfs_shortest_path(&topo, topo.expect(src), topo.expect(dst)).unwrap();
             let pairs = paths::switch_port_pairs(&topo, &path).unwrap();
-            let basis =
-                RnsBasis::new(pairs.iter().map(|&(id, _)| id).collect()).unwrap();
+            let basis = RnsBasis::new(pairs.iter().map(|&(id, _)| id).collect()).unwrap();
             let ports: Vec<u64> = pairs.iter().map(|&(_, p)| p).collect();
             let r = crt_encode(&basis, &ports).unwrap();
             routes.insert(topo.expect(src), topo.expect(dst), r, 0);
@@ -662,11 +655,7 @@ mod tests {
         (topo, routes)
     }
 
-    fn run_bulk(
-        rate_mbps: u64,
-        secs: u64,
-        fail_window: Option<(u64, u64)>,
-    ) -> (f64, Vec<f64>) {
+    fn run_bulk(rate_mbps: u64, secs: u64, fail_window: Option<(u64, u64)>) -> (f64, Vec<f64>) {
         let (topo, routes) = line(rate_mbps);
         let mut sim = Sim::new(
             &topo,
@@ -862,7 +851,11 @@ mod tests {
         };
         tx.on_packet(&mut ctx, &dsack_pkt);
         assert_eq!(tx.stats().undos, 1);
-        assert!(tx.cwnd() >= before, "reduction undone: {} vs {before}", tx.cwnd());
+        assert!(
+            tx.cwnd() >= before,
+            "reduction undone: {} vs {before}",
+            tx.cwnd()
+        );
         assert!(tx.dupack_threshold() > 3, "undo escalates the estimate");
     }
 
@@ -1028,8 +1021,8 @@ mod tests {
 
     #[test]
     fn cubic_end_to_end_saturates() {
-        use kar_simnet::{ModuloForwarder, Sim, SimConfig, StaticRoutes};
         use kar_rns::{crt_encode, RnsBasis};
+        use kar_simnet::{ModuloForwarder, Sim, SimConfig, StaticRoutes};
         use kar_topology::{paths, LinkParams, TopologyBuilder};
         let mut b = TopologyBuilder::new();
         let s = b.edge("S");
@@ -1041,12 +1034,11 @@ mod tests {
         let topo = b.build().unwrap();
         let mut routes = StaticRoutes::new();
         for (a, z) in [("S", "D"), ("D", "S")] {
-            let path =
-                paths::bfs_shortest_path(&topo, topo.expect(a), topo.expect(z)).unwrap();
+            let path = paths::bfs_shortest_path(&topo, topo.expect(a), topo.expect(z)).unwrap();
             let pairs = paths::switch_port_pairs(&topo, &path).unwrap();
             let basis = RnsBasis::new(pairs.iter().map(|&(id, _)| id).collect()).unwrap();
-            let r = crt_encode(&basis, &pairs.iter().map(|&(_, pt)| pt).collect::<Vec<_>>())
-                .unwrap();
+            let r =
+                crt_encode(&basis, &pairs.iter().map(|&(_, pt)| pt).collect::<Vec<_>>()).unwrap();
             routes.insert(topo.expect(a), topo.expect(z), r, 0);
         }
         let mut sim = Sim::new(

@@ -224,7 +224,11 @@ mod tests {
         b.core("B", 9);
         assert_eq!(
             b.build().unwrap_err(),
-            TopologyError::NotCoprime { a: 6, b: 9, factor: 3 }
+            TopologyError::NotCoprime {
+                a: 6,
+                b: 9,
+                factor: 3
+            }
         );
     }
 

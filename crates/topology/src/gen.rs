@@ -204,7 +204,10 @@ pub fn random_connected(
 ///
 /// Panics if `k` is odd or below 2.
 pub fn fat_tree(k: usize, strategy: IdStrategy, params: LinkParams) -> Topology {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even and ≥ 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree arity must be even and ≥ 2"
+    );
     let half = k / 2;
     let n_core = half * half;
     let n_agg = k * half;

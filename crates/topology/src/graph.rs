@@ -222,7 +222,10 @@ impl Topology {
 
     /// Looks a core switch up by its switch ID.
     pub fn find_switch(&self, switch_id: u64) -> Option<NodeId> {
-        self.nodes.iter().position(|n| n.kind.switch_id() == Some(switch_id)).map(NodeId)
+        self.nodes
+            .iter()
+            .position(|n| n.kind.switch_id() == Some(switch_id))
+            .map(NodeId)
     }
 
     /// The switch ID of `n`, if it is a core switch.
@@ -232,9 +235,11 @@ impl Topology {
 
     /// Iterator over `(port, link, peer)` triples of `n`.
     pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (PortIx, LinkId, NodeId)> + '_ {
-        self.node(n).ports.iter().enumerate().map(move |(p, &l)| {
-            (p as PortIx, l, self.link(l).peer_of(n))
-        })
+        self.node(n)
+            .ports
+            .iter()
+            .enumerate()
+            .map(move |(p, &l)| (p as PortIx, l, self.link(l).peer_of(n)))
     }
 
     /// The port on `from` that leads directly to `to`, if adjacent.
@@ -264,7 +269,10 @@ impl Topology {
 
     /// All switch IDs of core nodes, in node order.
     pub fn switch_ids(&self) -> Vec<u64> {
-        self.nodes.iter().filter_map(|n| n.kind.switch_id()).collect()
+        self.nodes
+            .iter()
+            .filter_map(|n| n.kind.switch_id())
+            .collect()
     }
 
     /// All edge-node ids.

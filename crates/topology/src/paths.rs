@@ -197,10 +197,7 @@ mod tests {
         let y = b.edge("Y");
         let t2 = b.build().unwrap();
         let _ = (x, y);
-        assert_eq!(
-            bfs_shortest_path(&t2, t2.expect("X"), t2.expect("Y")),
-            None
-        );
+        assert_eq!(bfs_shortest_path(&t2, t2.expect("X"), t2.expect("Y")), None);
     }
 
     #[test]

@@ -169,8 +169,7 @@ pub const FIG7_PROTECTION: [(&str, &str); 4] = [
 ];
 
 /// Fig. 7 failure locations (plus the paper's no-failure baseline).
-pub const FIG7_FAILURES: [(&str, &str); 3] =
-    [("SW7", "SW13"), ("SW13", "SW41"), ("SW41", "SW73")];
+pub const FIG7_FAILURES: [(&str, &str); 3] = [("SW7", "SW13"), ("SW13", "SW41"), ("SW41", "SW73")];
 
 /// Fig. 8 primary route (Belo Horizonte host → SW113 host, via the
 /// international hub).
@@ -277,7 +276,10 @@ mod tests {
             .collect();
         assert_eq!(cands.len(), 5);
         let protected: Vec<&str> = FIG7_PROTECTION.iter().map(|&(a, _)| a).collect();
-        let covered = cands.iter().filter(|c| protected.contains(&c.as_str())).count();
+        let covered = cands
+            .iter()
+            .filter(|c| protected.contains(&c.as_str()))
+            .count();
         assert_eq!(covered, 2);
     }
 
@@ -291,7 +293,10 @@ mod tests {
             .collect();
         assert_eq!(cands.len(), 2);
         let protected: Vec<&str> = FIG7_PROTECTION.iter().map(|&(a, _)| a).collect();
-        assert!(cands.iter().all(|c| protected.contains(&c.as_str())), "{cands:?}");
+        assert!(
+            cands.iter().all(|c| protected.contains(&c.as_str())),
+            "{cands:?}"
+        );
     }
 
     #[test]
@@ -314,8 +319,12 @@ mod tests {
         // "there is a second path through SW109 that directly connects
         // SW73 to the destination SW113".
         let t = build();
-        assert!(t.link_between(t.expect("SW73"), t.expect("SW109")).is_some());
-        assert!(t.link_between(t.expect("SW109"), t.expect("SW113")).is_some());
+        assert!(t
+            .link_between(t.expect("SW73"), t.expect("SW109"))
+            .is_some());
+        assert!(t
+            .link_between(t.expect("SW109"), t.expect("SW113"))
+            .is_some());
         let mut n109 = neighbours_of(&t, "SW109");
         n109.sort();
         // Degree 2: a deflected packet at SW109 is forced to SW113 —
@@ -354,7 +363,10 @@ mod tests {
             .map(|&l| t.link(l).params.rate_bps)
             .min()
             .unwrap();
-        assert_eq!(min, 50_000_000, "Boa Vista access is the 50 Mbit/s bottleneck");
+        assert_eq!(
+            min, 50_000_000,
+            "Boa Vista access is the 50 Mbit/s bottleneck"
+        );
     }
 
     #[test]

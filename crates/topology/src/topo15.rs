@@ -144,7 +144,11 @@ mod tests {
         let route = primary_route(&t);
         assert!(links_along(&t, &route).is_ok());
         let shortest = bfs_shortest_path(&t, t.expect("AS1"), t.expect("AS3")).unwrap();
-        assert_eq!(shortest.len(), route.len(), "primary route must be a shortest path");
+        assert_eq!(
+            shortest.len(),
+            route.len(),
+            "primary route must be a shortest path"
+        );
     }
 
     #[test]
@@ -199,7 +203,10 @@ mod tests {
             .iter()
             .filter(|c| protected.contains(&c.as_str()))
             .count();
-        assert_eq!(covered, 1, "exactly 1/3 of SW10's deflection targets covered");
+        assert_eq!(
+            covered, 1,
+            "exactly 1/3 of SW10's deflection targets covered"
+        );
         assert!(candidates.contains(&"SW17".to_string()));
         assert!(candidates.contains(&"SW37".to_string()));
     }
@@ -225,7 +232,10 @@ mod tests {
             .filter(|n| n != "SW7" && n != "SW29")
             .collect();
         assert!(!c13.is_empty());
-        assert!(c13.iter().all(|c| protected.contains(&c.as_str())), "{c13:?}");
+        assert!(
+            c13.iter().all(|c| protected.contains(&c.as_str())),
+            "{c13:?}"
+        );
     }
 
     #[test]
@@ -258,7 +268,10 @@ mod tests {
                 hops += 1;
                 assert!(hops < 16, "protection chain from {start} loops");
             }
-            assert_eq!(cur, "SW29", "protection chain from {start} must end at SW29");
+            assert_eq!(
+                cur, "SW29",
+                "protection chain from {start} must end at SW29"
+            );
         }
     }
 

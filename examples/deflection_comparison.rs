@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let total = SimTime::from_secs(9);
 
     println!("bulk TCP AS1→AS3, SW7-SW13 fails at t=3s, repairs at t=6s");
-    println!("{:<14} {:>8} {:>8} {:>8}", "technique", "before", "during", "after");
+    println!(
+        "{:<14} {:>8} {:>8} {:>8}",
+        "technique", "before", "during", "after"
+    );
     for technique in DeflectionTechnique::ALL {
         let mut net = KarNetwork::new(&topo, technique).with_seed(7);
         net.install_route(as1, as3, &Protection::AutoBudget { max_bits: 43 })?;

@@ -13,7 +13,10 @@ use kar_topology::{gen, paths, topo15, LinkParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Header bits vs path length (Eq. 9) ==");
-    println!("{:<6} {:>15} {:>16} {:>15}", "hops", "SmallestPrimes", "SmallestCoprime", "PrimesFrom(100)");
+    println!(
+        "{:<6} {:>15} {:>16} {:>15}",
+        "hops", "SmallestPrimes", "SmallestCoprime", "PrimesFrom(100)"
+    );
     for n in [2usize, 4, 8, 12, 16, 24, 32] {
         let bits = |strategy| {
             let topo = gen::line(n, strategy, LinkParams::default());
@@ -35,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== Protection budget vs switches folded in (topo15) ==");
     let topo = topo15::build();
     let primary = topo15::primary_route(&topo);
-    println!("{:<14} {:>10} {:>10}", "budget (bits)", "used bits", "switches");
+    println!(
+        "{:<14} {:>10} {:>10}",
+        "budget (bits)", "used bits", "switches"
+    );
     for budget in [15u32, 20, 24, 28, 34, 43, 64] {
         let route = protection::encode_with_protection(
             &topo,
@@ -63,7 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "a 20-hop ring walk over 40 switch IDs: field {} bits, route ID {} ({} digits)",
         route.bit_length(),
-        if digits.len() > 24 { format!("{}…", &digits[..24]) } else { digits.clone() },
+        if digits.len() > 24 {
+            format!("{}…", &digits[..24])
+        } else {
+            digits.clone()
+        },
         digits.len(),
     );
     let ids: Vec<u64> = route.pairs.iter().map(|&(id, _)| id).collect();

@@ -1,0 +1,98 @@
+//! Exhaustive scan for counterexamples to the hitless-delivery property
+//! (used to pin down liveness regressions; see tests/liveness_properties.rs).
+//!
+//! Usage: cargo run --release --example liveness_scan [min_seed] [max_seed]
+
+use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar_rns::IdStrategy;
+use kar_simnet::{FlowId, PacketKind, SimTime};
+use kar_topology::{gen, paths, LinkParams};
+use std::collections::HashSet;
+
+fn main() {
+    let min_seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let max_seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(min_seed + 60);
+    let mut tested = 0u64;
+    let mut failures = 0u64;
+    for n in 6usize..16 {
+        for extra in 3usize..12 {
+            for seed in min_seed..max_seed {
+                let topo = gen::random_connected(
+                    n,
+                    extra,
+                    seed,
+                    IdStrategy::SmallestPrimes,
+                    LinkParams::default(),
+                );
+                let src = topo.expect("H0");
+                let dst = topo.expect("H1");
+                let primary = paths::bfs_shortest_path(&topo, src, dst).expect("connected");
+                let core_links: Vec<_> = paths::links_along(&topo, &primary)
+                    .unwrap()
+                    .into_iter()
+                    .filter(|&l| {
+                        let link = topo.link(l);
+                        topo.switch_id(link.a).is_some() && topo.switch_id(link.b).is_some()
+                    })
+                    .collect();
+                for (li, &failed) in core_links.iter().enumerate() {
+                    // The failure must not disconnect src from dst.
+                    let mut seen = HashSet::new();
+                    let mut stack = vec![src];
+                    seen.insert(src);
+                    while let Some(x) = stack.pop() {
+                        for (_, l, peer) in topo.neighbors(x) {
+                            if l != failed && seen.insert(peer) {
+                                stack.push(peer);
+                            }
+                        }
+                    }
+                    if !seen.contains(&dst) {
+                        continue;
+                    }
+                    let route = kar::protection::encode_with_protection(
+                        &topo,
+                        primary.clone(),
+                        &Protection::AutoFull,
+                    )
+                    .unwrap();
+                    let coverage =
+                        kar::analysis::failure_coverage(&topo, &route, &primary, failed, dst);
+                    if coverage.candidates.is_empty() || (coverage.fraction() - 1.0).abs() > 1e-9 {
+                        continue;
+                    }
+                    tested += 1;
+                    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
+                        .with_seed(seed ^ 0xabcd)
+                        .with_ttl(255);
+                    net.install_explicit(primary.clone(), &Protection::AutoFull)
+                        .unwrap();
+                    let mut sim = net.into_sim();
+                    sim.schedule_link_down(SimTime::ZERO, failed);
+                    for i in 0..40 {
+                        sim.run_until(SimTime(i * 200_000));
+                        sim.inject(src, dst, FlowId(0), i, PacketKind::Probe, 300);
+                    }
+                    sim.run_to_quiescence();
+                    let s = sim.stats();
+                    if s.delivered != 40 {
+                        failures += 1;
+                        println!(
+                            "FAIL n={n} extra={extra} seed={seed} link_idx={li} \
+                             failed={failed:?} delivered={} dropped={} stats={s:?}",
+                            s.delivered,
+                            s.dropped()
+                        );
+                    }
+                }
+            }
+        }
+    }
+    println!("scanned: {tested} qualifying cases, {failures} failures");
+}

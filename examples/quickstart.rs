@@ -69,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.deflections,
         stats.mean_hops()
     );
-    assert_eq!(stats.delivered, 100, "driven deflection must save all packets");
+    assert_eq!(
+        stats.delivered, 100,
+        "driven deflection must save all packets"
+    );
     println!("no packet was lost — the paper's hitless property");
     Ok(())
 }

@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_seed(1)
         .with_tracing();
     let route = net.install_explicit(path, &Protection::None)?;
-    println!("encoded into one {}-bit route ID: {}", route.bit_length(), route.route_id);
+    println!(
+        "encoded into one {}-bit route ID: {}",
+        route.bit_length(),
+        route.route_id
+    );
     let mut sim = net.into_sim();
     sim.inject(as1, as3, FlowId(0), 0, PacketKind::Probe, 800);
     sim.run_to_quiescence();

@@ -101,7 +101,10 @@ fn wrong_edge_packets_are_rescued_by_the_controller() {
         latency: SimTime::from_millis(2),
     });
     let (without, misdelivered) = run(ReroutePolicy::Drop);
-    assert!(with_controller >= 95, "controller rescues: {with_controller}");
+    assert!(
+        with_controller >= 95,
+        "controller rescues: {with_controller}"
+    );
     assert!(
         without < with_controller,
         "dropping misdeliveries must cost: {without} vs {with_controller}"
@@ -174,7 +177,10 @@ fn rnp_boa_vista_failure_adds_exactly_one_hop() {
     assert_eq!(s.max_hops as f64, s.mean_hops(), "deterministic detour");
     assert_eq!(s.max_hops, 5);
     let flow = &s.flows[&FlowId(0)];
-    assert_eq!(flow.out_of_order, 0, "no disordering on a deterministic detour");
+    assert_eq!(
+        flow.out_of_order, 0,
+        "no disordering on a deterministic detour"
+    );
 }
 
 #[test]
@@ -194,5 +200,9 @@ fn seeds_reproduce_and_differ() {
         (sim.stats().total_hops, sim.stats().total_latency_ns)
     };
     assert_eq!(run(1), run(1), "same seed, same outcome");
-    assert_ne!(run(1), run(2), "different seeds explore different deflections");
+    assert_ne!(
+        run(1),
+        run(2),
+        "different seeds explore different deflections"
+    );
 }

@@ -182,3 +182,94 @@ proptest! {
         }
     }
 }
+
+/// Replays one pinned input of the hitless property (same body as
+/// `nip_full_protection_is_hitless_on_random_graphs`, minus the
+/// proptest plumbing). `fail_bits` selects the failed link the way
+/// `proptest::sample::Index` does: `⌊bits · len / 2⁶⁴⌋`.
+///
+/// Returns `false` if the input does not qualify (the property would
+/// have `prop_assume`d it away); panics if a qualifying input loses a
+/// probe.
+fn hitless_replay(n: usize, extra: usize, seed: u64, fail_bits: u64) -> bool {
+    let topo = gen::random_connected(
+        n,
+        extra,
+        seed,
+        IdStrategy::SmallestPrimes,
+        LinkParams::default(),
+    );
+    let src = topo.expect("H0");
+    let dst = topo.expect("H1");
+    let primary = paths::bfs_shortest_path(&topo, src, dst).expect("connected");
+    let core_links: Vec<_> = paths::links_along(&topo, &primary)
+        .unwrap()
+        .into_iter()
+        .filter(|&l| {
+            let link = topo.link(l);
+            topo.switch_id(link.a).is_some() && topo.switch_id(link.b).is_some()
+        })
+        .collect();
+    if core_links.is_empty() {
+        return false;
+    }
+    let idx = ((fail_bits as u128 * core_links.len() as u128) >> 64) as usize;
+    let failed = core_links[idx];
+    let still_connected = {
+        let mut seen = HashSet::new();
+        let mut stack = vec![src];
+        seen.insert(src);
+        while let Some(x) = stack.pop() {
+            for (_, l, peer) in topo.neighbors(x) {
+                if l != failed && seen.insert(peer) {
+                    stack.push(peer);
+                }
+            }
+        }
+        seen.contains(&dst)
+    };
+    if !still_connected {
+        return false;
+    }
+    let route =
+        kar::protection::encode_with_protection(&topo, primary.clone(), &Protection::AutoFull)
+            .unwrap();
+    let coverage = kar::analysis::failure_coverage(&topo, &route, &primary, failed, dst);
+    if coverage.candidates.is_empty() || (coverage.fraction() - 1.0).abs() >= 1e-9 {
+        return false;
+    }
+    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
+        .with_seed(seed ^ 0xabcd)
+        .with_ttl(255);
+    net.install_explicit(primary, &Protection::AutoFull)
+        .unwrap();
+    let mut sim = net.into_sim();
+    sim.schedule_link_down(SimTime::ZERO, failed);
+    for i in 0..40 {
+        sim.run_until(SimTime(i * 200_000));
+        sim.inject(src, dst, FlowId(0), i, PacketKind::Probe, 300);
+    }
+    sim.run_to_quiescence();
+    let s = sim.stats();
+    assert_eq!(
+        s.delivered, 40,
+        "full coverage must be hitless for n={n} extra={extra} seed={seed}: {s:?}"
+    );
+    true
+}
+
+/// Pinned regression: the first shrink recorded in
+/// `tests/liveness_properties.proptest-regressions` —
+/// `n = 8, extra = 3, seed = 324, fail_idx = Index(0)`.
+#[test]
+fn pinned_regression_n8_seed324_first_link() {
+    hitless_replay(8, 3, 324, 0);
+}
+
+/// Pinned regression: the second recorded shrink —
+/// `n = 12, extra = 3, seed = 11, fail_idx = Index(2⁶³)` (the middle
+/// of the qualifying link list).
+#[test]
+fn pinned_regression_n12_seed11_middle_link() {
+    hitless_replay(12, 3, 11, 1 << 63);
+}

@@ -46,7 +46,11 @@ fn fig1_all_deflected_packets_take_the_protected_branch() {
     assert_eq!(sim.stats().delivered, 50);
     for (_, trace) in sim.trace().iter() {
         assert_eq!(trace.fate, PacketFate::Delivered);
-        let names: Vec<&str> = trace.path.iter().map(|&n| topo.node(n).name.as_str()).collect();
+        let names: Vec<&str> = trace
+            .path
+            .iter()
+            .map(|&n| topo.node(n).name.as_str())
+            .collect();
         assert_eq!(
             names,
             vec!["S", "SW4", "SW7", "SW5", "SW11", "D"],

@@ -1,0 +1,361 @@
+//! Vendored offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crates registry, so this
+//! workspace ships a small wall-clock benchmarking harness exposing the
+//! `criterion 0.5` API subset its benches use: [`Criterion`],
+//! [`criterion_group!`] / [`criterion_main!`], benchmark groups,
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`Throughput`] and [`black_box`].
+//!
+//! Measurement model: a calibration pass sizes the iteration count to a
+//! ~200 ms measurement window, then the median of several samples is
+//! reported as ns/iter. No statistics, plots or HTML reports. Under
+//! `cargo test` (no `--bench` argument) every benchmark body runs
+//! exactly once as a smoke test, so `harness = false` bench targets
+//! stay fast in test runs.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement window per benchmark, in measurement mode.
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+/// Samples taken per benchmark (median reported).
+const SAMPLES: usize = 5;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    /// Measurement mode when invoked by `cargo bench` (which passes
+    /// `--bench`); smoke mode otherwise (e.g. under `cargo test`).
+    fn default() -> Self {
+        Criterion {
+            measure: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.measure, None, &id.into(), None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work per iteration so a rate is reported.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            self.criterion.measure,
+            Some(&self.name),
+            &id.into(),
+            self.throughput.as_ref(),
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            self.criterion.measure,
+            Some(&self.name),
+            &id,
+            self.throughput.as_ref(),
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// A parameter value alone (the group name is the function name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; accepted for API
+/// compatibility, the batch size here is always one.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Runs and times the benchmark body.
+pub struct Bencher {
+    measure: bool,
+    /// Nanoseconds per iteration from the latest `iter*` call.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, excluding nothing (the whole closure is the routine).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.measure {
+            black_box(f());
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        // Calibrate the iteration count to the measurement window.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(10) || iters >= 1 << 30 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 8;
+        };
+        let window_iters =
+            ((MEASURE_WINDOW.as_secs_f64() / SAMPLES as f64 / per_iter) as u64).max(1);
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..window_iters {
+                    black_box(f());
+                }
+                t.elapsed().as_secs_f64() / window_iters as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[SAMPLES / 2] * 1e9;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if !self.measure {
+            black_box(routine(setup()));
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        // One timed run per sample: these routines are long (whole
+        // simulations), so per-call timing is already stable.
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[SAMPLES / 2] * 1e9;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    measure: bool,
+    group: Option<&str>,
+    id: &BenchmarkId,
+    throughput: Option<&Throughput>,
+    f: &mut F,
+) {
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.label),
+        None => id.label.clone(),
+    };
+    let mut bencher = Bencher {
+        measure,
+        ns_per_iter: 0.0,
+    };
+    f(&mut bencher);
+    if !measure {
+        println!("test {label} ... ok (smoke)");
+        return;
+    }
+    let ns = bencher.ns_per_iter;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:.2} Melem/s", *n as f64 / ns * 1e3),
+        Throughput::Bytes(n) => format!("  {:.2} MiB/s", *n as f64 / ns * 1e9 / (1 << 20) as f64),
+    });
+    println!(
+        "bench {label:<55} {:>14}/iter{}",
+        format_ns(ns),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion { measure: false };
+        let mut runs = 0u32;
+        c.bench_function("t", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { measure: false };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10)).sample_size(10);
+        group.bench_function(BenchmarkId::from_parameter(4), |b| b.iter(|| 4 * 4));
+        group.bench_with_input(BenchmarkId::new("bits", 16), &16u32, |b, &n| {
+            b.iter_batched(|| n, |x| x + 1, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn measurement_mode_times_real_work() {
+        let mut b = Bencher {
+            measure: true,
+            ns_per_iter: 0.0,
+        };
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i * i));
+            }
+            acc
+        });
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert!(format_ns(12.3).ends_with("ns"));
+        assert!(format_ns(12_300.0).ends_with("µs"));
+        assert!(format_ns(12_300_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,73 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Returns the canonical strategy for `Self`.
+    fn arbitrary() -> ArbStrategy<Self>;
+}
+
+/// Strategy produced by [`any`]: a plain generation function.
+pub struct ArbStrategy<T>(fn(&mut TestRng) -> T);
+
+impl<T> ArbStrategy<T> {
+    /// Wraps a generation function (used by `Arbitrary` impls).
+    pub fn new(f: fn(&mut TestRng) -> T) -> Self {
+        ArbStrategy(f)
+    }
+}
+
+impl<T> Strategy for ArbStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// The canonical strategy for `T` — `any::<u64>()`, `any::<bool>()`, …
+pub fn any<T: Arbitrary>() -> ArbStrategy<T> {
+    T::arbitrary()
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> ArbStrategy<bool> {
+        ArbStrategy(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> ArbStrategy<$t> {
+                ArbStrategy(|rng| rng.next_u64() as $t)
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u64_varies() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let s = any::<u64>();
+        let a = s.generate(&mut rng);
+        let b = s.generate(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn any_bool_hits_both() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let s = any::<bool>();
+        let draws: Vec<bool> = (0..64).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|&b| b) && draws.iter().any(|&b| !b));
+    }
+}

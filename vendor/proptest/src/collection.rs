@@ -1,0 +1,57 @@
+//! Collection strategies: [`vec`].
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Generates `Vec`s whose lengths fall in `size` (exclusive upper
+/// bound) with each element drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_length_and_element_bounds() {
+        let mut rng = TestRng::seed_from_u64(8);
+        let s = vec(1usize..12, 1..20);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..20).contains(&v.len()));
+            assert!(v.iter().all(|&x| (1..12).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn vec_can_be_empty_when_range_allows() {
+        let mut rng = TestRng::seed_from_u64(9);
+        let s = vec(0u64..5, 0..2);
+        let mut saw_empty = false;
+        for _ in 0..100 {
+            if s.generate(&mut rng).is_empty() {
+                saw_empty = true;
+            }
+        }
+        assert!(saw_empty);
+    }
+}

@@ -1,0 +1,105 @@
+//! Sampling helpers: [`Index`] and [`subsequence`].
+
+use crate::arbitrary::{ArbStrategy, Arbitrary};
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A length-independent index: a raw `usize` that [`Index::index`]
+/// scales into `[0, len)` for any `len`, matching upstream semantics
+/// (`Index(usize::MAX / 2)` lands near the middle of any slice).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(pub usize);
+
+impl Index {
+    /// Scales this value into `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        ((self.0 as u128 * len as u128) >> usize::BITS) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary() -> ArbStrategy<Index> {
+        ArbStrategy::new(|rng| Index(rng.next_u64() as usize))
+    }
+}
+
+/// Generates order-preserving subsequences of `values` whose lengths
+/// fall in `size` (exclusive upper bound, clamped to the source length).
+pub fn subsequence<T: Clone>(values: Vec<T>, size: Range<usize>) -> Subsequence<T> {
+    assert!(
+        size.start <= values.len(),
+        "subsequence lower bound {} exceeds source length {}",
+        size.start,
+        values.len()
+    );
+    assert!(size.start < size.end, "empty subsequence size range");
+    Subsequence { values, size }
+}
+
+/// See [`subsequence`].
+pub struct Subsequence<T> {
+    values: Vec<T>,
+    size: Range<usize>,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let n = self.values.len();
+        let hi = self.size.end.min(n + 1);
+        let lo = self.size.start.min(hi - 1);
+        let k = lo + rng.below((hi - lo) as u64) as usize;
+        // Partial Fisher–Yates over the index space, then restore source
+        // order so the result is a true subsequence.
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + rng.below((n - i) as u64) as usize;
+            indices.swap(i, j);
+        }
+        let mut chosen: Vec<usize> = indices[..k].to_vec();
+        chosen.sort_unstable();
+        chosen.into_iter().map(|i| self.values[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_scales_full_range() {
+        assert_eq!(Index(0).index(10), 0);
+        assert_eq!(Index(usize::MAX / 2 + 1).index(10), 5);
+        assert_eq!(Index(usize::MAX).index(10), 9);
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_size() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let source: Vec<u64> = (0..100).collect();
+        let s = subsequence(source.clone(), 3..10);
+        for _ in 0..200 {
+            let sub = s.generate(&mut rng);
+            assert!((3..10).contains(&sub.len()), "len {}", sub.len());
+            assert!(sub.windows(2).all(|w| w[0] < w[1]), "order kept: {sub:?}");
+            assert!(sub.iter().all(|v| source.contains(v)));
+        }
+    }
+
+    #[test]
+    fn subsequence_handles_tight_ranges() {
+        let mut rng = TestRng::seed_from_u64(6);
+        let s = subsequence(vec![1u64, 2, 3], 1..12);
+        for _ in 0..50 {
+            let sub = s.generate(&mut rng);
+            assert!((1..=3).contains(&sub.len()));
+        }
+    }
+}

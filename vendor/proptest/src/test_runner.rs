@@ -1,0 +1,227 @@
+//! Case execution: configuration, RNG, and the run loop behind
+//! [`proptest!`](crate::proptest).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// How many cases to run and how many `prop_assume!` rejections to
+/// tolerate before giving up.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to execute.
+    pub cases: u32,
+    /// Total rejection budget across the whole test.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases with the default rejection budget.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — retry with fresh inputs.
+    Reject,
+    /// A `prop_assert*!` failed — the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant (used by the assertion macros).
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// The runner's RNG: xoshiro256++ seeded via SplitMix64.
+///
+/// Seeding is a pure function of the test name, so the suite explores
+/// identical inputs on every run — failures reproduce immediately.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed.
+    pub fn seed_from_u64(state: u64) -> Self {
+        let mut x = state;
+        let mut split = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [split(), split(), split(), split()],
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, span)` (rejection sampling, no modulo bias).
+    pub fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "empty draw");
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+}
+
+/// FNV-1a, used to derive a per-test seed from its name.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs one property to completion; panics (failing the enclosing
+/// `#[test]`) on the first violated case, printing its inputs.
+pub fn run_property<V, G, F>(config: &ProptestConfig, name: &str, generate: G, test: F)
+where
+    V: Clone + std::fmt::Debug,
+    G: Fn(&mut TestRng) -> V,
+    F: Fn(V) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::seed_from_u64(fnv1a(name));
+    let mut passed: u32 = 0;
+    let mut rejects: u32 = 0;
+    while passed < config.cases {
+        let value = generate(&mut rng);
+        let saved = value.clone();
+        match catch_unwind(AssertUnwindSafe(|| test(value))) {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject)) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "{name}: too many prop_assume! rejections \
+                         ({rejects} rejects for {passed}/{} cases)",
+                        config.cases
+                    );
+                }
+            }
+            Ok(Err(TestCaseError::Fail(message))) => {
+                panic!(
+                    "{name}: property falsified after {passed} passing case(s)\n\
+                     {message}\n  inputs: {saved:?}"
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "{name}: case panicked after {passed} passing case(s)\n  inputs: {saved:?}"
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_configured_case_count() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        run_property(
+            &ProptestConfig::with_cases(17),
+            "t::count",
+            |rng| rng.below(10),
+            |_| {
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        count += counter.get();
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn rejects_do_not_count_as_cases() {
+        let accepted = std::cell::Cell::new(0u32);
+        run_property(
+            &ProptestConfig::with_cases(10),
+            "t::reject",
+            |rng| rng.below(4),
+            |v| {
+                if v == 0 {
+                    return Err(TestCaseError::Reject);
+                }
+                accepted.set(accepted.get() + 1);
+                Ok(())
+            },
+        );
+        assert_eq!(accepted.get(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failure_panics_with_inputs() {
+        run_property(
+            &ProptestConfig::with_cases(50),
+            "t::fail",
+            |rng| rng.below(10),
+            |v| {
+                if v > 5 {
+                    return Err(TestCaseError::fail(format!("{v} too big")));
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let seen = std::cell::RefCell::new(Vec::new());
+            run_property(
+                &ProptestConfig::with_cases(20),
+                "t::det",
+                |rng| rng.next_u64(),
+                |v| {
+                    seen.borrow_mut().push(v);
+                    Ok(())
+                },
+            );
+            seen.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+}
