@@ -1,14 +1,38 @@
 //! Delivery ratio under k simultaneous failures (Table 2's multi-failure claim).
+//!
+//! With `--correlated`, failures arrive as whole SRLG groups (every
+//! core-core link of one switch at once) in a cumulative random order,
+//! and the sweep reports which scheme black-holes first.
 use kar_bench::experiments::multi_failure as mf;
 use kar_bench::harness::env_knob;
 use kar_topology::{rnp28, topo15};
 
 fn main() {
+    let correlated = std::env::args().any(|a| a == "--correlated");
     let trials = env_knob("KAR_RUNS", 20) as usize;
     let probes = env_knob("KAR_PROBES", 200);
     let seed = env_knob("KAR_SEED", 1);
-    let ks = [0usize, 1, 2, 3];
     let t15 = topo15::build();
+    let rnp = rnp28::build();
+    if correlated {
+        let groups = env_knob("KAR_GROUPS", 3) as usize;
+        print!(
+            "{}",
+            mf::render_correlated(
+                "topo15 AS1→AS3",
+                &mf::run_correlated(&t15, "AS1", "AS3", groups, trials, probes, seed)
+            )
+        );
+        print!(
+            "{}",
+            mf::render_correlated(
+                "rnp28 E_BV→E_SP",
+                &mf::run_correlated(&rnp, "E_BV", "E_SP", groups, trials, probes, seed)
+            )
+        );
+        return;
+    }
+    let ks = [0usize, 1, 2, 3];
     print!(
         "{}",
         mf::render(
@@ -16,7 +40,6 @@ fn main() {
             &mf::run(&t15, "AS1", "AS3", &ks, trials, probes, seed)
         )
     );
-    let rnp = rnp28::build();
     print!(
         "{}",
         mf::render(

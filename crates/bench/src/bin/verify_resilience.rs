@@ -1,0 +1,87 @@
+//! CI resilience gate: exhaustively classifies every
+//! `(src, dst, single-link-failure)` case on topo15 and rnp28 for the
+//! HP, AVP and NIP dataplanes under auto-planned full protection, and
+//! exits nonzero if any connected case black-holes or loops — the
+//! failures the paper's protection guarantee claims to cover.
+//!
+//! The no-deflection dataplane is reported too (it drops by design) but
+//! never gates. AVP gates against a pinned allowance instead of zero:
+//! AVP may deflect back out the input port, and on rnp28 two residues
+//! form a deterministic ping-pong — the known loop the paper motivates
+//! NIP with (§2.1). The gate fails if AVP ever loops *more* than that.
+use kar::verify::summarize;
+use kar::{verify_single_failures, DeflectionTechnique, EncodingCache, Outcome, Protection};
+use kar_topology::{rnp28, topo15, Topology};
+
+fn check(topo: &Topology, name: &str, avp_allowance: usize) -> bool {
+    let cache = EncodingCache::new();
+    let mut ok = true;
+    println!("{name}: exhaustive single-link-failure verification (AutoFull)");
+    println!("| technique | cases | delivered | wrong-edge | ttl | blackhole | loop | disconnected | violations |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for technique in DeflectionTechnique::ALL {
+        let results = verify_single_failures(topo, technique, &Protection::AutoFull, &cache)
+            .expect("verification runs");
+        let s = summarize(&results);
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            technique.label(),
+            s.total,
+            s.count(Outcome::Delivered),
+            s.count(Outcome::WrongEdge),
+            s.count(Outcome::TtlExceeded),
+            s.count(Outcome::Blackhole),
+            s.count(Outcome::Loop),
+            s.disconnected,
+            s.violations,
+        );
+        if technique == DeflectionTechnique::None {
+            continue; // drop-on-failure is the baseline, not a guarantee
+        }
+        let allowance = if technique == DeflectionTechnique::Avp {
+            avp_allowance
+        } else {
+            0
+        };
+        if s.violations > allowance {
+            ok = false;
+            for case in results
+                .iter()
+                .filter(|c| {
+                    !c.disconnected
+                        && matches!(c.report.outcome, Outcome::Blackhole | Outcome::Loop)
+                })
+                .take(10)
+            {
+                let link = topo.link(case.failed);
+                eprintln!(
+                    "VIOLATION {name}/{}: {} -> {} with {}-{} failed: {} (witness {:?})",
+                    technique.label(),
+                    topo.node(case.src).name,
+                    topo.node(case.dst).name,
+                    topo.node(link.a).name,
+                    topo.node(link.b).name,
+                    case.report.outcome,
+                    case.report
+                        .loop_witness
+                        .as_ref()
+                        .or(case.report.blackhole_witness.as_ref()),
+                );
+            }
+        }
+    }
+    println!();
+    ok
+}
+
+fn main() {
+    let mut ok = true;
+    ok &= check(&topo15::build(), "topo15", 0);
+    // 3 known AVP input-port ping-pong loops around SW107-SW113.
+    ok &= check(&rnp28::build(), "rnp28", 3);
+    if !ok {
+        eprintln!("resilience gate FAILED: a protected dataplane black-holes or loops on a survivable failure");
+        std::process::exit(1);
+    }
+    println!("resilience gate passed: HP and NIP survive every survivable single-link failure");
+}

@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod cc_ablation;
 pub mod detection;
+pub mod dynamic;
 pub mod fig4;
 pub mod fig5;
 pub mod fig7;

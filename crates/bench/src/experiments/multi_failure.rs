@@ -9,11 +9,12 @@
 
 use kar::{DeflectionTechnique, KarNetwork, Protection};
 use kar_baselines::{FastFailover, PathSplicing, TableEdge};
-use kar_simnet::{FlowId, PacketKind, Sim, SimConfig, SimTime};
+use kar_simnet::{srlg_groups, FlowId, PacketKind, Sim, SimConfig, SimTime};
 use kar_topology::{LinkId, NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::collections::BTreeSet;
 
 /// Schemes compared.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,6 +169,130 @@ pub fn run(
     out
 }
 
+/// Outcome of the correlated (SRLG) failure sweep for one scheme.
+///
+/// Unlike the independent sweep above, failures here arrive as whole
+/// shared-risk link groups — every core-core link of one switch dies
+/// together, as a line-card or fiber-conduit loss would take it. Groups
+/// fail cumulatively in a per-trial random order, so the sweep measures
+/// which scheme is the *first* to black-hole as correlated damage grows.
+#[derive(Debug, Clone)]
+pub struct CorrelatedOutcome {
+    /// Scheme measured.
+    pub scheme: Scheme,
+    /// Mean delivery ratio after `g + 1` SRLG groups have failed.
+    pub delivery: Vec<f64>,
+    /// Per trial: the smallest number of failed groups at which the
+    /// scheme delivered nothing, if it ever black-holed.
+    pub first_blackhole: Vec<Option<usize>>,
+    /// Trials in which this scheme black-holed at the smallest group
+    /// count among all schemes (ties count for every tied scheme).
+    pub blackholed_first: usize,
+}
+
+impl CorrelatedOutcome {
+    /// Mean group count at first blackhole over the trials that
+    /// black-holed, or `None` if the scheme always delivered something.
+    pub fn mean_first_blackhole(&self) -> Option<f64> {
+        let hits: Vec<usize> = self.first_blackhole.iter().flatten().copied().collect();
+        if hits.is_empty() {
+            None
+        } else {
+            Some(hits.iter().sum::<usize>() as f64 / hits.len() as f64)
+        }
+    }
+}
+
+/// Runs the correlated-failure sweep: per trial, shuffle the topology's
+/// SRLG groups, fail them cumulatively up to `max_groups`, and measure
+/// every scheme on the identical damage sequence.
+pub fn run_correlated(
+    topo: &Topology,
+    src_name: &str,
+    dst_name: &str,
+    max_groups: usize,
+    trials: usize,
+    probes: u64,
+    base_seed: u64,
+) -> Vec<CorrelatedOutcome> {
+    let src = topo.expect(src_name);
+    let dst = topo.expect(dst_name);
+    let groups = srlg_groups(topo);
+    let depth = max_groups.min(groups.len());
+    let mut outcomes: Vec<CorrelatedOutcome> = Scheme::ALL
+        .into_iter()
+        .map(|scheme| CorrelatedOutcome {
+            scheme,
+            delivery: vec![0.0; depth],
+            first_blackhole: Vec::new(),
+            blackholed_first: 0,
+        })
+        .collect();
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(base_seed ^ ((t as u64) << 20));
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        order.shuffle(&mut rng);
+        let mut firsts = [None; Scheme::ALL.len()];
+        for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
+            let mut failed: BTreeSet<LinkId> = BTreeSet::new();
+            let mut first = None;
+            for g in 0..depth {
+                failed.extend(groups[order[g]].iter().copied());
+                let links: Vec<LinkId> = failed.iter().copied().collect();
+                let ratio = run_one(topo, src, dst, scheme, &links, base_seed + t as u64, probes);
+                outcomes[si].delivery[g] += ratio;
+                if first.is_none() && ratio == 0.0 {
+                    first = Some(g + 1);
+                }
+            }
+            outcomes[si].first_blackhole.push(first);
+            firsts[si] = first;
+        }
+        if let Some(min) = firsts.iter().flatten().min().copied() {
+            for (si, f) in firsts.iter().enumerate() {
+                if *f == Some(min) {
+                    outcomes[si].blackholed_first += 1;
+                }
+            }
+        }
+    }
+    for outcome in &mut outcomes {
+        for d in &mut outcome.delivery {
+            *d /= trials as f64;
+        }
+    }
+    outcomes
+}
+
+/// Renders the correlated sweep.
+pub fn render_correlated(name: &str, outcomes: &[CorrelatedOutcome]) -> String {
+    let depth = outcomes.first().map_or(0, |o| o.delivery.len());
+    let mut out =
+        format!("Correlated SRLG failures — delivery ratio by failed groups ({name})\n| scheme |");
+    for g in 1..=depth {
+        out.push_str(&format!(" {g} groups |"));
+    }
+    out.push_str(" first blackhole (mean groups) | black-holed first |\n|---|");
+    out.push_str(&"---|".repeat(depth + 2));
+    out.push('\n');
+    for o in outcomes {
+        out.push_str(&format!("| {} |", o.scheme.label()));
+        for d in &o.delivery {
+            out.push_str(&format!(" {d:.2} |"));
+        }
+        match o.mean_first_blackhole() {
+            Some(mean) => out.push_str(&format!(" {mean:.1} |")),
+            None => out.push_str(" never |"),
+        }
+        out.push_str(&format!(
+            " {}/{} trials |\n",
+            o.blackholed_first,
+            o.first_blackhole.len()
+        ));
+    }
+    out
+}
+
 /// Renders the sweep.
 pub fn render(name: &str, points: &[MultiFailurePoint]) -> String {
     let mut out = format!(
@@ -230,6 +355,54 @@ mod tests {
             );
         }
         assert!(get(2, Scheme::KarNipFull) > 0.8, "KAR survives k=2");
+    }
+
+    #[test]
+    fn correlated_groups_hurt_the_stateless_drop_scheme_first() {
+        let topo = topo15::build();
+        let outcomes = run_correlated(&topo, "AS1", "AS3", 2, 4, 20, 9);
+        assert_eq!(outcomes.len(), Scheme::ALL.len());
+        let get = |s: Scheme| outcomes.iter().find(|o| o.scheme == s).unwrap();
+        let nip = get(Scheme::KarNipFull);
+        let none = get(Scheme::KarNoDeflection);
+        assert_eq!(nip.delivery.len(), 2);
+        assert_eq!(nip.first_blackhole.len(), 4);
+        // Identical damage sequences: deflection can only help.
+        for g in 0..2 {
+            assert!(
+                nip.delivery[g] >= none.delivery[g],
+                "g={} nip={:?} none={:?}",
+                g,
+                nip.delivery,
+                none.delivery
+            );
+        }
+        // No scheme black-holes before the drop-on-failure dataplane.
+        for o in &outcomes {
+            assert!(
+                none.blackholed_first >= o.blackholed_first || o.scheme == Scheme::KarNoDeflection,
+                "{:?} black-holed first more often than no-deflection",
+                o.scheme
+            );
+        }
+        // Replays are deterministic.
+        let again = run_correlated(&topo, "AS1", "AS3", 2, 4, 20, 9);
+        for (a, b) in outcomes.iter().zip(&again) {
+            assert_eq!(a.delivery, b.delivery);
+            assert_eq!(a.first_blackhole, b.first_blackhole);
+            assert_eq!(a.blackholed_first, b.blackholed_first);
+        }
+    }
+
+    #[test]
+    fn correlated_render_lists_every_scheme() {
+        let topo = topo15::build();
+        let outcomes = run_correlated(&topo, "AS1", "AS3", 1, 2, 10, 5);
+        let text = render_correlated("topo15", &outcomes);
+        for s in Scheme::ALL {
+            assert!(text.contains(s.label()), "{text}");
+        }
+        assert!(text.contains("first blackhole"));
     }
 
     #[test]

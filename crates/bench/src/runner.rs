@@ -43,43 +43,60 @@ pub fn jobs_from_args<I: IntoIterator<Item = String>>(args: I) -> usize {
         .unwrap_or_else(default_jobs)
 }
 
-/// Runs every spec and returns the results in spec order.
+/// Order-preserving parallel map: applies `f` to every item on a
+/// work-stealing pool of `jobs` threads and returns results in item
+/// order.
 ///
 /// `jobs = 1` runs serially on the calling thread; `jobs > 1` fans out
-/// over `min(jobs, specs.len())` worker threads. Both produce identical
-/// results (see the module docs).
-pub fn run_all(specs: &[TcpRun<'_>], jobs: usize) -> Vec<TcpRunResult> {
-    let jobs = jobs.max(1).min(specs.len().max(1));
+/// over `min(jobs, items.len())` workers pulling indices from a shared
+/// atomic counter. As long as `f` is a pure function of its item (no
+/// global state), the output is byte-identical at any job count — the
+/// property every experiment sweep and the dynamic fault experiments
+/// build their `--jobs` determinism guarantee on.
+pub fn run_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
     if jobs <= 1 {
-        return specs.iter().map(run_tcp).collect();
+        return items.iter().map(f).collect();
     }
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, TcpRunResult)>();
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             let tx = tx.clone();
             let next = &next;
+            let f = &f;
             scope.spawn(move || loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= specs.len() {
+                if idx >= items.len() {
                     break;
                 }
-                let result = run_tcp(&specs[idx]);
+                let result = f(&items[idx]);
                 if tx.send((idx, result)).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
-        let mut slots: Vec<Option<TcpRunResult>> = specs.iter().map(|_| None).collect();
+        let mut slots: Vec<Option<R>> = items.iter().map(|_| None).collect();
         for (idx, result) in rx {
             slots[idx] = Some(result);
         }
         slots
             .into_iter()
-            .map(|slot| slot.expect("every spec index was claimed by exactly one worker"))
+            .map(|slot| slot.expect("every item index was claimed by exactly one worker"))
             .collect()
     })
+}
+
+/// Runs every spec and returns the results in spec order (the TCP
+/// specialization of [`run_map`]; see the module docs).
+pub fn run_all(specs: &[TcpRun<'_>], jobs: usize) -> Vec<TcpRunResult> {
+    run_map(specs, jobs, run_tcp)
 }
 
 #[cfg(test)]
@@ -136,6 +153,15 @@ mod tests {
     #[test]
     fn empty_spec_set_is_fine() {
         assert!(run_all(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn run_map_preserves_order_for_any_job_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expected: Vec<u64> = items.iter().map(|i| i * i).collect();
+        for jobs in [1, 2, 5, 64] {
+            assert_eq!(run_map(&items, jobs, |&i| i * i), expected, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -137,14 +137,90 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// Telemetry of one dynamic-fault grid point (the `fig_dynamic`
+/// experiment: a fault *process* — repair, flap, crash — rather than a
+/// static failure, with the controller recovery loop enabled).
+#[derive(Debug, Clone)]
+pub struct DynamicRecord {
+    /// Experiment name (`"fig_dynamic"`).
+    pub experiment: String,
+    /// Fault-process scenario name (`"repair"`, `"flap"`, …).
+    pub scenario: String,
+    /// Deflection technique label.
+    pub technique: String,
+    /// Probes injected.
+    pub injected: u64,
+    /// Probes delivered.
+    pub delivered: u64,
+    /// Probes dropped.
+    pub dropped: u64,
+    /// Delivered probes that deflection rescued (deflected ≥ once).
+    pub saved_by_deflection: u64,
+    /// Physical link up→down transitions.
+    pub link_failures: u64,
+    /// Physical down→up transitions.
+    pub link_repairs: u64,
+    /// Flows the controller re-encoded onto a detour.
+    pub recovered_flows: usize,
+    /// Mean detection → recovered-traffic latency in seconds.
+    pub mean_recovery_latency_s: f64,
+}
+
+impl DynamicRecord {
+    /// Serializes as one JSON object on a single line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        write!(out, "\"experiment\":\"{}\"", escape(&self.experiment)).unwrap();
+        write!(out, ",\"scenario\":\"{}\"", escape(&self.scenario)).unwrap();
+        write!(out, ",\"technique\":\"{}\"", escape(&self.technique)).unwrap();
+        write!(out, ",\"injected\":{}", self.injected).unwrap();
+        write!(out, ",\"delivered\":{}", self.delivered).unwrap();
+        write!(out, ",\"dropped\":{}", self.dropped).unwrap();
+        write!(out, ",\"saved_by_deflection\":{}", self.saved_by_deflection).unwrap();
+        write!(out, ",\"link_failures\":{}", self.link_failures).unwrap();
+        write!(out, ",\"link_repairs\":{}", self.link_repairs).unwrap();
+        write!(out, ",\"recovered_flows\":{}", self.recovered_flows).unwrap();
+        write!(
+            out,
+            ",\"mean_recovery_latency_s\":{}",
+            json_f64(self.mean_recovery_latency_s)
+        )
+        .unwrap();
+        out.push('}');
+        out
+    }
+}
+
+/// Anything that can serialize itself as one JSON line.
+pub trait JsonLine {
+    /// Serializes as one JSON object on a single line.
+    fn json_line(&self) -> String;
+}
+
+impl JsonLine for RunRecord {
+    fn json_line(&self) -> String {
+        self.to_json()
+    }
+}
+
+impl JsonLine for DynamicRecord {
+    fn json_line(&self) -> String {
+        self.to_json()
+    }
+}
+
 /// Writes records as JSON lines to any sink.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the sink.
-pub fn write_jsonl<W: std::io::Write>(mut sink: W, records: &[RunRecord]) -> std::io::Result<()> {
+pub fn write_jsonl<W: std::io::Write, R: JsonLine>(
+    mut sink: W,
+    records: &[R],
+) -> std::io::Result<()> {
     for record in records {
-        writeln!(sink, "{}", record.to_json())?;
+        writeln!(sink, "{}", record.json_line())?;
     }
     Ok(())
 }
@@ -152,7 +228,7 @@ pub fn write_jsonl<W: std::io::Write>(mut sink: W, records: &[RunRecord]) -> std
 /// Emits records according to the `KAR_TELEMETRY` environment variable:
 /// unset → no-op, `-` → stderr, a path → append to that file. Emission
 /// failures are reported on stderr but never abort an experiment.
-pub fn emit(records: &[RunRecord]) {
+pub fn emit<R: JsonLine>(records: &[R]) {
     let Ok(target) = std::env::var("KAR_TELEMETRY") else {
         return;
     };
@@ -243,6 +319,46 @@ mod tests {
         assert!(json.contains("quote\\\" slash\\\\ tab\\t"));
         assert!(json.contains("\"mean_hops\":null"));
         assert!(json.contains("\"hop_inflation\":null"));
+    }
+
+    #[test]
+    fn dynamic_record_json_carries_the_recovery_fields() {
+        let record = DynamicRecord {
+            experiment: "fig_dynamic".to_string(),
+            scenario: "repair".to_string(),
+            technique: "NIP".to_string(),
+            injected: 60,
+            delivered: 58,
+            dropped: 2,
+            saved_by_deflection: 4,
+            link_failures: 1,
+            link_repairs: 1,
+            recovered_flows: 1,
+            mean_recovery_latency_s: 1.2e-3,
+        };
+        let json = record.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "experiment",
+            "scenario",
+            "technique",
+            "injected",
+            "delivered",
+            "dropped",
+            "saved_by_deflection",
+            "link_failures",
+            "link_repairs",
+            "recovered_flows",
+            "mean_recovery_latency_s",
+        ] {
+            assert_eq!(
+                json.matches(&format!("\"{key}\":")).count(),
+                1,
+                "key {key} in {json}"
+            );
+        }
+        assert!(json.contains("\"saved_by_deflection\":4"));
+        assert!(json.contains("\"mean_recovery_latency_s\":0.0012"));
     }
 
     #[test]

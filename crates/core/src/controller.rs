@@ -123,6 +123,13 @@ impl Controller {
         self.table.len()
     }
 
+    /// Forgets every installed and cached route. The recovery loop calls
+    /// this when the known failure set changes: wrong-edge recomputations
+    /// cached under the old failure set must not be served afterwards.
+    pub fn clear_routes(&mut self) {
+        self.table.clear();
+    }
+
     /// The installed route for `(src, dst)`, if any.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Option<&EncodedRoute> {
         self.table.get(&(src, dst))
@@ -189,8 +196,9 @@ impl Controller {
     }
 }
 
-/// BFS shortest path avoiding a set of links.
-fn bfs_avoiding(
+/// BFS shortest path avoiding a set of links (also used by the verifier
+/// to distinguish disconnections from routing failures).
+pub(crate) fn bfs_avoiding(
     topo: &Topology,
     src: NodeId,
     dst: NodeId,

@@ -23,7 +23,13 @@
 //! * [`EncodingCache`] — a shared, thread-safe route-encoding memo for
 //!   repeated-route workloads (experiment sweeps);
 //! * [`KarNetwork`] — one-stop wiring into the `kar-simnet` simulator;
-//! * [`analysis`] — static driven-walk and failure-coverage checks.
+//! * [`analysis`] — static driven-walk and failure-coverage checks;
+//! * [`recovery`] — a failure-*reactive* controller loop that re-encodes
+//!   affected routes after detection + notification delays, with
+//!   per-flow recovery-latency accounting;
+//! * [`verify`] — an exhaustive resilience verifier that classifies
+//!   every trajectory of a route under a failure set (delivered /
+//!   wrong-edge / ttl-exceeded / blackhole / loop, with witnesses).
 //!
 //! # Examples
 //!
@@ -61,7 +67,9 @@ mod header;
 pub mod multipath;
 mod network;
 pub mod protection;
+pub mod recovery;
 mod route;
+pub mod verify;
 
 pub use cache::{CacheStats, EncodingCache};
 pub use chain::chain_path;
@@ -72,4 +80,6 @@ pub use header::RouteHeader;
 pub use multipath::{edge_disjoint_paths, MultipathEdge};
 pub use network::KarNetwork;
 pub use protection::Protection;
+pub use recovery::{FlowRecovery, RecoveringController, RecoveryConfig, RecoveryLog};
 pub use route::{EncodedRoute, RouteSpec};
+pub use verify::{verify_route, verify_single_failures, Outcome, VerifyReport, VerifySummary};

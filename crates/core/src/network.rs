@@ -10,10 +10,11 @@ use crate::controller::{Controller, ReroutePolicy};
 use crate::deflect::{DeflectionTechnique, KarForwarder};
 use crate::error::KarError;
 use crate::protection::Protection;
+use crate::recovery::{RecoveringController, RecoveryConfig, RecoveryLog};
 use crate::route::EncodedRoute;
-use kar_simnet::{Sim, SimConfig};
-use kar_topology::{NodeId, Topology};
-use std::sync::Arc;
+use kar_simnet::{EdgeLogic, Sim, SimConfig};
+use kar_topology::{paths, NodeId, Topology};
+use std::sync::{Arc, Mutex};
 
 /// Builder for a KAR simulation.
 ///
@@ -39,6 +40,13 @@ pub struct KarNetwork<'t> {
     technique: DeflectionTechnique,
     controller: Controller,
     sim_config: SimConfig,
+    // Mirrors of builder knobs that must be replayed onto a
+    // RecoveringController (building it happens in `into_sim`, after the
+    // plain controller consumed the originals).
+    reroute: ReroutePolicy,
+    cache: Option<Arc<EncodingCache>>,
+    recovery: Option<(RecoveryConfig, Arc<Mutex<RecoveryLog>>)>,
+    installed: Vec<(Vec<NodeId>, Protection)>,
 }
 
 impl<'t> KarNetwork<'t> {
@@ -50,6 +58,10 @@ impl<'t> KarNetwork<'t> {
             technique,
             controller: Controller::new(),
             sim_config: SimConfig::default(),
+            reroute: ReroutePolicy::default(),
+            cache: None,
+            recovery: None,
+            installed: Vec::new(),
         }
     }
 
@@ -91,14 +103,27 @@ impl<'t> KarNetwork<'t> {
     /// 2 ms round trip, the paper's setting).
     pub fn with_reroute(mut self, policy: ReroutePolicy) -> Self {
         self.controller = std::mem::take(&mut self.controller).with_reroute(policy);
+        self.reroute = policy;
         self
+    }
+
+    /// Enables the failure-reactive controller loop (see
+    /// [`crate::recovery`]): after a link transition is detected and a
+    /// further notification delay elapses, affected routes are
+    /// re-encoded around the failure. Returns the handle onto the
+    /// [`RecoveryLog`] so recovery latencies can be read after the run.
+    pub fn with_recovery(mut self, config: RecoveryConfig) -> (Self, Arc<Mutex<RecoveryLog>>) {
+        let log = Arc::new(Mutex::new(RecoveryLog::default()));
+        self.recovery = Some((config, Arc::clone(&log)));
+        (self, log)
     }
 
     /// Attaches a shared route-encoding cache to the controller. Cached
     /// encodes are byte-identical to fresh ones — sharing one cache
     /// across simulations (or threads) changes speed, never results.
     pub fn with_encoding_cache(mut self, cache: Arc<EncodingCache>) -> Self {
-        self.controller = std::mem::take(&mut self.controller).with_encoding_cache(cache);
+        self.controller = std::mem::take(&mut self.controller).with_encoding_cache(cache.clone());
+        self.cache = Some(cache);
         self
     }
 
@@ -123,6 +148,14 @@ impl<'t> KarNetwork<'t> {
         dst: NodeId,
         protection: &Protection,
     ) -> Result<EncodedRoute, KarError> {
+        if self.recovery.is_some() {
+            // Record the concrete primary so the recovery controller can
+            // match failures against it (same path selection as the
+            // plain install: shortest path on the intact topology).
+            let primary = paths::bfs_shortest_path(self.topo, src, dst)
+                .ok_or(KarError::NoPath { src, dst })?;
+            return self.install_explicit(primary, protection);
+        }
         self.controller
             .install_route(self.topo, src, dst, protection)
     }
@@ -137,16 +170,37 @@ impl<'t> KarNetwork<'t> {
         primary: Vec<NodeId>,
         protection: &Protection,
     ) -> Result<EncodedRoute, KarError> {
-        self.controller
-            .install_explicit(self.topo, primary, protection)
+        let route = self
+            .controller
+            .install_explicit(self.topo, primary.clone(), protection)?;
+        if self.recovery.is_some() {
+            self.installed.push((primary, protection.clone()));
+        }
+        Ok(route)
     }
 
     /// Finalizes into a runnable simulation.
     pub fn into_sim(self) -> Sim<'t> {
+        let edge: Box<dyn EdgeLogic> = match self.recovery {
+            Some((config, log)) => {
+                let mut rc = RecoveringController::new(config)
+                    .with_reroute(self.reroute)
+                    .with_log(log);
+                if let Some(cache) = self.cache {
+                    rc = rc.with_encoding_cache(cache);
+                }
+                for (primary, protection) in self.installed {
+                    rc.install_explicit(self.topo, primary, &protection)
+                        .expect("route encoded once already");
+                }
+                Box::new(rc)
+            }
+            None => Box::new(self.controller),
+        };
         Sim::new(
             self.topo,
             Box::new(KarForwarder::new(self.technique)),
-            Box::new(self.controller),
+            edge,
             self.sim_config,
         )
     }
@@ -256,6 +310,48 @@ mod tests {
             s.mean_hops() > 4.0,
             "wandering costs hops: {}",
             s.mean_hops()
+        );
+    }
+
+    #[test]
+    fn recovery_reencodes_the_flow_after_the_notification_lands() {
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let failed = topo.expect_link("SW7", "SW13");
+        let (mut net, log) = KarNetwork::new(&topo, DeflectionTechnique::Nip)
+            .with_seed(7)
+            .with_detection_delay(SimTime::from_micros(100))
+            .with_recovery(crate::recovery::RecoveryConfig {
+                notification_delay: SimTime::from_millis(1),
+                protection: Protection::None,
+            });
+        net.install_route(as1, as3, &Protection::AutoFull).unwrap();
+        let mut sim = net.into_sim();
+        // Failure at 1 ms; observed at 1.1 ms; recovery live at 2.1 ms.
+        sim.schedule_link_down(SimTime::from_millis(1), failed);
+        for i in 0..20 {
+            sim.run_until(SimTime::from_micros(i * 500));
+            sim.inject(as1, as3, FlowId(0), i, PacketKind::Probe, 500);
+        }
+        sim.run_to_quiescence();
+        let s = sim.stats();
+        // Packets already racing toward SW7 inside the 100 µs detection
+        // window die in the dead link; everything else arrives — either
+        // by deflection (observed-down window) or on the recovered route.
+        assert!(s.delivered >= 18, "{s:?}");
+        assert_eq!(s.delivered + s.dropped(), 20, "{s:?}");
+        assert!(
+            s.deflected_delivered > 0,
+            "packets in the recovery window survive by deflection: {s:?}"
+        );
+        let log = log.lock().unwrap();
+        assert_eq!(log.notices.len(), 1);
+        assert_eq!(log.flows.len(), 1, "{log:?}");
+        assert!(
+            log.flows[0].latency() >= SimTime::from_millis(1),
+            "latency includes the notification delay: {}",
+            log.flows[0].latency()
         );
     }
 

@@ -1,0 +1,486 @@
+//! Controller recovery loop: reactive re-encoding after failure
+//! detection.
+//!
+//! During the paper's experiments "the controller ignores all failure
+//! notifications and keeps the same route" — deflection alone carries
+//! packets around the failure. This module implements the other half of
+//! a deployable system: a controller that *listens*. When the failure
+//! detector resolves a link transition (the data plane's detection
+//! delay has elapsed — see [`kar_simnet::SimConfig::detection_delay`]),
+//! the notification travels the control channel for a further
+//! [`RecoveryConfig::notification_delay`]; the controller then re-encodes
+//! every installed route whose primary path crosses a failed link —
+//! avoiding the known-failed links, through the shared
+//! [`EncodingCache`] when one is attached — and installs the fresh route
+//! ID at the ingress edge.
+//!
+//! Until the new ID lands, in-flight and newly injected packets still
+//! carry the old one and survive (or not) purely by deflection — exactly
+//! the window the paper's resilience argument is about. The
+//! [`RecoveryLog`] makes that window measurable: it records, per flow,
+//! when the failure was observed and when the first packet left the edge
+//! with a recovered route ID.
+
+use crate::cache::EncodingCache;
+use crate::controller::{Controller, ReroutePolicy};
+use crate::error::KarError;
+use crate::protection::Protection;
+use crate::route::EncodedRoute;
+use kar_simnet::{EdgeLogic, Packet, RerouteDecision, RouteTag, SimTime};
+use kar_topology::{paths, LinkId, NodeId, PortIx, Topology};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Knobs of the recovery loop.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Control-channel latency from the failure detector resolving a
+    /// transition to the re-encoded route being live at the edge. This
+    /// is *on top of* the data plane's detection delay.
+    pub notification_delay: SimTime,
+    /// Protection applied to recovery routes. The paper's reactive
+    /// recomputation is unprotected ([`Protection::None`], the default);
+    /// protecting the detour too models a controller that re-arms
+    /// against the next failure.
+    pub protection: Protection,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            notification_delay: SimTime::from_millis(2),
+            protection: Protection::None,
+        }
+    }
+}
+
+/// One link notification as the controller processed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkNotice {
+    /// The link that changed state.
+    pub link: LinkId,
+    /// `true` for a repair, `false` for a failure.
+    pub up: bool,
+    /// When the failure detector resolved the transition.
+    pub observed_at: SimTime,
+    /// When the controller acted on it (`observed_at` plus the
+    /// notification delay).
+    pub applied_at: SimTime,
+}
+
+/// One flow switching onto a recovered route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRecovery {
+    /// Ingress edge of the recovered flow.
+    pub src: NodeId,
+    /// Destination edge.
+    pub dst: NodeId,
+    /// When the triggering failure was observed by the detector.
+    pub failed_at: SimTime,
+    /// When the first packet left the edge with the recovered route ID.
+    pub recovered_at: SimTime,
+}
+
+impl FlowRecovery {
+    /// Detector-to-recovered-traffic latency.
+    pub fn latency(&self) -> SimTime {
+        self.recovered_at.since(self.failed_at)
+    }
+}
+
+/// Everything the recovery loop did during a run.
+///
+/// Shared via [`RecoveringController::log_handle`] so the telemetry can
+/// read it after the simulation (which owns the controller) finishes.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryLog {
+    /// Link notifications in processing order.
+    pub notices: Vec<LinkNotice>,
+    /// Flows that switched onto a recovered route.
+    pub flows: Vec<FlowRecovery>,
+}
+
+impl RecoveryLog {
+    /// Mean per-flow recovery latency in seconds (0.0 when no flow
+    /// needed recovery).
+    pub fn mean_recovery_latency_s(&self) -> f64 {
+        if self.flows.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.flows.iter().map(|f| f.latency().as_nanos()).sum();
+        (total as f64 / self.flows.len() as f64) / 1e9
+    }
+}
+
+/// A route as originally installed, before any failure.
+#[derive(Debug, Clone)]
+struct InstalledRoute {
+    links: Vec<LinkId>,
+    route: EncodedRoute,
+}
+
+/// The route currently stamped on packets of one `(src, dst)` pair.
+#[derive(Debug, Clone)]
+struct CurrentRoute {
+    /// Failure epoch this decision was made in; stale entries are
+    /// recomputed lazily on the next ingress.
+    epoch: u64,
+    route: EncodedRoute,
+    /// `true` when `route` detours around a failure (differs from the
+    /// originally installed one).
+    detour: bool,
+}
+
+/// A link notification in flight on the control channel.
+#[derive(Debug, Clone, Copy)]
+struct PendingNotice {
+    effective_at: SimTime,
+    link: LinkId,
+    up: bool,
+    observed_at: SimTime,
+}
+
+/// Failure-reactive [`EdgeLogic`]: a [`Controller`] plus the recovery
+/// loop described in the module docs.
+///
+/// Routes are installed up front exactly like on the plain controller;
+/// after a failure notification becomes effective, every affected pair
+/// is re-encoded (lazily, on its next ingress — the simulation clock is
+/// packet-driven) around the failed links, and restored when the repair
+/// notification lands.
+#[derive(Debug)]
+pub struct RecoveringController {
+    inner: Controller,
+    config: RecoveryConfig,
+    originals: HashMap<(NodeId, NodeId), InstalledRoute>,
+    current: HashMap<(NodeId, NodeId), CurrentRoute>,
+    pending: VecDeque<PendingNotice>,
+    failed: HashSet<LinkId>,
+    /// Bumped whenever the effective failure set changes; `current`
+    /// entries from older epochs are recomputed on demand.
+    epoch: u64,
+    last_failure_observed: Option<SimTime>,
+    log: Arc<Mutex<RecoveryLog>>,
+}
+
+impl RecoveringController {
+    /// Creates a recovery-capable controller (failure-aware re-encoding
+    /// is always on — that is the point).
+    pub fn new(config: RecoveryConfig) -> Self {
+        let mut inner = Controller::new();
+        inner.set_failure_aware(true);
+        RecoveringController {
+            inner,
+            config,
+            originals: HashMap::new(),
+            current: HashMap::new(),
+            pending: VecDeque::new(),
+            failed: HashSet::new(),
+            epoch: 0,
+            last_failure_observed: None,
+            log: Arc::new(Mutex::new(RecoveryLog::default())),
+        }
+    }
+
+    /// Sets the wrong-edge policy of the wrapped controller.
+    pub fn with_reroute(mut self, policy: ReroutePolicy) -> Self {
+        self.inner = self.inner.with_reroute(policy);
+        self
+    }
+
+    /// Routes all route-ID computation through a shared
+    /// [`EncodingCache`].
+    pub fn with_encoding_cache(mut self, cache: Arc<EncodingCache>) -> Self {
+        self.inner = self.inner.with_encoding_cache(cache);
+        self
+    }
+
+    /// Shares a pre-made log (lets a builder keep a handle across
+    /// `into_sim`, which consumes the controller).
+    pub fn with_log(mut self, log: Arc<Mutex<RecoveryLog>>) -> Self {
+        self.log = log;
+        self
+    }
+
+    /// Handle onto the recovery log; read it after the run.
+    pub fn log_handle(&self) -> Arc<Mutex<RecoveryLog>> {
+        Arc::clone(&self.log)
+    }
+
+    /// Installs a shortest-path route, remembering its primary path so
+    /// later failures can be matched against it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Controller::install_route`].
+    pub fn install_route(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        protection: &Protection,
+    ) -> Result<EncodedRoute, KarError> {
+        let primary =
+            paths::bfs_shortest_path(topo, src, dst).ok_or(KarError::NoPath { src, dst })?;
+        self.install_explicit(topo, primary, protection)
+    }
+
+    /// Installs an explicit (pinned) primary path with protection.
+    ///
+    /// # Errors
+    ///
+    /// See [`Controller::install_explicit`].
+    pub fn install_explicit(
+        &mut self,
+        topo: &Topology,
+        primary: Vec<NodeId>,
+        protection: &Protection,
+    ) -> Result<EncodedRoute, KarError> {
+        let (src, dst) = (
+            *primary.first().ok_or(KarError::NoPath {
+                src: NodeId(0),
+                dst: NodeId(0),
+            })?,
+            *primary.last().expect("non-empty checked above"),
+        );
+        let links = paths::links_along(topo, &primary)?;
+        let route = self.inner.install_explicit(topo, primary, protection)?;
+        self.originals.insert(
+            (src, dst),
+            InstalledRoute {
+                links,
+                route: route.clone(),
+            },
+        );
+        self.current.remove(&(src, dst));
+        Ok(route)
+    }
+
+    /// Applies every pending notification whose control-channel delay
+    /// has elapsed by `now`.
+    fn apply_pending(&mut self, now: SimTime) {
+        while let Some(next) = self.pending.front().copied() {
+            if next.effective_at > now {
+                break;
+            }
+            self.pending.pop_front();
+            let changed = if next.up {
+                self.inner.notify_repair(next.link);
+                self.failed.remove(&next.link)
+            } else {
+                self.inner.notify_failure(next.link);
+                self.last_failure_observed = Some(next.observed_at);
+                self.failed.insert(next.link)
+            };
+            if changed {
+                self.epoch += 1;
+                // Wrong-edge recomputations cached under the previous
+                // failure set are stale now.
+                self.inner.clear_routes();
+            }
+            self.log
+                .lock()
+                .expect("recovery log lock")
+                .notices
+                .push(LinkNotice {
+                    link: next.link,
+                    up: next.up,
+                    observed_at: next.observed_at,
+                    applied_at: next.effective_at,
+                });
+        }
+    }
+
+    /// The route to stamp on a packet entering at `(src, dst)` now,
+    /// recomputing if the failure epoch moved since the last packet.
+    fn current_route(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        now: SimTime,
+    ) -> Option<EncodedRoute> {
+        let key = (src, dst);
+        if let Some(cur) = self.current.get(&key) {
+            if cur.epoch == self.epoch {
+                return Some(cur.route.clone());
+            }
+        }
+        let orig = self.originals.get(&key)?.clone();
+        let broken = orig.links.iter().any(|l| self.failed.contains(l));
+        let (route, detour) = if !broken {
+            (orig.route.clone(), false)
+        } else {
+            match self
+                .inner
+                .install_route(topo, src, dst, &self.config.protection.clone())
+            {
+                Ok(r) => (r, true),
+                // No failure-avoiding path: keep the original ID and let
+                // deflection fight for the packets.
+                Err(_) => (orig.route.clone(), false),
+            }
+        };
+        let was_detour = self.current.get(&key).map(|c| c.detour).unwrap_or(false);
+        if detour && !was_detour {
+            if let Some(failed_at) = self.last_failure_observed {
+                self.log
+                    .lock()
+                    .expect("recovery log lock")
+                    .flows
+                    .push(FlowRecovery {
+                        src,
+                        dst,
+                        failed_at,
+                        recovered_at: now,
+                    });
+            }
+        }
+        self.current.insert(
+            key,
+            CurrentRoute {
+                epoch: self.epoch,
+                route: route.clone(),
+                detour,
+            },
+        );
+        Some(route)
+    }
+}
+
+impl EdgeLogic for RecoveringController {
+    fn ingress(&mut self, topo: &Topology, edge: NodeId, pkt: &mut Packet) -> Option<PortIx> {
+        // `created` is the injection time — the current simulation time
+        // at every ingress call.
+        self.apply_pending(pkt.created);
+        let route = self.current_route(topo, edge, pkt.dst, pkt.created)?;
+        pkt.route = Some(RouteTag::new(route.route_id.clone()));
+        Some(route.uplink)
+    }
+
+    fn reroute(&mut self, topo: &Topology, edge: NodeId, pkt: &mut Packet) -> RerouteDecision {
+        self.inner.reroute(topo, edge, pkt)
+    }
+
+    fn on_link_event(&mut self, _topo: &Topology, link: LinkId, up: bool, now: SimTime) {
+        self.pending.push_back(PendingNotice {
+            effective_at: now + self.config.notification_delay,
+            link,
+            up,
+            observed_at: now,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kar_simnet::{FlowId, PacketKind};
+    use kar_topology::topo15;
+
+    fn probe(src: NodeId, dst: NodeId, created: SimTime) -> Packet {
+        Packet {
+            id: 0,
+            flow: FlowId(0),
+            seq: 0,
+            kind: PacketKind::Probe,
+            size_bytes: 100,
+            src,
+            dst,
+            route: None,
+            ttl: 64,
+            hops: 0,
+            deflections: 0,
+            created,
+        }
+    }
+
+    #[test]
+    fn reencodes_after_the_notification_delay_and_reverts_on_repair() {
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let failed = topo.expect_link("SW7", "SW13");
+        let mut rc = RecoveringController::new(RecoveryConfig {
+            notification_delay: SimTime::from_millis(2),
+            protection: Protection::None,
+        });
+        let original = rc
+            .install_route(&topo, as1, as3, &Protection::None)
+            .unwrap();
+
+        // Failure observed at t=1ms: not yet effective at t=2ms...
+        rc.on_link_event(&topo, failed, false, SimTime::from_millis(1));
+        let mut pkt = probe(as1, as3, SimTime::from_millis(2));
+        rc.ingress(&topo, as1, &mut pkt).unwrap();
+        assert_eq!(
+            pkt.route.as_ref().unwrap().route_id,
+            original.route_id,
+            "before the notification lands the old ID is stamped"
+        );
+
+        // ...but effective at t=3ms: the detour avoids SW7-SW13.
+        let mut pkt = probe(as1, as3, SimTime::from_millis(3));
+        rc.ingress(&topo, as1, &mut pkt).unwrap();
+        let recovered = pkt.route.as_ref().unwrap().route_id.clone();
+        assert_ne!(recovered, original.route_id);
+
+        let log = rc.log_handle();
+        {
+            let log = log.lock().unwrap();
+            assert_eq!(log.notices.len(), 1);
+            assert_eq!(log.flows.len(), 1);
+            let f = log.flows[0];
+            assert_eq!((f.src, f.dst), (as1, as3));
+            assert_eq!(f.latency(), SimTime::from_millis(2));
+            assert!((log.mean_recovery_latency_s() - 0.002).abs() < 1e-12);
+        }
+
+        // Repair observed at t=5ms, effective at 7ms: original restored.
+        rc.on_link_event(&topo, failed, true, SimTime::from_millis(5));
+        let mut pkt = probe(as1, as3, SimTime::from_millis(8));
+        rc.ingress(&topo, as1, &mut pkt).unwrap();
+        assert_eq!(pkt.route.as_ref().unwrap().route_id, original.route_id);
+        // Reverting is not another "recovery".
+        assert_eq!(log.lock().unwrap().flows.len(), 1);
+    }
+
+    #[test]
+    fn unaffected_routes_keep_their_ids() {
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as2 = topo.expect("AS2");
+        let as3 = topo.expect("AS3");
+        let mut rc = RecoveringController::new(RecoveryConfig::default());
+        rc.install_route(&topo, as1, as3, &Protection::None)
+            .unwrap();
+        let other = rc
+            .install_route(&topo, as2, as3, &Protection::None)
+            .unwrap();
+        // AS2's shortest path (SW23, SW17, SW37, SW29) does not cross
+        // SW7-SW13.
+        rc.on_link_event(&topo, topo.expect_link("SW7", "SW13"), false, SimTime::ZERO);
+        let mut pkt = probe(as2, as3, SimTime::from_millis(10));
+        rc.ingress(&topo, as2, &mut pkt).unwrap();
+        assert_eq!(pkt.route.as_ref().unwrap().route_id, other.route_id);
+        assert!(rc.log_handle().lock().unwrap().flows.is_empty());
+    }
+
+    #[test]
+    fn keeps_the_original_id_when_no_detour_exists() {
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let uplink = topo.expect_link("AS1", "SW10");
+        let mut rc = RecoveringController::new(RecoveryConfig::default());
+        let original = rc
+            .install_route(&topo, as1, as3, &Protection::None)
+            .unwrap();
+        // AS1's only uplink fails: no alternative path exists.
+        rc.on_link_event(&topo, uplink, false, SimTime::ZERO);
+        let mut pkt = probe(as1, as3, SimTime::from_millis(10));
+        rc.ingress(&topo, as1, &mut pkt).unwrap();
+        assert_eq!(pkt.route.as_ref().unwrap().route_id, original.route_id);
+        assert!(rc.log_handle().lock().unwrap().flows.is_empty());
+    }
+}

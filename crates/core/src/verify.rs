@@ -1,0 +1,805 @@
+//! Exhaustive resilience verification of encoded routes.
+//!
+//! Simulation samples one random trajectory per packet; this module
+//! explores *all* of them. A packet inside the core is fully described
+//! by `(switch, input port, deflected-flag)` — KAR cores are stateless,
+//! so the forwarding relation over those states is finite and can be
+//! enumerated. [`verify_route`] builds that state graph for one encoded
+//! route under one failure set, mirroring [`KarForwarder`]'s decision
+//! procedure choice-for-choice (residue first, then the technique's
+//! deflection candidate set), and classifies what can happen to a
+//! packet:
+//!
+//! * [`Outcome::Delivered`] — every trajectory reaches the destination.
+//! * [`Outcome::WrongEdge`] — no trajectory is lost in the core, but
+//!   some surface at a different edge (rescued by the paper's §2.1
+//!   controller re-encoding, at a latency cost).
+//! * [`Outcome::TtlExceeded`] — a cycle exists but every cycle state can
+//!   still escape: random deflection delivers with probability 1, yet a
+//!   finite TTL may expire first.
+//! * [`Outcome::Blackhole`] — some trajectory reaches a switch that must
+//!   drop (witnessed by a concrete hop sequence).
+//! * [`Outcome::Loop`] — a set of states exists that a packet can enter
+//!   but never leave (an inescapable forwarding loop, witnessed by the
+//!   cycle's switches). Deterministic techniques (`None`, and NIP at
+//!   degree-2 switches) are the ones that can trap like this.
+//!
+//! [`verify_single_failures`] sweeps every ordered edge pair and every
+//! single-link failure — the paper's k=1 resilience claim, checked
+//! exhaustively instead of by sampling.
+//!
+//! [`KarForwarder`]: crate::KarForwarder
+
+use crate::cache::EncodingCache;
+use crate::controller::bfs_avoiding;
+use crate::deflect::DeflectionTechnique;
+use crate::error::KarError;
+use crate::protection::Protection;
+use crate::route::EncodedRoute;
+use kar_topology::{paths, LinkId, NodeId, PortIx, Topology};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// A packet's complete core-network state: where it is, where it came
+/// from, and whether it has ever been deflected (the only bit of header
+/// state the techniques consult).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct State {
+    node: NodeId,
+    in_port: PortIx,
+    deflected: bool,
+}
+
+/// What can terminate a trajectory at one state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Terminal {
+    Delivered,
+    WrongEdge(NodeId),
+    Drop,
+}
+
+/// Classification of one `(route, failure set)` case, strongest
+/// applicable label wins: `Loop > Blackhole > TtlExceeded > WrongEdge >
+/// Delivered`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Outcome {
+    /// Every trajectory ends at the destination edge, cycle-free.
+    Delivered,
+    /// No loss possible, but some trajectories exit at a non-destination
+    /// edge (controller rescue needed).
+    WrongEdge,
+    /// Cycles exist but all are escapable: delivery with probability 1,
+    /// modulo TTL.
+    TtlExceeded,
+    /// Some trajectory ends in a forced drop inside the core.
+    Blackhole,
+    /// Some reachable states form an inescapable forwarding loop.
+    Loop,
+}
+
+impl Outcome {
+    /// `true` for the outcomes where no packet is ever lost in the core
+    /// (delivery to *an* edge is certain).
+    pub fn is_lossless(self) -> bool {
+        matches!(self, Outcome::Delivered | Outcome::WrongEdge)
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Outcome::Delivered => "delivered",
+            Outcome::WrongEdge => "wrong-edge",
+            Outcome::TtlExceeded => "ttl-exceeded",
+            Outcome::Blackhole => "blackhole",
+            Outcome::Loop => "loop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything [`verify_route`] learned about one case.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// The overall classification (see [`Outcome`] precedence).
+    pub outcome: Outcome,
+    /// Some trajectory reaches the destination.
+    pub can_deliver: bool,
+    /// Some trajectory surfaces at a non-destination edge.
+    pub can_wrong_edge: bool,
+    /// Some trajectory ends in a forced drop.
+    pub can_blackhole: bool,
+    /// The state graph contains a cycle (escapable or not).
+    pub has_cycle: bool,
+    /// Reachable `(switch, in-port, deflected)` states explored.
+    pub states: usize,
+    /// For [`Outcome::Loop`]: the switches of one inescapable cycle.
+    pub loop_witness: Option<Vec<NodeId>>,
+    /// For blackholes: the hop sequence (source edge to the dropping
+    /// switch) of one trajectory that dies.
+    pub blackhole_witness: Option<Vec<NodeId>>,
+}
+
+/// All moves the technique allows from one state. Mirrors
+/// [`crate::KarForwarder`]: residue first, then the deflection candidate
+/// set (core-facing ports preferred for AVP/NIP, input port excluded for
+/// NIP, unrestricted for hot-potato's random walk).
+fn possible_moves(
+    topo: &Topology,
+    route: &EncodedRoute,
+    technique: DeflectionTechnique,
+    failed: &HashSet<LinkId>,
+    state: State,
+) -> Result<Vec<(PortIx, bool)>, Terminal> {
+    let node = topo.node(state.node);
+    let switch_id = node
+        .kind
+        .switch_id()
+        .expect("possible_moves is only called on core switches");
+    let port_up = |p: PortIx| {
+        node.ports
+            .get(p as usize)
+            .map(|l| !failed.contains(l))
+            .unwrap_or(false)
+    };
+    let computed = route.port_at(switch_id);
+    let residue_ok =
+        |exclude_input: bool| port_up(computed) && !(exclude_input && computed == state.in_port);
+    // The deflection candidate set of `random_port`: healthy ports minus
+    // `exclude`, restricted to core-facing ports when any exist and the
+    // technique prefers them.
+    let deflection_set = |exclude: Option<PortIx>, prefer_core: bool| -> Vec<(PortIx, bool)> {
+        let healthy: Vec<PortIx> = (0..node.ports.len() as PortIx)
+            .filter(|&p| port_up(p) && Some(p) != exclude)
+            .collect();
+        let core: Vec<PortIx> = if prefer_core {
+            healthy
+                .iter()
+                .copied()
+                .filter(|&p| {
+                    let link = node.ports[p as usize];
+                    topo.switch_id(topo.link(link).peer_of(state.node))
+                        .is_some()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let candidates = if core.is_empty() { healthy } else { core };
+        candidates.into_iter().map(|p| (p, true)).collect()
+    };
+    let moves = match technique {
+        DeflectionTechnique::None => {
+            if residue_ok(false) {
+                vec![(computed, state.deflected)]
+            } else {
+                Vec::new()
+            }
+        }
+        DeflectionTechnique::HotPotato => {
+            if state.deflected {
+                deflection_set(None, false)
+            } else if residue_ok(false) {
+                vec![(computed, false)]
+            } else {
+                deflection_set(None, false)
+            }
+        }
+        DeflectionTechnique::Avp => {
+            if residue_ok(false) {
+                vec![(computed, state.deflected)]
+            } else {
+                deflection_set(None, true)
+            }
+        }
+        DeflectionTechnique::Nip => {
+            if residue_ok(true) {
+                vec![(computed, state.deflected)]
+            } else {
+                deflection_set(Some(state.in_port), true)
+            }
+        }
+    };
+    if moves.is_empty() {
+        Err(Terminal::Drop)
+    } else {
+        Ok(moves)
+    }
+}
+
+/// Where taking `port` from `state.node` lands: a successor state or a
+/// terminal (an edge node).
+fn step(
+    topo: &Topology,
+    dst: NodeId,
+    from: NodeId,
+    port: PortIx,
+    deflected: bool,
+) -> Result<State, Terminal> {
+    let link = topo.node(from).ports[port as usize];
+    let peer = topo.link(link).peer_of(from);
+    if topo.switch_id(peer).is_none() {
+        return Err(if peer == dst {
+            Terminal::Delivered
+        } else {
+            Terminal::WrongEdge(peer)
+        });
+    }
+    Ok(State {
+        node: peer,
+        in_port: topo.link(link).port_on(peer),
+        deflected,
+    })
+}
+
+/// Exhaustively classifies one encoded route under one failure set.
+///
+/// `src`/`dst` are the ingress and destination edges; the packet enters
+/// the core through `route.uplink` exactly as the edge logic would send
+/// it.
+pub fn verify_route(
+    topo: &Topology,
+    route: &EncodedRoute,
+    src: NodeId,
+    dst: NodeId,
+    technique: DeflectionTechnique,
+    failed: &HashSet<LinkId>,
+) -> VerifyReport {
+    let mut report = VerifyReport {
+        outcome: Outcome::Delivered,
+        can_deliver: false,
+        can_wrong_edge: false,
+        can_blackhole: false,
+        has_cycle: false,
+        states: 0,
+        loop_witness: None,
+        blackhole_witness: None,
+    };
+    // The edge transmits blindly into its uplink; a failed uplink kills
+    // every packet of the flow at hop zero.
+    let uplink = topo.node(src).ports[route.uplink as usize];
+    if failed.contains(&uplink) {
+        report.can_blackhole = true;
+        report.outcome = Outcome::Blackhole;
+        report.blackhole_witness = Some(vec![src]);
+        return report;
+    }
+    let first = topo.link(uplink).peer_of(src);
+    debug_assert!(
+        topo.switch_id(first).is_some(),
+        "uplink peer is a core switch"
+    );
+    let initial = State {
+        node: first,
+        in_port: topo.link(uplink).port_on(first),
+        deflected: false,
+    };
+
+    // Reachability sweep, recording the move relation and a predecessor
+    // per state for witness reconstruction.
+    let mut index: HashMap<State, usize> = HashMap::new();
+    let mut states: Vec<State> = Vec::new();
+    let mut succs: Vec<Vec<usize>> = Vec::new();
+    let mut terminal_drop: Vec<bool> = Vec::new();
+    let mut escapes: Vec<bool> = Vec::new(); // has an edge to a terminal
+    let mut pred: Vec<Option<usize>> = Vec::new();
+    let mut queue = VecDeque::new();
+    index.insert(initial, 0);
+    states.push(initial);
+    succs.push(Vec::new());
+    terminal_drop.push(false);
+    escapes.push(false);
+    pred.push(None);
+    queue.push_back(0usize);
+    while let Some(i) = queue.pop_front() {
+        let state = states[i];
+        match possible_moves(topo, route, technique, failed, state) {
+            Err(Terminal::Drop) => {
+                terminal_drop[i] = true;
+                report.can_blackhole = true;
+            }
+            Err(_) => unreachable!("possible_moves only yields Drop terminals"),
+            Ok(moves) => {
+                for (port, deflected) in moves {
+                    match step(topo, dst, state.node, port, deflected) {
+                        Err(Terminal::Delivered) => {
+                            report.can_deliver = true;
+                            escapes[i] = true;
+                        }
+                        Err(Terminal::WrongEdge(_)) => {
+                            report.can_wrong_edge = true;
+                            escapes[i] = true;
+                        }
+                        Err(Terminal::Drop) => unreachable!("step never drops"),
+                        Ok(next) => {
+                            let j = *index.entry(next).or_insert_with(|| {
+                                states.push(next);
+                                succs.push(Vec::new());
+                                terminal_drop.push(false);
+                                escapes.push(false);
+                                pred.push(Some(i));
+                                queue.push_back(states.len() - 1);
+                                states.len() - 1
+                            });
+                            if !succs[i].contains(&j) {
+                                succs[i].push(j);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report.states = states.len();
+
+    if report.can_blackhole && report.blackhole_witness.is_none() {
+        let die = (0..states.len())
+            .find(|&i| terminal_drop[i])
+            .expect("drop state exists");
+        let mut path = Vec::new();
+        let mut cur = Some(die);
+        while let Some(i) = cur {
+            path.push(states[i].node);
+            cur = pred[i];
+        }
+        path.push(src);
+        path.reverse();
+        report.blackhole_witness = Some(path);
+    }
+
+    // Cycle and trap analysis on the inter-state relation. An SCC is a
+    // trap when no member can drop (that would be a blackhole, reported
+    // above), escape to an edge, or step outside the SCC.
+    let sccs = tarjan_sccs(&succs);
+    let mut scc_of = vec![0usize; states.len()];
+    for (sid, scc) in sccs.iter().enumerate() {
+        for &i in scc {
+            scc_of[i] = sid;
+        }
+    }
+    for (sid, scc) in sccs.iter().enumerate() {
+        let cyclic = scc.len() > 1 || (scc.len() == 1 && succs[scc[0]].contains(&scc[0]));
+        if !cyclic {
+            continue;
+        }
+        report.has_cycle = true;
+        let trapped = scc.iter().all(|&i| {
+            !terminal_drop[i] && !escapes[i] && succs[i].iter().all(|&j| scc_of[j] == sid)
+        });
+        if trapped && report.loop_witness.is_none() {
+            report.loop_witness = Some(loop_witness(&states, &succs, scc));
+        }
+    }
+
+    report.outcome = if report.loop_witness.is_some() {
+        Outcome::Loop
+    } else if report.can_blackhole {
+        Outcome::Blackhole
+    } else if report.has_cycle {
+        Outcome::TtlExceeded
+    } else if report.can_wrong_edge {
+        Outcome::WrongEdge
+    } else {
+        debug_assert!(report.can_deliver, "acyclic, lossless, on-target graph");
+        Outcome::Delivered
+    };
+    report
+}
+
+/// One concrete cycle through a trap SCC, as the switches visited.
+fn loop_witness(states: &[State], succs: &[Vec<usize>], scc: &[usize]) -> Vec<NodeId> {
+    let members: HashSet<usize> = scc.iter().copied().collect();
+    let start = scc[0];
+    let mut seen = HashMap::new();
+    let mut order = Vec::new();
+    let mut cur = start;
+    loop {
+        if let Some(&at) = seen.get(&cur) {
+            return order[at..]
+                .iter()
+                .map(|&i: &usize| states[i].node)
+                .collect();
+        }
+        seen.insert(cur, order.len());
+        order.push(cur);
+        cur = *succs[cur]
+            .iter()
+            .find(|j| members.contains(j))
+            .expect("trap SCC members stay inside the SCC");
+    }
+}
+
+/// Iterative Tarjan strongly-connected components (indices into the
+/// state arrays). Iterative because NIP walks on larger topologies can
+/// produce graphs deeper than the default stack would like.
+fn tarjan_sccs(succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = succs.len();
+    let mut idx = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut sccs = Vec::new();
+    let mut counter = 0usize;
+    // (node, next successor position)
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if idx[root] != usize::MAX {
+            continue;
+        }
+        call.push((root, 0));
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if *pos == 0 {
+                idx[v] = counter;
+                low[v] = counter;
+                counter += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = succs[v].get(*pos) {
+                *pos += 1;
+                if idx[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(idx[w]);
+                }
+            } else {
+                if low[v] == idx[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// One entry of a [`verify_single_failures`] sweep.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Ingress edge.
+    pub src: NodeId,
+    /// Destination edge.
+    pub dst: NodeId,
+    /// The single failed link.
+    pub failed: LinkId,
+    /// `true` when the failure physically disconnects `src` from `dst` —
+    /// no scheme can deliver; not counted as a resilience violation.
+    pub disconnected: bool,
+    /// The exhaustive classification.
+    pub report: VerifyReport,
+}
+
+/// Exhaustively verifies every ordered edge pair of `topo` against every
+/// single-link failure (the k=1 sweep), with shortest-path routes under
+/// `protection`.
+///
+/// # Errors
+///
+/// Propagates route-encoding errors ([`KarError`]); unreachable pairs on
+/// the *intact* topology are skipped, not errors.
+pub fn verify_single_failures(
+    topo: &Topology,
+    technique: DeflectionTechnique,
+    protection: &Protection,
+    cache: &EncodingCache,
+) -> Result<Vec<CaseResult>, KarError> {
+    let edges = topo.edge_nodes();
+    let mut out = Vec::new();
+    for &src in &edges {
+        for &dst in &edges {
+            if src == dst {
+                continue;
+            }
+            let Some(primary) = paths::bfs_shortest_path(topo, src, dst) else {
+                continue;
+            };
+            let route = cache.encode_with_protection(topo, primary, protection)?;
+            for link in 0..topo.link_count() {
+                let link = LinkId(link);
+                let failed: HashSet<LinkId> = [link].into_iter().collect();
+                let disconnected = bfs_avoiding(topo, src, dst, &failed).is_none();
+                let report = verify_route(topo, &route, src, dst, technique, &failed);
+                out.push(CaseResult {
+                    src,
+                    dst,
+                    failed: link,
+                    disconnected,
+                    report,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Aggregate view of a sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifySummary {
+    /// Cases verified.
+    pub total: usize,
+    /// Count per outcome, in [`Outcome`] order (delivered, wrong-edge,
+    /// ttl-exceeded, blackhole, loop).
+    pub by_outcome: [usize; 5],
+    /// Cases where the failure disconnected the pair.
+    pub disconnected: usize,
+    /// Connected cases classified blackhole or loop — the failures the
+    /// scheme does not survive.
+    pub violations: usize,
+}
+
+impl VerifySummary {
+    /// Count for one outcome.
+    pub fn count(&self, outcome: Outcome) -> usize {
+        self.by_outcome[outcome as usize]
+    }
+}
+
+/// Folds sweep results into counts; `violations` are connected cases
+/// that still black-hole or loop.
+pub fn summarize(results: &[CaseResult]) -> VerifySummary {
+    let mut s = VerifySummary {
+        total: results.len(),
+        ..VerifySummary::default()
+    };
+    for case in results {
+        s.by_outcome[case.report.outcome as usize] += 1;
+        if case.disconnected {
+            s.disconnected += 1;
+        } else if matches!(case.report.outcome, Outcome::Blackhole | Outcome::Loop) {
+            s.violations += 1;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflect::KarForwarder;
+    use crate::route::RouteSpec;
+    use kar_simnet::{ForwardDecision, Forwarder, Packet, RouteTag, SwitchCtx};
+    use kar_topology::topo15;
+
+    #[test]
+    fn intact_primary_route_is_delivered() {
+        let topo = topo15::build();
+        let primary = topo15::primary_route(&topo);
+        let route = EncodedRoute::encode(&topo, &RouteSpec::unprotected(primary)).unwrap();
+        let (src, dst) = (topo.expect("AS1"), topo.expect("AS3"));
+        for technique in DeflectionTechnique::ALL {
+            let report = verify_route(&topo, &route, src, dst, technique, &HashSet::new());
+            assert_eq!(report.outcome, Outcome::Delivered, "{technique}");
+            assert_eq!(report.states, 4, "{technique}: one state per hop");
+        }
+    }
+
+    #[test]
+    fn no_deflection_blackholes_with_witness() {
+        let topo = topo15::build();
+        let primary = topo15::primary_route(&topo);
+        let route = EncodedRoute::encode(&topo, &RouteSpec::unprotected(primary)).unwrap();
+        let (src, dst) = (topo.expect("AS1"), topo.expect("AS3"));
+        let failed: HashSet<LinkId> = [topo.expect_link("SW7", "SW13")].into_iter().collect();
+        let report = verify_route(&topo, &route, src, dst, DeflectionTechnique::None, &failed);
+        assert_eq!(report.outcome, Outcome::Blackhole);
+        let witness = report.blackhole_witness.unwrap();
+        assert_eq!(
+            witness,
+            vec![src, topo.expect("SW10"), topo.expect("SW7")],
+            "dies at SW7, upstream of the failure"
+        );
+    }
+
+    #[test]
+    fn failed_uplink_is_an_immediate_blackhole() {
+        let topo = topo15::build();
+        let primary = topo15::primary_route(&topo);
+        let route = EncodedRoute::encode(&topo, &RouteSpec::unprotected(primary)).unwrap();
+        let (src, dst) = (topo.expect("AS1"), topo.expect("AS3"));
+        let failed: HashSet<LinkId> = [topo.expect_link("AS1", "SW10")].into_iter().collect();
+        for technique in DeflectionTechnique::ALL {
+            let report = verify_route(&topo, &route, src, dst, technique, &failed);
+            assert_eq!(report.outcome, Outcome::Blackhole, "{technique}");
+            assert_eq!(report.blackhole_witness, Some(vec![src]));
+        }
+    }
+
+    #[test]
+    fn protected_nip_survives_all_paper_failures() {
+        // The §3 scenario, proven instead of sampled: NIP + full
+        // protection delivers every trajectory for each Fig. 4 failure.
+        let topo = topo15::build();
+        let primary = topo15::primary_route(&topo);
+        let cache = EncodingCache::new();
+        let route = cache
+            .encode_with_protection(&topo, primary, &Protection::AutoFull)
+            .unwrap();
+        let (src, dst) = (topo.expect("AS1"), topo.expect("AS3"));
+        for (a, b) in topo15::FAILURE_LOCATIONS {
+            let failed: HashSet<LinkId> = [topo.expect_link(a, b)].into_iter().collect();
+            let report = verify_route(&topo, &route, src, dst, DeflectionTechnique::Nip, &failed);
+            assert!(
+                report.outcome.is_lossless(),
+                "{a}-{b}: {:?}",
+                report.outcome
+            );
+            assert!(report.can_deliver);
+        }
+    }
+
+    /// The verifier's move relation must match the sampled dataplane: at
+    /// every reachable state the set of ports `KarForwarder` can emit
+    /// over many RNG draws equals the verifier's `possible_moves`.
+    #[test]
+    fn moves_match_the_sampled_forwarder() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let topo = topo15::build();
+        let primary = topo15::primary_route(&topo);
+        let cache = EncodingCache::new();
+        let route = cache
+            .encode_with_protection(&topo, primary, &Protection::AutoFull)
+            .unwrap();
+        let failed: HashSet<LinkId> = [topo.expect_link("SW7", "SW13")].into_iter().collect();
+        let mut rng = StdRng::seed_from_u64(77);
+        for technique in DeflectionTechnique::ALL {
+            let mut fwd = KarForwarder::new(technique);
+            for node in topo.core_nodes() {
+                let ports = topo.node(node).ports.clone();
+                let statuses: Vec<bool> = ports.iter().map(|l| !failed.contains(l)).collect();
+                for in_port in 0..ports.len() as PortIx {
+                    for deflected in [false, true] {
+                        let state = State {
+                            node,
+                            in_port,
+                            deflected,
+                        };
+                        let expected = possible_moves(&topo, &route, technique, &failed, state);
+                        let mut sampled = HashSet::new();
+                        let mut dropped = false;
+                        for _ in 0..200 {
+                            let mut tag = RouteTag::new(route.route_id.clone());
+                            tag.deflected = deflected;
+                            let mut pkt = Packet {
+                                id: 0,
+                                flow: kar_simnet::FlowId(0),
+                                seq: 0,
+                                kind: kar_simnet::PacketKind::Probe,
+                                size_bytes: 64,
+                                src: NodeId(0),
+                                dst: NodeId(1),
+                                route: Some(tag),
+                                ttl: 64,
+                                hops: 0,
+                                deflections: 0,
+                                created: kar_simnet::SimTime::ZERO,
+                            };
+                            let ctx = SwitchCtx {
+                                topo: &topo,
+                                node,
+                                switch_id: topo.switch_id(node).unwrap(),
+                                in_port: Some(in_port),
+                                ports: &statuses,
+                                now: kar_simnet::SimTime::ZERO,
+                            };
+                            match fwd.forward(&ctx, &mut pkt, &mut rng) {
+                                ForwardDecision::Output(p) => {
+                                    sampled.insert(p);
+                                }
+                                ForwardDecision::Drop(_) => dropped = true,
+                            }
+                        }
+                        match expected {
+                            Err(Terminal::Drop) => {
+                                assert!(
+                                    dropped && sampled.is_empty(),
+                                    "{technique} at {node:?}/{in_port}/{deflected}"
+                                );
+                            }
+                            Err(_) => unreachable!(),
+                            Ok(moves) => {
+                                let ports: HashSet<PortIx> =
+                                    moves.iter().map(|&(p, _)| p).collect();
+                                assert!(!dropped, "{technique} at {node:?}/{in_port}");
+                                assert_eq!(
+                                    sampled, ports,
+                                    "{technique} at {node:?}/{in_port}/{deflected}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_violations() {
+        let topo = topo15::build();
+        let cache = EncodingCache::new();
+        let results =
+            verify_single_failures(&topo, DeflectionTechnique::None, &Protection::None, &cache)
+                .unwrap();
+        // 3 edges → 6 ordered pairs × 22 links.
+        assert_eq!(results.len(), 6 * 22);
+        let summary = summarize(&results);
+        assert_eq!(summary.total, 132);
+        // No-deflection blackholes exactly when one of its own primary
+        // links fails — 28 primary links summed over the six pairs. The
+        // 12 edge-uplink cuts among them also disconnect the pair, so
+        // they are not counted as violations.
+        assert_eq!(summary.count(Outcome::Blackhole), 28, "{summary:?}");
+        assert_eq!(summary.violations, 16, "{summary:?}");
+        assert_eq!(
+            summary.disconnected, 12,
+            "each pair is disconnected by exactly its two edge uplinks"
+        );
+        assert_eq!(summary.count(Outcome::Loop), 0);
+    }
+
+    /// The exhaustive topo15 classification, pinned per dataplane: every
+    /// `(src, dst, single-link-failure)` case under auto-planned full
+    /// protection. These are regression anchors — a forwarder or planner
+    /// change that shifts any count must be reviewed against them.
+    ///
+    /// Notable facts the table proves:
+    ///
+    /// * **HP, AVP and NIP never lose a deliverable packet**: all 6
+    ///   blackholes (and AVP/NIP's 6 loops) are edge-uplink cuts that
+    ///   physically disconnect the pair — violations are 0.
+    /// * **NIP dominates**: 120 delivered with no TTL-exceeded tail; HP
+    ///   random-walks into 22 TTL-bounded wanderings, AVP into 10.
+    /// * Without deflection, 16 survivable failures blackhole.
+    #[test]
+    fn exhaustive_topo15_classification_is_pinned() {
+        let topo = topo15::build();
+        let cache = EncodingCache::new();
+        // (technique, delivered, ttl, blackhole, loop, violations)
+        let expected = [
+            (DeflectionTechnique::None, 104, 0, 28, 0, 16),
+            (DeflectionTechnique::HotPotato, 104, 22, 6, 0, 0),
+            (DeflectionTechnique::Avp, 110, 10, 6, 6, 0),
+            (DeflectionTechnique::Nip, 120, 0, 6, 6, 0),
+        ];
+        for (technique, delivered, ttl, blackhole, looped, violations) in expected {
+            let results =
+                verify_single_failures(&topo, technique, &Protection::AutoFull, &cache).unwrap();
+            let s = summarize(&results);
+            assert_eq!(s.total, 132, "{technique}");
+            assert_eq!(s.count(Outcome::Delivered), delivered, "{technique}: {s:?}");
+            assert_eq!(s.count(Outcome::WrongEdge), 0, "{technique}: {s:?}");
+            assert_eq!(s.count(Outcome::TtlExceeded), ttl, "{technique}: {s:?}");
+            assert_eq!(s.count(Outcome::Blackhole), blackhole, "{technique}: {s:?}");
+            assert_eq!(s.count(Outcome::Loop), looped, "{technique}: {s:?}");
+            assert_eq!(s.disconnected, 12, "{technique}: {s:?}");
+            assert_eq!(s.violations, violations, "{technique}: {s:?}");
+            // The resilience guarantee, stated directly: every connected
+            // case under a deflecting dataplane ends lossless or
+            // TTL-bounded — never a blackhole, never a loop.
+            if technique != DeflectionTechnique::None {
+                for case in results.iter().filter(|c| !c.disconnected) {
+                    assert!(
+                        !matches!(case.report.outcome, Outcome::Blackhole | Outcome::Loop),
+                        "{technique}: {:?} -> {:?} failing {:?}: {:?}",
+                        case.src,
+                        case.dst,
+                        case.failed,
+                        case.report.outcome
+                    );
+                }
+            }
+        }
+    }
+}

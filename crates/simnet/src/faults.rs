@@ -1,0 +1,564 @@
+//! Deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] is a declarative description of a dynamic failure
+//! process — one-shot failures and repairs, flap trains, correlated
+//! SRLG group failures, node crashes — that compiles into a concrete,
+//! sorted list of [`FaultEvent`]s and schedules them on a [`Sim`].
+//! Compilation is a pure function of `(plan, topology)`: all jitter is
+//! drawn from a `StdRng` seeded by the plan's own seed, so the same
+//! plan replayed on the same topology yields byte-identical schedules
+//! regardless of which worker thread runs it.
+
+use crate::sim::Sim;
+use crate::time::SimTime;
+use kar_topology::{LinkId, NodeId, NodeKind, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// One authored clause of a plan (expanded by [`FaultPlan::compile`]).
+#[derive(Debug, Clone)]
+enum Clause {
+    Down {
+        link: LinkId,
+        at: SimTime,
+    },
+    Up {
+        link: LinkId,
+        at: SimTime,
+    },
+    Flap {
+        link: LinkId,
+        start: SimTime,
+        period: SimTime,
+        duty: f64,
+        cycles: u32,
+    },
+    Group {
+        links: Vec<LinkId>,
+        at: SimTime,
+        repair_after: Option<SimTime>,
+    },
+    NodeCrash {
+        node: NodeId,
+        at: SimTime,
+        repair_after: Option<SimTime>,
+    },
+}
+
+/// One concrete scheduled link transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the physical transition happens.
+    pub at: SimTime,
+    /// The affected link.
+    pub link: LinkId,
+    /// `true` = repair (link up), `false` = failure (link down).
+    pub up: bool,
+    /// Detection delay for this transition; `None` uses the sim default.
+    pub detection: Option<SimTime>,
+}
+
+/// A seeded, declarative fault schedule.
+///
+/// Build clauses with the fluent methods, then [`FaultPlan::apply`] the
+/// plan to a simulation (or [`FaultPlan::compile`] it to inspect the
+/// event train). Overlapping clauses are safe: the engine treats a
+/// `down` on an already-down link (and an `up` on an up link) as a
+/// no-op.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    detection: Option<SimTime>,
+    detection_jitter: SimTime,
+    clauses: Vec<Clause>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan; `seed` drives every random draw the plan
+    /// makes (detection jitter, SRLG sampling helpers).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            detection: None,
+            detection_jitter: SimTime::ZERO,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Sets the base detection delay stamped on every compiled event
+    /// (without this, events use the sim's configured default).
+    pub fn with_detection(mut self, base: SimTime) -> Self {
+        self.detection = Some(base);
+        self
+    }
+
+    /// Adds a uniformly drawn `[0, max]` jitter on top of the base
+    /// detection delay, per transition. Implies a base of zero if
+    /// [`FaultPlan::with_detection`] was not called.
+    pub fn with_detection_jitter(mut self, max: SimTime) -> Self {
+        self.detection_jitter = max;
+        self
+    }
+
+    /// Fails `link` at `at` (permanently, unless repaired later).
+    pub fn fail(mut self, link: LinkId, at: SimTime) -> Self {
+        self.clauses.push(Clause::Down { link, at });
+        self
+    }
+
+    /// Repairs `link` at `at`.
+    pub fn repair(mut self, link: LinkId, at: SimTime) -> Self {
+        self.clauses.push(Clause::Up { link, at });
+        self
+    }
+
+    /// Fails `link` at `at` and repairs it `duration` later.
+    pub fn fail_for(self, link: LinkId, at: SimTime, duration: SimTime) -> Self {
+        self.fail(link, at).repair(link, at + duration)
+    }
+
+    /// Adds a flap train on `link`: `cycles` repetitions of
+    /// down-at-`start + i·period`, up after `duty · period` (the duty
+    /// cycle is the *down* fraction, clamped inside the period).
+    pub fn flap(
+        mut self,
+        link: LinkId,
+        start: SimTime,
+        period: SimTime,
+        duty: f64,
+        cycles: u32,
+    ) -> Self {
+        assert!(period > SimTime::ZERO, "flap period must be positive");
+        assert!(
+            (0.0..=1.0).contains(&duty),
+            "duty cycle must be in [0, 1], got {duty}"
+        );
+        self.clauses.push(Clause::Flap {
+            link,
+            start,
+            period,
+            duty,
+            cycles,
+        });
+        self
+    }
+
+    /// Fails every link of a shared-risk group atomically at `at`, and
+    /// repairs the whole group `repair_after` later if given.
+    pub fn srlg(mut self, links: Vec<LinkId>, at: SimTime, repair_after: Option<SimTime>) -> Self {
+        self.clauses.push(Clause::Group {
+            links,
+            at,
+            repair_after,
+        });
+        self
+    }
+
+    /// Crashes `node` at `at`: all its incident links go down
+    /// atomically. If `repair_after` is given, the node (all links)
+    /// comes back that much later.
+    pub fn node_crash(mut self, node: NodeId, at: SimTime, repair_after: Option<SimTime>) -> Self {
+        self.clauses.push(Clause::NodeCrash {
+            node,
+            at,
+            repair_after,
+        });
+        self
+    }
+
+    /// Expands every clause into a time-sorted event train. Pure: the
+    /// same `(plan, topo)` always compiles to the same events.
+    pub fn compile(&self, topo: &Topology) -> Vec<FaultEvent> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut events = Vec::new();
+        for clause in &self.clauses {
+            match clause {
+                Clause::Down { link, at } => events.push((*at, *link, false)),
+                Clause::Up { link, at } => events.push((*at, *link, true)),
+                Clause::Flap {
+                    link,
+                    start,
+                    period,
+                    duty,
+                    cycles,
+                } => {
+                    // Keep the up transition strictly inside the period so
+                    // every cycle has both a down and an up window.
+                    let down_ns =
+                        (((period.0 as f64) * duty).round() as u64).clamp(1, period.0.max(2) - 1);
+                    for i in 0..*cycles {
+                        let down_at = *start + SimTime(period.0 * i as u64);
+                        events.push((down_at, *link, false));
+                        events.push((down_at + SimTime(down_ns), *link, true));
+                    }
+                }
+                Clause::Group {
+                    links,
+                    at,
+                    repair_after,
+                } => {
+                    for &l in links {
+                        events.push((*at, l, false));
+                    }
+                    if let Some(after) = repair_after {
+                        for &l in links {
+                            events.push((*at + *after, l, true));
+                        }
+                    }
+                }
+                Clause::NodeCrash {
+                    node,
+                    at,
+                    repair_after,
+                } => {
+                    for &l in &topo.node(*node).ports {
+                        events.push((*at, l, false));
+                    }
+                    if let Some(after) = repair_after {
+                        for &l in &topo.node(*node).ports {
+                            events.push((*at + *after, l, true));
+                        }
+                    }
+                }
+            }
+        }
+        let mut events: Vec<FaultEvent> = events
+            .into_iter()
+            .map(|(at, link, up)| FaultEvent {
+                at,
+                link,
+                up,
+                detection: self.detection_for(&mut rng),
+            })
+            .collect();
+        // Stable: simultaneous events keep clause order.
+        events.sort_by_key(|e| e.at);
+        events
+    }
+
+    /// Compiles the plan against the sim's topology and schedules every
+    /// event; returns the compiled train for inspection.
+    pub fn apply(&self, sim: &mut Sim<'_>) -> Vec<FaultEvent> {
+        let events = self.compile(sim.topology());
+        for ev in &events {
+            match (ev.up, ev.detection) {
+                (false, None) => sim.schedule_link_down(ev.at, ev.link),
+                (false, Some(d)) => sim.schedule_link_down_detected(ev.at, ev.link, d),
+                (true, None) => sim.schedule_link_up(ev.at, ev.link),
+                (true, Some(d)) => sim.schedule_link_up_detected(ev.at, ev.link, d),
+            }
+        }
+        events
+    }
+
+    fn detection_for(&self, rng: &mut StdRng) -> Option<SimTime> {
+        if self.detection.is_none() && self.detection_jitter == SimTime::ZERO {
+            return None;
+        }
+        let base = self.detection.unwrap_or(SimTime::ZERO);
+        let jitter = if self.detection_jitter == SimTime::ZERO {
+            SimTime::ZERO
+        } else {
+            SimTime(rng.gen_range(0..=self.detection_jitter.0))
+        };
+        Some(base + jitter)
+    }
+}
+
+/// Shared-risk link groups of `topo` under the conduit/linecard model:
+/// all core–core links incident to one core switch fail together.
+/// Groups with fewer than two links are dropped (those coincide with
+/// single-link failures).
+pub fn srlg_groups(topo: &Topology) -> Vec<Vec<LinkId>> {
+    let is_core = |n: NodeId| -> bool { matches!(topo.node(n).kind, NodeKind::Core { .. }) };
+    topo.core_nodes()
+        .into_iter()
+        .map(|n| {
+            topo.node(n)
+                .ports
+                .iter()
+                .copied()
+                .filter(|&l| {
+                    let link = topo.link(l);
+                    is_core(link.a) && is_core(link.b)
+                })
+                .collect::<Vec<_>>()
+        })
+        .filter(|g| g.len() >= 2)
+        .collect()
+}
+
+/// Samples `k` distinct groups (fewer if `k > groups.len()`) and
+/// returns the sorted union of their links.
+pub fn sample_srlg_links(groups: &[Vec<LinkId>], k: usize, rng: &mut StdRng) -> Vec<LinkId> {
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    order.shuffle(rng);
+    let mut union = BTreeSet::new();
+    for &g in order.iter().take(k) {
+        union.extend(groups[g].iter().copied());
+    }
+    union.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forwarder::DropReason;
+    use crate::modulo::ModuloForwarder;
+    use crate::packet::{FlowId, PacketKind};
+    use crate::sim::SimConfig;
+    use crate::static_routes::StaticRoutes;
+    use kar_rns::{crt_encode, RnsBasis};
+    use kar_topology::{LinkParams, TopologyBuilder};
+
+    /// S — SW4 — SW7 — D with the paper's example encoding.
+    fn line_world() -> (Topology, StaticRoutes) {
+        let mut b = TopologyBuilder::new();
+        let s = b.edge("S");
+        let sw4 = b.core("SW4", 4);
+        let sw7 = b.core("SW7", 7);
+        let d = b.edge("D");
+        b.link(s, sw4, LinkParams::new(100, 10));
+        b.link(sw4, sw7, LinkParams::new(100, 10));
+        b.link(sw7, d, LinkParams::new(100, 10));
+        let topo = b.build().unwrap();
+        let basis = RnsBasis::new(vec![4, 7]).unwrap();
+        let r = crt_encode(&basis, &[1, 1]).unwrap();
+        let mut routes = StaticRoutes::new();
+        routes.insert(topo.expect("S"), topo.expect("D"), r, 0);
+        (topo, routes)
+    }
+
+    fn sim_over<'a>(topo: &'a Topology, routes: StaticRoutes, config: SimConfig) -> Sim<'a> {
+        Sim::new(
+            topo,
+            Box::new(ModuloForwarder::new()),
+            Box::new(routes),
+            config,
+        )
+    }
+
+    #[test]
+    fn flap_compiles_to_alternating_train() {
+        let (topo, _) = line_world();
+        let l = topo.expect_link("SW4", "SW7");
+        let plan =
+            FaultPlan::new(1).flap(l, SimTime::from_millis(10), SimTime::from_millis(4), 0.5, 3);
+        let evs = plan.compile(&topo);
+        assert_eq!(evs.len(), 6);
+        let expect = [
+            (10_000_000, false),
+            (12_000_000, true),
+            (14_000_000, false),
+            (16_000_000, true),
+            (18_000_000, false),
+            (20_000_000, true),
+        ];
+        for (ev, (at_ns, up)) in evs.iter().zip(expect) {
+            assert_eq!(ev.at, SimTime(at_ns));
+            assert_eq!(ev.up, up);
+            assert_eq!(ev.link, l);
+            assert_eq!(ev.detection, None);
+        }
+    }
+
+    #[test]
+    fn node_crash_downs_all_incident_links_atomically() {
+        let (topo, _) = line_world();
+        let sw4 = topo.expect("SW4");
+        let plan = FaultPlan::new(1).node_crash(
+            sw4,
+            SimTime::from_millis(5),
+            Some(SimTime::from_millis(3)),
+        );
+        let evs = plan.compile(&topo);
+        assert_eq!(evs.len(), 4); // 2 links down + 2 links up
+        assert!(evs[..2]
+            .iter()
+            .all(|e| !e.up && e.at == SimTime::from_millis(5)));
+        assert!(evs[2..]
+            .iter()
+            .all(|e| e.up && e.at == SimTime::from_millis(8)));
+    }
+
+    #[test]
+    fn compile_is_deterministic_under_jitter() {
+        let (topo, _) = line_world();
+        let l = topo.expect_link("SW4", "SW7");
+        let plan = FaultPlan::new(42)
+            .with_detection(SimTime::from_micros(500))
+            .with_detection_jitter(SimTime::from_micros(300))
+            .flap(l, SimTime::ZERO, SimTime::from_millis(2), 0.25, 8);
+        let a = plan.compile(&topo);
+        let b = plan.compile(&topo);
+        assert_eq!(a, b);
+        // Jitter actually varies across events.
+        let distinct: BTreeSet<_> = a.iter().map(|e| e.detection.unwrap().0).collect();
+        assert!(distinct.len() > 1, "jitter should vary: {distinct:?}");
+        for e in &a {
+            let d = e.detection.unwrap();
+            assert!(d >= SimTime::from_micros(500) && d <= SimTime::from_micros(800));
+        }
+    }
+
+    #[test]
+    fn replaying_a_plan_gives_identical_stats() {
+        let run = || {
+            let (topo, routes) = line_world();
+            let l = topo.expect_link("SW4", "SW7");
+            let mut sim = sim_over(&topo, routes, SimConfig::default());
+            FaultPlan::new(9)
+                .with_detection(SimTime::from_micros(100))
+                .with_detection_jitter(SimTime::from_micros(900))
+                .flap(l, SimTime::from_millis(1), SimTime::from_millis(3), 0.5, 5)
+                .apply(&mut sim);
+            for i in 0..200 {
+                sim.inject(
+                    topo.expect("S"),
+                    topo.expect("D"),
+                    FlowId(0),
+                    i,
+                    PacketKind::Probe,
+                    1000,
+                );
+            }
+            sim.run_to_quiescence();
+            sim.stats().clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn slow_detection_lags_fast_flapping_in_both_directions() {
+        // Flap period 2 ms, detection 5 ms: the observed state trails the
+        // physical state by more than a whole flap cycle, so the port
+        // reads "up" while the link is down and "down" while it is up.
+        let (topo, routes) = line_world();
+        let l = topo.expect_link("SW4", "SW7");
+        let mut sim = sim_over(&topo, routes, SimConfig::default());
+        FaultPlan::new(3)
+            .with_detection(SimTime::from_millis(5))
+            .flap(l, SimTime::from_millis(1), SimTime::from_millis(2), 0.5, 2)
+            .apply(&mut sim);
+        // Physical: down 1–2 ms, up 2–3 ms, down 3–4 ms, up from 4 ms.
+        // Observed: transitions replayed 5 ms later.
+        sim.run_until(SimTime::from_micros(1500));
+        assert!(!sim.link_is_up(l), "physically down at 1.5 ms");
+        assert!(sim.link_observed_up(l), "reads up while actually down");
+        sim.run_until(SimTime::from_micros(6500));
+        assert!(sim.link_is_up(l), "physically repaired at 6.5 ms");
+        assert!(!sim.link_observed_up(l), "reads down while actually up");
+        sim.run_until(SimTime::from_millis(10));
+        assert!(sim.link_is_up(l));
+        assert!(sim.link_observed_up(l), "observation converges eventually");
+        assert_eq!(sim.stats().link_failures, 2);
+        assert_eq!(sim.stats().link_repairs, 2);
+    }
+
+    #[test]
+    fn stale_window_drops_have_the_right_reasons() {
+        // While the link reads up but is down, SW4 forwards into the dead
+        // port → LinkFailure. While it reads down but is up, the
+        // drop-on-failure forwarder refuses the healthy port → NoRoute.
+        let (topo, routes) = line_world();
+        let l = topo.expect_link("SW4", "SW7");
+        let mut sim = sim_over(&topo, routes, SimConfig::default());
+        FaultPlan::new(3)
+            .with_detection(SimTime::from_millis(5))
+            .fail_for(l, SimTime::from_millis(1), SimTime::from_millis(2))
+            .apply(&mut sim);
+        // Injected at 1.2 ms: link physically down, still observed up.
+        sim.run_until(SimTime::from_micros(1200));
+        sim.inject(
+            topo.expect("S"),
+            topo.expect("D"),
+            FlowId(0),
+            0,
+            PacketKind::Probe,
+            500,
+        );
+        // Injected at 7 ms: link physically up (since 3 ms) but the 5 ms
+        // detection of the 1 ms failure has landed and the 3 ms repair is
+        // not observed until 8 ms.
+        sim.run_until(SimTime::from_millis(7));
+        assert!(sim.link_is_up(l));
+        assert!(!sim.link_observed_up(l));
+        sim.inject(
+            topo.expect("S"),
+            topo.expect("D"),
+            FlowId(0),
+            1,
+            PacketKind::Probe,
+            500,
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().dropped_for(DropReason::LinkFailure), 1);
+        assert_eq!(sim.stats().dropped_for(DropReason::NoRoute), 1);
+        assert_eq!(sim.stats().delivered, 0);
+        assert_eq!(sim.in_flight(), 0);
+    }
+
+    #[test]
+    fn jitter_race_resolves_to_latest_transition() {
+        // A slow failure detection racing a fast repair detection: the
+        // repair is observed first, and the stale failure report must not
+        // overwrite it.
+        let (topo, routes) = line_world();
+        let l = topo.expect_link("SW4", "SW7");
+        let mut sim = sim_over(&topo, routes, SimConfig::default());
+        sim.schedule_link_down_detected(SimTime::from_millis(1), l, SimTime::from_millis(10));
+        sim.schedule_link_up_detected(SimTime::from_millis(2), l, SimTime::from_millis(1));
+        // Repair observed at 3 ms, failure report lands at 11 ms (stale).
+        sim.run_until(SimTime::from_millis(20));
+        assert!(sim.link_is_up(l));
+        assert!(
+            sim.link_observed_up(l),
+            "stale failure detection must not shadow the newer repair"
+        );
+    }
+
+    #[test]
+    fn repaired_link_carries_traffic_again() {
+        let (topo, routes) = line_world();
+        let l = topo.expect_link("SW4", "SW7");
+        let mut sim = sim_over(&topo, routes, SimConfig::default());
+        FaultPlan::new(1)
+            .fail_for(l, SimTime::ZERO, SimTime::from_millis(1))
+            .apply(&mut sim);
+        sim.run_until(SimTime::from_millis(2));
+        sim.inject(
+            topo.expect("S"),
+            topo.expect("D"),
+            FlowId(0),
+            0,
+            PacketKind::Probe,
+            1000,
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().delivered, 1);
+        assert_eq!(sim.stats().link_failures, 1);
+        assert_eq!(sim.stats().link_repairs, 1);
+    }
+
+    #[test]
+    fn srlg_groups_and_sampling_are_deterministic() {
+        let t = kar_topology::topo15::build();
+        let groups = srlg_groups(&t);
+        assert!(!groups.is_empty());
+        for g in &groups {
+            assert!(g.len() >= 2);
+            for &l in g {
+                let link = t.link(l);
+                assert!(t.switch_id(link.a).is_some() && t.switch_id(link.b).is_some());
+            }
+        }
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let a = sample_srlg_links(&groups, 2, &mut r1);
+        let b = sample_srlg_links(&groups, 2, &mut r2);
+        assert_eq!(a, b);
+        assert!(a.len() >= 2);
+    }
+}

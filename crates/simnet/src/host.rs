@@ -7,7 +7,7 @@
 
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::time::SimTime;
-use kar_topology::{NodeId, PortIx, Topology};
+use kar_topology::{LinkId, NodeId, PortIx, Topology};
 
 /// What an application asks the engine to do, accumulated in [`HostCtx`].
 #[derive(Debug)]
@@ -122,6 +122,14 @@ pub trait EdgeLogic {
     fn egress(&mut self, topo: &Topology, edge: NodeId, pkt: &mut Packet) {
         let _ = (topo, edge);
         pkt.route = None;
+    }
+
+    /// Called when the failure detector resolves a link state change
+    /// (i.e. *after* the detection delay); `up` is the newly observed
+    /// state. The default ignores it; recovery-capable controllers
+    /// re-encode affected routes here.
+    fn on_link_event(&mut self, topo: &Topology, link: LinkId, up: bool, now: SimTime) {
+        let _ = (topo, link, up, now);
     }
 }
 

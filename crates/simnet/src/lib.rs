@@ -6,8 +6,10 @@
 //! simulator with
 //!
 //! * store-and-forward links (rate, propagation delay, drop-tail queues),
-//! * scheduled link failures observed instantly as port status (the
-//!   paper's fast local failure detection),
+//! * scheduled link failures *and repairs* observed as port status after
+//!   a (possibly jittered) detection delay, with declarative dynamic
+//!   fault processes — flap trains, SRLG groups, node crashes — via
+//!   [`FaultPlan`],
 //! * a pluggable core dataplane ([`Forwarder`] — implemented by KAR's
 //!   modulo forwarding + deflection, and by baselines),
 //! * pluggable edge logic ([`EdgeLogic`] — route-ID attachment/stripping
@@ -25,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod faults;
 mod forwarder;
 mod host;
 mod modulo;
@@ -35,6 +38,7 @@ mod stats;
 mod time;
 mod trace;
 
+pub use faults::{sample_srlg_links, srlg_groups, FaultEvent, FaultPlan};
 pub use forwarder::{DropReason, ForwardDecision, Forwarder, SwitchCtx};
 pub use host::{App, AppAction, EdgeLogic, HostCtx, RerouteDecision};
 pub use modulo::ModuloForwarder;

@@ -40,11 +40,14 @@ pub struct SimConfig {
     /// Record every packet's node path in a [`TraceLog`] (costs memory;
     /// off by default).
     pub trace_paths: bool,
-    /// How long after a link failure the adjacent switches still see the
-    /// port as up. The paper assumes instantaneous local detection
-    /// (`ZERO`, the default); real detection (loss-of-light, BFD) takes
-    /// from microseconds to tens of milliseconds, and packets forwarded
-    /// into the dead port during that window are lost.
+    /// How long the adjacent switches take to observe a link state
+    /// change, in both directions: after a failure the port still reads
+    /// up (packets forwarded into it are lost), and after a repair it
+    /// still reads down (the working port is avoided). The paper assumes
+    /// instantaneous local detection (`ZERO`, the default); real
+    /// detection (loss-of-light, BFD) takes from microseconds to tens of
+    /// milliseconds. Fault plans can override the delay per event to
+    /// model jitter.
     pub detection_delay: SimTime,
 }
 
@@ -72,10 +75,21 @@ struct DirState {
 
 #[derive(Debug, Default)]
 struct LinkState {
+    /// Physical state: a down link refuses traffic regardless of what the
+    /// adjacent switches believe.
     down: bool,
-    /// When the current failure was detected by the adjacent switches
-    /// (failure time + detection delay); ports read as up before this.
-    detected_at: Option<SimTime>,
+    /// What the adjacent switches currently believe (lags the physical
+    /// state by the detection delay, in *both* directions: a freshly
+    /// failed link still reads up, and a freshly repaired link still
+    /// reads down until the repair is detected).
+    observed_down: bool,
+    /// Bumped on every physical transition; detection events carry the
+    /// seq of the transition they observed so a stale detection (e.g. a
+    /// slow failure report racing a fast repair report under jitter)
+    /// never overwrites a newer observation.
+    change_seq: u64,
+    /// `change_seq` of the most recently applied observation.
+    observed_seq: u64,
     dirs: [DirState; 2],
 }
 
@@ -97,8 +111,22 @@ enum Event {
         node: NodeId,
         id: u64,
     },
-    LinkDown(LinkId),
-    LinkUp(LinkId),
+    LinkDown {
+        link: LinkId,
+        /// Per-event detection delay override (`None` = config default).
+        detection: Option<SimTime>,
+    },
+    LinkUp {
+        link: LinkId,
+        detection: Option<SimTime>,
+    },
+    /// The adjacent switches resolve a link state change (`down` is the
+    /// newly observed state); `seq` guards against stale observations.
+    Detect {
+        link: LinkId,
+        seq: u64,
+        down: bool,
+    },
     Reinject {
         pkt: Packet,
         node: NodeId,
@@ -210,20 +238,63 @@ impl<'t> Sim<'t> {
     }
 
     /// Schedules a link failure at `at`. Queued and serializing packets on
-    /// the link are lost; the adjacent switches see the port down
-    /// immediately after.
+    /// the link are lost; the adjacent switches see the port down after
+    /// [`SimConfig::detection_delay`].
     pub fn schedule_link_down(&mut self, at: SimTime, link: LinkId) {
-        self.push(at, Event::LinkDown(link));
+        self.push(
+            at,
+            Event::LinkDown {
+                link,
+                detection: None,
+            },
+        );
     }
 
-    /// Schedules a link repair at `at`.
+    /// Like [`Sim::schedule_link_down`] but with a per-event detection
+    /// delay (used by fault plans to jitter detection).
+    pub fn schedule_link_down_detected(&mut self, at: SimTime, link: LinkId, detection: SimTime) {
+        self.push(
+            at,
+            Event::LinkDown {
+                link,
+                detection: Some(detection),
+            },
+        );
+    }
+
+    /// Schedules a link repair at `at`. The link physically re-admits
+    /// traffic immediately; the adjacent switches keep reading the port
+    /// as down until the repair is detected.
     pub fn schedule_link_up(&mut self, at: SimTime, link: LinkId) {
-        self.push(at, Event::LinkUp(link));
+        self.push(
+            at,
+            Event::LinkUp {
+                link,
+                detection: None,
+            },
+        );
+    }
+
+    /// Like [`Sim::schedule_link_up`] but with a per-event detection
+    /// delay.
+    pub fn schedule_link_up_detected(&mut self, at: SimTime, link: LinkId, detection: SimTime) {
+        self.push(
+            at,
+            Event::LinkUp {
+                link,
+                detection: Some(detection),
+            },
+        );
     }
 
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The topology this engine runs over.
+    pub fn topology(&self) -> &'t Topology {
+        self.topo
     }
 
     /// Collected statistics.
@@ -239,9 +310,16 @@ impl<'t> Sim<'t> {
         self.in_flight
     }
 
-    /// Whether `link` is currently up.
+    /// Whether `link` is currently up (physical state).
     pub fn link_is_up(&self, link: LinkId) -> bool {
         !self.links[link.0].down
+    }
+
+    /// Whether the switches adjacent to `link` currently *observe* it as
+    /// up. Lags [`Sim::link_is_up`] by the detection delay in both
+    /// directions.
+    pub fn link_observed_up(&self, link: LinkId) -> bool {
+        !self.links[link.0].observed_down
     }
 
     /// The engine's forwarder (for post-run inspection, e.g. state-table
@@ -297,20 +375,21 @@ impl<'t> Sim<'t> {
                 cpu_done,
             } => self.on_arrive(pkt, node, in_port, cpu_done),
             Event::TxDone { link, dir, epoch } => self.on_tx_done(link, dir, epoch),
-            Event::LinkDown(link) => self.on_link_down(link),
-            Event::LinkUp(link) => {
-                self.links[link.0].down = false;
-                self.links[link.0].detected_at = None;
-            }
+            Event::LinkDown { link, detection } => self.on_link_down(link, detection),
+            Event::LinkUp { link, detection } => self.on_link_up(link, detection),
+            Event::Detect { link, seq, down } => self.apply_observation(link, seq, down),
             Event::Reinject { pkt, node, port } => self.send_out_port(node, port, pkt),
         }
     }
 
-    fn on_link_down(&mut self, link: LinkId) {
-        let detected = self.now + self.config.detection_delay;
+    fn on_link_down(&mut self, link: LinkId, detection: Option<SimTime>) {
         let ls = &mut self.links[link.0];
+        if ls.down {
+            return; // already down (overlapping fault clauses): no-op
+        }
         ls.down = true;
-        ls.detected_at = Some(detected);
+        ls.change_seq += 1;
+        let seq = ls.change_seq;
         let mut lost = 0u64;
         for dir in &mut ls.dirs {
             lost += dir.queue.len() as u64 + dir.transmitting.is_some() as u64;
@@ -322,6 +401,51 @@ impl<'t> Sim<'t> {
             self.stats.record_drop(DropReason::LinkFailure);
         }
         self.in_flight -= lost;
+        self.stats.link_failures += 1;
+        self.observe_after(link, seq, true, detection);
+    }
+
+    fn on_link_up(&mut self, link: LinkId, detection: Option<SimTime>) {
+        let ls = &mut self.links[link.0];
+        if !ls.down {
+            return; // already up: no-op
+        }
+        // Both directions were force-cleared when the link failed and the
+        // epoch bump retired any in-flight TxDone, and enqueue refuses
+        // traffic while physically down — so a repaired link re-admits
+        // packets on a clean, current-epoch channel.
+        debug_assert!(ls
+            .dirs
+            .iter()
+            .all(|d| d.queue.is_empty() && d.transmitting.is_none()));
+        ls.down = false;
+        ls.change_seq += 1;
+        let seq = ls.change_seq;
+        self.stats.link_repairs += 1;
+        self.observe_after(link, seq, false, detection);
+    }
+
+    /// Schedules (or, at zero delay, applies) the switches' observation
+    /// of a physical link transition.
+    fn observe_after(&mut self, link: LinkId, seq: u64, down: bool, detection: Option<SimTime>) {
+        let delay = detection.unwrap_or(self.config.detection_delay);
+        if delay == SimTime::ZERO {
+            self.apply_observation(link, seq, down);
+        } else {
+            let at = self.now + delay;
+            self.push(at, Event::Detect { link, seq, down });
+        }
+    }
+
+    fn apply_observation(&mut self, link: LinkId, seq: u64, down: bool) {
+        let ls = &mut self.links[link.0];
+        if seq <= ls.observed_seq {
+            return; // a newer transition was already observed (jitter race)
+        }
+        ls.observed_seq = seq;
+        ls.observed_down = down;
+        self.edge_logic
+            .on_link_event(self.topo, link, !down, self.now);
     }
 
     fn on_tx_done(&mut self, link: LinkId, dir: usize, epoch: u64) {
@@ -468,11 +592,7 @@ impl<'t> Sim<'t> {
                     .node(node)
                     .ports
                     .iter()
-                    .map(|&l| {
-                        let ls = &self.links[l.0];
-                        // A failed link reads as up until detection.
-                        !ls.down || ls.detected_at.map(|t| self.now < t).unwrap_or(false)
-                    })
+                    .map(|&l| !self.links[l.0].observed_down)
                     .collect();
                 let ctx = SwitchCtx {
                     topo,

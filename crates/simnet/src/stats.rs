@@ -7,7 +7,7 @@ use kar_topology::LinkId;
 use std::collections::{BTreeMap, HashMap};
 
 /// Per-flow delivery accounting.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FlowStats {
     /// Data/probe packets delivered to the destination edge.
     pub delivered_pkts: u64,
@@ -22,7 +22,10 @@ pub struct FlowStats {
 }
 
 /// Whole-simulation statistics.
-#[derive(Debug, Clone, Default)]
+///
+/// Implements `PartialEq` so determinism tests can assert that two runs
+/// of the same seeded scenario are byte-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {
     /// Bytes that finished serializing on each link (both directions),
     /// indexed by `LinkId` — the utilization view that exposes e.g. the
@@ -44,8 +47,16 @@ pub struct Stats {
     pub max_hops: u16,
     /// Sum of deflections over delivered packets.
     pub deflections: u64,
+    /// Delivered packets that were deflected at least once — packets
+    /// that a scheme without deflection would have lost to the failure
+    /// ("packets saved by deflection").
+    pub deflected_delivered: u64,
     /// Sum of in-network latency (created → delivered) in nanoseconds.
     pub total_latency_ns: u128,
+    /// Physical link up→down transitions processed by the engine.
+    pub link_failures: u64,
+    /// Physical link down→up transitions processed by the engine.
+    pub link_repairs: u64,
 }
 
 impl Stats {
@@ -109,6 +120,9 @@ impl Stats {
         self.total_hops += pkt.hops as u64;
         self.max_hops = self.max_hops.max(pkt.hops);
         self.deflections += pkt.deflections as u64;
+        if pkt.deflections > 0 {
+            self.deflected_delivered += 1;
+        }
         self.total_latency_ns += now.since(pkt.created).as_nanos() as u128;
         let flow = self.flows.entry(pkt.flow).or_default();
         flow.delivered_pkts += 1;
