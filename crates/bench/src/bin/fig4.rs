@@ -1,7 +1,7 @@
 //! Regenerates Fig. 4 (TCP throughput time series across a failure).
 use kar_bench::experiments::fig4;
 use kar_bench::harness::env_knob;
-use kar_bench::runner;
+use kar_bench::{obs, runner};
 
 fn main() {
     let cfg = fig4::Fig4Config {
@@ -11,8 +11,10 @@ fn main() {
         seed: env_knob("KAR_SEED", 1),
     };
     let jobs = runner::jobs_from_args(std::env::args());
+    obs::init(std::env::args().skip(1));
     eprintln!(
-        "fig4: {cfg:?}, {jobs} jobs (override with KAR_PRE/KAR_FAIL/KAR_POST/KAR_SEED, --jobs N)"
+        "fig4: {cfg:?}, {jobs} jobs (override with KAR_PRE/KAR_FAIL/KAR_POST/KAR_SEED, --jobs N, --metrics PATH)"
     );
     print!("{}", fig4::render(&fig4::run_jobs(cfg, jobs)));
+    obs::finish();
 }

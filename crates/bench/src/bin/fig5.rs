@@ -1,15 +1,17 @@
 //! Regenerates Fig. 5 (throughput vs failure location × protection × technique).
 use kar_bench::experiments::fig5;
 use kar_bench::harness::env_knob;
-use kar_bench::runner;
+use kar_bench::{obs, runner};
 
 fn main() {
     let runs = env_knob("KAR_RUNS", 30) as usize;
     let secs = env_knob("KAR_SECONDS", 5);
     let seed = env_knob("KAR_SEED", 1);
     let jobs = runner::jobs_from_args(std::env::args());
+    obs::init(std::env::args().skip(1));
     eprintln!(
-        "fig5: {runs} runs × {secs}s, {jobs} jobs (override with KAR_RUNS/KAR_SECONDS/KAR_SEED, --jobs N)"
+        "fig5: {runs} runs × {secs}s, {jobs} jobs (override with KAR_RUNS/KAR_SECONDS/KAR_SEED, --jobs N, --metrics PATH)"
     );
     print!("{}", fig5::render(&fig5::run_jobs(runs, secs, seed, jobs)));
+    obs::finish();
 }

@@ -3,12 +3,14 @@
 //! deflection, and per-flow recovery latency per technique.
 use kar_bench::experiments::dynamic;
 use kar_bench::harness::env_knob;
+use kar_bench::obs;
 use kar_bench::runner::jobs_from_args;
 use kar_bench::telemetry::{self, DynamicRecord};
 use kar_simnet::SimTime;
 
 fn main() {
     let jobs = jobs_from_args(std::env::args().skip(1));
+    obs::init(std::env::args().skip(1));
     let cfg = dynamic::DynamicConfig {
         probes: env_knob("KAR_PROBES", 100),
         notification: SimTime::from_micros(env_knob("KAR_NOTIFY_US", 1000)),
@@ -34,4 +36,5 @@ fn main() {
         })
         .collect();
     telemetry::emit(&records);
+    obs::finish();
 }

@@ -199,9 +199,9 @@ fn run() -> Result<(), String> {
                 s.delivered,
                 s.injected,
                 s.deflections,
-                s.mean_hops(),
+                s.mean_hops().unwrap_or(0.0),
                 s.max_hops,
-                s.mean_latency_s() * 1e3
+                s.mean_latency_s().unwrap_or(0.0) * 1e3
             );
             for (reason, n) in &s.drops {
                 println!("  dropped ({reason}): {n}");

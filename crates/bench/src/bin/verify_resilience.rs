@@ -9,9 +9,54 @@
 //! AVP may deflect back out the input port, and on rnp28 two residues
 //! form a deterministic ping-pong — the known loop the paper motivates
 //! NIP with (§2.1). The gate fails if AVP ever loops *more* than that.
-use kar::verify::summarize;
+use kar::verify::{summarize, CaseResult, VerifySummary};
 use kar::{verify_single_failures, DeflectionTechnique, EncodingCache, Outcome, Protection};
+use kar_bench::obs::{self, RunObs};
+use kar_obs::Entity;
 use kar_topology::{rnp28, topo15, Topology};
+
+/// Records one technique's verification sweep into a metrics dump
+/// labeled `verify/{topo}/{technique}`: global outcome counters plus
+/// per-failed-link blackhole/loop counters (the link-heat view of
+/// where the dataplane is fragile). The verifier is symbolic — there
+/// is no `Sim` to attach to — so the counters are recorded directly
+/// from the case results.
+fn record(
+    topo: &Topology,
+    name: &str,
+    technique: DeflectionTechnique,
+    results: &[CaseResult],
+    s: &VerifySummary,
+) {
+    let run = RunObs::begin();
+    let Some(o) = run.handle.get() else { return };
+    let m = &o.metrics;
+    m.counter(Entity::Global, "verify.cases")
+        .add(s.total as u64);
+    m.counter(Entity::Global, "verify.disconnected")
+        .add(s.disconnected as u64);
+    m.counter(Entity::Global, "verify.violations")
+        .add(s.violations as u64);
+    for (outcome, metric) in [
+        (Outcome::Delivered, "verify.delivered"),
+        (Outcome::WrongEdge, "verify.wrong_edge"),
+        (Outcome::TtlExceeded, "verify.ttl_exceeded"),
+        (Outcome::Blackhole, "verify.blackhole"),
+        (Outcome::Loop, "verify.loop"),
+    ] {
+        m.counter(Entity::Global, metric)
+            .add(s.count(outcome) as u64);
+    }
+    for case in results {
+        let metric = match case.report.outcome {
+            Outcome::Blackhole => "verify.blackhole",
+            Outcome::Loop => "verify.loop",
+            _ => continue,
+        };
+        m.counter(Entity::Link(case.failed.0 as u32), metric).inc();
+    }
+    run.submit(&format!("verify/{name}/{}", technique.label()), topo);
+}
 
 fn check(topo: &Topology, name: &str, avp_allowance: usize) -> bool {
     let cache = EncodingCache::new();
@@ -23,6 +68,7 @@ fn check(topo: &Topology, name: &str, avp_allowance: usize) -> bool {
         let results = verify_single_failures(topo, technique, &Protection::AutoFull, &cache)
             .expect("verification runs");
         let s = summarize(&results);
+        record(topo, name, technique, &results, &s);
         println!(
             "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             technique.label(),
@@ -75,10 +121,12 @@ fn check(topo: &Topology, name: &str, avp_allowance: usize) -> bool {
 }
 
 fn main() {
+    obs::init(std::env::args().skip(1));
     let mut ok = true;
     ok &= check(&topo15::build(), "topo15", 0);
     // 3 known AVP input-port ping-pong loops around SW107-SW113.
     ok &= check(&rnp28::build(), "rnp28", 3);
+    obs::finish();
     if !ok {
         eprintln!("resilience gate FAILED: a protected dataplane black-holes or loops on a survivable failure");
         std::process::exit(1);

@@ -160,14 +160,19 @@ pub fn run_point(
 ) -> DynamicPoint {
     let src = topo.expect("AS1");
     let dst = topo.expect("AS3");
-    let (mut net, log) = KarNetwork::new(topo, technique)
+    let obs = crate::obs::RunObs::begin();
+    let mut builder = KarNetwork::new(topo, technique)
         .with_seed(cfg.seed)
         .with_ttl(255)
         .with_detection_delay(cfg.detection)
-        .with_recovery(RecoveryConfig {
-            notification_delay: cfg.notification,
-            protection: Protection::None,
-        });
+        .with_obs(obs.handle.clone());
+    if let Some(profiler) = &obs.profiler {
+        builder = builder.with_profiler(profiler.clone());
+    }
+    let (mut net, log) = builder.with_recovery(RecoveryConfig {
+        notification_delay: cfg.notification,
+        protection: Protection::None,
+    });
     net.install_route(src, dst, &Protection::AutoFull)
         .expect("route installs");
     let mut sim = net.into_sim();
@@ -177,6 +182,10 @@ pub fn run_point(
         sim.inject(src, dst, FlowId(0), i, PacketKind::Probe, 500);
     }
     sim.run_to_quiescence();
+    obs.submit(
+        &format!("fig_dynamic/{}/{}", scenario.name, technique.label()),
+        topo,
+    );
     let stats = sim.stats();
     let log = log.lock().expect("recovery log lock");
     DynamicPoint {

@@ -81,6 +81,7 @@ pub fn run_jobs(cfg: Fig4Config, jobs: usize) -> Vec<Fig4Series> {
             // paper's single-host emulation.
             switch_service: Some(SimTime::from_micros(7)),
             cache: Some(cache.clone()),
+            label: format!("fig4/{}", technique.label()),
             ..TcpRun::new(&topo, primary.clone())
         })
         .collect();

@@ -98,6 +98,7 @@ pub fn spec_set(
         for level in ProtectionLevel::ALL {
             for technique in [DeflectionTechnique::Avp, DeflectionTechnique::Nip] {
                 for r in 0..runs {
+                    let label = format!("{a}-{b}/{}/{technique}/r{r}", level.label());
                     specs.push(TcpRun {
                         technique,
                         protection: level.protection(topo),
@@ -111,9 +112,10 @@ pub fn spec_set(
                         // Same shared-softswitch calibration as Fig. 4.
                         switch_service: Some(SimTime::from_micros(7)),
                         cache: Some(cache.clone()),
+                        label: format!("fig5/{label}"),
                         ..TcpRun::new(topo, primary.clone())
                     });
-                    labels.push(format!("{a}-{b}/{}/{technique}/r{r}", level.label()));
+                    labels.push(label);
                 }
             }
         }

@@ -64,6 +64,7 @@ pub fn run_jobs(runs: usize, secs: u64, base_seed: u64, jobs: usize) -> Vec<Fig7
                 // workload (≈90% CPU at the no-failure rate).
                 switch_service: Some(SimTime::from_micros(20)),
                 cache: Some(cache.clone()),
+                label: format!("fig7/{name}/r{r}"),
                 ..TcpRun::new(&topo, primary.clone())
             });
             labels.push(format!("{name}/r{r}"));

@@ -72,6 +72,7 @@ pub fn run_jobs(runs: usize, secs: u64, base_seed: u64, jobs: usize) -> Fig8Resu
                 // Same RNP shared-softswitch calibration as Fig. 7.
                 switch_service: Some(SimTime::from_micros(20)),
                 cache: Some(cache.clone()),
+                label: format!("fig8/{name}/r{r}"),
                 ..TcpRun::new(&topo, primary.clone())
             });
             labels.push(format!("{name}/r{r}"));

@@ -74,12 +74,12 @@ fn failable_links(topo: &Topology) -> Vec<LinkId> {
 
 fn run_one(
     topo: &Topology,
-    src: NodeId,
-    dst: NodeId,
+    (src, dst): (NodeId, NodeId),
     scheme: Scheme,
     failures: &[LinkId],
     seed: u64,
     probes: u64,
+    obs: &crate::obs::RunObs,
 ) -> f64 {
     let mut sim = match scheme {
         Scheme::KarNipFull | Scheme::KarNoDeflection => {
@@ -122,6 +122,10 @@ fn run_one(
             )
         }
     };
+    sim.attach_obs(&obs.handle);
+    if let Some(profiler) = &obs.profiler {
+        sim.attach_profiler(profiler.clone());
+    }
     for &l in failures {
         sim.schedule_link_down(SimTime::ZERO, l);
     }
@@ -151,14 +155,28 @@ pub fn run(
     let mut out = Vec::new();
     for &k in ks {
         for scheme in Scheme::ALL {
+            // One dump per measured point, aggregated over its trials.
+            let obs = crate::obs::RunObs::begin();
             let mut total = 0.0;
             for t in 0..trials {
                 let mut rng = StdRng::seed_from_u64(base_seed ^ ((k as u64) << 16) ^ t as u64);
                 let mut links = candidates.clone();
                 links.shuffle(&mut rng);
                 links.truncate(k);
-                total += run_one(topo, src, dst, scheme, &links, base_seed + t as u64, probes);
+                total += run_one(
+                    topo,
+                    (src, dst),
+                    scheme,
+                    &links,
+                    base_seed + t as u64,
+                    probes,
+                    &obs,
+                );
             }
+            obs.submit(
+                &format!("multi/{src_name}-{dst_name}/{}/k{k}", scheme.label()),
+                topo,
+            );
             out.push(MultiFailurePoint {
                 k,
                 scheme,
@@ -228,6 +246,11 @@ pub fn run_correlated(
             blackholed_first: 0,
         })
         .collect();
+    // One aggregated dump per scheme across every trial and group depth.
+    let scheme_obs: Vec<crate::obs::RunObs> = Scheme::ALL
+        .iter()
+        .map(|_| crate::obs::RunObs::begin())
+        .collect();
     for t in 0..trials {
         let mut rng = StdRng::seed_from_u64(base_seed ^ ((t as u64) << 20));
         let mut order: Vec<usize> = (0..groups.len()).collect();
@@ -239,7 +262,15 @@ pub fn run_correlated(
             for g in 0..depth {
                 failed.extend(groups[order[g]].iter().copied());
                 let links: Vec<LinkId> = failed.iter().copied().collect();
-                let ratio = run_one(topo, src, dst, scheme, &links, base_seed + t as u64, probes);
+                let ratio = run_one(
+                    topo,
+                    (src, dst),
+                    scheme,
+                    &links,
+                    base_seed + t as u64,
+                    probes,
+                    &scheme_obs[si],
+                );
                 outcomes[si].delivery[g] += ratio;
                 if first.is_none() && ratio == 0.0 {
                     first = Some(g + 1);
@@ -255,6 +286,12 @@ pub fn run_correlated(
                 }
             }
         }
+    }
+    for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
+        scheme_obs[si].submit(
+            &format!("multi-correlated/{src_name}-{dst_name}/{}", scheme.label()),
+            topo,
+        );
     }
     for outcome in &mut outcomes {
         for d in &mut outcome.delivery {

@@ -56,6 +56,10 @@ pub struct TcpRun<'a> {
     /// routes attach one cache to every spec; cached encodes are
     /// byte-identical to fresh ones, so results are unaffected.
     pub cache: Option<Arc<EncodingCache>>,
+    /// Run label for the observability dump (see [`crate::obs`]); when
+    /// empty a `tcp/seed<N>` fallback is used. Only read while a
+    /// `--metrics` sink is collecting — never affects the simulation.
+    pub label: String,
 }
 
 impl<'a> TcpRun<'a> {
@@ -75,6 +79,7 @@ impl<'a> TcpRun<'a> {
             congestion: CongestionControl::Reno,
             switch_service: None,
             cache: None,
+            label: String::new(),
         }
     }
 }
@@ -90,7 +95,8 @@ pub struct TcpRunResult {
     pub dropped: u64,
     /// Deflections experienced by delivered packets.
     pub deflections: u64,
-    /// Mean hops per delivered packet.
+    /// Mean hops per delivered packet (0.0 when nothing was delivered —
+    /// a starved run, not a zero-hop one; `delivered` disambiguates).
     pub mean_hops: f64,
     /// Out-of-order data arrivals observed at the destination edge.
     pub reordered: u64,
@@ -130,6 +136,7 @@ impl TcpRunResult {
 /// experiment constants are validated by tests.
 pub fn run_tcp(spec: &TcpRun<'_>) -> TcpRunResult {
     let started = Instant::now();
+    let obs = crate::obs::RunObs::begin();
     let src = *spec.primary.first().expect("non-empty primary");
     let dst = *spec.primary.last().expect("non-empty primary");
     let mut net = KarNetwork::new(spec.topo, spec.technique)
@@ -137,7 +144,11 @@ pub fn run_tcp(spec: &TcpRun<'_>) -> TcpRunResult {
         .with_ttl(spec.ttl)
         .with_reroute(ReroutePolicy::Recompute {
             latency: SimTime::from_millis(2),
-        });
+        })
+        .with_obs(obs.handle.clone());
+    if let Some(profiler) = &obs.profiler {
+        net = net.with_profiler(profiler.clone());
+    }
     if let Some(service) = spec.switch_service {
         net = net.with_switch_service(service);
     }
@@ -167,6 +178,11 @@ pub fn run_tcp(spec: &TcpRun<'_>) -> TcpRunResult {
         spec.bin,
     );
     sim.run_until(spec.duration);
+    if spec.label.is_empty() {
+        obs.submit(&format!("tcp/seed{}", spec.seed), spec.topo);
+    } else {
+        obs.submit(&spec.label, spec.topo);
+    }
     let meter = flow.meter.borrow().clone();
     let stats = sim.stats();
     let flow_stats = stats.flows.get(&FlowId(1));
@@ -175,7 +191,7 @@ pub fn run_tcp(spec: &TcpRun<'_>) -> TcpRunResult {
         delivered: stats.delivered,
         dropped: stats.dropped(),
         deflections: stats.deflections,
-        mean_hops: stats.mean_hops(),
+        mean_hops: stats.mean_hops().unwrap_or(0.0),
         reordered: flow_stats.map(|f| f.out_of_order).unwrap_or(0),
         wall: started.elapsed(),
     }

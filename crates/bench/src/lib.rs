@@ -9,7 +9,9 @@
 //! Knobs via environment: `KAR_RUNS` (repetitions), `KAR_SECONDS`
 //! (per-run transfer seconds), `KAR_SEED`, `KAR_JOBS` (worker threads,
 //! also `--jobs N` on every sweep binary), `KAR_TELEMETRY` (JSON-lines
-//! sink: `-` for stderr or a file path to append to).
+//! sink: `-` for stderr or a file path to append to), `KAR_METRICS`
+//! (observability dump path, also `--metrics <path>` — see [`obs`] and
+//! the `kar-inspect` binary that renders the dumps).
 //!
 //! Sweeps run through [`runner`] — a work-stealing thread pool whose
 //! parallel results are byte-identical to the serial order (each run
@@ -21,5 +23,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod obs;
 pub mod runner;
 pub mod telemetry;

@@ -1,0 +1,150 @@
+//! Experiment-side observability plumbing: the `--metrics <path>` flag.
+//!
+//! Every experiment binary accepts `--metrics <path>` (or
+//! `--metrics=<path>`, or the `KAR_METRICS` environment variable) to
+//! collect a [`kar_obs`] dump: per-run metrics
+//! snapshots, event traces and profiler tables, written as JSON lines
+//! that `kar-inspect` renders back. The flow is:
+//!
+//! 1. `main` calls [`init`] with its CLI arguments — when a path was
+//!    requested, the process-global [`kar_obs::sink`] starts collecting;
+//! 2. each run calls [`RunObs::begin`] (an enabled handle + profiler
+//!    when collecting, inert otherwise), attaches it to its network via
+//!    [`kar::KarNetwork::with_obs`] / `with_profiler`, and calls
+//!    [`RunObs::submit`] with its run label when done;
+//! 3. `main` calls [`finish`], which writes every submitted dump
+//!    (sorted by label, so parallel completion order never shows).
+//!
+//! Metrics are pure observation: a run with the sink enabled is
+//! byte-identical to one without (`tests/obs_determinism.rs` enforces
+//! this).
+
+use kar_obs::{sink, ObsHandle, Profiler, RunDump, TopoLabeler};
+use kar_topology::Topology;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Extracts the metrics dump path from CLI arguments (`--metrics <path>`
+/// or `--metrics=<path>`; the last occurrence wins), falling back to the
+/// `KAR_METRICS` environment variable.
+pub fn metrics_path<I: IntoIterator<Item = String>>(args: I) -> Option<PathBuf> {
+    let mut args = args.into_iter();
+    let mut path = None;
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            path = args.next().map(PathBuf::from);
+        } else if let Some(v) = arg.strip_prefix("--metrics=") {
+            path = Some(PathBuf::from(v));
+        }
+    }
+    path.or_else(|| std::env::var("KAR_METRICS").ok().map(PathBuf::from))
+}
+
+/// Enables the process-global metrics sink when the CLI (or
+/// `KAR_METRICS`) asked for a dump. Returns whether collection is on.
+pub fn init<I: IntoIterator<Item = String>>(args: I) -> bool {
+    match metrics_path(args) {
+        Some(path) => {
+            sink::enable(&path);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Flushes every submitted dump to the requested file and disables the
+/// sink. Reports the outcome on stderr (never stdout — that belongs to
+/// the experiment's table).
+pub fn finish() {
+    match sink::flush() {
+        Ok(Some(path)) => eprintln!("metrics: wrote {}", path.display()),
+        Ok(None) => {}
+        Err(err) => eprintln!("metrics: write failed: {err}"),
+    }
+}
+
+/// Per-run observability attachment: an enabled [`ObsHandle`] and
+/// [`Profiler`] while the sink is collecting, inert otherwise — so
+/// experiment code can attach and submit unconditionally.
+#[derive(Debug, Clone, Default)]
+pub struct RunObs {
+    /// Handle for [`kar::KarNetwork::with_obs`] /
+    /// [`kar_simnet::Sim::attach_obs`].
+    pub handle: ObsHandle,
+    /// Dispatch-loop profiler for `with_profiler` /
+    /// [`kar_simnet::Sim::attach_profiler`], present only while
+    /// collecting (its timings are host wall clock, excluded from every
+    /// determinism digest).
+    pub profiler: Option<Arc<Profiler>>,
+}
+
+impl RunObs {
+    /// Begins observation for one run; inert unless [`init`] enabled the
+    /// sink.
+    pub fn begin() -> RunObs {
+        if sink::enabled() {
+            RunObs {
+                handle: ObsHandle::enabled(),
+                profiler: Some(Arc::new(Profiler::new())),
+            }
+        } else {
+            RunObs::default()
+        }
+    }
+
+    /// Collects everything recorded so far into a dump labeled `label`
+    /// (entities resolved against `topo`) and submits it to the sink.
+    /// No-op when observation is off.
+    pub fn submit(&self, label: &str, topo: &Topology) {
+        let Some(obs) = self.handle.get() else {
+            return;
+        };
+        let labeler = TopoLabeler::new(topo);
+        let rows = self.profiler.as_ref().map(|p| p.rows()).unwrap_or_default();
+        sink::submit(RunDump::collect(
+            label,
+            &obs.metrics.snapshot(),
+            &obs.events.events(),
+            &rows,
+            &labeler,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_path_parsing() {
+        let parse = |args: &[&str]| metrics_path(args.iter().map(|s| s.to_string()));
+        std::env::remove_var("KAR_METRICS");
+        assert_eq!(
+            parse(&["--metrics", "/tmp/m.jsonl"]),
+            Some("/tmp/m.jsonl".into())
+        );
+        assert_eq!(
+            parse(&["--metrics=/tmp/x.jsonl"]),
+            Some("/tmp/x.jsonl".into())
+        );
+        assert_eq!(
+            parse(&["--jobs", "4", "--metrics", "a", "--metrics=b"]),
+            Some("b".into()),
+            "last flag wins"
+        );
+        assert_eq!(parse(&["--jobs", "4"]), None);
+        assert_eq!(parse(&["--metrics"]), None, "missing value is ignored");
+    }
+
+    #[test]
+    fn run_obs_is_inert_without_the_sink() {
+        // The sink is process-global; this test only asserts the
+        // *disabled* side (the enabled side is covered by the
+        // `obs_determinism` integration test, which owns the sink).
+        if !sink::enabled() {
+            let obs = RunObs::begin();
+            assert!(!obs.handle.is_enabled());
+            assert!(obs.profiler.is_none());
+        }
+    }
+}

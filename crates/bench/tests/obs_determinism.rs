@@ -1,0 +1,118 @@
+//! The observability invariant: metrics are pure observation. A run
+//! with the sink collecting must be byte-identical (same digests) to
+//! the same run without it, and the dump it writes must parse back.
+//!
+//! The sink is process-global, so everything lives in ONE test function
+//! in its own integration-test binary — the library's unit tests run in
+//! a different process and never see the sink enabled.
+
+use kar::DeflectionTechnique;
+use kar_bench::experiments::dynamic;
+use kar_bench::harness::{run_tcp, FailureWindow, TcpRun};
+use kar_bench::obs;
+use kar_obs::{read_dumps, sink, DumpRecord};
+use kar_simnet::SimTime;
+use kar_topology::topo15;
+use std::io::BufReader;
+
+fn dynamic_digests() -> Vec<String> {
+    let topo = topo15::build();
+    let cfg = dynamic::DynamicConfig {
+        probes: 40,
+        ..dynamic::DynamicConfig::default()
+    };
+    dynamic::scenarios()
+        .into_iter()
+        .map(|scenario| {
+            dynamic::run_point(&topo, scenario, DeflectionTechnique::HotPotato, cfg).digest()
+        })
+        .collect()
+}
+
+fn tcp_digest() -> String {
+    let topo = topo15::build();
+    let spec = TcpRun {
+        technique: DeflectionTechnique::HotPotato,
+        duration: SimTime::from_secs(2),
+        failure: Some(FailureWindow {
+            link: topo.expect_link("SW7", "SW13"),
+            down: SimTime::from_millis(500),
+            up: SimTime::from_millis(1500),
+        }),
+        label: "determinism/tcp".to_string(),
+        ..TcpRun::new(&topo, topo15::primary_route(&topo))
+    };
+    run_tcp(&spec).digest()
+}
+
+#[test]
+fn metrics_collection_never_changes_results() {
+    assert!(
+        !sink::enabled(),
+        "another test enabled the process-global sink; keep this test alone in its binary"
+    );
+
+    // Baseline: sink off.
+    let plain_dynamic = dynamic_digests();
+    let plain_tcp = tcp_digest();
+
+    // Instrumented: same runs with the sink collecting.
+    let dir = std::env::temp_dir().join(format!("kar_obs_determinism_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("dump.jsonl");
+    assert!(obs::init([
+        "--metrics".to_string(),
+        path.display().to_string()
+    ]));
+    let instrumented_dynamic = dynamic_digests();
+    let instrumented_tcp = tcp_digest();
+    obs::finish();
+    assert!(!sink::enabled(), "finish() must disable the sink");
+
+    assert_eq!(
+        plain_dynamic, instrumented_dynamic,
+        "dynamic experiment digests changed when metrics were on"
+    );
+    assert_eq!(
+        plain_tcp, instrumented_tcp,
+        "tcp harness digest changed when metrics were on"
+    );
+
+    // The dump itself must parse back with the expected structure.
+    let file = std::fs::File::open(&path).expect("dump written");
+    let dumps = read_dumps(BufReader::new(file)).expect("dump parses");
+    let labels: Vec<&str> = dumps.iter().map(|d| d.label.as_str()).collect();
+    assert!(
+        labels.contains(&"determinism/tcp"),
+        "tcp run label missing from {labels:?}"
+    );
+    assert!(
+        labels.iter().any(|l| l.starts_with("fig_dynamic/")),
+        "dynamic run labels missing from {labels:?}"
+    );
+    let mut sorted = labels.clone();
+    sorted.sort_unstable();
+    assert_eq!(labels, sorted, "flush must sort dumps by label");
+    for d in &dumps {
+        assert!(!d.records.is_empty(), "run {} dumped nothing", d.label);
+        assert!(
+            d.records
+                .iter()
+                .any(|r| matches!(r, DumpRecord::Counter { entity, metric, .. }
+                        if entity.starts_with("node:") && metric == "delivered")),
+            "run {} has no per-switch delivered counter",
+            d.label
+        );
+        assert!(
+            d.records
+                .iter()
+                .any(|r| matches!(r, DumpRecord::Profile { .. })),
+            "run {} has no profiler rows",
+            d.label
+        );
+    }
+
+    // A second finish with the sink off is a clean no-op.
+    obs::finish();
+    std::fs::remove_dir_all(&dir).ok();
+}

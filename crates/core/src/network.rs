@@ -12,6 +12,7 @@ use crate::error::KarError;
 use crate::protection::Protection;
 use crate::recovery::{RecoveringController, RecoveryConfig, RecoveryLog};
 use crate::route::EncodedRoute;
+use kar_obs::{Entity, ObsHandle, Profiler};
 use kar_simnet::{EdgeLogic, Sim, SimConfig};
 use kar_topology::{paths, NodeId, Topology};
 use std::sync::{Arc, Mutex};
@@ -47,6 +48,8 @@ pub struct KarNetwork<'t> {
     cache: Option<Arc<EncodingCache>>,
     recovery: Option<(RecoveryConfig, Arc<Mutex<RecoveryLog>>)>,
     installed: Vec<(Vec<NodeId>, Protection)>,
+    obs: ObsHandle,
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl<'t> KarNetwork<'t> {
@@ -62,6 +65,8 @@ impl<'t> KarNetwork<'t> {
             cache: None,
             recovery: None,
             installed: Vec::new(),
+            obs: ObsHandle::disabled(),
+            profiler: None,
         }
     }
 
@@ -118,6 +123,26 @@ impl<'t> KarNetwork<'t> {
         (self, log)
     }
 
+    /// Attaches an observability bundle (see [`kar_obs`]). The engine and
+    /// the recovery loop record metrics and events into it; route
+    /// installs publish a `nominal_hops` gauge per `(src, dst)` pair so
+    /// dumps can compute stretch. Metrics are pure observation — a run
+    /// with observability attached is byte-identical to one without.
+    ///
+    /// Call before [`KarNetwork::install_route`] so install-time gauges
+    /// are captured too.
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Attaches a profiler timing the engine's dispatch loop per event
+    /// type (host wall clock — telemetry only, never simulation state).
+    pub fn with_profiler(mut self, profiler: Arc<Profiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
     /// Attaches a shared route-encoding cache to the controller. Cached
     /// encodes are byte-identical to fresh ones — sharing one cache
     /// across simulations (or threads) changes speed, never results.
@@ -156,8 +181,29 @@ impl<'t> KarNetwork<'t> {
                 .ok_or(KarError::NoPath { src, dst })?;
             return self.install_explicit(primary, protection);
         }
-        self.controller
-            .install_route(self.topo, src, dst, protection)
+        let route = self
+            .controller
+            .install_route(self.topo, src, dst, protection)?;
+        if self.obs.is_enabled() {
+            // Same path selection the controller just made; recomputed
+            // here purely for the gauge.
+            if let Some(primary) = paths::bfs_shortest_path(self.topo, src, dst) {
+                self.note_install(&primary);
+            }
+        }
+        Ok(route)
+    }
+
+    /// Publishes the nominal (failure-free) hop count of an installed
+    /// primary under its `(src, dst)` pair so dumps can compute stretch.
+    fn note_install(&self, primary: &[NodeId]) {
+        if let (Some(obs), Some((&src, &dst))) =
+            (self.obs.get(), primary.first().zip(primary.last()))
+        {
+            obs.metrics
+                .gauge(Entity::Pair(src.0 as u32, dst.0 as u32), "nominal_hops")
+                .set(primary.len() as i64 - 1);
+        }
     }
 
     /// Installs an explicit (pinned) primary path with protection.
@@ -173,6 +219,7 @@ impl<'t> KarNetwork<'t> {
         let route = self
             .controller
             .install_explicit(self.topo, primary.clone(), protection)?;
+        self.note_install(&primary);
         if self.recovery.is_some() {
             self.installed.push((primary, protection.clone()));
         }
@@ -185,7 +232,8 @@ impl<'t> KarNetwork<'t> {
             Some((config, log)) => {
                 let mut rc = RecoveringController::new(config)
                     .with_reroute(self.reroute)
-                    .with_log(log);
+                    .with_log(log)
+                    .with_obs(self.obs.clone());
                 if let Some(cache) = self.cache {
                     rc = rc.with_encoding_cache(cache);
                 }
@@ -197,12 +245,17 @@ impl<'t> KarNetwork<'t> {
             }
             None => Box::new(self.controller),
         };
-        Sim::new(
+        let mut sim = Sim::new(
             self.topo,
             Box::new(KarForwarder::new(self.technique)),
             edge,
             self.sim_config,
-        )
+        );
+        sim.attach_obs(&self.obs);
+        if let Some(profiler) = self.profiler {
+            sim.attach_profiler(profiler);
+        }
+        sim
     }
 }
 
@@ -307,8 +360,8 @@ mod tests {
             "most random-walking probes should arrive: {s:?}"
         );
         assert!(
-            s.mean_hops() > 4.0,
-            "wandering costs hops: {}",
+            s.mean_hops().unwrap() > 4.0,
+            "wandering costs hops: {:?}",
             s.mean_hops()
         );
     }
@@ -353,6 +406,76 @@ mod tests {
             "latency includes the notification delay: {}",
             log.flows[0].latency()
         );
+    }
+
+    #[test]
+    fn observability_records_installs_and_recovery_without_changing_results() {
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let failed = topo.expect_link("SW7", "SW13");
+        let run = |obs: ObsHandle| {
+            let (mut net, _log) = KarNetwork::new(&topo, DeflectionTechnique::Nip)
+                .with_seed(7)
+                .with_detection_delay(SimTime::from_micros(100))
+                .with_obs(obs)
+                .with_recovery(crate::recovery::RecoveryConfig {
+                    notification_delay: SimTime::from_millis(1),
+                    protection: Protection::None,
+                });
+            net.install_route(as1, as3, &Protection::AutoFull).unwrap();
+            let mut sim = net.into_sim();
+            sim.schedule_link_down(SimTime::from_millis(1), failed);
+            for i in 0..20 {
+                sim.run_until(SimTime::from_micros(i * 500));
+                sim.inject(as1, as3, FlowId(0), i, PacketKind::Probe, 500);
+            }
+            sim.run_to_quiescence();
+            sim.stats().clone()
+        };
+        let plain = run(kar_obs::ObsHandle::disabled());
+        let handle = kar_obs::ObsHandle::enabled();
+        let instrumented = run(handle.clone());
+        assert_eq!(plain, instrumented, "observation must not perturb the run");
+
+        let obs = handle.get().unwrap();
+        // Route install published the nominal hop count of the primary
+        // (AS1 → SW10 → SW7 → SW13 → SW29 → AS3: 5 link hops).
+        let nominal = obs
+            .metrics
+            .gauge(Entity::Pair(as1.0 as u32, as3.0 as u32), "nominal_hops")
+            .get();
+        assert_eq!(nominal, 5);
+        // The recovery loop saw one failure notice and re-encoded once.
+        assert_eq!(
+            obs.metrics
+                .counter(Entity::Global, "recovery.notices")
+                .get(),
+            1
+        );
+        assert_eq!(
+            obs.metrics
+                .counter(Entity::Global, "recovery.reencodes")
+                .get(),
+            1
+        );
+        let notif = obs
+            .metrics
+            .histogram(Entity::Global, "recovery.notification_ns");
+        assert_eq!(notif.count(), 1);
+        assert_eq!(notif.min(), Some(SimTime::from_millis(1).as_nanos()));
+        let latency = obs.metrics.histogram(Entity::Global, "recovery.latency_ns");
+        assert_eq!(latency.count(), 1);
+        assert!(latency.min().unwrap() >= SimTime::from_millis(1).as_nanos());
+        let reencodes: Vec<_> = obs
+            .events
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == kar_obs::EventKind::Reencode)
+            .collect();
+        assert_eq!(reencodes.len(), 1, "one detour, never restored");
+        assert_eq!(reencodes[0].tag, "detour");
+        assert_eq!(reencodes[0].node, Some(as1.0 as u32));
     }
 
     #[test]

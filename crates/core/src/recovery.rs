@@ -26,6 +26,7 @@ use crate::controller::{Controller, ReroutePolicy};
 use crate::error::KarError;
 use crate::protection::Protection;
 use crate::route::EncodedRoute;
+use kar_obs::{Entity, Event, EventKind, ObsHandle};
 use kar_simnet::{EdgeLogic, Packet, RerouteDecision, RouteTag, SimTime};
 use kar_topology::{paths, LinkId, NodeId, PortIx, Topology};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -161,6 +162,7 @@ pub struct RecoveringController {
     epoch: u64,
     last_failure_observed: Option<SimTime>,
     log: Arc<Mutex<RecoveryLog>>,
+    obs: ObsHandle,
 }
 
 impl RecoveringController {
@@ -179,6 +181,7 @@ impl RecoveringController {
             epoch: 0,
             last_failure_observed: None,
             log: Arc::new(Mutex::new(RecoveryLog::default())),
+            obs: ObsHandle::disabled(),
         }
     }
 
@@ -192,6 +195,16 @@ impl RecoveringController {
     /// [`EncodingCache`].
     pub fn with_encoding_cache(mut self, cache: Arc<EncodingCache>) -> Self {
         self.inner = self.inner.with_encoding_cache(cache);
+        self
+    }
+
+    /// Attaches an observability bundle: the loop records a
+    /// `recovery.notices` counter and `recovery.notification_ns` /
+    /// `recovery.latency_ns` histograms, and emits a `reencode` event
+    /// whenever a flow switches onto (or back off) a detour. Pure
+    /// observation — never changes which routes are chosen.
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -288,6 +301,14 @@ impl RecoveringController {
                     observed_at: next.observed_at,
                     applied_at: next.effective_at,
                 });
+            if let Some(obs) = self.obs.get() {
+                obs.metrics
+                    .counter(Entity::Global, "recovery.notices")
+                    .inc();
+                obs.metrics
+                    .histogram(Entity::Global, "recovery.notification_ns")
+                    .observe(next.effective_at.since(next.observed_at).as_nanos());
+            }
         }
     }
 
@@ -334,6 +355,29 @@ impl RecoveringController {
                         failed_at,
                         recovered_at: now,
                     });
+                if let Some(obs) = self.obs.get() {
+                    let latency_ns = now.since(failed_at).as_nanos();
+                    obs.metrics
+                        .counter(Entity::Global, "recovery.reencodes")
+                        .inc();
+                    obs.metrics
+                        .histogram(Entity::Global, "recovery.latency_ns")
+                        .observe(latency_ns);
+                    obs.events.push(Event {
+                        node: Some(src.0 as u32),
+                        aux: latency_ns,
+                        tag: "detour",
+                        ..Event::new(now.as_nanos(), EventKind::Reencode)
+                    });
+                }
+            }
+        } else if !detour && was_detour {
+            if let Some(obs) = self.obs.get() {
+                obs.events.push(Event {
+                    node: Some(src.0 as u32),
+                    tag: "restore",
+                    ..Event::new(now.as_nanos(), EventKind::Reencode)
+                });
             }
         }
         self.current.insert(

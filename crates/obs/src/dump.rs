@@ -1,0 +1,715 @@
+//! Dump format: flat JSON lines, one record per line, compatible with
+//! the `KAR_TELEMETRY` sink convention (`kar_bench::telemetry`).
+//!
+//! Every line carries a `"run"` label so dumps from many runs can share
+//! one file; `kar-inspect` groups them back. Entities are resolved to
+//! human names (`node:SW7`, `link:SW7-SW13`) at dump time via a
+//! [`TopoLabeler`], so the reader never needs the topology. There is no
+//! serde in this workspace (offline vendored deps only), so both the
+//! writer and the minimal flat-object parser live here.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{self, BufRead};
+
+use kar_topology::{LinkId, NodeId, Topology};
+
+use crate::events::Event;
+use crate::metrics::{Entity, HistSnapshot, MetricsSnapshot};
+use crate::profile::ProfileRow;
+
+/// Resolves raw entity indexes to topology names at dump time.
+#[derive(Debug, Clone, Default)]
+pub struct TopoLabeler {
+    nodes: Vec<String>,
+    links: Vec<String>,
+}
+
+impl TopoLabeler {
+    /// A labeler for `topo`: nodes by name, links as `A-B`.
+    pub fn new(topo: &Topology) -> Self {
+        let nodes: Vec<String> = (0..topo.node_count())
+            .map(|i| topo.node(NodeId(i)).name.clone())
+            .collect();
+        let links = (0..topo.link_count())
+            .map(|i| {
+                let l = topo.link(LinkId(i));
+                format!("{}-{}", nodes[l.a.0], nodes[l.b.0])
+            })
+            .collect();
+        TopoLabeler { nodes, links }
+    }
+
+    /// A labeler with no topology: falls back to numeric names.
+    pub fn anonymous() -> Self {
+        TopoLabeler::default()
+    }
+
+    /// Name of node `i` (`node7` when unknown).
+    pub fn node(&self, i: u32) -> String {
+        self.nodes
+            .get(i as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("node{i}"))
+    }
+
+    /// Name of link `i` (`link4` when unknown).
+    pub fn link(&self, i: u32) -> String {
+        self.links
+            .get(i as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("link{i}"))
+    }
+
+    /// Stable label of `e` (`global`, `node:SW7`, `link:SW7-SW13`,
+    /// `flow:3`, `pair:AS1>AS9`).
+    pub fn entity(&self, e: Entity) -> String {
+        match e {
+            Entity::Global => "global".to_string(),
+            Entity::Node(i) => format!("node:{}", self.node(i)),
+            Entity::Link(i) => format!("link:{}", self.link(i)),
+            Entity::Flow(i) => format!("flow:{i}"),
+            Entity::Pair(s, d) => format!("pair:{}>{}", self.node(s), self.node(d)),
+        }
+    }
+}
+
+/// One parsed (or to-be-written) dump line, minus its run label.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DumpRecord {
+    /// A counter read-out.
+    Counter {
+        /// Labeled entity (`node:SW7`, …).
+        entity: String,
+        /// Metric name.
+        metric: String,
+        /// Final value.
+        value: u64,
+    },
+    /// A gauge read-out.
+    Gauge {
+        /// Labeled entity.
+        entity: String,
+        /// Metric name.
+        metric: String,
+        /// Final value.
+        value: i64,
+        /// High-water mark.
+        max: i64,
+    },
+    /// A histogram read-out.
+    Hist {
+        /// Labeled entity.
+        entity: String,
+        /// Metric name.
+        metric: String,
+        /// Recorded values.
+        count: u64,
+        /// Sum of recorded values.
+        sum: u64,
+        /// Smallest recorded value.
+        min: u64,
+        /// Largest recorded value.
+        max: u64,
+        /// Non-empty `(bucket lower bound, count)` pairs.
+        buckets: Vec<(u64, u64)>,
+    },
+    /// A time-series read-out.
+    Series {
+        /// Labeled entity.
+        entity: String,
+        /// Metric name.
+        metric: String,
+        /// `(t_ns, value)` samples.
+        samples: Vec<(u64, f64)>,
+    },
+    /// One traced event.
+    Event {
+        /// Simulation time in nanoseconds.
+        at_ns: u64,
+        /// Event kind name (see `EventKind::as_str`).
+        kind: String,
+        /// Packet span id, if any.
+        pkt: Option<u64>,
+        /// Flow id, if any.
+        flow: Option<u64>,
+        /// Node name ("" when not applicable).
+        node: String,
+        /// Link name ("" when not applicable).
+        link: String,
+        /// Kind-specific scalar.
+        aux: u64,
+        /// Kind-specific label.
+        tag: String,
+    },
+    /// One profiler row.
+    Profile {
+        /// Event-type label.
+        label: String,
+        /// Events dispatched.
+        count: u64,
+        /// Total self-time in nanoseconds.
+        total_ns: u64,
+        /// Slowest dispatch in nanoseconds.
+        max_ns: u64,
+    },
+}
+
+/// Everything one run dumped, under one label.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunDump {
+    /// The run label (e.g. `fig_dynamic/single/hp`).
+    pub label: String,
+    /// Records in dump order.
+    pub records: Vec<DumpRecord>,
+}
+
+impl RunDump {
+    /// Builds a dump from live observations: metrics snapshot first,
+    /// then events in time order, then profiler rows.
+    pub fn collect(
+        label: &str,
+        snap: &MetricsSnapshot,
+        events: &[Event],
+        profile: &[ProfileRow],
+        labeler: &TopoLabeler,
+    ) -> Self {
+        let mut records = Vec::new();
+        for (e, metric, value) in &snap.counters {
+            records.push(DumpRecord::Counter {
+                entity: labeler.entity(*e),
+                metric: metric.clone(),
+                value: *value,
+            });
+        }
+        for (e, metric, value, max) in &snap.gauges {
+            records.push(DumpRecord::Gauge {
+                entity: labeler.entity(*e),
+                metric: metric.clone(),
+                value: *value,
+                max: *max,
+            });
+        }
+        for h in &snap.histograms {
+            let HistSnapshot {
+                entity,
+                metric,
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            } = h;
+            records.push(DumpRecord::Hist {
+                entity: labeler.entity(*entity),
+                metric: metric.clone(),
+                count: *count,
+                sum: *sum,
+                min: *min,
+                max: *max,
+                buckets: buckets.clone(),
+            });
+        }
+        for (e, metric, samples) in &snap.series {
+            records.push(DumpRecord::Series {
+                entity: labeler.entity(*e),
+                metric: metric.clone(),
+                samples: samples.clone(),
+            });
+        }
+        for ev in events {
+            records.push(DumpRecord::Event {
+                at_ns: ev.at_ns,
+                kind: ev.kind.as_str().to_string(),
+                pkt: ev.pkt,
+                flow: ev.flow.map(u64::from),
+                node: ev.node.map(|n| labeler.node(n)).unwrap_or_default(),
+                link: ev.link.map(|l| labeler.link(l)).unwrap_or_default(),
+                aux: ev.aux,
+                tag: ev.tag.to_string(),
+            });
+        }
+        for r in profile {
+            records.push(DumpRecord::Profile {
+                label: r.label.to_string(),
+                count: r.count,
+                total_ns: r.total_ns,
+                max_ns: r.max_ns,
+            });
+        }
+        RunDump {
+            label: label.to_string(),
+            records,
+        }
+    }
+
+    /// Serializes to JSON lines (one per record, each carrying the run
+    /// label), ending with a trailing newline when non-empty.
+    pub fn to_lines(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&record_line(&self.label, r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn record_line(run: &str, r: &DumpRecord) -> String {
+    let mut s = String::from("{");
+    let _ = write!(s, "\"run\":\"{}\"", escape(run));
+    match r {
+        DumpRecord::Counter {
+            entity,
+            metric,
+            value,
+        } => {
+            let _ = write!(
+                s,
+                ",\"type\":\"counter\",\"entity\":\"{}\",\"metric\":\"{}\",\"value\":{}",
+                escape(entity),
+                escape(metric),
+                value
+            );
+        }
+        DumpRecord::Gauge {
+            entity,
+            metric,
+            value,
+            max,
+        } => {
+            let _ = write!(
+                s,
+                ",\"type\":\"gauge\",\"entity\":\"{}\",\"metric\":\"{}\",\"value\":{},\"max\":{}",
+                escape(entity),
+                escape(metric),
+                value,
+                max
+            );
+        }
+        DumpRecord::Hist {
+            entity,
+            metric,
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        } => {
+            let packed: Vec<String> = buckets.iter().map(|(lo, c)| format!("{lo}:{c}")).collect();
+            let _ = write!(
+                s,
+                ",\"type\":\"hist\",\"entity\":\"{}\",\"metric\":\"{}\",\"count\":{},\"sum\":{},\
+                 \"min\":{},\"max\":{},\"buckets\":\"{}\"",
+                escape(entity),
+                escape(metric),
+                count,
+                sum,
+                min,
+                max,
+                packed.join(";")
+            );
+        }
+        DumpRecord::Series {
+            entity,
+            metric,
+            samples,
+        } => {
+            let packed: Vec<String> = samples
+                .iter()
+                .map(|(t, v)| format!("{t}:{}", json_f64(*v)))
+                .collect();
+            let _ = write!(
+                s,
+                ",\"type\":\"series\",\"entity\":\"{}\",\"metric\":\"{}\",\"samples\":\"{}\"",
+                escape(entity),
+                escape(metric),
+                packed.join(";")
+            );
+        }
+        DumpRecord::Event {
+            at_ns,
+            kind,
+            pkt,
+            flow,
+            node,
+            link,
+            aux,
+            tag,
+        } => {
+            let _ = write!(
+                s,
+                ",\"type\":\"event\",\"at_ns\":{},\"kind\":\"{}\",\"pkt\":{},\"flow\":{},\
+                 \"node\":\"{}\",\"link\":\"{}\",\"aux\":{},\"tag\":\"{}\"",
+                at_ns,
+                escape(kind),
+                opt_num(*pkt),
+                opt_num(*flow),
+                escape(node),
+                escape(link),
+                aux,
+                escape(tag)
+            );
+        }
+        DumpRecord::Profile {
+            label,
+            count,
+            total_ns,
+            max_ns,
+        } => {
+            let _ = write!(
+                s,
+                ",\"type\":\"profile\",\"label\":\"{}\",\"count\":{},\"total_ns\":{},\"max_ns\":{}",
+                escape(label),
+                count,
+                total_ns,
+                max_ns
+            );
+        }
+    }
+    s.push('}');
+    s
+}
+
+fn opt_num(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// Escapes a string for a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a valid JSON number (non-finite values become 0).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// A value in a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    /// A string (already unescaped).
+    Str(String),
+    /// A number, kept as raw text so `u64` round-trips exactly.
+    Num(String),
+    /// `null`.
+    Null,
+}
+
+impl JsonVal {
+    fn as_str(&self) -> &str {
+        match self {
+            JsonVal::Str(s) => s,
+            JsonVal::Num(s) => s,
+            JsonVal::Null => "",
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonVal::Num(s) => s.parse().ok().or_else(|| {
+                s.parse::<f64>().ok().map(|f| f as u64) // scientific notation fallback
+            }),
+            _ => None,
+        }
+    }
+
+    fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonVal::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"k": "v", "n": 3, "x": null}`) into a
+/// key → value map. Nested objects/arrays are not supported — the dump
+/// format never emits them. Returns `None` on malformed input.
+fn parse_flat(line: &str) -> Option<HashMap<String, JsonVal>> {
+    let mut map = HashMap::new();
+    let mut chars = line.trim().chars().peekable();
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                return Some(map);
+            }
+            ',' => {
+                chars.next();
+                continue;
+            }
+            '"' => {}
+            _ => return None,
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let val = match chars.peek()? {
+            '"' => JsonVal::Str(parse_string(&mut chars)?),
+            'n' => {
+                for expect in "null".chars() {
+                    if chars.next()? != expect {
+                        return None;
+                    }
+                }
+                JsonVal::Null
+            }
+            _ => {
+                let mut num = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || "+-.eE".contains(c) {
+                        num.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if num.is_empty() {
+                    return None;
+                }
+                JsonVal::Num(num)
+            }
+        };
+        map.insert(key, val);
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+fn parse_pairs_u64(packed: &str) -> Vec<(u64, u64)> {
+    packed
+        .split(';')
+        .filter(|s| !s.is_empty())
+        .filter_map(|s| {
+            let (a, b) = s.split_once(':')?;
+            Some((a.parse().ok()?, b.parse().ok()?))
+        })
+        .collect()
+}
+
+fn parse_pairs_f64(packed: &str) -> Vec<(u64, f64)> {
+    packed
+        .split(';')
+        .filter(|s| !s.is_empty())
+        .filter_map(|s| {
+            let (a, b) = s.split_once(':')?;
+            Some((a.parse().ok()?, b.parse().ok()?))
+        })
+        .collect()
+}
+
+/// Parses one dump line into `(run label, record)`. Lines that are not
+/// dump records (e.g. interleaved `KAR_TELEMETRY` records) yield `None`.
+pub fn parse_line(line: &str) -> Option<(String, DumpRecord)> {
+    let map = parse_flat(line)?;
+    let run = map.get("run")?.as_str().to_string();
+    let get = |k: &str| {
+        map.get(k)
+            .map(|v| v.as_str().to_string())
+            .unwrap_or_default()
+    };
+    let get_u64 = |k: &str| map.get(k).and_then(JsonVal::as_u64).unwrap_or(0);
+    let get_i64 = |k: &str| map.get(k).and_then(JsonVal::as_i64).unwrap_or(0);
+    let rec = match map.get("type")?.as_str() {
+        "counter" => DumpRecord::Counter {
+            entity: get("entity"),
+            metric: get("metric"),
+            value: get_u64("value"),
+        },
+        "gauge" => DumpRecord::Gauge {
+            entity: get("entity"),
+            metric: get("metric"),
+            value: get_i64("value"),
+            max: get_i64("max"),
+        },
+        "hist" => DumpRecord::Hist {
+            entity: get("entity"),
+            metric: get("metric"),
+            count: get_u64("count"),
+            sum: get_u64("sum"),
+            min: get_u64("min"),
+            max: get_u64("max"),
+            buckets: parse_pairs_u64(&get("buckets")),
+        },
+        "series" => DumpRecord::Series {
+            entity: get("entity"),
+            metric: get("metric"),
+            samples: parse_pairs_f64(&get("samples")),
+        },
+        "event" => DumpRecord::Event {
+            at_ns: get_u64("at_ns"),
+            kind: get("kind"),
+            pkt: map.get("pkt").and_then(JsonVal::as_u64),
+            flow: map.get("flow").and_then(JsonVal::as_u64),
+            node: get("node"),
+            link: get("link"),
+            aux: get_u64("aux"),
+            tag: get("tag"),
+        },
+        "profile" => DumpRecord::Profile {
+            label: get("label"),
+            count: get_u64("count"),
+            total_ns: get_u64("total_ns"),
+            max_ns: get_u64("max_ns"),
+        },
+        _ => return None,
+    };
+    Some((run, rec))
+}
+
+/// Reads a dump stream back into per-run groups, preserving first-seen
+/// run order and per-run record order. Unparseable lines are skipped.
+pub fn read_dumps<R: BufRead>(reader: R) -> io::Result<Vec<RunDump>> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_run: HashMap<String, Vec<DumpRecord>> = HashMap::new();
+    for line in reader.lines() {
+        let line = line?;
+        if let Some((run, rec)) = parse_line(&line) {
+            if !by_run.contains_key(&run) {
+                order.push(run.clone());
+            }
+            by_run.entry(run).or_default().push(rec);
+        }
+    }
+    Ok(order
+        .into_iter()
+        .map(|label| {
+            let records = by_run.remove(&label).unwrap_or_default();
+            RunDump { label, records }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn dump_round_trips_through_lines() {
+        let reg = MetricsRegistry::new();
+        reg.counter(Entity::Node(0), "deflect.hp").add(3);
+        reg.gauge(Entity::Link(1), "queue").set(-2);
+        reg.histogram(Entity::Flow(7), "latency_ns").observe(12345);
+        reg.series(Entity::Link(1), "util").sample(10, 0.5);
+        let mut ev = Event::new(42, EventKind::Deflect);
+        ev.pkt = Some(9);
+        ev.flow = Some(7);
+        ev.node = Some(0);
+        ev.tag = "hp";
+        let profile = vec![ProfileRow {
+            label: "arrive",
+            count: 4,
+            total_ns: 1000,
+            max_ns: 400,
+        }];
+        let dump = RunDump::collect(
+            "test/run \"quoted\"",
+            &reg.snapshot(),
+            &[ev],
+            &profile,
+            &TopoLabeler::anonymous(),
+        );
+        let lines = dump.to_lines();
+        let back = read_dumps(lines.as_bytes()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0], dump);
+    }
+
+    #[test]
+    fn u64_extremes_survive_the_parser() {
+        let dump = RunDump {
+            label: "r".into(),
+            records: vec![DumpRecord::Hist {
+                entity: "global".into(),
+                metric: "m".into(),
+                count: 1,
+                sum: u64::MAX,
+                min: u64::MAX,
+                max: u64::MAX,
+                buckets: vec![(u64::MAX - 1, 1)],
+            }],
+        };
+        let back = read_dumps(dump.to_lines().as_bytes()).unwrap();
+        assert_eq!(back[0], dump);
+    }
+
+    #[test]
+    fn foreign_lines_are_skipped() {
+        let text = "{\"type\":\"run\",\"experiment\":\"fig4\"}\nnot json\n\
+                    {\"run\":\"a\",\"type\":\"counter\",\"entity\":\"global\",\"metric\":\"x\",\"value\":1}\n";
+        let dumps = read_dumps(text.as_bytes()).unwrap();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].label, "a");
+        assert_eq!(dumps[0].records.len(), 1);
+    }
+
+    #[test]
+    fn labeler_falls_back_on_unknown_ids() {
+        let l = TopoLabeler::anonymous();
+        assert_eq!(l.entity(Entity::Node(3)), "node:node3");
+        assert_eq!(l.entity(Entity::Link(0)), "link:link0");
+        assert_eq!(l.entity(Entity::Global), "global");
+        assert_eq!(l.entity(Entity::Pair(1, 2)), "pair:node1>node2");
+    }
+}

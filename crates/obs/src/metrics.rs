@@ -1,0 +1,577 @@
+//! The metrics registry: named counters, gauges, log-linear histograms
+//! and decimated time series, keyed by `(entity, metric)`.
+//!
+//! The simulator is single-threaded, but experiment sweeps run many
+//! simulators in parallel and post-run tooling reads metrics from other
+//! threads — so every instrument is shareable (`Send + Sync`) and the
+//! *recording* hot path is lock-free: counters, gauges and histogram
+//! buckets are plain atomics. Only instrument *registration* (the first
+//! lookup of an `(entity, metric)` pair) takes a lock; hot paths resolve
+//! their handles once and then never touch the registry again. Time
+//! series are the one cold-path exception (an uncontended mutex,
+//! amortized by stride decimation).
+//!
+//! Metrics are pure observation: nothing in this module feeds back into
+//! simulation state, so a run with metrics attached is byte-identical to
+//! the same run without (enforced by the determinism tests in
+//! `kar-bench`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What a metric is about. Indexes are raw (`NodeId.0`, `LinkId.0`,
+/// `FlowId.0`) so this crate stays decoupled from the simulator; a
+/// [`crate::TopoLabeler`] resolves them to names at dump time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Entity {
+    /// The whole simulation.
+    Global,
+    /// A node (switch or edge), by `NodeId` index.
+    Node(u32),
+    /// An undirected link, by `LinkId` index.
+    Link(u32),
+    /// A transport flow, by `FlowId`.
+    Flow(u32),
+    /// A `(src, dst)` node pair (installed routes).
+    Pair(u32, u32),
+}
+
+/// A monotone event count. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct GaugeCell {
+    value: AtomicI64,
+    max: AtomicI64,
+}
+
+/// A last-value instrument that also tracks its high-water mark.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<GaugeCell>);
+
+impl Gauge {
+    /// Sets the current value (and raises the high-water mark).
+    pub fn set(&self, v: i64) {
+        self.0.value.store(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the current value by `d`.
+    pub fn add(&self, d: i64) {
+        let v = self.0.value.fetch_add(d, Ordering::Relaxed) + d;
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+
+    /// Largest value ever set.
+    pub fn max(&self) -> i64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket resolution of the log-linear histogram: each power-of-two
+/// range is split into 16 linear buckets (~6% relative error).
+const HIST_SUB_BITS: u32 = 4;
+const HIST_SUB: u64 = 1 << HIST_SUB_BITS;
+/// Values below [`HIST_SUB`] get one exact bucket each; above, each of
+/// the `64 - HIST_SUB_BITS` exponent ranges contributes `HIST_SUB`
+/// buckets.
+const HIST_BUCKETS: usize = HIST_SUB as usize + (64 - HIST_SUB_BITS as usize) * HIST_SUB as usize;
+
+#[derive(Debug)]
+struct HistCell {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistCell {
+    fn default() -> Self {
+        let mut buckets = Vec::with_capacity(HIST_BUCKETS);
+        buckets.resize_with(HIST_BUCKETS, AtomicU64::default);
+        HistCell {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-linear histogram over `u64` values (HdrHistogram-style): exact
+/// below 16, then 16 linear sub-buckets per power of two — full `u64`
+/// range, ~6% relative bucket width, lock-free recording.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistCell>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistCell::default()))
+    }
+}
+
+/// Bucket index of `v` (total order, exhaustive over `u64`).
+pub fn bucket_index(v: u64) -> usize {
+    if v < HIST_SUB {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // v ∈ [2^exp, 2^(exp+1))
+    let sub = (v >> (exp - HIST_SUB_BITS)) - HIST_SUB; // top bits after the leading one
+    (HIST_SUB + (exp as u64 - HIST_SUB_BITS as u64) * HIST_SUB + sub) as usize
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `i` (the inverse of
+/// [`bucket_index`]).
+pub fn bucket_range(i: usize) -> (u64, u64) {
+    let i = i as u64;
+    if i < HIST_SUB {
+        return (i, i);
+    }
+    let j = i - HIST_SUB;
+    let exp = HIST_SUB_BITS as u64 + j / HIST_SUB;
+    let sub = j % HIST_SUB;
+    let width = 1u64 << (exp - HIST_SUB_BITS as u64);
+    let lo = (1u64 << exp) + sub * width;
+    (lo, lo + (width - 1))
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn observe(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.min.fetch_min(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wraps only after 2^64).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        let m = self.0.min.load(Ordering::Relaxed);
+        (self.count() > 0).then_some(m)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.0.max.load(Ordering::Relaxed))
+    }
+
+    /// Mean of recorded values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() as f64 / n as f64)
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the lower bound of the
+    /// bucket holding the `ceil(q · count)`-th value. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(bucket_range(i).0);
+            }
+        }
+        self.max()
+    }
+
+    /// Non-empty buckets as `(lower bound, count)`, in value order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then(|| (bucket_range(i).0, c))
+            })
+            .collect()
+    }
+}
+
+/// Decimated time series: `(t_ns, value)` samples with a bounded
+/// footprint. When the buffer fills, every other sample is discarded and
+/// the acceptance stride doubles — a deterministic, O(1)-amortized
+/// downsampler that keeps the shape of the series.
+#[derive(Debug, Clone)]
+pub struct Series(Arc<Mutex<SeriesInner>>);
+
+#[derive(Debug)]
+struct SeriesInner {
+    samples: Vec<(u64, f64)>,
+    cap: usize,
+    stride: u64,
+    seen: u64,
+}
+
+/// Default per-series sample budget.
+pub const SERIES_CAP: usize = 2048;
+
+impl Default for Series {
+    fn default() -> Self {
+        Series(Arc::new(Mutex::new(SeriesInner {
+            samples: Vec::new(),
+            cap: SERIES_CAP,
+            stride: 1,
+            seen: 0,
+        })))
+    }
+}
+
+impl Series {
+    /// Offers one sample; accepted every `stride`-th call.
+    pub fn sample(&self, t_ns: u64, value: f64) {
+        let mut s = self.0.lock().expect("series lock");
+        let take = s.seen.is_multiple_of(s.stride);
+        s.seen += 1;
+        if !take {
+            return;
+        }
+        if s.samples.len() >= s.cap {
+            let mut i = 0;
+            s.samples.retain(|_| {
+                i += 1;
+                i % 2 == 1
+            });
+            s.stride *= 2;
+        }
+        s.samples.push((t_ns, value));
+    }
+
+    /// Snapshot of the retained samples, in time order.
+    pub fn samples(&self) -> Vec<(u64, f64)> {
+        self.0.lock().expect("series lock").samples.clone()
+    }
+
+    /// Total samples offered (before decimation).
+    pub fn offered(&self) -> u64 {
+        self.0.lock().expect("series lock").seen
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: HashMap<Entity, HashMap<String, Counter>>,
+    gauges: HashMap<Entity, HashMap<String, Gauge>>,
+    histograms: HashMap<Entity, HashMap<String, Histogram>>,
+    series: HashMap<Entity, HashMap<String, Series>>,
+}
+
+/// The registry: hands out shared instrument handles by
+/// `(entity, metric)` key. Lookups lock; recording through the returned
+/// handles never does.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+macro_rules! instrument_getter {
+    ($(#[$doc:meta])* $fn_name:ident, $field:ident, $ty:ty) => {
+        $(#[$doc])*
+        pub fn $fn_name(&self, entity: Entity, metric: &str) -> $ty {
+            let mut inner = self.inner.lock().expect("registry lock");
+            if let Some(found) = inner.$field.get(&entity).and_then(|m| m.get(metric)) {
+                return found.clone();
+            }
+            let fresh = <$ty>::default();
+            inner
+                .$field
+                .entry(entity)
+                .or_default()
+                .insert(metric.to_string(), fresh.clone());
+            fresh
+        }
+    };
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    instrument_getter!(
+        /// The counter for `(entity, metric)`, registering on first use.
+        counter, counters, Counter);
+    instrument_getter!(
+        /// The gauge for `(entity, metric)`, registering on first use.
+        gauge, gauges, Gauge);
+    instrument_getter!(
+        /// The histogram for `(entity, metric)`, registering on first use.
+        histogram, histograms, Histogram);
+    instrument_getter!(
+        /// The time series for `(entity, metric)`, registering on first use.
+        series, series, Series);
+
+    /// Every registered instrument, read out into a plain snapshot, in
+    /// deterministic `(entity, metric)` order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut snap = MetricsSnapshot::default();
+        let mut counters: Vec<_> = inner
+            .counters
+            .iter()
+            .flat_map(|(&e, m)| m.iter().map(move |(k, c)| (e, k.clone(), c.get())))
+            .collect();
+        counters.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        snap.counters = counters;
+        let mut gauges: Vec<_> = inner
+            .gauges
+            .iter()
+            .flat_map(|(&e, m)| m.iter().map(move |(k, g)| (e, k.clone(), g.get(), g.max())))
+            .collect();
+        gauges.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        snap.gauges = gauges;
+        let mut hists: Vec<_> = inner
+            .histograms
+            .iter()
+            .flat_map(|(&e, m)| {
+                m.iter().map(move |(k, h)| HistSnapshot {
+                    entity: e,
+                    metric: k.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    min: h.min().unwrap_or(0),
+                    max: h.max().unwrap_or(0),
+                    buckets: h.nonzero_buckets(),
+                })
+            })
+            .collect();
+        hists.sort_by(|a, b| (a.entity, &a.metric).cmp(&(b.entity, &b.metric)));
+        snap.histograms = hists;
+        let mut series: Vec<_> = inner
+            .series
+            .iter()
+            .flat_map(|(&e, m)| m.iter().map(move |(k, s)| (e, k.clone(), s.samples())))
+            .collect();
+        series.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        snap.series = series;
+        snap
+    }
+}
+
+/// One histogram, read out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSnapshot {
+    /// What the histogram is about.
+    pub entity: Entity,
+    /// Metric name.
+    pub metric: String,
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Non-empty `(bucket lower bound, count)` pairs.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// One time series, read out: `(entity, metric, samples)`.
+pub type SeriesSnapshot = (Entity, String, Vec<(u64, f64)>);
+
+/// A full registry read-out in deterministic order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(entity, metric, value)` triples.
+    pub counters: Vec<(Entity, String, u64)>,
+    /// `(entity, metric, value, max)` tuples.
+    pub gauges: Vec<(Entity, String, i64, i64)>,
+    /// Histogram read-outs.
+    pub histograms: Vec<HistSnapshot>,
+    /// Time series read-outs.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_cells() {
+        let reg = MetricsRegistry::new();
+        let c1 = reg.counter(Entity::Node(3), "hops");
+        let c2 = reg.counter(Entity::Node(3), "hops");
+        c1.inc();
+        c2.add(4);
+        assert_eq!(c1.get(), 5);
+        let g = reg.gauge(Entity::Link(0), "queue");
+        g.set(7);
+        g.add(-3);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.max(), 7);
+        // Different entity, same metric name: a distinct cell.
+        assert_eq!(reg.counter(Entity::Node(4), "hops").get(), 0);
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        // Exact region: one bucket per value.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_range(0), (0, 0));
+        assert_eq!(bucket_range(15), (15, 15));
+        // First log-linear range [16, 32): width-1 buckets.
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(17), 17);
+        assert_eq!(bucket_range(16), (16, 16));
+        // Second range [32, 64): width-2 buckets.
+        assert_eq!(bucket_range(bucket_index(32)), (32, 33));
+        assert_eq!(bucket_index(32), bucket_index(33));
+        assert_ne!(bucket_index(33), bucket_index(34));
+        // Power-of-two boundaries start a fresh bucket.
+        for exp in 4..64u32 {
+            let v = 1u64 << exp;
+            let (lo, _) = bucket_range(bucket_index(v));
+            assert_eq!(lo, v, "2^{exp}");
+            let (_, hi) = bucket_range(bucket_index(v - 1));
+            assert_eq!(hi, v - 1, "2^{exp} - 1");
+        }
+        // The top of the range.
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        let (lo, hi) = bucket_range(HIST_BUCKETS - 1);
+        assert_eq!(hi, u64::MAX);
+        assert!(lo <= hi);
+        // Total order: index is monotone in the value.
+        let mut prev = 0;
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            31,
+            32,
+            63,
+            64,
+            1 << 20,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index not monotone at {v}");
+            prev = i;
+            let (lo, hi) = bucket_range(i);
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn histogram_zero_and_max_round_trip() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.sum(), u64::MAX); // 0 + MAX
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0], (0, 1));
+        assert_eq!(buckets[1].1, 1);
+    }
+
+    #[test]
+    fn histogram_stats_and_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.mean(), Some(50.5));
+        let p50 = h.quantile(0.5).unwrap();
+        // Bucket width at 48..56 is 4, so the median is approximate.
+        assert!((44..=52).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile(0.0), Some(1));
+        let p100 = h.quantile(1.0).unwrap();
+        assert!(p100 >= 96, "p100 = {p100}");
+    }
+
+    #[test]
+    fn series_decimates_deterministically() {
+        let s = Series::default();
+        for t in 0..(SERIES_CAP as u64 * 4) {
+            s.sample(t, t as f64);
+        }
+        let samples = s.samples();
+        assert!(samples.len() <= SERIES_CAP + 1);
+        assert!(samples.len() >= SERIES_CAP / 2);
+        // Time order and shape preserved.
+        assert!(samples.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(samples[0].0, 0);
+        assert_eq!(s.offered(), SERIES_CAP as u64 * 4);
+        // Deterministic: a second identical series retains identical samples.
+        let s2 = Series::default();
+        for t in 0..(SERIES_CAP as u64 * 4) {
+            s2.sample(t, t as f64);
+        }
+        assert_eq!(samples, s2.samples());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter(Entity::Node(2), "b").inc();
+        reg.counter(Entity::Node(2), "a").inc();
+        reg.counter(Entity::Global, "z").add(9);
+        reg.histogram(Entity::Flow(1), "latency").observe(5);
+        reg.gauge(Entity::Link(0), "queue").set(3);
+        reg.series(Entity::Link(0), "queue").sample(10, 1.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 3);
+        assert_eq!(snap.counters[0].0, Entity::Global);
+        assert_eq!(snap.counters[1].1, "a");
+        assert_eq!(snap.counters[2].1, "b");
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].count, 1);
+        assert_eq!(snap.gauges.len(), 1);
+        assert_eq!(snap.series.len(), 1);
+        assert_eq!(snap.series[0].2, vec![(10, 1.0)]);
+    }
+}

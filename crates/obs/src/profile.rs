@@ -1,0 +1,154 @@
+//! Sim profiler: per-event-type self-time accounting for the
+//! discrete-event loop.
+//!
+//! The simulator's `dispatch` wraps each event in a wall-clock timer and
+//! reports the elapsed time here, keyed by the event's static label
+//! (`"arrive"`, `"tx-done"`, …). The profiler answers "where does
+//! wall-clock go at `--jobs N`" — it measures the *host*, not the
+//! simulation, so its numbers are inherently non-deterministic and are
+//! kept out of every determinism digest.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Acc {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+/// Accumulates `(label → count, total, max)` self-time.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    slots: Mutex<HashMap<&'static str, Acc>>,
+}
+
+/// One row of the self-time table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Event-type label.
+    pub label: &'static str,
+    /// Events dispatched.
+    pub count: u64,
+    /// Total self-time in nanoseconds.
+    pub total_ns: u64,
+    /// Slowest single dispatch in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounts one dispatch of `label` taking `elapsed`.
+    pub fn record(&self, label: &'static str, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        let mut slots = self.slots.lock().expect("profiler lock");
+        let acc = slots.entry(label).or_default();
+        acc.count += 1;
+        acc.total_ns += ns;
+        acc.max_ns = acc.max_ns.max(ns);
+    }
+
+    /// Rows sorted by total self-time, heaviest first (ties by label, so
+    /// the order is stable).
+    pub fn rows(&self) -> Vec<ProfileRow> {
+        let slots = self.slots.lock().expect("profiler lock");
+        let mut rows: Vec<_> = slots
+            .iter()
+            .map(|(&label, acc)| ProfileRow {
+                label,
+                count: acc.count,
+                total_ns: acc.total_ns,
+                max_ns: acc.max_ns,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.label.cmp(b.label)));
+        rows
+    }
+
+    /// Renders the self-time table (empty string when nothing recorded).
+    pub fn report(&self) -> String {
+        let rows = self.rows();
+        if rows.is_empty() {
+            return String::new();
+        }
+        let grand: u64 = rows.iter().map(|r| r.total_ns).sum();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:>10} {:>12} {:>10} {:>10} {:>6}\n",
+            "event", "count", "total", "mean", "max", "share"
+        ));
+        for r in &rows {
+            let mean = r.total_ns / r.count.max(1);
+            let share = if grand > 0 {
+                100.0 * r.total_ns as f64 / grand as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:<14} {:>10} {:>12} {:>10} {:>10} {:>5.1}%\n",
+                r.label,
+                r.count,
+                fmt_ns(r.total_ns),
+                fmt_ns(mean),
+                fmt_ns(r.max_ns),
+                share
+            ));
+        }
+        out
+    }
+}
+
+/// Human-readable nanoseconds (`17ns`, `4.2µs`, `1.3ms`, `2.1s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_accumulate_and_sort_by_total() {
+        let p = Profiler::new();
+        p.record("arrive", Duration::from_nanos(100));
+        p.record("arrive", Duration::from_nanos(300));
+        p.record("timer", Duration::from_nanos(250));
+        let rows = p.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].label, "arrive");
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].total_ns, 400);
+        assert_eq!(rows[0].max_ns, 300);
+        assert_eq!(rows[1].label, "timer");
+        let report = p.report();
+        assert!(report.contains("arrive"));
+        assert!(report.contains("share"));
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(17), "17ns");
+        assert_eq!(fmt_ns(4_200), "4.2µs");
+        assert_eq!(fmt_ns(1_300_000), "1.3ms");
+        assert_eq!(fmt_ns(2_100_000_000), "2.10s");
+    }
+
+    #[test]
+    fn empty_report_is_empty() {
+        assert_eq!(Profiler::new().report(), "");
+    }
+}

@@ -1,0 +1,98 @@
+//! Process-global metrics sink, mirroring the `KAR_TELEMETRY` pattern:
+//! experiment harnesses `submit` per-run dumps from worker threads as
+//! runs finish, and the binary `flush`es once at exit. Disabled by
+//! default — when no sink is enabled, `submit` is a no-op and run paths
+//! skip metrics collection entirely (see `ObsHandle`).
+//!
+//! Flushing sorts dumps by run label, so the file contents do not depend
+//! on the completion order of parallel runs.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::dump::RunDump;
+
+struct SinkState {
+    path: PathBuf,
+    dumps: Vec<RunDump>,
+}
+
+static SINK: Mutex<Option<SinkState>> = Mutex::new(None);
+
+/// Directs the sink at `path`; dumps accumulate until [`flush`].
+pub fn enable(path: &Path) {
+    let mut sink = SINK.lock().expect("sink lock");
+    *sink = Some(SinkState {
+        path: path.to_path_buf(),
+        dumps: Vec::new(),
+    });
+}
+
+/// Whether a sink is currently enabled.
+pub fn enabled() -> bool {
+    SINK.lock().expect("sink lock").is_some()
+}
+
+/// Drops any enabled sink and its pending dumps (for tests).
+pub fn disable() {
+    *SINK.lock().expect("sink lock") = None;
+}
+
+/// Queues one run's dump. No-op when the sink is disabled.
+pub fn submit(dump: RunDump) {
+    let mut sink = SINK.lock().expect("sink lock");
+    if let Some(state) = sink.as_mut() {
+        state.dumps.push(dump);
+    }
+}
+
+/// Writes all queued dumps (sorted by run label) and disables the sink.
+/// Returns the path written, or `None` when no sink was enabled.
+pub fn flush() -> io::Result<Option<PathBuf>> {
+    let state = SINK.lock().expect("sink lock").take();
+    let Some(mut state) = state else {
+        return Ok(None);
+    };
+    state.dumps.sort_by(|a, b| a.label.cmp(&b.label));
+    let mut file = std::fs::File::create(&state.path)?;
+    for dump in &state.dumps {
+        file.write_all(dump.to_lines().as_bytes())?;
+    }
+    file.flush()?;
+    Ok(Some(state.path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dump::DumpRecord;
+
+    #[test]
+    fn sink_sorts_by_label_and_disables_after_flush() {
+        let path = std::env::temp_dir().join("kar_obs_sink_test.jsonl");
+        enable(&path);
+        assert!(enabled());
+        for label in ["b/run", "a/run"] {
+            submit(RunDump {
+                label: label.into(),
+                records: vec![DumpRecord::Counter {
+                    entity: "global".into(),
+                    metric: "x".into(),
+                    value: 1,
+                }],
+            });
+        }
+        let written = flush().unwrap().unwrap();
+        assert_eq!(written, path);
+        assert!(!enabled());
+        // Disabled sink swallows submissions; flush is a no-op.
+        submit(RunDump::default());
+        assert_eq!(flush().unwrap(), None);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let a = text.find("a/run").unwrap();
+        let b = text.find("b/run").unwrap();
+        assert!(a < b, "dumps not sorted by label");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -65,17 +65,23 @@ pub enum DropReason {
     Misdelivery,
 }
 
-impl std::fmt::Display for DropReason {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+impl DropReason {
+    /// Stable kebab-case name (used in metric names and event tags).
+    pub fn as_str(self) -> &'static str {
+        match self {
             DropReason::NoRoute => "no-route",
             DropReason::TtlExpired => "ttl-expired",
             DropReason::QueueOverflow => "queue-overflow",
             DropReason::LinkFailure => "link-failure",
             DropReason::BadPort => "bad-port",
             DropReason::Misdelivery => "misdelivery",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 

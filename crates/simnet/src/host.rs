@@ -32,6 +32,16 @@ pub enum AppAction {
         /// Opaque id handed back in [`App::on_timer`].
         id: u64,
     },
+    /// Record an application-level observation. When the engine has an
+    /// observability layer attached this becomes a `note` event (and a
+    /// counter under the node entity); otherwise it is discarded — apps
+    /// can observe unconditionally at no cost.
+    Observe {
+        /// Static label naming the observation (e.g. `"retransmit"`).
+        label: &'static str,
+        /// Observation value.
+        value: u64,
+    },
 }
 
 /// Execution context handed to applications.
@@ -69,6 +79,12 @@ impl<'a> HostCtx<'a> {
             at: self.now + delay,
             id,
         });
+    }
+
+    /// Records an application-level observation (a `note` event when the
+    /// engine has observability attached; free otherwise).
+    pub fn observe(&mut self, label: &'static str, value: u64) {
+        self.actions.push(AppAction::Observe { label, value });
     }
 }
 

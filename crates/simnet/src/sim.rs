@@ -13,11 +13,13 @@ use crate::packet::{FlowId, Packet, PacketKind};
 use crate::stats::Stats;
 use crate::time::{tx_time, SimTime};
 use crate::trace::{PacketFate, TraceLog};
+use kar_obs::{Entity, Event as ObsEvent, EventKind, Obs, ObsHandle, Profiler};
 use kar_topology::{LinkId, NodeId, NodeKind, PortIx, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -134,6 +136,95 @@ enum Event {
     },
 }
 
+impl Event {
+    /// Static label for the profiler's self-time table.
+    fn label(&self) -> &'static str {
+        match self {
+            Event::Start(_) => "start",
+            Event::Arrive { .. } => "arrive",
+            Event::TxDone { .. } => "tx-done",
+            Event::Timer { .. } => "timer",
+            Event::LinkDown { .. } => "link-down",
+            Event::LinkUp { .. } => "link-up",
+            Event::Detect { .. } => "detect",
+            Event::Reinject { .. } => "reinject",
+        }
+    }
+}
+
+/// Pre-resolved instrument handles for the engine's hot paths. Built
+/// once when an enabled [`ObsHandle`] is attached, so recording never
+/// takes the registry lock (the per-flow histograms on delivery are the
+/// one cold-path exception).
+struct SimObs {
+    bundle: Arc<Obs>,
+    /// `deflect.<technique>` per switch, technique from the forwarder.
+    node_deflect: Vec<kar_obs::Counter>,
+    /// Packets a core switch chose an output port for.
+    node_forwarded: Vec<kar_obs::Counter>,
+    /// Packets injected at each edge.
+    node_injected: Vec<kar_obs::Counter>,
+    /// Packets delivered at each edge.
+    node_delivered: Vec<kar_obs::Counter>,
+    /// Bytes that finished serializing on each link.
+    link_bytes: Vec<kar_obs::Counter>,
+    /// Packets lost on each link (overflow or failure).
+    link_drops: Vec<kar_obs::Counter>,
+    /// Queue depth of the most recently changed direction (the max is
+    /// the per-link high-water mark over both directions).
+    link_queue: Vec<kar_obs::Gauge>,
+    /// Queue depth over time, decimated.
+    link_queue_series: Vec<kar_obs::Series>,
+    /// Global delivery latency, nanoseconds.
+    latency: kar_obs::Histogram,
+    /// Global delivered hop counts.
+    hops: kar_obs::Histogram,
+}
+
+impl SimObs {
+    fn build(handle: &ObsHandle, topo: &Topology, technique: &str) -> Option<SimObs> {
+        let bundle = handle.arc()?;
+        let reg = &bundle.metrics;
+        let deflect_metric = format!("deflect.{technique}");
+        let nodes = 0..topo.node_count() as u32;
+        let links = 0..topo.link_count() as u32;
+        let per_node = |m: &str| -> Vec<_> {
+            nodes
+                .clone()
+                .map(|i| reg.counter(Entity::Node(i), m))
+                .collect()
+        };
+        Some(SimObs {
+            node_deflect: per_node(&deflect_metric),
+            node_forwarded: per_node("forwarded"),
+            node_injected: per_node("injected"),
+            node_delivered: per_node("delivered"),
+            link_bytes: links
+                .clone()
+                .map(|i| reg.counter(Entity::Link(i), "bytes"))
+                .collect(),
+            link_drops: links
+                .clone()
+                .map(|i| reg.counter(Entity::Link(i), "drops"))
+                .collect(),
+            link_queue: links
+                .clone()
+                .map(|i| reg.gauge(Entity::Link(i), "queue"))
+                .collect(),
+            link_queue_series: links
+                .map(|i| reg.series(Entity::Link(i), "queue"))
+                .collect(),
+            latency: reg.histogram(Entity::Global, "latency_ns"),
+            hops: reg.histogram(Entity::Global, "hops"),
+            bundle,
+        })
+    }
+
+    fn event(&self, ev: ObsEvent) {
+        self.bundle.events.push(ev);
+    }
+}
+
 struct HeapEntry {
     at: SimTime,
     seq: u64,
@@ -189,6 +280,11 @@ pub struct Sim<'t> {
     /// [`SimConfig::switch_service`]).
     cpu_busy_until: SimTime,
     trace: TraceLog,
+    /// Pre-resolved metrics/event handles (`None` = observability off,
+    /// which costs one pointer check per hook).
+    obs: Option<SimObs>,
+    /// Wall-clock self-time profiler for the dispatch loop.
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl<'t> Sim<'t> {
@@ -218,7 +314,40 @@ impl<'t> Sim<'t> {
             in_flight: 0,
             cpu_busy_until: SimTime::ZERO,
             trace: TraceLog::default(),
+            obs: None,
+            profiler: None,
         }
+    }
+
+    /// Attaches an observability bundle. Instrument handles are resolved
+    /// once here, so the hot paths record lock-free; attaching a
+    /// disabled handle (the default everywhere) keeps observability off.
+    /// Metrics are pure observation — they never touch the RNG or any
+    /// simulation state, so runs are byte-identical with or without.
+    pub fn attach_obs(&mut self, handle: &ObsHandle) {
+        self.obs = SimObs::build(handle, self.topo, self.forwarder.name());
+    }
+
+    /// The attached observability bundle (disabled handle when none).
+    pub fn obs(&self) -> ObsHandle {
+        match &self.obs {
+            Some(o) => ObsHandle::from_obs(o.bundle.clone()),
+            None => ObsHandle::disabled(),
+        }
+    }
+
+    /// Attaches a wall-clock profiler: every dispatched event is timed
+    /// under its type label. Profiling measures the host, not the
+    /// simulation — it never affects simulated behavior.
+    pub fn attach_profiler(&mut self, profiler: Arc<Profiler>) {
+        self.profiler = Some(profiler);
+    }
+
+    /// Marks traces of packets still in flight as
+    /// [`PacketFate::TruncatedAtSimEnd`]; call when a run ends before
+    /// the network drains. Returns how many traces were truncated.
+    pub fn finalize_traces(&mut self) -> usize {
+        self.trace.finalize()
     }
 
     /// Attaches an application to an edge node; its `on_start` runs at
@@ -365,6 +494,17 @@ impl<'t> Sim<'t> {
     }
 
     fn dispatch(&mut self, ev: Event) {
+        if let Some(profiler) = self.profiler.clone() {
+            let label = ev.label();
+            let t0 = std::time::Instant::now();
+            self.dispatch_inner(ev);
+            profiler.record(label, t0.elapsed());
+        } else {
+            self.dispatch_inner(ev);
+        }
+    }
+
+    fn dispatch_inner(&mut self, ev: Event) {
         match ev {
             Event::Start(node) => self.run_app(node, AppEntry::Start),
             Event::Timer { node, id } => self.run_app(node, AppEntry::Timer(id)),
@@ -390,18 +530,44 @@ impl<'t> Sim<'t> {
         ls.down = true;
         ls.change_seq += 1;
         let seq = ls.change_seq;
-        let mut lost = 0u64;
+        let mut lost_ids = Vec::new();
         for dir in &mut ls.dirs {
-            lost += dir.queue.len() as u64 + dir.transmitting.is_some() as u64;
-            dir.queue.clear();
-            dir.transmitting = None;
+            lost_ids.extend(dir.queue.drain(..).map(|p| p.id));
+            lost_ids.extend(dir.transmitting.take().map(|p| p.id));
             dir.epoch += 1;
         }
-        for _ in 0..lost {
+        for &id in &lost_ids {
             self.stats.record_drop(DropReason::LinkFailure);
+            if self.config.trace_paths {
+                // Queued/serializing packets die with the link; without
+                // this their traces would read InFlight forever.
+                self.trace
+                    .finish(id, PacketFate::Dropped(DropReason::LinkFailure));
+            }
         }
-        self.in_flight -= lost;
+        self.in_flight -= lost_ids.len() as u64;
         self.stats.link_failures += 1;
+        if let Some(o) = &self.obs {
+            let at = self.now.as_nanos();
+            o.link_drops[link.0].add(lost_ids.len() as u64);
+            o.link_queue[link.0].set(0);
+            for &id in &lost_ids {
+                o.bundle
+                    .metrics
+                    .counter(Entity::Global, "drop.link-failure")
+                    .add(1);
+                let mut ev = ObsEvent::new(at, EventKind::Drop);
+                ev.pkt = Some(id);
+                ev.link = Some(link.0 as u32);
+                ev.tag = DropReason::LinkFailure.as_str();
+                o.event(ev);
+            }
+            let mut ev = ObsEvent::new(at, EventKind::Fault);
+            ev.link = Some(link.0 as u32);
+            ev.aux = lost_ids.len() as u64;
+            ev.tag = "down";
+            o.event(ev);
+        }
         self.observe_after(link, seq, true, detection);
     }
 
@@ -422,6 +588,12 @@ impl<'t> Sim<'t> {
         ls.change_seq += 1;
         let seq = ls.change_seq;
         self.stats.link_repairs += 1;
+        if let Some(o) = &self.obs {
+            let mut ev = ObsEvent::new(self.now.as_nanos(), EventKind::Repair);
+            ev.link = Some(link.0 as u32);
+            ev.tag = "up";
+            o.event(ev);
+        }
         self.observe_after(link, seq, false, detection);
     }
 
@@ -444,6 +616,13 @@ impl<'t> Sim<'t> {
         }
         ls.observed_seq = seq;
         ls.observed_down = down;
+        if let Some(o) = &self.obs {
+            let mut ev = ObsEvent::new(self.now.as_nanos(), EventKind::Detect);
+            ev.link = Some(link.0 as u32);
+            ev.aux = seq;
+            ev.tag = if down { "down" } else { "up" };
+            o.event(ev);
+        }
         self.edge_logic
             .on_link_event(self.topo, link, !down, self.now);
     }
@@ -460,6 +639,9 @@ impl<'t> Sim<'t> {
             .take()
             .expect("TxDone with current epoch implies a packet in service");
         self.stats.record_link_tx(link, pkt.size_bytes as u64);
+        if let Some(o) = &self.obs {
+            o.link_bytes[link.0].add(pkt.size_bytes as u64);
+        }
         // Serialization finished: the packet is on the wire and will
         // arrive after the propagation delay.
         let l = self.topo.link(link);
@@ -485,7 +667,17 @@ impl<'t> Sim<'t> {
             let epoch = ls.dirs[dir].epoch;
             ls.dirs[dir].transmitting = Some(next);
             let at = self.now + t;
+            let depth = self.links[link.0].dirs[dir].queue.len();
+            self.note_queue_depth(link, depth);
             self.push(at, Event::TxDone { link, dir, epoch });
+        }
+    }
+
+    /// Records the queue depth of a link direction that just changed.
+    fn note_queue_depth(&self, link: LinkId, depth: usize) {
+        if let Some(o) = &self.obs {
+            o.link_queue[link.0].set(depth as i64);
+            o.link_queue_series[link.0].sample(self.now.as_nanos(), depth as f64);
         }
     }
 
@@ -502,9 +694,14 @@ impl<'t> Sim<'t> {
         let d = &mut ls.dirs[dir];
         if d.transmitting.is_some() {
             if d.queue.len() >= cap {
+                if let Some(o) = &self.obs {
+                    o.link_drops[link.0].inc();
+                }
                 self.drop_pkt(pkt.id, DropReason::QueueOverflow);
             } else {
                 d.queue.push_back(pkt);
+                let depth = d.queue.len();
+                self.note_queue_depth(link, depth);
             }
         } else {
             let t = tx_time(pkt.size_bytes, rate);
@@ -520,6 +717,18 @@ impl<'t> Sim<'t> {
         self.in_flight -= 1;
         if self.config.trace_paths {
             self.trace.finish(pkt_id, PacketFate::Dropped(reason));
+        }
+        if let Some(o) = &self.obs {
+            // Drops are rare enough that the registry lookup (one lock)
+            // beats pre-resolving a counter per reason.
+            o.bundle
+                .metrics
+                .counter(Entity::Global, &format!("drop.{}", reason.as_str()))
+                .inc();
+            let mut ev = ObsEvent::new(self.now.as_nanos(), EventKind::Drop);
+            ev.pkt = Some(pkt_id);
+            ev.tag = reason.as_str();
+            o.event(ev);
         }
     }
 
@@ -569,6 +778,27 @@ impl<'t> Sim<'t> {
                     if self.config.trace_paths {
                         self.trace.finish(pkt.id, PacketFate::Delivered);
                     }
+                    if let Some(o) = &self.obs {
+                        let lat = self.now.since(pkt.created).as_nanos();
+                        o.node_delivered[node.0].inc();
+                        o.latency.observe(lat);
+                        o.hops.observe(pkt.hops as u64);
+                        // Per-flow histograms resolve through the
+                        // registry: flows are few, deliveries cold
+                        // enough for one uncontended lock.
+                        let flow = Entity::Flow(pkt.flow.0);
+                        o.bundle.metrics.histogram(flow, "latency_ns").observe(lat);
+                        o.bundle
+                            .metrics
+                            .histogram(flow, "hops")
+                            .observe(pkt.hops as u64);
+                        let mut ev = ObsEvent::new(self.now.as_nanos(), EventKind::Deliver);
+                        ev.pkt = Some(pkt.id);
+                        ev.flow = Some(pkt.flow.0);
+                        ev.node = Some(node.0 as u32);
+                        ev.aux = pkt.hops as u64;
+                        o.event(ev);
+                    }
                     self.run_app(node, AppEntry::Packet(pkt));
                 } else {
                     // Wrong edge: paper §2.1 — consult the controller to
@@ -602,8 +832,28 @@ impl<'t> Sim<'t> {
                     ports: &statuses,
                     now: self.now,
                 };
+                let deflections_before = pkt.deflections;
                 match self.forwarder.forward(&ctx, &mut pkt, &mut self.rng) {
                     ForwardDecision::Output(p) => {
+                        if let Some(o) = &self.obs {
+                            let at = self.now.as_nanos();
+                            o.node_forwarded[node.0].inc();
+                            let mut ev = ObsEvent::new(at, EventKind::Hop);
+                            ev.pkt = Some(pkt.id);
+                            ev.flow = Some(pkt.flow.0);
+                            ev.node = Some(node.0 as u32);
+                            ev.aux = p;
+                            o.event(ev);
+                            if pkt.deflections > deflections_before {
+                                o.node_deflect[node.0].inc();
+                                let mut ev = ObsEvent::new(at, EventKind::Deflect);
+                                ev.pkt = Some(pkt.id);
+                                ev.flow = Some(pkt.flow.0);
+                                ev.node = Some(node.0 as u32);
+                                ev.aux = p;
+                                o.event(ev);
+                            }
+                        }
                         if !statuses.get(p as usize).copied().unwrap_or(false) {
                             self.drop_pkt(pkt.id, DropReason::BadPort);
                         } else {
@@ -644,6 +894,19 @@ impl<'t> Sim<'t> {
                     kind,
                     size_bytes,
                 } => self.inject(node, dst, flow, seq, kind, size_bytes),
+                AppAction::Observe { label, value } => {
+                    if let Some(o) = &self.obs {
+                        o.bundle
+                            .metrics
+                            .counter(Entity::Node(node.0 as u32), label)
+                            .add(value);
+                        let mut ev = ObsEvent::new(self.now.as_nanos(), EventKind::Note);
+                        ev.node = Some(node.0 as u32);
+                        ev.aux = value;
+                        ev.tag = label;
+                        o.event(ev);
+                    }
+                }
             }
         }
     }
@@ -679,6 +942,15 @@ impl<'t> Sim<'t> {
         self.in_flight += 1;
         if self.config.trace_paths {
             self.trace.visit(pkt.id, src);
+        }
+        if let Some(o) = &self.obs {
+            o.node_injected[src.0].inc();
+            let mut ev = ObsEvent::new(self.now.as_nanos(), EventKind::Inject);
+            ev.pkt = Some(pkt.id);
+            ev.flow = Some(pkt.flow.0);
+            ev.node = Some(src.0 as u32);
+            ev.aux = pkt.size_bytes as u64;
+            o.event(ev);
         }
         let topo = self.topo;
         match self.edge_logic.ingress(topo, src, &mut pkt) {
@@ -806,7 +1078,7 @@ mod tests {
         );
         sim.run_to_quiescence();
         // Three store-and-forward hops at 100 Mbit/s: 3 × (80 µs tx + 10 µs prop).
-        assert!((sim.stats().mean_latency_s() - 3.0 * 90e-6).abs() < 1e-9);
+        assert!((sim.stats().mean_latency_s().unwrap() - 3.0 * 90e-6).abs() < 1e-9);
     }
 
     #[test]
@@ -1212,6 +1484,228 @@ mod tests {
         sim.run_to_quiescence();
         assert_eq!(sim.stats().dropped_for(DropReason::NoRoute), 1);
         assert_eq!(sim.stats().delivered, 0);
+    }
+
+    #[test]
+    fn obs_records_metrics_and_events_without_changing_the_run() {
+        let run = |with_obs: bool| {
+            let (topo, r) = line_world();
+            let mut sim = Sim::new(
+                &topo,
+                Box::new(ModuloDrop),
+                Box::new(FixedTag {
+                    route_id: r,
+                    uplink: 0,
+                }),
+                SimConfig::default(),
+            );
+            let handle = if with_obs {
+                ObsHandle::enabled()
+            } else {
+                ObsHandle::disabled()
+            };
+            sim.attach_obs(&handle);
+            for i in 0..5 {
+                sim.inject(
+                    topo.expect("S"),
+                    topo.expect("D"),
+                    FlowId(0),
+                    i,
+                    PacketKind::Probe,
+                    1000,
+                );
+            }
+            sim.run_to_quiescence();
+            (sim.stats().clone(), handle)
+        };
+        let (stats_off, _) = run(false);
+        let (stats_on, handle) = run(true);
+        // Pure observation: identical stats either way.
+        assert_eq!(stats_off, stats_on);
+        let obs = handle.get().expect("enabled handle");
+        let snap = obs.metrics.snapshot();
+        let counter = |e: Entity, m: &str| {
+            snap.counters
+                .iter()
+                .find(|(ce, cm, _)| *ce == e && cm == m)
+                .map(|&(_, _, v)| v)
+        };
+        let (topo, _) = line_world();
+        let s = topo.expect("S").0 as u32;
+        let d = topo.expect("D").0 as u32;
+        let sw4 = topo.expect("SW4").0 as u32;
+        assert_eq!(counter(Entity::Node(s), "injected"), Some(5));
+        assert_eq!(counter(Entity::Node(d), "delivered"), Some(5));
+        assert_eq!(counter(Entity::Node(sw4), "forwarded"), Some(5));
+        // Global latency histogram saw every delivery.
+        let lat = snap
+            .histograms
+            .iter()
+            .find(|h| h.entity == Entity::Global && h.metric == "latency_ns")
+            .expect("latency histogram");
+        assert_eq!(lat.count, 5);
+        // Events: 5 injects, hops at both switches, 5 delivers.
+        let events = obs.events.events();
+        let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(EventKind::Inject), 5);
+        assert_eq!(count(EventKind::Hop), 10);
+        assert_eq!(count(EventKind::Deliver), 5);
+        // Span: packet 0's events are time-ordered and share its flow.
+        let span: Vec<_> = events.iter().filter(|e| e.pkt == Some(0)).collect();
+        assert_eq!(span.len(), 4);
+        assert!(span.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert!(span.iter().all(|e| e.flow == Some(0)));
+    }
+
+    #[test]
+    fn obs_counts_fault_drop_and_detect_events() {
+        let (topo, r) = line_world();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig {
+                detection_delay: SimTime::from_micros(10),
+                ..SimConfig::default()
+            },
+        );
+        let handle = ObsHandle::enabled();
+        sim.attach_obs(&handle);
+        sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW4", "SW7"));
+        sim.inject(
+            topo.expect("S"),
+            topo.expect("D"),
+            FlowId(0),
+            0,
+            PacketKind::Probe,
+            500,
+        );
+        sim.run_to_quiescence();
+        let obs = handle.get().unwrap();
+        let events = obs.events.events();
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::Fault));
+        assert!(kinds.contains(&EventKind::Detect));
+        assert!(kinds.contains(&EventKind::Drop));
+        let drop = events
+            .iter()
+            .find(|e| e.kind == EventKind::Drop)
+            .expect("drop event");
+        assert_eq!(drop.tag, "no-route");
+    }
+
+    #[test]
+    fn profiler_times_the_dispatch_loop() {
+        let (topo, r) = line_world();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig::default(),
+        );
+        let profiler = Arc::new(Profiler::new());
+        sim.attach_profiler(profiler.clone());
+        sim.inject(
+            topo.expect("S"),
+            topo.expect("D"),
+            FlowId(0),
+            0,
+            PacketKind::Probe,
+            1000,
+        );
+        sim.run_to_quiescence();
+        let rows = profiler.rows();
+        let arrive = rows.iter().find(|r| r.label == "arrive").expect("arrive");
+        assert_eq!(arrive.count, 3); // SW4, SW7, D (injection is not an arrival)
+        let tx = rows.iter().find(|r| r.label == "tx-done").expect("tx-done");
+        assert_eq!(tx.count, 3);
+    }
+
+    #[test]
+    fn finalize_traces_marks_unfinished_journeys() {
+        let (topo, r) = line_world();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig {
+                trace_paths: true,
+                ..SimConfig::default()
+            },
+        );
+        sim.inject(
+            topo.expect("S"),
+            topo.expect("D"),
+            FlowId(0),
+            0,
+            PacketKind::Probe,
+            1000,
+        );
+        // Stop while the packet is still serializing on the first link.
+        sim.run_until(SimTime::from_micros(1));
+        assert_eq!(sim.in_flight(), 1);
+        assert_eq!(sim.finalize_traces(), 1);
+        assert_eq!(
+            sim.trace().get(0).unwrap().fate,
+            PacketFate::TruncatedAtSimEnd
+        );
+    }
+
+    #[test]
+    fn link_failure_finishes_traces_of_lost_packets() {
+        // Regression: packets queued on a failing link used to keep
+        // InFlight traces forever.
+        let mut b = TopologyBuilder::new();
+        let s = b.edge("S");
+        let c = b.core("C", 5);
+        let d = b.edge("D");
+        b.link(s, c, LinkParams::new(1000, 1));
+        b.link(c, d, LinkParams::new(1, 1)); // 12 ms per 1500 B packet
+        let topo = b.build().unwrap();
+        let basis = RnsBasis::new(vec![5]).unwrap();
+        let r = crt_encode(&basis, &[1]).unwrap();
+        let mut sim = Sim::new(
+            &topo,
+            Box::new(ModuloDrop),
+            Box::new(FixedTag {
+                route_id: r,
+                uplink: 0,
+            }),
+            SimConfig {
+                trace_paths: true,
+                ..SimConfig::default()
+            },
+        );
+        for i in 0..5 {
+            sim.inject(
+                topo.expect("S"),
+                topo.expect("D"),
+                FlowId(0),
+                i,
+                PacketKind::Probe,
+                1500,
+            );
+        }
+        sim.schedule_link_down(SimTime::from_millis(5), topo.expect_link("C", "D"));
+        sim.run_to_quiescence();
+        let lost = sim.stats().dropped_for(DropReason::LinkFailure);
+        assert!(lost >= 4);
+        let failure_fates = sim
+            .trace()
+            .iter()
+            .filter(|(_, t)| t.fate == PacketFate::Dropped(DropReason::LinkFailure))
+            .count() as u64;
+        assert_eq!(failure_fates, lost);
+        assert_eq!(sim.finalize_traces(), 0); // nothing left in flight
     }
 
     #[test]

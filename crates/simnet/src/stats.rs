@@ -78,20 +78,16 @@ impl Stats {
         self.delivered as f64 / self.injected as f64
     }
 
-    /// Mean hops per delivered packet.
-    pub fn mean_hops(&self) -> f64 {
-        if self.delivered == 0 {
-            return 0.0;
-        }
-        self.total_hops as f64 / self.delivered as f64
+    /// Mean hops per delivered packet; `None` when nothing was delivered
+    /// (a 0.0 would silently read as "delivered at zero hops").
+    pub fn mean_hops(&self) -> Option<f64> {
+        (self.delivered > 0).then(|| self.total_hops as f64 / self.delivered as f64)
     }
 
-    /// Mean in-network latency per delivered packet, in seconds.
-    pub fn mean_latency_s(&self) -> f64 {
-        if self.delivered == 0 {
-            return 0.0;
-        }
-        (self.total_latency_ns as f64 / self.delivered as f64) / 1e9
+    /// Mean in-network latency per delivered packet, in seconds; `None`
+    /// when nothing was delivered.
+    pub fn mean_latency_s(&self) -> Option<f64> {
+        (self.delivered > 0).then(|| (self.total_latency_ns as f64 / self.delivered as f64) / 1e9)
     }
 
     pub(crate) fn record_injection(&mut self) {
@@ -168,11 +164,11 @@ mod tests {
         s.record_delivery(&pkt(1000, 5), SimTime::from_millis(2));
         assert_eq!(s.delivered, 2);
         assert_eq!(s.delivered_bytes, 2000);
-        assert_eq!(s.mean_hops(), 4.0);
+        assert_eq!(s.mean_hops(), Some(4.0));
         assert_eq!(s.max_hops, 5);
         assert_eq!(s.deflections, 2);
         assert_eq!(s.delivery_ratio(), 1.0);
-        assert!((s.mean_latency_s() - 0.0015).abs() < 1e-12);
+        assert!((s.mean_latency_s().unwrap() - 0.0015).abs() < 1e-12);
     }
 
     #[test]
@@ -202,7 +198,8 @@ mod tests {
     fn idle_network_ratios() {
         let s = Stats::default();
         assert_eq!(s.delivery_ratio(), 1.0);
-        assert_eq!(s.mean_hops(), 0.0);
-        assert_eq!(s.mean_latency_s(), 0.0);
+        // An empty run has no mean: `None`, not a misleading 0.0.
+        assert_eq!(s.mean_hops(), None);
+        assert_eq!(s.mean_latency_s(), None);
     }
 }

@@ -18,6 +18,9 @@ pub enum PacketFate {
     Delivered,
     /// Dropped for this reason.
     Dropped(DropReason),
+    /// The simulation ended while the packet was still in flight — the
+    /// journey is incomplete, not lost (see [`TraceLog::finalize`]).
+    TruncatedAtSimEnd,
 }
 
 /// The recorded journey of one packet.
@@ -30,12 +33,20 @@ pub struct PacketTrace {
 }
 
 impl PacketTrace {
-    /// Renders the path as `AS1 → SW10 → …` using topology names.
+    /// Renders the path as `AS1 → SW10 → …` using topology names. Nodes
+    /// absent from `topo` (a stale trace rendered against a regenerated
+    /// topology) get a `node<i>` fallback instead of panicking.
     pub fn pretty(&self, topo: &Topology) -> String {
-        let names: Vec<&str> = self
+        let names: Vec<String> = self
             .path
             .iter()
-            .map(|&n| topo.node(n).name.as_str())
+            .map(|&n| {
+                if n.0 < topo.node_count() {
+                    topo.node(n).name.clone()
+                } else {
+                    format!("node{}", n.0)
+                }
+            })
             .collect();
         format!("{} [{:?}]", names.join(" → "), self.fate)
     }
@@ -69,6 +80,22 @@ impl TraceLog {
         if let Some(t) = self.traces.get_mut(&pkt_id) {
             t.fate = fate;
         }
+    }
+
+    /// Marks every trace still [`PacketFate::InFlight`] as
+    /// [`PacketFate::TruncatedAtSimEnd`] and returns how many were
+    /// converted. Called when a simulation ends (see
+    /// [`crate::Sim::finalize_traces`]) so no trace is left with the
+    /// misleading in-flight fate.
+    pub fn finalize(&mut self) -> usize {
+        let mut truncated = 0;
+        for t in self.traces.values_mut() {
+            if t.fate == PacketFate::InFlight {
+                t.fate = PacketFate::TruncatedAtSimEnd;
+                truncated += 1;
+            }
+        }
+        truncated
     }
 
     /// The trace of a packet, if it was seen.
@@ -117,5 +144,34 @@ mod tests {
         let mut log = TraceLog::default();
         log.finish(1, PacketFate::Dropped(DropReason::TtlExpired));
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn finalize_truncates_only_in_flight_traces() {
+        let mut log = TraceLog::default();
+        log.visit(1, NodeId(0));
+        log.visit(2, NodeId(0));
+        log.finish(2, PacketFate::Delivered);
+        assert_eq!(log.finalize(), 1);
+        assert_eq!(log.get(1).unwrap().fate, PacketFate::TruncatedAtSimEnd);
+        assert_eq!(log.get(2).unwrap().fate, PacketFate::Delivered);
+        assert_eq!(log.finalize(), 0); // idempotent
+    }
+
+    #[test]
+    fn pretty_falls_back_on_unknown_nodes() {
+        use kar_topology::{LinkParams, TopologyBuilder};
+        let mut b = TopologyBuilder::new();
+        let s = b.edge("S");
+        let c = b.core("C", 5);
+        b.link(s, c, LinkParams::default());
+        let topo = b.build().unwrap();
+        let trace = PacketTrace {
+            path: vec![NodeId(0), NodeId(42)], // 42 is not in the topology
+            fate: PacketFate::TruncatedAtSimEnd,
+        };
+        let rendered = trace.pretty(&topo);
+        assert!(rendered.contains("S → node42"), "{rendered}");
+        assert!(rendered.contains("TruncatedAtSimEnd"), "{rendered}");
     }
 }

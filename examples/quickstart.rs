@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.delivered,
         stats.injected,
         stats.deflections,
-        stats.mean_hops()
+        stats.mean_hops().unwrap_or(0.0)
     );
     assert_eq!(
         stats.delivered, 100,

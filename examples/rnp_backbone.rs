@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {a}-{b}: delivered {}/{} | mean hops {:.1} (nominal 4) | {} deflections",
             s.delivered,
             s.injected,
-            s.mean_hops(),
+            s.mean_hops().unwrap_or(0.0),
             s.deflections
         );
     }
