@@ -132,9 +132,10 @@ pub fn check_kar_row(seed: u64) -> (usize, u64, u64) {
     let topo = topo15::build();
     let as1 = topo.expect("AS1");
     let as3 = topo.expect("AS3");
-    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-        .with_seed(seed)
-        .with_ttl(255);
+    let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+        .seed(seed)
+        .ttl(255)
+        .build();
     net.install_route(as1, as3, &Protection::AutoFull)
         .expect("topo15 route installs");
     let mut sim = net.into_sim();

@@ -1,0 +1,279 @@
+//! Dataplane fast-path benchmark: measures the three optimizations the
+//! fast path bundles — precomputed-residue reduction, the calendar event
+//! queue, and `Arc`-shared route tags — each against the code path it
+//! replaced, and writes the numbers to `BENCH_dataplane.json` at the
+//! repo root (override with `KAR_BENCH_OUT`).
+//!
+//! The vendored criterion stand-in has no JSON reporter, so this bench
+//! times with `Instant` directly: per case it runs `TRIALS` timed trials
+//! after a warmup and keeps the minimum (the usual floor estimator for
+//! a noisy shared machine). `--smoke` (or `KAR_BENCH_SMOKE=1`) shrinks
+//! the repetition counts so CI can check the bench still runs without
+//! paying the full measurement.
+//!
+//! The headline number: per-hop forwarding on the rnp28 hot loop (the
+//! fig7 Belo Horizonte → São Paulo path under full protection), naive
+//! division vs the per-switch [`Reducer`] — the acceptance gate wants
+//! ≥3× here.
+
+use kar::{Controller, DeflectionTechnique, KarForwarder, Protection};
+use kar_rns::{BigUint, Reducer};
+use kar_simnet::{
+    CalendarQueue, FlowId, Forwarder, Packet, PacketKind, RouteTag, SimTime, SwitchCtx,
+};
+use kar_topology::{rnp28, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+use std::time::Instant;
+
+const TRIALS: usize = 7;
+
+/// Nanoseconds per call: minimum over `TRIALS` timed trials of `reps`
+/// calls each, after one warmup trial.
+fn time_ns<F: FnMut()>(reps: u64, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for trial in 0..=TRIALS {
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let ns = t.elapsed().as_nanos() as f64 / reps as f64;
+        if trial > 0 && ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn probe(topo: &Topology, route_id: &BigUint) -> Packet {
+    Packet {
+        id: 0,
+        flow: FlowId(0),
+        seq: 0,
+        kind: PacketKind::Probe,
+        size_bytes: 1500,
+        src: topo.expect("E_BV"),
+        dst: topo.expect("E_SP"),
+        route: Some(RouteTag::new(route_id.clone())),
+        ttl: 64,
+        hops: 0,
+        deflections: 0,
+        created: SimTime::ZERO,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("KAR_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let scale: u64 = if smoke { 200 } else { 200_000 };
+
+    let topo = rnp28::build();
+    let mut controller = Controller::new();
+    let route = controller
+        .install_explicit(
+            &topo,
+            rnp28::FIG7_ROUTE.iter().map(|n| topo.expect(n)).collect(),
+            &Protection::AutoFull,
+        )
+        .expect("fig7 route installs");
+    let route_id = &route.route_id;
+    println!(
+        "rnp28 fig7 route under AutoFull: {} switches folded, route ID {} bits",
+        route.pairs.len(),
+        route_id.bits()
+    );
+
+    // --- 1. Raw residue: naive division vs precomputed reducer, per
+    // switch of the hot loop. ---
+    let mut per_switch = Vec::new();
+    for &(id, _port) in &route.pairs {
+        let red = Reducer::new(id);
+        assert_eq!(red.rem(route_id), route_id.rem_u64(id));
+        let naive = time_ns(scale, || {
+            black_box(black_box(route_id).rem_u64(black_box(id)));
+        });
+        let fast = time_ns(scale, || {
+            black_box(black_box(&red).rem(black_box(route_id)));
+        });
+        per_switch.push((id, naive, fast));
+    }
+    let residue_speedup = geomean(per_switch.iter().map(|&(_, n, f)| n / f));
+    println!(
+        "residue: geomean speedup {residue_speedup:.2}x over {} switches",
+        per_switch.len()
+    );
+
+    // --- 2. Full per-hop forwarding decision at a hot-loop core switch,
+    // reducer off vs on (what the engine actually runs per packet). ---
+    let sw13 = topo.expect("SW13");
+    let switch_id = topo.switch_id(sw13).expect("SW13 is a core switch");
+    let ports_up = vec![true; topo.node(sw13).degree()];
+    let reducer = Reducer::new(switch_id);
+    let mut fwd = KarForwarder::new(DeflectionTechnique::Nip);
+    let mut rng = StdRng::seed_from_u64(1);
+    let shared: std::sync::Arc<BigUint> = std::sync::Arc::new(route_id.clone());
+    let mut pkt = probe(&topo, route_id);
+    let mut forward_pair = [0.0f64; 2];
+    for (i, red) in [None, Some(&reducer)].into_iter().enumerate() {
+        forward_pair[i] = time_ns(scale, || {
+            // Fresh tag each decision (an Arc bump) so the residue memo
+            // never turns the measurement into a cache-hit benchmark.
+            pkt.route = Some(RouteTag::new(shared.clone()));
+            let ctx = SwitchCtx {
+                topo: &topo,
+                node: sw13,
+                switch_id,
+                in_port: Some(0),
+                ports: &ports_up,
+                now: SimTime::ZERO,
+                reducer: red,
+            };
+            black_box(fwd.forward(&ctx, &mut pkt, &mut rng));
+        });
+    }
+    let [forward_slow, forward_fast] = forward_pair;
+    let forward_speedup = forward_slow / forward_fast;
+    println!(
+        "per-hop forward: {forward_slow:.1} ns -> {forward_fast:.1} ns ({forward_speedup:.2}x)"
+    );
+
+    // --- 3. Route tag clone: the old per-packet deep BigUint copy vs the
+    // arena'd Arc bump, at the fig7 route size and at a wide route (the
+    // Arc is O(1) in route width; the deep copy is not). ---
+    let p = route.basis.product();
+    let wide: BigUint = p.mul_big(&p).mul_big(&p).mul_big(&p);
+    let mut clone_sizes = Vec::new();
+    for rid in [route_id, &wide] {
+        let tag = RouteTag::new(rid.clone());
+        let deep_ns = time_ns(scale, || {
+            black_box(RouteTag::new(black_box(rid).clone()));
+        });
+        let arc_ns = time_ns(scale, || {
+            black_box(black_box(&tag).clone());
+        });
+        println!(
+            "route tag clone at {} bits: deep {deep_ns:.1} ns vs arc {arc_ns:.1} ns",
+            rid.bits()
+        );
+        clone_sizes.push((rid.bits(), deep_ns, arc_ns));
+    }
+
+    // --- 4. Event queue: hold-steady churn (pop one, push a successor),
+    // the engine's pattern, BinaryHeap vs CalendarQueue. ---
+    let backlog = 4096usize;
+    let churn = if smoke { 10_000u64 } else { 2_000_000 };
+    let offsets: Vec<u64> = {
+        let mut r = StdRng::seed_from_u64(7);
+        (0..8192)
+            .map(|_| {
+                if r.gen_bool(0.95) {
+                    r.gen_range(1u64..100_000) // near future: packet events
+                } else {
+                    r.gen_range(1_000_000u64..1_000_000_000) // timer tail
+                }
+            })
+            .collect()
+    };
+    let heap_ns = {
+        let run = || {
+            let mut q: BinaryHeap<Reverse<(SimTime, u64, u32)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            for i in 0..backlog {
+                q.push(Reverse((SimTime(offsets[i % offsets.len()]), seq, 0)));
+                seq += 1;
+            }
+            let t = Instant::now();
+            for i in 0..churn {
+                let Reverse((at, _, _)) = q.pop().expect("backlog never drains");
+                q.push(Reverse((
+                    at + SimTime(offsets[i as usize % offsets.len()]),
+                    seq,
+                    0,
+                )));
+                seq += 1;
+            }
+            black_box(&q);
+            t.elapsed().as_nanos() as f64 / churn as f64
+        };
+        (0..=TRIALS)
+            .map(|_| run())
+            .skip(1)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let cal_ns = {
+        let run = || {
+            let mut q: CalendarQueue<u32> = CalendarQueue::default();
+            let mut seq = 0u64;
+            for i in 0..backlog {
+                q.push(SimTime(offsets[i % offsets.len()]), seq, 0);
+                seq += 1;
+            }
+            let t = Instant::now();
+            for i in 0..churn {
+                let e = q.pop().expect("backlog never drains");
+                q.push(e.at + SimTime(offsets[i as usize % offsets.len()]), seq, 0);
+                seq += 1;
+            }
+            black_box(&q);
+            t.elapsed().as_nanos() as f64 / churn as f64
+        };
+        (0..=TRIALS)
+            .map(|_| run())
+            .skip(1)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let queue_speedup = heap_ns / cal_ns;
+    println!(
+        "event queue churn (backlog {backlog}): heap {heap_ns:.1} ns/op vs calendar {cal_ns:.1} ns/op ({queue_speedup:.2}x)"
+    );
+
+    // --- JSON report. ---
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"dataplane\",\n  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str(&format!(
+        "  \"residue_rnp28\": {{\n    \"route\": \"fig7 E_BV->E_SP AutoFull\",\n    \"route_bits\": {},\n    \"per_switch\": [\n",
+        route_id.bits()
+    ));
+    for (i, &(id, naive, fast)) in per_switch.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"switch_id\": {id}, \"naive_ns\": {naive:.2}, \"reducer_ns\": {fast:.2}, \"speedup\": {:.2}}}{}\n",
+            naive / fast,
+            if i + 1 < per_switch.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "    ],\n    \"geomean_speedup\": {residue_speedup:.2}\n  }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"forward_rnp28_sw13\": {{\"slow_ns\": {forward_slow:.2}, \"fast_ns\": {forward_fast:.2}, \"speedup\": {forward_speedup:.2}}},\n"
+    ));
+    json.push_str("  \"route_tag_clone\": [\n");
+    for (i, &(bits, deep_ns, arc_ns)) in clone_sizes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"route_bits\": {bits}, \"deep_ns\": {deep_ns:.2}, \"arc_ns\": {arc_ns:.2}, \"speedup\": {:.2}}}{}\n",
+            deep_ns / arc_ns,
+            if i + 1 < clone_sizes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"event_queue\": {{\"backlog\": {backlog}, \"churn_ops\": {churn}, \"heap_ns_per_op\": {heap_ns:.2}, \"calendar_ns_per_op\": {cal_ns:.2}, \"speedup\": {queue_speedup:.2}}}\n"
+    ));
+    json.push_str("}\n");
+
+    let out = std::env::var("KAR_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_dataplane.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_dataplane.json");
+    println!("wrote {out}");
+}
+
+fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = vals.fold((0.0, 0u32), |(s, n), v| (s + v.ln(), n + 1));
+    (sum / n as f64).exp()
+}

@@ -67,6 +67,7 @@ fn bench_forwarding(c: &mut Criterion) {
                     in_port: Some(0),
                     ports: &statuses_up,
                     now: SimTime::ZERO,
+                    reducer: None,
                 };
                 black_box(fwd.forward(&ctx, &mut pkt, &mut rng))
             })
@@ -82,6 +83,7 @@ fn bench_forwarding(c: &mut Criterion) {
                     in_port: Some(0),
                     ports: &statuses_fail,
                     now: SimTime::ZERO,
+                    reducer: None,
                 };
                 black_box(fwd.forward(&ctx, &mut pkt, &mut rng))
             })
@@ -100,6 +102,7 @@ fn bench_forwarding(c: &mut Criterion) {
                 in_port: Some(0),
                 ports: &statuses_up,
                 now: SimTime::ZERO,
+                reducer: None,
             };
             black_box(ff.forward(&ctx, &mut pkt, &mut rng))
         })

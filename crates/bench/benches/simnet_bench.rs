@@ -18,7 +18,9 @@ fn bench_probe_stream(c: &mut Criterion) {
     group.bench_function("topo15_1000_probes", |b| {
         b.iter_batched(
             || {
-                let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(1);
+                let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+                    .seed(1)
+                    .build();
                 net.install_route(as1, as3, &Protection::AutoFull).unwrap();
                 net.into_sim()
             },
@@ -46,7 +48,9 @@ fn bench_tcp_simulated_second(c: &mut Criterion) {
     group.bench_function("one_simulated_second_at_200mbps", |b| {
         b.iter_batched(
             || {
-                let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(1);
+                let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+                    .seed(1)
+                    .build();
                 net.install_route(as1, as3, &Protection::AutoFull).unwrap();
                 net.install_route(as3, as1, &Protection::AutoFull).unwrap();
                 let mut sim = net.into_sim();

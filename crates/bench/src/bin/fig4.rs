@@ -1,20 +1,20 @@
 //! Regenerates Fig. 4 (TCP throughput time series across a failure).
+use kar_bench::cli::CommonArgs;
 use kar_bench::experiments::fig4;
 use kar_bench::harness::env_knob;
-use kar_bench::{obs, runner};
 
 fn main() {
+    let common = CommonArgs::parse(1);
     let cfg = fig4::Fig4Config {
         pre_s: env_knob("KAR_PRE", 30),
         fail_s: env_knob("KAR_FAIL", 30),
         post_s: env_knob("KAR_POST", 30),
-        seed: env_knob("KAR_SEED", 1),
+        seed: common.seed,
     };
-    let jobs = runner::jobs_from_args(std::env::args());
-    obs::init(std::env::args().skip(1));
     eprintln!(
-        "fig4: {cfg:?}, {jobs} jobs (override with KAR_PRE/KAR_FAIL/KAR_POST/KAR_SEED, --jobs N, --metrics PATH)"
+        "fig4: {cfg:?}, {} jobs (override with KAR_PRE/KAR_FAIL/KAR_POST/KAR_SEED, --jobs N, --metrics PATH)",
+        common.jobs
     );
-    print!("{}", fig4::render(&fig4::run_jobs(cfg, jobs)));
-    obs::finish();
+    print!("{}", fig4::render(&fig4::run_jobs(cfg, common.jobs)));
+    common.finish();
 }

@@ -1,17 +1,19 @@
 //! Regenerates Fig. 5 (throughput vs failure location × protection × technique).
+use kar_bench::cli::CommonArgs;
 use kar_bench::experiments::fig5;
 use kar_bench::harness::env_knob;
-use kar_bench::{obs, runner};
 
 fn main() {
+    let common = CommonArgs::parse(1);
     let runs = env_knob("KAR_RUNS", 30) as usize;
     let secs = env_knob("KAR_SECONDS", 5);
-    let seed = env_knob("KAR_SEED", 1);
-    let jobs = runner::jobs_from_args(std::env::args());
-    obs::init(std::env::args().skip(1));
     eprintln!(
-        "fig5: {runs} runs × {secs}s, {jobs} jobs (override with KAR_RUNS/KAR_SECONDS/KAR_SEED, --jobs N, --metrics PATH)"
+        "fig5: {runs} runs × {secs}s, {} jobs (override with KAR_RUNS/KAR_SECONDS/KAR_SEED, --jobs N, --metrics PATH)",
+        common.jobs
     );
-    print!("{}", fig5::render(&fig5::run_jobs(runs, secs, seed, jobs)));
-    obs::finish();
+    print!(
+        "{}",
+        fig5::render(&fig5::run_jobs(runs, secs, common.seed, common.jobs))
+    );
+    common.finish();
 }

@@ -1,23 +1,21 @@
 //! Dynamic fault processes (repair, flap, node crash) with the
 //! failure-reactive controller loop: delivery, packets saved by
 //! deflection, and per-flow recovery latency per technique.
+use kar_bench::cli::CommonArgs;
 use kar_bench::experiments::dynamic;
 use kar_bench::harness::env_knob;
-use kar_bench::obs;
-use kar_bench::runner::jobs_from_args;
 use kar_bench::telemetry::{self, DynamicRecord};
 use kar_simnet::SimTime;
 
 fn main() {
-    let jobs = jobs_from_args(std::env::args().skip(1));
-    obs::init(std::env::args().skip(1));
+    let common = CommonArgs::parse(11);
     let cfg = dynamic::DynamicConfig {
         probes: env_knob("KAR_PROBES", 100),
         notification: SimTime::from_micros(env_knob("KAR_NOTIFY_US", 1000)),
-        seed: env_knob("KAR_SEED", 11),
+        seed: common.seed,
         ..dynamic::DynamicConfig::default()
     };
-    let points = dynamic::run(cfg, jobs);
+    let points = dynamic::run(cfg, common.jobs);
     print!("{}", dynamic::render(&points));
     let records: Vec<DynamicRecord> = points
         .iter()
@@ -36,5 +34,5 @@ fn main() {
         })
         .collect();
     telemetry::emit(&records);
-    obs::finish();
+    common.finish();
 }

@@ -170,9 +170,10 @@ fn run() -> Result<(), String> {
         "probe" => {
             let (from, to) = endpoints(&topo, &args)?;
             let prot = protection(&topo, &args)?;
-            let mut net = KarNetwork::new(&topo, args.technique)
-                .with_seed(args.seed)
-                .with_ttl(255);
+            let mut net = KarNetwork::builder(&topo, args.technique)
+                .seed(args.seed)
+                .ttl(255)
+                .build();
             net.install_route(from, to, &prot)
                 .map_err(|e| e.to_string())?;
             let mut sim = net.into_sim();

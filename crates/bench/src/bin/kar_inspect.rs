@@ -22,6 +22,7 @@ use std::io::BufReader;
 use std::process::ExitCode;
 
 use kar_obs::{fmt_ns, read_dumps, DumpRecord, RunDump};
+use kar_simnet::DropReason;
 
 struct Args {
     path: String,
@@ -100,9 +101,51 @@ fn render(run: &RunDump, pkt: Option<u64>) {
     println!("=== run {} ===", run.label);
     render_switch_table(run);
     render_link_heat(run);
+    render_drops(run);
     render_global(run);
     render_timeline(run, pkt);
     render_profile(run);
+}
+
+/// Drops broken down by the forwarder's exact reason, in
+/// [`DropReason::ALL`] declaration order — the engine records one
+/// `drop.<reason>` counter per drop, so every reason the dataplane can
+/// emit (missing tag, port down, residue out of range, TTL, queue, …)
+/// shows up here by name.
+fn render_drops(run: &RunDump) {
+    let mut by_reason: BTreeMap<&str, u64> = BTreeMap::new();
+    for r in &run.records {
+        if let DumpRecord::Counter {
+            entity,
+            metric,
+            value,
+        } = r
+        {
+            if entity == "global" {
+                if let Some(reason) = metric.strip_prefix("drop.") {
+                    *by_reason.entry(reason).or_insert(0) += value;
+                }
+            }
+        }
+    }
+    if by_reason.is_empty() {
+        return;
+    }
+    let total: u64 = by_reason.values().sum();
+    println!("drops by reason ({total} total):");
+    println!("| reason | count |");
+    println!("|---|---|");
+    // Known reasons first, in declaration order; anything the engine
+    // invents later still renders (alphabetically) after them.
+    for reason in DropReason::ALL {
+        if let Some(count) = by_reason.remove(reason.as_str()) {
+            println!("| {} | {count} |", reason.as_str());
+        }
+    }
+    for (reason, count) in &by_reason {
+        println!("| {reason} | {count} |");
+    }
+    println!();
 }
 
 /// Splits a `node:SW7`-style entity label; `None` for other scopes.
@@ -263,7 +306,8 @@ fn render_global(run: &RunDump) {
                 entity,
                 metric,
                 value,
-            } if entity == "global" => {
+            } if entity == "global" && !metric.starts_with("drop.") => {
+                // `drop.<reason>` counters get their own table above.
                 lines.push(format!("  {metric} = {value}"));
             }
             DumpRecord::Hist {

@@ -3,17 +3,17 @@
 //! With `--correlated`, failures arrive as whole SRLG groups (every
 //! core-core link of one switch at once) in a cumulative random order,
 //! and the sweep reports which scheme black-holes first.
+use kar_bench::cli::CommonArgs;
 use kar_bench::experiments::multi_failure as mf;
 use kar_bench::harness::env_knob;
-use kar_bench::obs;
 use kar_topology::{rnp28, topo15};
 
 fn main() {
+    let common = CommonArgs::parse(1);
     let correlated = std::env::args().any(|a| a == "--correlated");
-    obs::init(std::env::args().skip(1));
     let trials = env_knob("KAR_RUNS", 20) as usize;
     let probes = env_knob("KAR_PROBES", 200);
-    let seed = env_knob("KAR_SEED", 1);
+    let seed = common.seed;
     let t15 = topo15::build();
     let rnp = rnp28::build();
     if correlated {
@@ -32,7 +32,7 @@ fn main() {
                 &mf::run_correlated(&rnp, "E_BV", "E_SP", groups, trials, probes, seed)
             )
         );
-        obs::finish();
+        common.finish();
         return;
     }
     let ks = [0usize, 1, 2, 3];
@@ -50,5 +50,5 @@ fn main() {
             &mf::run(&rnp, "E_BV", "E_SP", &ks, trials, probes, seed)
         )
     );
-    obs::finish();
+    common.finish();
 }

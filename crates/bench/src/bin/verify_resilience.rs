@@ -11,7 +11,8 @@
 //! NIP with (§2.1). The gate fails if AVP ever loops *more* than that.
 use kar::verify::{summarize, CaseResult, VerifySummary};
 use kar::{verify_single_failures, DeflectionTechnique, EncodingCache, Outcome, Protection};
-use kar_bench::obs::{self, RunObs};
+use kar_bench::cli::CommonArgs;
+use kar_bench::obs::RunObs;
 use kar_obs::Entity;
 use kar_topology::{rnp28, topo15, Topology};
 
@@ -121,12 +122,12 @@ fn check(topo: &Topology, name: &str, avp_allowance: usize) -> bool {
 }
 
 fn main() {
-    obs::init(std::env::args().skip(1));
+    let common = CommonArgs::parse(1);
     let mut ok = true;
     ok &= check(&topo15::build(), "topo15", 0);
     // 3 known AVP input-port ping-pong loops around SW107-SW113.
     ok &= check(&rnp28::build(), "rnp28", 3);
-    obs::finish();
+    common.finish();
     if !ok {
         eprintln!("resilience gate FAILED: a protected dataplane black-holes or loops on a survivable failure");
         std::process::exit(1);

@@ -1,0 +1,136 @@
+//! Shared command-line handling for the experiment binaries.
+//!
+//! Every sweep binary accepts the same quartet of knobs; before this
+//! module each `main` re-implemented the parsing by hand. One
+//! [`CommonArgs::parse`] call now handles:
+//!
+//! * `--jobs N` / `--jobs=N` (or `KAR_JOBS`) — worker threads for the
+//!   [`crate::runner`] pool;
+//! * `--metrics PATH` / `--metrics=PATH` (or `KAR_METRICS`) — enables
+//!   the [`crate::obs`] dump sink;
+//! * `--telemetry TARGET` / `--telemetry=TARGET` — sugar for the
+//!   `KAR_TELEMETRY` environment variable read by
+//!   [`crate::telemetry::emit`] (`-` for stderr, anything else a file
+//!   path to append to);
+//! * `--seed N` (or `KAR_SEED`) — base RNG seed, with a per-experiment
+//!   default.
+//!
+//! None of the knobs changes simulation results except the seed: jobs
+//! only schedules work, and metrics/telemetry are pure observation.
+//! Call [`CommonArgs::finish`] at the end of `main` to flush any
+//! requested metrics dump.
+
+use crate::harness::env_knob;
+use crate::{obs, runner};
+
+/// The flags and environment knobs shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Worker threads for sweep parallelism (`--jobs`, `KAR_JOBS`).
+    pub jobs: usize,
+    /// Base RNG seed (`--seed`, `KAR_SEED`, experiment default).
+    pub seed: u64,
+    /// Whether a metrics dump was requested and the sink is collecting.
+    pub metrics: bool,
+    /// The `--telemetry` target, when given on the command line.
+    pub telemetry: Option<String>,
+}
+
+impl CommonArgs {
+    /// Parses the process arguments (skipping `argv[0]`), enabling the
+    /// metrics sink and exporting the telemetry target as a side effect.
+    /// `default_seed` is the experiment's seed when neither `--seed` nor
+    /// `KAR_SEED` is present.
+    pub fn parse(default_seed: u64) -> CommonArgs {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if let Some(target) = flag_value(&args, "--telemetry") {
+            // `telemetry::emit` reads the environment; the flag is sugar.
+            std::env::set_var("KAR_TELEMETRY", target);
+        }
+        let mut common = CommonArgs::parse_pure(&args, default_seed);
+        common.metrics = obs::init(args);
+        common
+    }
+
+    /// The side-effect-free core of [`CommonArgs::parse`]: resolves
+    /// `jobs` and `seed` from flags and environment without touching the
+    /// metrics sink or the telemetry environment (so tests can exercise
+    /// precedence in isolation). `metrics` is left `false`.
+    pub fn parse_pure(args: &[String], default_seed: u64) -> CommonArgs {
+        let seed = flag_value(args, "--seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| env_knob("KAR_SEED", default_seed));
+        CommonArgs {
+            jobs: runner::jobs_from_args(args.iter().cloned()),
+            seed,
+            metrics: false,
+            telemetry: flag_value(args, "--telemetry"),
+        }
+    }
+
+    /// Flushes the metrics dump (when one was requested) — call once at
+    /// the end of `main`.
+    pub fn finish(&self) {
+        obs::finish();
+    }
+}
+
+/// Extracts `--name <value>` or `--name=<value>`; the last occurrence
+/// wins (matching [`crate::obs::metrics_path`]'s convention).
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let mut iter = args.iter();
+    let mut value = None;
+    let prefix = format!("{name}=");
+    while let Some(arg) = iter.next() {
+        if arg == name {
+            value = iter.next().cloned();
+        } else if let Some(v) = arg.strip_prefix(&prefix) {
+            value = Some(v.to_string());
+        }
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn seed_flag_beats_default() {
+        let args = argv(&["--seed", "42"]);
+        assert_eq!(CommonArgs::parse_pure(&args, 7).seed, 42);
+        let args = argv(&["--seed=9"]);
+        assert_eq!(CommonArgs::parse_pure(&args, 7).seed, 9);
+        assert_eq!(CommonArgs::parse_pure(&[], 7).seed, 7);
+    }
+
+    #[test]
+    fn jobs_flag_is_recognized() {
+        let args = argv(&["--jobs", "3"]);
+        assert_eq!(CommonArgs::parse_pure(&args, 1).jobs, 3);
+        let args = argv(&["--jobs=2", "--jobs=5"]);
+        assert_eq!(CommonArgs::parse_pure(&args, 1).jobs, 5, "last wins");
+    }
+
+    #[test]
+    fn telemetry_flag_is_captured() {
+        let args = argv(&["--telemetry", "-"]);
+        assert_eq!(
+            CommonArgs::parse_pure(&args, 1).telemetry.as_deref(),
+            Some("-")
+        );
+        assert_eq!(CommonArgs::parse_pure(&[], 1).telemetry, None);
+    }
+
+    #[test]
+    fn unrelated_flags_are_ignored() {
+        let args = argv(&["--correlated", "--seed", "4", "extra"]);
+        let c = CommonArgs::parse_pure(&args, 1);
+        assert_eq!(c.seed, 4);
+        assert!(!c.metrics);
+    }
+}

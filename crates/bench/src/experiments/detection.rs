@@ -32,10 +32,11 @@ pub fn run(delays_us: &[u64], probes: u64, seed: u64) -> Vec<DetectionPoint> {
     delays_us
         .iter()
         .map(|&delay_us| {
-            let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-                .with_seed(seed)
-                .with_ttl(255)
-                .with_detection_delay(SimTime::from_micros(delay_us));
+            let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+                .seed(seed)
+                .ttl(255)
+                .detection_delay(SimTime::from_micros(delay_us))
+                .build();
             net.install_route(as1, as3, &Protection::AutoFull)
                 .expect("route installs");
             let mut sim = net.into_sim();

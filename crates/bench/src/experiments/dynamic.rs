@@ -161,18 +161,21 @@ pub fn run_point(
     let src = topo.expect("AS1");
     let dst = topo.expect("AS3");
     let obs = crate::obs::RunObs::begin();
-    let mut builder = KarNetwork::new(topo, technique)
-        .with_seed(cfg.seed)
-        .with_ttl(255)
-        .with_detection_delay(cfg.detection)
-        .with_obs(obs.handle.clone());
+    let mut builder = KarNetwork::builder(topo, technique)
+        .seed(cfg.seed)
+        .ttl(255)
+        .detection_delay(cfg.detection)
+        .obs(obs.handle.clone());
     if let Some(profiler) = &obs.profiler {
-        builder = builder.with_profiler(profiler.clone());
+        builder = builder.profiler(profiler.clone());
     }
-    let (mut net, log) = builder.with_recovery(RecoveryConfig {
-        notification_delay: cfg.notification,
-        protection: Protection::None,
-    });
+    let mut net = builder
+        .recovery(RecoveryConfig {
+            notification_delay: cfg.notification,
+            protection: Protection::None,
+        })
+        .build();
+    let log = net.recovery_log().expect("recovery enabled");
     net.install_route(src, dst, &Protection::AutoFull)
         .expect("route installs");
     let mut sim = net.into_sim();

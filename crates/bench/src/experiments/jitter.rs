@@ -31,9 +31,10 @@ pub fn run(packets: u64, seed: u64) -> Vec<JitterRow> {
     DeflectionTechnique::ALL
         .iter()
         .map(|&technique| {
-            let mut net = KarNetwork::new(&topo, technique)
-                .with_seed(seed)
-                .with_ttl(255);
+            let mut net = KarNetwork::builder(&topo, technique)
+                .seed(seed)
+                .ttl(255)
+                .build();
             net.install_route(as1, as3, &Protection::AutoFull)
                 .expect("route installs");
             let mut sim = net.into_sim();

@@ -88,9 +88,10 @@ fn run_one(
             } else {
                 DeflectionTechnique::None
             };
-            let mut net = KarNetwork::new(topo, technique)
-                .with_seed(seed)
-                .with_ttl(255);
+            let mut net = KarNetwork::builder(topo, technique)
+                .seed(seed)
+                .ttl(255)
+                .build();
             net.install_route(src, dst, &Protection::AutoFull)
                 .expect("route installs");
             net.into_sim()

@@ -60,6 +60,9 @@ pub struct TcpRun<'a> {
     /// empty a `tcp/seed<N>` fallback is used. Only read while a
     /// `--metrics` sink is collecting — never affects the simulation.
     pub label: String,
+    /// Use the precomputed-residue fast path (default). `KAR_FAST_PATH=0`
+    /// forces naive division so CI can byte-compare the two dataplanes.
+    pub fast_path: bool,
 }
 
 impl<'a> TcpRun<'a> {
@@ -80,6 +83,7 @@ impl<'a> TcpRun<'a> {
             switch_service: None,
             cache: None,
             label: String::new(),
+            fast_path: env_knob("KAR_FAST_PATH", 1) != 0,
         }
     }
 }
@@ -139,22 +143,24 @@ pub fn run_tcp(spec: &TcpRun<'_>) -> TcpRunResult {
     let obs = crate::obs::RunObs::begin();
     let src = *spec.primary.first().expect("non-empty primary");
     let dst = *spec.primary.last().expect("non-empty primary");
-    let mut net = KarNetwork::new(spec.topo, spec.technique)
-        .with_seed(spec.seed)
-        .with_ttl(spec.ttl)
-        .with_reroute(ReroutePolicy::Recompute {
+    let mut builder = KarNetwork::builder(spec.topo, spec.technique)
+        .seed(spec.seed)
+        .ttl(spec.ttl)
+        .fast_path(spec.fast_path)
+        .reroute(ReroutePolicy::Recompute {
             latency: SimTime::from_millis(2),
         })
-        .with_obs(obs.handle.clone());
+        .obs(obs.handle.clone());
     if let Some(profiler) = &obs.profiler {
-        net = net.with_profiler(profiler.clone());
+        builder = builder.profiler(profiler.clone());
     }
     if let Some(service) = spec.switch_service {
-        net = net.with_switch_service(service);
+        builder = builder.switch_service(service);
     }
     if let Some(cache) = &spec.cache {
-        net = net.with_encoding_cache(cache.clone());
+        builder = builder.encoding_cache(cache.clone());
     }
+    let mut net = builder.build();
     net.install_explicit(spec.primary.clone(), &spec.protection)
         .expect("forward route installs");
     let mut reverse = spec.primary.clone();

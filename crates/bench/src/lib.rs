@@ -16,11 +16,14 @@
 //! Sweeps run through [`runner`] — a work-stealing thread pool whose
 //! parallel results are byte-identical to the serial order (each run
 //! seeds its own simulator; nothing is global) — and can stream
-//! per-run [`telemetry`] records.
+//! per-run [`telemetry`] records. The flag/environment handling shared
+//! by every binary (`--jobs`, `--metrics`, `--telemetry`, `--seed`)
+//! lives in [`cli::CommonArgs`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
 pub mod harness;
 pub mod obs;

@@ -1,0 +1,38 @@
+//! The CI fast-path gate: the fig4 experiment must render byte-identical
+//! output with the precomputed-residue reducer on and off.
+//!
+//! This is the end-to-end form of the reducer's bit-identity contract
+//! (`kar_rns::Reducer` vs naive division) and the calendar queue's order
+//! contract: if either ever diverges, per-packet residues or event order
+//! shift and the rendered throughput series changes somewhere.
+//!
+//! `KAR_FAST_PATH` is process-global, so both runs live in one `#[test]`
+//! (this file is its own test binary; nothing else here reads the knob).
+
+use kar_bench::experiments::fig4::{self, Fig4Config};
+
+#[test]
+fn fig4_output_is_identical_with_fast_path_on_and_off() {
+    let cfg = Fig4Config {
+        pre_s: 3,
+        fail_s: 3,
+        post_s: 3,
+        seed: 1,
+    };
+    std::env::set_var("KAR_FAST_PATH", "1");
+    let fast = fig4::render(&fig4::run(cfg));
+    std::env::set_var("KAR_FAST_PATH", "0");
+    let slow = fig4::render(&fig4::run(cfg));
+    std::env::remove_var("KAR_FAST_PATH");
+    assert!(
+        fast == slow,
+        "fig4 output diverges between fast and slow dataplane\n--- fast ---\n{fast}\n--- slow ---\n{slow}"
+    );
+    // Sanity: the scaled-down run actually produced the four curves.
+    assert_eq!(
+        fast.lines()
+            .filter(|l| l.starts_with(|c: char| c.is_ascii_digit()))
+            .count(),
+        9
+    );
+}

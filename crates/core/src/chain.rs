@@ -176,9 +176,10 @@ mod tests {
         let w = [topo.expect("SW17"), topo.expect("SW41")];
         let path = chain_path(&topo, as1, &w, as3).unwrap();
         let hops = path.len() - 2;
-        let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-            .with_seed(2)
-            .with_tracing();
+        let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+            .seed(2)
+            .tracing()
+            .build();
         net.install_explicit(path, &Protection::None).unwrap();
         let mut sim = net.into_sim();
         sim.inject(as1, as3, FlowId(0), 0, PacketKind::Probe, 500);

@@ -21,7 +21,7 @@ use crate::deflect::DeflectionTechnique;
 use crate::error::KarError;
 use crate::protection::{encode_with_protection, Protection};
 use crate::route::EncodedRoute;
-use kar_simnet::{EdgeLogic, Packet, RerouteDecision, RouteTag, SimTime};
+use kar_simnet::{EdgeLogic, Packet, RerouteDecision, RouteArena, RouteTag, SimTime};
 use kar_topology::{paths, LinkId, NodeId, PortIx, Topology};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -66,6 +66,9 @@ pub struct Controller {
     /// Optional shared encoding memo; a cached encode is byte-identical
     /// to a fresh one, so this only affects speed.
     cache: Option<Arc<EncodingCache>>,
+    /// Interns route IDs so every ingress tag for the same route shares
+    /// one allocation (packet clones then only bump a refcount).
+    arena: RouteArena,
 }
 
 impl Controller {
@@ -128,6 +131,7 @@ impl Controller {
     /// cached under the old failure set must not be served afterwards.
     pub fn clear_routes(&mut self) {
         self.table.clear();
+        self.arena.clear();
     }
 
     /// The installed route for `(src, dst)`, if any.
@@ -238,7 +242,7 @@ pub(crate) fn bfs_avoiding(
 impl EdgeLogic for Controller {
     fn ingress(&mut self, _topo: &Topology, edge: NodeId, pkt: &mut Packet) -> Option<PortIx> {
         let route = self.table.get(&(edge, pkt.dst))?;
-        pkt.route = Some(RouteTag::new(route.route_id.clone()));
+        pkt.route = Some(RouteTag::new(self.arena.intern(&route.route_id)));
         Some(route.uplink)
     }
 
@@ -272,7 +276,7 @@ impl EdgeLogic for Controller {
                         }
                     }
                 };
-                pkt.route = Some(RouteTag::new(route.route_id.clone()));
+                pkt.route = Some(RouteTag::new(self.arena.intern(&route.route_id)));
                 RerouteDecision::Forward {
                     port: route.uplink,
                     delay: latency,
@@ -340,7 +344,7 @@ mod tests {
         let mut pkt = probe(as1, as3);
         let port = c.ingress(&topo, as1, &mut pkt).unwrap();
         assert_eq!(port, route.uplink);
-        assert_eq!(pkt.route.as_ref().unwrap().route_id, route.route_id);
+        assert_eq!(*pkt.route.as_ref().unwrap().route_id, route.route_id);
         // No route for the reverse direction.
         let mut back = probe(as3, as1);
         assert!(c.ingress(&topo, as3, &mut back).is_none());
@@ -405,7 +409,7 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(
-            pkt.route.as_ref().unwrap().route_id,
+            *pkt.route.as_ref().unwrap().route_id,
             kar_rns::BigUint::from(99u64),
             "bounce must not rewrite the tag"
         );

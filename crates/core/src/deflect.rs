@@ -161,20 +161,23 @@ impl Forwarder for KarForwarder {
         pkt: &mut Packet,
         rng: &mut StdRng,
     ) -> ForwardDecision {
-        let Some(tag) = &pkt.route else {
-            return ForwardDecision::Drop(DropReason::NoRoute);
+        let Some(tag) = &mut pkt.route else {
+            return ForwardDecision::Drop(DropReason::MissingTag);
         };
-        let computed = tag.route_id.rem_u64(ctx.switch_id);
+        let computed = ctx.residue(tag);
+        let was_deflected = tag.deflected;
         match self.technique {
             DeflectionTechnique::None => {
                 if ctx.port_available(computed) {
                     ForwardDecision::Output(computed)
+                } else if (computed as usize) < ctx.ports.len() {
+                    ForwardDecision::Drop(DropReason::PortDown)
                 } else {
-                    ForwardDecision::Drop(DropReason::NoRoute)
+                    ForwardDecision::Drop(DropReason::ResidueOutOfRange)
                 }
             }
             DeflectionTechnique::HotPotato => {
-                if tag.deflected {
+                if was_deflected {
                     // "Once a packet is deflected, it follows a complete
                     // random path in network."
                     Self::deflect(ctx, pkt, None, false, rng)
@@ -260,6 +263,7 @@ mod tests {
             in_port,
             ports,
             now: SimTime::ZERO,
+            reducer: None,
         }
     }
 
@@ -287,7 +291,13 @@ mod tests {
         let mut p = pkt(9, false);
         assert_eq!(
             fwd.forward(&ctx(&topo, a, Some(0), &down2), &mut p, &mut rng),
-            ForwardDecision::Drop(DropReason::NoRoute)
+            ForwardDecision::Drop(DropReason::PortDown)
+        );
+        // 5 mod 7 = 5 ≥ 3 ports: the residue itself is invalid here.
+        let mut p = pkt(5, false);
+        assert_eq!(
+            fwd.forward(&ctx(&topo, a, Some(0), &down2), &mut p, &mut rng),
+            ForwardDecision::Drop(DropReason::ResidueOutOfRange)
         );
     }
 
@@ -538,7 +548,7 @@ mod tests {
         p.route = None;
         assert_eq!(
             fwd.forward(&ctx(&topo, a, None, &up), &mut p, &mut rng),
-            ForwardDecision::Drop(DropReason::NoRoute)
+            ForwardDecision::Drop(DropReason::MissingTag)
         );
     }
 

@@ -78,8 +78,24 @@ pub use deflect::{DeflectionTechnique, KarForwarder};
 pub use error::KarError;
 pub use header::RouteHeader;
 pub use multipath::{edge_disjoint_paths, MultipathEdge};
-pub use network::KarNetwork;
+pub use network::{KarNetwork, KarNetworkBuilder};
 pub use protection::Protection;
 pub use recovery::{FlowRecovery, RecoveringController, RecoveryConfig, RecoveryLog};
 pub use route::{EncodedRoute, RouteSpec};
 pub use verify::{verify_route, verify_single_failures, Outcome, VerifyReport, VerifySummary};
+
+/// The working set for building and running a KAR simulation.
+///
+/// `use kar::prelude::*;` brings in the network builder, the paper's
+/// deflection techniques and protection levels, and the simulator/
+/// topology types every driver touches (`Sim`, `SimTime`, `FlowId`,
+/// `Topology`, `NodeId`, …).
+pub mod prelude {
+    pub use crate::{
+        Controller, DeflectionTechnique, EncodedRoute, EncodingCache, KarError, KarForwarder,
+        KarNetwork, KarNetworkBuilder, Protection, RecoveryConfig, RecoveryLog, ReroutePolicy,
+        RouteSpec,
+    };
+    pub use kar_simnet::{FlowId, Packet, PacketKind, Sim, SimConfig, SimTime, Stats};
+    pub use kar_topology::{NodeId, Topology};
+}

@@ -1,9 +1,13 @@
 //! One-stop assembly of a KAR network simulation.
 //!
-//! [`KarNetwork`] wires a topology, the KAR dataplane (modulo
-//! forwarding plus deflection), and the controller-backed edge logic
-//! into a ready [`Sim`]. This is the API the examples and every
-//! experiment driver use.
+//! [`KarNetworkBuilder`] collects every knob of a run — seed, TTL,
+//! detection delay, reroute policy, recovery loop, observability — and
+//! a single [`KarNetworkBuilder::build`] produces a [`KarNetwork`],
+//! which wires a topology, the KAR dataplane (modulo forwarding plus
+//! deflection), and the controller-backed edge logic into a ready
+//! [`Sim`]. This is the API the examples and every experiment driver
+//! use. The older `KarNetwork::with_*` chain survives as deprecated
+//! shims over the builder.
 
 use crate::cache::EncodingCache;
 use crate::controller::{Controller, ReroutePolicy};
@@ -17,25 +21,164 @@ use kar_simnet::{EdgeLogic, Sim, SimConfig};
 use kar_topology::{paths, NodeId, Topology};
 use std::sync::{Arc, Mutex};
 
-/// Builder for a KAR simulation.
+/// Collects every configuration knob of a KAR simulation; one
+/// [`KarNetworkBuilder::build`] call turns it into a [`KarNetwork`].
 ///
 /// # Examples
 ///
 /// ```
-/// use kar::{DeflectionTechnique, KarNetwork, Protection};
-/// use kar_simnet::SimTime;
+/// use kar::prelude::*;
 /// use kar_topology::topo15;
 ///
 /// let topo = topo15::build();
-/// let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip);
+/// let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+///     .seed(7)
+///     .ttl(255)
+///     .build();
 /// let as1 = topo.expect("AS1");
 /// let as3 = topo.expect("AS3");
 /// net.install_route(as1, as3, &Protection::AutoFull)?;
-/// net.install_route(as3, as1, &Protection::None)?;
 /// let mut sim = net.into_sim();
 /// sim.run_until(SimTime::from_millis(1));
 /// # Ok::<(), kar::KarError>(())
 /// ```
+#[derive(Clone)]
+pub struct KarNetworkBuilder<'t> {
+    topo: &'t Topology,
+    technique: DeflectionTechnique,
+    sim_config: SimConfig,
+    reroute: ReroutePolicy,
+    cache: Option<Arc<EncodingCache>>,
+    recovery: Option<RecoveryConfig>,
+    obs: ObsHandle,
+    profiler: Option<Arc<Profiler>>,
+}
+
+impl<'t> KarNetworkBuilder<'t> {
+    /// Starts a builder with default controller/simulation settings.
+    pub fn new(topo: &'t Topology, technique: DeflectionTechnique) -> Self {
+        KarNetworkBuilder {
+            topo,
+            technique,
+            sim_config: SimConfig::default(),
+            reroute: ReroutePolicy::default(),
+            cache: None,
+            recovery: None,
+            obs: ObsHandle::disabled(),
+            profiler: None,
+        }
+    }
+
+    /// RNG seed (runs with equal seeds are bit-identical).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.sim_config.seed = seed;
+        self
+    }
+
+    /// Per-packet hop budget.
+    pub fn ttl(mut self, ttl: u16) -> Self {
+        self.sim_config.default_ttl = ttl;
+        self
+    }
+
+    /// Serializes every core-switch traversal through one shared CPU
+    /// taking `service` per packet (see
+    /// [`kar_simnet::SimConfig::switch_service`]).
+    pub fn switch_service(mut self, service: kar_simnet::SimTime) -> Self {
+        self.sim_config.switch_service = Some(service);
+        self
+    }
+
+    /// Enables per-packet path tracing (see [`kar_simnet::TraceLog`]).
+    pub fn tracing(mut self) -> Self {
+        self.sim_config.trace_paths = true;
+        self
+    }
+
+    /// Failure-detection delay: how long switches keep forwarding into a
+    /// dead port before noticing (the paper assumes zero).
+    pub fn detection_delay(mut self, delay: kar_simnet::SimTime) -> Self {
+        self.sim_config.detection_delay = delay;
+        self
+    }
+
+    /// Toggles the precomputed-reducer forwarding fast path (see
+    /// [`kar_simnet::SimConfig::fast_path`]; on by default, bit-identical
+    /// either way).
+    pub fn fast_path(mut self, enabled: bool) -> Self {
+        self.sim_config.fast_path = enabled;
+        self
+    }
+
+    /// Wrong-edge policy (default: controller recompute with a 2 ms
+    /// round trip, the paper's setting).
+    pub fn reroute(mut self, policy: ReroutePolicy) -> Self {
+        self.reroute = policy;
+        self
+    }
+
+    /// Enables the failure-reactive controller loop (see
+    /// [`crate::recovery`]). Read latencies afterwards via
+    /// [`KarNetwork::recovery_log`].
+    pub fn recovery(mut self, config: RecoveryConfig) -> Self {
+        self.recovery = Some(config);
+        self
+    }
+
+    /// Attaches an observability bundle (see [`kar_obs`]). Pure
+    /// observation — a run with observability attached is byte-identical
+    /// to one without. Set it before installing routes so install-time
+    /// gauges are captured too.
+    pub fn obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Attaches a profiler timing the engine's dispatch loop per event
+    /// type (host wall clock — telemetry only).
+    pub fn profiler(mut self, profiler: Arc<Profiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// Routes all route-ID computation through a shared
+    /// [`EncodingCache`]. Cached encodes are byte-identical to fresh
+    /// ones — sharing a cache changes speed, never results.
+    pub fn encoding_cache(mut self, cache: Arc<EncodingCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Finalizes the configuration into a [`KarNetwork`] ready for route
+    /// installs and [`KarNetwork::into_sim`].
+    pub fn build(self) -> KarNetwork<'t> {
+        let mut controller = Controller::new().with_reroute(self.reroute);
+        if let Some(cache) = &self.cache {
+            controller = controller.with_encoding_cache(Arc::clone(cache));
+        }
+        let recovery = self
+            .recovery
+            .map(|config| (config, Arc::new(Mutex::new(RecoveryLog::default()))));
+        KarNetwork {
+            topo: self.topo,
+            technique: self.technique,
+            controller,
+            sim_config: self.sim_config,
+            reroute: self.reroute,
+            cache: self.cache,
+            recovery,
+            installed: Vec::new(),
+            obs: self.obs,
+            profiler: self.profiler,
+        }
+    }
+}
+
+/// A configured KAR deployment: routes can be installed on it and
+/// [`KarNetwork::into_sim`] wires it into a runnable simulation.
+///
+/// Construct one via [`KarNetwork::builder`] (or [`KarNetwork::new`]
+/// for all-default settings).
 pub struct KarNetwork<'t> {
     topo: &'t Topology,
     technique: DeflectionTechnique,
@@ -53,30 +196,28 @@ pub struct KarNetwork<'t> {
 }
 
 impl<'t> KarNetwork<'t> {
+    /// Starts a [`KarNetworkBuilder`] — the one-stop configuration
+    /// surface for every knob of a run.
+    pub fn builder(topo: &'t Topology, technique: DeflectionTechnique) -> KarNetworkBuilder<'t> {
+        KarNetworkBuilder::new(topo, technique)
+    }
+
     /// Creates a network with the given deflection technique and default
-    /// controller/simulation settings.
+    /// controller/simulation settings (equivalent to building the
+    /// default [`KarNetworkBuilder`]).
     pub fn new(topo: &'t Topology, technique: DeflectionTechnique) -> Self {
-        KarNetwork {
-            topo,
-            technique,
-            controller: Controller::new(),
-            sim_config: SimConfig::default(),
-            reroute: ReroutePolicy::default(),
-            cache: None,
-            recovery: None,
-            installed: Vec::new(),
-            obs: ObsHandle::disabled(),
-            profiler: None,
-        }
+        KarNetworkBuilder::new(topo, technique).build()
     }
 
     /// Sets the RNG seed (runs with equal seeds are bit-identical).
+    #[deprecated(since = "0.2.0", note = "use KarNetwork::builder(..).seed(..).build()")]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.sim_config.seed = seed;
         self
     }
 
     /// Sets the per-packet hop budget.
+    #[deprecated(since = "0.2.0", note = "use KarNetwork::builder(..).ttl(..).build()")]
     pub fn with_ttl(mut self, ttl: u16) -> Self {
         self.sim_config.default_ttl = ttl;
         self
@@ -85,12 +226,20 @@ impl<'t> KarNetwork<'t> {
     /// Serializes every core-switch traversal through one shared CPU
     /// taking `service` per packet — the Mininet-style shared softswitch
     /// model (see [`kar_simnet::SimConfig::switch_service`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use KarNetwork::builder(..).switch_service(..).build()"
+    )]
     pub fn with_switch_service(mut self, service: kar_simnet::SimTime) -> Self {
         self.sim_config.switch_service = Some(service);
         self
     }
 
     /// Enables per-packet path tracing (see [`kar_simnet::TraceLog`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use KarNetwork::builder(..).tracing().build()"
+    )]
     pub fn with_tracing(mut self) -> Self {
         self.sim_config.trace_paths = true;
         self
@@ -99,6 +248,10 @@ impl<'t> KarNetwork<'t> {
     /// Sets the failure-detection delay: how long switches keep
     /// forwarding into a dead port before noticing (the paper assumes
     /// zero — instantaneous local detection).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use KarNetwork::builder(..).detection_delay(..).build()"
+    )]
     pub fn with_detection_delay(mut self, delay: kar_simnet::SimTime) -> Self {
         self.sim_config.detection_delay = delay;
         self
@@ -106,6 +259,10 @@ impl<'t> KarNetwork<'t> {
 
     /// Sets the wrong-edge policy (default: controller recompute with a
     /// 2 ms round trip, the paper's setting).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use KarNetwork::builder(..).reroute(..).build()"
+    )]
     pub fn with_reroute(mut self, policy: ReroutePolicy) -> Self {
         self.controller = std::mem::take(&mut self.controller).with_reroute(policy);
         self.reroute = policy;
@@ -117,6 +274,10 @@ impl<'t> KarNetwork<'t> {
     /// further notification delay elapses, affected routes are
     /// re-encoded around the failure. Returns the handle onto the
     /// [`RecoveryLog`] so recovery latencies can be read after the run.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use KarNetwork::builder(..).recovery(..).build() and KarNetwork::recovery_log()"
+    )]
     pub fn with_recovery(mut self, config: RecoveryConfig) -> (Self, Arc<Mutex<RecoveryLog>>) {
         let log = Arc::new(Mutex::new(RecoveryLog::default()));
         self.recovery = Some((config, Arc::clone(&log)));
@@ -131,6 +292,7 @@ impl<'t> KarNetwork<'t> {
     ///
     /// Call before [`KarNetwork::install_route`] so install-time gauges
     /// are captured too.
+    #[deprecated(since = "0.2.0", note = "use KarNetwork::builder(..).obs(..).build()")]
     pub fn with_obs(mut self, obs: ObsHandle) -> Self {
         self.obs = obs;
         self
@@ -138,6 +300,10 @@ impl<'t> KarNetwork<'t> {
 
     /// Attaches a profiler timing the engine's dispatch loop per event
     /// type (host wall clock — telemetry only, never simulation state).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use KarNetwork::builder(..).profiler(..).build()"
+    )]
     pub fn with_profiler(mut self, profiler: Arc<Profiler>) -> Self {
         self.profiler = Some(profiler);
         self
@@ -146,6 +312,10 @@ impl<'t> KarNetwork<'t> {
     /// Attaches a shared route-encoding cache to the controller. Cached
     /// encodes are byte-identical to fresh ones — sharing one cache
     /// across simulations (or threads) changes speed, never results.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use KarNetwork::builder(..).encoding_cache(..).build()"
+    )]
     pub fn with_encoding_cache(mut self, cache: Arc<EncodingCache>) -> Self {
         self.controller = std::mem::take(&mut self.controller).with_encoding_cache(cache.clone());
         self.cache = Some(cache);
@@ -155,6 +325,12 @@ impl<'t> KarNetwork<'t> {
     /// The underlying topology.
     pub fn topology(&self) -> &'t Topology {
         self.topo
+    }
+
+    /// Handle onto the recovery-latency log, when the failure-reactive
+    /// controller loop is enabled (see [`KarNetworkBuilder::recovery`]).
+    pub fn recovery_log(&self) -> Option<Arc<Mutex<RecoveryLog>>> {
+        self.recovery.as_ref().map(|(_, log)| Arc::clone(log))
     }
 
     /// Mutable access to the controller (failure awareness, inspection).
@@ -268,7 +444,9 @@ mod tests {
     #[test]
     fn probe_crosses_topo15_primary_route() {
         let topo = topo15::build();
-        let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(3);
+        let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+            .seed(3)
+            .build();
         let as1 = topo.expect("AS1");
         let as3 = topo.expect("AS3");
         net.install_route(as1, as3, &Protection::None).unwrap();
@@ -288,7 +466,9 @@ mod tests {
         let failed = topo.expect_link("SW7", "SW13");
 
         // Without deflection: all probes die at SW7.
-        let mut net = KarNetwork::new(&topo, DeflectionTechnique::None).with_seed(3);
+        let mut net = KarNetwork::builder(&topo, DeflectionTechnique::None)
+            .seed(3)
+            .build();
         net.install_route(as1, as3, &Protection::AutoFull).unwrap();
         let mut sim = net.into_sim();
         sim.schedule_link_down(SimTime::ZERO, failed);
@@ -299,7 +479,9 @@ mod tests {
         assert_eq!(sim.stats().delivered, 0);
 
         // With NIP + full protection: every probe survives.
-        let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(3);
+        let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+            .seed(3)
+            .build();
         net.install_route(as1, as3, &Protection::AutoFull).unwrap();
         let mut sim = net.into_sim();
         sim.schedule_link_down(SimTime::ZERO, failed);
@@ -319,7 +501,9 @@ mod tests {
         let as1 = topo.expect("AS1");
         let as3 = topo.expect("AS3");
         for (a, b) in topo15::FAILURE_LOCATIONS {
-            let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(11);
+            let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+                .seed(11)
+                .build();
             net.install_route(as1, as3, &Protection::AutoFull).unwrap();
             let mut sim = net.into_sim();
             sim.schedule_link_down(SimTime::ZERO, topo.expect_link(a, b));
@@ -344,9 +528,10 @@ mod tests {
         let topo = topo15::build();
         let as1 = topo.expect("AS1");
         let as3 = topo.expect("AS3");
-        let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-            .with_seed(5)
-            .with_ttl(255);
+        let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+            .seed(5)
+            .ttl(255)
+            .build();
         net.install_route(as1, as3, &Protection::None).unwrap();
         let mut sim = net.into_sim();
         sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW7", "SW13"));
@@ -372,13 +557,15 @@ mod tests {
         let as1 = topo.expect("AS1");
         let as3 = topo.expect("AS3");
         let failed = topo.expect_link("SW7", "SW13");
-        let (mut net, log) = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-            .with_seed(7)
-            .with_detection_delay(SimTime::from_micros(100))
-            .with_recovery(crate::recovery::RecoveryConfig {
+        let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+            .seed(7)
+            .detection_delay(SimTime::from_micros(100))
+            .recovery(crate::recovery::RecoveryConfig {
                 notification_delay: SimTime::from_millis(1),
                 protection: Protection::None,
-            });
+            })
+            .build();
+        let log = net.recovery_log().unwrap();
         net.install_route(as1, as3, &Protection::AutoFull).unwrap();
         let mut sim = net.into_sim();
         // Failure at 1 ms; observed at 1.1 ms; recovery live at 2.1 ms.
@@ -415,14 +602,15 @@ mod tests {
         let as3 = topo.expect("AS3");
         let failed = topo.expect_link("SW7", "SW13");
         let run = |obs: ObsHandle| {
-            let (mut net, _log) = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-                .with_seed(7)
-                .with_detection_delay(SimTime::from_micros(100))
-                .with_obs(obs)
-                .with_recovery(crate::recovery::RecoveryConfig {
+            let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+                .seed(7)
+                .detection_delay(SimTime::from_micros(100))
+                .obs(obs)
+                .recovery(crate::recovery::RecoveryConfig {
                     notification_delay: SimTime::from_millis(1),
                     protection: Protection::None,
-                });
+                })
+                .build();
             net.install_route(as1, as3, &Protection::AutoFull).unwrap();
             let mut sim = net.into_sim();
             sim.schedule_link_down(SimTime::from_millis(1), failed);
@@ -481,12 +669,33 @@ mod tests {
     #[test]
     fn builder_knobs() {
         let topo = topo15::build();
-        let net = KarNetwork::new(&topo, DeflectionTechnique::Avp)
-            .with_seed(9)
-            .with_ttl(32)
-            .with_reroute(ReroutePolicy::Drop);
+        let net = KarNetwork::builder(&topo, DeflectionTechnique::Avp)
+            .seed(9)
+            .ttl(32)
+            .fast_path(false)
+            .reroute(ReroutePolicy::Drop)
+            .build();
         assert_eq!(net.topology().node_count(), 15);
+        assert!(net.recovery_log().is_none());
         let sim = net.into_sim();
         assert_eq!(sim.forwarder().name(), "AVP");
+    }
+
+    /// The pre-builder `with_*` chain still works (deprecated shims).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_chain_still_configures() {
+        let topo = topo15::build();
+        let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
+            .with_seed(3)
+            .with_ttl(64)
+            .with_reroute(ReroutePolicy::Drop);
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        net.install_route(as1, as3, &Protection::None).unwrap();
+        let mut sim = net.into_sim();
+        sim.inject(as1, as3, FlowId(0), 0, PacketKind::Probe, 1000);
+        sim.run_until(SimTime::from_millis(100));
+        assert_eq!(sim.stats().delivered, 1);
     }
 }

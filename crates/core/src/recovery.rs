@@ -458,7 +458,7 @@ mod tests {
         let mut pkt = probe(as1, as3, SimTime::from_millis(2));
         rc.ingress(&topo, as1, &mut pkt).unwrap();
         assert_eq!(
-            pkt.route.as_ref().unwrap().route_id,
+            *pkt.route.as_ref().unwrap().route_id,
             original.route_id,
             "before the notification lands the old ID is stamped"
         );
@@ -467,7 +467,7 @@ mod tests {
         let mut pkt = probe(as1, as3, SimTime::from_millis(3));
         rc.ingress(&topo, as1, &mut pkt).unwrap();
         let recovered = pkt.route.as_ref().unwrap().route_id.clone();
-        assert_ne!(recovered, original.route_id);
+        assert_ne!(*recovered, original.route_id);
 
         let log = rc.log_handle();
         {
@@ -484,7 +484,7 @@ mod tests {
         rc.on_link_event(&topo, failed, true, SimTime::from_millis(5));
         let mut pkt = probe(as1, as3, SimTime::from_millis(8));
         rc.ingress(&topo, as1, &mut pkt).unwrap();
-        assert_eq!(pkt.route.as_ref().unwrap().route_id, original.route_id);
+        assert_eq!(*pkt.route.as_ref().unwrap().route_id, original.route_id);
         // Reverting is not another "recovery".
         assert_eq!(log.lock().unwrap().flows.len(), 1);
     }
@@ -506,7 +506,7 @@ mod tests {
         rc.on_link_event(&topo, topo.expect_link("SW7", "SW13"), false, SimTime::ZERO);
         let mut pkt = probe(as2, as3, SimTime::from_millis(10));
         rc.ingress(&topo, as2, &mut pkt).unwrap();
-        assert_eq!(pkt.route.as_ref().unwrap().route_id, other.route_id);
+        assert_eq!(*pkt.route.as_ref().unwrap().route_id, other.route_id);
         assert!(rc.log_handle().lock().unwrap().flows.is_empty());
     }
 
@@ -524,7 +524,7 @@ mod tests {
         rc.on_link_event(&topo, uplink, false, SimTime::ZERO);
         let mut pkt = probe(as1, as3, SimTime::from_millis(10));
         rc.ingress(&topo, as1, &mut pkt).unwrap();
-        assert_eq!(pkt.route.as_ref().unwrap().route_id, original.route_id);
+        assert_eq!(*pkt.route.as_ref().unwrap().route_id, original.route_id);
         assert!(rc.log_handle().lock().unwrap().flows.is_empty());
     }
 }

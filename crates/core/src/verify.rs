@@ -693,6 +693,7 @@ mod tests {
                                 in_port: Some(in_port),
                                 ports: &statuses,
                                 now: kar_simnet::SimTime::ZERO,
+                                reducer: None,
                             };
                             match fwd.forward(&ctx, &mut pkt, &mut rng) {
                                 ForwardDecision::Output(p) => {

@@ -12,6 +12,8 @@
 //! * [`RnsBasis`], [`crt_encode`], [`crt_decode`], [`crt_extend`],
 //!   [`residue`] — the Chinese-Remainder encoder of paper §2.2;
 //! * [`CrtCache`] — memoized encoding for repeated-route workloads;
+//! * [`Reducer`] — precomputed per-switch reduction constants for the
+//!   forwarding modulus (division-free `R mod sᵢ`);
 //! * [`route_id_bit_length`] — header-size math of paper §2.3 (Eq. 9);
 //! * [`IdAllocator`], [`pairwise_coprime`] — switch-ID assignment.
 //!
@@ -45,6 +47,7 @@ mod cache;
 mod coprime;
 mod crt;
 mod gcd;
+mod reducer;
 
 pub use biguint::{BigUint, ParseBigUintError};
 pub use cache::CrtCache;
@@ -55,3 +58,4 @@ pub use crt::{
     crt_decode, crt_encode, crt_extend, residue, route_id_bit_length, RnsBasis, RnsError,
 };
 pub use gcd::{coprime, extended_gcd, gcd, lcm, mod_inverse};
+pub use reducer::Reducer;

@@ -2,9 +2,29 @@
 
 use kar_rns::{
     crt_decode, crt_encode, crt_extend, gcd, is_prime, mod_inverse, pairwise_coprime,
-    route_id_bit_length, BigUint, IdAllocator, IdStrategy, RnsBasis,
+    route_id_bit_length, BigUint, IdAllocator, IdStrategy, Reducer, RnsBasis,
 };
 use proptest::prelude::*;
+
+/// Strategy: route IDs hugging limb boundaries — `2^(64k) + delta` for
+/// small signed deltas — where the Horner fold's carry handling is most
+/// likely to betray a reduction bug, plus fully random limb vectors.
+fn limb_boundary_route_id() -> impl Strategy<Value = BigUint> {
+    let boundary = (1u32..5, 0u64..4, any::<bool>()).prop_map(|(k, delta, below)| {
+        // 2^(64k) is a 1 followed by k zero limbs.
+        let mut limbs = vec![0u64; k as usize];
+        limbs.push(1);
+        let base = BigUint::from_limbs(limbs);
+        if below {
+            // 2^(64k) - 1 - delta: all-ones limbs minus a small offset.
+            base.sub_big(&BigUint::from(delta + 1))
+        } else {
+            base.add_big(&BigUint::from(delta))
+        }
+    });
+    let random = proptest::collection::vec(any::<u64>(), 0..5).prop_map(BigUint::from_limbs);
+    prop_oneof![boundary, random]
+}
 
 /// Strategy: a pairwise-coprime modulo set built from distinct primes and a
 /// possible power of two (like the paper's switch ID 4 or 10-style even ID).
@@ -200,6 +220,27 @@ proptest! {
             }
             None => prop_assert_ne!(gcd(a, m), 1),
         }
+    }
+
+    /// The precomputed [`Reducer`] agrees with naive BigUint division for
+    /// every modulus class (power of two, small, > 2³²) on limb-boundary
+    /// route IDs — the fast dataplane path must be bit-identical to the
+    /// slow one or byte-identical replay breaks.
+    #[test]
+    fn reducer_matches_naive_modulo(
+        route in limb_boundary_route_id(),
+        d in prop_oneof![
+            1u64..=1 << 17,                      // realistic switch IDs
+            (0u32..64).prop_map(|s| 1u64 << s),  // every power of two
+            (u32::MAX as u64 - 8)..(u32::MAX as u64 + 8), // Small/Large seam
+            any::<u64>(),                        // totality
+        ],
+    ) {
+        prop_assume!(d != 0);
+        let r = Reducer::new(d);
+        prop_assert_eq!(r.rem(&route), route.rem_u64(d), "{} mod {}", route, d);
+        let low = route.limbs().first().copied().unwrap_or(0);
+        prop_assert_eq!(r.rem_u64(low), low % d);
     }
 
     /// gcd is commutative, associative with itself, and divides both args.

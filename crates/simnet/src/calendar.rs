@@ -1,0 +1,349 @@
+//! A bucketed calendar queue for the event scheduler.
+//!
+//! The engine's pending-event set is dominated by near-future events
+//! (per-packet `TxDone`/`Arrive` within microseconds of `now`) with a
+//! thin tail of far-future ones (TCP retransmit timers, fault trains
+//! seconds out). A global `BinaryHeap` pays `O(log n)` per operation on
+//! that whole set; a calendar queue [R. Brown, CACM 1988] pays `O(1)`
+//! amortized for the near-future bulk by hashing events into fixed-width
+//! time buckets, and parks the far tail in an overflow heap that is
+//! consulted only when the calendar window rotates past it.
+//!
+//! **Determinism contract:** [`CalendarQueue::pop`] yields entries in
+//! exactly ascending `(at, seq)` order — the same total order the
+//! previous `BinaryHeap<Reverse<HeapEntry>>` produced. The engine's
+//! byte-identical replay guarantee rests on this; a proptest in
+//! `tests/calendar_order.rs` races the two structures on randomized
+//! event trains.
+//!
+//! Invariants (checked in debug builds):
+//! * every bucketed entry's slot (`at / width`) lies in the current
+//!   window `[window_start, window_start + nbuckets)`;
+//! * every overflow entry's slot lies at or beyond the window end;
+//! * the serving cursor never passes an occupied slot.
+
+use crate::time::SimTime;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// One scheduled entry: the payload plus its `(at, seq)` sort key.
+#[derive(Debug)]
+pub struct CalendarEntry<T> {
+    /// Due time.
+    pub at: SimTime,
+    /// Tie-break sequence number (unique, assigned by the scheduler).
+    pub seq: u64,
+    /// The scheduled payload.
+    pub item: T,
+}
+
+impl<T> PartialEq for CalendarEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for CalendarEntry<T> {}
+impl<T> PartialOrd for CalendarEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for CalendarEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct Bucket<T> {
+    items: Vec<CalendarEntry<T>>,
+    /// `true` when `items` is sorted descending by `(at, seq)` (so the
+    /// minimum pops from the back). Cleared on insert, re-established
+    /// lazily the next time the bucket is served.
+    sorted: bool,
+}
+
+impl<T> Default for Bucket<T> {
+    fn default() -> Self {
+        Bucket {
+            items: Vec::new(),
+            sorted: true,
+        }
+    }
+}
+
+/// A monotone priority queue over `(SimTime, seq)` keys.
+///
+/// "Monotone" is the engine's usage pattern: entries are only pushed at
+/// or after the key of the most recently popped entry (time never runs
+/// backwards inside a simulation). Pushing earlier keys is still
+/// *correct* — the queue rewinds its window, spilling current buckets to
+/// the overflow heap — just slower, and only happens when a driver
+/// injects new work between `run_until` calls.
+#[derive(Debug)]
+pub struct CalendarQueue<T> {
+    /// Bucket width in nanoseconds (a power of two, so slot = at >> shift).
+    shift: u32,
+    buckets: Vec<Bucket<T>>,
+    /// First slot of the current window.
+    window_start: u64,
+    /// Slot currently being served; `window_start ≤ cursor < window_start
+    /// + nbuckets`.
+    cursor: u64,
+    /// Entries whose slot lies beyond the current window.
+    overflow: BinaryHeap<Reverse<CalendarEntry<T>>>,
+    /// Entries currently in buckets (total length minus overflow).
+    in_buckets: usize,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        // 1 µs buckets × 1024 ≈ a 1 ms window: wide enough that packet
+        // serialization/propagation events land in the calendar, narrow
+        // enough that a bucket holds a handful of entries.
+        CalendarQueue::with_geometry(10, 1024)
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// Creates a queue with `1 << width_shift` ns buckets, `nbuckets` of
+    /// them per window rotation.
+    pub fn with_geometry(width_shift: u32, nbuckets: usize) -> Self {
+        assert!(nbuckets > 0, "calendar needs at least one bucket");
+        CalendarQueue {
+            shift: width_shift,
+            buckets: (0..nbuckets).map(|_| Bucket::default()).collect(),
+            window_start: 0,
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+            in_buckets: 0,
+        }
+    }
+
+    /// Total number of pending entries.
+    pub fn len(&self) -> usize {
+        self.in_buckets + self.overflow.len()
+    }
+
+    /// `true` when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn slot_of(&self, at: SimTime) -> u64 {
+        at.0 >> self.shift
+    }
+
+    #[inline]
+    fn window_end(&self) -> u64 {
+        self.window_start + self.buckets.len() as u64
+    }
+
+    /// Schedules `item` at `(at, seq)`. `seq` must be unique across the
+    /// queue's lifetime (the engine's event counter guarantees this).
+    pub fn push(&mut self, at: SimTime, seq: u64, item: T) {
+        let slot = self.slot_of(at);
+        if slot < self.cursor {
+            if slot >= self.window_start {
+                // Still inside the window: the slots behind the cursor
+                // are already drained, so serving can simply back up.
+                self.cursor = slot;
+            } else {
+                self.rewind_to(slot);
+            }
+        }
+        let entry = CalendarEntry { at, seq, item };
+        if slot < self.window_end() {
+            let n = self.buckets.len() as u64;
+            let b = &mut self.buckets[(slot % n) as usize];
+            b.items.push(entry);
+            b.sorted = false;
+            self.in_buckets += 1;
+        } else {
+            self.overflow.push(Reverse(entry));
+        }
+    }
+
+    /// Rewinds the window so `slot` becomes servable again. Only
+    /// triggered by a push earlier than the serving cursor (a driver
+    /// injecting work after the window skipped ahead over idle time).
+    fn rewind_to(&mut self, slot: u64) {
+        // Anything already bucketed may lie beyond the rewound window;
+        // spill it all to overflow and restart the window at `slot`.
+        for b in &mut self.buckets {
+            self.overflow.extend(b.items.drain(..).map(Reverse));
+            b.sorted = true;
+        }
+        self.in_buckets = 0;
+        self.window_start = slot;
+        self.cursor = slot;
+        self.refill();
+    }
+
+    /// Moves every overflow entry due inside the current window into its
+    /// bucket.
+    fn refill(&mut self) {
+        let end = self.window_end();
+        let n = self.buckets.len() as u64;
+        while let Some(Reverse(head)) = self.overflow.peek() {
+            let slot = self.slot_of(head.at);
+            if slot >= end {
+                break;
+            }
+            let Reverse(entry) = self.overflow.pop().expect("peeked entry exists");
+            debug_assert!(slot >= self.window_start);
+            let b = &mut self.buckets[(slot % n) as usize];
+            b.items.push(entry);
+            b.sorted = false;
+            self.in_buckets += 1;
+        }
+    }
+
+    /// Advances the cursor to the next occupied slot (rotating the
+    /// window and refilling from overflow as needed). Returns `false`
+    /// when the queue is empty.
+    fn seek(&mut self) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let n = self.buckets.len() as u64;
+        loop {
+            if self.in_buckets == 0 {
+                // Nothing inside the window: jump straight to the
+                // overflow head's rotation instead of spinning.
+                let head_at = match self.overflow.peek() {
+                    Some(Reverse(e)) => e.at,
+                    None => return false,
+                };
+                let slot = self.slot_of(head_at);
+                self.window_start = slot;
+                self.cursor = slot;
+                self.refill();
+                continue;
+            }
+            if !self.buckets[(self.cursor % n) as usize].items.is_empty() {
+                return true;
+            }
+            self.cursor += 1;
+            if self.cursor == self.window_end() {
+                self.window_start = self.cursor;
+                self.refill();
+            }
+        }
+    }
+
+    /// Sorts (if needed) the bucket under the cursor and returns it.
+    fn serve_bucket(&mut self) -> &mut Bucket<T> {
+        let n = self.buckets.len() as u64;
+        let b = &mut self.buckets[(self.cursor % n) as usize];
+        if !b.sorted {
+            // Descending, so the minimum `(at, seq)` sits at the back.
+            b.items.sort_unstable_by(|a, z| z.cmp(a));
+            b.sorted = true;
+        }
+        b
+    }
+
+    /// The `(at, seq)` key of the next entry, without removing it.
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        if !self.seek() {
+            return None;
+        }
+        let b = self.serve_bucket();
+        b.items.last().map(|e| (e.at, e.seq))
+    }
+
+    /// Removes and returns the entry with the smallest `(at, seq)` key.
+    pub fn pop(&mut self) -> Option<CalendarEntry<T>> {
+        if !self.seek() {
+            return None;
+        }
+        let entry = self
+            .serve_bucket()
+            .items
+            .pop()
+            .expect("seek() landed on an occupied bucket");
+        self.in_buckets -= 1;
+        Some(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut CalendarQueue<u32>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push((e.at.0, e.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::default();
+        q.push(SimTime(500), 0, 0);
+        q.push(SimTime(100), 1, 1);
+        q.push(SimTime(100), 2, 2);
+        q.push(SimTime(0), 3, 3);
+        assert_eq!(q.len(), 4);
+        assert_eq!(drain(&mut q), vec![(0, 3), (100, 1), (100, 2), (500, 0)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_go_through_overflow() {
+        let mut q = CalendarQueue::<u32>::with_geometry(4, 8); // 16 ns × 8 buckets
+        q.push(SimTime(1_000_000), 0, 0); // far beyond the 128 ns window
+        q.push(SimTime(10), 1, 1);
+        q.push(SimTime(5_000_000), 2, 2);
+        assert_eq!(drain(&mut q), vec![(10, 1), (1_000_000, 0), (5_000_000, 2)]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order() {
+        let mut q = CalendarQueue::default();
+        q.push(SimTime(10), 0, 0);
+        q.push(SimTime(30), 1, 1);
+        assert_eq!(q.pop().map(|e| e.seq), Some(0));
+        // Push between pops, at the already-served time.
+        q.push(SimTime(10), 2, 2);
+        q.push(SimTime(20), 3, 3);
+        assert_eq!(drain(&mut q), vec![(10, 2), (20, 3), (30, 1)]);
+    }
+
+    #[test]
+    fn rewind_after_idle_jump() {
+        let mut q = CalendarQueue::<u32>::with_geometry(4, 8);
+        // A lone far-future event forces the window to jump on peek…
+        q.push(SimTime(1_000_000), 0, 0);
+        assert_eq!(q.peek_key(), Some((SimTime(1_000_000), 0)));
+        // …then earlier work arrives (driver injecting between runs).
+        q.push(SimTime(50), 1, 1);
+        q.push(SimTime(999_999), 2, 2);
+        assert_eq!(drain(&mut q), vec![(50, 1), (999_999, 2), (1_000_000, 0)]);
+    }
+
+    #[test]
+    fn same_bucket_ties_break_by_seq() {
+        let mut q = CalendarQueue::default();
+        for seq in (0..100).rev() {
+            q.push(SimTime(42), seq, seq as u32);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.seq)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::default();
+        q.push(SimTime(7), 0, 0);
+        q.push(SimTime(3), 1, 1);
+        let key = q.peek_key().unwrap();
+        let e = q.pop().unwrap();
+        assert_eq!(key, (e.at, e.seq));
+        assert_eq!(key, (SimTime(3), 1));
+    }
+}

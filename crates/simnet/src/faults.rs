@@ -461,7 +461,7 @@ mod tests {
     fn stale_window_drops_have_the_right_reasons() {
         // While the link reads up but is down, SW4 forwards into the dead
         // port → LinkFailure. While it reads down but is up, the
-        // drop-on-failure forwarder refuses the healthy port → NoRoute.
+        // drop-on-failure forwarder refuses the healthy port → PortDown.
         let (topo, routes) = line_world();
         let l = topo.expect_link("SW4", "SW7");
         let mut sim = sim_over(&topo, routes, SimConfig::default());
@@ -495,7 +495,7 @@ mod tests {
         );
         sim.run_to_quiescence();
         assert_eq!(sim.stats().dropped_for(DropReason::LinkFailure), 1);
-        assert_eq!(sim.stats().dropped_for(DropReason::NoRoute), 1);
+        assert_eq!(sim.stats().dropped_for(DropReason::PortDown), 1);
         assert_eq!(sim.stats().delivered, 0);
         assert_eq!(sim.in_flight(), 0);
     }

@@ -9,8 +9,9 @@
 //! (modulo forwarding with HP/AVP/NIP deflection) and in `kar-baselines`
 //! (drop-on-failure, table-based fast failover, …).
 
-use crate::packet::Packet;
+use crate::packet::{Packet, RouteTag};
 use crate::time::SimTime;
+use kar_rns::Reducer;
 use kar_topology::{NodeId, PortIx, Topology};
 use rand::rngs::StdRng;
 
@@ -29,6 +30,9 @@ pub struct SwitchCtx<'a> {
     pub ports: &'a [bool],
     /// Current simulation time.
     pub now: SimTime,
+    /// Precomputed reduction constants for `switch_id` (the fast-path
+    /// dataplane; `None` falls back to plain division, bit-identically).
+    pub reducer: Option<&'a Reducer>,
 }
 
 impl SwitchCtx<'_> {
@@ -45,14 +49,47 @@ impl SwitchCtx<'_> {
             .filter(|&(_, &up)| up)
             .map(|(p, _)| p as PortIx)
     }
+
+    /// `route_id mod switch_id` — the KAR forwarding operation.
+    ///
+    /// Uses, in order: the tag's memoized residue from a previous visit
+    /// to this switch, the engine's precomputed [`Reducer`], or plain
+    /// [`kar_rns::BigUint::rem_u64`]. All three produce the same value
+    /// bit for bit; the memo is refreshed so the next visit (deflection
+    /// loops, controller bounces) is free.
+    pub fn residue(&self, tag: &mut RouteTag) -> u64 {
+        if let Some(r) = tag.memoized_residue(self.switch_id) {
+            debug_assert_eq!(r, tag.route_id.rem_u64(self.switch_id));
+            return r;
+        }
+        let r = match self.reducer {
+            Some(red) => {
+                debug_assert_eq!(red.modulus(), self.switch_id);
+                red.rem(&tag.route_id)
+            }
+            None => tag.route_id.rem_u64(self.switch_id),
+        };
+        tag.memoize_residue(self.switch_id, r);
+        r
+    }
 }
 
 /// Why a packet was discarded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DropReason {
-    /// The forwarder chose to drop (e.g. no-deflection baseline hitting a
-    /// failed primary port).
+    /// No usable route: an ingress edge without an installed route, or a
+    /// deflecting forwarder with no deflection candidate left.
     NoRoute,
+    /// The packet reached a core switch without a route tag (nothing to
+    /// reduce — an edge-logic bug or a baseline that strips tags).
+    MissingTag,
+    /// The residue named a real port whose link is observed down, and
+    /// the forwarder does not deflect.
+    PortDown,
+    /// The residue is `≥` the switch's port count — the route ID was not
+    /// encoded for this switch (e.g. a deflected packet at a foreign
+    /// switch under the no-deflection dataplane).
+    ResidueOutOfRange,
     /// The hop budget ran out (possible with random deflection loops).
     TtlExpired,
     /// A drop-tail queue was full.
@@ -70,6 +107,9 @@ impl DropReason {
     pub fn as_str(self) -> &'static str {
         match self {
             DropReason::NoRoute => "no-route",
+            DropReason::MissingTag => "missing-tag",
+            DropReason::PortDown => "port-down",
+            DropReason::ResidueOutOfRange => "residue-out-of-range",
             DropReason::TtlExpired => "ttl-expired",
             DropReason::QueueOverflow => "queue-overflow",
             DropReason::LinkFailure => "link-failure",
@@ -77,6 +117,20 @@ impl DropReason {
             DropReason::Misdelivery => "misdelivery",
         }
     }
+
+    /// Every reason, in declaration order (drives `kar-inspect`'s drop
+    /// table and the verifier's counters).
+    pub const ALL: [DropReason; 9] = [
+        DropReason::NoRoute,
+        DropReason::MissingTag,
+        DropReason::PortDown,
+        DropReason::ResidueOutOfRange,
+        DropReason::TtlExpired,
+        DropReason::QueueOverflow,
+        DropReason::LinkFailure,
+        DropReason::BadPort,
+        DropReason::Misdelivery,
+    ];
 }
 
 impl std::fmt::Display for DropReason {
@@ -147,11 +201,44 @@ mod tests {
             in_port: Some(0),
             ports: &ports,
             now: SimTime::ZERO,
+            reducer: None,
         };
         assert!(ctx.port_available(0));
         assert!(!ctx.port_available(1));
         assert!(!ctx.port_available(9));
         assert_eq!(ctx.healthy_ports().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn residue_agrees_with_and_without_reducer_and_memoizes() {
+        let mut b = TopologyBuilder::new();
+        let a = b.core("A", 29);
+        let x = b.core("X", 31);
+        b.link(a, x, LinkParams::default());
+        let topo = b.build().unwrap();
+        let ports = vec![true];
+        let reducer = Reducer::new(29);
+        let route_id = kar_rns::BigUint::from(123_456_789_012_345u64);
+        let slow = SwitchCtx {
+            topo: &topo,
+            node: a,
+            switch_id: 29,
+            in_port: None,
+            ports: &ports,
+            now: SimTime::ZERO,
+            reducer: None,
+        };
+        let fast = SwitchCtx {
+            reducer: Some(&reducer),
+            ports: &ports,
+            ..slow
+        };
+        let mut tag = RouteTag::new(route_id.clone());
+        let expect = route_id.rem_u64(29);
+        assert_eq!(slow.residue(&mut tag.clone()), expect);
+        assert_eq!(fast.residue(&mut tag), expect);
+        // The fast path left a memo behind for the next visit.
+        assert_eq!(tag.memoized_residue(29), Some(expect));
     }
 
     #[test]

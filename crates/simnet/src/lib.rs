@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 mod faults;
 mod forwarder;
 mod host;
@@ -38,11 +39,12 @@ mod stats;
 mod time;
 mod trace;
 
+pub use calendar::{CalendarEntry, CalendarQueue};
 pub use faults::{sample_srlg_links, srlg_groups, FaultEvent, FaultPlan};
 pub use forwarder::{DropReason, ForwardDecision, Forwarder, SwitchCtx};
 pub use host::{App, AppAction, EdgeLogic, HostCtx, RerouteDecision};
 pub use modulo::ModuloForwarder;
-pub use packet::{FlowId, Packet, PacketKind, RouteTag};
+pub use packet::{FlowId, Packet, PacketKind, RouteArena, RouteTag};
 pub use sim::{Sim, SimConfig};
 pub use static_routes::StaticRoutes;
 pub use stats::{FlowStats, Stats};

@@ -29,14 +29,16 @@ impl Forwarder for ModuloForwarder {
         pkt: &mut Packet,
         _rng: &mut StdRng,
     ) -> ForwardDecision {
-        let Some(tag) = &pkt.route else {
-            return ForwardDecision::Drop(DropReason::NoRoute);
+        let Some(tag) = &mut pkt.route else {
+            return ForwardDecision::Drop(DropReason::MissingTag);
         };
-        let port = tag.route_id.rem_u64(ctx.switch_id);
+        let port = ctx.residue(tag);
         if ctx.port_available(port) {
             ForwardDecision::Output(port)
+        } else if (port as usize) < ctx.ports.len() {
+            ForwardDecision::Drop(DropReason::PortDown)
         } else {
-            ForwardDecision::Drop(DropReason::NoRoute)
+            ForwardDecision::Drop(DropReason::ResidueOutOfRange)
         }
     }
 
@@ -95,13 +97,14 @@ mod tests {
             in_port: None,
             ports: &up,
             now: SimTime::ZERO,
+            reducer: None,
         };
         // 8 mod 7 = 1 → port 1.
         assert_eq!(
             fwd.forward(&ctx, &mut pkt(Some(8)), &mut rng),
             ForwardDecision::Output(1)
         );
-        // Port 1 down → drop.
+        // Port 1 down → the residue is fine but the link is not.
         let down = vec![true, false];
         let ctx = SwitchCtx {
             ports: &down,
@@ -109,21 +112,52 @@ mod tests {
         };
         assert_eq!(
             fwd.forward(&ctx, &mut pkt(Some(8)), &mut rng),
-            ForwardDecision::Drop(DropReason::NoRoute)
+            ForwardDecision::Drop(DropReason::PortDown)
         );
-        // Residue names a nonexistent port (5 ≥ 2 ports) → drop.
+        // Residue names a nonexistent port (5 ≥ 2 ports) → the route ID
+        // was not encoded for this switch.
         let up = vec![true, true];
         let ctx = SwitchCtx { ports: &up, ..ctx };
         assert_eq!(
             fwd.forward(&ctx, &mut pkt(Some(5)), &mut rng),
-            ForwardDecision::Drop(DropReason::NoRoute)
+            ForwardDecision::Drop(DropReason::ResidueOutOfRange)
         );
-        // No route tag → drop.
+        // No route tag → nothing to reduce.
         assert_eq!(
             fwd.forward(&ctx, &mut pkt(None), &mut rng),
-            ForwardDecision::Drop(DropReason::NoRoute)
+            ForwardDecision::Drop(DropReason::MissingTag)
         );
         assert_eq!(fwd.name(), "NoDeflection");
         assert_eq!(fwd.state_entries(a), 0);
+    }
+
+    #[test]
+    fn reducer_fast_path_matches_plain_division() {
+        let (topo, a) = world();
+        let mut fwd = ModuloForwarder::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let up = vec![true, true];
+        let reducer = kar_rns::Reducer::new(7);
+        let slow = SwitchCtx {
+            topo: &topo,
+            node: a,
+            switch_id: 7,
+            in_port: None,
+            ports: &up,
+            now: SimTime::ZERO,
+            reducer: None,
+        };
+        let fast = SwitchCtx {
+            reducer: Some(&reducer),
+            ports: &up,
+            ..slow
+        };
+        for route in [0u64, 1, 8, 5, 44, 660, u64::MAX] {
+            assert_eq!(
+                fwd.forward(&slow, &mut pkt(Some(route)), &mut rng),
+                fwd.forward(&fast, &mut pkt(Some(route)), &mut rng),
+                "route {route}"
+            );
+        }
     }
 }

@@ -3,7 +3,9 @@
 use crate::time::SimTime;
 use kar_rns::BigUint;
 use kar_topology::NodeId;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of one transport flow (e.g. one iperf TCP connection).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
@@ -40,23 +42,110 @@ pub enum PacketKind {
 
 /// The KAR header attached by the ingress edge: the RNS route ID plus the
 /// deflection state a core switch needs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The route ID is shared (`Arc`): cloning a packet — retransmit
+/// buffers, fan-out, queue snapshots — bumps a reference count instead
+/// of copying limbs. Tags for the same installed route can share one
+/// allocation via [`RouteArena`].
+#[derive(Debug, Clone)]
 pub struct RouteTag {
-    /// The CRT-encoded route ID (paper Eq. 4).
-    pub route_id: BigUint,
+    /// The CRT-encoded route ID (paper Eq. 4). Replace the whole tag
+    /// (e.g. [`RouteTag::new`]) rather than assigning this field in
+    /// place, or a memoized residue from the old ID could survive.
+    pub route_id: Arc<BigUint>,
     /// Set once the packet has been deflected at least once (used by the
     /// hot-potato technique, which random-walks after the first
     /// deflection).
     pub deflected: bool,
+    /// `(switch_id, residue)` of the most recent reduction — a pure
+    /// cache, excluded from equality/hashing. Deflection loops and
+    /// controller bounces revisit switches; the memo makes the repeat
+    /// hop free.
+    memo: Option<(u64, u64)>,
+}
+
+impl PartialEq for RouteTag {
+    fn eq(&self, other: &Self) -> bool {
+        self.route_id == other.route_id && self.deflected == other.deflected
+    }
+}
+impl Eq for RouteTag {}
+impl std::hash::Hash for RouteTag {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.route_id.hash(state);
+        self.deflected.hash(state);
+    }
 }
 
 impl RouteTag {
-    /// Wraps a route ID with clean deflection state.
-    pub fn new(route_id: BigUint) -> Self {
+    /// Wraps a route ID with clean deflection state. Accepts an owned
+    /// [`BigUint`] or a shared `Arc<BigUint>` (e.g. from a
+    /// [`RouteArena`]).
+    pub fn new(route_id: impl Into<Arc<BigUint>>) -> Self {
         RouteTag {
-            route_id,
+            route_id: route_id.into(),
             deflected: false,
+            memo: None,
         }
+    }
+
+    /// The memoized residue for `switch_id`, if this tag was already
+    /// reduced there.
+    pub fn memoized_residue(&self, switch_id: u64) -> Option<u64> {
+        match self.memo {
+            Some((s, r)) if s == switch_id => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Records `route_id mod switch_id = residue` for the next visit.
+    pub fn memoize_residue(&mut self, switch_id: u64, residue: u64) {
+        self.memo = Some((switch_id, residue));
+    }
+}
+
+/// Interns route IDs so every packet of a flow shares one `BigUint`
+/// allocation (the route-tag arena of the fast-path dataplane).
+///
+/// Keyed by value, so interning is always sound: re-installing a route
+/// with the same ID returns the same allocation, and a changed ID simply
+/// interns a new one. Long-running controllers that churn many distinct
+/// routes can [`RouteArena::clear`] between phases.
+#[derive(Debug, Default)]
+pub struct RouteArena {
+    pool: HashMap<BigUint, Arc<BigUint>>,
+}
+
+impl RouteArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        RouteArena::default()
+    }
+
+    /// Returns a shared handle for `route_id`, allocating only on first
+    /// sight.
+    pub fn intern(&mut self, route_id: &BigUint) -> Arc<BigUint> {
+        if let Some(shared) = self.pool.get(route_id) {
+            return shared.clone();
+        }
+        let shared = Arc::new(route_id.clone());
+        self.pool.insert(route_id.clone(), shared.clone());
+        shared
+    }
+
+    /// Number of distinct route IDs interned.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// Drops every interned ID (outstanding `Arc`s stay valid).
+    pub fn clear(&mut self) {
+        self.pool.clear();
     }
 }
 
@@ -139,5 +228,34 @@ mod tests {
         let tag = RouteTag::new(BigUint::from(44u64));
         assert!(!tag.deflected);
         assert_eq!(tag.route_id.to_u64(), Some(44));
+        assert_eq!(tag.memoized_residue(7), None);
+    }
+
+    #[test]
+    fn residue_memo_is_per_switch_and_ignored_by_eq() {
+        let mut tag = RouteTag::new(BigUint::from(44u64));
+        tag.memoize_residue(7, 2);
+        assert_eq!(tag.memoized_residue(7), Some(2));
+        assert_eq!(tag.memoized_residue(11), None);
+        // The memo is a cache: it must not distinguish tags.
+        assert_eq!(tag, RouteTag::new(BigUint::from(44u64)));
+        // Clones carry the memo along.
+        assert_eq!(tag.clone().memoized_residue(7), Some(2));
+    }
+
+    #[test]
+    fn arena_shares_one_allocation_per_route() {
+        let mut arena = RouteArena::new();
+        let id = BigUint::from(660u64);
+        let a = arena.intern(&id);
+        let b = arena.intern(&id);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert_eq!(arena.len(), 1);
+        let other = arena.intern(&BigUint::from(44u64));
+        assert!(!std::sync::Arc::ptr_eq(&a, &other));
+        assert_eq!(arena.len(), 2);
+        arena.clear();
+        assert!(arena.is_empty());
+        assert_eq!(*a, id); // outstanding handles survive a clear
     }
 }

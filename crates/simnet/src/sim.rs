@@ -7,6 +7,7 @@
 //! failure detection), and all randomness flows from one seeded RNG so
 //! every run is reproducible.
 
+use crate::calendar::CalendarQueue;
 use crate::forwarder::{DropReason, ForwardDecision, Forwarder, SwitchCtx};
 use crate::host::{App, AppAction, EdgeLogic, HostCtx, RerouteDecision};
 use crate::packet::{FlowId, Packet, PacketKind};
@@ -14,11 +15,11 @@ use crate::stats::Stats;
 use crate::time::{tx_time, SimTime};
 use crate::trace::{PacketFate, TraceLog};
 use kar_obs::{Entity, Event as ObsEvent, EventKind, Obs, ObsHandle, Profiler};
+use kar_rns::Reducer;
 use kar_topology::{LinkId, NodeId, NodeKind, PortIx, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Engine configuration.
@@ -51,6 +52,13 @@ pub struct SimConfig {
     /// milliseconds. Fault plans can override the delay per event to
     /// model jitter.
     pub detection_delay: SimTime,
+    /// Use the precomputed-residue fast path: one [`Reducer`] per core
+    /// switch, handed to the forwarder via [`SwitchCtx::reducer`].
+    /// Results are bit-identical either way (the determinism tests
+    /// compare full experiment output with this on and off); `false`
+    /// exists to measure the fast path and to bisect suspected
+    /// miscompilations.
+    pub fast_path: bool,
 }
 
 impl Default for SimConfig {
@@ -61,6 +69,7 @@ impl Default for SimConfig {
             switch_service: None,
             trace_paths: false,
             detection_delay: SimTime::ZERO,
+            fast_path: true,
         }
     }
 }
@@ -225,29 +234,6 @@ impl SimObs {
     }
 }
 
-struct HeapEntry {
-    at: SimTime,
-    seq: u64,
-    ev: Event,
-}
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// The discrete-event network simulator.
 ///
 /// Wire up a topology, a [`Forwarder`] (the core dataplane), an
@@ -265,7 +251,13 @@ impl Ord for HeapEntry {
 pub struct Sim<'t> {
     topo: &'t Topology,
     now: SimTime,
-    heap: BinaryHeap<Reverse<HeapEntry>>,
+    /// Pending events in `(at, seq)` order — a bucketed calendar queue
+    /// (see [`crate::calendar`]) that reproduces the old binary heap's
+    /// order exactly.
+    events: CalendarQueue<Event>,
+    /// Per-node reduction constants for core switches (`None` for edges,
+    /// or everywhere when [`SimConfig::fast_path`] is off).
+    reducers: Vec<Option<Reducer>>,
     links: Vec<LinkState>,
     forwarder: Box<dyn Forwarder>,
     edge_logic: Box<dyn EdgeLogic>,
@@ -298,10 +290,17 @@ impl<'t> Sim<'t> {
     ) -> Self {
         let mut links = Vec::with_capacity(topo.link_count());
         links.resize_with(topo.link_count(), LinkState::default);
+        let reducers = (0..topo.node_count())
+            .map(|i| match topo.node(NodeId(i)).kind {
+                NodeKind::Core { switch_id } if config.fast_path => Some(Reducer::new(switch_id)),
+                _ => None,
+            })
+            .collect();
         Sim {
             topo,
             now: SimTime::ZERO,
-            heap: BinaryHeap::new(),
+            events: CalendarQueue::default(),
+            reducers,
             links,
             forwarder,
             edge_logic,
@@ -466,14 +465,14 @@ impl<'t> Sim<'t> {
     /// Runs the event loop until simulated time reaches `until`.
     /// Events at exactly `until` are processed.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if entry.at > until {
+        while let Some((at, _)) = self.events.peek_key() {
+            if at > until {
                 break;
             }
-            let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
+            let entry = self.events.pop().expect("peeked entry exists");
             debug_assert!(entry.at >= self.now, "time went backwards");
             self.now = entry.at;
-            self.dispatch(entry.ev);
+            self.dispatch(entry.item);
         }
         self.now = self.now.max(until);
     }
@@ -481,16 +480,16 @@ impl<'t> Sim<'t> {
     /// Runs until the event queue drains completely (useful for letting
     /// in-flight packets settle after traffic stops).
     pub fn run_to_quiescence(&mut self) {
-        while let Some(Reverse(entry)) = self.heap.pop() {
+        while let Some(entry) = self.events.pop() {
             self.now = entry.at;
-            self.dispatch(entry.ev);
+            self.dispatch(entry.item);
         }
     }
 
     fn push(&mut self, at: SimTime, ev: Event) {
         let seq = self.next_event_seq;
         self.next_event_seq += 1;
-        self.heap.push(Reverse(HeapEntry { at, seq, ev }));
+        self.events.push(at, seq, ev);
     }
 
     fn dispatch(&mut self, ev: Event) {
@@ -831,6 +830,7 @@ impl<'t> Sim<'t> {
                     in_port,
                     ports: &statuses,
                     now: self.now,
+                    reducer: self.reducers[node.0].as_ref(),
                 };
                 let deflections_before = pkt.deflections;
                 match self.forwarder.forward(&ctx, &mut pkt, &mut self.rng) {
@@ -988,14 +988,14 @@ mod tests {
             pkt: &mut Packet,
             _rng: &mut StdRng,
         ) -> ForwardDecision {
-            let Some(tag) = &pkt.route else {
-                return ForwardDecision::Drop(DropReason::NoRoute);
+            let Some(tag) = &mut pkt.route else {
+                return ForwardDecision::Drop(DropReason::MissingTag);
             };
-            let port = tag.route_id.rem_u64(ctx.switch_id);
+            let port = ctx.residue(tag);
             if ctx.port_available(port) {
                 ForwardDecision::Output(port)
             } else {
-                ForwardDecision::Drop(DropReason::NoRoute)
+                ForwardDecision::Drop(DropReason::PortDown)
             }
         }
 
@@ -1105,7 +1105,7 @@ mod tests {
         );
         sim.run_to_quiescence();
         assert_eq!(sim.stats().delivered, 0);
-        assert_eq!(sim.stats().dropped_for(DropReason::NoRoute), 1);
+        assert_eq!(sim.stats().dropped_for(DropReason::PortDown), 1);
         assert_eq!(sim.in_flight(), 0);
         assert!(!sim.link_is_up(failed));
     }
@@ -1406,7 +1406,7 @@ mod tests {
         let trace = sim.trace().get(0).unwrap();
         assert_eq!(
             trace.fate,
-            crate::trace::PacketFate::Dropped(DropReason::NoRoute)
+            crate::trace::PacketFate::Dropped(DropReason::PortDown)
         );
         assert_eq!(trace.path.len(), 2); // S, SW4
     }
@@ -1471,7 +1471,7 @@ mod tests {
         );
         sim.run_until(SimTime::from_millis(1));
         assert_eq!(sim.stats().dropped_for(DropReason::LinkFailure), 1);
-        // After detection: the forwarder sees the port down → NoRoute.
+        // After detection: the forwarder sees the port down → PortDown.
         sim.run_until(SimTime::from_millis(2));
         sim.inject(
             topo.expect("S"),
@@ -1482,7 +1482,7 @@ mod tests {
             500,
         );
         sim.run_to_quiescence();
-        assert_eq!(sim.stats().dropped_for(DropReason::NoRoute), 1);
+        assert_eq!(sim.stats().dropped_for(DropReason::PortDown), 1);
         assert_eq!(sim.stats().delivered, 0);
     }
 
@@ -1594,7 +1594,7 @@ mod tests {
             .iter()
             .find(|e| e.kind == EventKind::Drop)
             .expect("drop event");
-        assert_eq!(drop.tag, "no-route");
+        assert_eq!(drop.tag, "port-down");
     }
 
     #[test]

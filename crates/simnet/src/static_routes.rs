@@ -10,11 +10,14 @@ use crate::packet::{Packet, RouteTag};
 use kar_rns::BigUint;
 use kar_topology::{NodeId, PortIx, Topology};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Static `(src, dst) → (route id, uplink port)` edge logic.
 #[derive(Debug, Default, Clone)]
 pub struct StaticRoutes {
-    routes: HashMap<(NodeId, NodeId), (BigUint, PortIx)>,
+    /// Route IDs are stored shared so every injected packet's tag bumps
+    /// a refcount instead of cloning limbs.
+    routes: HashMap<(NodeId, NodeId), (Arc<BigUint>, PortIx)>,
 }
 
 impl StaticRoutes {
@@ -26,7 +29,7 @@ impl StaticRoutes {
     /// Installs the route tag used for packets entering at `src` destined
     /// to `dst`.
     pub fn insert(&mut self, src: NodeId, dst: NodeId, route_id: BigUint, uplink: PortIx) {
-        self.routes.insert((src, dst), (route_id, uplink));
+        self.routes.insert((src, dst), (Arc::new(route_id), uplink));
     }
 
     /// Number of installed routes.

@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "technique", "before", "during", "after"
     );
     for technique in DeflectionTechnique::ALL {
-        let mut net = KarNetwork::new(&topo, technique).with_seed(7);
+        let mut net = KarNetwork::builder(&topo, technique).seed(7).build();
         net.install_route(as1, as3, &Protection::AutoBudget { max_bits: 43 })?;
         net.install_route(as3, as1, &Protection::AutoFull)?;
         let mut sim = net.into_sim();

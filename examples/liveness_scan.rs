@@ -68,9 +68,10 @@ fn main() {
                         continue;
                     }
                     tested += 1;
-                    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-                        .with_seed(seed ^ 0xabcd)
-                        .with_ttl(255);
+                    let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+                        .seed(seed ^ 0xabcd)
+                        .ttl(255)
+                        .build();
                     net.install_explicit(primary.clone(), &Protection::AutoFull)
                         .unwrap();
                     let mut sim = net.into_sim();

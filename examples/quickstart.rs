@@ -45,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let as1 = topo.expect("AS1");
     let as3 = topo.expect("AS3");
 
-    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(42);
+    let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+        .seed(42)
+        .build();
     let route = net.install_route(as1, as3, &Protection::AutoFull)?;
     println!(
         "installed AS1→AS3: switches {:?}, {} header bits",

@@ -58,9 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Then dynamic: probes across each failure.
     println!("\n200 probes per failure location (NIP, partial protection):");
     for (a, b) in rnp28::FIG7_FAILURES {
-        let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-            .with_seed(11)
-            .with_ttl(255);
+        let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+            .seed(11)
+            .ttl(255)
+            .build();
         net.install_explicit(primary.clone(), &protection)?;
         let mut sim = net.into_sim();
         sim.schedule_link_down(SimTime::ZERO, topo.expect_link(a, b));

@@ -24,9 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let names: Vec<&str> = path.iter().map(|&n| topo.node(n).name.as_str()).collect();
     println!("planned chain: {}", names.join(" → "));
 
-    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-        .with_seed(1)
-        .with_tracing();
+    let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+        .seed(1)
+        .tracing()
+        .build();
     let route = net.install_explicit(path, &Protection::None)?;
     println!(
         "encoded into one {}-bit route ID: {}",

@@ -14,7 +14,9 @@ fn conservation_holds_across_a_failure_storm() {
     let topo = topo15::build();
     let as1 = topo.expect("AS1");
     let as3 = topo.expect("AS3");
-    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(99);
+    let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+        .seed(99)
+        .build();
     net.install_route(as1, as3, &Protection::None).unwrap();
     net.install_route(as3, as1, &Protection::None).unwrap();
     let mut sim = net.into_sim();
@@ -49,7 +51,7 @@ fn tcp_over_kar_beats_tcp_over_drop_during_failure() {
     let as1 = topo.expect("AS1");
     let as3 = topo.expect("AS3");
     let run = |technique| {
-        let mut net = KarNetwork::new(&topo, technique).with_seed(5);
+        let mut net = KarNetwork::builder(&topo, technique).seed(5).build();
         net.install_route(as1, as3, &Protection::AutoFull).unwrap();
         net.install_route(as3, as1, &Protection::AutoFull).unwrap();
         let mut sim = net.into_sim();
@@ -81,10 +83,11 @@ fn wrong_edge_packets_are_rescued_by_the_controller() {
     let as1 = topo.expect("AS1");
     let as3 = topo.expect("AS3");
     let run = |policy| {
-        let mut net = KarNetwork::new(&topo, DeflectionTechnique::HotPotato)
-            .with_seed(31)
-            .with_ttl(255)
-            .with_reroute(policy);
+        let mut net = KarNetwork::builder(&topo, DeflectionTechnique::HotPotato)
+            .seed(31)
+            .ttl(255)
+            .reroute(policy)
+            .build();
         net.install_route(as1, as3, &Protection::None).unwrap();
         let mut sim = net.into_sim();
         sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW10", "SW7"));
@@ -125,9 +128,10 @@ fn fig8_protection_loop_laps_are_visible_in_hops() {
             .map(|&(a, b)| (topo.expect(a), topo.expect(b)))
             .collect(),
     );
-    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-        .with_seed(8)
-        .with_ttl(255);
+    let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+        .seed(8)
+        .ttl(255)
+        .build();
     net.install_explicit(primary, &protection).unwrap();
     let mut sim = net.into_sim();
     let (a, b) = rnp28::FIG8_FAILURE;
@@ -159,7 +163,9 @@ fn rnp_boa_vista_failure_adds_exactly_one_hop() {
             .map(|&(a, b)| (topo.expect(a), topo.expect(b)))
             .collect(),
     );
-    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(3);
+    let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+        .seed(3)
+        .build();
     net.install_explicit(primary, &protection).unwrap();
     let mut sim = net.into_sim();
     sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW7", "SW13"));
@@ -193,7 +199,9 @@ fn seeds_reproduce_and_differ() {
     let as1 = topo.expect("AS1");
     let as3 = topo.expect("AS3");
     let run = |seed| {
-        let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip).with_seed(seed);
+        let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+            .seed(seed)
+            .build();
         net.install_route(as1, as3, &Protection::None).unwrap();
         let mut sim = net.into_sim();
         sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW7", "SW13"));

@@ -59,10 +59,11 @@ fn build_plan(
 fn run_with_plan(plan: &FaultPlan, sim_seed: u64) -> Stats {
     let topo = topo15::build();
     let (src, dst) = (topo.expect("AS1"), topo.expect("AS3"));
-    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-        .with_seed(sim_seed)
-        .with_ttl(255)
-        .with_detection_delay(SimTime::from_micros(100));
+    let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+        .seed(sim_seed)
+        .ttl(255)
+        .detection_delay(SimTime::from_micros(100))
+        .build();
     net.install_route(src, dst, &Protection::AutoFull)
         .expect("route installs");
     let mut sim = net.into_sim();

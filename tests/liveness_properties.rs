@@ -79,9 +79,10 @@ proptest! {
         prop_assume!(!coverage.candidates.is_empty());
         prop_assume!((coverage.fraction() - 1.0).abs() < 1e-9);
 
-        let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-            .with_seed(seed ^ 0xabcd)
-            .with_ttl(255);
+        let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+            .seed(seed ^ 0xabcd)
+            .ttl(255)
+        .build();
         net.install_explicit(primary, &Protection::AutoFull).unwrap();
         let mut sim = net.into_sim();
         sim.schedule_link_down(SimTime::ZERO, failed);
@@ -140,7 +141,8 @@ proptest! {
         );
         let src = topo.expect("H0");
         let dst = topo.expect("H1");
-        let mut net = KarNetwork::new(&topo, DeflectionTechnique::Avp).with_seed(seed);
+        let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Avp).seed(seed)
+        .build();
         net.install_route(src, dst, &Protection::None).unwrap();
         let mut sim = net.into_sim();
         for i in 0..batch {
@@ -238,9 +240,10 @@ fn hitless_replay(n: usize, extra: usize, seed: u64, fail_bits: u64) -> bool {
     if coverage.candidates.is_empty() || (coverage.fraction() - 1.0).abs() >= 1e-9 {
         return false;
     }
-    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-        .with_seed(seed ^ 0xabcd)
-        .with_ttl(255);
+    let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+        .seed(seed ^ 0xabcd)
+        .ttl(255)
+        .build();
     net.install_explicit(primary, &Protection::AutoFull)
         .unwrap();
     let mut sim = net.into_sim();

@@ -28,9 +28,10 @@ fn fig1_all_deflected_packets_take_the_protected_branch() {
     b.link(sw11, d, LinkParams::default());
     let topo = b.build().unwrap();
 
-    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-        .with_seed(4)
-        .with_tracing();
+    let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+        .seed(4)
+        .tracing()
+        .build();
     net.install_explicit(
         vec![s, sw4, sw7, sw11, d],
         &Protection::Segments(vec![(sw5, sw11)]),
@@ -66,10 +67,11 @@ fn topo15_two_thirds_go_to_the_uncovered_branch() {
     let topo = topo15::build();
     let as1 = topo.expect("AS1");
     let as3 = topo.expect("AS3");
-    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-        .with_seed(17)
-        .with_ttl(255)
-        .with_tracing();
+    let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+        .seed(17)
+        .ttl(255)
+        .tracing()
+        .build();
     net.install_explicit(
         topo15::primary_route(&topo),
         &Protection::Segments(topo15::protection_pairs(&topo, &topo15::PARTIAL_PROTECTION)),
@@ -118,10 +120,11 @@ fn fig8_lap_counts_are_geometric() {
             .map(|&(a, b)| (topo.expect(a), topo.expect(b)))
             .collect(),
     );
-    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-        .with_seed(23)
-        .with_ttl(255)
-        .with_tracing();
+    let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+        .seed(23)
+        .ttl(255)
+        .tracing()
+        .build();
     net.install_explicit(primary, &protection).unwrap();
     let mut sim = net.into_sim();
     let (a, b) = rnp28::FIG8_FAILURE;
@@ -177,9 +180,10 @@ fn rnp_sw41_failure_is_an_even_coin() {
             .map(|&(a, b)| (topo.expect(a), topo.expect(b)))
             .collect(),
     );
-    let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-        .with_seed(29)
-        .with_tracing();
+    let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+        .seed(29)
+        .tracing()
+        .build();
     net.install_explicit(primary, &protection).unwrap();
     let mut sim = net.into_sim();
     sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW41", "SW73"));

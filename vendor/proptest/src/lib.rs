@@ -29,8 +29,23 @@ pub mod strategy;
 pub mod test_runner;
 
 pub use arbitrary::{any, Arbitrary};
-pub use strategy::{BoxedStrategy, Just, Strategy};
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
 pub use test_runner::ProptestConfig;
+
+/// Picks one of several strategies uniformly at random per case.
+///
+/// Unlike upstream there is no weight syntax (`3 => strat`): every
+/// branch is equally likely, which is all the workspace uses.
+///
+/// ```ignore
+/// let small_or_huge = prop_oneof![0u64..10, u64::MAX - 10..u64::MAX];
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
 
 /// Declares property tests.
 ///

@@ -1,6 +1,6 @@
 //! Everything `use proptest::prelude::*` is expected to bring in.
 
 pub use crate::arbitrary::{any, Arbitrary};
-pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
 pub use crate::test_runner::ProptestConfig;
-pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};

@@ -41,6 +41,20 @@ pub trait Strategy {
     }
 }
 
+/// Picks uniformly among several type-erased strategies (the engine
+/// behind [`prop_oneof!`](crate::prop_oneof)). Unlike upstream there are
+/// no weights: every branch is equally likely.
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
 /// A type-erased [`Strategy`].
 pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
 
