@@ -1,0 +1,1092 @@
+//! Scale-sweep campaign engine: families of generated topologies,
+//! hundreds of concurrent CBR flows per cell, streaming aggregation,
+//! and checkpointed resume.
+//!
+//! A *campaign* is a grid of cells — `(topology family, switch count,
+//! protection level)` — each of which builds a coprime-ID topology from
+//! [`kar_topology::gen`], installs one KAR route per flow pair, fails
+//! one core link on the first route's primary path, and drives every
+//! flow with paced CBR traffic until the network drains. Per-packet
+//! latency and hop data go straight into the observability layer's
+//! log-linear histograms, so a cell's memory footprint is independent of
+//! its packet count: the record keeps only count/mean/p50/p95/p99
+//! summaries ([`kar_obs::HistogramSummary`]).
+//!
+//! Cells are independent and seeded from the campaign seed plus a hash
+//! of the cell key (never the enumeration index), so every simulated
+//! quantity is a pure function of `(cell, seed)` — a sweep at `--jobs N`
+//! is byte-identical to the serial one, and a resumed sweep to an
+//! uninterrupted one. Host wall-clock measurements (encode latency,
+//! events/sec) are the one exception; `KAR_SCALE_WALL=0` omits them so
+//! whole-file byte-identity is testable.
+//!
+//! Interruption is handled with a JSON-lines checkpoint file: a
+//! fingerprint header (campaign configuration) followed by one line per
+//! completed cell carrying the cell's record verbatim. On resume,
+//! matching cells are spliced back without recomputation; a fingerprint
+//! mismatch discards the file.
+
+use crate::harness::env_knob;
+use crate::runner::run_map;
+use kar::{verify_route, DeflectionTechnique, EncodingCache, KarNetwork, Outcome, Protection};
+use kar_obs::{Entity, HistogramSummary, ObsHandle, Profiler};
+use kar_rns::{route_id_bit_length, IdAllocator, IdStrategy};
+use kar_simnet::{App, FlowId, HostCtx, Packet, PacketKind, SimTime};
+use kar_topology::{gen, paths, LinkId, LinkParams, NodeId, Topology};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Topology family of a campaign cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// [`gen::try_ring`]: one host per switch, degree 3 everywhere — the
+    /// longest paths and the smallest deflection fan-out.
+    Ring,
+    /// [`gen::try_grid`]: the squarest `rows × cols` factorization of
+    /// the switch count, hosts on the four corners.
+    Grid,
+    /// [`gen::try_random_connected_hosts`]: spanning tree plus `n/2`
+    /// chords, one host per switch.
+    Random,
+}
+
+impl Family {
+    /// Stable label used in cell keys and JSON records.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Ring => "ring",
+            Family::Grid => "grid",
+            Family::Random => "random",
+        }
+    }
+
+    /// Every family, in campaign order.
+    pub const ALL: [Family; 3] = [Family::Ring, Family::Grid, Family::Random];
+
+    /// Builds the family's topology at `switches` switches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`gen::GenError`] when the ID strategy cannot cover
+    /// the requested size.
+    pub fn build(
+        self,
+        switches: usize,
+        seed: u64,
+        strategy: IdStrategy,
+    ) -> Result<Topology, gen::GenError> {
+        let params = LinkParams::default();
+        match self {
+            Family::Ring => gen::try_ring(switches, strategy, params),
+            Family::Grid => {
+                let (rows, cols) = squarest(switches);
+                gen::try_grid(rows, cols, strategy, params)
+            }
+            Family::Random => {
+                gen::try_random_connected_hosts(switches, switches / 2, seed, strategy, params)
+            }
+        }
+    }
+}
+
+/// The squarest `rows × cols` factorization of `n` (`rows ≤ cols`,
+/// `rows * cols == n`).
+fn squarest(n: usize) -> (usize, usize) {
+    let mut rows = 1;
+    let mut r = 1;
+    while r * r <= n {
+        if n.is_multiple_of(r) {
+            rows = r;
+        }
+        r += 1;
+    }
+    (rows, n / rows)
+}
+
+/// Protection level of a campaign cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtLevel {
+    /// No protection: deflection alone fights for packets.
+    None,
+    /// [`Protection::AutoBudget`] with a 64-bit route-ID budget.
+    Budget,
+    /// [`Protection::AutoFull`]: every primary link protected.
+    Full,
+}
+
+impl ProtLevel {
+    /// Stable label used in cell keys and JSON records.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtLevel::None => "none",
+            ProtLevel::Budget => "budget64",
+            ProtLevel::Full => "full",
+        }
+    }
+
+    /// Every level, in campaign order.
+    pub const ALL: [ProtLevel; 3] = [ProtLevel::None, ProtLevel::Budget, ProtLevel::Full];
+
+    /// The concrete [`Protection`] this level maps to.
+    pub fn protection(self) -> Protection {
+        match self {
+            ProtLevel::None => Protection::None,
+            ProtLevel::Budget => Protection::AutoBudget { max_bits: 64 },
+            ProtLevel::Full => Protection::AutoFull,
+        }
+    }
+}
+
+/// One cell of the campaign grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// Topology family.
+    pub family: Family,
+    /// Core switch count.
+    pub switches: usize,
+    /// Protection level.
+    pub prot: ProtLevel,
+}
+
+impl Cell {
+    /// The cell's stable key — used for checkpoint matching and seeding,
+    /// never its position in the enumeration (so adding sizes or
+    /// families later cannot silently reseed existing cells).
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.family.label(),
+            self.switches,
+            self.prot.label()
+        )
+    }
+}
+
+/// Campaign configuration. `Default` is the full 16→256 sweep.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Base RNG seed; each cell derives its own from this plus a hash of
+    /// its key.
+    pub seed: u64,
+    /// Switch counts to sweep (doubling sequence by default).
+    pub sizes: Vec<usize>,
+    /// Families to sweep.
+    pub families: Vec<Family>,
+    /// Protection levels to sweep.
+    pub prots: Vec<ProtLevel>,
+    /// Concurrent flows per cell = `flows_per_switch × switches`,
+    /// clamped to `[64, 1024]`.
+    pub flows_per_switch: usize,
+    /// Datagrams each flow sends.
+    pub packets_per_flow: u64,
+    /// Switch-ID allocation strategy for generated topologies.
+    pub strategy: IdStrategy,
+    /// Checkpoint file (JSON lines); `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// Worker threads for the cell sweep.
+    pub jobs: usize,
+    /// Include host wall-clock fields (encode latency, events/sec) in
+    /// records. Off, the emitted JSON is a pure function of the
+    /// configuration — byte-identical across runs and hosts.
+    pub wall: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 1,
+            sizes: vec![16, 32, 64, 128, 256],
+            families: Family::ALL.to_vec(),
+            prots: ProtLevel::ALL.to_vec(),
+            flows_per_switch: 2,
+            packets_per_flow: 30,
+            strategy: IdStrategy::SmallestPrimes,
+            checkpoint: None,
+            jobs: 1,
+            wall: env_knob("KAR_SCALE_WALL", 1) != 0,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The cell grid in deterministic order: family-major, then size,
+    /// then protection.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut out = Vec::new();
+        for &family in &self.families {
+            for &switches in &self.sizes {
+                for &prot in &self.prots {
+                    out.push(Cell {
+                        family,
+                        switches,
+                        prot,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Configuration fingerprint: two checkpoints interoperate exactly
+    /// when their fingerprints match. Deliberately excludes `jobs`,
+    /// `wall` and the checkpoint path — none of them affects simulated
+    /// results.
+    pub fn fingerprint(&self) -> String {
+        let join = |parts: Vec<String>| parts.join("+");
+        format!(
+            "scale-v1 seed={} sizes={} families={} prots={} fps={} ppf={} strategy={:?}",
+            self.seed,
+            join(self.sizes.iter().map(|n| n.to_string()).collect()),
+            join(
+                self.families
+                    .iter()
+                    .map(|f| f.label().to_string())
+                    .collect()
+            ),
+            join(self.prots.iter().map(|p| p.label().to_string()).collect()),
+            self.flows_per_switch,
+            self.packets_per_flow,
+            self.strategy,
+        )
+    }
+
+    /// The seed of one cell: a splitmix64 of the campaign seed and the
+    /// FNV-1a hash of the cell key.
+    pub fn cell_seed(&self, cell: &Cell) -> u64 {
+        splitmix64(self.seed ^ fnv1a(&cell.key()))
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic sequence of pseudo-random draws for flow placement —
+/// a tiny splitmix64 stream so cell workloads never depend on a global
+/// RNG.
+struct DrawStream {
+    state: u64,
+}
+
+impl DrawStream {
+    fn new(seed: u64) -> Self {
+        DrawStream { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform draw in `0..n` (n > 0).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Paces several CBR flows out of one host (the engine attaches one app
+/// per edge node, so flows sharing a source must share the app). Timer
+/// ids select the flow.
+struct FlowFleet {
+    flows: Vec<FleetFlow>,
+}
+
+struct FleetFlow {
+    dst: NodeId,
+    flow: FlowId,
+    interval: SimTime,
+    offset: SimTime,
+    packet_bytes: u32,
+    limit: u64,
+    sent: u64,
+}
+
+impl FlowFleet {
+    fn send_one(&mut self, ctx: &mut HostCtx<'_>, ix: usize) {
+        let f = &mut self.flows[ix];
+        if f.sent >= f.limit {
+            return;
+        }
+        ctx.send(f.dst, f.flow, f.sent, PacketKind::Probe, f.packet_bytes);
+        f.sent += 1;
+        if f.sent < f.limit {
+            ctx.set_timer(f.interval, ix as u64);
+        }
+    }
+}
+
+impl App for FlowFleet {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        for ix in 0..self.flows.len() {
+            // Stagger starts so a 1024-flow cell is paced traffic, not a
+            // time-zero burst into drop-tail queues.
+            ctx.set_timer(self.flows[ix].offset, ix as u64);
+        }
+    }
+
+    fn on_packet(&mut self, _ctx: &mut HostCtx<'_>, _pkt: &Packet) {}
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, id: u64) {
+        self.send_one(ctx, id as usize);
+    }
+}
+
+/// Everything one completed cell reports. Serialized with
+/// [`CellRecord::to_json`]; the checkpoint stores the JSON verbatim so a
+/// resumed campaign reproduces its output byte-for-byte without
+/// recomputing.
+#[derive(Debug, Clone, Default)]
+pub struct CellRecord {
+    /// Cell key (`family/switches/protection`).
+    pub key: String,
+    /// Topology family label.
+    pub family: String,
+    /// Core switches requested.
+    pub switches: usize,
+    /// Protection level label.
+    pub protection: String,
+    /// The cell's derived seed.
+    pub seed: u64,
+    /// ID allocation failure, when the strategy could not cover the
+    /// cell: `achieved` switches out of `switches` (every traffic field
+    /// below is zero then).
+    pub gen_error: Option<usize>,
+    /// Edge hosts in the topology.
+    pub hosts: usize,
+    /// Links in the topology.
+    pub links: usize,
+    /// Concurrent flows driven.
+    pub flows: usize,
+    /// Distinct `(src, dst)` routes installed.
+    pub routes: usize,
+    /// Worst-case route-ID bit length over the whole ID set (Eq. 9 on
+    /// every switch ID).
+    pub network_bits: u32,
+    /// Largest installed route ID, in bits.
+    pub route_bits_max: u32,
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Delivery ratio.
+    pub delivery_ratio: f64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Deflection events.
+    pub deflections: u64,
+    /// Per-packet latency summary (nanoseconds).
+    pub latency: HistogramSummary,
+    /// Per-packet hop-count summary.
+    pub hops: HistogramSummary,
+    /// Discrete events dispatched (deterministic).
+    pub events: u64,
+    /// Single-failure verification cases sampled on the first route.
+    pub verify_cases: usize,
+    /// Sampled cases classified as inescapable loops.
+    pub verify_loops: usize,
+    /// Sampled cases classified as blackholes.
+    pub verify_blackholes: usize,
+    /// Sampled cases that deliver with certainty.
+    pub verify_delivered: usize,
+    /// Mean encode wall time per installed route, nanoseconds
+    /// (`None` when wall metrics are off).
+    pub encode_ns_mean: Option<f64>,
+    /// Simulation wall time in milliseconds (`None` when off).
+    pub sim_wall_ms: Option<f64>,
+    /// Dispatched events per wall second (`None` when off).
+    pub events_per_sec: Option<f64>,
+}
+
+impl CellRecord {
+    /// Serializes as one JSON object on a single line.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(512);
+        o.push('{');
+        write!(o, "\"cell\":\"{}\"", self.key).unwrap();
+        write!(o, ",\"family\":\"{}\"", self.family).unwrap();
+        write!(o, ",\"switches\":{}", self.switches).unwrap();
+        write!(o, ",\"protection\":\"{}\"", self.protection).unwrap();
+        write!(o, ",\"seed\":{}", self.seed).unwrap();
+        if let Some(achieved) = self.gen_error {
+            write!(o, ",\"gen_error_achieved\":{achieved}").unwrap();
+        }
+        write!(o, ",\"hosts\":{}", self.hosts).unwrap();
+        write!(o, ",\"links\":{}", self.links).unwrap();
+        write!(o, ",\"flows\":{}", self.flows).unwrap();
+        write!(o, ",\"routes\":{}", self.routes).unwrap();
+        write!(o, ",\"network_bits\":{}", self.network_bits).unwrap();
+        write!(o, ",\"route_bits_max\":{}", self.route_bits_max).unwrap();
+        write!(o, ",\"injected\":{}", self.injected).unwrap();
+        write!(o, ",\"delivered\":{}", self.delivered).unwrap();
+        write!(o, ",\"delivery_ratio\":{}", json_f64(self.delivery_ratio)).unwrap();
+        write!(o, ",\"dropped\":{}", self.dropped).unwrap();
+        write!(o, ",\"deflections\":{}", self.deflections).unwrap();
+        write!(o, ",\"latency_ns\":{}", summary_json(&self.latency)).unwrap();
+        write!(o, ",\"hops\":{}", summary_json(&self.hops)).unwrap();
+        write!(o, ",\"events\":{}", self.events).unwrap();
+        write!(o, ",\"verify_cases\":{}", self.verify_cases).unwrap();
+        write!(o, ",\"verify_loops\":{}", self.verify_loops).unwrap();
+        write!(o, ",\"verify_blackholes\":{}", self.verify_blackholes).unwrap();
+        write!(o, ",\"verify_delivered\":{}", self.verify_delivered).unwrap();
+        if let Some(v) = self.encode_ns_mean {
+            write!(o, ",\"encode_ns_mean\":{}", json_f64(v)).unwrap();
+        }
+        if let Some(v) = self.sim_wall_ms {
+            write!(o, ",\"sim_wall_ms\":{}", json_f64(v)).unwrap();
+        }
+        if let Some(v) = self.events_per_sec {
+            write!(o, ",\"events_per_sec\":{}", json_f64(v)).unwrap();
+        }
+        o.push('}');
+        o
+    }
+}
+
+fn summary_json(s: &HistogramSummary) -> String {
+    format!(
+        "{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+        s.count,
+        json_f64(s.mean),
+        s.p50,
+        s.p95,
+        s.p99
+    )
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Extracts the value of a top-level `"field":` from a single-line JSON
+/// record — enough for table rendering and tests without a JSON parser.
+/// Returns the raw token (number, string with quotes, or object).
+pub fn json_field<'a>(line: &'a str, field: &str) -> Option<&'a str> {
+    let needle = format!("\"{field}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let mut depth = 0usize;
+    let mut in_str = false;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '"' if !in_str => in_str = true,
+            '"' if in_str => in_str = false,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => {
+                if depth == 0 {
+                    return Some(&rest[..i]);
+                }
+                depth -= 1;
+            }
+            ',' if !in_str && depth == 0 => return Some(&rest[..i]),
+            _ => {}
+        }
+    }
+    Some(rest)
+}
+
+/// Runs one campaign cell to completion and returns its record.
+pub fn run_cell(cfg: &CampaignConfig, cell: &Cell) -> CellRecord {
+    let seed = cfg.cell_seed(cell);
+    let mut record = CellRecord {
+        key: cell.key(),
+        family: cell.family.label().to_string(),
+        switches: cell.switches,
+        protection: cell.prot.label().to_string(),
+        seed,
+        ..CellRecord::default()
+    };
+    let topo = match cell.family.build(cell.switches, seed, cfg.strategy) {
+        Ok(t) => t,
+        Err(e) => {
+            record.gen_error = Some(e.assigned);
+            return record;
+        }
+    };
+    record.hosts = topo.edge_nodes().len();
+    record.links = topo.link_count();
+    record.network_bits = route_id_bit_length(&topo.switch_ids());
+
+    // Flow placement: seeded draws over the host set, self-pairs
+    // excluded. Hundreds of flows per cell (paper's "heavy traffic"
+    // regime), clamped so small cells still see contention and huge ones
+    // stay tractable.
+    let hosts = topo.edge_nodes();
+    let n_flows = (cfg.flows_per_switch * cell.switches).clamp(64, 1024);
+    let mut draws = DrawStream::new(seed);
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(n_flows);
+    for _ in 0..n_flows {
+        let src = hosts[draws.below(hosts.len())];
+        let mut dst = hosts[draws.below(hosts.len())];
+        while dst == src {
+            dst = hosts[draws.below(hosts.len())];
+        }
+        pairs.push((src, dst));
+    }
+    record.flows = pairs.len();
+
+    // Install one route per distinct pair through a per-cell encoding
+    // cache (the CrtCache/Reducer stress the tentpole is after happens
+    // inside these encodes and in the fast-path dataplane below).
+    let protection = cell.prot.protection();
+    let ttl = ((cell.switches * 4).clamp(64, 4096)) as u16;
+    let obs = ObsHandle::enabled();
+    let profiler = Arc::new(Profiler::new());
+    let cache = Arc::new(EncodingCache::new());
+    let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+        .seed(seed)
+        .ttl(ttl)
+        .fast_path(true)
+        // Detection plus the recovery loop: without them the controller
+        // never learns of the failure, keeps handing misdelivered
+        // packets their stale route, and the edge → deflection → edge
+        // cycle runs forever (each recompute resets the TTL).
+        .detection_delay(SimTime::from_micros(50))
+        .recovery(kar::RecoveryConfig {
+            notification_delay: SimTime::from_micros(200),
+            ..kar::RecoveryConfig::default()
+        })
+        .obs(obs.clone())
+        .profiler(profiler.clone())
+        .encoding_cache(cache)
+        .build();
+    let mut installed: BTreeMap<(usize, usize), u32> = BTreeMap::new();
+    let mut encode_ns_total = 0u128;
+    for &(src, dst) in &pairs {
+        if installed.contains_key(&(src.0, dst.0)) {
+            continue;
+        }
+        let t0 = Instant::now();
+        let route = net
+            .install_route(src, dst, &protection)
+            .expect("generated topologies are connected");
+        encode_ns_total += t0.elapsed().as_nanos();
+        installed.insert((src.0, dst.0), route.bit_length());
+    }
+    record.routes = installed.len();
+    record.route_bits_max = installed.values().copied().max().unwrap_or(0);
+    if cfg.wall && record.routes > 0 {
+        record.encode_ns_mean = Some(encode_ns_total as f64 / record.routes as f64);
+    }
+
+    // Fail one core link on the first flow's primary path (the middle
+    // one), so the failure provably intersects live traffic.
+    let (src0, dst0) = pairs[0];
+    let primary = paths::bfs_shortest_path(&topo, src0, dst0).expect("installed routes have paths");
+    let core_links = core_links_along(&topo, &primary);
+    let failed = core_links.get(core_links.len() / 2).copied();
+
+    // Drive the flows: one FlowFleet app per source host, CBR pacing
+    // with seeded per-flow interval and start offset.
+    let mut sim = net.into_sim();
+    if let Some(link) = failed {
+        sim.schedule_link_down(SimTime::ZERO, link);
+    }
+    let mut fleets: BTreeMap<usize, Vec<FleetFlow>> = BTreeMap::new();
+    for (i, &(src, dst)) in pairs.iter().enumerate() {
+        let interval = SimTime::from_micros(1_000 + draws.below(1_000) as u64);
+        let offset = SimTime::from_micros(draws.below(2_000) as u64);
+        fleets.entry(src.0).or_default().push(FleetFlow {
+            dst,
+            flow: FlowId(i as u32),
+            interval,
+            offset,
+            packet_bytes: 700,
+            limit: cfg.packets_per_flow,
+            sent: 0,
+        });
+    }
+    for (src, flows) in fleets {
+        sim.add_app(NodeId(src), Box::new(FlowFleet { flows }));
+    }
+    let t0 = Instant::now();
+    sim.run_to_quiescence();
+    let sim_wall = t0.elapsed();
+
+    let stats = sim.stats();
+    record.injected = stats.injected;
+    record.delivered = stats.delivered;
+    record.delivery_ratio = stats.delivery_ratio();
+    record.dropped = stats.dropped();
+    record.deflections = stats.deflections;
+    if let Some(bundle) = obs.get() {
+        record.latency = bundle
+            .metrics
+            .histogram(Entity::Global, "latency_ns")
+            .summary();
+        record.hops = bundle.metrics.histogram(Entity::Global, "hops").summary();
+    }
+    record.events = profiler.total_events();
+    if cfg.wall {
+        record.sim_wall_ms = Some(sim_wall.as_secs_f64() * 1e3);
+        record.events_per_sec = Some(if sim_wall.as_secs_f64() > 0.0 {
+            record.events as f64 / sim_wall.as_secs_f64()
+        } else {
+            0.0
+        });
+    }
+
+    // Sampled verification: exhaustive single-failure verification is
+    // O(pairs × links) and intractable here, so classify the first
+    // route under each of (up to) six single failures along its own
+    // primary path — the failures that matter to it.
+    let spec = kar::RouteSpec::unprotected(primary.clone());
+    let route = match &protection {
+        Protection::None => kar::EncodedRoute::encode(&topo, &spec),
+        _ => kar::protection::encode_with_protection(&topo, primary.clone(), &protection),
+    }
+    .expect("first route re-encodes");
+    for link in core_links.iter().take(6) {
+        let report = verify_route(
+            &topo,
+            &route,
+            src0,
+            dst0,
+            DeflectionTechnique::Nip,
+            &HashSet::from([*link]),
+        );
+        record.verify_cases += 1;
+        match report.outcome {
+            Outcome::Loop => record.verify_loops += 1,
+            Outcome::Blackhole => record.verify_blackholes += 1,
+            Outcome::Delivered => record.verify_delivered += 1,
+            _ => {}
+        }
+    }
+    record
+}
+
+/// Core-core links along a path, in path order.
+fn core_links_along(topo: &Topology, path: &[NodeId]) -> Vec<LinkId> {
+    path.windows(2)
+        .filter(|w| topo.switch_id(w[0]).is_some() && topo.switch_id(w[1]).is_some())
+        .filter_map(|w| topo.link_between(w[0], w[1]))
+        .collect()
+}
+
+/// One row of the key-growth study: how far an [`IdStrategy`] stretches
+/// on ring-degree switches, and the worst-case route-ID bit length at
+/// the achieved size.
+#[derive(Debug, Clone)]
+pub struct KeyGrowthRow {
+    /// Strategy label.
+    pub strategy: String,
+    /// Ring size requested.
+    pub requested: usize,
+    /// Switches that received an ID (`== requested` when the build
+    /// succeeded).
+    pub achieved: usize,
+    /// Worst-case route-ID bit length over the achieved ID set.
+    pub bits: u32,
+}
+
+impl KeyGrowthRow {
+    /// Serializes as one JSON object on a single line.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"strategy\":\"{}\",\"requested\":{},\"achieved\":{},\"bits\":{}}}",
+            self.strategy, self.requested, self.achieved, self.bits
+        )
+    }
+}
+
+/// The key-growth study: for each strategy and campaign size, try to
+/// build the ring and report the achievable ceiling (via
+/// [`gen::try_ring`]'s error) plus Eq. 9's worst-case bit length at
+/// that size. `PrimesBelow` models fixed-width switch-ID hardware and
+/// is where ceilings actually bite.
+pub fn key_growth_study(sizes: &[usize]) -> Vec<KeyGrowthRow> {
+    let strategies: [(String, IdStrategy); 5] = [
+        ("SmallestPrimes".into(), IdStrategy::SmallestPrimes),
+        ("SmallestCoprime".into(), IdStrategy::SmallestCoprime),
+        ("PrimesBelow(2^8)".into(), IdStrategy::PrimesBelow(1 << 8)),
+        ("PrimesBelow(2^10)".into(), IdStrategy::PrimesBelow(1 << 10)),
+        ("PrimesBelow(2^12)".into(), IdStrategy::PrimesBelow(1 << 12)),
+    ];
+    let mut rows = Vec::new();
+    for (label, strategy) in &strategies {
+        for &n in sizes {
+            let achieved = match gen::try_ring(n, *strategy, LinkParams::default()) {
+                Ok(_) => n,
+                Err(e) => e.assigned,
+            };
+            // Mirror the allocation to read the worst-case bit length at
+            // the achieved size (the error does not carry partial IDs).
+            let mut alloc = IdAllocator::new(*strategy);
+            for _ in 0..achieved {
+                alloc.allocate(3).expect("achieved size allocates");
+            }
+            rows.push(KeyGrowthRow {
+                strategy: label.clone(),
+                requested: n,
+                achieved,
+                bits: alloc.allocated_bits(),
+            });
+            if achieved < n {
+                break; // larger sizes only repeat the same ceiling
+            }
+        }
+    }
+    rows
+}
+
+/// Outcome of [`run_campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Configuration fingerprint the records belong to.
+    pub fingerprint: String,
+    /// `(cell key, record JSON)` in grid order.
+    pub records: Vec<(String, String)>,
+    /// Cells simulated in this invocation (the rest came from the
+    /// checkpoint).
+    pub computed: usize,
+    /// Key-growth study rows.
+    pub key_growth: Vec<KeyGrowthRow>,
+}
+
+impl CampaignResult {
+    /// Renders the full `BENCH_scale.json` document: a JSON object with
+    /// one cell record per line (line-oriented so diffs stay readable).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"campaign\":\"scale\",\n");
+        out.push_str(&format!(
+            "\"fingerprint\":\"{}\",\n\"cells\":[\n",
+            self.fingerprint
+        ));
+        for (i, (_, json)) in self.records.iter().enumerate() {
+            out.push_str(json);
+            out.push_str(if i + 1 < self.records.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("],\n\"key_growth\":[\n");
+        for (i, row) in self.key_growth.iter().enumerate() {
+            out.push_str(&row.to_json());
+            out.push_str(if i + 1 < self.key_growth.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// A human-readable summary table (stdout side of `fig_scale`).
+    pub fn render_table(&self) -> String {
+        let mut out = String::from(
+            "| Cell | Bits(max) | Flows | Delivery | p99 lat (ms) | Defl | Loops | Blackholes |\n\
+             |---|---|---|---|---|---|---|---|\n",
+        );
+        for (key, json) in &self.records {
+            let get = |f: &str| json_field(json, f).unwrap_or("-").to_string();
+            let p99_ms = json_field(json, "latency_ns")
+                .and_then(|obj| json_field(obj, "p99"))
+                .and_then(|v| v.parse::<f64>().ok())
+                .map(|ns| format!("{:.2}", ns / 1e6))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                key,
+                get("route_bits_max"),
+                get("flows"),
+                get("delivery_ratio"),
+                p99_ms,
+                get("deflections"),
+                get("verify_loops"),
+                get("verify_blackholes"),
+            ));
+        }
+        out
+    }
+}
+
+/// Loads a checkpoint's completed cells, keyed by cell key. Returns an
+/// empty map when the file is missing or its fingerprint differs.
+fn load_checkpoint(path: &Path, fingerprint: &str) -> BTreeMap<String, String> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return BTreeMap::new();
+    };
+    let mut lines = text.lines();
+    let Some(header) = lines.next() else {
+        return BTreeMap::new();
+    };
+    match json_field(header, "campaign_checkpoint") {
+        Some(fp) if fp.trim_matches('"') == fingerprint => {}
+        _ => return BTreeMap::new(),
+    }
+    let mut done = BTreeMap::new();
+    for line in lines {
+        let Some(key) = json_field(line, "cell") else {
+            continue; // torn tail write from an interrupted run
+        };
+        let Some(record_start) = line.find("\"record\":") else {
+            continue;
+        };
+        let record = line[record_start + "\"record\":".len()..].trim_end();
+        let record = record.strip_suffix('}').unwrap_or(record);
+        if record.ends_with('}') {
+            done.insert(key.trim_matches('"').to_string(), record.to_string());
+        }
+    }
+    done
+}
+
+/// Runs the campaign: resumes from the checkpoint (if configured and
+/// fingerprint-compatible), simulates the remaining cells in parallel,
+/// streams each completed cell to the checkpoint as it finishes, and
+/// returns every record in grid order.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
+    let fingerprint = cfg.fingerprint();
+    let cells = cfg.cells();
+    let done = match &cfg.checkpoint {
+        Some(path) => load_checkpoint(path, &fingerprint),
+        None => BTreeMap::new(),
+    };
+    // (Re)write the checkpoint: header plus the still-valid cells, then
+    // append streaming. A fingerprint mismatch starts the file over.
+    let sink = cfg.checkpoint.as_ref().map(|path| {
+        let mut text = format!("{{\"campaign_checkpoint\":\"{fingerprint}\"}}\n");
+        for (key, record) in &done {
+            text.push_str(&format!("{{\"cell\":\"{key}\",\"record\":{record}}}\n"));
+        }
+        fs::write(path, &text).unwrap_or_else(|e| {
+            eprintln!("campaign: cannot write checkpoint {}: {e}", path.display());
+        });
+        Mutex::new(
+            fs::OpenOptions::new()
+                .append(true)
+                .open(path)
+                .expect("checkpoint just written"),
+        )
+    });
+    let pending: Vec<Cell> = cells
+        .iter()
+        .filter(|c| !done.contains_key(&c.key()))
+        .copied()
+        .collect();
+    let computed = pending.len();
+    let fresh = run_map(&pending, cfg.jobs, |cell| {
+        let record = run_cell(cfg, cell);
+        let json = record.to_json();
+        if let Some(file) = &sink {
+            // Stream the finished cell out immediately (completion
+            // order): an interrupt after this line never recomputes the
+            // cell. The final document is assembled in grid order from
+            // the returned values, so the file order does not matter.
+            let mut file = file
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _ = writeln!(file, "{{\"cell\":\"{}\",\"record\":{json}}}", record.key);
+            let _ = file.flush();
+        }
+        (record.key, json)
+    });
+    let fresh: BTreeMap<String, String> = fresh.into_iter().collect();
+    let records = cells
+        .iter()
+        .map(|c| {
+            let key = c.key();
+            let json = fresh
+                .get(&key)
+                .or_else(|| done.get(&key))
+                .expect("every cell computed or restored")
+                .clone();
+            (key, json)
+        })
+        .collect();
+    CampaignResult {
+        fingerprint,
+        records,
+        computed,
+        key_growth: key_growth_study(&cfg.sizes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_config() -> CampaignConfig {
+        CampaignConfig {
+            seed: 11,
+            sizes: vec![8],
+            families: vec![Family::Ring, Family::Grid],
+            prots: vec![ProtLevel::None, ProtLevel::Full],
+            flows_per_switch: 2,
+            packets_per_flow: 4,
+            jobs: 2,
+            wall: false,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn cell_seeds_depend_on_key_not_position() {
+        let cfg = smoke_config();
+        let a = Cell {
+            family: Family::Ring,
+            switches: 8,
+            prot: ProtLevel::None,
+        };
+        let b = Cell {
+            family: Family::Grid,
+            switches: 8,
+            prot: ProtLevel::None,
+        };
+        assert_ne!(cfg.cell_seed(&a), cfg.cell_seed(&b));
+        // Same key, same seed — regardless of any grid reshuffling.
+        let mut wider = smoke_config();
+        wider.sizes = vec![8, 16];
+        assert_eq!(cfg.cell_seed(&a), wider.cell_seed(&a));
+    }
+
+    #[test]
+    fn run_cell_is_deterministic() {
+        let cfg = smoke_config();
+        let cell = Cell {
+            family: Family::Ring,
+            switches: 8,
+            prot: ProtLevel::Full,
+        };
+        let a = run_cell(&cfg, &cell);
+        let b = run_cell(&cfg, &cell);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.injected > 0);
+        assert!(a.delivered > 0);
+        assert!(a.latency.count > 0, "latency histogram populated");
+        assert!(a.events > 0);
+        assert!(a.verify_cases > 0);
+    }
+
+    #[test]
+    fn full_protection_never_widens_less_than_none() {
+        let cfg = smoke_config();
+        let none = run_cell(
+            &cfg,
+            &Cell {
+                family: Family::Ring,
+                switches: 8,
+                prot: ProtLevel::None,
+            },
+        );
+        let full = run_cell(
+            &cfg,
+            &Cell {
+                family: Family::Ring,
+                switches: 8,
+                prot: ProtLevel::Full,
+            },
+        );
+        assert!(
+            full.route_bits_max >= none.route_bits_max,
+            "protection grows the route ID: {} vs {}",
+            full.route_bits_max,
+            none.route_bits_max
+        );
+    }
+
+    #[test]
+    fn exhausted_strategy_reports_ceiling_instead_of_aborting() {
+        let cfg = CampaignConfig {
+            strategy: IdStrategy::PrimesBelow(13),
+            ..smoke_config()
+        };
+        let rec = run_cell(
+            &cfg,
+            &Cell {
+                family: Family::Ring,
+                switches: 8,
+                prot: ProtLevel::None,
+            },
+        );
+        assert_eq!(rec.gen_error, Some(3), "{rec:?}");
+        assert_eq!(rec.injected, 0);
+        assert!(rec.to_json().contains("\"gen_error_achieved\":3"));
+    }
+
+    #[test]
+    fn campaign_grid_order_and_json_shape() {
+        let cfg = smoke_config();
+        let result = run_campaign(&cfg);
+        assert_eq!(result.computed, 4);
+        assert_eq!(result.records.len(), 4);
+        let keys: Vec<&str> = result.records.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            ["ring/8/none", "ring/8/full", "grid/8/none", "grid/8/full"]
+        );
+        let doc = result.to_json();
+        assert!(doc.starts_with("{\"campaign\":\"scale\""));
+        assert!(doc.contains("\"key_growth\":["));
+        assert!(result.render_table().contains("ring/8/none"));
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial() {
+        let serial = run_campaign(&CampaignConfig {
+            jobs: 1,
+            ..smoke_config()
+        });
+        let parallel = run_campaign(&CampaignConfig {
+            jobs: 4,
+            ..smoke_config()
+        });
+        assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn json_field_extracts_tokens() {
+        let line = r#"{"a":1,"b":"x,y","c":{"d":[1,2],"e":3},"f":4}"#;
+        assert_eq!(json_field(line, "a"), Some("1"));
+        assert_eq!(json_field(line, "b"), Some("\"x,y\""));
+        assert_eq!(json_field(line, "c"), Some("{\"d\":[1,2],\"e\":3}"));
+        assert_eq!(json_field(line, "f"), Some("4"));
+        assert_eq!(json_field(line, "missing"), None);
+        assert_eq!(json_field(json_field(line, "c").unwrap(), "e"), Some("3"));
+    }
+
+    #[test]
+    fn key_growth_hits_ceilings_for_bounded_strategies() {
+        let rows = key_growth_study(&[16, 64]);
+        let below8: Vec<&KeyGrowthRow> = rows
+            .iter()
+            .filter(|r| r.strategy == "PrimesBelow(2^8)")
+            .collect();
+        // 52 primes in [5, 256): the 16-ring fits, the 64-ring does not.
+        assert_eq!(below8[0].achieved, 16);
+        assert_eq!(below8.last().unwrap().achieved, 52);
+        // Unbounded strategies cover everything, with growing bits.
+        let smallest: Vec<&KeyGrowthRow> = rows
+            .iter()
+            .filter(|r| r.strategy == "SmallestPrimes")
+            .collect();
+        assert_eq!(smallest.len(), 2);
+        assert!(smallest[1].bits > smallest[0].bits);
+        assert_eq!(smallest[1].achieved, 64);
+    }
+}

@@ -76,8 +76,10 @@ impl CommonArgs {
 }
 
 /// Extracts `--name <value>` or `--name=<value>`; the last occurrence
-/// wins (matching [`crate::obs::metrics_path`]'s convention).
-fn flag_value(args: &[String], name: &str) -> Option<String> {
+/// wins (matching [`crate::obs::metrics_path`]'s convention). Public so
+/// binaries with extra flags (`fig_scale`'s `--checkpoint`,
+/// `--max-switches`) parse them the same way.
+pub fn flag_value(args: &[String], name: &str) -> Option<String> {
     let mut iter = args.iter();
     let mut value = None;
     let prefix = format!("{name}=");

@@ -19,10 +19,17 @@
 //! per-run [`telemetry`] records. The flag/environment handling shared
 //! by every binary (`--jobs`, `--metrics`, `--telemetry`, `--seed`)
 //! lives in [`cli::CommonArgs`].
+//!
+//! The scale-sweep [`campaign`] subsystem (binary: `fig_scale`) drives
+//! generated topology families from 16 to 512 switches with hundreds of
+//! concurrent flows per cell, streaming aggregation into histogram
+//! summaries, and a checkpoint file so interrupted sweeps resume at the
+//! last completed cell.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod cli;
 pub mod experiments;
 pub mod harness;

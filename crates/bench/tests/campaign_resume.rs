@@ -1,0 +1,96 @@
+//! Checkpoint-resume behavior of the scale campaign: an interrupted
+//! sweep resumes at the last completed cell, the resumed document is
+//! byte-identical to an uninterrupted run, and stale checkpoints (other
+//! configuration) are ignored rather than spliced in.
+
+use kar_bench::campaign::{run_campaign, CampaignConfig, Family, ProtLevel};
+use std::fs;
+use std::path::PathBuf;
+
+fn smoke_config(checkpoint: Option<PathBuf>) -> CampaignConfig {
+    CampaignConfig {
+        seed: 77,
+        sizes: vec![8, 12],
+        families: vec![Family::Ring, Family::Grid],
+        prots: vec![ProtLevel::None, ProtLevel::Full],
+        flows_per_switch: 2,
+        packets_per_flow: 3,
+        checkpoint,
+        jobs: 2,
+        wall: false,
+        ..CampaignConfig::default()
+    }
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("kar_campaign_{tag}_{}.ckpt", std::process::id()))
+}
+
+#[test]
+fn interrupted_sweep_resumes_without_recomputing_finished_cells() {
+    let ckpt = temp_path("resume");
+    let _ = fs::remove_file(&ckpt);
+
+    let full = run_campaign(&smoke_config(Some(ckpt.clone())));
+    assert_eq!(full.computed, 8, "first run computes every cell");
+    let checkpoint_text = fs::read_to_string(&ckpt).unwrap();
+    assert_eq!(
+        checkpoint_text.lines().count(),
+        9,
+        "fingerprint header plus one line per cell"
+    );
+
+    // Simulate an interruption: keep the header and the first three
+    // completed cells, as if the process died mid-sweep.
+    let kept: Vec<&str> = checkpoint_text.lines().take(4).collect();
+    fs::write(&ckpt, format!("{}\n", kept.join("\n"))).unwrap();
+
+    let resumed = run_campaign(&smoke_config(Some(ckpt.clone())));
+    assert_eq!(resumed.computed, 5, "only the lost cells are recomputed");
+    assert_eq!(
+        resumed.to_json(),
+        full.to_json(),
+        "resumed document is byte-identical to the uninterrupted one"
+    );
+
+    // A second resume finds everything done.
+    let warm = run_campaign(&smoke_config(Some(ckpt.clone())));
+    assert_eq!(warm.computed, 0);
+    assert_eq!(warm.to_json(), full.to_json());
+
+    let _ = fs::remove_file(&ckpt);
+}
+
+#[test]
+fn foreign_checkpoints_are_discarded_not_spliced() {
+    let ckpt = temp_path("foreign");
+    let _ = fs::remove_file(&ckpt);
+
+    let first = run_campaign(&smoke_config(Some(ckpt.clone())));
+    assert_eq!(first.computed, 8);
+
+    // Same checkpoint path, different seed: the fingerprint no longer
+    // matches, so every cell recomputes and the file is rewritten.
+    let mut other = smoke_config(Some(ckpt.clone()));
+    other.seed = 78;
+    let second = run_campaign(&other);
+    assert_eq!(second.computed, 8, "stale cells must not be reused");
+    assert_ne!(second.to_json(), first.to_json());
+    let text = fs::read_to_string(&ckpt).unwrap();
+    assert!(text.starts_with(&format!(
+        "{{\"campaign_checkpoint\":\"{}\"}}",
+        other.fingerprint()
+    )));
+
+    let _ = fs::remove_file(&ckpt);
+}
+
+#[test]
+fn checkpointed_and_plain_runs_agree() {
+    let ckpt = temp_path("plain");
+    let _ = fs::remove_file(&ckpt);
+    let with = run_campaign(&smoke_config(Some(ckpt.clone())));
+    let without = run_campaign(&smoke_config(None));
+    assert_eq!(with.to_json(), without.to_json());
+    let _ = fs::remove_file(&ckpt);
+}

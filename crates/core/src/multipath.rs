@@ -31,12 +31,27 @@ pub fn edge_disjoint_paths(
 ) -> Vec<Vec<NodeId>> {
     let mut used: HashSet<LinkId> = HashSet::new();
     let mut out: Vec<Vec<NodeId>> = Vec::new();
-    for _ in 0..k {
+    while out.len() < k {
         let Some(path) = bfs_avoiding_links(topo, src, dst, &used) else {
             break;
         };
         if out.contains(&path) {
-            break; // only shared host links left → no real diversity
+            // BFS re-found an accepted path, which happens exactly when
+            // that path added no core-core link to the avoid set (e.g. a
+            // one-switch path, all of whose links touch a host). Widening
+            // the avoid set with *all* of its links forces the next BFS
+            // onto genuinely different links; giving up here used to end
+            // the search even when further disjoint paths existed.
+            let mut widened = false;
+            for w in path.windows(2) {
+                if let Some(l) = topo.link_between(w[0], w[1]) {
+                    widened |= used.insert(l);
+                }
+            }
+            if !widened {
+                break; // the duplicate has nothing left to exclude
+            }
+            continue;
         }
         for w in path.windows(2) {
             let both_core = topo.switch_id(w[0]).is_some() && topo.switch_id(w[1]).is_some();
@@ -280,6 +295,30 @@ mod tests {
             s.delivered >= 1 && s.delivered < 8,
             "only the failed path's flows die without deflection: {s:?}"
         );
+    }
+
+    #[test]
+    fn duplicate_path_widens_search_instead_of_ending_it() {
+        // Two parallel one-switch paths: H0-A-H1 and H0-B-H1. Neither
+        // contains a core-core link, so accepting the first adds nothing
+        // to the avoid set and the next BFS re-finds it; the search used
+        // to give up there and report a single path.
+        let mut b = kar_topology::TopologyBuilder::new();
+        let params = kar_topology::LinkParams::default();
+        let h0 = b.edge("H0");
+        let h1 = b.edge("H1");
+        let sa = b.core("A", 3);
+        let sb = b.core("B", 5);
+        b.link(h0, sa, params);
+        b.link(sa, h1, params);
+        b.link(h0, sb, params);
+        b.link(sb, h1, params);
+        let topo = b.build().unwrap();
+        let found = edge_disjoint_paths(&topo, h0, h1, 3);
+        assert_eq!(found.len(), 2, "both parallel paths: {found:?}");
+        assert_ne!(found[0], found[1]);
+        // Asking for more than exist still terminates.
+        assert_eq!(edge_disjoint_paths(&topo, h0, h1, 8).len(), 2);
     }
 
     #[test]

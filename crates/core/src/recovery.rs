@@ -113,6 +113,17 @@ impl RecoveryLog {
     }
 }
 
+/// Locks the shared recovery log, recovering from a poisoned mutex.
+///
+/// Telemetry readers hold this lock only to push/clone plain records, so
+/// a panic on another thread mid-push leaves the log merely truncated,
+/// never structurally broken — propagating the poison would cascade one
+/// worker's panic into every simulation sharing the log handle.
+fn lock_log(log: &Mutex<RecoveryLog>) -> std::sync::MutexGuard<'_, RecoveryLog> {
+    log.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// A route as originally installed, before any failure.
 #[derive(Debug, Clone)]
 struct InstalledRoute {
@@ -291,16 +302,12 @@ impl RecoveringController {
                 // failure set are stale now.
                 self.inner.clear_routes();
             }
-            self.log
-                .lock()
-                .expect("recovery log lock")
-                .notices
-                .push(LinkNotice {
-                    link: next.link,
-                    up: next.up,
-                    observed_at: next.observed_at,
-                    applied_at: next.effective_at,
-                });
+            lock_log(&self.log).notices.push(LinkNotice {
+                link: next.link,
+                up: next.up,
+                observed_at: next.observed_at,
+                applied_at: next.effective_at,
+            });
             if let Some(obs) = self.obs.get() {
                 obs.metrics
                     .counter(Entity::Global, "recovery.notices")
@@ -345,16 +352,12 @@ impl RecoveringController {
         let was_detour = self.current.get(&key).map(|c| c.detour).unwrap_or(false);
         if detour && !was_detour {
             if let Some(failed_at) = self.last_failure_observed {
-                self.log
-                    .lock()
-                    .expect("recovery log lock")
-                    .flows
-                    .push(FlowRecovery {
-                        src,
-                        dst,
-                        failed_at,
-                        recovered_at: now,
-                    });
+                lock_log(&self.log).flows.push(FlowRecovery {
+                    src,
+                    dst,
+                    failed_at,
+                    recovered_at: now,
+                });
                 if let Some(obs) = self.obs.get() {
                     let latency_ns = now.since(failed_at).as_nanos();
                     obs.metrics
@@ -508,6 +511,48 @@ mod tests {
         rc.ingress(&topo, as2, &mut pkt).unwrap();
         assert_eq!(*pkt.route.as_ref().unwrap().route_id, other.route_id);
         assert!(rc.log_handle().lock().unwrap().flows.is_empty());
+    }
+
+    #[test]
+    fn survives_a_poisoned_log_mutex() {
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let failed = topo.expect_link("SW7", "SW13");
+        let mut rc = RecoveringController::new(RecoveryConfig {
+            notification_delay: SimTime::ZERO,
+            protection: Protection::None,
+        });
+        let original = rc
+            .install_route(&topo, as1, as3, &Protection::None)
+            .unwrap();
+
+        // Poison the shared log: a panic while holding the lock (e.g. a
+        // crashing telemetry reader in another worker) used to make every
+        // later `.expect("recovery log lock")` cascade the panic.
+        let log = rc.log_handle();
+        let poisoner = std::thread::spawn({
+            let log = Arc::clone(&log);
+            move || {
+                let _guard = log.lock().unwrap();
+                panic!("poison the recovery log");
+            }
+        });
+        assert!(poisoner.join().is_err());
+        assert!(log.lock().is_err(), "mutex must actually be poisoned");
+
+        // The controller still processes the failure and records both the
+        // notice and the flow recovery.
+        rc.on_link_event(&topo, failed, false, SimTime::from_millis(1));
+        let mut pkt = probe(as1, as3, SimTime::from_millis(2));
+        rc.ingress(&topo, as1, &mut pkt).unwrap();
+        assert_ne!(*pkt.route.as_ref().unwrap().route_id, original.route_id);
+        let snapshot = log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        assert_eq!(snapshot.notices.len(), 1);
+        assert_eq!(snapshot.flows.len(), 1);
     }
 
     #[test]

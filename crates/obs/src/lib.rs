@@ -35,8 +35,8 @@ pub mod sink;
 pub use dump::{escape, json_f64, parse_line, read_dumps, DumpRecord, RunDump, TopoLabeler};
 pub use events::{Event, EventKind, EventRing, EVENT_RING_CAP};
 pub use metrics::{
-    bucket_index, bucket_range, Counter, Entity, Gauge, HistSnapshot, Histogram, MetricsRegistry,
-    MetricsSnapshot, Series, SeriesSnapshot,
+    bucket_index, bucket_range, Counter, Entity, Gauge, HistSnapshot, Histogram, HistogramSummary,
+    MetricsRegistry, MetricsSnapshot, Series, SeriesSnapshot,
 };
 pub use profile::{fmt_ns, ProfileRow, Profiler};
 

@@ -216,6 +216,20 @@ impl Histogram {
         self.max()
     }
 
+    /// Streaming summary (count/mean/p50/p95/p99) for campaign-level
+    /// reporting — everything is read off the log-linear buckets, so a
+    /// million-packet run summarizes in O(buckets) with O(1) memory per
+    /// metric, never a per-packet buffer.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            mean: self.mean().unwrap_or(0.0),
+            p50: self.quantile(0.50).unwrap_or(0),
+            p95: self.quantile(0.95).unwrap_or(0),
+            p99: self.quantile(0.99).unwrap_or(0),
+        }
+    }
+
     /// Non-empty buckets as `(lower bound, count)`, in value order.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.0
@@ -228,6 +242,24 @@ impl Histogram {
             })
             .collect()
     }
+}
+
+/// One histogram condensed to the five numbers a sweep table reports.
+/// Quantiles carry the histogram's ~6% bucket resolution; `mean` is
+/// exact. All fields are 0 (not absent) for an empty histogram —
+/// `count == 0` disambiguates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Values recorded.
+    pub count: u64,
+    /// Exact mean (0.0 when empty).
+    pub mean: f64,
+    /// Median (bucket lower bound).
+    pub p50: u64,
+    /// 95th percentile (bucket lower bound).
+    pub p95: u64,
+    /// 99th percentile (bucket lower bound).
+    pub p99: u64,
 }
 
 /// Decimated time series: `(t_ns, value)` samples with a bounded
@@ -446,6 +478,23 @@ mod tests {
         assert_eq!(g.max(), 7);
         // Different entity, same metric name: a distinct cell.
         assert_eq!(reg.counter(Entity::Node(4), "hops").get(), 0);
+    }
+
+    #[test]
+    fn summary_reads_off_the_buckets() {
+        let h = Histogram::default();
+        assert_eq!(h.summary(), HistogramSummary::default());
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        // Quantiles are bucket lower bounds: within one ~6% bucket.
+        assert!(s.p50 >= 48 && s.p50 <= 50, "p50={}", s.p50);
+        assert!(s.p95 >= 88 && s.p95 <= 95, "p95={}", s.p95);
+        assert!(s.p99 >= 92 && s.p99 <= 99, "p99={}", s.p99);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
     }
 
     #[test]

@@ -71,6 +71,15 @@ impl Profiler {
         rows
     }
 
+    /// Total dispatches across every label. Unlike the timing columns
+    /// this is a *simulated* quantity (one dispatch per event) and is
+    /// deterministic per seed — campaigns divide it by wall-clock to get
+    /// an events/sec throughput figure.
+    pub fn total_events(&self) -> u64 {
+        let slots = self.slots.lock().expect("profiler lock");
+        slots.values().map(|acc| acc.count).sum()
+    }
+
     /// Renders the self-time table (empty string when nothing recorded).
     pub fn report(&self) -> String {
         let rows = self.rows();
@@ -134,6 +143,7 @@ mod tests {
         assert_eq!(rows[0].total_ns, 400);
         assert_eq!(rows[0].max_ns, 300);
         assert_eq!(rows[1].label, "timer");
+        assert_eq!(p.total_events(), 3);
         let report = p.report();
         assert!(report.contains("arrive"));
         assert!(report.contains("share"));

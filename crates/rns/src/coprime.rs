@@ -61,6 +61,13 @@ pub enum IdStrategy {
     /// Primes in allocation order but starting from a floor, e.g. to leave
     /// room for port counts unknown at assignment time.
     PrimesFrom(u64),
+    /// Consecutive primes capped at an exclusive ceiling — models hardware
+    /// that stores switch IDs in a fixed field width (`PrimesBelow(1 << w)`
+    /// for `w`-bit IDs). Unlike the open-ended strategies, this one
+    /// genuinely exhausts: by the prime number theorem roughly
+    /// `ceiling / ln(ceiling)` switches fit, which is what the scale
+    /// campaign's key-growth study measures per strategy.
+    PrimesBelow(u64),
 }
 
 /// Incremental allocator of pairwise-coprime switch IDs.
@@ -122,6 +129,15 @@ impl IdAllocator {
         &self.allocated
     }
 
+    /// Key-growth accounting: the route-ID bit length a route crossing
+    /// *every* allocated switch would need, i.e. `(Π idᵢ − 1).bits()`
+    /// (Eq. 9 applied to the whole allocation). This is the worst case
+    /// over all routes in the network and the quantity the scale
+    /// campaign tracks per [`IdStrategy`] as topologies grow.
+    pub fn allocated_bits(&self) -> u32 {
+        crate::crt::route_id_bit_length(&self.allocated)
+    }
+
     /// Allocates the next ID for a switch with `ports` ports.
     ///
     /// The returned ID is strictly greater than `ports`, so that every port
@@ -138,11 +154,16 @@ impl IdAllocator {
             _ => ports as u64 + 1,
         };
         let mut candidate = floor.max(2);
-        let bound = 1u64 << 32;
+        let bound = match self.strategy {
+            IdStrategy::PrimesBelow(ceiling) => ceiling.min(1u64 << 32),
+            _ => 1u64 << 32,
+        };
         while candidate < bound {
             let ok = match self.strategy {
                 IdStrategy::SmallestCoprime => true,
-                IdStrategy::SmallestPrimes | IdStrategy::PrimesFrom(_) => is_prime(candidate),
+                IdStrategy::SmallestPrimes
+                | IdStrategy::PrimesFrom(_)
+                | IdStrategy::PrimesBelow(_) => is_prime(candidate),
             };
             if ok && self.allocated.iter().all(|&a| gcd(a, candidate) == 1) {
                 self.allocated.push(candidate);
@@ -339,6 +360,45 @@ mod tests {
         let mut alloc = IdAllocator::new(IdStrategy::PrimesFrom(100));
         assert_eq!(alloc.allocate(2).unwrap(), 101);
         assert_eq!(alloc.allocate(2).unwrap(), 103);
+    }
+
+    #[test]
+    fn primes_below_exhausts_at_the_ceiling() {
+        // 8-bit switch IDs: primes > 2 and < 256. There are 53 such
+        // primes (3..=251), so the 54th allocation must fail.
+        let mut alloc = IdAllocator::new(IdStrategy::PrimesBelow(256));
+        let mut got = Vec::new();
+        loop {
+            match alloc.allocate(2) {
+                Ok(id) => {
+                    assert!(id < 256);
+                    got.push(id);
+                }
+                Err(e) => {
+                    assert_eq!(e, IdError::Exhausted { ports: 2 });
+                    break;
+                }
+            }
+        }
+        assert_eq!(got.len(), 53);
+        assert!(pairwise_coprime(&got));
+    }
+
+    #[test]
+    fn allocated_bits_tracks_key_growth() {
+        let mut alloc = IdAllocator::new(IdStrategy::SmallestPrimes);
+        assert_eq!(alloc.allocated_bits(), 0);
+        let mut last = 0;
+        for _ in 0..12 {
+            alloc.allocate(2).unwrap();
+            let bits = alloc.allocated_bits();
+            assert!(bits > last, "every new ID must grow the worst-case key");
+            last = bits;
+        }
+        // Matches Eq. 9 on the Table-1 basis.
+        let table1 =
+            IdAllocator::with_reserved(IdStrategy::SmallestPrimes, &[10, 7, 13, 29]).unwrap();
+        assert_eq!(table1.allocated_bits(), 15);
     }
 
     #[test]

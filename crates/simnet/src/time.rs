@@ -11,19 +11,24 @@ impl SimTime {
     /// Time zero.
     pub const ZERO: SimTime = SimTime(0);
 
-    /// Builds from whole seconds.
+    /// The latest representable instant (~584 simulated years).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds from whole seconds, saturating at [`SimTime::MAX`] (the
+    /// unchecked multiplication used to wrap silently in release builds
+    /// for durations beyond ~584 years).
     pub fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000_000)
+        SimTime(s.saturating_mul(1_000_000_000))
     }
 
-    /// Builds from milliseconds.
+    /// Builds from milliseconds, saturating at [`SimTime::MAX`].
     pub fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+        SimTime(ms.saturating_mul(1_000_000))
     }
 
-    /// Builds from microseconds.
+    /// Builds from microseconds, saturating at [`SimTime::MAX`].
     pub fn from_micros(us: u64) -> Self {
-        SimTime(us * 1_000)
+        SimTime(us.saturating_mul(1_000))
     }
 
     /// Nanoseconds since simulation start.
@@ -45,13 +50,13 @@ impl SimTime {
 impl Add for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimTime {
     fn add_assign(&mut self, rhs: SimTime) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -100,6 +105,30 @@ mod tests {
         let mut c = a;
         c += b;
         assert_eq!(c, SimTime::from_millis(1500));
+    }
+
+    #[test]
+    fn conversion_overflow_saturates() {
+        // Largest whole-second value that still fits in u64 nanoseconds.
+        let max_secs = u64::MAX / 1_000_000_000;
+        assert_eq!(
+            SimTime::from_secs(max_secs).as_nanos(),
+            max_secs * 1_000_000_000
+        );
+        // One past the boundary used to wrap around in release builds;
+        // now it pins to SimTime::MAX.
+        assert_eq!(SimTime::from_secs(max_secs + 1), SimTime::MAX);
+        assert_eq!(SimTime::from_secs(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_millis(u64::MAX / 1_000_000 + 1), SimTime::MAX);
+        assert_eq!(SimTime::from_micros(u64::MAX / 1_000 + 1), SimTime::MAX);
+    }
+
+    #[test]
+    fn add_saturates_at_max() {
+        assert_eq!(SimTime::MAX + SimTime::from_secs(1), SimTime::MAX);
+        let mut t = SimTime::MAX;
+        t += SimTime(1);
+        assert_eq!(t, SimTime::MAX);
     }
 
     #[test]

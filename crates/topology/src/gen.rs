@@ -1,20 +1,67 @@
 //! Synthetic topology generators for benchmarks, ablations, and property
 //! tests: lines, rings, grids, and random connected graphs, each with
 //! automatically assigned pairwise-coprime switch IDs.
+//!
+//! Every generator comes in two flavours: a panicking one (`ring`, …) for
+//! tests and examples where ID allocation cannot fail, and a fallible
+//! `try_*` one returning [`GenError`] when the [`IdStrategy`] runs out of
+//! usable IDs — which genuinely happens at scale with bounded strategies
+//! such as `IdStrategy::PrimesBelow`. The error reports how many switches
+//! *did* get an ID, so a sweep can chart the achievable ceiling per
+//! strategy instead of aborting.
 
 use crate::builder::TopologyBuilder;
 use crate::graph::{LinkParams, NodeId, Topology};
-use kar_rns::{IdAllocator, IdStrategy};
+use kar_rns::{IdAllocator, IdError, IdStrategy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Assigns coprime IDs to `n` switches with the given degrees.
-fn assign_ids(strategy: IdStrategy, degrees: &[usize]) -> Vec<u64> {
+/// ID allocation ran dry while generating a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenError {
+    /// Switches that received an ID before the allocator gave up — the
+    /// achievable network size under this strategy and degree sequence.
+    pub assigned: usize,
+    /// Switches the generator needed in total.
+    pub requested: usize,
+    /// The underlying allocation failure.
+    pub source: IdError,
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "id allocation exhausted after {}/{} switches: {}",
+            self.assigned, self.requested, self.source
+        )
+    }
+}
+
+impl std::error::Error for GenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Assigns coprime IDs to `n` switches with the given degrees, reporting
+/// how far allocation got when the strategy runs out of IDs.
+fn try_assign_ids(strategy: IdStrategy, degrees: &[usize]) -> Result<Vec<u64>, GenError> {
     let mut alloc = IdAllocator::new(strategy);
-    degrees
-        .iter()
-        .map(|&d| alloc.allocate(d).expect("allocator exhausted"))
-        .collect()
+    let mut ids = Vec::with_capacity(degrees.len());
+    for &d in degrees {
+        match alloc.allocate(d) {
+            Ok(id) => ids.push(id),
+            Err(source) => {
+                return Err(GenError {
+                    assigned: ids.len(),
+                    requested: degrees.len(),
+                    source,
+                })
+            }
+        }
+    }
+    Ok(ids)
 }
 
 /// A line of `n` core switches with one edge host at each end.
@@ -24,13 +71,26 @@ fn assign_ids(strategy: IdStrategy, degrees: &[usize]) -> Vec<u64> {
 ///
 /// # Panics
 ///
-/// Panics if `n == 0`.
+/// Panics if `n == 0` or ID allocation is exhausted (use [`try_line`]).
 pub fn line(n: usize, strategy: IdStrategy, params: LinkParams) -> Topology {
+    try_line(n, strategy, params).expect("allocator exhausted")
+}
+
+/// Fallible form of [`line`].
+///
+/// # Errors
+///
+/// [`GenError`] when the strategy cannot supply `n` coprime IDs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn try_line(n: usize, strategy: IdStrategy, params: LinkParams) -> Result<Topology, GenError> {
     assert!(n > 0, "a line needs at least one switch");
     let mut degrees = vec![2usize; n];
     degrees[0] = 2; // host + next
     degrees[n - 1] = 2;
-    let ids = assign_ids(strategy, &degrees);
+    let ids = try_assign_ids(strategy, &degrees)?;
     let mut b = TopologyBuilder::new();
     let src = b.edge("H0");
     let cores: Vec<NodeId> = ids
@@ -44,7 +104,7 @@ pub fn line(n: usize, strategy: IdStrategy, params: LinkParams) -> Topology {
         b.link(w[0], w[1], params);
     }
     b.link(cores[n - 1], dst, params);
-    b.build().expect("line construction is valid")
+    Ok(b.build().expect("line construction is valid"))
 }
 
 /// A ring of `n ≥ 3` core switches, each with an attached edge host.
@@ -54,10 +114,23 @@ pub fn line(n: usize, strategy: IdStrategy, params: LinkParams) -> Topology {
 ///
 /// # Panics
 ///
-/// Panics if `n < 3`.
+/// Panics if `n < 3` or ID allocation is exhausted (use [`try_ring`]).
 pub fn ring(n: usize, strategy: IdStrategy, params: LinkParams) -> Topology {
+    try_ring(n, strategy, params).expect("allocator exhausted")
+}
+
+/// Fallible form of [`ring`].
+///
+/// # Errors
+///
+/// [`GenError`] when the strategy cannot supply `n` coprime IDs.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn try_ring(n: usize, strategy: IdStrategy, params: LinkParams) -> Result<Topology, GenError> {
     assert!(n >= 3, "a ring needs at least three switches");
-    let ids = assign_ids(strategy, &vec![3usize; n]);
+    let ids = try_assign_ids(strategy, &vec![3usize; n])?;
     let mut b = TopologyBuilder::new();
     let cores: Vec<NodeId> = ids
         .iter()
@@ -71,15 +144,34 @@ pub fn ring(n: usize, strategy: IdStrategy, params: LinkParams) -> Topology {
         let h = b.edge(&format!("H{i}"));
         b.link(c, h, params);
     }
-    b.build().expect("ring construction is valid")
+    Ok(b.build().expect("ring construction is valid"))
 }
 
 /// A `rows × cols` grid of core switches with hosts on the four corners.
 ///
 /// # Panics
 ///
-/// Panics if `rows * cols < 2`.
+/// Panics if `rows * cols < 2` or ID allocation is exhausted (use
+/// [`try_grid`]).
 pub fn grid(rows: usize, cols: usize, strategy: IdStrategy, params: LinkParams) -> Topology {
+    try_grid(rows, cols, strategy, params).expect("allocator exhausted")
+}
+
+/// Fallible form of [`grid`].
+///
+/// # Errors
+///
+/// [`GenError`] when the strategy cannot supply enough coprime IDs.
+///
+/// # Panics
+///
+/// Panics if `rows * cols < 2`.
+pub fn try_grid(
+    rows: usize,
+    cols: usize,
+    strategy: IdStrategy,
+    params: LinkParams,
+) -> Result<Topology, GenError> {
     assert!(rows * cols >= 2, "a grid needs at least two switches");
     let deg = |r: usize, c: usize| {
         let mut d = 0;
@@ -103,7 +195,7 @@ pub fn grid(rows: usize, cols: usize, strategy: IdStrategy, params: LinkParams) 
             degrees.push(deg(r, c));
         }
     }
-    let ids = assign_ids(strategy, &degrees);
+    let ids = try_assign_ids(strategy, &degrees)?;
     let mut b = TopologyBuilder::new();
     let mut cores = Vec::with_capacity(rows * cols);
     for r in 0..rows {
@@ -134,24 +226,14 @@ pub fn grid(rows: usize, cols: usize, strategy: IdStrategy, params: LinkParams) 
         let h = b.edge(label);
         b.link(h, corner, params);
     }
-    b.build().expect("grid construction is valid")
+    Ok(b.build().expect("grid construction is valid"))
 }
 
-/// A random connected graph: a spanning tree (guaranteeing connectivity)
-/// plus `extra_links` random chords, seeded for reproducibility. Two edge
-/// hosts attach to the first and last switch.
-///
-/// # Panics
-///
-/// Panics if `n < 2`.
-pub fn random_connected(
-    n: usize,
-    extra_links: usize,
-    seed: u64,
-    strategy: IdStrategy,
-    params: LinkParams,
-) -> Topology {
-    assert!(n >= 2, "need at least two switches");
+/// Random connected wiring shared by [`try_random_connected`] and
+/// [`try_random_connected_hosts`]: a random recursive spanning tree plus
+/// `extra_links` chords. Returns the edge list and per-switch degrees
+/// *excluding* host ports.
+fn random_wiring(n: usize, extra_links: usize, seed: u64) -> (Vec<(usize, usize)>, Vec<usize>) {
     let mut rng = StdRng::seed_from_u64(seed);
     // Random recursive tree: node i attaches to a random predecessor.
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -176,8 +258,50 @@ pub fn random_connected(
         adj[b].push(a);
         added += 1;
     }
-    let degrees: Vec<usize> = adj.iter().map(|v| v.len() + 1).collect();
-    let ids = assign_ids(strategy, &degrees);
+    let degrees = adj.iter().map(Vec::len).collect();
+    (edges, degrees)
+}
+
+/// A random connected graph: a spanning tree (guaranteeing connectivity)
+/// plus `extra_links` random chords, seeded for reproducibility. Two edge
+/// hosts attach to the first and last switch.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or ID allocation is exhausted (use
+/// [`try_random_connected`]).
+pub fn random_connected(
+    n: usize,
+    extra_links: usize,
+    seed: u64,
+    strategy: IdStrategy,
+    params: LinkParams,
+) -> Topology {
+    try_random_connected(n, extra_links, seed, strategy, params).expect("allocator exhausted")
+}
+
+/// Fallible form of [`random_connected`].
+///
+/// # Errors
+///
+/// [`GenError`] when the strategy cannot supply `n` coprime IDs.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn try_random_connected(
+    n: usize,
+    extra_links: usize,
+    seed: u64,
+    strategy: IdStrategy,
+    params: LinkParams,
+) -> Result<Topology, GenError> {
+    assert!(n >= 2, "need at least two switches");
+    let (edges, mut degrees) = random_wiring(n, extra_links, seed);
+    for d in &mut degrees {
+        *d += 1; // room for a potential host port
+    }
+    let ids = try_assign_ids(strategy, &degrees)?;
     let mut b = TopologyBuilder::new();
     let cores: Vec<NodeId> = ids
         .iter()
@@ -191,7 +315,48 @@ pub fn random_connected(
     let h1 = b.edge("H1");
     b.link(h0, cores[0], params);
     b.link(h1, cores[n - 1], params);
-    b.build().expect("random construction is valid")
+    Ok(b.build().expect("random construction is valid"))
+}
+
+/// Like [`try_random_connected`] but with one edge host per switch
+/// (`H0 … H{n-1}`, host `Hi` on switch `Ci`) — the workload shape the
+/// scale campaign needs to drive hundreds of concurrent flows between
+/// arbitrary node pairs.
+///
+/// # Errors
+///
+/// [`GenError`] when the strategy cannot supply `n` coprime IDs.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn try_random_connected_hosts(
+    n: usize,
+    extra_links: usize,
+    seed: u64,
+    strategy: IdStrategy,
+    params: LinkParams,
+) -> Result<Topology, GenError> {
+    assert!(n >= 2, "need at least two switches");
+    let (edges, mut degrees) = random_wiring(n, extra_links, seed);
+    for d in &mut degrees {
+        *d += 1; // every switch gets a host port
+    }
+    let ids = try_assign_ids(strategy, &degrees)?;
+    let mut b = TopologyBuilder::new();
+    let cores: Vec<NodeId> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| b.core(&format!("C{i}"), id))
+        .collect();
+    for &(x, y) in &edges {
+        b.link(cores[x], cores[y], params);
+    }
+    for (i, &c) in cores.iter().enumerate() {
+        let h = b.edge(&format!("H{i}"));
+        b.link(h, c, params);
+    }
+    Ok(b.build().expect("random construction is valid"))
 }
 
 /// A k-ary fat-tree (k even): `k` pods of `k/2` edge and `k/2`
@@ -202,8 +367,26 @@ pub fn random_connected(
 ///
 /// # Panics
 ///
-/// Panics if `k` is odd or below 2.
+/// Panics if `k` is odd or below 2, or ID allocation is exhausted (use
+/// [`try_fat_tree`]).
 pub fn fat_tree(k: usize, strategy: IdStrategy, params: LinkParams) -> Topology {
+    try_fat_tree(k, strategy, params).expect("allocator exhausted")
+}
+
+/// Fallible form of [`fat_tree`].
+///
+/// # Errors
+///
+/// [`GenError`] when the strategy cannot supply enough coprime IDs.
+///
+/// # Panics
+///
+/// Panics if `k` is odd or below 2.
+pub fn try_fat_tree(
+    k: usize,
+    strategy: IdStrategy,
+    params: LinkParams,
+) -> Result<Topology, GenError> {
     assert!(
         k >= 2 && k.is_multiple_of(2),
         "fat-tree arity must be even and ≥ 2"
@@ -219,7 +402,7 @@ pub fn fat_tree(k: usize, strategy: IdStrategy, params: LinkParams) -> Topology 
     degrees.extend(std::iter::repeat_n(k, n_core));
     degrees.extend(std::iter::repeat_n(k, n_agg));
     degrees.extend(std::iter::repeat_n(half + 1, n_edge_sw));
-    let ids = assign_ids(strategy, &degrees);
+    let ids = try_assign_ids(strategy, &degrees)?;
     let mut b = TopologyBuilder::new();
     let core: Vec<NodeId> = (0..n_core)
         .map(|i| b.core(&format!("core{i}"), ids[i]))
@@ -250,7 +433,7 @@ pub fn fat_tree(k: usize, strategy: IdStrategy, params: LinkParams) -> Topology 
         let host = b.edge(&format!("H{pod}"));
         b.link(host, edge_sw[pod * half], params);
     }
-    b.build().expect("fat-tree construction is valid")
+    Ok(b.build().expect("fat-tree construction is valid"))
 }
 
 #[cfg(test)]
@@ -323,6 +506,40 @@ mod tests {
             .zip(c.links())
             .all(|(x, y)| (x.a, x.b) == (y.a, y.b));
         assert!(!same_links || a.link_count() != c.link_count());
+    }
+
+    #[test]
+    fn random_hosts_attaches_one_host_per_switch() {
+        let t =
+            try_random_connected_hosts(16, 8, 7, IdStrategy::SmallestPrimes, LinkParams::default())
+                .unwrap();
+        assert_eq!(t.core_nodes().len(), 16);
+        assert_eq!(t.edge_nodes().len(), 16);
+        assert!(t.is_connected());
+        assert!(pairwise_coprime(&t.switch_ids()));
+        // Same seed, same wiring as the two-host variant plus the hosts.
+        let two = random_connected(16, 8, 7, IdStrategy::SmallestPrimes, LinkParams::default());
+        assert_eq!(t.switch_ids(), two.switch_ids());
+    }
+
+    #[test]
+    fn exhaustion_surfaces_as_an_error_with_the_achievable_ceiling() {
+        // Ring switches have degree 3 → IDs must be ≥ 5; primes below 13
+        // leave exactly {5, 7, 11}, so a 10-ring fails after 3 switches.
+        let err = try_ring(10, IdStrategy::PrimesBelow(13), LinkParams::default()).unwrap_err();
+        assert_eq!(err.assigned, 3);
+        assert_eq!(err.requested, 10);
+        assert_eq!(err.source, kar_rns::IdError::Exhausted { ports: 3 });
+        assert!(err.to_string().contains("3/10"));
+        // A 3-ring with the same budget still succeeds.
+        let t = try_ring(3, IdStrategy::PrimesBelow(13), LinkParams::default()).unwrap();
+        assert_eq!(t.switch_ids(), vec![5, 7, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocator exhausted")]
+    fn panicking_generator_still_panics_on_exhaustion() {
+        let _ = ring(10, IdStrategy::PrimesBelow(13), LinkParams::default());
     }
 
     #[test]

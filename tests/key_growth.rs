@@ -1,0 +1,109 @@
+//! Property tests for §2.3 key growth: a route ID's field width is
+//! exactly Eq. 9 — `bits(M − 1)` for `M` the product of the folded
+//! switch IDs — and it grows with the path length and with the number
+//! of protection segments folded in.
+
+use kar::{protection::encode_with_protection, EncodedRoute, Protection, RouteSpec};
+use kar_rns::{route_id_bit_length, BigUint, IdStrategy};
+use kar_topology::{gen, paths, LinkParams};
+use proptest::prelude::*;
+
+/// Eq. 9 computed from first principles: `bits(Π mᵢ − 1)`.
+fn eq9_bits(moduli: &[u64]) -> u32 {
+    let mut m = BigUint::one();
+    for &x in moduli {
+        m = m.mul_u64(x);
+    }
+    m.sub_big(&BigUint::one()).bits()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `route_id_bit_length` IS Eq. 9, on the full ID set of any
+    /// generated topology.
+    #[test]
+    fn bit_length_matches_eq9_on_generated_topologies(
+        n in 3usize..20,
+        extra in 0usize..8,
+        seed in 0u64..500,
+    ) {
+        let topo = gen::random_connected(
+            n, extra, seed, IdStrategy::SmallestPrimes, LinkParams::default(),
+        );
+        let ids = topo.switch_ids();
+        prop_assert_eq!(route_id_bit_length(&ids), eq9_bits(&ids));
+    }
+
+    /// An encoded route's `bit_length` is Eq. 9 over exactly the moduli
+    /// it folded (its `pairs`), and routes to hosts farther around a
+    /// ring — strictly longer paths — have strictly larger route IDs.
+    #[test]
+    fn bits_grow_with_path_length(n in 6usize..24) {
+        let topo = gen::ring(n, IdStrategy::SmallestPrimes, LinkParams::default());
+        let src = topo.expect("H0");
+        let mut last_bits = 0u32;
+        // H1, H2, … are one more ring hop away each (up to the
+        // antipode, after which BFS goes the short way round).
+        for k in 1..=(n / 2) {
+            let dst = topo.expect(&format!("H{k}"));
+            let path = paths::bfs_shortest_path(&topo, src, dst).expect("ring is connected");
+            prop_assert_eq!(path.len(), k + 3, "host-switch-…-switch-host");
+            let route = EncodedRoute::encode(&topo, &RouteSpec::unprotected(path)).unwrap();
+            let moduli: Vec<u64> = route.pairs.iter().map(|&(m, _)| m).collect();
+            prop_assert_eq!(route.bit_length(), eq9_bits(&moduli));
+            prop_assert!(
+                route.bit_length() > last_bits,
+                "one more switch must widen the ID: {} vs {}",
+                route.bit_length(),
+                last_bits
+            );
+            last_bits = route.bit_length();
+        }
+    }
+
+    /// Folding protection segments only widens the ID: unprotected ≤
+    /// every budget ≤ its cap, budgets are monotone in the cap, and full
+    /// protection is the widest of all.
+    #[test]
+    fn bits_grow_with_protection_count(
+        n in 6usize..16,
+        extra in 2usize..8,
+        seed in 0u64..500,
+    ) {
+        let topo = gen::random_connected(
+            n, extra, seed, IdStrategy::SmallestPrimes, LinkParams::default(),
+        );
+        let src = topo.expect("H0");
+        let dst = topo.expect("H1");
+        let primary = paths::bfs_shortest_path(&topo, src, dst).expect("connected");
+
+        let none = encode_with_protection(&topo, primary.clone(), &Protection::None).unwrap();
+        let full = encode_with_protection(&topo, primary.clone(), &Protection::AutoFull).unwrap();
+        prop_assert!(full.bit_length() >= none.bit_length());
+        prop_assert!(full.pairs.len() >= none.pairs.len());
+
+        let mut prev = none.bit_length();
+        for headroom in [0u32, 8, 24, 64, 512] {
+            let cap = none.bit_length() + headroom;
+            let budget = encode_with_protection(
+                &topo,
+                primary.clone(),
+                &Protection::AutoBudget { max_bits: cap },
+            )
+            .unwrap();
+            prop_assert!(budget.bit_length() <= cap, "budget respects its cap");
+            prop_assert!(budget.bit_length() >= none.bit_length());
+            prop_assert!(
+                budget.bit_length() >= prev,
+                "a larger budget never sheds protection"
+            );
+            prop_assert_eq!(
+                budget.bit_length(),
+                eq9_bits(&budget.pairs.iter().map(|&(m, _)| m).collect::<Vec<_>>())
+            );
+            prev = budget.bit_length();
+        }
+        prop_assert!(full.bit_length() >= prev || prev <= none.bit_length() + 512);
+    }
+}
