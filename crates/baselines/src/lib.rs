@@ -19,6 +19,9 @@
 //! * [`PathSplicing`] — k perturbed routing trees per destination in
 //!   every switch, spliced across on failure (stateful, k× the
 //!   fast-failover footprint);
+//! * [`TableScheme`] — uniform constructor over the table-based schemes
+//!   ([`FastFailover`], [`PathSplicing`]) so sweeps can iterate them the
+//!   way KAR sweeps iterate `DeflectionTechnique::ALL`;
 //! * [`table2_rows`] / [`render_table2`] — the paper's Table 2, with the
 //!   rows we implement verified experimentally
 //!   ([`check_kar_row`], [`check_fast_failover_state`]).
@@ -29,6 +32,7 @@
 mod fast_failover;
 mod feature_matrix;
 mod notify;
+mod scheme;
 mod slick;
 mod splicing;
 
@@ -38,5 +42,6 @@ pub use feature_matrix::{
 };
 pub use kar_simnet::ModuloForwarder;
 pub use notify::NotifyRerouteEdge;
+pub use scheme::TableScheme;
 pub use slick::{SlickEdge, SlickEntry, SlickForwarder, SlickHeader};
 pub use splicing::PathSplicing;

@@ -1,0 +1,88 @@
+//! Uniform constructor for the table-based comparator schemes.
+//!
+//! Every experiment that compares KAR against the stateful baselines
+//! repeats the same ritual: precompute the scheme's tables for the
+//! endpoints, box the forwarder, pair it with [`TableEdge`].
+//! [`TableScheme`] names that family and builds the forwarder in one
+//! call, so sweeps can iterate `TableScheme::DEFAULT` the same way KAR
+//! sweeps iterate `DeflectionTechnique::ALL`.
+
+use crate::fast_failover::FastFailover;
+use crate::splicing::PathSplicing;
+use kar_simnet::Forwarder;
+use kar_topology::{NodeId, Topology};
+
+/// A table-based comparator scheme, ready to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableScheme {
+    /// Per-destination primary/backup tables (OpenFlow 1.3 Fast
+    /// Failover / MPLS FRR class) — a second failure exhausts the
+    /// backup.
+    FastFailover,
+    /// k perturbed routing trees per destination, spliced across on
+    /// failure (stateful, k× the fast-failover footprint).
+    PathSplicing {
+        /// Number of slices (the paper's comparisons use 4).
+        slices: usize,
+    },
+}
+
+impl TableScheme {
+    /// The comparator set experiments sweep by default.
+    pub const DEFAULT: [TableScheme; 2] = [
+        TableScheme::FastFailover,
+        TableScheme::PathSplicing { slices: 4 },
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TableScheme::FastFailover => "FastFailover",
+            TableScheme::PathSplicing { .. } => "PathSplicing k=4",
+        }
+    }
+
+    /// Precomputes the scheme's tables for `endpoints` and boxes the
+    /// forwarder; pair it with [`crate::TableEdge`] in a `Sim`. `seed`
+    /// only matters to schemes with randomized table construction.
+    pub fn forwarder(self, topo: &Topology, endpoints: &[NodeId], seed: u64) -> Box<dyn Forwarder> {
+        match self {
+            TableScheme::FastFailover => Box::new(FastFailover::precompute(topo, endpoints)),
+            TableScheme::PathSplicing { slices } => {
+                Box::new(PathSplicing::precompute(topo, endpoints, slices, seed))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kar_simnet::{FlowId, PacketKind, Sim, SimConfig, SimTime};
+    use kar_topology::topo15;
+
+    #[test]
+    fn every_default_scheme_delivers_on_the_intact_network() {
+        let topo = topo15::build();
+        let (src, dst) = (topo.expect("AS1"), topo.expect("AS3"));
+        for scheme in TableScheme::DEFAULT {
+            let fwd = scheme.forwarder(&topo, &[src, dst], 7);
+            let mut sim = Sim::new(
+                &topo,
+                fwd,
+                Box::new(crate::TableEdge),
+                SimConfig {
+                    seed: 7,
+                    default_ttl: 255,
+                    ..SimConfig::default()
+                },
+            );
+            for i in 0..10 {
+                sim.run_until(SimTime(i * 500_000));
+                sim.inject(src, dst, FlowId(0), i, PacketKind::Probe, 500);
+            }
+            sim.run_to_quiescence();
+            assert_eq!(sim.stats().delivered, 10, "{}", scheme.label());
+        }
+    }
+}

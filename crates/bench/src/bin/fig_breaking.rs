@@ -1,0 +1,102 @@
+//! Breaking-point sweep (`BENCH_breaking.json`): per
+//! (pair, technique, protection) cell on topo15 and rnp28, the smallest
+//! failure set that defeats the dataplane — symbolic search via
+//! `min_failure_set`, witness replayed through the real forwarder, and
+//! the table-based baselines measured under the identical failures.
+//!
+//! Flags (on top of the common quartet):
+//!
+//! * `--max-k N` — largest failure-set size searched (default 3);
+//! * `--topo NAME` — `topo15`, `rnp28` or `both` (default `both`);
+//! * `--probes N` — probes per replay (default 20);
+//! * `--out PATH` (or `KAR_BREAKING_OUT`) — where to write the JSON
+//!   document (default `BENCH_breaking.json` at the repository root).
+//!
+//! The document contains no wall-clock fields: it is a pure function of
+//! the configuration, byte-identical across runs, and is committed at
+//! the repository root so changes to the resilience frontier show up in
+//! review diffs.
+
+use kar_bench::cli::{flag_value, CommonArgs};
+use kar_bench::experiments::breaking;
+use kar_topology::{rnp28, topo15};
+use std::path::PathBuf;
+
+fn main() {
+    let common = CommonArgs::parse(11);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let max_k: usize = flag_value(&args, "--max-k")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let probes: u64 = flag_value(&args, "--probes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let which = flag_value(&args, "--topo").unwrap_or_else(|| "both".into());
+    let mut cells = Vec::new();
+    if which == "both" || which == "topo15" {
+        let topo = topo15::build();
+        cells.extend(breaking::run_pair(
+            &topo,
+            "topo15",
+            "AS1",
+            "AS3",
+            max_k,
+            common.seed,
+            probes,
+        ));
+    }
+    if which == "both" || which == "rnp28" {
+        let topo = rnp28::build();
+        for (src, dst) in [("E_BV", "E_SP"), ("E_BH", "E_113")] {
+            cells.extend(breaking::run_pair(
+                &topo,
+                "rnp28",
+                src,
+                dst,
+                max_k,
+                common.seed,
+                probes,
+            ));
+        }
+    }
+    print!("{}", breaking::render(&cells));
+    let broken = cells.iter().filter(|c| c.breaking.is_some()).count();
+    let unconfirmed: Vec<&breaking::BreakingCell> = cells
+        .iter()
+        .filter(|c| c.breaking.as_ref().is_some_and(|d| !d.replay.confirms))
+        .collect();
+    eprintln!(
+        "fig_breaking: {} cells, {} with a breaking point <= k={}, {} unconfirmed replays",
+        cells.len(),
+        broken,
+        max_k,
+        unconfirmed.len()
+    );
+    let out = flag_value(&args, "--out")
+        .or_else(|| std::env::var("KAR_BREAKING_OUT").ok())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_breaking.json")
+        });
+    match std::fs::write(&out, breaking::to_json(&cells)) {
+        Ok(()) => eprintln!("fig_breaking: wrote {}", out.display()),
+        Err(e) => eprintln!("fig_breaking: cannot write {}: {e}", out.display()),
+    }
+    common.finish();
+    if !unconfirmed.is_empty() {
+        for c in &unconfirmed {
+            let d = c.breaking.as_ref().unwrap();
+            eprintln!(
+                "UNCONFIRMED {}/{}→{}/{}/{}: witness {:?} predicted {} but no replay seed reproduced it",
+                c.topo,
+                c.src,
+                c.dst,
+                c.technique.label(),
+                c.protection,
+                d.links,
+                d.outcome
+            );
+        }
+        std::process::exit(1);
+    }
+}

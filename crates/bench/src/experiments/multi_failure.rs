@@ -8,7 +8,7 @@
 //! exhaust).
 
 use kar::{DeflectionTechnique, KarNetwork, Protection};
-use kar_baselines::{FastFailover, PathSplicing, TableEdge};
+use kar_baselines::{TableEdge, TableScheme};
 use kar_simnet::{srlg_groups, FlowId, PacketKind, Sim, SimConfig, SimTime};
 use kar_topology::{LinkId, NodeId, Topology};
 use rand::rngs::StdRng;
@@ -96,24 +96,15 @@ fn run_one(
                 .expect("route installs");
             net.into_sim()
         }
-        Scheme::FastFailover => {
-            let ff = FastFailover::precompute(topo, &[src, dst]);
+        Scheme::FastFailover | Scheme::PathSplicing => {
+            let table = if scheme == Scheme::FastFailover {
+                TableScheme::FastFailover
+            } else {
+                TableScheme::PathSplicing { slices: 4 }
+            };
             Sim::new(
                 topo,
-                Box::new(ff),
-                Box::new(TableEdge),
-                SimConfig {
-                    seed,
-                    default_ttl: 255,
-                    ..SimConfig::default()
-                },
-            )
-        }
-        Scheme::PathSplicing => {
-            let ps = PathSplicing::precompute(topo, &[src, dst], 4, seed);
-            Sim::new(
-                topo,
-                Box::new(ps),
+                table.forwarder(topo, &[src, dst], seed),
                 Box::new(TableEdge),
                 SimConfig {
                     seed,

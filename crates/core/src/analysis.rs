@@ -203,6 +203,57 @@ pub fn failure_coverage(
     }
 }
 
+/// [`failure_coverage`] generalized to a failure *set*: finds the first
+/// primary-path switch whose primary next-hop link is in `failed` (the
+/// switch that deflects first) and reports its NIP candidates and
+/// driven subset under the *entire* set — a second failure can both
+/// remove candidates and block a driven walk that a single-failure
+/// analysis would count as covered.
+///
+/// Returns `None` when no primary next-hop link is failed: the packet
+/// rides the primary path untouched and nothing deflects (other failed
+/// links may still matter to deflected traffic, but there is no
+/// deflecting switch to analyze).
+pub fn failure_set_coverage(
+    topo: &Topology,
+    route: &EncodedRoute,
+    primary: &[NodeId],
+    failed: &HashSet<LinkId>,
+    dst: NodeId,
+) -> Option<CoverageReport> {
+    let pos = (0..primary.len().saturating_sub(1)).find(|&i| {
+        topo.switch_id(primary[i]).is_some()
+            && topo
+                .link_between(primary[i], primary[i + 1])
+                .is_some_and(|l| failed.contains(&l))
+    })?;
+    let deflecting = primary[pos];
+    let input = if pos > 0 {
+        Some(primary[pos - 1])
+    } else {
+        None
+    };
+    let mut candidates = Vec::new();
+    let mut driven = Vec::new();
+    for (_, l, peer) in topo.neighbors(deflecting) {
+        if failed.contains(&l) || Some(peer) == input {
+            continue;
+        }
+        if topo.switch_id(peer).is_none() && peer != dst {
+            continue;
+        }
+        candidates.push(peer);
+        if driven_walk_from(topo, route, peer, Some(deflecting), dst, failed).reached() {
+            driven.push(peer);
+        }
+    }
+    Some(CoverageReport {
+        deflecting_switch: deflecting,
+        candidates,
+        driven,
+    })
+}
+
 /// One row of [`residue_table`]: what a route ID means at one switch.
 #[derive(Debug, Clone)]
 pub struct ResidueRow {
@@ -401,6 +452,49 @@ mod tests {
                 at: topo.expect("AS2")
             }
         );
+    }
+
+    #[test]
+    fn set_coverage_agrees_with_single_failure_coverage() {
+        let (topo, route, primary) = route_with(&topo15::PARTIAL_PROTECTION);
+        let dst = topo.expect("AS3");
+        for (a, b) in [("SW10", "SW7"), ("SW7", "SW13"), ("SW13", "SW29")] {
+            let link = topo.expect_link(a, b);
+            let single = failure_coverage(&topo, &route, &primary, link, dst);
+            let set: HashSet<LinkId> = [link].into_iter().collect();
+            let multi = failure_set_coverage(&topo, &route, &primary, &set, dst)
+                .unwrap_or_else(|| panic!("{a}-{b} is a primary link"));
+            assert_eq!(multi.deflecting_switch, single.deflecting_switch, "{a}-{b}");
+            assert_eq!(multi.candidates, single.candidates, "{a}-{b}");
+            assert_eq!(multi.driven, single.driven, "{a}-{b}");
+        }
+    }
+
+    #[test]
+    fn second_failure_shrinks_candidates_and_coverage() {
+        let (topo, route, primary) = route_with(&topo15::PARTIAL_PROTECTION);
+        let dst = topo.expect("AS3");
+        let primary_cut = topo.expect_link("SW10", "SW7");
+        // Alone, SW10 deflects with 3 candidates (1 driven).
+        let alone: HashSet<LinkId> = [primary_cut].into_iter().collect();
+        let base = failure_set_coverage(&topo, &route, &primary, &alone, dst).unwrap();
+        assert_eq!(base.candidates.len(), 3);
+        // Also cutting SW10-SW17 removes one candidate entirely.
+        let both: HashSet<LinkId> = [primary_cut, topo.expect_link("SW10", "SW17")]
+            .into_iter()
+            .collect();
+        let cov = failure_set_coverage(&topo, &route, &primary, &both, dst).unwrap();
+        assert_eq!(cov.deflecting_switch, topo.expect("SW10"));
+        assert_eq!(cov.candidates.len(), 2, "{cov:?}");
+        assert!(cov.candidates.len() < base.candidates.len());
+    }
+
+    #[test]
+    fn off_primary_failure_set_has_no_deflecting_switch() {
+        let (topo, route, primary) = route_with(&[]);
+        let dst = topo.expect("AS3");
+        let off: HashSet<LinkId> = [topo.expect_link("SW11", "SW19")].into_iter().collect();
+        assert!(failure_set_coverage(&topo, &route, &primary, &off, dst).is_none());
     }
 
     #[test]

@@ -82,7 +82,10 @@ pub use network::{KarNetwork, KarNetworkBuilder};
 pub use protection::Protection;
 pub use recovery::{FlowRecovery, RecoveringController, RecoveryConfig, RecoveryLog};
 pub use route::{EncodedRoute, RouteSpec};
-pub use verify::{verify_route, verify_single_failures, Outcome, VerifyReport, VerifySummary};
+pub use verify::{
+    min_failure_set, verify_failure_sets, verify_route, verify_single_failures, BreakingPoint,
+    FailureSetResult, KSweep, Outcome, PairVerifier, SweepStats, VerifyReport, VerifySummary,
+};
 
 /// The working set for building and running a KAR simulation.
 ///

@@ -28,6 +28,45 @@
 //! single-link failure — the paper's k=1 resilience claim, checked
 //! exhaustively instead of by sampling.
 //!
+//! ## k-failure verification
+//!
+//! [`verify_failure_sets`] generalizes the sweep to every failure set of
+//! size k (k = 2, 3 are practical). Enumerating C(L, k) sets per pair is
+//! only feasible because most of them are *equivalent*: the exploration
+//! of one case consults the status of only a few links (the source
+//! uplink plus the ports of every switch the packet can reach), recorded
+//! in [`VerifyReport::relevant_links`]. Two failure sets with the same
+//! projection onto that relevant set produce byte-identical explorations,
+//! so [`PairVerifier`] memoizes reports per projection and answers most
+//! cases without running the state-graph search at all. Cycle detection
+//! is by seen-state Tarjan SCCs, never TTL exhaustion, so the cost per
+//! exploration is bounded by the state count, not the hop budget.
+//!
+//! Two further prunings are *sound* and used where they apply:
+//!
+//! * **Disconnection is monotone**: any superset of a set that physically
+//!   disconnects `src` from `dst` also disconnects them, so supersets of
+//!   known disconnecting sets skip the reachability check (and, in
+//!   [`min_failure_set`], the whole classification — a disconnected pair
+//!   is not a resilience violation).
+//! * **Connectivity is automorphism-invariant**: on generated ring/grid
+//!   topologies (dihedral symmetry) the disconnection verdict is shared
+//!   across the orbit of `(src, dst, failure set)` under
+//!   [`kar_topology::sym::Symmetry`]. Note the *outcome* is not shared:
+//!   KAR forwarding depends on switch IDs and port numbering, which
+//!   structural automorphisms do not preserve.
+//!
+//! Outcome classes themselves (blackhole, loop) are **not** monotone
+//! under adding failures for the deflecting techniques — failing the
+//! residue link of a dead-end branch can force a deflection that
+//! *rescues* the packet — so no superset of a blackholed set is ever
+//! skipped on that basis. The projection memo is what makes the sweep
+//! fast without assuming monotonicity that does not hold.
+//!
+//! [`min_failure_set`] is the breaking-point search built on the same
+//! machinery: the lexicographically smallest failure set of minimum size
+//! that blackholes or loops a pair without disconnecting it.
+//!
 //! [`KarForwarder`]: crate::KarForwarder
 
 use crate::cache::EncodingCache;
@@ -36,6 +75,7 @@ use crate::deflect::DeflectionTechnique;
 use crate::error::KarError;
 use crate::protection::Protection;
 use crate::route::EncodedRoute;
+use kar_topology::sym::Symmetry;
 use kar_topology::{paths, LinkId, NodeId, PortIx, Topology};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -118,6 +158,11 @@ pub struct VerifyReport {
     /// For blackholes: the hop sequence (source edge to the dropping
     /// switch) of one trajectory that dies.
     pub blackhole_witness: Option<Vec<NodeId>>,
+    /// Every link whose up/down status the exploration consulted: the
+    /// source uplink plus all ports of every reachable switch, sorted.
+    /// The outcome is a pure function of the failure set's intersection
+    /// with this list — the memoization key of [`PairVerifier`].
+    pub relevant_links: Vec<LinkId>,
 }
 
 /// All moves the technique allows from one state. Mirrors
@@ -254,6 +299,7 @@ pub fn verify_route(
         states: 0,
         loop_witness: None,
         blackhole_witness: None,
+        relevant_links: Vec::new(),
     };
     // The edge transmits blindly into its uplink; a failed uplink kills
     // every packet of the flow at hop zero.
@@ -262,6 +308,7 @@ pub fn verify_route(
         report.can_blackhole = true;
         report.outcome = Outcome::Blackhole;
         report.blackhole_witness = Some(vec![src]);
+        report.relevant_links = vec![uplink];
         return report;
     }
     let first = topo.link(uplink).peer_of(src);
@@ -331,6 +378,20 @@ pub fn verify_route(
         }
     }
     report.states = states.len();
+
+    // Everything the exploration consulted: `possible_moves` reads the
+    // status of every port of the current switch, and `step` follows a
+    // port of that same switch — so the uplink plus the full port list
+    // of each reachable switch covers every status read.
+    let mut relevant: HashSet<LinkId> = [uplink].into_iter().collect();
+    let mut seen_nodes: HashSet<NodeId> = HashSet::new();
+    for state in &states {
+        if seen_nodes.insert(state.node) {
+            relevant.extend(topo.node(state.node).ports.iter().copied());
+        }
+    }
+    report.relevant_links = relevant.into_iter().collect();
+    report.relevant_links.sort_unstable();
 
     if report.can_blackhole && report.blackhole_witness.is_none() {
         let die = (0..states.len())
@@ -465,6 +526,511 @@ fn tarjan_sccs(succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
     sccs
 }
 
+/// Lexicographic k-subsets of `0..n`.
+struct Combinations {
+    n: usize,
+    k: usize,
+    cur: Vec<usize>,
+    started: bool,
+}
+
+impl Combinations {
+    fn new(n: usize, k: usize) -> Self {
+        Combinations {
+            n,
+            k,
+            cur: (0..k).collect(),
+            started: false,
+        }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.k > self.n {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(self.cur.clone());
+        }
+        let k = self.k;
+        let mut i = k;
+        while i > 0 {
+            i -= 1;
+            // Largest value position i can hold is n - k + i.
+            if self.cur[i] < self.n - k + i {
+                self.cur[i] += 1;
+                for j in i + 1..k {
+                    self.cur[j] = self.cur[j - 1] + 1;
+                }
+                return Some(self.cur.clone());
+            }
+        }
+        None
+    }
+}
+
+/// Memoizing classifier for one `(src, dst, route, technique)`: answers
+/// [`verify_route`] queries for arbitrary failure sets by projecting
+/// them onto the links the exploration actually consults.
+///
+/// Soundness: for a projection `P ⊆ F`, if no link of `F \ P` is in
+/// [`VerifyReport::relevant_links`] of the exploration under `P`, the
+/// exploration under `F` reads exactly the same statuses and is
+/// byte-identical — outcome, state count and witnesses included.
+/// [`PairVerifier::classify`] grows the projection to that fixpoint
+/// (at most `|F|` rounds) and memoizes reports per projection, so a
+/// k-failure sweep runs only as many state-graph searches as there are
+/// *distinct* projections, not `C(links, k)`.
+pub struct PairVerifier<'a> {
+    topo: &'a Topology,
+    route: EncodedRoute,
+    src: NodeId,
+    dst: NodeId,
+    technique: DeflectionTechnique,
+    memo: HashMap<Vec<LinkId>, VerifyReport>,
+    /// Full state-graph explorations run so far.
+    pub explored: usize,
+    /// `classify` calls answered entirely from the memo.
+    pub memo_hits: usize,
+}
+
+impl<'a> PairVerifier<'a> {
+    /// A verifier for one pair and one encoded route.
+    pub fn new(
+        topo: &'a Topology,
+        route: EncodedRoute,
+        src: NodeId,
+        dst: NodeId,
+        technique: DeflectionTechnique,
+    ) -> Self {
+        PairVerifier {
+            topo,
+            route,
+            src,
+            dst,
+            technique,
+            memo: HashMap::new(),
+            explored: 0,
+            memo_hits: 0,
+        }
+    }
+
+    /// The route this verifier explores.
+    pub fn route(&self) -> &EncodedRoute {
+        &self.route
+    }
+
+    /// Classifies one failure set, reusing memoized explorations of
+    /// every equivalent set. Returns exactly what
+    /// [`verify_route`] would.
+    pub fn classify(&mut self, failed: &[LinkId]) -> VerifyReport {
+        let mut proj: Vec<LinkId> = Vec::new();
+        let mut ran = false;
+        loop {
+            if !self.memo.contains_key(&proj) {
+                let set: HashSet<LinkId> = proj.iter().copied().collect();
+                let report = verify_route(
+                    self.topo,
+                    &self.route,
+                    self.src,
+                    self.dst,
+                    self.technique,
+                    &set,
+                );
+                self.explored += 1;
+                ran = true;
+                self.memo.insert(proj.clone(), report);
+            }
+            let report = &self.memo[&proj];
+            let extra: Vec<LinkId> = failed
+                .iter()
+                .copied()
+                .filter(|l| !proj.contains(l) && report.relevant_links.binary_search(l).is_ok())
+                .collect();
+            if extra.is_empty() {
+                if !ran {
+                    self.memo_hits += 1;
+                }
+                return self.memo[&proj].clone();
+            }
+            proj.extend(extra);
+            proj.sort_unstable();
+        }
+    }
+}
+
+/// One entry of a [`verify_failure_sets`] sweep.
+#[derive(Debug, Clone)]
+pub struct FailureSetResult {
+    /// Ingress edge.
+    pub src: NodeId,
+    /// Destination edge.
+    pub dst: NodeId,
+    /// The simultaneously failed links, ascending.
+    pub failed: Vec<LinkId>,
+    /// `true` when the set physically disconnects `src` from `dst`.
+    pub disconnected: bool,
+    /// The exhaustive classification.
+    pub report: VerifyReport,
+}
+
+/// Work accounting for a k-failure sweep — how much the projection
+/// memo, monotone disconnection pruning and symmetry reduction saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// `(pair, failure set)` cases classified.
+    pub cases: usize,
+    /// Full state-graph explorations actually run.
+    pub explored: usize,
+    /// Cases answered from a projection memo without exploring.
+    pub memo_hits: usize,
+    /// Disconnection verdicts concluded from a known failed subset
+    /// (monotonicity), skipping the reachability search.
+    pub disconnect_pruned: usize,
+    /// Disconnection verdicts shared across a graph-automorphism orbit.
+    pub symmetry_hits: usize,
+}
+
+/// A k-failure sweep over every ordered edge pair.
+#[derive(Debug, Clone)]
+pub struct KSweep {
+    /// One entry per `(pair, failure set)` case, pairs in edge order,
+    /// sets lexicographic.
+    pub results: Vec<FailureSetResult>,
+    /// What the sweep cost and what the prunings saved.
+    pub stats: SweepStats,
+}
+
+/// Exhaustively verifies every ordered edge pair of `topo` against
+/// every failure set of exactly `k` links, with shortest-path routes
+/// under `protection`. `k = 1` reproduces [`verify_single_failures`]
+/// case for case.
+///
+/// See the module docs for why this scales: projection memoization
+/// (most sets are equivalent to a much smaller one), monotone
+/// disconnection pruning seeded from the smaller set sizes, and orbit
+/// sharing of disconnection verdicts on symmetric generated topologies.
+///
+/// # Errors
+///
+/// Propagates route-encoding errors ([`KarError`]); pairs unreachable
+/// on the *intact* topology are skipped, not errors.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn verify_failure_sets(
+    topo: &Topology,
+    technique: DeflectionTechnique,
+    protection: &Protection,
+    cache: &EncodingCache,
+    k: usize,
+) -> Result<KSweep, KarError> {
+    assert!(k >= 1, "a failure sweep needs at least one failure");
+    let sym = Symmetry::of(topo);
+    let mut stats = SweepStats::default();
+    let mut results = Vec::new();
+    // Canonical (src, dst, failure set) -> disconnected, shared across
+    // pairs via automorphisms. Connectivity is automorphism-invariant;
+    // outcomes are not (they depend on switch IDs), so only the
+    // disconnection verdict is ever shared.
+    let mut orbit_cache: HashMap<(NodeId, NodeId, Vec<LinkId>), bool> = HashMap::new();
+    let edges = topo.edge_nodes();
+    for &src in &edges {
+        for &dst in &edges {
+            if src == dst {
+                continue;
+            }
+            let Some(primary) = paths::bfs_shortest_path(topo, src, dst) else {
+                continue;
+            };
+            let route = cache.encode_with_protection(topo, primary, protection)?;
+            let mut pv = PairVerifier::new(topo, route, src, dst, technique);
+            // Minimal disconnecting sets of size < s, for the monotone
+            // skip at size s. Sizes below k are swept only to seed this.
+            let mut disconnecting: Vec<Vec<LinkId>> = Vec::new();
+            for s in 1..=k {
+                for combo in Combinations::new(topo.link_count(), s) {
+                    let failed: Vec<LinkId> = combo.into_iter().map(LinkId).collect();
+                    let by_subset = disconnecting
+                        .iter()
+                        .any(|d| d.iter().all(|l| failed.contains(l)));
+                    let disconnected = if by_subset {
+                        stats.disconnect_pruned += 1;
+                        true
+                    } else if !sym.is_trivial() {
+                        let key = sym.canonical_case(topo, src, dst, &failed);
+                        if let Some(&d) = orbit_cache.get(&key) {
+                            stats.symmetry_hits += 1;
+                            d
+                        } else {
+                            let set: HashSet<LinkId> = failed.iter().copied().collect();
+                            let d = bfs_avoiding(topo, src, dst, &set).is_none();
+                            orbit_cache.insert(key, d);
+                            d
+                        }
+                    } else {
+                        let set: HashSet<LinkId> = failed.iter().copied().collect();
+                        bfs_avoiding(topo, src, dst, &set).is_none()
+                    };
+                    if disconnected && !by_subset && s < k {
+                        disconnecting.push(failed.clone());
+                    }
+                    if s == k {
+                        let report = pv.classify(&failed);
+                        stats.cases += 1;
+                        results.push(FailureSetResult {
+                            src,
+                            dst,
+                            failed,
+                            disconnected,
+                            report,
+                        });
+                    }
+                }
+            }
+            stats.explored += pv.explored;
+            stats.memo_hits += pv.memo_hits;
+        }
+    }
+    Ok(KSweep { results, stats })
+}
+
+/// A breaking point found by [`min_failure_set`]: the smallest failure
+/// set that defeats the scheme for one pair.
+#[derive(Debug, Clone)]
+pub struct BreakingPoint {
+    /// The failed links, ascending — lexicographically first among the
+    /// minimum-size sets that break the pair.
+    pub failed: Vec<LinkId>,
+    /// [`Outcome::Blackhole`] or [`Outcome::Loop`].
+    pub outcome: Outcome,
+    /// The full classification, witnesses included.
+    pub report: VerifyReport,
+}
+
+/// Breaking-point search: the smallest failure set (ties broken
+/// lexicographically) that blackholes or loops traffic from `src` to
+/// `dst` *without* physically disconnecting the pair, searching sizes
+/// `1..=max_k`.
+///
+/// Disconnecting sets are not violations — no scheme can deliver across
+/// a cut — and by monotonicity no superset of one is ever a breaking
+/// point of interest, so both are skipped without classification.
+///
+/// Returns `None` when the pair is unreachable on the intact topology
+/// or survives every failure set up to `max_k`.
+///
+/// # Errors
+///
+/// Propagates route-encoding errors ([`KarError`]).
+pub fn min_failure_set(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    technique: DeflectionTechnique,
+    protection: &Protection,
+    cache: &EncodingCache,
+    max_k: usize,
+) -> Result<Option<BreakingPoint>, KarError> {
+    let Some(primary) = paths::bfs_shortest_path(topo, src, dst) else {
+        return Ok(None);
+    };
+    let route = cache.encode_with_protection(topo, primary, protection)?;
+    let mut pv = PairVerifier::new(topo, route, src, dst, technique);
+    let mut disconnecting: Vec<Vec<LinkId>> = Vec::new();
+    for s in 1..=max_k {
+        for combo in Combinations::new(topo.link_count(), s) {
+            let failed: Vec<LinkId> = combo.into_iter().map(LinkId).collect();
+            if disconnecting
+                .iter()
+                .any(|d| d.iter().all(|l| failed.contains(l)))
+            {
+                continue; // superset of a cut: disconnected, not a violation
+            }
+            let set: HashSet<LinkId> = failed.iter().copied().collect();
+            if bfs_avoiding(topo, src, dst, &set).is_none() {
+                disconnecting.push(failed);
+                continue;
+            }
+            let report = pv.classify(&failed);
+            if matches!(report.outcome, Outcome::Blackhole | Outcome::Loop) {
+                return Ok(Some(BreakingPoint {
+                    failed,
+                    outcome: report.outcome,
+                    report,
+                }));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// How a traced packet journey ended, for [`check_trajectory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrajectoryEnd {
+    /// Delivered at the destination edge.
+    Delivered,
+    /// Surfaced at a non-destination edge (the path's last node).
+    WrongEdge,
+    /// The forwarder dropped it with no healthy way out — the
+    /// blackhole class (`NoRoute`/`PortDown`/`ResidueOutOfRange`).
+    ForcedDrop,
+    /// The hop budget ran out mid-walk.
+    TtlExpired,
+    /// The recording stopped mid-flight; the prefix must still be a
+    /// valid trajectory but proves nothing about how it would end.
+    Truncated,
+}
+
+/// Checks that a traced forwarder path is a trajectory of the
+/// verifier's move relation under `failed`, packet for packet.
+///
+/// `path` is the node sequence as the simulator's tracer records it,
+/// starting at the ingress edge `src`. The deflected flag and input
+/// port are not in the trace, so the check runs the move relation as an
+/// NFA: it keeps every `(switch, in-port, deflected)` state consistent
+/// with the observed prefix and demands at least one of them explains
+/// each next hop — and, at the end, the claimed fate.
+///
+/// This is the bridge the differential tests stand on: any divergence
+/// between `KarForwarder` and [`verify_route`]'s `possible_moves`
+/// surfaces here as an inexplicable hop.
+#[allow(clippy::too_many_arguments)] // mirrors verify_route's surface plus the observed path
+pub fn check_trajectory(
+    topo: &Topology,
+    route: &EncodedRoute,
+    src: NodeId,
+    dst: NodeId,
+    technique: DeflectionTechnique,
+    failed: &HashSet<LinkId>,
+    path: &[NodeId],
+    end: TrajectoryEnd,
+) -> Result<(), String> {
+    if path.first() != Some(&src) {
+        return Err(format!("path must start at src {src:?}, got {path:?}"));
+    }
+    let uplink = topo.node(src).ports[route.uplink as usize];
+    if failed.contains(&uplink) {
+        // The edge transmits blindly into its dead uplink: the packet
+        // dies on hop zero, whatever the technique.
+        return if path.len() == 1
+            && matches!(end, TrajectoryEnd::ForcedDrop | TrajectoryEnd::Truncated)
+        {
+            Ok(())
+        } else {
+            Err(format!(
+                "uplink is failed: expected a hop-zero drop, got {path:?} ending {end:?}"
+            ))
+        };
+    }
+    if path.len() == 1 {
+        return if end == TrajectoryEnd::Truncated {
+            Ok(())
+        } else {
+            Err(format!("one-node path cannot end {end:?}"))
+        };
+    }
+    let first = topo.link(uplink).peer_of(src);
+    if path[1] != first {
+        return Err(format!(
+            "first hop must follow the uplink to {first:?}, got {:?}",
+            path[1]
+        ));
+    }
+    let mut frontier = vec![State {
+        node: first,
+        in_port: topo.link(uplink).port_on(first),
+        deflected: false,
+    }];
+    let mut terminal: Option<Terminal> = None;
+    for (i, &next) in path.iter().enumerate().skip(2) {
+        if terminal.is_some() {
+            return Err(format!("path continues past an edge at hop {}", i - 1));
+        }
+        let next_is_core = topo.switch_id(next).is_some();
+        let mut new_frontier: Vec<State> = Vec::new();
+        let mut reached_terminal = None;
+        for &s in &frontier {
+            let Ok(moves) = possible_moves(topo, route, technique, failed, s) else {
+                continue;
+            };
+            for (port, deflected) in moves {
+                match step(topo, dst, s.node, port, deflected) {
+                    Ok(ns) => {
+                        if next_is_core && ns.node == next && !new_frontier.contains(&ns) {
+                            new_frontier.push(ns);
+                        }
+                    }
+                    Err(t @ (Terminal::Delivered | Terminal::WrongEdge(_))) => {
+                        let lands = match t {
+                            Terminal::Delivered => dst,
+                            Terminal::WrongEdge(e) => e,
+                            Terminal::Drop => unreachable!(),
+                        };
+                        if !next_is_core && lands == next {
+                            reached_terminal = Some(t);
+                        }
+                    }
+                    Err(Terminal::Drop) => unreachable!("step never drops"),
+                }
+            }
+        }
+        if next_is_core {
+            if new_frontier.is_empty() {
+                return Err(format!(
+                    "no move of {technique} explains hop {:?} -> {next:?} (index {i})",
+                    path[i - 1]
+                ));
+            }
+            frontier = new_frontier;
+        } else {
+            let Some(t) = reached_terminal else {
+                return Err(format!(
+                    "no move of {technique} surfaces at edge {next:?} (index {i})"
+                ));
+            };
+            terminal = Some(t);
+        }
+    }
+    match end {
+        TrajectoryEnd::Delivered => match terminal {
+            Some(Terminal::Delivered) => Ok(()),
+            _ => Err(format!("claimed delivered, path ends {:?}", path.last())),
+        },
+        TrajectoryEnd::WrongEdge => match terminal {
+            Some(Terminal::WrongEdge(_)) => Ok(()),
+            _ => Err(format!("claimed wrong-edge, path ends {:?}", path.last())),
+        },
+        TrajectoryEnd::ForcedDrop => {
+            if terminal.is_some() {
+                return Err("claimed a forced drop but the path ends at an edge".into());
+            }
+            if frontier
+                .iter()
+                .any(|&s| possible_moves(topo, route, technique, failed, s).is_err())
+            {
+                Ok(())
+            } else {
+                Err(format!(
+                    "claimed a forced drop at {:?} but every consistent state can move",
+                    path.last()
+                ))
+            }
+        }
+        TrajectoryEnd::TtlExpired | TrajectoryEnd::Truncated => {
+            if terminal.is_some() {
+                Err(format!("claimed {end:?} but the path ends at an edge"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
 /// One entry of a [`verify_single_failures`] sweep.
 #[derive(Debug, Clone)]
 pub struct CaseResult {
@@ -495,33 +1061,18 @@ pub fn verify_single_failures(
     protection: &Protection,
     cache: &EncodingCache,
 ) -> Result<Vec<CaseResult>, KarError> {
-    let edges = topo.edge_nodes();
-    let mut out = Vec::new();
-    for &src in &edges {
-        for &dst in &edges {
-            if src == dst {
-                continue;
-            }
-            let Some(primary) = paths::bfs_shortest_path(topo, src, dst) else {
-                continue;
-            };
-            let route = cache.encode_with_protection(topo, primary, protection)?;
-            for link in 0..topo.link_count() {
-                let link = LinkId(link);
-                let failed: HashSet<LinkId> = [link].into_iter().collect();
-                let disconnected = bfs_avoiding(topo, src, dst, &failed).is_none();
-                let report = verify_route(topo, &route, src, dst, technique, &failed);
-                out.push(CaseResult {
-                    src,
-                    dst,
-                    failed: link,
-                    disconnected,
-                    report,
-                });
-            }
-        }
-    }
-    Ok(out)
+    let sweep = verify_failure_sets(topo, technique, protection, cache, 1)?;
+    Ok(sweep
+        .results
+        .into_iter()
+        .map(|r| CaseResult {
+            src: r.src,
+            dst: r.dst,
+            failed: r.failed[0],
+            disconnected: r.disconnected,
+            report: r.report,
+        })
+        .collect())
 }
 
 /// Aggregate view of a sweep.
@@ -540,26 +1091,40 @@ pub struct VerifySummary {
 }
 
 impl VerifySummary {
-    /// Count for one outcome.
+    /// Count for one outcome — an array read, precomputed when the
+    /// summary was folded; never a rescan of the result slice.
     pub fn count(&self, outcome: Outcome) -> usize {
         self.by_outcome[outcome as usize]
+    }
+
+    /// Folds one case into the counts. A disconnected case is never a
+    /// violation: no scheme can deliver across a physical cut.
+    pub fn record(&mut self, outcome: Outcome, disconnected: bool) {
+        self.total += 1;
+        self.by_outcome[outcome as usize] += 1;
+        if disconnected {
+            self.disconnected += 1;
+        } else if matches!(outcome, Outcome::Blackhole | Outcome::Loop) {
+            self.violations += 1;
+        }
     }
 }
 
 /// Folds sweep results into counts; `violations` are connected cases
 /// that still black-hole or loop.
 pub fn summarize(results: &[CaseResult]) -> VerifySummary {
-    let mut s = VerifySummary {
-        total: results.len(),
-        ..VerifySummary::default()
-    };
+    let mut s = VerifySummary::default();
     for case in results {
-        s.by_outcome[case.report.outcome as usize] += 1;
-        if case.disconnected {
-            s.disconnected += 1;
-        } else if matches!(case.report.outcome, Outcome::Blackhole | Outcome::Loop) {
-            s.violations += 1;
-        }
+        s.record(case.report.outcome, case.disconnected);
+    }
+    s
+}
+
+/// [`summarize`] for a k-failure sweep.
+pub fn summarize_sets(results: &[FailureSetResult]) -> VerifySummary {
+    let mut s = VerifySummary::default();
+    for case in results {
+        s.record(case.report.outcome, case.disconnected);
     }
     s
 }
@@ -724,6 +1289,269 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn combinations_enumerate_lexicographically() {
+        let all: Vec<Vec<usize>> = Combinations::new(4, 2).collect();
+        assert_eq!(
+            all,
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+        assert_eq!(Combinations::new(5, 3).count(), 10);
+        assert_eq!(Combinations::new(3, 4).count(), 0);
+        assert_eq!(Combinations::new(3, 3).count(), 1);
+    }
+
+    /// The projection memo must be invisible: for a sample of 2-failure
+    /// sets, `PairVerifier::classify` returns byte-identical reports to
+    /// a fresh `verify_route` of the full set.
+    #[test]
+    fn projection_memo_agrees_with_direct_verification() {
+        let topo = topo15::build();
+        let cache = EncodingCache::new();
+        let (src, dst) = (topo.expect("AS1"), topo.expect("AS3"));
+        let primary = paths::bfs_shortest_path(&topo, src, dst).unwrap();
+        for technique in DeflectionTechnique::ALL {
+            let route = cache
+                .encode_with_protection(&topo, primary.clone(), &Protection::AutoFull)
+                .unwrap();
+            let mut pv = PairVerifier::new(&topo, route.clone(), src, dst, technique);
+            for combo in Combinations::new(topo.link_count(), 2) {
+                let failed: Vec<LinkId> = combo.into_iter().map(LinkId).collect();
+                let set: HashSet<LinkId> = failed.iter().copied().collect();
+                let direct = verify_route(&topo, &route, src, dst, technique, &set);
+                let memoized = pv.classify(&failed);
+                assert_eq!(memoized.outcome, direct.outcome, "{technique} {failed:?}");
+                assert_eq!(memoized.states, direct.states, "{technique} {failed:?}");
+                assert_eq!(
+                    memoized.loop_witness, direct.loop_witness,
+                    "{technique} {failed:?}"
+                );
+                assert_eq!(
+                    memoized.blackhole_witness, direct.blackhole_witness,
+                    "{technique} {failed:?}"
+                );
+                assert_eq!(
+                    memoized.relevant_links, direct.relevant_links,
+                    "{technique} {failed:?}"
+                );
+            }
+            // The memo must save work: strictly fewer explorations than
+            // cases (HP's random walk has the widest relevant sets and
+            // the least sharing; NIP/None collapse far more).
+            assert!(
+                pv.explored < 231 && pv.memo_hits > 0,
+                "{technique}: explored {}, hits {}",
+                pv.explored,
+                pv.memo_hits
+            );
+        }
+    }
+
+    #[test]
+    fn k2_sweep_stats_account_for_every_case() {
+        let topo = topo15::build();
+        let cache = EncodingCache::new();
+        let sweep = verify_failure_sets(
+            &topo,
+            DeflectionTechnique::Nip,
+            &Protection::AutoFull,
+            &cache,
+            2,
+        )
+        .unwrap();
+        // 6 ordered pairs × C(22, 2) sets.
+        assert_eq!(sweep.results.len(), 6 * 231);
+        assert_eq!(sweep.stats.cases, 6 * 231);
+        // A classify call either ends on a memo hit or ran at least one
+        // exploration, so hits + explorations bound the cases from
+        // below; the memo must still collapse a strict majority.
+        assert!(
+            sweep.stats.explored + sweep.stats.memo_hits >= sweep.stats.cases,
+            "{:?}",
+            sweep.stats
+        );
+        assert!(
+            sweep.stats.explored < sweep.results.len() / 2,
+            "projection memo should collapse most cases: {:?}",
+            sweep.stats
+        );
+        // Monotone pruning: every 2-set containing a pair's uplink is a
+        // superset of a known disconnecting singleton.
+        assert!(sweep.stats.disconnect_pruned > 0, "{:?}", sweep.stats);
+        // k=1 compatibility: the engine is the one behind
+        // verify_single_failures, whose pinned tables lock the k=1 view.
+        let k1 = verify_failure_sets(
+            &topo,
+            DeflectionTechnique::Nip,
+            &Protection::AutoFull,
+            &cache,
+            1,
+        )
+        .unwrap();
+        assert_eq!(summarize_sets(&k1.results).total, 132);
+    }
+
+    #[test]
+    fn min_failure_set_finds_the_unprotected_breaking_point() {
+        let topo = topo15::build();
+        let cache = EncodingCache::new();
+        let (src, dst) = (topo.expect("AS1"), topo.expect("AS3"));
+        // No deflection, no protection: the first primary link failure
+        // that does not disconnect the pair black-holes it — a k=1
+        // breaking point, and lexicographically the smallest such link.
+        let bp = min_failure_set(
+            &topo,
+            src,
+            dst,
+            DeflectionTechnique::None,
+            &Protection::None,
+            &cache,
+            3,
+        )
+        .unwrap()
+        .expect("no-deflection must break");
+        assert_eq!(bp.failed.len(), 1);
+        assert_eq!(bp.outcome, Outcome::Blackhole);
+        // The witness is a real trajectory: replayable as a path.
+        assert!(bp.report.blackhole_witness.is_some());
+        // NIP + full protection survives every single failure (the
+        // pinned table) — its breaking point, if any, needs k >= 2.
+        let nip = min_failure_set(
+            &topo,
+            src,
+            dst,
+            DeflectionTechnique::Nip,
+            &Protection::AutoFull,
+            &cache,
+            2,
+        )
+        .unwrap();
+        if let Some(bp) = &nip {
+            assert!(bp.failed.len() >= 2, "{:?}", bp.failed);
+        }
+    }
+
+    /// Satellite check: `VerifySummary::count` reads precomputed
+    /// counts; exercise `record` across every `Outcome` variant,
+    /// connected and disconnected.
+    #[test]
+    fn summary_record_covers_every_outcome_variant() {
+        let variants = [
+            Outcome::Delivered,
+            Outcome::WrongEdge,
+            Outcome::TtlExceeded,
+            Outcome::Blackhole,
+            Outcome::Loop,
+        ];
+        let mut s = VerifySummary::default();
+        for &outcome in &variants {
+            s.record(outcome, false);
+            s.record(outcome, true);
+        }
+        assert_eq!(s.total, 10);
+        for &outcome in &variants {
+            assert_eq!(s.count(outcome), 2, "{outcome}");
+        }
+        assert_eq!(s.disconnected, 5);
+        // Only the connected blackhole and loop are violations; the
+        // disconnected ones never are.
+        assert_eq!(s.violations, 2);
+        // count() must agree with a manual scan of by_outcome.
+        for (i, &outcome) in variants.iter().enumerate() {
+            assert_eq!(s.count(outcome), s.by_outcome[i]);
+        }
+    }
+
+    #[test]
+    fn check_trajectory_accepts_real_paths_and_rejects_fakes() {
+        let topo = topo15::build();
+        let primary = topo15::primary_route(&topo);
+        let route = EncodedRoute::encode(&topo, &RouteSpec::unprotected(primary)).unwrap();
+        let (src, dst) = (topo.expect("AS1"), topo.expect("AS3"));
+        let none: HashSet<LinkId> = HashSet::new();
+        // The primary path itself, intact network.
+        let path = vec![
+            src,
+            topo.expect("SW10"),
+            topo.expect("SW7"),
+            topo.expect("SW13"),
+            topo.expect("SW29"),
+            dst,
+        ];
+        for technique in DeflectionTechnique::ALL {
+            check_trajectory(
+                &topo,
+                &route,
+                src,
+                dst,
+                technique,
+                &none,
+                &path,
+                TrajectoryEnd::Delivered,
+            )
+            .unwrap_or_else(|e| panic!("{technique}: {e}"));
+        }
+        // A hop the move relation cannot produce (off-route jump).
+        let fake = vec![src, topo.expect("SW10"), topo.expect("SW43")];
+        assert!(check_trajectory(
+            &topo,
+            &route,
+            src,
+            dst,
+            DeflectionTechnique::None,
+            &none,
+            &fake,
+            TrajectoryEnd::Truncated,
+        )
+        .is_err());
+        // A forced drop upstream of a failure, no deflection.
+        let failed: HashSet<LinkId> = [topo.expect_link("SW7", "SW13")].into_iter().collect();
+        let dying = vec![src, topo.expect("SW10"), topo.expect("SW7")];
+        check_trajectory(
+            &topo,
+            &route,
+            src,
+            dst,
+            DeflectionTechnique::None,
+            &failed,
+            &dying,
+            TrajectoryEnd::ForcedDrop,
+        )
+        .unwrap();
+        // The same path cannot claim delivery.
+        assert!(check_trajectory(
+            &topo,
+            &route,
+            src,
+            dst,
+            DeflectionTechnique::None,
+            &failed,
+            &dying,
+            TrajectoryEnd::Delivered,
+        )
+        .is_err());
+        // Hop-zero death on a failed uplink.
+        let cut: HashSet<LinkId> = [topo.expect_link("AS1", "SW10")].into_iter().collect();
+        check_trajectory(
+            &topo,
+            &route,
+            src,
+            dst,
+            DeflectionTechnique::Nip,
+            &cut,
+            &[src],
+            TrajectoryEnd::ForcedDrop,
+        )
+        .unwrap();
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! SRLG failure sets through both failure channels (ISSUE satellite d):
+//! a [`FaultPlan`] `srlg` clause applied to the live simulator and the
+//! same link set handed to `verify_route` as a multi-failure set must
+//! describe the same world — the compiled event train downs exactly the
+//! group's links, the verifier classifies the compiled set identically
+//! to the declared set, and the simulated run stays inside the
+//! verifier's symbolic possibilities.
+
+use kar::{verify_route, DeflectionTechnique, KarNetwork, Protection, ReroutePolicy};
+use kar_simnet::{srlg_groups, DropReason, FaultPlan, FlowId, PacketKind, SimTime};
+use kar_topology::{topo15, LinkId, Topology};
+use std::collections::HashSet;
+
+const PROBES: u64 = 12;
+
+/// Every srlg clause compiles to exactly the group's links, all down at
+/// the scheduled instant, no repairs when none were asked for.
+#[test]
+fn srlg_clause_compiles_to_exactly_the_group_links() {
+    let topo = topo15::build();
+    let groups = srlg_groups(&topo);
+    assert!(!groups.is_empty(), "topo15 has shared-risk groups");
+    for group in &groups {
+        let plan = FaultPlan::new(1).srlg(group.clone(), SimTime::ZERO, None);
+        let events = plan.compile(&topo);
+        assert_eq!(events.len(), group.len());
+        let compiled: HashSet<LinkId> = events
+            .iter()
+            .inspect(|ev| {
+                assert!(!ev.up, "srlg without repair_after never schedules an up");
+                assert_eq!(ev.at, SimTime::ZERO);
+            })
+            .map(|ev| ev.link)
+            .collect();
+        let declared: HashSet<LinkId> = group.iter().copied().collect();
+        assert_eq!(compiled, declared);
+    }
+}
+
+/// The verifier cannot tell which channel produced a failure set: the
+/// classification of the links a `FaultPlan` compiles is byte-identical
+/// to classifying the declared group directly.
+#[test]
+fn compiled_and_declared_failure_sets_classify_identically() {
+    let topo = topo15::build();
+    let (src, dst) = (topo.expect("AS1"), topo.expect("AS3"));
+    let cache = kar::EncodingCache::new();
+    let primary = kar_topology::paths::bfs_shortest_path(&topo, src, dst).unwrap();
+    let route = cache
+        .encode_with_protection(&topo, primary, &Protection::AutoFull)
+        .unwrap();
+    for group in &srlg_groups(&topo) {
+        let plan = FaultPlan::new(7).srlg(group.clone(), SimTime::ZERO, None);
+        let compiled: HashSet<LinkId> = plan.compile(&topo).iter().map(|ev| ev.link).collect();
+        let declared: HashSet<LinkId> = group.iter().copied().collect();
+        for technique in DeflectionTechnique::ALL {
+            let via_plan = verify_route(&topo, &route, src, dst, technique, &compiled);
+            let direct = verify_route(&topo, &route, src, dst, technique, &declared);
+            assert_eq!(
+                format!("{via_plan:?}"),
+                format!("{direct:?}"),
+                "{}: classification depends on the failure channel",
+                technique.label()
+            );
+        }
+    }
+}
+
+fn run_with_plan(
+    topo: &Topology,
+    technique: DeflectionTechnique,
+    group: &[LinkId],
+    seed: u64,
+) -> (kar_simnet::Stats, kar::VerifyReport) {
+    let (src, dst) = (topo.expect("AS1"), topo.expect("AS3"));
+    let mut net = KarNetwork::builder(topo, technique)
+        .seed(seed)
+        .ttl(255)
+        .reroute(ReroutePolicy::Drop)
+        .build();
+    let route = net
+        .install_route(src, dst, &Protection::AutoFull)
+        .expect("route installs");
+    let mut sim = net.into_sim();
+    FaultPlan::new(seed)
+        .srlg(group.to_vec(), SimTime::ZERO, None)
+        .apply(&mut sim);
+    for i in 0..PROBES {
+        sim.run_until(SimTime(i * 500_000));
+        sim.inject(src, dst, FlowId(0), i, PacketKind::Probe, 500);
+    }
+    sim.run_to_quiescence();
+    let failed: HashSet<LinkId> = group.iter().copied().collect();
+    let report = verify_route(topo, &route, src, dst, technique, &failed);
+    (sim.stats().clone(), report)
+}
+
+/// Whole-group failures simulated through `FaultPlan::apply` never
+/// escape the verifier's classification of the same link set: no
+/// delivery where delivery is impossible, no core drop where no
+/// blackhole exists, no TTL death over an acyclic state graph, and no
+/// core loss at all under a lossless verdict.
+#[test]
+fn simulated_srlg_runs_stay_inside_the_symbolic_classification() {
+    let topo = topo15::build();
+    for group in &srlg_groups(&topo) {
+        for technique in DeflectionTechnique::ALL {
+            let (stats, report) = run_with_plan(&topo, technique, group, 23);
+            let drop = |r: DropReason| stats.drops.get(&r).copied().unwrap_or(0);
+            let label = technique.label();
+            assert_eq!(stats.injected, PROBES);
+            if !report.can_deliver {
+                assert_eq!(stats.delivered, 0, "{label}: delivered the undeliverable");
+            }
+            if !report.can_blackhole {
+                assert_eq!(
+                    drop(DropReason::PortDown)
+                        + drop(DropReason::NoRoute)
+                        + drop(DropReason::ResidueOutOfRange),
+                    0,
+                    "{label}: core drop without a symbolic blackhole"
+                );
+            }
+            if !report.has_cycle {
+                assert_eq!(
+                    drop(DropReason::TtlExpired),
+                    0,
+                    "{label}: TTL death over an acyclic state graph"
+                );
+            }
+            if report.outcome.is_lossless() {
+                assert_eq!(
+                    stats.delivered + drop(DropReason::Misdelivery),
+                    PROBES,
+                    "{label}: lost packets under a lossless verdict"
+                );
+            }
+        }
+    }
+}

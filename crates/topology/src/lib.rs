@@ -35,6 +35,7 @@ mod graph;
 pub mod gen;
 pub mod paths;
 pub mod rnp28;
+pub mod sym;
 pub mod topo15;
 
 pub use builder::{TopologyBuilder, TopologyError};

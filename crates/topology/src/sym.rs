@@ -1,0 +1,314 @@
+//! Structural graph automorphisms, for symmetry reduction.
+//!
+//! Generated topology families are highly symmetric: a ring has the
+//! dihedral group (rotations and reflections), a grid its rectangle
+//! symmetries. [`Symmetry`] computes the *structural* automorphisms —
+//! bijections of the nodes preserving the edge/core partition and
+//! adjacency — by backtracking over degree-refined candidate classes.
+//!
+//! What a structural automorphism does and does not preserve matters
+//! for verification:
+//!
+//! * **Preserved**: connectivity, cuts, distances, SRLG structure —
+//!   anything defined by the unlabeled graph. A k-failure sweep can
+//!   share *disconnection* verdicts across the orbit of
+//!   `(src, dst, failure set)`.
+//! * **Not preserved**: KAR forwarding itself. Residues depend on
+//!   switch IDs and port numbering, which distinct-coprime-ID
+//!   assignment breaks on purpose ([`Symmetry::respecting_ids`] is the
+//!   stricter group that also fixes IDs — with distinct IDs it is the
+//!   trivial group, which [`Symmetry::is_trivial`] reports so callers
+//!   skip canonicalization entirely on asymmetric inputs).
+//!
+//! The search is capped ([`MAX_PERMS`], [`MAX_STEPS`]) because a valid
+//! *subset* of the automorphism group is still sound for orbit sharing
+//! — it just merges fewer orbits. The identity is always included.
+
+use crate::graph::{LinkId, NodeId, Topology};
+use std::collections::HashMap;
+
+/// Keep at most this many automorphisms (a subgroup sample is sound).
+pub const MAX_PERMS: usize = 1024;
+/// Abandon the backtracking search after this many extension steps.
+pub const MAX_STEPS: usize = 500_000;
+
+/// A set of structural automorphisms of one topology (always contains
+/// the identity; possibly a strict subset of the full group when the
+/// search caps fire).
+#[derive(Debug, Clone)]
+pub struct Symmetry {
+    /// `perms[p][n]` is the image of node `n` under permutation `p`.
+    perms: Vec<Vec<NodeId>>,
+}
+
+/// Invariant signature used to seed candidate classes: core-ness,
+/// degree, optionally the switch ID, refined once by the sorted
+/// neighbour signatures (one Weisfeiler-Leman round — plenty for the
+/// sizes verified here).
+fn signatures(topo: &Topology, respect_ids: bool) -> Vec<u64> {
+    let n = topo.node_count();
+    let base: Vec<(bool, usize, u64)> = (0..n)
+        .map(|i| {
+            let node = NodeId(i);
+            let id = if respect_ids {
+                topo.switch_id(node).unwrap_or(0)
+            } else {
+                0
+            };
+            (
+                topo.switch_id(node).is_some(),
+                topo.node(node).ports.len(),
+                id,
+            )
+        })
+        .collect();
+    let mut interned: HashMap<Vec<u8>, u64> = HashMap::new();
+    (0..n)
+        .map(|i| {
+            let mut neigh: Vec<(bool, usize, u64)> = topo
+                .neighbors(NodeId(i))
+                .map(|(_, _, peer)| base[peer.0])
+                .collect();
+            neigh.sort_unstable();
+            let mut key = format!("{:?}|{:?}", base[i], neigh).into_bytes();
+            let next = interned.len() as u64;
+            *interned.entry(std::mem::take(&mut key)).or_insert(next)
+        })
+        .collect()
+}
+
+fn search(topo: &Topology, respect_ids: bool) -> Vec<Vec<NodeId>> {
+    let n = topo.node_count();
+    let sig = signatures(topo, respect_ids);
+    let mut adj = vec![false; n * n];
+    for l in 0..topo.link_count() {
+        let link = topo.link(LinkId(l));
+        adj[link.a.0 * n + link.b.0] = true;
+        adj[link.b.0 * n + link.a.0] = true;
+    }
+    // Most-constrained-first assignment order: smallest candidate class.
+    let class_size = |i: usize| sig.iter().filter(|&&s| s == sig[i]).count();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (class_size(i), i));
+
+    let mut perms: Vec<Vec<NodeId>> = vec![(0..n).map(NodeId).collect()]; // identity
+    let mut image = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+    let mut steps = 0usize;
+    // Iterative backtracking: stack of (depth, candidate chosen).
+    #[allow(clippy::too_many_arguments)] // recursion state, not an API
+    fn extend(
+        depth: usize,
+        order: &[usize],
+        sig: &[u64],
+        adj: &[bool],
+        n: usize,
+        image: &mut [usize],
+        used: &mut [bool],
+        perms: &mut Vec<Vec<NodeId>>,
+        steps: &mut usize,
+    ) {
+        if perms.len() >= MAX_PERMS || *steps >= MAX_STEPS {
+            return;
+        }
+        if depth == n {
+            let perm: Vec<NodeId> = image.iter().map(|&i| NodeId(i)).collect();
+            if !perms.contains(&perm) {
+                perms.push(perm);
+            }
+            return;
+        }
+        let v = order[depth];
+        for cand in 0..n {
+            if used[cand] || sig[cand] != sig[v] {
+                continue;
+            }
+            *steps += 1;
+            if *steps >= MAX_STEPS {
+                return;
+            }
+            // Adjacency to every already-assigned node must be
+            // mirrored exactly (degrees are equal by signature, so
+            // forward preservation at full depth is a bijection on
+            // edges and non-adjacency follows).
+            let ok = order[..depth]
+                .iter()
+                .all(|&w| adj[v * n + w] == adj[cand * n + image[w]]);
+            if !ok {
+                continue;
+            }
+            image[v] = cand;
+            used[cand] = true;
+            extend(depth + 1, order, sig, adj, n, image, used, perms, steps);
+            image[v] = usize::MAX;
+            used[cand] = false;
+        }
+    }
+    extend(
+        0, &order, &sig, &adj, n, &mut image, &mut used, &mut perms, &mut steps,
+    );
+    perms
+}
+
+impl Symmetry {
+    /// Structural automorphisms: preserve the edge/core partition,
+    /// degrees and adjacency, ignore switch IDs.
+    pub fn of(topo: &Topology) -> Symmetry {
+        Symmetry {
+            perms: search(topo, false),
+        }
+    }
+
+    /// Automorphisms that additionally fix every switch ID — the group
+    /// under which KAR *forwarding* (not just connectivity) could be
+    /// shared. With distinct coprime IDs this is the trivial group.
+    pub fn respecting_ids(topo: &Topology) -> Symmetry {
+        Symmetry {
+            perms: search(topo, true),
+        }
+    }
+
+    /// Number of automorphisms found (≥ 1; the identity is always in).
+    pub fn order(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// `true` when only the identity was found — canonicalization would
+    /// be a no-op and callers should skip it.
+    pub fn is_trivial(&self) -> bool {
+        self.perms.len() == 1
+    }
+
+    /// Image of `node` under permutation `p`.
+    pub fn map_node(&self, p: usize, node: NodeId) -> NodeId {
+        self.perms[p][node.0]
+    }
+
+    /// Image of `link` under permutation `p` (automorphisms map links
+    /// to links).
+    pub fn map_link(&self, topo: &Topology, p: usize, link: LinkId) -> LinkId {
+        let l = topo.link(link);
+        topo.link_between(self.map_node(p, l.a), self.map_node(p, l.b))
+            .expect("an automorphism maps links to links")
+    }
+
+    /// Canonical representative of the orbit of `(src, dst, failed)`:
+    /// the lexicographic minimum over all images. Two cases with the
+    /// same canonical form have identical *graph-level* properties
+    /// (connectivity, cuts) — not identical KAR outcomes.
+    pub fn canonical_case(
+        &self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        failed: &[LinkId],
+    ) -> (NodeId, NodeId, Vec<LinkId>) {
+        let mut best: Option<(NodeId, NodeId, Vec<LinkId>)> = None;
+        for p in 0..self.perms.len() {
+            let mut links: Vec<LinkId> =
+                failed.iter().map(|&l| self.map_link(topo, p, l)).collect();
+            links.sort_unstable();
+            let cand = (self.map_node(p, src), self.map_node(p, dst), links);
+            if best.as_ref().is_none_or(|b| cand < *b) {
+                best = Some(cand);
+            }
+        }
+        best.expect("at least the identity permutation exists")
+    }
+
+    /// Partition of the links into orbits under this set of
+    /// automorphisms (a ring's core links form one orbit; its host
+    /// uplinks another).
+    pub fn link_orbits(&self, topo: &Topology) -> Vec<Vec<LinkId>> {
+        let mut seen = vec![false; topo.link_count()];
+        let mut orbits = Vec::new();
+        for l in 0..topo.link_count() {
+            if seen[l] {
+                continue;
+            }
+            let mut orbit = Vec::new();
+            for p in 0..self.perms.len() {
+                let img = self.map_link(topo, p, LinkId(l));
+                if !seen[img.0] {
+                    seen[img.0] = true;
+                    orbit.push(img);
+                }
+            }
+            orbit.sort_unstable();
+            orbits.push(orbit);
+        }
+        orbits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::graph::LinkParams;
+    use kar_rns::IdStrategy;
+
+    #[test]
+    fn ring_has_the_dihedral_group() {
+        let topo = gen::ring(6, IdStrategy::SmallestPrimes, LinkParams::default());
+        let sym = Symmetry::of(&topo);
+        // D6 on the cores, hosts forced to follow their switch.
+        assert_eq!(sym.order(), 12);
+        assert!(!sym.is_trivial());
+        // Every permutation maps cores to cores and preserves adjacency
+        // (checked implicitly by map_link not panicking on every link).
+        for p in 0..sym.order() {
+            for l in 0..topo.link_count() {
+                sym.map_link(&topo, p, LinkId(l));
+            }
+        }
+        // The core ring is one link orbit, the host uplinks another.
+        let orbits = sym.link_orbits(&topo);
+        assert_eq!(orbits.len(), 2, "{orbits:?}");
+        let mut sizes: Vec<usize> = orbits.iter().map(|o| o.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![6, 6]);
+    }
+
+    #[test]
+    fn grid_has_the_rectangle_group() {
+        let topo = gen::grid(2, 3, IdStrategy::SmallestPrimes, LinkParams::default());
+        let sym = Symmetry::of(&topo);
+        // 2×3 rectangle: horizontal flip, vertical flip, rotation, id.
+        assert_eq!(sym.order(), 4);
+    }
+
+    #[test]
+    fn distinct_ids_kill_the_id_respecting_group() {
+        let topo = gen::ring(6, IdStrategy::SmallestPrimes, LinkParams::default());
+        let sym = Symmetry::respecting_ids(&topo);
+        assert!(sym.is_trivial(), "order {}", sym.order());
+    }
+
+    #[test]
+    fn canonical_case_is_orbit_invariant_on_the_ring() {
+        let topo = gen::ring(8, IdStrategy::SmallestPrimes, LinkParams::default());
+        let sym = Symmetry::of(&topo);
+        assert_eq!(sym.order(), 16);
+        // Rotating a (src, dst, failure) case by any automorphism must
+        // not change its canonical form.
+        let edges = topo.edge_nodes();
+        let (src, dst) = (edges[0], edges[3]);
+        let failed = vec![LinkId(0), LinkId(5)];
+        let canon = sym.canonical_case(&topo, src, dst, &failed);
+        for p in 0..sym.order() {
+            let rs = sym.map_node(p, src);
+            let rd = sym.map_node(p, dst);
+            let rf: Vec<LinkId> = failed.iter().map(|&l| sym.map_link(&topo, p, l)).collect();
+            assert_eq!(sym.canonical_case(&topo, rs, rd, &rf), canon, "perm {p}");
+        }
+    }
+
+    #[test]
+    fn line_ends_mirror() {
+        let topo = gen::line(4, IdStrategy::SmallestPrimes, LinkParams::default());
+        let sym = Symmetry::of(&topo);
+        // A path graph has exactly the end-to-end reflection.
+        assert_eq!(sym.order(), 2);
+    }
+}
