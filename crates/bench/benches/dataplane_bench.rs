@@ -130,6 +130,7 @@ fn main() {
                 ports: &ports_up,
                 now: SimTime::ZERO,
                 reducer: red,
+                behavior: kar_simnet::Behavior::Honest,
             };
             black_box(fwd.forward(&ctx, &mut pkt, &mut rng));
         });

@@ -68,6 +68,7 @@ fn bench_forwarding(c: &mut Criterion) {
                     ports: &statuses_up,
                     now: SimTime::ZERO,
                     reducer: None,
+                    behavior: kar_simnet::Behavior::Honest,
                 };
                 black_box(fwd.forward(&ctx, &mut pkt, &mut rng))
             })
@@ -84,6 +85,7 @@ fn bench_forwarding(c: &mut Criterion) {
                     ports: &statuses_fail,
                     now: SimTime::ZERO,
                     reducer: None,
+                    behavior: kar_simnet::Behavior::Honest,
                 };
                 black_box(fwd.forward(&ctx, &mut pkt, &mut rng))
             })
@@ -103,6 +105,7 @@ fn bench_forwarding(c: &mut Criterion) {
                 ports: &statuses_up,
                 now: SimTime::ZERO,
                 reducer: None,
+                behavior: kar_simnet::Behavior::Honest,
             };
             black_box(ff.forward(&ctx, &mut pkt, &mut rng))
         })

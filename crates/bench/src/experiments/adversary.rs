@@ -1,0 +1,864 @@
+//! Adversarial & churn scenario suite — the experiment behind the
+//! `fig_adversary` binary (`BENCH_adversary.json`).
+//!
+//! The paper's evaluation assumes fail-stop links and honest switches.
+//! This experiment stresses both assumptions at once:
+//!
+//! * **Targeted link campaigns** fail core links in descending
+//!   edge-betweenness order ([`kar_topology::analysis::ranked_links`]) —
+//!   the "cut where the shortest paths concentrate" attacker — and are
+//!   compared against **random campaigns of matched intensity** (same
+//!   link count, same schedule, links drawn uniformly from the same
+//!   core-core pool).
+//! * **Byzantine switches** ([`kar_simnet::Behavior`]) misforward to
+//!   random healthy ports, corrupt route-ID residues in flight, or drop
+//!   silently; compromised switches are placed at the highest-load
+//!   positions ([`kar_topology::analysis::ranked_core_switches`]).
+//! * **Rolling churn** drives Poisson down/up trains on the most loaded
+//!   links while the failure-reactive controller repairs concurrently.
+//!
+//! Every scheme in a cell — KAR's deflection techniques at two
+//! protection levels and the table-based baselines of
+//! [`kar_baselines`] — faces the **identical attack trace**: the fault
+//! plan and Byzantine placement are seeded from `(topology, attack,
+//! intensity)` only, never from the scheme, so the comparison isolates
+//! the routing scheme. The grid fans out through
+//! [`crate::runner::run_map`] and every point carries a digest, so
+//! `--jobs N` determinism is testable; the JSON document contains no
+//! wall-clock fields and is committed at the repository root.
+
+use crate::harness::row;
+use crate::runner::run_map;
+use kar::recovery::RecoveryConfig;
+use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar_baselines::{TableEdge, TableScheme};
+use kar_simnet::{Behavior, DropReason, FaultPlan, FlowId, PacketKind, Sim, SimConfig, SimTime};
+use kar_topology::{analysis, paths, rnp28, topo15, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// One attack family, parameterized by an intensity `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Fail the `n` highest-betweenness core links, one every interval.
+    TargetedLinks,
+    /// Fail `n` uniformly drawn core links on the same schedule — the
+    /// matched-intensity control for [`AttackKind::TargetedLinks`].
+    RandomLinks,
+    /// Poisson down/up trains on the `2n` most loaded core links,
+    /// concurrent with controller repair.
+    RollingChurn,
+    /// The `n` highest-load core switches forward every packet out a
+    /// random healthy port.
+    ByzMisforward,
+    /// The `n` highest-load core switches rewrite route-ID residues in
+    /// flight.
+    ByzCorrupt,
+    /// The `n` highest-load core switches silently discard all traffic.
+    ByzDrop,
+}
+
+impl AttackKind {
+    /// Every attack family, in render order.
+    pub const ALL: [AttackKind; 6] = [
+        AttackKind::TargetedLinks,
+        AttackKind::RandomLinks,
+        AttackKind::RollingChurn,
+        AttackKind::ByzMisforward,
+        AttackKind::ByzCorrupt,
+        AttackKind::ByzDrop,
+    ];
+
+    /// Stable kebab-case label (used in seeds, JSON and tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackKind::TargetedLinks => "targeted-links",
+            AttackKind::RandomLinks => "random-links",
+            AttackKind::RollingChurn => "rolling-churn",
+            AttackKind::ByzMisforward => "byz-misforward",
+            AttackKind::ByzCorrupt => "byz-corrupt",
+            AttackKind::ByzDrop => "byz-drop",
+        }
+    }
+
+    /// The switch behavior this attack installs, when it is a Byzantine
+    /// attack rather than a link campaign.
+    pub fn byzantine_behavior(self) -> Option<Behavior> {
+        match self {
+            AttackKind::ByzMisforward => Some(Behavior::Misforward),
+            AttackKind::ByzCorrupt => Some(Behavior::CorruptResidue),
+            AttackKind::ByzDrop => Some(Behavior::DropSilently),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One routing scheme under attack: a KAR technique at a protection
+/// level, or a table-based baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeSpec {
+    /// KAR dataplane with the failure-reactive controller enabled.
+    Kar {
+        /// Deflection technique.
+        technique: DeflectionTechnique,
+        /// Protection level label: `"none"` or `"full"`.
+        protection: &'static str,
+    },
+    /// A precomputed-table comparator from [`kar_baselines`].
+    Table(TableScheme),
+}
+
+impl SchemeSpec {
+    /// Display label, e.g. `"NIP/full"` or `"FastFailover"`.
+    pub fn label(self) -> String {
+        match self {
+            SchemeSpec::Kar {
+                technique,
+                protection,
+            } => format!("{}/{}", technique.label(), protection),
+            SchemeSpec::Table(t) => t.label().to_string(),
+        }
+    }
+}
+
+/// The scheme grid: HP/AVP/NIP at `none` and `full` protection, plus
+/// the default table-based comparators — 8 schemes per cell.
+pub fn schemes() -> Vec<SchemeSpec> {
+    let mut out = Vec::new();
+    for technique in [
+        DeflectionTechnique::HotPotato,
+        DeflectionTechnique::Avp,
+        DeflectionTechnique::Nip,
+    ] {
+        for protection in ["none", "full"] {
+            out.push(SchemeSpec::Kar {
+                technique,
+                protection,
+            });
+        }
+    }
+    out.extend(TableScheme::DEFAULT.into_iter().map(SchemeSpec::Table));
+    out
+}
+
+/// Knobs of one adversary sweep.
+#[derive(Debug, Clone)]
+pub struct AdversaryConfig {
+    /// Probes injected per flow (one per `gap`).
+    pub probes: u64,
+    /// Inter-injection gap per flow.
+    pub gap: SimTime,
+    /// Data-plane failure-detection delay.
+    pub detection: SimTime,
+    /// Controller notification delay on top of detection (KAR schemes).
+    pub notification: SimTime,
+    /// Base RNG seed; attack traces and sims derive from it.
+    pub seed: u64,
+    /// Attack intensities `n` to sweep.
+    pub intensities: Vec<u32>,
+}
+
+impl Default for AdversaryConfig {
+    fn default() -> Self {
+        AdversaryConfig {
+            probes: 120,
+            gap: SimTime::from_micros(300),
+            detection: SimTime::from_micros(200),
+            notification: SimTime::from_millis(1),
+            seed: 23,
+            intensities: vec![1, 2, 4],
+        }
+    }
+}
+
+/// One measured grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversaryPoint {
+    /// Topology name (`"topo15"`, `"rnp28"`).
+    pub topo: &'static str,
+    /// Attack family.
+    pub attack: AttackKind,
+    /// Attack intensity `n`.
+    pub intensity: u32,
+    /// Scheme label (see [`SchemeSpec::label`]).
+    pub scheme: String,
+    /// Probes injected (all flows).
+    pub injected: u64,
+    /// Probes delivered.
+    pub delivered: u64,
+    /// Probes dropped (all reasons).
+    pub dropped: u64,
+    /// Delivered / injected.
+    pub reachability: f64,
+    /// Mean delivered hops relative to each flow's fault-free shortest
+    /// path (NaN when nothing was delivered).
+    pub stretch: f64,
+    /// Drops classified as tampered residues
+    /// ([`DropReason::CorruptedResidue`]) — corruption *detected* by the
+    /// residue range check.
+    pub corrupted_residue_drops: u64,
+    /// Packets a Byzantine switch silently discarded.
+    pub adversary_drops: u64,
+    /// Packets pushed out a port the honest forwarder did not choose.
+    pub byzantine_misforwards: u64,
+    /// Route tags rewritten in flight.
+    pub byzantine_corruptions: u64,
+    /// Packets discarded by [`Behavior::DropSilently`] switches as
+    /// counted by the engine's Byzantine counter (must equal the
+    /// [`DropReason::AdversaryDrop`] bucket).
+    pub byzantine_drops: u64,
+    /// Physical link up→down transitions.
+    pub link_failures: u64,
+    /// Physical down→up transitions.
+    pub link_repairs: u64,
+    /// Flows the controller re-encoded onto a detour (0 for baselines,
+    /// which have no controller).
+    pub recovered_flows: usize,
+    /// Mean failure-detection → recovered-traffic latency in seconds
+    /// (NaN when no flow recovered).
+    pub mean_recovery_latency_s: f64,
+}
+
+impl AdversaryPoint {
+    /// Canonical serialization of every simulated quantity; two runs of
+    /// the same grid point are deterministic exactly when digests match
+    /// (the `--jobs` conformance property).
+    pub fn digest(&self) -> String {
+        format!(
+            "{}/{}/n{}/{} injected={} delivered={} dropped={} stretch={:?} corrupt_drops={} adv_drops={} misfwd={} corruptions={} byz_drops={} failures={} repairs={} recovered={} latency={:?}",
+            self.topo,
+            self.attack,
+            self.intensity,
+            self.scheme,
+            self.injected,
+            self.delivered,
+            self.dropped,
+            self.stretch,
+            self.corrupted_residue_drops,
+            self.adversary_drops,
+            self.byzantine_misforwards,
+            self.byzantine_corruptions,
+            self.byzantine_drops,
+            self.link_failures,
+            self.link_repairs,
+            self.recovered_flows,
+            self.mean_recovery_latency_s,
+        )
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seed of the attack trace — a function of `(topology, attack,
+/// intensity)` and the base seed ONLY, so every scheme in a cell faces
+/// the identical trace.
+fn attack_seed(cfg: &AdversaryConfig, topo: &str, attack: AttackKind, n: u32) -> u64 {
+    splitmix64(cfg.seed ^ fnv1a(&format!("{topo}/{attack}/{n}")))
+}
+
+/// Seed of one scheme's simulation (adds the scheme to the key so e.g.
+/// HP's random walk and PathSplicing's slices draw independent streams).
+fn sim_seed(cfg: &AdversaryConfig, topo: &str, attack: AttackKind, n: u32, scheme: &str) -> u64 {
+    splitmix64(cfg.seed ^ fnv1a(&format!("{topo}/{attack}/{n}/{scheme}")))
+}
+
+/// All campaigns start here: flows are warmed up, then the attack lands
+/// mid-traffic.
+const ATTACK_START: SimTime = SimTime(10_000_000);
+/// One campaign failure every 4 ms.
+const CAMPAIGN_INTERVAL: SimTime = SimTime(4_000_000);
+/// Churn runs for 30 ms past the attack start.
+const CHURN_HORIZON: SimTime = SimTime(30_000_000);
+/// Mean Poisson gap between outages of one churned link.
+const CHURN_MEAN_GAP: SimTime = SimTime(6_000_000);
+/// Mean Poisson outage duration.
+const CHURN_MEAN_DOWNTIME: SimTime = SimTime(3_000_000);
+
+/// Builds the link-level fault plan of one attack trace, or `None` for
+/// the Byzantine attacks (which fail no links).
+fn attack_plan(topo: &Topology, attack: AttackKind, n: u32, plan_seed: u64) -> Option<FaultPlan> {
+    let ranked = analysis::ranked_links(topo);
+    let count = (n as usize).min(ranked.len());
+    match attack {
+        AttackKind::TargetedLinks => Some(FaultPlan::new(plan_seed).campaign(
+            ranked[..count].to_vec(),
+            ATTACK_START,
+            CAMPAIGN_INTERVAL,
+        )),
+        AttackKind::RandomLinks => {
+            // Matched intensity: same pool, same count, same schedule —
+            // only the link choice differs (uniform, from the plan seed).
+            let mut pool = ranked;
+            let mut rng = StdRng::seed_from_u64(plan_seed);
+            pool.shuffle(&mut rng);
+            pool.truncate(count);
+            Some(FaultPlan::new(plan_seed).campaign(pool, ATTACK_START, CAMPAIGN_INTERVAL))
+        }
+        AttackKind::RollingChurn => {
+            let churned = (2 * n as usize).min(ranked.len());
+            Some(FaultPlan::new(plan_seed).churn(
+                ranked[..churned].to_vec(),
+                ATTACK_START,
+                CHURN_HORIZON,
+                CHURN_MEAN_GAP,
+                CHURN_MEAN_DOWNTIME,
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// The Byzantine placement of one attack trace: the `n` highest-load
+/// core switches, all running the attack's behavior.
+fn byzantine_set(topo: &Topology, attack: AttackKind, n: u32) -> Vec<(NodeId, Behavior)> {
+    let Some(behavior) = attack.byzantine_behavior() else {
+        return Vec::new();
+    };
+    let ranked = analysis::ranked_core_switches(topo);
+    ranked
+        .into_iter()
+        .take(n as usize)
+        .map(|node| (node, behavior))
+        .collect()
+}
+
+/// Fault-free shortest-path core hops of each flow — the stretch
+/// denominator (edge hosts don't forward, so a path of `len` nodes
+/// crosses `len - 2` core switches).
+fn nominal_hops(topo: &Topology, flows: &[(NodeId, NodeId)]) -> Vec<u64> {
+    flows
+        .iter()
+        .map(|&(src, dst)| {
+            let path = paths::bfs_shortest_path(topo, src, dst).expect("flow pair connected");
+            path.len().saturating_sub(2) as u64
+        })
+        .collect()
+}
+
+fn drive(sim: &mut Sim, flows: &[(NodeId, NodeId)], cfg: &AdversaryConfig) {
+    for i in 0..cfg.probes {
+        sim.run_until(SimTime(i * cfg.gap.as_nanos()));
+        for (f, &(src, dst)) in flows.iter().enumerate() {
+            sim.inject(src, dst, FlowId(f as u32), i, PacketKind::Probe, 500);
+        }
+    }
+    sim.run_to_quiescence();
+}
+
+/// Runs one `(topology, attack, intensity, scheme)` point. The fault
+/// plan and Byzantine placement derive from the attack trace seed
+/// (scheme-independent); only the simulation seed knows the scheme.
+pub fn run_point(
+    topo: &Topology,
+    topo_name: &'static str,
+    flows: &[(NodeId, NodeId)],
+    attack: AttackKind,
+    intensity: u32,
+    scheme: SchemeSpec,
+    cfg: &AdversaryConfig,
+) -> AdversaryPoint {
+    let plan_seed = attack_seed(cfg, topo_name, attack, intensity);
+    let run_seed = sim_seed(cfg, topo_name, attack, intensity, &scheme.label());
+    let plan = attack_plan(topo, attack, intensity, plan_seed);
+    let byz = byzantine_set(topo, attack, intensity);
+    let obs = crate::obs::RunObs::begin();
+    let (stats, recovered_flows, mean_recovery_latency_s) = match scheme {
+        SchemeSpec::Kar {
+            technique,
+            protection,
+        } => {
+            let protection = match protection {
+                "none" => Protection::None,
+                "full" => Protection::AutoFull,
+                other => unreachable!("unknown protection level {other}"),
+            };
+            let mut builder = KarNetwork::builder(topo, technique)
+                .seed(run_seed)
+                .ttl(255)
+                .detection_delay(cfg.detection)
+                .obs(obs.handle.clone());
+            if let Some(profiler) = &obs.profiler {
+                builder = builder.profiler(profiler.clone());
+            }
+            for &(node, behavior) in &byz {
+                builder = builder.byzantine(node, behavior);
+            }
+            let mut net = builder
+                .recovery(RecoveryConfig {
+                    notification_delay: cfg.notification,
+                    protection: Protection::None,
+                })
+                .build();
+            let log = net.recovery_log().expect("recovery enabled");
+            for &(src, dst) in flows {
+                net.install_route(src, dst, &protection)
+                    .expect("route installs");
+            }
+            let mut sim = net.into_sim();
+            if let Some(plan) = &plan {
+                plan.apply(&mut sim);
+            }
+            drive(&mut sim, flows, cfg);
+            let log = log.lock().expect("recovery log lock");
+            (
+                sim.stats().clone(),
+                log.flows.len(),
+                log.mean_recovery_latency_s(),
+            )
+        }
+        SchemeSpec::Table(table) => {
+            let endpoints: Vec<NodeId> = flows.iter().flat_map(|&(s, d)| [s, d]).collect();
+            let mut sim = Sim::new(
+                topo,
+                table.forwarder(topo, &endpoints, run_seed),
+                Box::new(TableEdge),
+                SimConfig {
+                    seed: run_seed,
+                    default_ttl: 255,
+                    detection_delay: cfg.detection,
+                    ..SimConfig::default()
+                },
+            );
+            sim.attach_obs(&obs.handle);
+            for &(node, behavior) in &byz {
+                sim.set_behavior(node, behavior);
+            }
+            if let Some(plan) = &plan {
+                plan.apply(&mut sim);
+            }
+            drive(&mut sim, flows, cfg);
+            (sim.stats().clone(), 0, f64::NAN)
+        }
+    };
+    obs.submit(
+        &format!(
+            "fig_adversary/{topo_name}/{}/n{intensity}/{}",
+            attack.label(),
+            scheme.label()
+        ),
+        topo,
+    );
+    let nominals = nominal_hops(topo, flows);
+    let nominal_total: u64 = flows
+        .iter()
+        .enumerate()
+        .map(|(f, _)| {
+            let delivered = stats
+                .flows
+                .get(&FlowId(f as u32))
+                .map_or(0, |fs| fs.delivered_pkts);
+            delivered * nominals[f]
+        })
+        .sum();
+    AdversaryPoint {
+        topo: topo_name,
+        attack,
+        intensity,
+        scheme: scheme.label(),
+        injected: stats.injected,
+        delivered: stats.delivered,
+        dropped: stats.dropped(),
+        reachability: stats.delivery_ratio(),
+        stretch: stats.total_hops as f64 / nominal_total as f64,
+        corrupted_residue_drops: stats.dropped_for(DropReason::CorruptedResidue),
+        adversary_drops: stats.dropped_for(DropReason::AdversaryDrop),
+        byzantine_misforwards: stats.byzantine_misforwards,
+        byzantine_corruptions: stats.byzantine_corruptions,
+        byzantine_drops: stats.byzantine_drops,
+        link_failures: stats.link_failures,
+        link_repairs: stats.link_repairs,
+        recovered_flows,
+        mean_recovery_latency_s,
+    }
+}
+
+/// The flow set of one topology: every attack runs the same multi-flow
+/// workload so reachability aggregates over independent paths.
+pub fn flow_set(topo: &Topology, topo_name: &str) -> Vec<(NodeId, NodeId)> {
+    let pairs: &[(&str, &str)] = match topo_name {
+        "topo15" => &[
+            ("AS1", "AS3"),
+            ("AS3", "AS1"),
+            ("AS1", "AS2"),
+            ("AS2", "AS3"),
+        ],
+        "rnp28" => &[
+            ("E_BV", "E_SP"),
+            ("E_SP", "E_BV"),
+            ("E_BH", "E_113"),
+            ("E_113", "E_BH"),
+        ],
+        other => unreachable!("unknown topology {other}"),
+    };
+    pairs
+        .iter()
+        .map(|&(s, d)| (topo.expect(s), topo.expect(d)))
+        .collect()
+}
+
+/// Runs the attack × intensity × scheme grid on one topology across
+/// `jobs` workers (byte-identical results at any job count).
+pub fn run_topology(
+    topo: &Topology,
+    topo_name: &'static str,
+    cfg: &AdversaryConfig,
+    jobs: usize,
+) -> Vec<AdversaryPoint> {
+    let flows = flow_set(topo, topo_name);
+    let grid: Vec<(AttackKind, u32, SchemeSpec)> = AttackKind::ALL
+        .into_iter()
+        .flat_map(|a| {
+            cfg.intensities
+                .iter()
+                .flat_map(move |&n| schemes().into_iter().map(move |s| (a, n, s)))
+        })
+        .collect();
+    run_map(&grid, jobs, |&(attack, intensity, scheme)| {
+        run_point(topo, topo_name, &flows, attack, intensity, scheme, cfg)
+    })
+}
+
+/// Runs the full suite on the paper's two topologies.
+pub fn run(cfg: &AdversaryConfig, jobs: usize) -> Vec<AdversaryPoint> {
+    let mut out = run_topology(&topo15::build(), "topo15", cfg, jobs);
+    out.extend(run_topology(&rnp28::build(), "rnp28", cfg, jobs));
+    out
+}
+
+/// Mean reachability of the targeted campaign vs its matched-intensity
+/// random control, per `(topology, intensity)` — positive `gap` means
+/// the targeted attack degrades reachability faster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GapReport {
+    /// Topology name.
+    pub topo: &'static str,
+    /// Attack intensity.
+    pub intensity: u32,
+    /// Mean reachability under [`AttackKind::TargetedLinks`].
+    pub targeted: f64,
+    /// Mean reachability under [`AttackKind::RandomLinks`].
+    pub random: f64,
+    /// `random - targeted`.
+    pub gap: f64,
+}
+
+/// Computes the targeted-vs-random gap over all schemes of each
+/// `(topology, intensity)` cell present in `points`.
+pub fn targeted_vs_random(points: &[AdversaryPoint]) -> Vec<GapReport> {
+    let mut keys: Vec<(&'static str, u32)> = points
+        .iter()
+        .filter(|p| p.attack == AttackKind::TargetedLinks)
+        .map(|p| (p.topo, p.intensity))
+        .collect();
+    keys.dedup();
+    keys.sort();
+    keys.dedup();
+    let mean = |topo: &str, n: u32, attack: AttackKind| -> f64 {
+        let vals: Vec<f64> = points
+            .iter()
+            .filter(|p| p.topo == topo && p.intensity == n && p.attack == attack)
+            .map(|p| p.reachability)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    keys.into_iter()
+        .map(|(topo, n)| {
+            let targeted = mean(topo, n, AttackKind::TargetedLinks);
+            let random = mean(topo, n, AttackKind::RandomLinks);
+            GapReport {
+                topo,
+                intensity: n,
+                targeted,
+                random,
+                gap: random - targeted,
+            }
+        })
+        .collect()
+}
+
+/// Renders the grid and gap summary as markdown tables.
+pub fn render(points: &[AdversaryPoint], gaps: &[GapReport]) -> String {
+    let mut out = String::from(
+        "Adversarial & churn suite — reachability under attack\n\
+         | topo | attack | n | scheme | delivered | reach | stretch | byz (misfwd/corrupt/drop) | corrupt detected | failures/repairs | recovered | mean recovery |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for p in points {
+        out.push_str(&row(&[
+            p.topo.to_string(),
+            p.attack.label().to_string(),
+            format!("{}", p.intensity),
+            p.scheme.clone(),
+            format!("{}/{}", p.delivered, p.injected),
+            format!("{:.3}", p.reachability),
+            if p.stretch.is_finite() {
+                format!("{:.2}", p.stretch)
+            } else {
+                "-".to_string()
+            },
+            format!(
+                "{}/{}/{}",
+                p.byzantine_misforwards, p.byzantine_corruptions, p.adversary_drops
+            ),
+            format!("{}", p.corrupted_residue_drops),
+            format!("{}/{}", p.link_failures, p.link_repairs),
+            format!("{}", p.recovered_flows),
+            if p.recovered_flows == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.2} ms", p.mean_recovery_latency_s * 1e3)
+            },
+        ]));
+        out.push('\n');
+    }
+    out.push_str(
+        "\nTargeted vs random campaigns (mean reachability over all schemes)\n\
+         | topo | n | targeted | random | gap |\n\
+         |---|---|---|---|---|\n",
+    );
+    for g in gaps {
+        out.push_str(&row(&[
+            g.topo.to_string(),
+            format!("{}", g.intensity),
+            format!("{:.3}", g.targeted),
+            format!("{:.3}", g.random),
+            format!("{:+.3}", g.gap),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes the sweep as the `BENCH_adversary.json` document. No
+/// wall-clock fields: a pure function of the configuration,
+/// byte-identical across runs and machines, committed at the repository
+/// root so shifts in the attack-resilience frontier show up in review
+/// diffs.
+pub fn to_json(points: &[AdversaryPoint], gaps: &[GapReport]) -> String {
+    let mut o = String::from("{\n\"experiment\":\"adversary\",\n\"cells\":[\n");
+    for (i, p) in points.iter().enumerate() {
+        o.push('{');
+        write!(
+            o,
+            "\"topo\":\"{}\",\"attack\":\"{}\",\"intensity\":{},\"scheme\":\"{}\",\
+             \"injected\":{},\"delivered\":{},\"dropped\":{},\"reachability\":{},\
+             \"stretch\":{},\"corrupted_residue_drops\":{},\"adversary_drops\":{},\
+             \"byzantine_misforwards\":{},\"byzantine_corruptions\":{},\
+             \"byzantine_drops\":{},\
+             \"link_failures\":{},\"link_repairs\":{},\"recovered_flows\":{},\
+             \"mean_recovery_latency_s\":{}",
+            p.topo,
+            p.attack,
+            p.intensity,
+            json_escape(&p.scheme),
+            p.injected,
+            p.delivered,
+            p.dropped,
+            json_f64(p.reachability),
+            json_f64(p.stretch),
+            p.corrupted_residue_drops,
+            p.adversary_drops,
+            p.byzantine_misforwards,
+            p.byzantine_corruptions,
+            p.byzantine_drops,
+            p.link_failures,
+            p.link_repairs,
+            p.recovered_flows,
+            json_f64(p.mean_recovery_latency_s),
+        )
+        .unwrap();
+        o.push('}');
+        if i + 1 < points.len() {
+            o.push(',');
+        }
+        o.push('\n');
+    }
+    o.push_str("],\n\"targeted_vs_random\":[\n");
+    for (i, g) in gaps.iter().enumerate() {
+        write!(
+            o,
+            "{{\"topo\":\"{}\",\"intensity\":{},\"targeted\":{},\"random\":{},\"gap\":{}}}",
+            g.topo,
+            g.intensity,
+            json_f64(g.targeted),
+            json_f64(g.random),
+            json_f64(g.gap),
+        )
+        .unwrap();
+        if i + 1 < gaps.len() {
+            o.push(',');
+        }
+        o.push('\n');
+    }
+    o.push_str("]}\n");
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A grid small enough for debug-mode CI: one intensity, topo15.
+    fn quick() -> AdversaryConfig {
+        AdversaryConfig {
+            probes: 40,
+            intensities: vec![1],
+            ..AdversaryConfig::default()
+        }
+    }
+
+    #[test]
+    fn grid_covers_attacks_and_schemes() {
+        let topo = topo15::build();
+        let cfg = quick();
+        let points = run_topology(&topo, "topo15", &cfg, 2);
+        assert_eq!(points.len(), AttackKind::ALL.len() * schemes().len());
+        for p in &points {
+            assert_eq!(p.injected, 40 * 4, "{}", p.digest());
+            assert_eq!(p.injected, p.delivered + p.dropped, "{}", p.digest());
+            assert!((0.0..=1.0).contains(&p.reachability), "{}", p.digest());
+        }
+    }
+
+    #[test]
+    fn parallel_grid_is_byte_identical_to_serial() {
+        let topo = topo15::build();
+        let cfg = quick();
+        let serial = run_topology(&topo, "topo15", &cfg, 1);
+        let parallel = run_topology(&topo, "topo15", &cfg, 4);
+        let s: Vec<String> = serial.iter().map(AdversaryPoint::digest).collect();
+        let p: Vec<String> = parallel.iter().map(AdversaryPoint::digest).collect();
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    fn byzantine_attacks_register_on_the_right_counters() {
+        let topo = topo15::build();
+        let flows = flow_set(&topo, "topo15");
+        let cfg = quick();
+        let nip = SchemeSpec::Kar {
+            technique: DeflectionTechnique::Nip,
+            protection: "none",
+        };
+        let drop = run_point(&topo, "topo15", &flows, AttackKind::ByzDrop, 1, nip, &cfg);
+        assert!(drop.adversary_drops > 0, "{}", drop.digest());
+        assert_eq!(drop.adversary_drops, drop.byzantine_drops);
+        // Deflecting techniques absorb a tampered residue as a
+        // deflection, so corruption surfaces as path stretch, not drops.
+        let corrupt = run_point(
+            &topo,
+            "topo15",
+            &flows,
+            AttackKind::ByzCorrupt,
+            1,
+            nip,
+            &cfg,
+        );
+        assert!(corrupt.byzantine_corruptions > 0, "{}", corrupt.digest());
+        assert!(
+            corrupt.stretch > 1.5,
+            "corruption under NIP shows up as detours: {}",
+            corrupt.digest()
+        );
+        // The drop-on-failure plane is where the residue range check
+        // actually classifies tampering (DropReason::CorruptedResidue).
+        let plain = SchemeSpec::Kar {
+            technique: DeflectionTechnique::None,
+            protection: "none",
+        };
+        let caught = run_point(
+            &topo,
+            "topo15",
+            &flows,
+            AttackKind::ByzCorrupt,
+            1,
+            plain,
+            &cfg,
+        );
+        assert!(
+            caught.corrupted_residue_drops > 0,
+            "tampered residues must trip the range check: {}",
+            caught.digest()
+        );
+        let misfwd = run_point(
+            &topo,
+            "topo15",
+            &flows,
+            AttackKind::ByzMisforward,
+            1,
+            nip,
+            &cfg,
+        );
+        assert!(misfwd.byzantine_misforwards > 0, "{}", misfwd.digest());
+    }
+
+    #[test]
+    fn attack_traces_are_scheme_independent() {
+        let topo = topo15::build();
+        let cfg = quick();
+        let seed = attack_seed(&cfg, "topo15", AttackKind::TargetedLinks, 2);
+        let a = attack_plan(&topo, AttackKind::TargetedLinks, 2, seed).unwrap();
+        let b = attack_plan(&topo, AttackKind::TargetedLinks, 2, seed).unwrap();
+        assert_eq!(a.compile(&topo), b.compile(&topo));
+        // Random campaigns match the targeted intensity: same number of
+        // failure events on the same schedule.
+        let r = attack_plan(&topo, AttackKind::RandomLinks, 2, seed).unwrap();
+        let targeted = a.compile(&topo);
+        let random = r.compile(&topo);
+        assert_eq!(targeted.len(), random.len());
+        for (t, r) in targeted.iter().zip(random.iter()) {
+            assert_eq!(t.at, r.at, "matched schedule");
+        }
+    }
+
+    #[test]
+    fn gap_report_covers_every_cell_once() {
+        let topo = topo15::build();
+        let cfg = quick();
+        let points = run_topology(&topo, "topo15", &cfg, 2);
+        let gaps = targeted_vs_random(&points);
+        assert_eq!(gaps.len(), 1);
+        assert_eq!(gaps[0].topo, "topo15");
+        assert_eq!(gaps[0].intensity, 1);
+        assert!((gaps[0].gap - (gaps[0].random - gaps[0].targeted)).abs() < 1e-12);
+        let json = to_json(&points, &gaps);
+        assert!(json.contains("\"targeted_vs_random\":["));
+        assert!(json.contains("\"experiment\":\"adversary\""));
+        assert!(!render(&points, &gaps).is_empty());
+    }
+}

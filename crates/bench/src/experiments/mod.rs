@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure plus our extensions.
 
 pub mod ablation;
+pub mod adversary;
 pub mod breaking;
 pub mod cc_ablation;
 pub mod detection;

@@ -192,6 +192,72 @@ impl DynamicRecord {
     }
 }
 
+/// Telemetry of one adversarial grid point (the `fig_adversary`
+/// experiment: targeted/random failure campaigns, Byzantine switches
+/// and rolling churn against KAR and the table-based baselines).
+#[derive(Debug, Clone)]
+pub struct AdversaryRecord {
+    /// Experiment name (`"fig_adversary"`).
+    pub experiment: String,
+    /// Topology name (`"topo15"`, `"rnp28"`).
+    pub topo: String,
+    /// Attack-kind label (`"targeted-links"`, `"byz-corrupt"`, …).
+    pub attack: String,
+    /// Attack intensity `n`.
+    pub intensity: u32,
+    /// Scheme label (`"NIP/full"`, `"FastFailover"`, …).
+    pub scheme: String,
+    /// Probes injected across all flows.
+    pub injected: u64,
+    /// Probes delivered.
+    pub delivered: u64,
+    /// Delivered / injected.
+    pub reachability: f64,
+    /// Mean hops relative to fault-free shortest paths.
+    pub stretch: f64,
+    /// Tampered residues the range check caught.
+    pub corrupted_residue_drops: u64,
+    /// Packets silently discarded by Byzantine switches.
+    pub adversary_drops: u64,
+    /// Flows the controller re-encoded onto a detour.
+    pub recovered_flows: usize,
+    /// Mean detection → recovered-traffic latency in seconds.
+    pub mean_recovery_latency_s: f64,
+}
+
+impl AdversaryRecord {
+    /// Serializes as one JSON object on a single line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        write!(out, "\"experiment\":\"{}\"", escape(&self.experiment)).unwrap();
+        write!(out, ",\"topo\":\"{}\"", escape(&self.topo)).unwrap();
+        write!(out, ",\"attack\":\"{}\"", escape(&self.attack)).unwrap();
+        write!(out, ",\"intensity\":{}", self.intensity).unwrap();
+        write!(out, ",\"scheme\":\"{}\"", escape(&self.scheme)).unwrap();
+        write!(out, ",\"injected\":{}", self.injected).unwrap();
+        write!(out, ",\"delivered\":{}", self.delivered).unwrap();
+        write!(out, ",\"reachability\":{}", json_f64(self.reachability)).unwrap();
+        write!(out, ",\"stretch\":{}", json_f64(self.stretch)).unwrap();
+        write!(
+            out,
+            ",\"corrupted_residue_drops\":{}",
+            self.corrupted_residue_drops
+        )
+        .unwrap();
+        write!(out, ",\"adversary_drops\":{}", self.adversary_drops).unwrap();
+        write!(out, ",\"recovered_flows\":{}", self.recovered_flows).unwrap();
+        write!(
+            out,
+            ",\"mean_recovery_latency_s\":{}",
+            json_f64(self.mean_recovery_latency_s)
+        )
+        .unwrap();
+        out.push('}');
+        out
+    }
+}
+
 /// Anything that can serialize itself as one JSON line.
 pub trait JsonLine {
     /// Serializes as one JSON object on a single line.
@@ -205,6 +271,12 @@ impl JsonLine for RunRecord {
 }
 
 impl JsonLine for DynamicRecord {
+    fn json_line(&self) -> String {
+        self.to_json()
+    }
+}
+
+impl JsonLine for AdversaryRecord {
     fn json_line(&self) -> String {
         self.to_json()
     }

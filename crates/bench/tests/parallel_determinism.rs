@@ -83,3 +83,30 @@ fn encoding_cache_does_not_change_results() {
     let stats = cache.stats();
     assert!(stats.hits > 0, "replay must hit the cache: {stats:?}");
 }
+
+/// The adversarial grid — rolling churn included, whose Poisson trains
+/// are the newest source of compiled-in randomness — is byte-identical
+/// at any job count, like every other sweep. Churn plans re-expand
+/// per worker, so this also pins that `FaultPlan::compile` is a pure
+/// function of `(plan, topology)` under concurrency.
+#[test]
+fn adversary_grid_is_byte_identical_across_jobs() {
+    use kar_bench::experiments::adversary::{self, AdversaryConfig};
+    let topo = topo15::build();
+    let cfg = AdversaryConfig {
+        probes: 30,
+        intensities: vec![1, 2],
+        ..AdversaryConfig::default()
+    };
+    let serial = adversary::run_topology(&topo, "topo15", &cfg, 1);
+    let parallel = adversary::run_topology(&topo, "topo15", &cfg, 4);
+    let s: Vec<String> = serial.iter().map(|p| p.digest()).collect();
+    let p: Vec<String> = parallel.iter().map(|p| p.digest()).collect();
+    assert_eq!(s, p);
+    // The JSON document the binary commits inherits the property.
+    let gaps = adversary::targeted_vs_random(&serial);
+    assert_eq!(
+        adversary::to_json(&serial, &gaps),
+        adversary::to_json(&parallel, &adversary::targeted_vs_random(&parallel))
+    );
+}

@@ -264,6 +264,7 @@ mod tests {
             ports,
             now: SimTime::ZERO,
             reducer: None,
+            behavior: kar_simnet::Behavior::Honest,
         }
     }
 

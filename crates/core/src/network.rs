@@ -17,7 +17,7 @@ use crate::protection::Protection;
 use crate::recovery::{RecoveringController, RecoveryConfig, RecoveryLog};
 use crate::route::EncodedRoute;
 use kar_obs::{Entity, ObsHandle, Profiler};
-use kar_simnet::{EdgeLogic, Sim, SimConfig};
+use kar_simnet::{Behavior, EdgeLogic, Sim, SimConfig};
 use kar_topology::{paths, NodeId, Topology};
 use std::sync::{Arc, Mutex};
 
@@ -50,6 +50,7 @@ pub struct KarNetworkBuilder<'t> {
     reroute: ReroutePolicy,
     cache: Option<Arc<EncodingCache>>,
     recovery: Option<RecoveryConfig>,
+    byzantine: Vec<(NodeId, Behavior)>,
     obs: ObsHandle,
     profiler: Option<Arc<Profiler>>,
 }
@@ -64,6 +65,7 @@ impl<'t> KarNetworkBuilder<'t> {
             reroute: ReroutePolicy::default(),
             cache: None,
             recovery: None,
+            byzantine: Vec::new(),
             obs: ObsHandle::disabled(),
             profiler: None,
         }
@@ -125,6 +127,15 @@ impl<'t> KarNetworkBuilder<'t> {
         self
     }
 
+    /// Declares `node` a Byzantine switch with the given [`Behavior`]
+    /// (accumulates across calls; the last behavior set for a node
+    /// wins). Honest-only configurations never call this, keeping them
+    /// byte-identical to the pre-adversary engine.
+    pub fn byzantine(mut self, node: NodeId, behavior: Behavior) -> Self {
+        self.byzantine.push((node, behavior));
+        self
+    }
+
     /// Attaches an observability bundle (see [`kar_obs`]). Pure
     /// observation — a run with observability attached is byte-identical
     /// to one without. Set it before installing routes so install-time
@@ -167,6 +178,7 @@ impl<'t> KarNetworkBuilder<'t> {
             reroute: self.reroute,
             cache: self.cache,
             recovery,
+            byzantine: self.byzantine,
             installed: Vec::new(),
             obs: self.obs,
             profiler: self.profiler,
@@ -190,6 +202,7 @@ pub struct KarNetwork<'t> {
     reroute: ReroutePolicy,
     cache: Option<Arc<EncodingCache>>,
     recovery: Option<(RecoveryConfig, Arc<Mutex<RecoveryLog>>)>,
+    byzantine: Vec<(NodeId, Behavior)>,
     installed: Vec<(Vec<NodeId>, Protection)>,
     obs: ObsHandle,
     profiler: Option<Arc<Profiler>>,
@@ -430,6 +443,9 @@ impl<'t> KarNetwork<'t> {
         sim.attach_obs(&self.obs);
         if let Some(profiler) = self.profiler {
             sim.attach_profiler(profiler);
+        }
+        for (node, behavior) in self.byzantine {
+            sim.set_behavior(node, behavior);
         }
         sim
     }

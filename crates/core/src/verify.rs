@@ -941,13 +941,74 @@ pub fn check_trajectory(
             path[1]
         ));
     }
-    let mut frontier = vec![State {
+    let frontier = vec![State {
         node: first,
         in_port: topo.link(uplink).port_on(first),
         deflected: false,
     }];
+    walk_frontier(topo, route, dst, technique, failed, frontier, path, 2, end)
+}
+
+/// Checks a traced path *suffix* beginning at a core switch against the
+/// move relation, from an explicit starting state.
+///
+/// [`check_trajectory`] always enters the network through `route`'s
+/// ingress uplink; this variant instead seeds the NFA at `path[0]` (a
+/// core switch) with the given input port and deflection flag. It
+/// exists for the Byzantine fixtures: a misforwarding switch pushes a
+/// packet out a port the honest algorithm never chose, and the claim to
+/// verify is that the *rest* of the journey still satisfies the move
+/// relation from that wrong ingress state — honest switches stay honest
+/// even on adversarially delivered inputs.
+#[allow(clippy::too_many_arguments)] // mirrors check_trajectory's surface
+pub fn check_trajectory_from(
+    topo: &Topology,
+    route: &EncodedRoute,
+    dst: NodeId,
+    technique: DeflectionTechnique,
+    failed: &HashSet<LinkId>,
+    in_port: PortIx,
+    deflected: bool,
+    path: &[NodeId],
+    end: TrajectoryEnd,
+) -> Result<(), String> {
+    let Some(&start) = path.first() else {
+        return Err("suffix path must contain its starting switch".into());
+    };
+    if topo.switch_id(start).is_none() {
+        return Err(format!("suffix must start at a core switch, got {start:?}"));
+    }
+    if (in_port as usize) >= topo.node(start).ports.len() {
+        return Err(format!(
+            "in_port {in_port} out of range at {start:?} ({} ports)",
+            topo.node(start).ports.len()
+        ));
+    }
+    let frontier = vec![State {
+        node: start,
+        in_port,
+        deflected,
+    }];
+    walk_frontier(topo, route, dst, technique, failed, frontier, path, 1, end)
+}
+
+/// The shared NFA walk: advances `frontier` along `path[skip..]`,
+/// demanding every observed hop (and the claimed end) is explained by
+/// at least one consistent `(switch, in-port, deflected)` state.
+#[allow(clippy::too_many_arguments)]
+fn walk_frontier(
+    topo: &Topology,
+    route: &EncodedRoute,
+    dst: NodeId,
+    technique: DeflectionTechnique,
+    failed: &HashSet<LinkId>,
+    mut frontier: Vec<State>,
+    path: &[NodeId],
+    skip: usize,
+    end: TrajectoryEnd,
+) -> Result<(), String> {
     let mut terminal: Option<Terminal> = None;
-    for (i, &next) in path.iter().enumerate().skip(2) {
+    for (i, &next) in path.iter().enumerate().skip(skip) {
         if terminal.is_some() {
             return Err(format!("path continues past an edge at hop {}", i - 1));
         }
@@ -1259,6 +1320,7 @@ mod tests {
                                 ports: &statuses,
                                 now: kar_simnet::SimTime::ZERO,
                                 reducer: None,
+                                behavior: kar_simnet::Behavior::Honest,
                             };
                             match fwd.forward(&ctx, &mut pkt, &mut rng) {
                                 ForwardDecision::Output(p) => {

@@ -1,0 +1,98 @@
+//! Byzantine switch behaviors for adversarial scenarios.
+//!
+//! The paper's threat model is benign — links fail, switches stay
+//! faithful. This module relaxes that: each core switch can be assigned
+//! a [`Behavior`] describing how it deviates from the forwarding
+//! algorithm. The engine interposes the behavior *around* the
+//! [`Forwarder`](crate::Forwarder) so a Byzantine switch subverts any
+//! dataplane (KAR or the table baselines) identically.
+//!
+//! The hard invariant: a configuration where every switch is
+//! [`Behavior::Honest`] (the default) executes the exact same code path
+//! — and draws the exact same RNG sequence — as an engine without the
+//! adversary model, so honest runs are byte-identical to the
+//! pre-adversary tree (enforced by `crates/bench/tests/
+//! adversary_determinism.rs`).
+
+/// How a core switch treats packets passing through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Behavior {
+    /// Runs the configured forwarder faithfully (the default).
+    #[default]
+    Honest,
+    /// Ignores the forwarder and emits every packet out of a uniformly
+    /// random healthy port — the misrouting attacker. Downstream honest
+    /// switches see a packet whose residue no longer matches the link it
+    /// arrived on.
+    Misforward,
+    /// Forwards where the honest algorithm says, but rewrites the
+    /// packet's route-ID tag to a random value in flight — the
+    /// header-tampering attacker. Downstream residues are garbage: some
+    /// land in range (silent misroutes), some fall outside every port's
+    /// range and surface as
+    /// [`DropReason::CorruptedResidue`](crate::DropReason::CorruptedResidue).
+    CorruptResidue,
+    /// Silently discards every transiting packet — the blackhole
+    /// attacker. Distinguished from link failures by the
+    /// `adversary-drop` reason so reachability loss is attributable.
+    DropSilently,
+}
+
+impl Behavior {
+    /// Every behavior, in declaration order.
+    pub const ALL: [Behavior; 4] = [
+        Behavior::Honest,
+        Behavior::Misforward,
+        Behavior::CorruptResidue,
+        Behavior::DropSilently,
+    ];
+
+    /// Stable kebab-case name (used in metric labels and experiment
+    /// output).
+    pub fn label(self) -> &'static str {
+        match self {
+            Behavior::Honest => "honest",
+            Behavior::Misforward => "misforward",
+            Behavior::CorruptResidue => "corrupt-residue",
+            Behavior::DropSilently => "drop-silently",
+        }
+    }
+
+    /// `true` for every behavior except [`Behavior::Honest`].
+    pub fn is_byzantine(self) -> bool {
+        self != Behavior::Honest
+    }
+}
+
+impl std::fmt::Display for Behavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_honest() {
+        assert_eq!(Behavior::default(), Behavior::Honest);
+        assert!(!Behavior::default().is_byzantine());
+    }
+
+    #[test]
+    fn labels_are_distinct_and_kebab() {
+        let mut seen = std::collections::HashSet::new();
+        for b in Behavior::ALL {
+            let l = b.label();
+            assert!(seen.insert(l), "duplicate label {l}");
+            assert!(
+                l.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "label {l} not kebab-case"
+            );
+            assert_eq!(b.to_string(), l);
+            assert_eq!(b.is_byzantine(), b != Behavior::Honest);
+        }
+        assert_eq!(seen.len(), Behavior::ALL.len());
+    }
+}

@@ -14,7 +14,7 @@ use crate::time::SimTime;
 use kar_topology::{LinkId, NodeId, NodeKind, Topology};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use std::collections::BTreeSet;
 
 /// One authored clause of a plan (expanded by [`FaultPlan::compile`]).
@@ -44,6 +44,18 @@ enum Clause {
         node: NodeId,
         at: SimTime,
         repair_after: Option<SimTime>,
+    },
+    Campaign {
+        links: Vec<LinkId>,
+        start: SimTime,
+        interval: SimTime,
+    },
+    Churn {
+        links: Vec<LinkId>,
+        start: SimTime,
+        horizon: SimTime,
+        mean_gap: SimTime,
+        mean_downtime: SimTime,
     },
 }
 
@@ -168,6 +180,51 @@ impl FaultPlan {
         self
     }
 
+    /// A failure campaign: `links[i]` goes down at `start + i·interval`
+    /// and never comes back. The caller fixes the order — descending
+    /// edge betweenness for a targeted attack
+    /// (`kar_topology::analysis::ranked_links`), or a seeded shuffle for
+    /// the random campaign of matched intensity.
+    pub fn campaign(mut self, links: Vec<LinkId>, start: SimTime, interval: SimTime) -> Self {
+        self.clauses.push(Clause::Campaign {
+            links,
+            start,
+            interval,
+        });
+        self
+    }
+
+    /// Sustained rolling churn: each link in `links` independently
+    /// alternates up → down → up in a Poisson process — healthy periods
+    /// are exponential with mean `mean_gap`, outages exponential with
+    /// mean `mean_downtime` — from `start` until `horizon` past it. No
+    /// new outage begins after the horizon and every outage begun is
+    /// eventually repaired, so the network always converges back to
+    /// fully up. All draws come from the plan's seeded RNG in link
+    /// order: compilation stays a pure function of `(plan, topo)`.
+    pub fn churn(
+        mut self,
+        links: Vec<LinkId>,
+        start: SimTime,
+        horizon: SimTime,
+        mean_gap: SimTime,
+        mean_downtime: SimTime,
+    ) -> Self {
+        assert!(mean_gap > SimTime::ZERO, "mean gap must be positive");
+        assert!(
+            mean_downtime > SimTime::ZERO,
+            "mean downtime must be positive"
+        );
+        self.clauses.push(Clause::Churn {
+            links,
+            start,
+            horizon,
+            mean_gap,
+            mean_downtime,
+        });
+        self
+    }
+
     /// Expands every clause into a time-sorted event train. Pure: the
     /// same `(plan, topo)` always compiles to the same events.
     pub fn compile(&self, topo: &Topology) -> Vec<FaultEvent> {
@@ -222,6 +279,33 @@ impl FaultPlan {
                         }
                     }
                 }
+                Clause::Campaign {
+                    links,
+                    start,
+                    interval,
+                } => {
+                    for (i, &l) in links.iter().enumerate() {
+                        events.push((*start + SimTime(interval.0 * i as u64), l, false));
+                    }
+                }
+                Clause::Churn {
+                    links,
+                    start,
+                    horizon,
+                    mean_gap,
+                    mean_downtime,
+                } => {
+                    let end = *start + *horizon;
+                    for &l in links {
+                        let mut t = *start + exp_sample(&mut rng, *mean_gap);
+                        while t < end {
+                            let up_at = t + exp_sample(&mut rng, *mean_downtime);
+                            events.push((t, l, false));
+                            events.push((up_at, l, true));
+                            t = up_at + exp_sample(&mut rng, *mean_gap);
+                        }
+                    }
+                }
             }
         }
         let mut events: Vec<FaultEvent> = events
@@ -233,8 +317,11 @@ impl FaultPlan {
                 detection: self.detection_for(&mut rng),
             })
             .collect();
-        // Stable: simultaneous events keep clause order.
-        events.sort_by_key(|e| e.at);
+        // `(time, link)` ties resolve down-before-up (`false < true`),
+        // never by clause insertion order — a repair clause colliding
+        // with a scheduled failure at the same instant must lose
+        // deterministically, whichever was authored first.
+        events.sort_by_key(|e| (e.at, e.link.0, e.up));
         events
     }
 
@@ -265,6 +352,16 @@ impl FaultPlan {
         };
         Some(base + jitter)
     }
+}
+
+/// One exponential draw with the given mean, floored at 1 ns so churn
+/// trains always advance. The vendored RNG has no float sampling, so the
+/// unit uniform is built from the top 53 bits of one `next_u64` (exactly
+/// the resolution an `f64` mantissa offers) and inverted through the
+/// exponential CDF.
+fn exp_sample(rng: &mut StdRng, mean: SimTime) -> SimTime {
+    let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    SimTime(((-(mean.0 as f64)) * (1.0 - unit).ln()).max(1.0) as u64)
 }
 
 /// Shared-risk link groups of `topo` under the conduit/linecard model:
@@ -540,6 +637,70 @@ mod tests {
         assert_eq!(sim.stats().delivered, 1);
         assert_eq!(sim.stats().link_failures, 1);
         assert_eq!(sim.stats().link_repairs, 1);
+    }
+
+    #[test]
+    fn campaign_fails_links_in_order_without_repair() {
+        let (topo, _) = line_world();
+        let l0 = topo.expect_link("S", "SW4");
+        let l1 = topo.expect_link("SW4", "SW7");
+        let plan = FaultPlan::new(1).campaign(
+            vec![l1, l0],
+            SimTime::from_millis(10),
+            SimTime::from_millis(5),
+        );
+        let evs = plan.compile(&topo);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(
+            (evs[0].at, evs[0].link, evs[0].up),
+            (SimTime::from_millis(10), l1, false)
+        );
+        assert_eq!(
+            (evs[1].at, evs[1].link, evs[1].up),
+            (SimTime::from_millis(15), l0, false)
+        );
+    }
+
+    #[test]
+    fn churn_alternates_and_always_repairs() {
+        let (topo, _) = line_world();
+        let l0 = topo.expect_link("S", "SW4");
+        let l1 = topo.expect_link("SW4", "SW7");
+        let plan = FaultPlan::new(7).churn(
+            vec![l0, l1],
+            SimTime::from_millis(1),
+            SimTime::from_millis(200),
+            SimTime::from_millis(10),
+            SimTime::from_millis(5),
+        );
+        let evs = plan.compile(&topo);
+        assert!(!evs.is_empty(), "200 ms at mean gap 10 ms must churn");
+        assert_eq!(plan.compile(&topo), evs, "churn compiles are pure");
+        let end = SimTime::from_millis(201);
+        for link in [l0, l1] {
+            let train: Vec<_> = evs.iter().filter(|e| e.link == link).collect();
+            // Strictly alternating down/up per link, each outage repaired.
+            assert_eq!(train.len() % 2, 0);
+            for (i, e) in train.iter().enumerate() {
+                assert_eq!(e.up, i % 2 == 1, "event {i} of {link:?}");
+            }
+            for pair in train.chunks(2) {
+                assert!(pair[0].at < pair[1].at);
+                assert!(pair[0].at < end, "no outage begins after the horizon");
+            }
+        }
+    }
+
+    #[test]
+    fn same_time_ties_resolve_down_before_up_regardless_of_clause_order() {
+        let (topo, _) = line_world();
+        let l = topo.expect_link("SW4", "SW7");
+        let at = SimTime::from_millis(3);
+        // Repair authored first, failure second — and the reverse.
+        let a = FaultPlan::new(1).repair(l, at).fail(l, at).compile(&topo);
+        let b = FaultPlan::new(1).fail(l, at).repair(l, at).compile(&topo);
+        assert_eq!(a, b, "tie resolution must not depend on clause order");
+        assert!(!a[0].up && a[1].up, "down sorts before up");
     }
 
     #[test]

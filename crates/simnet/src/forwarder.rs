@@ -9,6 +9,7 @@
 //! (modulo forwarding with HP/AVP/NIP deflection) and in `kar-baselines`
 //! (drop-on-failure, table-based fast failover, …).
 
+use crate::adversary::Behavior;
 use crate::packet::{Packet, RouteTag};
 use crate::time::SimTime;
 use kar_rns::Reducer;
@@ -33,6 +34,12 @@ pub struct SwitchCtx<'a> {
     /// Precomputed reduction constants for `switch_id` (the fast-path
     /// dataplane; `None` falls back to plain division, bit-identically).
     pub reducer: Option<&'a Reducer>,
+    /// This switch's assigned (possibly Byzantine) behavior. The engine
+    /// enforces it *around* the forwarder call; it is surfaced here so
+    /// forwarders and inspectors can observe which switches are
+    /// declared adversarial. Always [`Behavior::Honest`] unless the
+    /// scenario configured otherwise.
+    pub behavior: Behavior,
 }
 
 impl SwitchCtx<'_> {
@@ -90,6 +97,14 @@ pub enum DropReason {
     /// encoded for this switch (e.g. a deflected packet at a foreign
     /// switch under the no-deflection dataplane).
     ResidueOutOfRange,
+    /// Same symptom as [`DropReason::ResidueOutOfRange`], but the tag
+    /// was tampered with by a Byzantine switch upstream — the residue is
+    /// garbage, not a routing mistake. Split out so corruption is
+    /// detectable in the drop tables.
+    CorruptedResidue,
+    /// A Byzantine switch ([`Behavior::DropSilently`]) discarded the
+    /// packet in transit.
+    AdversaryDrop,
     /// The hop budget ran out (possible with random deflection loops).
     TtlExpired,
     /// A drop-tail queue was full.
@@ -110,6 +125,8 @@ impl DropReason {
             DropReason::MissingTag => "missing-tag",
             DropReason::PortDown => "port-down",
             DropReason::ResidueOutOfRange => "residue-out-of-range",
+            DropReason::CorruptedResidue => "corrupted-residue",
+            DropReason::AdversaryDrop => "adversary-drop",
             DropReason::TtlExpired => "ttl-expired",
             DropReason::QueueOverflow => "queue-overflow",
             DropReason::LinkFailure => "link-failure",
@@ -120,11 +137,13 @@ impl DropReason {
 
     /// Every reason, in declaration order (drives `kar-inspect`'s drop
     /// table and the verifier's counters).
-    pub const ALL: [DropReason; 9] = [
+    pub const ALL: [DropReason; 11] = [
         DropReason::NoRoute,
         DropReason::MissingTag,
         DropReason::PortDown,
         DropReason::ResidueOutOfRange,
+        DropReason::CorruptedResidue,
+        DropReason::AdversaryDrop,
         DropReason::TtlExpired,
         DropReason::QueueOverflow,
         DropReason::LinkFailure,
@@ -202,6 +221,7 @@ mod tests {
             ports: &ports,
             now: SimTime::ZERO,
             reducer: None,
+            behavior: Behavior::Honest,
         };
         assert!(ctx.port_available(0));
         assert!(!ctx.port_available(1));
@@ -227,6 +247,7 @@ mod tests {
             ports: &ports,
             now: SimTime::ZERO,
             reducer: None,
+            behavior: Behavior::Honest,
         };
         let fast = SwitchCtx {
             reducer: Some(&reducer),
@@ -245,5 +266,46 @@ mod tests {
     fn drop_reason_display() {
         assert_eq!(DropReason::TtlExpired.to_string(), "ttl-expired");
         assert_eq!(DropReason::QueueOverflow.to_string(), "queue-overflow");
+        assert_eq!(
+            DropReason::CorruptedResidue.to_string(),
+            "corrupted-residue"
+        );
+        assert_eq!(DropReason::AdversaryDrop.to_string(), "adversary-drop");
+    }
+
+    /// `ALL` covers every variant exactly once and each `as_str` name is
+    /// distinct kebab-case — metric names and drop tables key on these
+    /// strings, so a collision or an unlisted variant would silently
+    /// merge or hide a drop class.
+    #[test]
+    fn drop_reason_as_str_is_exhaustive_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for reason in DropReason::ALL {
+            // Exhaustiveness: this match has no wildcard arm, so adding
+            // a variant without extending `ALL` (checked below via the
+            // count) or `as_str` fails to compile.
+            let name = match reason {
+                DropReason::NoRoute
+                | DropReason::MissingTag
+                | DropReason::PortDown
+                | DropReason::ResidueOutOfRange
+                | DropReason::CorruptedResidue
+                | DropReason::AdversaryDrop
+                | DropReason::TtlExpired
+                | DropReason::QueueOverflow
+                | DropReason::LinkFailure
+                | DropReason::BadPort
+                | DropReason::Misdelivery => reason.as_str(),
+            };
+            assert!(seen.insert(name), "duplicate as_str {name}");
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{name} is not kebab-case"
+            );
+        }
+        assert_eq!(seen.len(), DropReason::ALL.len());
+        // ALL itself holds no duplicates.
+        let distinct: std::collections::HashSet<_> = DropReason::ALL.into_iter().collect();
+        assert_eq!(distinct.len(), DropReason::ALL.len());
     }
 }

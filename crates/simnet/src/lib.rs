@@ -8,8 +8,12 @@
 //! * store-and-forward links (rate, propagation delay, drop-tail queues),
 //! * scheduled link failures *and repairs* observed as port status after
 //!   a (possibly jittered) detection delay, with declarative dynamic
-//!   fault processes — flap trains, SRLG groups, node crashes — via
-//!   [`FaultPlan`],
+//!   fault processes — flap trains, SRLG groups, node crashes, targeted
+//!   campaigns and rolling churn — via [`FaultPlan`],
+//! * per-switch Byzantine [`Behavior`]s (misforwarding, residue
+//!   corruption, silent drops) enforced by the engine around any
+//!   dataplane, with all-honest runs byte-identical to a build without
+//!   the adversary model,
 //! * a pluggable core dataplane ([`Forwarder`] — implemented by KAR's
 //!   modulo forwarding + deflection, and by baselines),
 //! * pluggable edge logic ([`EdgeLogic`] — route-ID attachment/stripping
@@ -27,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
 pub mod calendar;
 mod faults;
 mod forwarder;
@@ -39,6 +44,7 @@ mod stats;
 mod time;
 mod trace;
 
+pub use adversary::Behavior;
 pub use calendar::{CalendarEntry, CalendarQueue};
 pub use faults::{sample_srlg_links, srlg_groups, FaultEvent, FaultPlan};
 pub use forwarder::{DropReason, ForwardDecision, Forwarder, SwitchCtx};

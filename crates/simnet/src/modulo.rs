@@ -98,6 +98,7 @@ mod tests {
             ports: &up,
             now: SimTime::ZERO,
             reducer: None,
+            behavior: crate::Behavior::Honest,
         };
         // 8 mod 7 = 1 → port 1.
         assert_eq!(
@@ -146,6 +147,7 @@ mod tests {
             ports: &up,
             now: SimTime::ZERO,
             reducer: None,
+            behavior: crate::Behavior::Honest,
         };
         let fast = SwitchCtx {
             reducer: Some(&reducer),

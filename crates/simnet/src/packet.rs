@@ -57,6 +57,10 @@ pub struct RouteTag {
     /// hot-potato technique, which random-walks after the first
     /// deflection).
     pub deflected: bool,
+    /// Set once a Byzantine switch rewrote `route_id` in flight (via
+    /// [`RouteTag::tamper`]). Lets the engine classify a later
+    /// out-of-range residue as corruption rather than a routing mistake.
+    pub tampered: bool,
     /// `(switch_id, residue)` of the most recent reduction — a pure
     /// cache, excluded from equality/hashing. Deflection loops and
     /// controller bounces revisit switches; the memo makes the repeat
@@ -66,7 +70,9 @@ pub struct RouteTag {
 
 impl PartialEq for RouteTag {
     fn eq(&self, other: &Self) -> bool {
-        self.route_id == other.route_id && self.deflected == other.deflected
+        self.route_id == other.route_id
+            && self.deflected == other.deflected
+            && self.tampered == other.tampered
     }
 }
 impl Eq for RouteTag {}
@@ -74,6 +80,7 @@ impl std::hash::Hash for RouteTag {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         self.route_id.hash(state);
         self.deflected.hash(state);
+        self.tampered.hash(state);
     }
 }
 
@@ -85,8 +92,19 @@ impl RouteTag {
         RouteTag {
             route_id: route_id.into(),
             deflected: false,
+            tampered: false,
             memo: None,
         }
+    }
+
+    /// Replaces the route ID with an attacker-chosen value, marking the
+    /// tag tampered. Clears the residue memo — a memoized residue of the
+    /// old ID must not survive the rewrite — while preserving the
+    /// deflection bit (the attacker only touches the ID field).
+    pub fn tamper(&mut self, new_id: impl Into<Arc<BigUint>>) {
+        self.route_id = new_id.into();
+        self.tampered = true;
+        self.memo = None;
     }
 
     /// The memoized residue for `switch_id`, if this tag was already
@@ -227,8 +245,29 @@ mod tests {
     fn route_tag_starts_undeflected() {
         let tag = RouteTag::new(BigUint::from(44u64));
         assert!(!tag.deflected);
+        assert!(!tag.tampered);
         assert_eq!(tag.route_id.to_u64(), Some(44));
         assert_eq!(tag.memoized_residue(7), None);
+    }
+
+    #[test]
+    fn tamper_replaces_id_clears_memo_and_marks_tag() {
+        let mut tag = RouteTag::new(BigUint::from(44u64));
+        tag.deflected = true;
+        tag.memoize_residue(7, 2);
+        tag.tamper(BigUint::from(99u64));
+        assert!(tag.tampered);
+        assert!(tag.deflected, "tamper must not touch the deflection bit");
+        assert_eq!(tag.route_id.to_u64(), Some(99));
+        // A stale residue of the old ID must not survive.
+        assert_eq!(tag.memoized_residue(7), None);
+        // Tampered tags are distinguishable from clean ones with the
+        // same ID.
+        assert_ne!(tag, {
+            let mut clean = RouteTag::new(BigUint::from(99u64));
+            clean.deflected = true;
+            clean
+        });
     }
 
     #[test]

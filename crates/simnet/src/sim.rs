@@ -7,6 +7,7 @@
 //! failure detection), and all randomness flows from one seeded RNG so
 //! every run is reproducible.
 
+use crate::adversary::Behavior;
 use crate::calendar::CalendarQueue;
 use crate::forwarder::{DropReason, ForwardDecision, Forwarder, SwitchCtx};
 use crate::host::{App, AppAction, EdgeLogic, HostCtx, RerouteDecision};
@@ -15,10 +16,10 @@ use crate::stats::Stats;
 use crate::time::{tx_time, SimTime};
 use crate::trace::{PacketFate, TraceLog};
 use kar_obs::{Entity, Event as ObsEvent, EventKind, Obs, ObsHandle, Profiler};
-use kar_rns::Reducer;
+use kar_rns::{BigUint, Reducer};
 use kar_topology::{LinkId, NodeId, NodeKind, PortIx, Topology};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, RngCore, SeedableRng};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -259,6 +260,10 @@ pub struct Sim<'t> {
     /// or everywhere when [`SimConfig::fast_path`] is off).
     reducers: Vec<Option<Reducer>>,
     links: Vec<LinkState>,
+    /// Per-node Byzantine behavior, indexed by `NodeId` (see
+    /// [`crate::adversary`]). Empty means every switch is honest — the
+    /// default, and the only state existing scenarios ever see.
+    behaviors: Vec<Behavior>,
     forwarder: Box<dyn Forwarder>,
     edge_logic: Box<dyn EdgeLogic>,
     apps: Vec<Option<Box<dyn App>>>,
@@ -302,6 +307,7 @@ impl<'t> Sim<'t> {
             events: CalendarQueue::default(),
             reducers,
             links,
+            behaviors: Vec::new(),
             forwarder,
             edge_logic,
             apps: (0..topo.node_count()).map(|_| None).collect(),
@@ -340,6 +346,36 @@ impl<'t> Sim<'t> {
     /// simulation — it never affects simulated behavior.
     pub fn attach_profiler(&mut self, profiler: Arc<Profiler>) {
         self.profiler = Some(profiler);
+    }
+
+    /// Assigns a (possibly Byzantine) [`Behavior`] to a core switch.
+    ///
+    /// Misbehavior is enforced by the engine around the forwarder, so it
+    /// subverts every dataplane identically. Leaving a node unset (or
+    /// setting [`Behavior::Honest`]) keeps the engine on the exact honest
+    /// code path — an all-honest run draws the same RNG sequence as one
+    /// on a build without the adversary model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is an edge — only core switches forward, so only
+    /// they can misbehave.
+    pub fn set_behavior(&mut self, node: NodeId, behavior: Behavior) {
+        assert!(
+            matches!(self.topo.node(node).kind, NodeKind::Core { .. }),
+            "behaviors attach to core switches, {} is an edge",
+            self.topo.node(node).name
+        );
+        if self.behaviors.len() <= node.0 {
+            self.behaviors.resize(node.0 + 1, Behavior::Honest);
+        }
+        self.behaviors[node.0] = behavior;
+    }
+
+    /// The behavior assigned to `node` ([`Behavior::Honest`] if never
+    /// set).
+    pub fn behavior(&self, node: NodeId) -> Behavior {
+        self.behaviors.get(node.0).copied().unwrap_or_default()
     }
 
     /// Marks traces of packets still in flight as
@@ -823,6 +859,17 @@ impl<'t> Sim<'t> {
                     .iter()
                     .map(|&l| !self.links[l.0].observed_down)
                     .collect();
+                // Byzantine interposition (see [`crate::adversary`]).
+                // Honest switches take exactly the pre-adversary code
+                // path — same branches, zero extra RNG draws — so
+                // all-honest runs stay byte-identical (enforced by
+                // `crates/bench/tests/adversary_determinism.rs`).
+                let behavior = self.behavior(node);
+                if behavior == Behavior::DropSilently {
+                    self.stats.byzantine_drops += 1;
+                    self.drop_pkt(pkt.id, DropReason::AdversaryDrop);
+                    return;
+                }
                 let ctx = SwitchCtx {
                     topo,
                     node,
@@ -831,9 +878,45 @@ impl<'t> Sim<'t> {
                     ports: &statuses,
                     now: self.now,
                     reducer: self.reducers[node.0].as_ref(),
+                    behavior,
                 };
                 let deflections_before = pkt.deflections;
-                match self.forwarder.forward(&ctx, &mut pkt, &mut self.rng) {
+                let mut decision = if behavior == Behavior::Misforward {
+                    // Ignore the forwarder: pick any healthy port
+                    // uniformly. The tag is left untouched, so the
+                    // packet continues honestly from its wrong ingress.
+                    let healthy: Vec<PortIx> = ctx.healthy_ports().collect();
+                    if healthy.is_empty() {
+                        ForwardDecision::Drop(DropReason::PortDown)
+                    } else {
+                        self.stats.byzantine_misforwards += 1;
+                        let i: usize = self.rng.gen_range(0..healthy.len());
+                        ForwardDecision::Output(healthy[i])
+                    }
+                } else {
+                    self.forwarder.forward(&ctx, &mut pkt, &mut self.rng)
+                };
+                // An out-of-range residue on a tampered tag is header
+                // corruption, not a routing mistake — reclassify so the
+                // drop tables can tell the two apart.
+                if decision == ForwardDecision::Drop(DropReason::ResidueOutOfRange)
+                    && pkt.route.as_ref().is_some_and(|t| t.tampered)
+                {
+                    decision = ForwardDecision::Drop(DropReason::CorruptedResidue);
+                }
+                if behavior == Behavior::CorruptResidue {
+                    if let ForwardDecision::Output(_) = decision {
+                        // Forward where the honest algorithm said, but
+                        // rewrite the route ID in flight. `tamper`
+                        // clears the residue memo so downstream switches
+                        // reduce the garbage ID, not a cached value.
+                        if let Some(tag) = pkt.route.as_mut() {
+                            tag.tamper(BigUint::from(self.rng.next_u64()));
+                            self.stats.byzantine_corruptions += 1;
+                        }
+                    }
+                }
+                match decision {
                     ForwardDecision::Output(p) => {
                         if let Some(o) = &self.obs {
                             let at = self.now.as_nanos();

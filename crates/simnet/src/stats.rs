@@ -57,6 +57,16 @@ pub struct Stats {
     pub link_failures: u64,
     /// Physical link down→up transitions processed by the engine.
     pub link_repairs: u64,
+    /// Packets a Byzantine switch pushed out of a port the honest
+    /// forwarder did not choose ([`Behavior::Misforward`](crate::Behavior)).
+    pub byzantine_misforwards: u64,
+    /// Route tags rewritten in flight by a Byzantine switch
+    /// ([`Behavior::CorruptResidue`](crate::Behavior)).
+    pub byzantine_corruptions: u64,
+    /// Packets silently discarded by a Byzantine switch
+    /// ([`Behavior::DropSilently`](crate::Behavior)) — also counted in
+    /// [`Stats::drops`] under [`DropReason::AdversaryDrop`].
+    pub byzantine_drops: u64,
 }
 
 impl Stats {

@@ -1,0 +1,244 @@
+//! Structural graph analysis: edge betweenness centrality.
+//!
+//! The adversarial failure campaigns (`kar_bench::experiments::
+//! adversary`) attack links in descending betweenness order — the
+//! classic "cut where the shortest paths concentrate" strategy — and
+//! compare against random campaigns of matched intensity. This module
+//! provides the ranking: Brandes' single-source accumulation algorithm
+//! ("A faster algorithm for betweenness centrality", J. Math. Sociol.
+//! 2001) specialized to unweighted graphs, O(V·E) per topology.
+
+use crate::graph::{LinkId, NodeId, NodeKind, Topology};
+use std::collections::VecDeque;
+
+/// Betweenness centrality of every link, indexed by `LinkId`.
+///
+/// `result[l]` is the sum over all ordered node pairs `(s, t)` of the
+/// fraction of shortest `s → t` paths that traverse link `l`, halved so
+/// each unordered pair counts once (the conventional undirected
+/// normalization). Every node — edge hosts included — acts as a source
+/// and sink, matching how traffic actually enters the network.
+///
+/// Deterministic: pure function of the topology, no RNG.
+pub fn edge_betweenness(topo: &Topology) -> Vec<f64> {
+    let n = topo.node_count();
+    let mut centrality = vec![0.0f64; topo.link_count()];
+    // Brandes, one BFS per source: sigma counts shortest paths, the
+    // stack records a reverse-topological order of the BFS dag, and the
+    // dependency accumulation walks it backwards.
+    let mut dist = vec![usize::MAX; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut preds: Vec<Vec<(NodeId, LinkId)>> = vec![Vec::new(); n];
+    for s in 0..n {
+        for v in 0..n {
+            dist[v] = usize::MAX;
+            sigma[v] = 0.0;
+            delta[v] = 0.0;
+            preds[v].clear();
+        }
+        dist[s] = 0;
+        sigma[s] = 1.0;
+        let mut stack: Vec<NodeId> = Vec::with_capacity(n);
+        let mut queue = VecDeque::new();
+        queue.push_back(NodeId(s));
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for (_, link, w) in topo.neighbors(v) {
+                if dist[w.0] == usize::MAX {
+                    dist[w.0] = dist[v.0] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w.0] == dist[v.0] + 1 {
+                    sigma[w.0] += sigma[v.0];
+                    preds[w.0].push((v, link));
+                }
+            }
+        }
+        for &w in stack.iter().rev() {
+            let coeff = (1.0 + delta[w.0]) / sigma[w.0];
+            for &(v, link) in &preds[w.0] {
+                let c = sigma[v.0] * coeff;
+                centrality[link.0] += c;
+                delta[v.0] += c;
+            }
+        }
+    }
+    // Each unordered pair was visited from both endpoints.
+    for c in &mut centrality {
+        *c *= 0.5;
+    }
+    centrality
+}
+
+/// `true` when both endpoints of `l` are core switches.
+fn is_core_core(topo: &Topology, l: LinkId) -> bool {
+    let link = topo.link(l);
+    let core = |n: NodeId| matches!(topo.node(n).kind, NodeKind::Core { .. });
+    core(link.a) && core(link.b)
+}
+
+/// Core–core links in descending [`edge_betweenness`] order — the
+/// targeted-attack schedule. Host attachment links are excluded (an
+/// attacker cutting those trivially disconnects one host without
+/// stressing routing). Ties break on ascending `LinkId`, so the ranking
+/// is fully deterministic.
+pub fn ranked_links(topo: &Topology) -> Vec<LinkId> {
+    let bc = edge_betweenness(topo);
+    let mut links: Vec<LinkId> = (0..topo.link_count())
+        .map(LinkId)
+        .filter(|&l| is_core_core(topo, l))
+        .collect();
+    links.sort_by(|&a, &b| {
+        bc[b.0]
+            .partial_cmp(&bc[a.0])
+            .expect("betweenness is finite")
+            .then(a.0.cmp(&b.0))
+    });
+    links
+}
+
+/// Core switches in descending order of summed incident-link
+/// betweenness — the Byzantine-placement schedule (compromising the
+/// switch the most shortest paths flow through does the most damage).
+/// Ties break on ascending `NodeId`.
+pub fn ranked_core_switches(topo: &Topology) -> Vec<NodeId> {
+    let bc = edge_betweenness(topo);
+    let mut nodes = topo.core_nodes();
+    let load = |n: NodeId| -> f64 { topo.node(n).ports.iter().map(|&l| bc[l.0]).sum() };
+    nodes.sort_by(|&a, &b| {
+        load(b)
+            .partial_cmp(&load(a))
+            .expect("betweenness is finite")
+            .then(a.0.cmp(&b.0))
+    });
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TopologyBuilder;
+    use crate::graph::LinkParams;
+
+    /// Two 3-cliques joined by one bridge: the bridge must dominate.
+    fn barbell() -> (Topology, LinkId) {
+        let mut b = TopologyBuilder::new();
+        let left: Vec<_> = [5u64, 7, 11]
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| b.core(&format!("L{i}"), id))
+            .collect();
+        let right: Vec<_> = [13u64, 17, 19]
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| b.core(&format!("R{i}"), id))
+            .collect();
+        for v in [&left, &right] {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    b.link(v[i], v[j], LinkParams::default());
+                }
+            }
+        }
+        let bridge = b.link(left[0], right[0], LinkParams::default());
+        (b.build().unwrap(), bridge)
+    }
+
+    #[test]
+    fn bridge_dominates_a_barbell() {
+        let (topo, bridge) = barbell();
+        let bc = edge_betweenness(&topo);
+        for l in 0..topo.link_count() {
+            if l != bridge.0 {
+                assert!(
+                    bc[bridge.0] > bc[l],
+                    "bridge {} must beat link {l} ({} vs {})",
+                    bridge.0,
+                    bc[bridge.0],
+                    bc[l]
+                );
+            }
+        }
+        assert_eq!(ranked_links(&topo)[0], bridge);
+        // The bridge endpoints carry the most load.
+        let ranked = ranked_core_switches(&topo);
+        let names: Vec<_> = ranked[..2]
+            .iter()
+            .map(|&n| topo.node(n).name.as_str())
+            .collect();
+        assert!(names.contains(&"L0") && names.contains(&"R0"), "{names:?}");
+    }
+
+    /// On a path graph A–B–C–D the exact pair counts are known:
+    /// middle link sees 2·2 = 4 pairs, outer links 1·3 = 3.
+    #[test]
+    fn path_graph_matches_hand_count() {
+        let mut b = TopologyBuilder::new();
+        let ids = [3u64, 5, 7, 11];
+        let nodes: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| b.core(&format!("N{i}"), id))
+            .collect();
+        let mut links = Vec::new();
+        for w in nodes.windows(2) {
+            links.push(b.link(w[0], w[1], LinkParams::default()));
+        }
+        let topo = b.build().unwrap();
+        let bc = edge_betweenness(&topo);
+        assert_eq!(bc[links[0].0], 3.0);
+        assert_eq!(bc[links[1].0], 4.0);
+        assert_eq!(bc[links[2].0], 3.0);
+    }
+
+    /// Every link of a symmetric ring carries the same load, so the
+    /// ranking falls back to ascending LinkId — pinned determinism.
+    #[test]
+    fn symmetric_ring_ties_break_on_link_id() {
+        let mut b = TopologyBuilder::new();
+        let ids = [3u64, 5, 7, 11, 13];
+        let nodes: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| b.core(&format!("N{i}"), id))
+            .collect();
+        for i in 0..nodes.len() {
+            b.link(
+                nodes[i],
+                nodes[(i + 1) % nodes.len()],
+                LinkParams::default(),
+            );
+        }
+        let topo = b.build().unwrap();
+        let bc = edge_betweenness(&topo);
+        for l in 1..topo.link_count() {
+            assert!((bc[l] - bc[0]).abs() < 1e-9);
+        }
+        let ranked = ranked_links(&topo);
+        assert_eq!(
+            ranked,
+            (0..topo.link_count()).map(LinkId).collect::<Vec<_>>()
+        );
+    }
+
+    /// Host attachment links never appear in the attack ranking.
+    #[test]
+    fn ranked_links_are_core_core_only_on_rnp28() {
+        let topo = crate::rnp28::build();
+        let ranked = ranked_links(&topo);
+        assert!(!ranked.is_empty());
+        for &l in &ranked {
+            let link = topo.link(l);
+            assert!(
+                topo.switch_id(link.a).is_some() && topo.switch_id(link.b).is_some(),
+                "host link {l:?} leaked into the ranking"
+            );
+        }
+        // Purity: same topology, same ranking.
+        assert_eq!(ranked, ranked_links(&topo));
+        // The top-ranked switch is a real PoP with degree > 1.
+        let top = ranked_core_switches(&topo)[0];
+        assert!(topo.node(top).degree() > 1);
+    }
+}

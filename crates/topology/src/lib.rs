@@ -32,6 +32,7 @@ mod builder;
 mod dot;
 mod graph;
 
+pub mod analysis;
 pub mod gen;
 pub mod paths;
 pub mod rnp28;
