@@ -1,8 +1,13 @@
 //! Regenerates Fig. 6: the reconstructed RNP backbone as Graphviz DOT
 //! plus an adjacency/rate summary (render with `dot -Tsvg`).
+use kar_bench::cli::CommonArgs;
 use kar_topology::{rnp28, to_dot};
 
 fn main() {
+    // No simulation here — CommonArgs only so the shared observability
+    // flags (`--metrics`, `--trace`, …) are accepted uniformly across
+    // every fig binary.
+    let args = CommonArgs::parse(0);
     let topo = rnp28::build();
     eprintln!(
         "Fig. 6 — RNP backbone: {} PoPs, {} backbone links (+{} host access links)",
@@ -15,4 +20,5 @@ fn main() {
         eprintln!("  {name:<6} id {id:<3} {label}");
     }
     print!("{}", to_dot(&topo));
+    args.finish();
 }

@@ -1,6 +1,7 @@
 //! `kar-inspect`: renders a `--metrics` dump back into tables.
 //!
-//! Usage: `kar-inspect <dump.jsonl> [--run <substring>] [--pkt <id>]`
+//! Usage: `kar-inspect <dump.jsonl> [forensics] [--run <substring>]
+//! [--pkt <id>] [--json]`
 //!
 //! The dump file holds one or more labeled runs (see `kar_obs::dump`).
 //! With no `--run` filter the tool lists every run and renders the
@@ -16,6 +17,17 @@
 //! - one packet's hop timeline (the busiest packet span by default,
 //!   `--pkt` to pick another),
 //! - the sim profiler table, when the run carried one.
+//!
+//! `kar-inspect <dump> forensics` instead renders the flight-recorder
+//! captures (anomaly-frozen event windows plus the causal chain from
+//! fault to drop, with detection-lag / re-encode-latency / blind-window
+//! annotations). `--json` switches the run list and per-switch table to
+//! a machine-readable JSON document on stdout.
+//!
+//! Either view warns when a run's event ring overflowed
+//! (`evicted > 0`): timelines and forensics are then missing their
+//! oldest events, and `--events-cap` (or `KAR_EVENTS_CAP`) on the
+//! producing binary raises the ring size.
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::BufReader;
@@ -28,12 +40,16 @@ struct Args {
     path: String,
     run: Option<String>,
     pkt: Option<u64>,
+    forensics: bool,
+    json: bool,
 }
 
 fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Args, String> {
     let mut path = None;
     let mut run = None;
     let mut pkt = None;
+    let mut forensics = false;
+    let mut json = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--run" => run = Some(args.next().ok_or("--run needs a value")?),
@@ -41,15 +57,52 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Args, String> {
                 let v = args.next().ok_or("--pkt needs a value")?;
                 pkt = Some(v.parse().map_err(|_| format!("bad --pkt value: {v}"))?);
             }
+            "forensics" => forensics = true,
+            "--json" => json = true,
             _ if path.is_none() => path = Some(arg),
             _ => return Err(format!("unexpected argument: {arg}")),
         }
     }
     Ok(Args {
-        path: path.ok_or("usage: kar-inspect <dump.jsonl> [--run <substring>] [--pkt <id>]")?,
+        path: path.ok_or(
+            "usage: kar-inspect <dump.jsonl> [forensics] [--run <substring>] [--pkt <id>] [--json]",
+        )?,
         run,
         pkt,
+        forensics,
+        json,
     })
+}
+
+/// The run's `ring` accounting record: `(pushed, evicted, cap)`.
+fn ring_stats(run: &RunDump) -> Option<(u64, u64, u64)> {
+    run.records.iter().find_map(|r| match r {
+        DumpRecord::Ring {
+            pushed,
+            evicted,
+            cap,
+        } => Some((*pushed, *evicted, *cap)),
+        _ => None,
+    })
+}
+
+/// Prominent overflow warning: an overflowed ring means timelines and
+/// forensic captures silently lost their oldest events.
+fn warn_evicted(run: &RunDump) {
+    if let Some((_, evicted, cap)) = ring_stats(run) {
+        if evicted > 0 {
+            println!(
+                "WARNING: run {} overflowed its event ring — {evicted} event(s) evicted \
+                 (cap {cap}).",
+                run.label
+            );
+            println!(
+                "         Timelines and forensics are missing the oldest events; re-run the \
+                 producing binary with --events-cap <n> (or KAR_EVENTS_CAP) to keep more."
+            );
+            println!();
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -78,9 +131,17 @@ fn main() -> ExitCode {
         eprintln!("kar-inspect: {} holds no dump records", args.path);
         return ExitCode::FAILURE;
     }
+    if args.json {
+        println!("{}", json_report(&args.path, &dumps));
+        return ExitCode::SUCCESS;
+    }
     println!("{}: {} run(s)", args.path, dumps.len());
     for d in &dumps {
-        println!("  {} ({} records)", d.label, d.records.len());
+        let overflow = match ring_stats(d) {
+            Some((_, evicted, _)) if evicted > 0 => format!(" [ring evicted {evicted}]"),
+            _ => String::new(),
+        };
+        println!("  {} ({} records){overflow}", d.label, d.records.len());
     }
     println!();
     let selected = match &args.run {
@@ -93,12 +154,112 @@ fn main() -> ExitCode {
         },
         None => &dumps[0],
     };
+    if args.forensics {
+        warn_evicted(selected);
+        print!("{}", kar_obs::forensics::render_forensics(selected));
+        return ExitCode::SUCCESS;
+    }
     render(selected, args.pkt);
     ExitCode::SUCCESS
 }
 
+/// Machine-readable view of the dump: the run list plus each run's ring
+/// accounting and per-switch activity table, as one JSON document.
+fn json_report(path: &str, dumps: &[RunDump]) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"path\":{},\"runs\":[", json_str(path)));
+    for (i, d) in dumps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{{\"label\":{},\"records\":{}",
+            json_str(&d.label),
+            d.records.len()
+        ));
+        if let Some((pushed, evicted, cap)) = ring_stats(d) {
+            out.push_str(&format!(
+                ",\"ring\":{{\"pushed\":{pushed},\"evicted\":{evicted},\"cap\":{cap}}}"
+            ));
+        }
+        out.push_str(",\"switches\":[");
+        for (j, (name, metrics)) in switch_counters(d).iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let get = |m: &str| metrics.get(m).copied().unwrap_or(0);
+            out.push_str(&format!(
+                "\n  {{\"name\":{},\"injected\":{},\"forwarded\":{},\"delivered\":{}",
+                json_str(name),
+                get("injected"),
+                get("forwarded"),
+                get("delivered")
+            ));
+            let mut first = true;
+            for (metric, value) in metrics.iter() {
+                if let Some(technique) = metric.strip_prefix("deflect.") {
+                    if first {
+                        out.push_str(",\"deflect\":{");
+                        first = false;
+                    } else {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{}:{value}", json_str(technique)));
+                }
+            }
+            if !first {
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// JSON string literal with the escapes our labels can actually contain
+/// (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Node-scoped counters per switch: `name -> metric -> value`, the
+/// shared source for the rendered table and `--json`.
+fn switch_counters(run: &RunDump) -> BTreeMap<&str, BTreeMap<&str, u64>> {
+    let mut nodes: BTreeMap<&str, BTreeMap<&str, u64>> = BTreeMap::new();
+    for r in &run.records {
+        if let DumpRecord::Counter {
+            entity,
+            metric,
+            value,
+        } = r
+        {
+            if let Some(name) = scoped(entity, "node:") {
+                *nodes.entry(name).or_default().entry(metric).or_insert(0) += value;
+            }
+        }
+    }
+    nodes
+}
+
 fn render(run: &RunDump, pkt: Option<u64>) {
     println!("=== run {} ===", run.label);
+    warn_evicted(run);
     render_switch_table(run);
     render_link_heat(run);
     render_drops(run);
@@ -154,28 +315,17 @@ fn scoped<'a>(entity: &'a str, scope: &str) -> Option<&'a str> {
 }
 
 fn render_switch_table(run: &RunDump) {
-    // name -> metric -> value, only for node-scoped counters.
-    let mut nodes: BTreeMap<&str, BTreeMap<&str, u64>> = BTreeMap::new();
-    let mut deflect_cols: Vec<&str> = Vec::new();
-    for r in &run.records {
-        if let DumpRecord::Counter {
-            entity,
-            metric,
-            value,
-        } = r
-        {
-            if let Some(name) = scoped(entity, "node:") {
-                *nodes.entry(name).or_default().entry(metric).or_insert(0) += value;
-                if metric.starts_with("deflect.") && !deflect_cols.contains(&metric.as_str()) {
-                    deflect_cols.push(metric);
-                }
-            }
-        }
-    }
+    let nodes = switch_counters(run);
+    let mut deflect_cols: Vec<&str> = nodes
+        .values()
+        .flat_map(|m| m.keys().copied())
+        .filter(|m| m.starts_with("deflect."))
+        .collect();
     if nodes.is_empty() {
         return;
     }
     deflect_cols.sort_unstable();
+    deflect_cols.dedup();
     let mut header = "| switch | injected | forwarded | delivered |".to_string();
     for c in &deflect_cols {
         header.push_str(&format!(" {c} |"));
@@ -411,6 +561,8 @@ fn event_line(r: &DumpRecord) -> String {
         link,
         aux,
         tag,
+        span,
+        parent,
         ..
     } = r
     else {
@@ -431,6 +583,11 @@ fn event_line(r: &DumpRecord) -> String {
     }
     if *aux != 0 {
         line.push_str(&format!(" aux={aux}"));
+    }
+    match (span, parent) {
+        (Some(s), Some(p)) => line.push_str(&format!(" (span {s} ← {p})")),
+        (Some(s), None) => line.push_str(&format!(" (span {s})")),
+        _ => {}
     }
     line
 }
@@ -479,6 +636,11 @@ mod tests {
         assert_eq!(args.path, "d.jsonl");
         assert_eq!(args.run.as_deref(), Some("fig4"));
         assert_eq!(args.pkt, Some(7));
+        assert!(!args.forensics);
+        assert!(!args.json);
+        let args = parse(&["d.jsonl", "forensics", "--json"]).unwrap();
+        assert!(args.forensics);
+        assert!(args.json);
         assert!(parse(&[]).is_err());
         assert!(parse(&["d.jsonl", "extra"]).is_err());
         assert!(parse(&["d.jsonl", "--pkt", "x"]).is_err());
@@ -495,6 +657,8 @@ mod tests {
             link: "SW7-SW13".into(),
             aux: 2,
             tag: "hp".into(),
+            span: Some(7),
+            parent: Some(4),
         });
         assert!(line.contains("deflect"), "{line}");
         assert!(line.contains("at SW7"), "{line}");
@@ -502,5 +666,43 @@ mod tests {
         assert!(line.contains("flow 1"), "{line}");
         assert!(line.contains("[hp]"), "{line}");
         assert!(line.contains("aux=2"), "{line}");
+        assert!(line.contains("(span 7 ← 4)"), "{line}");
+    }
+
+    #[test]
+    fn json_report_escapes_and_structures() {
+        let run = RunDump {
+            label: "fig4/\"quoted\"".to_string(),
+            records: vec![
+                DumpRecord::Counter {
+                    entity: "node:SW7".into(),
+                    metric: "injected".into(),
+                    value: 3,
+                },
+                DumpRecord::Counter {
+                    entity: "node:SW7".into(),
+                    metric: "deflect.avp".into(),
+                    value: 2,
+                },
+                DumpRecord::Ring {
+                    pushed: 10,
+                    evicted: 4,
+                    cap: 6,
+                },
+            ],
+        };
+        let doc = json_report("d.jsonl", &[run]);
+        assert!(doc.contains("\"label\":\"fig4/\\\"quoted\\\"\""), "{doc}");
+        assert!(
+            doc.contains("\"ring\":{\"pushed\":10,\"evicted\":4,\"cap\":6}"),
+            "{doc}"
+        );
+        assert!(doc.contains("\"name\":\"SW7\",\"injected\":3"), "{doc}");
+        assert!(doc.contains("\"deflect\":{\"avp\":2}"), "{doc}");
+        assert_eq!(
+            doc.matches('{').count(),
+            doc.matches('}').count(),
+            "balanced braces: {doc}"
+        );
     }
 }

@@ -72,6 +72,40 @@ fn record<'c>(
     run.submit(label, topo);
 }
 
+/// Freezes a verifier-gate mismatch into the flight recorder: one
+/// `note` event per offending case (src node, dst in `aux`, first
+/// failed link, outcome as tag), then a `verifier-gate` capture — so a
+/// failed CI gate ships its own black box inside the metrics dump
+/// (`kar-inspect forensics` renders it).
+fn record_gate_mismatch(
+    topo: &Topology,
+    label: &str,
+    offenders: &[(NodeId, NodeId, Vec<LinkId>, &'static str)],
+) {
+    let run = RunObs::begin();
+    let Some(o) = run.handle.get() else { return };
+    for (i, (src, dst, links, outcome)) in offenders.iter().enumerate() {
+        let mut ev = kar_obs::Event::new(i as u64, kar_obs::EventKind::Note);
+        ev.node = Some(src.0 as u32);
+        ev.aux = dst.0 as u64;
+        ev.link = links.first().map(|l| l.0 as u32);
+        ev.tag = outcome;
+        o.events.push(ev);
+    }
+    o.forensics.capture("verifier-gate", 0, None, &o.events);
+    run.submit(label, topo);
+}
+
+fn outcome_tag(outcome: Outcome) -> &'static str {
+    match outcome {
+        Outcome::Loop => "loop",
+        Outcome::Blackhole => "blackhole",
+        Outcome::TtlExceeded => "ttl-exceeded",
+        Outcome::WrongEdge => "wrong-edge",
+        Outcome::Delivered => "delivered",
+    }
+}
+
 fn print_header(name: &str, k: usize) {
     println!("{name}: exhaustive {k}-failure-set verification (AutoFull)");
     println!("| technique | cases | delivered | wrong-edge | ttl | blackhole | loop | disconnected | violations |");
@@ -131,6 +165,20 @@ fn check(topo: &Topology, name: &str, avp_allowance: usize) -> bool {
         };
         if s.violations > allowance {
             ok = false;
+            let offenders: Vec<(NodeId, NodeId, Vec<LinkId>, &'static str)> = results
+                .iter()
+                .filter(|c| {
+                    !c.disconnected
+                        && matches!(c.report.outcome, Outcome::Blackhole | Outcome::Loop)
+                })
+                .take(10)
+                .map(|c| (c.src, c.dst, vec![c.failed], outcome_tag(c.report.outcome)))
+                .collect();
+            record_gate_mismatch(
+                topo,
+                &format!("verify/{name}/{}/gate-mismatch", technique.label()),
+                &offenders,
+            );
             for case in results
                 .iter()
                 .filter(|c| {
@@ -211,6 +259,28 @@ fn check_k(topo: &Topology, name: &str, k: usize) -> bool {
                 technique.label(),
                 s.violations,
                 pinned
+            );
+            let offenders: Vec<(NodeId, NodeId, Vec<LinkId>, &'static str)> = sweep
+                .results
+                .iter()
+                .filter(|c| {
+                    !c.disconnected
+                        && matches!(c.report.outcome, Outcome::Blackhole | Outcome::Loop)
+                })
+                .take(10)
+                .map(|c| {
+                    (
+                        c.src,
+                        c.dst,
+                        c.failed.clone(),
+                        outcome_tag(c.report.outcome),
+                    )
+                })
+                .collect();
+            record_gate_mismatch(
+                topo,
+                &format!("verify/{name}/k{k}/{}/gate-mismatch", technique.label()),
+                &offenders,
             );
             for case in sweep
                 .results

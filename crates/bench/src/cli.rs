@@ -8,6 +8,13 @@
 //!   [`crate::runner`] pool;
 //! * `--metrics PATH` / `--metrics=PATH` (or `KAR_METRICS`) — enables
 //!   the [`crate::obs`] dump sink;
+//! * `--trace PATH` / `--trace=PATH` (or `KAR_TRACE`) — also enables
+//!   the sink, exporting a Chrome trace-event file (load it in
+//!   `chrome://tracing` / Perfetto) on top of, or instead of, the
+//!   metrics dump;
+//! * `--events-cap N` / `--events-cap=N` (or `KAR_EVENTS_CAP`) — event
+//!   ring capacity per run, for when the default window evicts the
+//!   events a forensic capture needed;
 //! * `--telemetry TARGET` / `--telemetry=TARGET` — sugar for the
 //!   `KAR_TELEMETRY` environment variable read by
 //!   [`crate::telemetry::emit`] (`-` for stderr, anything else a file
@@ -30,7 +37,8 @@ pub struct CommonArgs {
     pub jobs: usize,
     /// Base RNG seed (`--seed`, `KAR_SEED`, experiment default).
     pub seed: u64,
-    /// Whether a metrics dump was requested and the sink is collecting.
+    /// Whether observability collection is on (a metrics dump and/or a
+    /// Chrome trace was requested).
     pub metrics: bool,
     /// The `--telemetry` target, when given on the command line.
     pub telemetry: Option<String>,

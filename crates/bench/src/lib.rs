@@ -36,3 +36,4 @@ pub mod harness;
 pub mod obs;
 pub mod runner;
 pub mod telemetry;
+pub mod trend;

@@ -19,46 +19,80 @@
 //! byte-identical to one without (`tests/obs_determinism.rs` enforces
 //! this).
 
-use kar_obs::{sink, ObsHandle, Profiler, RunDump, TopoLabeler};
+use kar_obs::{sink, Obs, ObsHandle, Profiler, RunDump, TopoLabeler};
 use kar_topology::Topology;
 use std::path::PathBuf;
 use std::sync::Arc;
+
+/// Extracts a `--<name> <value>` / `--<name>=<value>` flag (last
+/// occurrence wins), falling back to the `env` variable.
+fn flag_or_env<I: IntoIterator<Item = String>>(args: I, name: &str, env: &str) -> Option<String> {
+    let long = format!("--{name}");
+    let prefixed = format!("--{name}=");
+    let mut args = args.into_iter();
+    let mut value = None;
+    while let Some(arg) = args.next() {
+        if arg == long {
+            value = args.next();
+        } else if let Some(v) = arg.strip_prefix(&prefixed) {
+            value = Some(v.to_string());
+        }
+    }
+    value.or_else(|| std::env::var(env).ok())
+}
 
 /// Extracts the metrics dump path from CLI arguments (`--metrics <path>`
 /// or `--metrics=<path>`; the last occurrence wins), falling back to the
 /// `KAR_METRICS` environment variable.
 pub fn metrics_path<I: IntoIterator<Item = String>>(args: I) -> Option<PathBuf> {
-    let mut args = args.into_iter();
-    let mut path = None;
-    while let Some(arg) = args.next() {
-        if arg == "--metrics" {
-            path = args.next().map(PathBuf::from);
-        } else if let Some(v) = arg.strip_prefix("--metrics=") {
-            path = Some(PathBuf::from(v));
-        }
-    }
-    path.or_else(|| std::env::var("KAR_METRICS").ok().map(PathBuf::from))
+    flag_or_env(args, "metrics", "KAR_METRICS").map(PathBuf::from)
 }
 
-/// Enables the process-global metrics sink when the CLI (or
-/// `KAR_METRICS`) asked for a dump. Returns whether collection is on.
+/// Extracts the Chrome trace-export path (`--trace <path>` /
+/// `--trace=<path>` / `KAR_TRACE`).
+pub fn trace_path<I: IntoIterator<Item = String>>(args: I) -> Option<PathBuf> {
+    flag_or_env(args, "trace", "KAR_TRACE").map(PathBuf::from)
+}
+
+/// Extracts the event-ring capacity (`--events-cap <n>` /
+/// `--events-cap=<n>` / `KAR_EVENTS_CAP`).
+pub fn events_cap<I: IntoIterator<Item = String>>(args: I) -> Option<usize> {
+    flag_or_env(args, "events-cap", "KAR_EVENTS_CAP").and_then(|v| v.parse().ok())
+}
+
+/// Enables the process-global sink when the CLI (or environment) asked
+/// for a metrics dump (`--metrics`) and/or a Chrome trace (`--trace`).
+/// Either alone turns collection on; `--events-cap` sizes every run's
+/// event ring. Returns whether collection is on.
 pub fn init<I: IntoIterator<Item = String>>(args: I) -> bool {
-    match metrics_path(args) {
-        Some(path) => {
-            sink::enable(&path);
-            true
-        }
-        None => false,
+    let args: Vec<String> = args.into_iter().collect();
+    if let Some(path) = metrics_path(args.iter().cloned()) {
+        sink::enable(&path);
     }
+    if let Some(path) = trace_path(args.iter().cloned()) {
+        sink::enable_trace(&path);
+    }
+    if sink::enabled() {
+        if let Some(cap) = events_cap(args.iter().cloned()) {
+            sink::set_event_cap(cap);
+        }
+    }
+    sink::enabled()
 }
 
-/// Flushes every submitted dump to the requested file and disables the
-/// sink. Reports the outcome on stderr (never stdout — that belongs to
-/// the experiment's table).
+/// Flushes every submitted dump to the requested file(s) and disables
+/// the sink. Reports the outcome on stderr (never stdout — that
+/// belongs to the experiment's table).
 pub fn finish() {
     match sink::flush() {
-        Ok(Some(path)) => eprintln!("metrics: wrote {}", path.display()),
-        Ok(None) => {}
+        Ok(report) => {
+            if let Some(path) = report.metrics {
+                eprintln!("metrics: wrote {}", path.display());
+            }
+            if let Some(path) = report.trace {
+                eprintln!("trace: wrote {}", path.display());
+            }
+        }
         Err(err) => eprintln!("metrics: write failed: {err}"),
     }
 }
@@ -84,7 +118,7 @@ impl RunObs {
     pub fn begin() -> RunObs {
         if sink::enabled() {
             RunObs {
-                handle: ObsHandle::enabled(),
+                handle: ObsHandle::from_obs(Arc::new(Obs::with_event_capacity(sink::event_cap()))),
                 profiler: Some(Arc::new(Profiler::new())),
             }
         } else {
@@ -101,13 +135,7 @@ impl RunObs {
         };
         let labeler = TopoLabeler::new(topo);
         let rows = self.profiler.as_ref().map(|p| p.rows()).unwrap_or_default();
-        sink::submit(RunDump::collect(
-            label,
-            &obs.metrics.snapshot(),
-            &obs.events.events(),
-            &rows,
-            &labeler,
-        ));
+        sink::submit(RunDump::collect_obs(label, obs, &rows, &labeler));
     }
 }
 

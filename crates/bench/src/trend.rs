@@ -1,0 +1,954 @@
+//! Bench-trend observatory: per-metric trajectories across git history.
+//!
+//! The committed `BENCH_*.json` documents pin one snapshot each of the
+//! dataplane microbenches, the scale sweep, the breaking-point search
+//! and the adversary campaign. This module turns *every committed
+//! revision* of those documents (via `git log` / `git show`, plus the
+//! working tree) into per-metric time series, so `kar-trend` can answer
+//! "is it getting worse?" instead of only "what is it now?":
+//!
+//! * [`parse_json`] — a small recursive-descent JSON reader (the repo
+//!   carries no serde; the BENCH docs are written by hand-rolled
+//!   emitters, so they are read by a hand-rolled parser too);
+//! * [`extract_metrics`] — the per-document metric schema: which scalar
+//!   trajectories each BENCH doc contributes and which direction is
+//!   "better" for each;
+//! * [`doc_history`] / [`build_series`] — the git walk;
+//! * [`regressions`] — direction-aware threshold check of the newest
+//!   point against its predecessor;
+//! * [`render_report`] / [`trend_json`] — the terminal sparkline report
+//!   and the `BENCH_trend.json` document.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::Command;
+
+/// The four trend-tracked documents at the repo root.
+pub const TREND_DOCS: &[&str] = &[
+    "BENCH_dataplane.json",
+    "BENCH_scale.json",
+    "BENCH_breaking.json",
+    "BENCH_adversary.json",
+];
+
+/// Default regression tolerance: a metric may move up to this fraction
+/// in its "worse" direction before the gate trips.
+pub const DEFAULT_TOLERANCE: f64 = 0.05;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value model + parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are kept as `f64` — every metric the
+/// trend gate tracks is a ratio, count or bit width well inside f64's
+/// exact range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always read as `f64`).
+    Num(f64),
+    /// A string, escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, member order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Nested lookup: `json.path(&["a", "b"])` == `json["a"]["b"]`.
+    pub fn path(&self, keys: &[&str]) -> Option<&Json> {
+        let mut cur = self;
+        for k in keys {
+            cur = cur.get(k)?;
+        }
+        Some(cur)
+    }
+
+    /// The number value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+/// Parses one JSON document. Returns an error string (with byte
+/// offset) on malformed input — the trend walk treats such revisions as
+/// missing points rather than failing the whole report.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            // Surrogate pairs never appear in our docs;
+                            // map unpaired surrogates to U+FFFD.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        Some(c) => out.push(c as char),
+                        None => return Err("unterminated escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    // Copy the full UTF-8 scalar, not just one byte.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| format!("bad utf-8 at byte {}", self.pos))?;
+                    let ch = s.chars().next().unwrap_or(c as char);
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] got {other:?} at {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                other => return Err(format!("expected , or }} got {other:?} at {}", self.pos)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metric extraction
+// ---------------------------------------------------------------------------
+
+/// Which way "better" points for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (speedups, delivery ratios, reachability,
+    /// breaking-point k).
+    HigherIsBetter,
+    /// Smaller is better (bits per route, violation counts).
+    LowerIsBetter,
+}
+
+impl Direction {
+    /// The JSON spelling (`"higher"` / `"lower"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Direction::HigherIsBetter => "higher",
+            Direction::LowerIsBetter => "lower",
+        }
+    }
+}
+
+/// One scalar a BENCH document contributes to the trend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Stable metric name, `doc/…/leaf` shaped.
+    pub name: String,
+    /// The scalar at this revision.
+    pub value: f64,
+    /// Which way "better" points.
+    pub direction: Direction,
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v <= 0.0 {
+            return None;
+        }
+        log_sum += v.ln();
+        n += 1;
+    }
+    (n > 0).then(|| (log_sum / n as f64).exp())
+}
+
+/// Extracts the tracked metrics from one parsed BENCH document.
+/// `doc` is the file name (e.g. `BENCH_scale.json`); unknown documents
+/// yield no metrics. Extraction is tolerant: fields a past revision
+/// lacked simply produce no point for that commit.
+pub fn extract_metrics(doc: &str, json: &Json) -> Vec<Metric> {
+    use Direction::*;
+    let mut out = Vec::new();
+    let mut push = |name: String, value: Option<f64>, direction: Direction| {
+        if let Some(value) = value {
+            if value.is_finite() {
+                out.push(Metric {
+                    name,
+                    value,
+                    direction,
+                });
+            }
+        }
+    };
+    match doc {
+        "BENCH_dataplane.json" => {
+            push(
+                "dataplane/residue_rnp28.geomean_speedup".into(),
+                json.path(&["residue_rnp28", "geomean_speedup"])
+                    .and_then(Json::as_f64),
+                HigherIsBetter,
+            );
+            push(
+                "dataplane/event_queue.speedup".into(),
+                json.path(&["event_queue", "speedup"])
+                    .and_then(Json::as_f64),
+                HigherIsBetter,
+            );
+            push(
+                "dataplane/forward_rnp28_sw13.speedup".into(),
+                json.path(&["forward_rnp28_sw13", "speedup"])
+                    .and_then(Json::as_f64),
+                HigherIsBetter,
+            );
+            push(
+                "dataplane/route_tag_clone.geomean_speedup".into(),
+                json.get("route_tag_clone")
+                    .and_then(Json::as_arr)
+                    .and_then(|rows| {
+                        geomean(
+                            rows.iter()
+                                .filter_map(|r| r.get("speedup").and_then(Json::as_f64)),
+                        )
+                    }),
+                HigherIsBetter,
+            );
+        }
+        "BENCH_scale.json" => {
+            for cell in json.get("cells").and_then(Json::as_arr).unwrap_or_default() {
+                let Some(name) = cell.get("cell").and_then(Json::as_str) else {
+                    continue;
+                };
+                push(
+                    format!("scale/{name}/route_bits_max"),
+                    cell.get("route_bits_max").and_then(Json::as_f64),
+                    LowerIsBetter,
+                );
+                push(
+                    format!("scale/{name}/delivery_ratio"),
+                    cell.get("delivery_ratio").and_then(Json::as_f64),
+                    HigherIsBetter,
+                );
+            }
+        }
+        "BENCH_breaking.json" => {
+            let mut violations_at_k2 = 0.0;
+            let mut cells_seen = false;
+            for cell in json.get("cells").and_then(Json::as_arr).unwrap_or_default() {
+                let key = ["topo", "src", "dst", "technique", "protection"]
+                    .iter()
+                    .filter_map(|k| cell.get(k).and_then(Json::as_str))
+                    .collect::<Vec<_>>()
+                    .join("/");
+                if key.is_empty() {
+                    continue;
+                }
+                cells_seen = true;
+                let max_k = cell.get("max_k").and_then(Json::as_f64).unwrap_or(0.0);
+                // A null `breaking` means the technique survived the
+                // whole search: score it one past max_k so "never broke"
+                // beats "broke at max_k" in the trajectory.
+                let k = match cell.get("breaking") {
+                    Some(b) if !b.is_null() => b.get("k").and_then(Json::as_f64),
+                    Some(_) => Some(max_k + 1.0),
+                    None => None,
+                };
+                if let Some(k) = k {
+                    if k <= 2.0 {
+                        violations_at_k2 += 1.0;
+                    }
+                }
+                push(format!("breaking/{key}/k"), k, HigherIsBetter);
+            }
+            if cells_seen {
+                push(
+                    "breaking/violations_at_k2".into(),
+                    Some(violations_at_k2),
+                    LowerIsBetter,
+                );
+            }
+        }
+        "BENCH_adversary.json" => {
+            for cell in json.get("cells").and_then(Json::as_arr).unwrap_or_default() {
+                let topo = cell.get("topo").and_then(Json::as_str).unwrap_or("?");
+                let attack = cell.get("attack").and_then(Json::as_str).unwrap_or("?");
+                let scheme = cell.get("scheme").and_then(Json::as_str).unwrap_or("?");
+                let intensity = cell.get("intensity").and_then(Json::as_f64).unwrap_or(0.0);
+                push(
+                    format!("adversary/{topo}/{attack}/i{intensity}/{scheme}/reachability"),
+                    cell.get("reachability").and_then(Json::as_f64),
+                    HigherIsBetter,
+                );
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Git history walk
+// ---------------------------------------------------------------------------
+
+/// One revision of one BENCH document.
+#[derive(Debug, Clone)]
+pub struct DocRevision {
+    /// Abbreviated commit id, or `"worktree"` for the checked-out copy.
+    pub commit: String,
+    /// Commit timestamp (unix seconds); the worktree point gets the
+    /// newest commit's timestamp so ordering stays total.
+    pub ts: u64,
+    /// The document text at that revision.
+    pub content: String,
+}
+
+fn git(repo: &Path, args: &[&str]) -> Option<String> {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(repo)
+        .args(args)
+        .output()
+        .ok()?;
+    out.status
+        .success()
+        .then(|| String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+/// Every committed revision of `doc` (oldest first), then the working
+/// tree when it differs from the newest committed content. Works
+/// without git too (plain directory): only the on-disk copy is
+/// returned, and the trend degenerates to a single point per metric.
+pub fn doc_history(repo: &Path, doc: &str) -> Vec<DocRevision> {
+    let mut revs = Vec::new();
+    if let Some(log) = git(repo, &["log", "--reverse", "--format=%h %ct", "--", doc]) {
+        for line in log.lines() {
+            let mut parts = line.split_whitespace();
+            let (Some(commit), Some(ts)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            let Ok(ts) = ts.parse() else { continue };
+            let Some(content) = git(repo, &["show", &format!("{commit}:{doc}")]) else {
+                continue;
+            };
+            revs.push(DocRevision {
+                commit: commit.to_string(),
+                ts,
+                content,
+            });
+        }
+    }
+    if let Ok(content) = std::fs::read_to_string(repo.join(doc)) {
+        if revs.last().map(|r| r.content != content).unwrap_or(true) {
+            let ts = revs.last().map(|r| r.ts).unwrap_or(0);
+            revs.push(DocRevision {
+                commit: "worktree".to_string(),
+                ts,
+                content,
+            });
+        }
+    }
+    revs
+}
+
+// ---------------------------------------------------------------------------
+// Series + regression check
+// ---------------------------------------------------------------------------
+
+/// One observation of one metric at one revision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendPoint {
+    /// Abbreviated commit id (or `"worktree"`).
+    pub commit: String,
+    /// Commit timestamp (unix seconds).
+    pub ts: u64,
+    /// The metric value at that revision.
+    pub value: f64,
+}
+
+/// A metric's full trajectory, oldest point first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Stable metric name.
+    pub name: String,
+    /// Which way "better" points.
+    pub direction: Direction,
+    /// Observations, oldest first.
+    pub points: Vec<TrendPoint>,
+}
+
+impl Series {
+    /// The newest observation.
+    pub fn latest(&self) -> Option<&TrendPoint> {
+        self.points.last()
+    }
+}
+
+/// Builds all metric series from a set of document revision histories.
+/// `histories` pairs each document name with its revisions (as from
+/// [`doc_history`]); malformed revisions are skipped.
+pub fn build_series(histories: &[(String, Vec<DocRevision>)]) -> Vec<Series> {
+    let mut by_name: BTreeMap<String, Series> = BTreeMap::new();
+    for (doc, revs) in histories {
+        for rev in revs {
+            let Ok(json) = parse_json(&rev.content) else {
+                continue;
+            };
+            for m in extract_metrics(doc, &json) {
+                by_name
+                    .entry(m.name.clone())
+                    .or_insert_with(|| Series {
+                        name: m.name,
+                        direction: m.direction,
+                        points: Vec::new(),
+                    })
+                    .points
+                    .push(TrendPoint {
+                        commit: rev.commit.clone(),
+                        ts: rev.ts,
+                        value: m.value,
+                    });
+            }
+        }
+    }
+    by_name.into_values().collect()
+}
+
+/// A tripped regression threshold: the newest point moved more than
+/// `tolerance` in the metric's "worse" direction relative to its
+/// predecessor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The regressed metric.
+    pub name: String,
+    /// The value one revision back.
+    pub prev: f64,
+    /// The newest value.
+    pub latest: f64,
+    /// Signed relative change, `(latest - prev) / |prev|`.
+    pub delta: f64,
+}
+
+/// Direction-aware regression check of each series' newest point
+/// against the one before it. Series with fewer than two points cannot
+/// regress; a previous value of exactly zero compares absolutely
+/// (any worsening move beyond `tolerance` trips).
+pub fn regressions(series: &[Series], tolerance: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for s in series {
+        let n = s.points.len();
+        if n < 2 {
+            continue;
+        }
+        let prev = s.points[n - 2].value;
+        let latest = s.points[n - 1].value;
+        let delta = if prev.abs() > f64::EPSILON {
+            (latest - prev) / prev.abs()
+        } else {
+            latest - prev
+        };
+        let worsening = match s.direction {
+            Direction::HigherIsBetter => -delta,
+            Direction::LowerIsBetter => delta,
+        };
+        if worsening > tolerance {
+            out.push(Regression {
+                name: s.name.clone(),
+                prev,
+                latest,
+                delta,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders values as a unicode sparkline, scaled min..max; a flat
+/// series renders mid-height.
+pub fn sparkline(values: &[f64]) -> String {
+    let (min, max) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (lo.min(*v), hi.max(*v))
+        });
+    values
+        .iter()
+        .map(|v| {
+            if (max - min).abs() < f64::EPSILON {
+                SPARK[3]
+            } else {
+                let t = (v - min) / (max - min);
+                SPARK[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e9 {
+        format!("{v}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// The terminal report: every multi-point trajectory as a sparkline
+/// with its latest move, single-point metrics summarized by count, and
+/// the regression list last (so it is what the eye lands on).
+pub fn render_report(series: &[Series], regs: &[Regression], tolerance: f64) -> String {
+    let mut out = String::new();
+    let commits: std::collections::BTreeSet<&str> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.commit.as_str()))
+        .collect();
+    out.push_str(&format!(
+        "kar-trend: {} metric(s) across {} revision(s), tolerance {:.1}%\n\n",
+        series.len(),
+        commits.len(),
+        tolerance * 100.0
+    ));
+    let mut flat = 0usize;
+    for s in series {
+        if s.points.len() < 2 {
+            flat += 1;
+            continue;
+        }
+        let values: Vec<f64> = s.points.iter().map(|p| p.value).collect();
+        let prev = values[values.len() - 2];
+        let latest = values[values.len() - 1];
+        let delta = if prev.abs() > f64::EPSILON {
+            format!("{:+.1}%", 100.0 * (latest - prev) / prev.abs())
+        } else {
+            format!("{:+.3}", latest - prev)
+        };
+        out.push_str(&format!(
+            "  {} {}  {} → {} ({delta})\n",
+            sparkline(&values),
+            s.name,
+            fmt_value(prev),
+            fmt_value(latest),
+        ));
+    }
+    if flat > 0 {
+        out.push_str(&format!(
+            "  ({flat} metric(s) have a single revision — no trend yet)\n"
+        ));
+    }
+    out.push('\n');
+    if regs.is_empty() {
+        out.push_str("no regressions beyond tolerance.\n");
+    } else {
+        out.push_str(&format!("REGRESSIONS ({}):\n", regs.len()));
+        for r in regs {
+            out.push_str(&format!(
+                "  ⚠ {}  {} → {} ({:+.1}%, tolerance {:.1}%)\n",
+                r.name,
+                fmt_value(r.prev),
+                fmt_value(r.latest),
+                r.delta * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Serializes the full trend document (`BENCH_trend.json`).
+pub fn trend_json(series: &[Series], regs: &[Regression], tolerance: f64) -> String {
+    let mut out = String::from("{\n\"campaign\":\"trend\",\n");
+    out.push_str(&format!("\"tolerance\":{tolerance},\n\"metrics\":[\n"));
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"direction\":\"{}\",\"points\":[",
+            json_escape(&s.name),
+            s.direction.as_str()
+        ));
+        for (j, p) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"commit\":\"{}\",\"ts\":{},\"value\":{}}}",
+                json_escape(&p.commit),
+                p.ts,
+                json_num(p.value)
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n],\n\"regressions\":[\n");
+    for (i, r) in regs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"prev\":{},\"latest\":{},\"delta\":{}}}",
+            json_escape(&r.name),
+            json_num(r.prev),
+            json_num(r.latest),
+            json_num(r.delta)
+        ));
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_round_trips_the_shapes_we_read() {
+        let doc = r#"{"bench":"x","n":-1.5e2,"ok":true,"none":null,
+                      "arr":[1,2,{"k":"v \"q\" A"}]}"#;
+        let v = parse_json(doc).unwrap();
+        assert_eq!(v.get("bench").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("n").and_then(Json::as_f64), Some(-150.0));
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert!(v.get("none").unwrap().is_null());
+        let arr = v.get("arr").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(
+            arr[2].get("k").and_then(Json::as_str),
+            Some("v \"q\" A"),
+            "escapes decode"
+        );
+        assert!(parse_json("{\"a\":1}x").is_err(), "trailing junk rejected");
+        assert!(parse_json("{").is_err());
+    }
+
+    #[test]
+    fn dataplane_metrics_extract() {
+        let doc = r#"{"residue_rnp28":{"geomean_speedup":2.39},
+                      "event_queue":{"speedup":3.77},
+                      "forward_rnp28_sw13":{"speedup":1.34},
+                      "route_tag_clone":[{"speedup":2.0},{"speedup":8.0}]}"#;
+        let metrics = extract_metrics("BENCH_dataplane.json", &parse_json(doc).unwrap());
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.name.ends_with(name))
+                .map(|m| m.value)
+        };
+        assert_eq!(get("residue_rnp28.geomean_speedup"), Some(2.39));
+        assert_eq!(get("event_queue.speedup"), Some(3.77));
+        assert_eq!(get("forward_rnp28_sw13.speedup"), Some(1.34));
+        let g = get("route_tag_clone.geomean_speedup").unwrap();
+        assert!((g - 4.0).abs() < 1e-9, "geomean of 2 and 8 is 4, got {g}");
+        assert!(metrics
+            .iter()
+            .all(|m| m.direction == Direction::HigherIsBetter));
+    }
+
+    #[test]
+    fn breaking_metrics_score_survival_and_count_k2_violations() {
+        let doc = r#"{"cells":[
+          {"topo":"t","src":"a","dst":"b","technique":"AVP","protection":"none",
+           "max_k":3,"breaking":{"k":1}},
+          {"topo":"t","src":"a","dst":"b","technique":"HP","protection":"none",
+           "max_k":3,"breaking":null},
+          {"topo":"t","src":"a","dst":"b","technique":"NIP","protection":"none",
+           "max_k":3,"breaking":{"k":3}}]}"#;
+        let metrics = extract_metrics("BENCH_breaking.json", &parse_json(doc).unwrap());
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.name.contains(name))
+                .map(|m| m.value)
+        };
+        assert_eq!(get("/AVP/"), Some(1.0));
+        assert_eq!(get("/HP/"), Some(4.0), "null breaking scores max_k+1");
+        assert_eq!(get("/NIP/"), Some(3.0));
+        let v = metrics
+            .iter()
+            .find(|m| m.name == "breaking/violations_at_k2")
+            .unwrap();
+        assert_eq!(v.value, 1.0, "only AVP broke at k<=2");
+        assert_eq!(v.direction, Direction::LowerIsBetter);
+    }
+
+    fn series(direction: Direction, values: &[f64]) -> Series {
+        Series {
+            name: "m".into(),
+            direction,
+            points: values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| TrendPoint {
+                    commit: format!("c{i}"),
+                    ts: i as u64,
+                    value: *v,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn regression_check_is_direction_aware() {
+        use Direction::*;
+        // Higher-is-better dropping 10% trips a 5% tolerance...
+        let s = [series(HigherIsBetter, &[2.0, 1.8])];
+        assert_eq!(regressions(&s, 0.05).len(), 1);
+        // ...but not a 15% tolerance, and improvements never trip.
+        assert!(regressions(&s, 0.15).is_empty());
+        let s = [series(HigherIsBetter, &[1.8, 2.0])];
+        assert!(regressions(&s, 0.05).is_empty());
+        // Lower-is-better: growth trips, shrinkage doesn't.
+        let s = [series(LowerIsBetter, &[45.0, 52.0])];
+        let regs = regressions(&s, 0.05);
+        assert_eq!(regs.len(), 1);
+        assert!((regs[0].delta - 7.0 / 45.0).abs() < 1e-9);
+        let s = [series(LowerIsBetter, &[52.0, 45.0])];
+        assert!(regressions(&s, 0.05).is_empty());
+        // Single points and zero-previous values don't panic.
+        let s = [series(HigherIsBetter, &[2.0])];
+        assert!(regressions(&s, 0.05).is_empty());
+        let s = [series(LowerIsBetter, &[0.0, 0.2])];
+        assert_eq!(
+            regressions(&s, 0.05).len(),
+            1,
+            "zero base compares absolutely"
+        );
+    }
+
+    #[test]
+    fn a_synthetically_regressed_document_trips_the_gate() {
+        // Two revisions of a dataplane doc: the second loses half its
+        // event-queue speedup. The gate must flag exactly that metric.
+        let good = r#"{"event_queue":{"speedup":3.77}}"#;
+        let bad = r#"{"event_queue":{"speedup":1.80}}"#;
+        let histories = vec![(
+            "BENCH_dataplane.json".to_string(),
+            vec![
+                DocRevision {
+                    commit: "aaaa111".into(),
+                    ts: 1,
+                    content: good.into(),
+                },
+                DocRevision {
+                    commit: "worktree".into(),
+                    ts: 2,
+                    content: bad.into(),
+                },
+            ],
+        )];
+        let series = build_series(&histories);
+        let regs = regressions(&series, DEFAULT_TOLERANCE);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "dataplane/event_queue.speedup");
+        let report = render_report(&series, &regs, DEFAULT_TOLERANCE);
+        assert!(report.contains("REGRESSIONS (1)"), "{report}");
+        assert!(
+            report.contains("⚠ dataplane/event_queue.speedup"),
+            "{report}"
+        );
+        let doc = trend_json(&series, &regs, DEFAULT_TOLERANCE);
+        assert!(doc.contains("\"campaign\":\"trend\""), "{doc}");
+        assert!(doc.contains("\"commit\":\"aaaa111\""), "{doc}");
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn sparkline_scales_and_handles_flat_series() {
+        assert_eq!(sparkline(&[1.0, 2.0, 3.0]), "▁▅█");
+        assert_eq!(sparkline(&[5.0, 5.0]), "▄▄");
+    }
+}

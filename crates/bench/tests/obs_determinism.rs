@@ -1,6 +1,9 @@
-//! The observability invariant: metrics are pure observation. A run
-//! with the sink collecting must be byte-identical (same digests) to
-//! the same run without it, and the dump it writes must parse back.
+//! The observability invariant (DESIGN invariant 12): metrics, spans
+//! and tracing are pure observation. A run with the sink collecting —
+//! metrics dump AND Chrome trace — must be byte-identical (same
+//! digests) to the same run without it, the dump it writes must parse
+//! back, and the dump must carry a complete causal chain
+//! (fault → detect → re-encode → stamped packet).
 //!
 //! The sink is process-global, so everything lives in ONE test function
 //! in its own integration-test binary — the library's unit tests run in
@@ -56,13 +59,16 @@ fn metrics_collection_never_changes_results() {
     let plain_dynamic = dynamic_digests();
     let plain_tcp = tcp_digest();
 
-    // Instrumented: same runs with the sink collecting.
+    // Instrumented: same runs with the sink collecting, both outputs on.
     let dir = std::env::temp_dir().join(format!("kar_obs_determinism_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join("dump.jsonl");
+    let trace = dir.join("trace.json");
     assert!(obs::init([
         "--metrics".to_string(),
-        path.display().to_string()
+        path.display().to_string(),
+        "--trace".to_string(),
+        trace.display().to_string(),
     ]));
     let instrumented_dynamic = dynamic_digests();
     let instrumented_tcp = tcp_digest();
@@ -71,11 +77,28 @@ fn metrics_collection_never_changes_results() {
 
     assert_eq!(
         plain_dynamic, instrumented_dynamic,
-        "dynamic experiment digests changed when metrics were on"
+        "dynamic experiment digests changed when metrics+tracing were on"
     );
     assert_eq!(
         plain_tcp, instrumented_tcp,
-        "tcp harness digest changed when metrics were on"
+        "tcp harness digest changed when metrics+tracing were on"
+    );
+
+    // The Chrome trace export is a well-formed trace-event document.
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(
+        trace_text.starts_with("{\"traceEvents\":["),
+        "trace must open a traceEvents array: {}",
+        &trace_text[..trace_text.len().min(60)]
+    );
+    assert_eq!(
+        trace_text.matches('{').count(),
+        trace_text.matches('}').count(),
+        "trace braces unbalanced"
+    );
+    assert!(
+        trace_text.contains("\"ph\":\"s\"") && trace_text.contains("\"ph\":\"f\""),
+        "trace has no causal flow arrows"
     );
 
     // The dump itself must parse back with the expected structure.
@@ -111,6 +134,41 @@ fn metrics_collection_never_changes_results() {
             d.label
         );
     }
+
+    // Invariant 12's causal payload: at least one run carries the full
+    // span chain fault → detect → re-encode → stamped packet.
+    let full_chain = dumps.iter().any(|d| {
+        let events: Vec<(&str, Option<u64>, Option<u64>)> = d
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                DumpRecord::Event {
+                    kind, span, parent, ..
+                } => Some((kind.as_str(), *span, *parent)),
+                _ => None,
+            })
+            .collect();
+        let fault_spans: Vec<u64> = events
+            .iter()
+            .filter(|(k, s, _)| *k == "fault" && s.is_some())
+            .map(|(_, s, _)| s.unwrap())
+            .collect();
+        events.iter().any(|(k, s, p)| {
+            *k == "detect"
+                && p.map(|p| fault_spans.contains(&p)).unwrap_or(false)
+                && events.iter().any(|(k2, s2, p2)| {
+                    *k2 == "reencode"
+                        && *p2 == *s
+                        && events
+                            .iter()
+                            .any(|(k3, _, p3)| *k3 == "stamp" && *p3 == *s2)
+                })
+        })
+    });
+    assert!(
+        full_chain,
+        "no run carries a complete fault → detect → reencode → stamp span chain"
+    );
 
     // A second finish with the sink off is a clean no-op.
     obs::finish();

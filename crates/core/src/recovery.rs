@@ -141,6 +141,9 @@ struct CurrentRoute {
     /// `true` when `route` detours around a failure (differs from the
     /// originally installed one).
     detour: bool,
+    /// Causal span of the re-encode that produced this detour (when
+    /// observability is on); `stamp` events parent to it.
+    span: Option<u64>,
 }
 
 /// A link notification in flight on the control channel.
@@ -172,6 +175,9 @@ pub struct RecoveringController {
     /// entries from older epochs are recomputed on demand.
     epoch: u64,
     last_failure_observed: Option<SimTime>,
+    /// Link of the most recently applied notice (failure or repair) —
+    /// the causal anchor for re-encode events.
+    last_notice_link: Option<LinkId>,
     log: Arc<Mutex<RecoveryLog>>,
     obs: ObsHandle,
 }
@@ -191,6 +197,7 @@ impl RecoveringController {
             failed: HashSet::new(),
             epoch: 0,
             last_failure_observed: None,
+            last_notice_link: None,
             log: Arc::new(Mutex::new(RecoveryLog::default())),
             obs: ObsHandle::disabled(),
         }
@@ -288,6 +295,7 @@ impl RecoveringController {
                 break;
             }
             self.pending.pop_front();
+            self.last_notice_link = Some(next.link);
             let changed = if next.up {
                 self.inner.notify_repair(next.link);
                 self.failed.remove(&next.link)
@@ -350,6 +358,13 @@ impl RecoveringController {
             }
         };
         let was_detour = self.current.get(&key).map(|c| c.detour).unwrap_or(false);
+        // A re-encode while already detoured (new epoch, still broken)
+        // keeps its original span: causally it is the same recovery.
+        let mut span = if detour {
+            self.current.get(&key).and_then(|c| c.span)
+        } else {
+            None
+        };
         if detour && !was_detour {
             if let Some(failed_at) = self.last_failure_observed {
                 lock_log(&self.log).flows.push(FlowRecovery {
@@ -366,19 +381,35 @@ impl RecoveringController {
                     obs.metrics
                         .histogram(Entity::Global, "recovery.latency_ns")
                         .observe(latency_ns);
+                    // Parent the re-encode to the detection of the link
+                    // that actually broke this pair's primary path.
+                    let parent = orig
+                        .links
+                        .iter()
+                        .find(|l| self.failed.contains(l))
+                        .and_then(|l| obs.spans.last_detect(l.0 as u32));
+                    let s = obs.spans.fresh();
+                    span = Some(s);
                     obs.events.push(Event {
                         node: Some(src.0 as u32),
                         aux: latency_ns,
                         tag: "detour",
+                        span: Some(s),
+                        parent,
                         ..Event::new(now.as_nanos(), EventKind::Reencode)
                     });
                 }
             }
         } else if !detour && was_detour {
             if let Some(obs) = self.obs.get() {
+                let parent = self
+                    .last_notice_link
+                    .and_then(|l| obs.spans.last_detect(l.0 as u32));
                 obs.events.push(Event {
                     node: Some(src.0 as u32),
                     tag: "restore",
+                    span: Some(obs.spans.fresh()),
+                    parent,
                     ..Event::new(now.as_nanos(), EventKind::Reencode)
                 });
             }
@@ -389,6 +420,7 @@ impl RecoveringController {
                 epoch: self.epoch,
                 route: route.clone(),
                 detour,
+                span,
             },
         );
         Some(route)
@@ -402,6 +434,23 @@ impl EdgeLogic for RecoveringController {
         self.apply_pending(pkt.created);
         let route = self.current_route(topo, edge, pkt.dst, pkt.created)?;
         pkt.route = Some(RouteTag::new(route.route_id.clone()));
+        // Stamping a detour route is the moment a recovery becomes
+        // visible to this packet: link its span to the re-encode's.
+        if let Some(obs) = self.obs.get() {
+            if let Some(cur) = self.current.get(&(edge, pkt.dst)) {
+                if cur.detour {
+                    obs.events.push(Event {
+                        pkt: Some(pkt.id),
+                        flow: Some(pkt.flow.0),
+                        node: Some(edge.0 as u32),
+                        tag: "detour",
+                        span: Some(kar_obs::pkt_span(pkt.id)),
+                        parent: cur.span,
+                        ..Event::new(pkt.created.as_nanos(), EventKind::Stamp)
+                    });
+                }
+            }
+        }
         Some(route.uplink)
     }
 

@@ -141,6 +141,63 @@ pub enum DumpRecord {
         aux: u64,
         /// Kind-specific label.
         tag: String,
+        /// Causal span id, if any.
+        span: Option<u64>,
+        /// Parent span id, if any.
+        parent: Option<u64>,
+    },
+    /// Event-ring occupancy for the run: total pushed, evicted by the
+    /// bound, and the configured capacity.
+    Ring {
+        /// Events ever pushed.
+        pushed: u64,
+        /// Events evicted by the ring bound.
+        evicted: u64,
+        /// Ring capacity.
+        cap: u64,
+    },
+    /// Flight-recorder capture header; its events follow as
+    /// [`DumpRecord::ForensicEvent`] lines sharing the capture index.
+    Forensic {
+        /// Capture index within the run.
+        capture: u64,
+        /// Trigger name (`loop`, `blackhole`, …).
+        trigger: String,
+        /// Trigger time (ns).
+        at_ns: u64,
+        /// Offending packet, if any.
+        pkt: Option<u64>,
+        /// Ring evictions at capture time.
+        evicted: u64,
+        /// Captures suppressed by the recorder bounds (whole run).
+        suppressed: u64,
+    },
+    /// One event frozen inside a forensic capture.
+    ForensicEvent {
+        /// Capture index this event belongs to.
+        capture: u64,
+        /// `"chain"` (causal chain) or `"recent"` (ring window).
+        section: String,
+        /// Simulation time in nanoseconds.
+        at_ns: u64,
+        /// Event kind name.
+        kind: String,
+        /// Packet id, if any.
+        pkt: Option<u64>,
+        /// Flow id, if any.
+        flow: Option<u64>,
+        /// Node name ("" when not applicable).
+        node: String,
+        /// Link name ("" when not applicable).
+        link: String,
+        /// Kind-specific scalar.
+        aux: u64,
+        /// Kind-specific label.
+        tag: String,
+        /// Causal span id, if any.
+        span: Option<u64>,
+        /// Parent span id, if any.
+        parent: Option<u64>,
     },
     /// One profiler row.
     Profile {
@@ -227,6 +284,8 @@ impl RunDump {
                 link: ev.link.map(|l| labeler.link(l)).unwrap_or_default(),
                 aux: ev.aux,
                 tag: ev.tag.to_string(),
+                span: ev.span,
+                parent: ev.parent,
             });
         }
         for r in profile {
@@ -241,6 +300,59 @@ impl RunDump {
             label: label.to_string(),
             records,
         }
+    }
+
+    /// Builds a dump from a whole [`Obs`](crate::Obs) bundle: metrics,
+    /// events, ring occupancy and flight-recorder captures.
+    pub fn collect_obs(
+        label: &str,
+        obs: &crate::Obs,
+        profile: &[ProfileRow],
+        labeler: &TopoLabeler,
+    ) -> Self {
+        let mut dump = Self::collect(
+            label,
+            &obs.metrics.snapshot(),
+            &obs.events.events(),
+            profile,
+            labeler,
+        );
+        dump.records.push(DumpRecord::Ring {
+            pushed: obs.events.pushed(),
+            evicted: obs.events.evicted(),
+            cap: obs.events.capacity() as u64,
+        });
+        let suppressed = obs.forensics.suppressed();
+        for (i, c) in obs.forensics.captures().iter().enumerate() {
+            let capture = i as u64;
+            dump.records.push(DumpRecord::Forensic {
+                capture,
+                trigger: c.trigger.to_string(),
+                at_ns: c.at_ns,
+                pkt: c.pkt,
+                evicted: c.evicted,
+                suppressed,
+            });
+            for (section, evs) in [("chain", &c.chain), ("recent", &c.recent)] {
+                for ev in evs {
+                    dump.records.push(DumpRecord::ForensicEvent {
+                        capture,
+                        section: section.to_string(),
+                        at_ns: ev.at_ns,
+                        kind: ev.kind.as_str().to_string(),
+                        pkt: ev.pkt,
+                        flow: ev.flow.map(u64::from),
+                        node: ev.node.map(|n| labeler.node(n)).unwrap_or_default(),
+                        link: ev.link.map(|l| labeler.link(l)).unwrap_or_default(),
+                        aux: ev.aux,
+                        tag: ev.tag.to_string(),
+                        span: ev.span,
+                        parent: ev.parent,
+                    });
+                }
+            }
+        }
+        dump
     }
 
     /// Serializes to JSON lines (one per record, each carrying the run
@@ -336,19 +448,66 @@ fn record_line(run: &str, r: &DumpRecord) -> String {
             link,
             aux,
             tag,
+            span,
+            parent,
+        } => {
+            let _ = write!(s, ",\"type\":\"event\"");
+            write_event_fields(
+                &mut s, *at_ns, kind, *pkt, *flow, node, link, *aux, tag, *span, *parent,
+            );
+        }
+        DumpRecord::Ring {
+            pushed,
+            evicted,
+            cap,
         } => {
             let _ = write!(
                 s,
-                ",\"type\":\"event\",\"at_ns\":{},\"kind\":\"{}\",\"pkt\":{},\"flow\":{},\
-                 \"node\":\"{}\",\"link\":\"{}\",\"aux\":{},\"tag\":\"{}\"",
+                ",\"type\":\"ring\",\"pushed\":{pushed},\"evicted\":{evicted},\"cap\":{cap}"
+            );
+        }
+        DumpRecord::Forensic {
+            capture,
+            trigger,
+            at_ns,
+            pkt,
+            evicted,
+            suppressed,
+        } => {
+            let _ = write!(
+                s,
+                ",\"type\":\"forensic\",\"capture\":{},\"trigger\":\"{}\",\"at_ns\":{},\
+                 \"pkt\":{},\"evicted\":{},\"suppressed\":{}",
+                capture,
+                escape(trigger),
                 at_ns,
-                escape(kind),
                 opt_num(*pkt),
-                opt_num(*flow),
-                escape(node),
-                escape(link),
-                aux,
-                escape(tag)
+                evicted,
+                suppressed
+            );
+        }
+        DumpRecord::ForensicEvent {
+            capture,
+            section,
+            at_ns,
+            kind,
+            pkt,
+            flow,
+            node,
+            link,
+            aux,
+            tag,
+            span,
+            parent,
+        } => {
+            let _ = write!(
+                s,
+                ",\"type\":\"fevent\",\"capture\":{},\"section\":\"{}\"",
+                capture,
+                escape(section)
+            );
+            write_event_fields(
+                &mut s, *at_ns, kind, *pkt, *flow, node, link, *aux, tag, *span, *parent,
             );
         }
         DumpRecord::Profile {
@@ -369,6 +528,37 @@ fn record_line(run: &str, r: &DumpRecord) -> String {
     }
     s.push('}');
     s
+}
+
+#[allow(clippy::too_many_arguments)] // one flat record, one flat writer
+fn write_event_fields(
+    s: &mut String,
+    at_ns: u64,
+    kind: &str,
+    pkt: Option<u64>,
+    flow: Option<u64>,
+    node: &str,
+    link: &str,
+    aux: u64,
+    tag: &str,
+    span: Option<u64>,
+    parent: Option<u64>,
+) {
+    let _ = write!(
+        s,
+        ",\"at_ns\":{},\"kind\":\"{}\",\"pkt\":{},\"flow\":{},\
+         \"node\":\"{}\",\"link\":\"{}\",\"aux\":{},\"tag\":\"{}\",\"span\":{},\"parent\":{}",
+        at_ns,
+        escape(kind),
+        opt_num(pkt),
+        opt_num(flow),
+        escape(node),
+        escape(link),
+        aux,
+        escape(tag),
+        opt_num(span),
+        opt_num(parent)
+    );
 }
 
 fn opt_num(v: Option<u64>) -> String {
@@ -604,6 +794,35 @@ pub fn parse_line(line: &str) -> Option<(String, DumpRecord)> {
             link: get("link"),
             aux: get_u64("aux"),
             tag: get("tag"),
+            span: map.get("span").and_then(JsonVal::as_u64),
+            parent: map.get("parent").and_then(JsonVal::as_u64),
+        },
+        "ring" => DumpRecord::Ring {
+            pushed: get_u64("pushed"),
+            evicted: get_u64("evicted"),
+            cap: get_u64("cap"),
+        },
+        "forensic" => DumpRecord::Forensic {
+            capture: get_u64("capture"),
+            trigger: get("trigger"),
+            at_ns: get_u64("at_ns"),
+            pkt: map.get("pkt").and_then(JsonVal::as_u64),
+            evicted: get_u64("evicted"),
+            suppressed: get_u64("suppressed"),
+        },
+        "fevent" => DumpRecord::ForensicEvent {
+            capture: get_u64("capture"),
+            section: get("section"),
+            at_ns: get_u64("at_ns"),
+            kind: get("kind"),
+            pkt: map.get("pkt").and_then(JsonVal::as_u64),
+            flow: map.get("flow").and_then(JsonVal::as_u64),
+            node: get("node"),
+            link: get("link"),
+            aux: get_u64("aux"),
+            tag: get("tag"),
+            span: map.get("span").and_then(JsonVal::as_u64),
+            parent: map.get("parent").and_then(JsonVal::as_u64),
         },
         "profile" => DumpRecord::Profile {
             label: get("label"),
@@ -672,6 +891,57 @@ mod tests {
         );
         let lines = dump.to_lines();
         let back = read_dumps(lines.as_bytes()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0], dump);
+    }
+
+    #[test]
+    fn span_ring_and_forensic_records_round_trip() {
+        let dump = RunDump {
+            label: "r".into(),
+            records: vec![
+                DumpRecord::Event {
+                    at_ns: 10,
+                    kind: "detect".into(),
+                    pkt: None,
+                    flow: None,
+                    node: "SW7".into(),
+                    link: "SW7-SW13".into(),
+                    aux: 1,
+                    tag: "down".into(),
+                    span: Some(4),
+                    parent: Some(2),
+                },
+                DumpRecord::Ring {
+                    pushed: 100,
+                    evicted: 36,
+                    cap: 64,
+                },
+                DumpRecord::Forensic {
+                    capture: 0,
+                    trigger: "loop".into(),
+                    at_ns: 999,
+                    pkt: Some(7),
+                    evicted: 36,
+                    suppressed: 3,
+                },
+                DumpRecord::ForensicEvent {
+                    capture: 0,
+                    section: "chain".into(),
+                    at_ns: 10,
+                    kind: "fault".into(),
+                    pkt: None,
+                    flow: None,
+                    node: String::new(),
+                    link: "SW7-SW13".into(),
+                    aux: 0,
+                    tag: "down".into(),
+                    span: Some(2),
+                    parent: None,
+                },
+            ],
+        };
+        let back = read_dumps(dump.to_lines().as_bytes()).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back[0], dump);
     }

@@ -35,6 +35,9 @@ pub enum EventKind {
     Detect,
     /// The controller re-encoded (or reverted) a route.
     Reencode,
+    /// A re-encoded (detour) route ID was stamped onto a packet at
+    /// ingress — the moment a recovery becomes visible to the flow.
+    Stamp,
     /// An application-level observation (see `HostCtx::observe`).
     Note,
 }
@@ -52,6 +55,7 @@ impl EventKind {
             EventKind::Repair => "repair",
             EventKind::Detect => "detect",
             EventKind::Reencode => "reencode",
+            EventKind::Stamp => "stamp",
             EventKind::Note => "note",
         }
     }
@@ -68,6 +72,7 @@ impl EventKind {
             "repair" => EventKind::Repair,
             "detect" => EventKind::Detect,
             "reencode" => EventKind::Reencode,
+            "stamp" => EventKind::Stamp,
             "note" => EventKind::Note,
             _ => return None,
         })
@@ -96,6 +101,10 @@ pub struct Event {
     pub aux: u64,
     /// Kind-specific label (drop reason, "down"/"up", …).
     pub tag: &'static str,
+    /// Causal span this event belongs to (see [`crate::span`]).
+    pub span: Option<u64>,
+    /// Span that caused this one (fault → detect → re-encode → stamp).
+    pub parent: Option<u64>,
 }
 
 impl Event {
@@ -110,6 +119,8 @@ impl Event {
             link: None,
             aux: 0,
             tag: "",
+            span: None,
+            parent: None,
         }
     }
 }
@@ -180,6 +191,11 @@ impl EventRing {
         let inner = self.inner.lock().expect("event ring lock");
         inner.pushed - inner.buf.len() as u64
     }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("event ring lock").cap
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +230,7 @@ mod tests {
             EventKind::Repair,
             EventKind::Detect,
             EventKind::Reencode,
+            EventKind::Stamp,
             EventKind::Note,
         ] {
             assert_eq!(EventKind::parse(kind.as_str()), Some(kind));

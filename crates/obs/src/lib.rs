@@ -26,30 +26,40 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 mod dump;
 mod events;
+pub mod forensics;
 mod metrics;
 mod profile;
 pub mod sink;
+pub mod span;
 
 pub use dump::{escape, json_f64, parse_line, read_dumps, DumpRecord, RunDump, TopoLabeler};
 pub use events::{Event, EventKind, EventRing, EVENT_RING_CAP};
+pub use forensics::{ForensicCapture, ForensicLog};
 pub use metrics::{
     bucket_index, bucket_range, Counter, Entity, Gauge, HistSnapshot, Histogram, HistogramSummary,
     MetricsRegistry, MetricsSnapshot, Series, SeriesSnapshot,
 };
 pub use profile::{fmt_ns, ProfileRow, Profiler};
+pub use span::{pkt_span, SpanTracker};
 
 use std::sync::Arc;
 
-/// One run's observability bundle: a metrics registry plus an event
-/// ring. Created per simulation; shared by everything that records.
+/// One run's observability bundle: a metrics registry, an event ring,
+/// the causal [`SpanTracker`] and the flight-recorder [`ForensicLog`].
+/// Created per simulation; shared by everything that records.
 #[derive(Debug, Default)]
 pub struct Obs {
     /// The metrics registry.
     pub metrics: MetricsRegistry,
     /// The event ring.
     pub events: EventRing,
+    /// Causal span allocator (fault → detect → re-encode → packet).
+    pub spans: SpanTracker,
+    /// Anomaly-triggered flight recorder.
+    pub forensics: ForensicLog,
 }
 
 impl Obs {
@@ -63,6 +73,8 @@ impl Obs {
         Obs {
             metrics: MetricsRegistry::new(),
             events: EventRing::with_capacity(event_cap),
+            spans: SpanTracker::new(),
+            forensics: ForensicLog::new(),
         }
     }
 }

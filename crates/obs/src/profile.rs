@@ -113,17 +113,35 @@ impl Profiler {
     }
 }
 
-/// Human-readable nanoseconds (`17ns`, `4.2µs`, `1.3ms`, `2.1s`).
+/// Human-readable nanoseconds (`17ns`, `4.2µs`, `1.3ms`, `2.10s`,
+/// `3.5m`, `2.1h`).
+///
+/// Two formatting pitfalls are handled explicitly: a value whose
+/// *rounded* text would reach the next unit is bumped into that unit
+/// (`999_960ns` → `1.0ms`, never `1000.0µs`), and durations past a
+/// minute switch to minute/hour units so the widest possible output
+/// (`u64::MAX` → `5124095.6h`) still fits the profiler table's
+/// 10-character columns.
 pub fn fmt_ns(ns: u64) -> String {
     if ns < 1_000 {
-        format!("{ns}ns")
-    } else if ns < 1_000_000 {
-        format!("{:.1}µs", ns as f64 / 1e3)
-    } else if ns < 1_000_000_000 {
-        format!("{:.1}ms", ns as f64 / 1e6)
-    } else {
-        format!("{:.2}s", ns as f64 / 1e9)
+        return format!("{ns}ns");
     }
+    // (divisor, upper bound in the band's unit, decimals, suffix).
+    const BANDS: [(f64, f64, usize, &str); 5] = [
+        (1e3, 1000.0, 1, "µs"),
+        (1e6, 1000.0, 1, "ms"),
+        (1e9, 60.0, 2, "s"),
+        (60e9, 60.0, 1, "m"),
+        (3.6e12, f64::INFINITY, 1, "h"),
+    ];
+    for (div, bound, prec, suffix) in BANDS {
+        let text = format!("{:.prec$}", ns as f64 / div, prec = prec);
+        // Compare the *rounded* value so "999.96" (→ "1000.0") spills.
+        if text.parse::<f64>().unwrap_or(0.0) < bound {
+            return format!("{text}{suffix}");
+        }
+    }
+    unreachable!("the hour band has no upper bound")
 }
 
 #[cfg(test)]
@@ -155,6 +173,38 @@ mod tests {
         assert_eq!(fmt_ns(4_200), "4.2µs");
         assert_eq!(fmt_ns(1_300_000), "1.3ms");
         assert_eq!(fmt_ns(2_100_000_000), "2.10s");
+    }
+
+    #[test]
+    fn fmt_ns_edge_cases_never_overflow_their_unit() {
+        assert_eq!(fmt_ns(0), "0ns");
+        assert_eq!(fmt_ns(999), "999ns");
+        // Rounding at a unit boundary bumps to the next unit instead of
+        // printing four integer digits ("1000.0µs").
+        assert_eq!(fmt_ns(999_960), "1.0ms");
+        assert_eq!(fmt_ns(999_960_000), "1.00s");
+        assert_eq!(fmt_ns(59_996_000_000), "1.0m");
+        // Past a minute the s band would grow unboundedly; m/h cap it.
+        assert_eq!(fmt_ns(90_000_000_000), "1.5m");
+        assert_eq!(fmt_ns(7_200_000_000_000), "2.0h");
+        let widest = fmt_ns(u64::MAX);
+        assert_eq!(widest, "5124095.6h");
+        assert!(widest.chars().count() <= 10, "must fit a 10-wide column");
+    }
+
+    #[test]
+    fn report_columns_stay_aligned_across_extremes() {
+        let p = Profiler::new();
+        p.record("zero", Duration::from_nanos(0));
+        p.record("huge", Duration::from_secs(4_000));
+        p.record("tiny", Duration::from_nanos(3));
+        let report = p.report();
+        let widths: Vec<usize> = report.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.len() >= 4, "header + 3 rows");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged columns:\n{report}"
+        );
     }
 
     #[test]

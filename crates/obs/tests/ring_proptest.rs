@@ -1,0 +1,46 @@
+//! Property tests of the `EventRing` overflow semantics: the ring may
+//! forget old events, but its accounting must never lie, and the
+//! retained window must be exactly the newest events in push order.
+
+use kar_obs::{Event, EventKind, EventRing};
+use proptest::prelude::*;
+
+proptest! {
+    /// `pushed() - evicted() == events().len()` at every prefix, for
+    /// any capacity and push count (including heavy wraparound).
+    #[test]
+    fn occupancy_accounting_balances(cap in 1usize..48, pushes in 0usize..200) {
+        let ring = EventRing::with_capacity(cap);
+        for i in 0..pushes {
+            let mut ev = Event::new(i as u64, EventKind::Hop);
+            ev.pkt = Some(i as u64);
+            ring.push(ev);
+            prop_assert_eq!(
+                ring.pushed() - ring.evicted(),
+                ring.events().len() as u64
+            );
+        }
+        prop_assert_eq!(ring.pushed(), pushes as u64);
+        prop_assert_eq!(ring.capacity(), cap);
+        prop_assert_eq!(ring.evicted(), pushes.saturating_sub(cap) as u64);
+    }
+
+    /// After any number of pushes the ring holds exactly the newest
+    /// `min(cap, pushes)` events, oldest first, order preserved.
+    #[test]
+    fn wraparound_keeps_the_newest_window_in_order(cap in 1usize..48, pushes in 0usize..200) {
+        let ring = EventRing::with_capacity(cap);
+        for i in 0..pushes {
+            let mut ev = Event::new(i as u64, EventKind::Inject);
+            ev.pkt = Some(i as u64);
+            ring.push(ev);
+        }
+        let events = ring.events();
+        prop_assert_eq!(events.len(), pushes.min(cap));
+        let first = pushes.saturating_sub(cap);
+        for (offset, ev) in events.iter().enumerate() {
+            prop_assert_eq!(ev.pkt, Some((first + offset) as u64));
+            prop_assert_eq!(ev.at_ns, (first + offset) as u64);
+        }
+    }
+}

@@ -15,7 +15,7 @@ use crate::packet::{FlowId, Packet, PacketKind};
 use crate::stats::Stats;
 use crate::time::{tx_time, SimTime};
 use crate::trace::{PacketFate, TraceLog};
-use kar_obs::{Entity, Event as ObsEvent, EventKind, Obs, ObsHandle, Profiler};
+use kar_obs::{pkt_span, Entity, Event as ObsEvent, EventKind, Obs, ObsHandle, Profiler};
 use kar_rns::{BigUint, Reducer};
 use kar_topology::{LinkId, NodeId, NodeKind, PortIx, Topology};
 use rand::rngs::StdRng;
@@ -586,6 +586,9 @@ impl<'t> Sim<'t> {
             let at = self.now.as_nanos();
             o.link_drops[link.0].add(lost_ids.len() as u64);
             o.link_queue[link.0].set(0);
+            // The fault opens a causal span; the packets it killed and
+            // the eventual detection both parent to it.
+            let span = o.bundle.spans.fault(link.0 as u32);
             for &id in &lost_ids {
                 o.bundle
                     .metrics
@@ -595,12 +598,15 @@ impl<'t> Sim<'t> {
                 ev.pkt = Some(id);
                 ev.link = Some(link.0 as u32);
                 ev.tag = DropReason::LinkFailure.as_str();
+                ev.span = Some(pkt_span(id));
+                ev.parent = Some(span);
                 o.event(ev);
             }
             let mut ev = ObsEvent::new(at, EventKind::Fault);
             ev.link = Some(link.0 as u32);
             ev.aux = lost_ids.len() as u64;
             ev.tag = "down";
+            ev.span = Some(span);
             o.event(ev);
         }
         self.observe_after(link, seq, true, detection);
@@ -627,6 +633,9 @@ impl<'t> Sim<'t> {
             let mut ev = ObsEvent::new(self.now.as_nanos(), EventKind::Repair);
             ev.link = Some(link.0 as u32);
             ev.tag = "up";
+            // A repair is a link transition like a fault: it re-binds the
+            // link's transition span so the "up" detection parents here.
+            ev.span = Some(o.bundle.spans.fault(link.0 as u32));
             o.event(ev);
         }
         self.observe_after(link, seq, false, detection);
@@ -652,10 +661,13 @@ impl<'t> Sim<'t> {
         ls.observed_seq = seq;
         ls.observed_down = down;
         if let Some(o) = &self.obs {
+            let (span, parent) = o.bundle.spans.detect(link.0 as u32);
             let mut ev = ObsEvent::new(self.now.as_nanos(), EventKind::Detect);
             ev.link = Some(link.0 as u32);
             ev.aux = seq;
             ev.tag = if down { "down" } else { "up" };
+            ev.span = Some(span);
+            ev.parent = parent;
             o.event(ev);
         }
         self.edge_logic
@@ -763,7 +775,30 @@ impl<'t> Sim<'t> {
             let mut ev = ObsEvent::new(self.now.as_nanos(), EventKind::Drop);
             ev.pkt = Some(pkt_id);
             ev.tag = reason.as_str();
+            ev.span = Some(pkt_span(pkt_id));
+            // Anomalous fates trip the flight recorder: it freezes the
+            // recent event window plus this packet's causal chain.
+            let trigger = match reason {
+                DropReason::TtlExpired => Some("loop"),
+                DropReason::PortDown => Some("blackhole"),
+                DropReason::CorruptedResidue => Some("corrupted-residue"),
+                _ => None,
+            };
+            if trigger.is_some() {
+                // The drop can't always name the link that doomed it (a
+                // loop has no single culprit), so blame the most recent
+                // fault — that stitches the fault into the causal chain.
+                ev.parent = o.bundle.spans.last_fault_any();
+            }
             o.event(ev);
+            if let Some(trigger) = trigger {
+                o.bundle.forensics.capture(
+                    trigger,
+                    self.now.as_nanos(),
+                    Some(pkt_id),
+                    &o.bundle.events,
+                );
+            }
         }
     }
 
@@ -832,6 +867,7 @@ impl<'t> Sim<'t> {
                         ev.flow = Some(pkt.flow.0);
                         ev.node = Some(node.0 as u32);
                         ev.aux = pkt.hops as u64;
+                        ev.span = Some(pkt_span(pkt.id));
                         o.event(ev);
                     }
                     self.run_app(node, AppEntry::Packet(pkt));
@@ -926,6 +962,7 @@ impl<'t> Sim<'t> {
                             ev.flow = Some(pkt.flow.0);
                             ev.node = Some(node.0 as u32);
                             ev.aux = p;
+                            ev.span = Some(pkt_span(pkt.id));
                             o.event(ev);
                             if pkt.deflections > deflections_before {
                                 o.node_deflect[node.0].inc();
@@ -934,6 +971,7 @@ impl<'t> Sim<'t> {
                                 ev.flow = Some(pkt.flow.0);
                                 ev.node = Some(node.0 as u32);
                                 ev.aux = p;
+                                ev.span = Some(pkt_span(pkt.id));
                                 o.event(ev);
                             }
                         }
@@ -1033,6 +1071,7 @@ impl<'t> Sim<'t> {
             ev.flow = Some(pkt.flow.0);
             ev.node = Some(src.0 as u32);
             ev.aux = pkt.size_bytes as u64;
+            ev.span = Some(pkt_span(pkt.id));
             o.event(ev);
         }
         let topo = self.topo;
