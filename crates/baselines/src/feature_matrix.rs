@@ -2,7 +2,7 @@
 //! schemes, with the claims about the systems implemented in this
 //! repository *checked by running them* rather than asserted.
 
-use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar::{DeflectionTechnique, EncodeRequest, KarNetwork, Protection};
 use kar_simnet::{FlowId, PacketKind, Sim, SimConfig, SimTime};
 use kar_topology::{topo15, Topology};
 use std::fmt;
@@ -136,7 +136,7 @@ pub fn check_kar_row(seed: u64) -> (usize, u64, u64) {
         .seed(seed)
         .ttl(255)
         .build();
-    net.install_route(as1, as3, &Protection::AutoFull)
+    net.encode(&EncodeRequest::new(as1, as3).with_protection(Protection::AutoFull))
         .expect("topo15 route installs");
     let mut sim = net.into_sim();
     let state: usize = topo

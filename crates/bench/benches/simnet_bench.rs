@@ -3,7 +3,7 @@
 //! the 15-node network — the cost of the substrate itself.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar::{DeflectionTechnique, EncodeRequest, KarNetwork, Protection};
 use kar_simnet::{FlowId, PacketKind, SimTime};
 use kar_tcp::{BulkFlow, TcpConfig};
 use kar_topology::topo15;
@@ -21,7 +21,8 @@ fn bench_probe_stream(c: &mut Criterion) {
                 let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
                     .seed(1)
                     .build();
-                net.install_route(as1, as3, &Protection::AutoFull).unwrap();
+                net.encode(&EncodeRequest::new(as1, as3).with_protection(Protection::AutoFull))
+                    .unwrap();
                 net.into_sim()
             },
             |mut sim| {
@@ -51,8 +52,10 @@ fn bench_tcp_simulated_second(c: &mut Criterion) {
                 let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
                     .seed(1)
                     .build();
-                net.install_route(as1, as3, &Protection::AutoFull).unwrap();
-                net.install_route(as3, as1, &Protection::AutoFull).unwrap();
+                net.encode(&EncodeRequest::new(as1, as3).with_protection(Protection::AutoFull))
+                    .unwrap();
+                net.encode(&EncodeRequest::new(as3, as1).with_protection(Protection::AutoFull))
+                    .unwrap();
                 let mut sim = net.into_sim();
                 let flow = BulkFlow::install(
                     &mut sim,

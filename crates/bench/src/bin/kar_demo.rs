@@ -29,7 +29,7 @@
 //! ```
 
 use kar::analysis::render_residue_table;
-use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar::{DeflectionTechnique, EncodeRequest, KarNetwork, Protection};
 use kar_simnet::{FlowId, PacketKind, SimTime};
 use kar_topology::{rnp28, to_dot, topo15, NodeId, Topology};
 use std::process::ExitCode;
@@ -139,8 +139,9 @@ fn run() -> Result<(), String> {
             let prot = protection(&topo, &args)?;
             let mut net = KarNetwork::new(&topo, args.technique);
             let route = net
-                .install_route(from, to, &prot)
-                .map_err(|e| e.to_string())?;
+                .encode(&EncodeRequest::new(from, to).with_protection(prot))
+                .map_err(|e| e.to_string())?
+                .route;
             println!(
                 "route {} → {}: {} switches, {} header bits",
                 topo.node(from).name,
@@ -174,7 +175,7 @@ fn run() -> Result<(), String> {
                 .seed(args.seed)
                 .ttl(255)
                 .build();
-            net.install_route(from, to, &prot)
+            net.encode(&EncodeRequest::new(from, to).with_protection(prot))
                 .map_err(|e| e.to_string())?;
             let mut sim = net.into_sim();
             if let Some(spec) = &args.fail {

@@ -28,7 +28,10 @@
 
 use crate::harness::env_knob;
 use crate::runner::run_map;
-use kar::{verify_route, DeflectionTechnique, EncodingCache, KarNetwork, Outcome, Protection};
+use kar::{
+    verify_route, DeflectionTechnique, EncodeRequest, EncodingCache, KarNetwork, Outcome,
+    Protection,
+};
 use kar_obs::{Entity, HistogramSummary, ObsHandle, Profiler};
 use kar_rns::{route_id_bit_length, IdAllocator, IdStrategy};
 use kar_simnet::{App, FlowId, HostCtx, Packet, PacketKind, SimTime};
@@ -578,11 +581,11 @@ pub fn run_cell(cfg: &CampaignConfig, cell: &Cell) -> CellRecord {
             continue;
         }
         let t0 = Instant::now();
-        let route = net
-            .install_route(src, dst, &protection)
+        let outcome = net
+            .encode(&EncodeRequest::new(src, dst).with_protection(protection.clone()))
             .expect("generated topologies are connected");
         encode_ns_total += t0.elapsed().as_nanos();
-        installed.insert((src.0, dst.0), route.bit_length());
+        installed.insert((src.0, dst.0), outcome.route.bit_length());
     }
     record.routes = installed.len();
     record.route_bits_max = installed.values().copied().max().unwrap_or(0);

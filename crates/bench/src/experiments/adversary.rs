@@ -30,7 +30,7 @@
 use crate::harness::row;
 use crate::runner::run_map;
 use kar::recovery::RecoveryConfig;
-use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar::{DeflectionTechnique, EncodeRequest, KarNetwork, Protection};
 use kar_baselines::{TableEdge, TableScheme};
 use kar_simnet::{Behavior, DropReason, FaultPlan, FlowId, PacketKind, Sim, SimConfig, SimTime};
 use kar_topology::{analysis, paths, rnp28, topo15, NodeId, Topology};
@@ -414,7 +414,7 @@ pub fn run_point(
                 .build();
             let log = net.recovery_log().expect("recovery enabled");
             for &(src, dst) in flows {
-                net.install_route(src, dst, &protection)
+                net.encode(&EncodeRequest::new(src, dst).with_protection(protection.clone()))
                     .expect("route installs");
             }
             let mut sim = net.into_sim();

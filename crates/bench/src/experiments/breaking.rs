@@ -21,7 +21,10 @@
 //! bounded seed window and records the confirming seed.
 
 use kar::verify::BreakingPoint;
-use kar::{min_failure_set, DeflectionTechnique, EncodingCache, KarNetwork, Outcome, Protection};
+use kar::{
+    min_failure_set, DeflectionTechnique, EncodeRequest, EncodingCache, KarNetwork, Outcome,
+    Protection,
+};
 use kar_baselines::{TableEdge, TableScheme};
 use kar_simnet::{DropReason, FlowId, PacketKind, Sim, SimConfig, SimTime};
 use kar_topology::{LinkId, NodeId, Topology};
@@ -153,7 +156,7 @@ impl ReplayCtx<'_> {
             .seed(seed)
             .ttl(255)
             .build();
-        net.install_route(src, dst, self.protection)
+        net.encode(&EncodeRequest::new(src, dst).with_protection(self.protection.clone()))
             .expect("route installs");
         let mut sim = net.into_sim();
         sim.attach_obs(&self.obs.handle);

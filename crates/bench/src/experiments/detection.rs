@@ -8,7 +8,7 @@
 //! detection delay — quantifying an assumption the paper leaves
 //! implicit.
 
-use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar::{DeflectionTechnique, EncodeRequest, KarNetwork, Protection};
 use kar_simnet::{FlowId, PacketKind, SimTime};
 use kar_topology::topo15;
 
@@ -37,7 +37,7 @@ pub fn run(delays_us: &[u64], probes: u64, seed: u64) -> Vec<DetectionPoint> {
                 .ttl(255)
                 .detection_delay(SimTime::from_micros(delay_us))
                 .build();
-            net.install_route(as1, as3, &Protection::AutoFull)
+            net.encode(&EncodeRequest::new(as1, as3).with_protection(Protection::AutoFull))
                 .expect("route installs");
             let mut sim = net.into_sim();
             // Fail mid-stream: probes are paced at one per 100 µs.

@@ -20,7 +20,7 @@
 use crate::harness::row;
 use crate::runner::run_map;
 use kar::recovery::RecoveryConfig;
-use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar::{DeflectionTechnique, EncodeRequest, KarNetwork, Protection};
 use kar_simnet::{FaultPlan, FlowId, PacketKind, SimTime};
 use kar_topology::{topo15, Topology};
 
@@ -176,7 +176,7 @@ pub fn run_point(
         })
         .build();
     let log = net.recovery_log().expect("recovery enabled");
-    net.install_route(src, dst, &Protection::AutoFull)
+    net.encode(&EncodeRequest::new(src, dst).with_protection(Protection::AutoFull))
         .expect("route installs");
     let mut sim = net.into_sim();
     (scenario.build)(topo).apply(&mut sim);

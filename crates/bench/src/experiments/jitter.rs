@@ -5,7 +5,7 @@
 //! with full protection while SW10-SW7 is down; the sink reports
 //! one-way delay, RFC 3550 jitter, reordering and loss.
 
-use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar::{DeflectionTechnique, EncodeRequest, KarNetwork, Protection};
 use kar_simnet::{FlowId, SimTime};
 use kar_tcp::{CbrSender, CbrSink, JitterStats};
 use kar_topology::topo15;
@@ -35,7 +35,7 @@ pub fn run(packets: u64, seed: u64) -> Vec<JitterRow> {
                 .seed(seed)
                 .ttl(255)
                 .build();
-            net.install_route(as1, as3, &Protection::AutoFull)
+            net.encode(&EncodeRequest::new(as1, as3).with_protection(Protection::AutoFull))
                 .expect("route installs");
             let mut sim = net.into_sim();
             sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW10", "SW7"));

@@ -7,7 +7,7 @@
 //! failover (one backup per destination — which a second failure can
 //! exhaust).
 
-use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar::{DeflectionTechnique, EncodeRequest, KarNetwork, Protection};
 use kar_baselines::{TableEdge, TableScheme};
 use kar_simnet::{srlg_groups, FlowId, PacketKind, Sim, SimConfig, SimTime};
 use kar_topology::{LinkId, NodeId, Topology};
@@ -92,7 +92,7 @@ fn run_one(
                 .seed(seed)
                 .ttl(255)
                 .build();
-            net.install_route(src, dst, &Protection::AutoFull)
+            net.encode(&EncodeRequest::new(src, dst).with_protection(Protection::AutoFull))
                 .expect("route installs");
             net.into_sim()
         }

@@ -1,8 +1,8 @@
 //! Bench-trend observatory: per-metric trajectories across git history.
 //!
 //! The committed `BENCH_*.json` documents pin one snapshot each of the
-//! dataplane microbenches, the scale sweep, the breaking-point search
-//! and the adversary campaign. This module turns *every committed
+//! dataplane microbenches, the scale sweep, the breaking-point search,
+//! the adversary campaign and the service load run. This module turns *every committed
 //! revision* of those documents (via `git log` / `git show`, plus the
 //! working tree) into per-metric time series, so `kar-trend` can answer
 //! "is it getting worse?" instead of only "what is it now?":
@@ -23,12 +23,13 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::Command;
 
-/// The four trend-tracked documents at the repo root.
+/// The five trend-tracked documents at the repo root.
 pub const TREND_DOCS: &[&str] = &[
     "BENCH_dataplane.json",
     "BENCH_scale.json",
     "BENCH_breaking.json",
     "BENCH_adversary.json",
+    "BENCH_service.json",
 ];
 
 /// Default regression tolerance: a metric may move up to this fraction
@@ -432,6 +433,39 @@ pub fn extract_metrics(doc: &str, json: &Json) -> Vec<Metric> {
                 push(
                     "breaking/violations_at_k2".into(),
                     Some(violations_at_k2),
+                    LowerIsBetter,
+                );
+            }
+        }
+        "BENCH_service.json" => {
+            // Deterministic columns gate every run; the wall-clock
+            // columns (QPS, latency percentiles) exist only in "full"
+            // documents (>= 1M requests), so a CI smoke run can never
+            // trip the gate on scheduler noise.
+            push(
+                "service/errors".into(),
+                json.get("errors").and_then(Json::as_f64),
+                LowerIsBetter,
+            );
+            push(
+                "service/byte_mismatches".into(),
+                json.get("byte_mismatches").and_then(Json::as_f64),
+                LowerIsBetter,
+            );
+            if json.get("mode").and_then(Json::as_str) == Some("full") {
+                push(
+                    "service/qps".into(),
+                    json.get("qps").and_then(Json::as_f64),
+                    HigherIsBetter,
+                );
+                push(
+                    "service/p50_us".into(),
+                    json.get("p50_us").and_then(Json::as_f64),
+                    LowerIsBetter,
+                );
+                push(
+                    "service/p99_us".into(),
+                    json.get("p99_us").and_then(Json::as_f64),
                     LowerIsBetter,
                 );
             }
@@ -863,6 +897,34 @@ mod tests {
             .unwrap();
         assert_eq!(v.value, 1.0, "only AVP broke at k<=2");
         assert_eq!(v.direction, Direction::LowerIsBetter);
+    }
+
+    #[test]
+    fn service_metrics_gate_wall_clock_on_full_mode() {
+        let full = r#"{"campaign":"service","mode":"full","requests":1000000,
+                       "errors":0,"byte_mismatches":0,
+                       "qps":52000.5,"p50_us":71.2,"p99_us":190.0}"#;
+        let metrics = extract_metrics("BENCH_service.json", &parse_json(full).unwrap());
+        let get = |name: &str| metrics.iter().find(|m| m.name == name);
+        assert_eq!(get("service/errors").map(|m| m.value), Some(0.0));
+        assert_eq!(get("service/byte_mismatches").map(|m| m.value), Some(0.0));
+        assert_eq!(get("service/qps").map(|m| m.value), Some(52000.5));
+        assert_eq!(
+            get("service/qps").map(|m| m.direction),
+            Some(Direction::HigherIsBetter)
+        );
+        assert_eq!(get("service/p50_us").map(|m| m.value), Some(71.2));
+        assert_eq!(
+            get("service/p99_us").map(|m| m.direction),
+            Some(Direction::LowerIsBetter)
+        );
+        // A smoke run contributes only the deterministic columns, even
+        // if stray timing fields are present.
+        let smoke = r#"{"campaign":"service","mode":"smoke","requests":10000,
+                        "errors":0,"byte_mismatches":0,"qps":1.0}"#;
+        let metrics = extract_metrics("BENCH_service.json", &parse_json(smoke).unwrap());
+        assert_eq!(metrics.len(), 2);
+        assert!(metrics.iter().all(|m| !m.name.contains("qps")));
     }
 
     fn series(direction: Direction, values: &[f64]) -> Series {

@@ -11,7 +11,7 @@
 //! honest runs, and flipping a single switch actually changes the
 //! outcome (so the gate cannot pass vacuously).
 
-use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar::{DeflectionTechnique, EncodeRequest, KarNetwork, Protection};
 use kar_baselines::{TableEdge, TableScheme};
 use kar_bench::experiments::adversary::{self, AdversaryConfig};
 use kar_simnet::{
@@ -48,7 +48,7 @@ fn run_kar(topo: &Topology, behaviors: Option<Behavior>) -> Stats {
     }
     let mut net = builder.build();
     let (src, dst) = (topo.expect("AS1"), topo.expect("AS3"));
-    net.install_route(src, dst, &Protection::AutoFull)
+    net.encode(&EncodeRequest::new(src, dst).with_protection(Protection::AutoFull))
         .expect("route installs");
     let mut sim = net.into_sim();
     plan(topo).apply(&mut sim);

@@ -8,7 +8,7 @@
 //! must freeze a "loop" capture, and `kar-inspect forensics` must
 //! render the full causal chain from the fault to the dropped packet.
 
-use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar::{DeflectionTechnique, EncodeRequest, KarNetwork};
 use kar_obs::{Obs, ObsHandle, RunDump, TopoLabeler};
 use kar_simnet::{FlowId, PacketKind, SimTime};
 use kar_topology::rnp28;
@@ -30,7 +30,7 @@ fn avp_rnp28_loop_freezes_forensic_captures_with_the_causal_chain() {
         .seed(11)
         .ttl(255)
         .build();
-    net.install_route(src, dst, &Protection::None)
+    net.encode(&EncodeRequest::new(src, dst))
         .expect("route installs");
     let mut sim = net.into_sim();
     sim.attach_obs(&handle);

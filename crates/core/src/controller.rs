@@ -21,10 +21,72 @@ use crate::deflect::DeflectionTechnique;
 use crate::error::KarError;
 use crate::protection::{encode_with_protection, Protection};
 use crate::route::EncodedRoute;
+use crate::wire::RouteHeader;
 use kar_simnet::{EdgeLogic, Packet, RerouteDecision, RouteArena, RouteTag, SimTime};
 use kar_topology::{paths, LinkId, NodeId, PortIx, Topology};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+/// One route-encode request: the single public encode entry point,
+/// shared by [`crate::KarNetwork`], [`crate::RecoveringController`],
+/// the campaign engine and the `kar-service` daemon.
+///
+/// # Examples
+///
+/// ```
+/// use kar::{EncodeRequest, Protection};
+/// use kar_topology::topo15;
+///
+/// let topo = topo15::build();
+/// let req = EncodeRequest::new(topo.expect("AS1"), topo.expect("AS3"))
+///     .with_protection(Protection::AutoFull);
+/// assert_eq!(req.protection, Protection::AutoFull);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeRequest {
+    /// Ingress edge.
+    pub src: NodeId,
+    /// Egress edge.
+    pub dst: NodeId,
+    /// Protection level folded into the route ID.
+    pub protection: Protection,
+}
+
+impl EncodeRequest {
+    /// An unprotected encode request for `src → dst`.
+    pub fn new(src: NodeId, dst: NodeId) -> EncodeRequest {
+        EncodeRequest {
+            src,
+            dst,
+            protection: Protection::None,
+        }
+    }
+
+    /// Sets the protection level.
+    pub fn with_protection(mut self, protection: Protection) -> EncodeRequest {
+        self.protection = protection;
+        self
+    }
+}
+
+/// Everything one successful encode produced: the installed route and
+/// the canonical wire header carrying its route ID.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeOutcome {
+    /// The CRT-encoded route (route ID, basis, port map, uplink).
+    pub route: EncodedRoute,
+    /// The §2.3 fixed-width header for the route ID — the exact bytes
+    /// the dataplane carries (see [`crate::wire`]).
+    pub header: RouteHeader,
+}
+
+impl EncodeOutcome {
+    /// Builds the outcome for a freshly-encoded route.
+    pub(crate) fn of(route: EncodedRoute) -> Result<EncodeOutcome, KarError> {
+        let header = RouteHeader::for_route(&route)?;
+        Ok(EncodeOutcome { route, header })
+    }
+}
 
 /// What an edge does with a packet that surfaced at the wrong edge
 /// (paper §2.1, final design remark).
@@ -91,7 +153,7 @@ impl Controller {
     }
 
     /// Encodes via the shared cache when one is attached.
-    fn encode(
+    fn encode_path(
         &self,
         topo: &Topology,
         primary: Vec<NodeId>,
@@ -155,8 +217,28 @@ impl Controller {
         path.ok_or(KarError::NoPath { src, dst })
     }
 
+    /// Serves one [`EncodeRequest`]: selects a shortest path, applies
+    /// the requested protection, encodes and installs the route at the
+    /// ingress edge, and returns it with its canonical wire header.
+    ///
+    /// # Errors
+    ///
+    /// [`KarError::NoPath`] when unreachable, plus any encoding error
+    /// (see [`EncodedRoute::encode`]).
+    pub fn encode(
+        &mut self,
+        topo: &Topology,
+        req: &EncodeRequest,
+    ) -> Result<EncodeOutcome, KarError> {
+        let route = self.install_route(topo, req.src, req.dst, &req.protection)?;
+        EncodeOutcome::of(route)
+    }
+
     /// Selects a shortest path from `src` to `dst`, applies `protection`,
     /// encodes the route ID and installs it at the ingress edge.
+    ///
+    /// Lower-level positional form of [`Controller::encode`], kept for
+    /// callers (the baseline stacks) that never need the wire header.
     ///
     /// # Errors
     ///
@@ -170,7 +252,7 @@ impl Controller {
         protection: &Protection,
     ) -> Result<EncodedRoute, KarError> {
         let primary = self.select_path(topo, src, dst)?;
-        let route = self.encode(topo, primary, protection)?;
+        let route = self.encode_path(topo, primary, protection)?;
         self.table.insert((src, dst), route.clone());
         Ok(route)
     }
@@ -194,7 +276,7 @@ impl Controller {
             })?,
             *primary.last().expect("non-empty checked above"),
         );
-        let route = self.encode(topo, primary, protection)?;
+        let route = self.encode_path(topo, primary, protection)?;
         self.table.insert((src, dst), route.clone());
         Ok(route)
     }
@@ -242,7 +324,13 @@ pub(crate) fn bfs_avoiding(
 impl EdgeLogic for Controller {
     fn ingress(&mut self, _topo: &Topology, edge: NodeId, pkt: &mut Packet) -> Option<PortIx> {
         let route = self.table.get(&(edge, pkt.dst))?;
-        pkt.route = Some(RouteTag::new(self.arena.intern(&route.route_id)));
+        // Stamp the tag from the canonical §2.3 header bytes — the same
+        // bytes `kar-service` puts on the socket — so the simulated
+        // dataplane consumes exactly the wire representation. Interning
+        // is by value, so this shares allocations with value-stamped
+        // tags and changes no route ID.
+        let header = RouteHeader::for_route(route).expect("installed routes fit their own field");
+        pkt.route = Some(RouteTag::new(self.arena.intern_wire(header.as_bytes())));
         Some(route.uplink)
     }
 
@@ -267,7 +355,7 @@ impl EdgeLogic for Controller {
                         let Ok(primary) = self.select_path(topo, edge, pkt.dst) else {
                             return RerouteDecision::Drop;
                         };
-                        match self.encode(topo, primary, &Protection::None) {
+                        match self.encode_path(topo, primary, &Protection::None) {
                             Ok(r) => {
                                 self.table.insert((edge, pkt.dst), r.clone());
                                 r
@@ -276,7 +364,9 @@ impl EdgeLogic for Controller {
                         }
                     }
                 };
-                pkt.route = Some(RouteTag::new(self.arena.intern(&route.route_id)));
+                let header =
+                    RouteHeader::for_route(&route).expect("installed routes fit their own field");
+                pkt.route = Some(RouteTag::new(self.arena.intern_wire(header.as_bytes())));
                 RerouteDecision::Forward {
                     port: route.uplink,
                     delay: latency,
@@ -348,6 +438,22 @@ mod tests {
         // No route for the reverse direction.
         let mut back = probe(as3, as1);
         assert!(c.ingress(&topo, as3, &mut back).is_none());
+    }
+
+    #[test]
+    fn encode_returns_route_and_matching_header() {
+        let topo = topo15::build();
+        let mut c = Controller::new();
+        let req = EncodeRequest::new(topo.expect("AS1"), topo.expect("AS3"))
+            .with_protection(Protection::AutoFull);
+        let out = c.encode(&topo, &req).unwrap();
+        assert_eq!(out.header.unpack(), out.route.route_id);
+        assert_eq!(out.header.bits(), out.route.bit_length());
+        assert_eq!(c.route(req.src, req.dst), Some(&out.route));
+        // The ingress tag carries exactly the header's value.
+        let mut pkt = probe(req.src, req.dst);
+        c.ingress(&topo, req.src, &mut pkt).unwrap();
+        assert_eq!(*pkt.route.unwrap().route_id, out.header.unpack());
     }
 
     #[test]

@@ -39,6 +39,15 @@ pub enum KarError {
         /// The offending node.
         node: NodeId,
     },
+    /// A route ID does not fit its header field — the §2.3 overflow
+    /// case that forces partial protection (see
+    /// [`crate::wire::RouteHeader::pack`]).
+    HeaderOverflow {
+        /// Bits the route ID needs.
+        needed_bits: u32,
+        /// Bits the header field has.
+        field_bits: u32,
+    },
     /// The underlying RNS encoding failed (non-coprime IDs, residue out
     /// of range, …).
     Rns(RnsError),
@@ -69,6 +78,13 @@ impl fmt::Display for KarError {
             KarError::NotACoreSwitch { node } => {
                 write!(f, "node {node} is not a core switch")
             }
+            KarError::HeaderOverflow {
+                needed_bits,
+                field_bits,
+            } => write!(
+                f,
+                "route ID needs {needed_bits} bits but the header field has {field_bits}"
+            ),
             KarError::Rns(e) => write!(f, "rns encoding failed: {e}"),
             KarError::RouteNotInstalled { src, dst } => {
                 write!(f, "no route installed from {src} to {dst}")
@@ -117,5 +133,16 @@ mod tests {
         let e = KarError::Rns(RnsError::Empty);
         assert!(e.to_string().contains("rns"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn header_overflow_names_both_widths() {
+        let e = KarError::HeaderOverflow {
+            needed_bits: 10,
+            field_bits: 9,
+        };
+        assert!(e.to_string().contains("10 bits"), "{e}");
+        assert!(e.to_string().contains("has 9"), "{e}");
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

@@ -22,6 +22,12 @@
 //!   paper's wrong-edge re-encoding;
 //! * [`EncodingCache`] — a shared, thread-safe route-encoding memo for
 //!   repeated-route workloads (experiment sweeps);
+//! * [`wire`] — the canonical on-the-wire route-ID serialization
+//!   ([`RouteHeader`], fixed-width and varint framings) shared by the
+//!   simulator's packet path and the `kar-service` daemon;
+//! * [`EncodeRequest`] / [`EncodeOutcome`] — the one public encode
+//!   entry point (served by [`KarNetwork::encode`],
+//!   [`Controller::encode`] and [`RecoveringController::encode`]);
 //! * [`KarNetwork`] — one-stop wiring into the `kar-simnet` simulator;
 //! * [`analysis`] — static driven-walk and failure-coverage checks;
 //! * [`recovery`] — a failure-*reactive* controller loop that re-encodes
@@ -36,15 +42,17 @@
 //! Encode the paper's worked example and protect it:
 //!
 //! ```
-//! use kar::{DeflectionTechnique, KarNetwork, Protection};
+//! use kar::{DeflectionTechnique, EncodeRequest, KarNetwork, Protection};
 //! use kar_simnet::{FlowId, PacketKind, SimTime};
 //! use kar_topology::topo15;
 //!
 //! let topo = topo15::build();
 //! let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip);
 //! let (as1, as3) = (topo.expect("AS1"), topo.expect("AS3"));
-//! let route = net.install_route(as1, as3, &Protection::AutoFull)?;
-//! assert!(route.bit_length() >= 15);
+//! let req = EncodeRequest::new(as1, as3).with_protection(Protection::AutoFull);
+//! let outcome = net.encode(&req)?;
+//! assert!(outcome.route.bit_length() >= 15);
+//! assert_eq!(outcome.header.unpack(), outcome.route.route_id);
 //!
 //! let mut sim = net.into_sim();
 //! sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW7", "SW13"));
@@ -63,22 +71,21 @@ pub mod chain;
 mod controller;
 mod deflect;
 mod error;
-mod header;
 pub mod multipath;
 mod network;
 pub mod protection;
 pub mod recovery;
 mod route;
 pub mod verify;
+pub mod wire;
 
 pub use cache::{CacheStats, EncodingCache};
 pub use chain::chain_path;
-pub use controller::{Controller, KarConfig, ReroutePolicy};
+pub use controller::{Controller, EncodeOutcome, EncodeRequest, KarConfig, ReroutePolicy};
 pub use deflect::{DeflectionTechnique, KarForwarder};
 pub use error::KarError;
-pub use header::RouteHeader;
 pub use multipath::{edge_disjoint_paths, MultipathEdge};
-pub use network::{KarNetwork, KarNetworkBuilder};
+pub use network::KarNetwork;
 pub use protection::Protection;
 pub use recovery::{FlowRecovery, RecoveringController, RecoveryConfig, RecoveryLog};
 pub use route::{EncodedRoute, RouteSpec};
@@ -86,6 +93,7 @@ pub use verify::{
     min_failure_set, verify_failure_sets, verify_route, verify_single_failures, BreakingPoint,
     FailureSetResult, KSweep, Outcome, PairVerifier, SweepStats, VerifyReport, VerifySummary,
 };
+pub use wire::{RouteHeader, WireError, WireMode};
 
 /// The working set for building and running a KAR simulation.
 ///
@@ -94,10 +102,11 @@ pub use verify::{
 /// topology types every driver touches (`Sim`, `SimTime`, `FlowId`,
 /// `Topology`, `NodeId`, …).
 pub mod prelude {
+    pub use crate::network::KarNetworkBuilder;
     pub use crate::{
-        Controller, DeflectionTechnique, EncodedRoute, EncodingCache, KarError, KarForwarder,
-        KarNetwork, KarNetworkBuilder, Protection, RecoveryConfig, RecoveryLog, ReroutePolicy,
-        RouteSpec,
+        Controller, DeflectionTechnique, EncodeOutcome, EncodeRequest, EncodedRoute, EncodingCache,
+        KarError, KarForwarder, KarNetwork, Protection, RecoveryConfig, RecoveryLog, ReroutePolicy,
+        RouteHeader, RouteSpec, WireMode,
     };
     pub use kar_simnet::{FlowId, Packet, PacketKind, Sim, SimConfig, SimTime, Stats};
     pub use kar_topology::{NodeId, Topology};

@@ -6,11 +6,11 @@
 //! which wires a topology, the KAR dataplane (modulo forwarding plus
 //! deflection), and the controller-backed edge logic into a ready
 //! [`Sim`]. This is the API the examples and every experiment driver
-//! use. The older `KarNetwork::with_*` chain survives as deprecated
-//! shims over the builder.
+//! use; routes go in through [`KarNetwork::encode`] (one
+//! [`EncodeRequest`] per route).
 
 use crate::cache::EncodingCache;
-use crate::controller::{Controller, ReroutePolicy};
+use crate::controller::{Controller, EncodeOutcome, EncodeRequest, ReroutePolicy};
 use crate::deflect::{DeflectionTechnique, KarForwarder};
 use crate::error::KarError;
 use crate::protection::Protection;
@@ -37,7 +37,7 @@ use std::sync::{Arc, Mutex};
 ///     .build();
 /// let as1 = topo.expect("AS1");
 /// let as3 = topo.expect("AS3");
-/// net.install_route(as1, as3, &Protection::AutoFull)?;
+/// net.encode(&EncodeRequest::new(as1, as3).with_protection(Protection::AutoFull))?;
 /// let mut sim = net.into_sim();
 /// sim.run_until(SimTime::from_millis(1));
 /// # Ok::<(), kar::KarError>(())
@@ -222,119 +222,6 @@ impl<'t> KarNetwork<'t> {
         KarNetworkBuilder::new(topo, technique).build()
     }
 
-    /// Sets the RNG seed (runs with equal seeds are bit-identical).
-    #[deprecated(since = "0.2.0", note = "use KarNetwork::builder(..).seed(..).build()")]
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.sim_config.seed = seed;
-        self
-    }
-
-    /// Sets the per-packet hop budget.
-    #[deprecated(since = "0.2.0", note = "use KarNetwork::builder(..).ttl(..).build()")]
-    pub fn with_ttl(mut self, ttl: u16) -> Self {
-        self.sim_config.default_ttl = ttl;
-        self
-    }
-
-    /// Serializes every core-switch traversal through one shared CPU
-    /// taking `service` per packet — the Mininet-style shared softswitch
-    /// model (see [`kar_simnet::SimConfig::switch_service`]).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use KarNetwork::builder(..).switch_service(..).build()"
-    )]
-    pub fn with_switch_service(mut self, service: kar_simnet::SimTime) -> Self {
-        self.sim_config.switch_service = Some(service);
-        self
-    }
-
-    /// Enables per-packet path tracing (see [`kar_simnet::TraceLog`]).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use KarNetwork::builder(..).tracing().build()"
-    )]
-    pub fn with_tracing(mut self) -> Self {
-        self.sim_config.trace_paths = true;
-        self
-    }
-
-    /// Sets the failure-detection delay: how long switches keep
-    /// forwarding into a dead port before noticing (the paper assumes
-    /// zero — instantaneous local detection).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use KarNetwork::builder(..).detection_delay(..).build()"
-    )]
-    pub fn with_detection_delay(mut self, delay: kar_simnet::SimTime) -> Self {
-        self.sim_config.detection_delay = delay;
-        self
-    }
-
-    /// Sets the wrong-edge policy (default: controller recompute with a
-    /// 2 ms round trip, the paper's setting).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use KarNetwork::builder(..).reroute(..).build()"
-    )]
-    pub fn with_reroute(mut self, policy: ReroutePolicy) -> Self {
-        self.controller = std::mem::take(&mut self.controller).with_reroute(policy);
-        self.reroute = policy;
-        self
-    }
-
-    /// Enables the failure-reactive controller loop (see
-    /// [`crate::recovery`]): after a link transition is detected and a
-    /// further notification delay elapses, affected routes are
-    /// re-encoded around the failure. Returns the handle onto the
-    /// [`RecoveryLog`] so recovery latencies can be read after the run.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use KarNetwork::builder(..).recovery(..).build() and KarNetwork::recovery_log()"
-    )]
-    pub fn with_recovery(mut self, config: RecoveryConfig) -> (Self, Arc<Mutex<RecoveryLog>>) {
-        let log = Arc::new(Mutex::new(RecoveryLog::default()));
-        self.recovery = Some((config, Arc::clone(&log)));
-        (self, log)
-    }
-
-    /// Attaches an observability bundle (see [`kar_obs`]). The engine and
-    /// the recovery loop record metrics and events into it; route
-    /// installs publish a `nominal_hops` gauge per `(src, dst)` pair so
-    /// dumps can compute stretch. Metrics are pure observation — a run
-    /// with observability attached is byte-identical to one without.
-    ///
-    /// Call before [`KarNetwork::install_route`] so install-time gauges
-    /// are captured too.
-    #[deprecated(since = "0.2.0", note = "use KarNetwork::builder(..).obs(..).build()")]
-    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
-        self.obs = obs;
-        self
-    }
-
-    /// Attaches a profiler timing the engine's dispatch loop per event
-    /// type (host wall clock — telemetry only, never simulation state).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use KarNetwork::builder(..).profiler(..).build()"
-    )]
-    pub fn with_profiler(mut self, profiler: Arc<Profiler>) -> Self {
-        self.profiler = Some(profiler);
-        self
-    }
-
-    /// Attaches a shared route-encoding cache to the controller. Cached
-    /// encodes are byte-identical to fresh ones — sharing one cache
-    /// across simulations (or threads) changes speed, never results.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use KarNetwork::builder(..).encoding_cache(..).build()"
-    )]
-    pub fn with_encoding_cache(mut self, cache: Arc<EncodingCache>) -> Self {
-        self.controller = std::mem::take(&mut self.controller).with_encoding_cache(cache.clone());
-        self.cache = Some(cache);
-        self
-    }
-
     /// The underlying topology.
     pub fn topology(&self) -> &'t Topology {
         self.topo
@@ -351,12 +238,32 @@ impl<'t> KarNetwork<'t> {
         &mut self.controller
     }
 
-    /// Installs a shortest-path route with the given protection.
+    /// Serves one [`EncodeRequest`]: installs a shortest-path route
+    /// with the requested protection and returns it together with its
+    /// canonical wire header. The single public encode entry point —
+    /// the service daemon, the campaign engine and the examples all
+    /// call this.
     ///
     /// # Errors
     ///
     /// See [`Controller::install_route`].
+    pub fn encode(&mut self, req: &EncodeRequest) -> Result<EncodeOutcome, KarError> {
+        let route = self.install_shortest(req.src, req.dst, &req.protection)?;
+        EncodeOutcome::of(route)
+    }
+
+    /// Installs a shortest-path route with the given protection.
+    #[deprecated(since = "0.3.0", note = "use KarNetwork::encode(&EncodeRequest)")]
     pub fn install_route(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        protection: &Protection,
+    ) -> Result<EncodedRoute, KarError> {
+        self.install_shortest(src, dst, protection)
+    }
+
+    fn install_shortest(
         &mut self,
         src: NodeId,
         dst: NodeId,
@@ -465,7 +372,7 @@ mod tests {
             .build();
         let as1 = topo.expect("AS1");
         let as3 = topo.expect("AS3");
-        net.install_route(as1, as3, &Protection::None).unwrap();
+        net.encode(&EncodeRequest::new(as1, as3)).unwrap();
         let mut sim = net.into_sim();
         sim.inject(as1, as3, FlowId(0), 0, PacketKind::Probe, 1000);
         sim.run_until(SimTime::from_millis(100));
@@ -485,7 +392,8 @@ mod tests {
         let mut net = KarNetwork::builder(&topo, DeflectionTechnique::None)
             .seed(3)
             .build();
-        net.install_route(as1, as3, &Protection::AutoFull).unwrap();
+        net.encode(&EncodeRequest::new(as1, as3).with_protection(Protection::AutoFull))
+            .unwrap();
         let mut sim = net.into_sim();
         sim.schedule_link_down(SimTime::ZERO, failed);
         for i in 0..50 {
@@ -498,7 +406,8 @@ mod tests {
         let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
             .seed(3)
             .build();
-        net.install_route(as1, as3, &Protection::AutoFull).unwrap();
+        net.encode(&EncodeRequest::new(as1, as3).with_protection(Protection::AutoFull))
+            .unwrap();
         let mut sim = net.into_sim();
         sim.schedule_link_down(SimTime::ZERO, failed);
         for i in 0..50 {
@@ -520,7 +429,8 @@ mod tests {
             let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
                 .seed(11)
                 .build();
-            net.install_route(as1, as3, &Protection::AutoFull).unwrap();
+            net.encode(&EncodeRequest::new(as1, as3).with_protection(Protection::AutoFull))
+                .unwrap();
             let mut sim = net.into_sim();
             sim.schedule_link_down(SimTime::ZERO, topo.expect_link(a, b));
             for i in 0..100 {
@@ -548,7 +458,7 @@ mod tests {
             .seed(5)
             .ttl(255)
             .build();
-        net.install_route(as1, as3, &Protection::None).unwrap();
+        net.encode(&EncodeRequest::new(as1, as3)).unwrap();
         let mut sim = net.into_sim();
         sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW7", "SW13"));
         for i in 0..50 {
@@ -582,7 +492,8 @@ mod tests {
             })
             .build();
         let log = net.recovery_log().unwrap();
-        net.install_route(as1, as3, &Protection::AutoFull).unwrap();
+        net.encode(&EncodeRequest::new(as1, as3).with_protection(Protection::AutoFull))
+            .unwrap();
         let mut sim = net.into_sim();
         // Failure at 1 ms; observed at 1.1 ms; recovery live at 2.1 ms.
         sim.schedule_link_down(SimTime::from_millis(1), failed);
@@ -627,7 +538,8 @@ mod tests {
                     protection: Protection::None,
                 })
                 .build();
-            net.install_route(as1, as3, &Protection::AutoFull).unwrap();
+            net.encode(&EncodeRequest::new(as1, as3).with_protection(Protection::AutoFull))
+                .unwrap();
             let mut sim = net.into_sim();
             sim.schedule_link_down(SimTime::from_millis(1), failed);
             for i in 0..20 {
@@ -697,21 +609,23 @@ mod tests {
         assert_eq!(sim.forwarder().name(), "AVP");
     }
 
-    /// The pre-builder `with_*` chain still works (deprecated shims).
+    /// `encode` returns the header whose bytes the ingress path stamps
+    /// onto packets — the sim side of the sim/service byte-identity
+    /// contract.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_with_chain_still_configures() {
+    fn encode_outcome_header_matches_installed_route() {
         let topo = topo15::build();
-        let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip)
-            .with_seed(3)
-            .with_ttl(64)
-            .with_reroute(ReroutePolicy::Drop);
+        let mut net = KarNetwork::new(&topo, DeflectionTechnique::Nip);
         let as1 = topo.expect("AS1");
         let as3 = topo.expect("AS3");
-        net.install_route(as1, as3, &Protection::None).unwrap();
-        let mut sim = net.into_sim();
-        sim.inject(as1, as3, FlowId(0), 0, PacketKind::Probe, 1000);
-        sim.run_until(SimTime::from_millis(100));
-        assert_eq!(sim.stats().delivered, 1);
+        let out = net
+            .encode(&EncodeRequest::new(as1, as3).with_protection(Protection::AutoFull))
+            .unwrap();
+        assert_eq!(out.header.unpack(), out.route.route_id);
+        assert_eq!(
+            net.controller_mut().route(as1, as3),
+            Some(&out.route),
+            "encode installs at the ingress edge"
+        );
     }
 }

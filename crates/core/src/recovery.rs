@@ -22,7 +22,7 @@
 //! with a recovered route ID.
 
 use crate::cache::EncodingCache;
-use crate::controller::{Controller, ReroutePolicy};
+use crate::controller::{Controller, EncodeOutcome, EncodeRequest, ReroutePolicy};
 use crate::error::KarError;
 use crate::protection::Protection;
 use crate::route::EncodedRoute;
@@ -129,6 +129,10 @@ fn lock_log(log: &Mutex<RecoveryLog>) -> std::sync::MutexGuard<'_, RecoveryLog> 
 struct InstalledRoute {
     links: Vec<LinkId>,
     route: EncodedRoute,
+    /// Protection the install asked for, so a later [`EncodeRequest`]
+    /// with a different level re-installs instead of serving the
+    /// existing route.
+    protection: Protection,
 }
 
 /// The route currently stamped on packets of one `(src, dst)` pair.
@@ -238,12 +242,52 @@ impl RecoveringController {
         Arc::clone(&self.log)
     }
 
-    /// Installs a shortest-path route, remembering its primary path so
-    /// later failures can be matched against it.
+    /// Serves one [`EncodeRequest`] at simulation time `now` — the
+    /// entry point the `kar-service` daemon drives over its socket.
+    ///
+    /// Applies every notification whose control-channel delay has
+    /// elapsed by `now`, installs the pair on first sight (or when the
+    /// requested protection changed), and returns the route *currently*
+    /// live for the pair — the original before a failure notice lands,
+    /// the detour after — together with its canonical wire header.
     ///
     /// # Errors
     ///
     /// See [`Controller::install_route`].
+    pub fn encode(
+        &mut self,
+        topo: &Topology,
+        req: &EncodeRequest,
+        now: SimTime,
+    ) -> Result<EncodeOutcome, KarError> {
+        self.apply_pending(now);
+        let needs_install = match self.originals.get(&(req.src, req.dst)) {
+            Some(orig) => orig.protection != req.protection,
+            None => true,
+        };
+        if needs_install {
+            let primary =
+                paths::bfs_shortest_path(topo, req.src, req.dst).ok_or(KarError::NoPath {
+                    src: req.src,
+                    dst: req.dst,
+                })?;
+            self.install_explicit(topo, primary, &req.protection)?;
+        }
+        let route =
+            self.current_route(topo, req.src, req.dst, now)
+                .ok_or(KarError::RouteNotInstalled {
+                    src: req.src,
+                    dst: req.dst,
+                })?;
+        EncodeOutcome::of(route)
+    }
+
+    /// Installs a shortest-path route, remembering its primary path so
+    /// later failures can be matched against it.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use RecoveringController::encode(topo, &EncodeRequest, now)"
+    )]
     pub fn install_route(
         &mut self,
         topo: &Topology,
@@ -281,6 +325,7 @@ impl RecoveringController {
             InstalledRoute {
                 links,
                 route: route.clone(),
+                protection: protection.clone(),
             },
         );
         self.current.remove(&(src, dst));
@@ -474,6 +519,19 @@ mod tests {
     use kar_simnet::{FlowId, PacketKind};
     use kar_topology::topo15;
 
+    /// Installs an unprotected route at t=0 through the public encode
+    /// entry point.
+    fn install(
+        rc: &mut RecoveringController,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+    ) -> EncodedRoute {
+        rc.encode(topo, &EncodeRequest::new(src, dst), SimTime::ZERO)
+            .unwrap()
+            .route
+    }
+
     fn probe(src: NodeId, dst: NodeId, created: SimTime) -> Packet {
         Packet {
             id: 0,
@@ -501,9 +559,7 @@ mod tests {
             notification_delay: SimTime::from_millis(2),
             protection: Protection::None,
         });
-        let original = rc
-            .install_route(&topo, as1, as3, &Protection::None)
-            .unwrap();
+        let original = install(&mut rc, &topo, as1, as3);
 
         // Failure observed at t=1ms: not yet effective at t=2ms...
         rc.on_link_event(&topo, failed, false, SimTime::from_millis(1));
@@ -542,17 +598,46 @@ mod tests {
     }
 
     #[test]
+    fn encode_serves_the_detour_once_the_notice_lands() {
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let failed = topo.expect_link("SW7", "SW13");
+        let mut rc = RecoveringController::new(RecoveryConfig {
+            notification_delay: SimTime::from_millis(2),
+            protection: Protection::None,
+        });
+        let req = EncodeRequest::new(as1, as3);
+        let original = rc.encode(&topo, &req, SimTime::ZERO).unwrap();
+        // Re-encoding the same request serves the same route...
+        assert_eq!(rc.encode(&topo, &req, SimTime::ZERO).unwrap(), original);
+        // ...a different protection level re-installs...
+        let protected = rc
+            .encode(
+                &topo,
+                &req.clone().with_protection(Protection::AutoFull),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_ne!(protected.route.route_id, original.route.route_id);
+        // ...and after a failure notice becomes effective, the outcome
+        // is the detour, header included.
+        rc.encode(&topo, &req, SimTime::ZERO).unwrap();
+        rc.on_link_event(&topo, failed, false, SimTime::from_millis(1));
+        let detour = rc.encode(&topo, &req, SimTime::from_millis(4)).unwrap();
+        assert_ne!(detour.route.route_id, original.route.route_id);
+        assert_eq!(detour.header.unpack(), detour.route.route_id);
+    }
+
+    #[test]
     fn unaffected_routes_keep_their_ids() {
         let topo = topo15::build();
         let as1 = topo.expect("AS1");
         let as2 = topo.expect("AS2");
         let as3 = topo.expect("AS3");
         let mut rc = RecoveringController::new(RecoveryConfig::default());
-        rc.install_route(&topo, as1, as3, &Protection::None)
-            .unwrap();
-        let other = rc
-            .install_route(&topo, as2, as3, &Protection::None)
-            .unwrap();
+        install(&mut rc, &topo, as1, as3);
+        let other = install(&mut rc, &topo, as2, as3);
         // AS2's shortest path (SW23, SW17, SW37, SW29) does not cross
         // SW7-SW13.
         rc.on_link_event(&topo, topo.expect_link("SW7", "SW13"), false, SimTime::ZERO);
@@ -572,9 +657,7 @@ mod tests {
             notification_delay: SimTime::ZERO,
             protection: Protection::None,
         });
-        let original = rc
-            .install_route(&topo, as1, as3, &Protection::None)
-            .unwrap();
+        let original = install(&mut rc, &topo, as1, as3);
 
         // Poison the shared log: a panic while holding the lock (e.g. a
         // crashing telemetry reader in another worker) used to make every
@@ -611,9 +694,7 @@ mod tests {
         let as3 = topo.expect("AS3");
         let uplink = topo.expect_link("AS1", "SW10");
         let mut rc = RecoveringController::new(RecoveryConfig::default());
-        let original = rc
-            .install_route(&topo, as1, as3, &Protection::None)
-            .unwrap();
+        let original = install(&mut rc, &topo, as1, as3);
         // AS1's only uplink fails: no alternative path exists.
         rc.on_link_event(&topo, uplink, false, SimTime::ZERO);
         let mut pkt = probe(as1, as3, SimTime::from_millis(10));

@@ -22,7 +22,7 @@
 //! or the move relation shows up as a diff here.
 
 use kar::verify::{check_trajectory, check_trajectory_from, TrajectoryEnd};
-use kar::{DeflectionTechnique, KarNetwork, Protection, ReroutePolicy};
+use kar::{DeflectionTechnique, EncodeRequest, KarNetwork, Protection, ReroutePolicy};
 use kar_simnet::{Behavior, DropReason, FlowId, PacketFate, PacketKind, SimTime};
 use kar_topology::{topo15, NodeId, Topology};
 use std::collections::HashSet;
@@ -79,8 +79,9 @@ fn run_fixture(technique: DeflectionTechnique) -> Outcomes {
         .byzantine(byz, Behavior::Misforward)
         .build();
     let route = net
-        .install_route(src, dst, &Protection::AutoFull)
-        .expect("route installs");
+        .encode(&EncodeRequest::new(src, dst).with_protection(Protection::AutoFull))
+        .expect("route installs")
+        .route;
     let mut sim = net.into_sim();
     for i in 0..PROBES {
         sim.run_until(SimTime(i * 500_000));

@@ -12,7 +12,9 @@
 //! relation deliberately does not model).
 
 use kar::verify::{check_trajectory, TrajectoryEnd};
-use kar::{verify_route, DeflectionTechnique, KarNetwork, Protection, ReroutePolicy};
+use kar::{
+    verify_route, DeflectionTechnique, EncodeRequest, KarNetwork, Protection, ReroutePolicy,
+};
 use kar_rns::IdStrategy;
 use kar_simnet::{DropReason, FlowId, PacketFate, PacketKind, SimTime};
 use kar_topology::gen::try_random_connected_hosts;
@@ -57,12 +59,13 @@ fn check_one_technique(
         .tracing()
         .reroute(ReroutePolicy::Drop)
         .build();
-    let route = match net.install_route(src, dst, &Protection::AutoFull) {
-        Ok(r) => r,
-        // Tiny random graphs can exhaust the ID headroom the protection
-        // plan needs; that is an encoding limit, not a forwarding case.
-        Err(_) => return Ok(()),
-    };
+    let route =
+        match net.encode(&EncodeRequest::new(src, dst).with_protection(Protection::AutoFull)) {
+            Ok(outcome) => outcome.route,
+            // Tiny random graphs can exhaust the ID headroom the protection
+            // plan needs; that is an encoding limit, not a forwarding case.
+            Err(_) => return Ok(()),
+        };
     let mut sim = net.into_sim();
     for &l in failed {
         sim.schedule_link_down(SimTime::ZERO, l);

@@ -6,7 +6,9 @@
 //! to the declared set, and the simulated run stays inside the
 //! verifier's symbolic possibilities.
 
-use kar::{verify_route, DeflectionTechnique, KarNetwork, Protection, ReroutePolicy};
+use kar::{
+    verify_route, DeflectionTechnique, EncodeRequest, KarNetwork, Protection, ReroutePolicy,
+};
 use kar_simnet::{srlg_groups, DropReason, FaultPlan, FlowId, PacketKind, SimTime};
 use kar_topology::{topo15, LinkId, Topology};
 use std::collections::HashSet;
@@ -79,8 +81,9 @@ fn run_with_plan(
         .reroute(ReroutePolicy::Drop)
         .build();
     let route = net
-        .install_route(src, dst, &Protection::AutoFull)
-        .expect("route installs");
+        .encode(&EncodeRequest::new(src, dst).with_protection(Protection::AutoFull))
+        .expect("route installs")
+        .route;
     let mut sim = net.into_sim();
     FaultPlan::new(seed)
         .srlg(group.to_vec(), SimTime::ZERO, None)

@@ -1,0 +1,165 @@
+//! Loopback integration: the daemon's encode responses must carry
+//! byte-for-byte the header an in-process controller produces — the
+//! sim/service byte-identity contract of the wire redesign.
+
+use kar::recovery::RecoveryConfig;
+use kar::{EncodeRequest, Protection, RouteHeader, WireMode};
+use kar_service::{expected_header, Daemon, ServiceClient, ServiceConfig};
+use kar_simnet::SimTime;
+use kar_topology::{rnp28, topo15, Topology};
+
+fn service_recovery() -> RecoveryConfig {
+    RecoveryConfig {
+        notification_delay: SimTime::ZERO,
+        protection: Protection::None,
+    }
+}
+
+/// Every ordered edge pair of `topo`, encoded over the socket in both
+/// wire modes, must equal the in-process header bytes.
+fn assert_all_pairs_byte_identical(topo: Topology) {
+    let pairs: Vec<_> = {
+        let edges = topo.edge_nodes();
+        edges
+            .iter()
+            .flat_map(|&s| edges.iter().map(move |&d| (s, d)))
+            .filter(|(s, d)| s != d)
+            .collect()
+    };
+    let reference = topo.clone();
+    let daemon = Daemon::spawn(ServiceConfig::new(topo)).expect("spawn");
+    let mut client = ServiceClient::connect(daemon.addr()).expect("connect");
+    for &(src, dst) in &pairs {
+        let req = EncodeRequest::new(src, dst);
+        let expected = expected_header(&reference, &req, service_recovery(), &[]).expect("encode");
+        for mode in [WireMode::Fixed, WireMode::Varint] {
+            let raw = client
+                .encode_raw(src.0 as u32, dst.0 as u32, &Protection::None, mode)
+                .expect("service encode");
+            assert_eq!(
+                raw,
+                expected.to_wire(mode),
+                "{src} -> {dst} ({mode}): service bytes must equal in-process bytes"
+            );
+            // And they parse back to the same header value.
+            let (parsed, consumed) = RouteHeader::from_wire(&raw).expect("parse");
+            assert_eq!(consumed, raw.len());
+            assert_eq!(parsed.unpack(), expected.unpack());
+        }
+    }
+    drop(client);
+    daemon.shutdown();
+}
+
+#[test]
+fn every_topo15_route_is_byte_identical_over_the_socket() {
+    assert_all_pairs_byte_identical(topo15::build());
+}
+
+#[test]
+fn every_rnp28_route_is_byte_identical_over_the_socket() {
+    assert_all_pairs_byte_identical(rnp28::build());
+}
+
+#[test]
+fn protected_encode_matches_in_process_bytes() {
+    let topo = topo15::build();
+    let reference = topo.clone();
+    let daemon = Daemon::spawn(ServiceConfig::new(topo)).expect("spawn");
+    let mut client = ServiceClient::connect(daemon.addr()).expect("connect");
+    let (as1, as3) = (reference.expect("AS1"), reference.expect("AS3"));
+    let req = EncodeRequest::new(as1, as3).with_protection(Protection::AutoFull);
+    let expected = expected_header(&reference, &req, service_recovery(), &[]).unwrap();
+    let raw = client
+        .encode_raw(
+            as1.0 as u32,
+            as3.0 as u32,
+            &Protection::AutoFull,
+            WireMode::Fixed,
+        )
+        .unwrap();
+    assert_eq!(raw, expected.to_wire(WireMode::Fixed));
+    // The paper's fully protected AS1 -> AS3 route needs a 43-bit field.
+    let (header, _) = RouteHeader::from_wire(&raw).unwrap();
+    assert_eq!(header.bits(), 43);
+    drop(client);
+    daemon.shutdown();
+}
+
+#[test]
+fn invalidate_switches_encodes_to_the_detour_and_back() {
+    let topo = topo15::build();
+    let reference = topo.clone();
+    let failed = reference.expect_link("SW7", "SW13");
+    let daemon = Daemon::spawn(ServiceConfig::new(topo)).expect("spawn");
+    let mut client = ServiceClient::connect(daemon.addr()).expect("connect");
+    let (as1, as3) = (reference.expect("AS1"), reference.expect("AS3"));
+    let req = EncodeRequest::new(as1, as3);
+
+    let original = client
+        .encode(
+            as1.0 as u32,
+            as3.0 as u32,
+            &Protection::None,
+            WireMode::Fixed,
+        )
+        .unwrap();
+
+    // Fail SW7-SW13: the next encode (same connection or a new one)
+    // must serve the detour — the invalidate ack is the barrier.
+    client.invalidate(failed.0 as u32, false).unwrap();
+    let mut second = ServiceClient::connect(daemon.addr()).expect("connect");
+    let detour = second
+        .encode(
+            as1.0 as u32,
+            as3.0 as u32,
+            &Protection::None,
+            WireMode::Fixed,
+        )
+        .unwrap();
+    assert_ne!(detour.unpack(), original.unpack());
+    let expected =
+        expected_header(&reference, &req, service_recovery(), &[(failed, false)]).unwrap();
+    assert_eq!(detour.as_bytes(), expected.as_bytes());
+
+    // Repair: the original route comes back.
+    second.invalidate(failed.0 as u32, true).unwrap();
+    let restored = client
+        .encode(
+            as1.0 as u32,
+            as3.0 as u32,
+            &Protection::None,
+            WireMode::Fixed,
+        )
+        .unwrap();
+    assert_eq!(restored.unpack(), original.unpack());
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.invalidations, 2);
+    assert_eq!(stats.encode_ok, 3);
+    assert!(stats.requests >= 6);
+    drop((client, second));
+    daemon.shutdown();
+}
+
+#[test]
+fn malformed_and_unroutable_requests_get_error_statuses() {
+    use kar_service::proto::status;
+    let topo = topo15::build();
+    let nodes = topo.node_count() as u32;
+    let daemon = Daemon::spawn(ServiceConfig::new(topo)).expect("spawn");
+    let mut client = ServiceClient::connect(daemon.addr()).expect("connect");
+    // Out-of-range node index.
+    let err = client
+        .encode_raw(nodes + 1, 0, &Protection::None, WireMode::Fixed)
+        .unwrap_err();
+    match err {
+        kar_service::ClientError::Service { code, .. } => assert_eq!(code, status::BAD_REQUEST),
+        other => panic!("expected service error, got {other}"),
+    }
+    // The connection survives the error and still serves requests.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.encode_err, 1);
+    drop(client);
+    daemon.shutdown();
+}

@@ -151,6 +151,15 @@ impl RouteArena {
         shared
     }
 
+    /// Interns the route ID carried by a big-endian header field (the
+    /// `kar::wire` fixed-field bytes). Keyed by value, so a route ID
+    /// arriving as bytes and the same ID arriving as a [`BigUint`]
+    /// share one allocation — this is how the simulator's ingress path
+    /// consumes exactly the bytes the service puts on the wire.
+    pub fn intern_wire(&mut self, field_be: &[u8]) -> Arc<BigUint> {
+        self.intern(&BigUint::from_bytes_be(field_be))
+    }
+
     /// Number of distinct route IDs interned.
     pub fn len(&self) -> usize {
         self.pool.len()
@@ -296,5 +305,16 @@ mod tests {
         arena.clear();
         assert!(arena.is_empty());
         assert_eq!(*a, id); // outstanding handles survive a clear
+    }
+
+    #[test]
+    fn wire_bytes_and_values_intern_identically() {
+        let mut arena = RouteArena::new();
+        let id = BigUint::from(660u64);
+        let by_value = arena.intern(&id);
+        // 660 in a padded big-endian field, as a fixed header carries it.
+        let by_wire = arena.intern_wire(&[0x00, 0x02, 0x94]);
+        assert!(std::sync::Arc::ptr_eq(&by_value, &by_wire));
+        assert_eq!(arena.len(), 1);
     }
 }

@@ -8,7 +8,7 @@
 //! cargo run --release --example deflection_comparison
 //! ```
 
-use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar::{DeflectionTechnique, EncodeRequest, KarNetwork, Protection};
 use kar_simnet::{FlowId, SimTime};
 use kar_tcp::{BulkFlow, TcpConfig};
 use kar_topology::topo15;
@@ -27,8 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for technique in DeflectionTechnique::ALL {
         let mut net = KarNetwork::builder(&topo, technique).seed(7).build();
-        net.install_route(as1, as3, &Protection::AutoBudget { max_bits: 43 })?;
-        net.install_route(as3, as1, &Protection::AutoFull)?;
+        net.encode(
+            &EncodeRequest::new(as1, as3).with_protection(Protection::AutoBudget { max_bits: 43 }),
+        )?;
+        net.encode(&EncodeRequest::new(as3, as1).with_protection(Protection::AutoFull))?;
         let mut sim = net.into_sim();
         sim.schedule_link_down(SimTime::from_secs(3), failed);
         sim.schedule_link_up(SimTime::from_secs(6), failed);

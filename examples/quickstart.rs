@@ -13,7 +13,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar::{DeflectionTechnique, EncodeRequest, KarNetwork, Protection};
 use kar_rns::{crt_encode, crt_extend, residue, RnsBasis};
 use kar_simnet::{FlowId, PacketKind, SimTime};
 use kar_topology::topo15;
@@ -48,7 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
         .seed(42)
         .build();
-    let route = net.install_route(as1, as3, &Protection::AutoFull)?;
+    let route = net
+        .encode(&EncodeRequest::new(as1, as3).with_protection(Protection::AutoFull))?
+        .route;
     println!(
         "installed AS1→AS3: switches {:?}, {} header bits",
         route.pairs.iter().map(|&(id, _)| id).collect::<Vec<_>>(),

@@ -2,7 +2,7 @@
 //! controller → simulator → TCP) driven end to end on both paper
 //! topologies.
 
-use kar::{DeflectionTechnique, KarNetwork, Protection, ReroutePolicy};
+use kar::{DeflectionTechnique, EncodeRequest, KarNetwork, Protection, ReroutePolicy};
 use kar_simnet::{DropReason, FlowId, PacketKind, SimTime};
 use kar_tcp::{BulkFlow, TcpConfig};
 use kar_topology::{rnp28, topo15};
@@ -17,8 +17,8 @@ fn conservation_holds_across_a_failure_storm() {
     let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
         .seed(99)
         .build();
-    net.install_route(as1, as3, &Protection::None).unwrap();
-    net.install_route(as3, as1, &Protection::None).unwrap();
+    net.encode(&EncodeRequest::new(as1, as3)).unwrap();
+    net.encode(&EncodeRequest::new(as3, as1)).unwrap();
     let mut sim = net.into_sim();
     sim.schedule_link_down(SimTime::from_millis(5), topo.expect_link("SW7", "SW13"));
     sim.schedule_link_down(SimTime::from_millis(9), topo.expect_link("SW13", "SW29"));
@@ -52,8 +52,10 @@ fn tcp_over_kar_beats_tcp_over_drop_during_failure() {
     let as3 = topo.expect("AS3");
     let run = |technique| {
         let mut net = KarNetwork::builder(&topo, technique).seed(5).build();
-        net.install_route(as1, as3, &Protection::AutoFull).unwrap();
-        net.install_route(as3, as1, &Protection::AutoFull).unwrap();
+        net.encode(&EncodeRequest::new(as1, as3).with_protection(Protection::AutoFull))
+            .unwrap();
+        net.encode(&EncodeRequest::new(as3, as1).with_protection(Protection::AutoFull))
+            .unwrap();
         let mut sim = net.into_sim();
         sim.schedule_link_down(SimTime::from_secs(1), topo.expect_link("SW13", "SW29"));
         let flow = BulkFlow::install(
@@ -88,7 +90,7 @@ fn wrong_edge_packets_are_rescued_by_the_controller() {
             .ttl(255)
             .reroute(policy)
             .build();
-        net.install_route(as1, as3, &Protection::None).unwrap();
+        net.encode(&EncodeRequest::new(as1, as3)).unwrap();
         let mut sim = net.into_sim();
         sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW10", "SW7"));
         for i in 0..100 {
@@ -202,7 +204,7 @@ fn seeds_reproduce_and_differ() {
         let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
             .seed(seed)
             .build();
-        net.install_route(as1, as3, &Protection::None).unwrap();
+        net.encode(&EncodeRequest::new(as1, as3)).unwrap();
         let mut sim = net.into_sim();
         sim.schedule_link_down(SimTime::ZERO, topo.expect_link("SW7", "SW13"));
         for i in 0..50 {

@@ -3,7 +3,7 @@
 //! detection — is a pure function of `(plan, topology)`, and a seeded
 //! simulation driven by one is replayable bit-for-bit.
 
-use kar::{DeflectionTechnique, KarNetwork, Protection};
+use kar::{DeflectionTechnique, EncodeRequest, KarNetwork, Protection};
 use kar_simnet::{FaultPlan, FlowId, PacketKind, SimTime, Stats};
 use kar_topology::{topo15, LinkId, Topology};
 use proptest::prelude::*;
@@ -64,7 +64,7 @@ fn run_with_plan(plan: &FaultPlan, sim_seed: u64) -> Stats {
         .ttl(255)
         .detection_delay(SimTime::from_micros(100))
         .build();
-    net.install_route(src, dst, &Protection::AutoFull)
+    net.encode(&EncodeRequest::new(src, dst).with_protection(Protection::AutoFull))
         .expect("route installs");
     let mut sim = net.into_sim();
     plan.apply(&mut sim);

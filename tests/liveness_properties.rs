@@ -2,7 +2,7 @@
 //! topologies (DESIGN.md invariants 4–6).
 
 use kar::analysis::{driven_walk, DrivenOutcome};
-use kar::{DeflectionTechnique, EncodedRoute, KarNetwork, Protection, RouteSpec};
+use kar::{DeflectionTechnique, EncodeRequest, EncodedRoute, KarNetwork, Protection, RouteSpec};
 use kar_rns::IdStrategy;
 use kar_simnet::{FlowId, PacketKind, SimTime};
 use kar_topology::{gen, paths, LinkParams, NodeId};
@@ -143,7 +143,7 @@ proptest! {
         let dst = topo.expect("H1");
         let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Avp).seed(seed)
         .build();
-        net.install_route(src, dst, &Protection::None).unwrap();
+        net.encode(&EncodeRequest::new(src, dst)).unwrap();
         let mut sim = net.into_sim();
         for i in 0..batch {
             sim.inject(src, dst, FlowId(0), i, PacketKind::Probe, 200);
