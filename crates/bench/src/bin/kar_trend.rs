@@ -103,7 +103,7 @@ fn main() -> ExitCode {
         let Some(doc) = doc_for_check(check) else {
             eprintln!(
                 "kar-trend: cannot tell which BENCH document {} stands in for \
-                 (name must contain dataplane/scale/breaking/adversary/service)",
+                 (name must contain dataplane/scale/breaking/adversary/service/hier)",
                 check.display()
             );
             return ExitCode::from(2);
@@ -202,6 +202,7 @@ mod tests {
         assert_eq!(doc("breaking.json"), Some("BENCH_breaking.json"));
         assert_eq!(doc("adversary2.json"), Some("BENCH_adversary.json"));
         assert_eq!(doc("BENCH_service_ci.json"), Some("BENCH_service.json"));
+        assert_eq!(doc("BENCH_hier_ci.json"), Some("BENCH_hier.json"));
         assert_eq!(doc("mystery.json"), None);
     }
 }

@@ -265,7 +265,7 @@ impl CampaignConfig {
     }
 }
 
-fn fnv1a(s: &str) -> u64 {
+pub(crate) fn fnv1a(s: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in s.bytes() {
         h ^= b as u64;
@@ -274,7 +274,7 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -285,12 +285,12 @@ fn splitmix64(mut x: u64) -> u64 {
 /// A deterministic sequence of pseudo-random draws for flow placement —
 /// a tiny splitmix64 stream so cell workloads never depend on a global
 /// RNG.
-struct DrawStream {
+pub(crate) struct DrawStream {
     state: u64,
 }
 
 impl DrawStream {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         DrawStream { state: seed }
     }
 
@@ -300,7 +300,7 @@ impl DrawStream {
     }
 
     /// Uniform draw in `0..n` (n > 0).
-    fn below(&mut self, n: usize) -> usize {
+    pub(crate) fn below(&mut self, n: usize) -> usize {
         (self.next() % n as u64) as usize
     }
 }
@@ -308,18 +308,18 @@ impl DrawStream {
 /// Paces several CBR flows out of one host (the engine attaches one app
 /// per edge node, so flows sharing a source must share the app). Timer
 /// ids select the flow.
-struct FlowFleet {
-    flows: Vec<FleetFlow>,
+pub(crate) struct FlowFleet {
+    pub(crate) flows: Vec<FleetFlow>,
 }
 
-struct FleetFlow {
-    dst: NodeId,
-    flow: FlowId,
-    interval: SimTime,
-    offset: SimTime,
-    packet_bytes: u32,
-    limit: u64,
-    sent: u64,
+pub(crate) struct FleetFlow {
+    pub(crate) dst: NodeId,
+    pub(crate) flow: FlowId,
+    pub(crate) interval: SimTime,
+    pub(crate) offset: SimTime,
+    pub(crate) packet_bytes: u32,
+    pub(crate) limit: u64,
+    pub(crate) sent: u64,
 }
 
 impl FlowFleet {
@@ -474,7 +474,7 @@ fn summary_json(s: &HistogramSummary) -> String {
     )
 }
 
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

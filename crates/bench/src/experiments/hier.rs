@@ -1,0 +1,861 @@
+//! Hierarchical-domain sweep (`BENCH_hier.json`): flat vs two-level
+//! hierarchical KAR vs the table-based baselines, 512→4096 switches.
+//!
+//! The scale campaign (`BENCH_scale.json`) charts KAR's key-growth
+//! wall: flat route-ID bits grow with path length, so a 4096-switch
+//! ring needs multi-kilobit headers. This sweep measures the cure. Each
+//! `(family, switches)` point is partitioned into domains of roughly
+//! [`HierConfig::domain_target`] switches ([`Partition::auto`]), and
+//! four schemes are compared on the *same* deterministic pair sample:
+//!
+//! * **flat** — one CRT route ID over the whole path (unprotected),
+//!   driven through a traffic sim with one mid-path failure and the
+//!   failure-reactive recovery loop;
+//! * **hier** — per-domain segments re-stamped at boundary crossings
+//!   ([`kar::HierController`], failure-aware), same sim, plus a
+//!   flat-vs-hier verification sample proving boundary re-encoding adds
+//!   no new loop/blackhole classes;
+//! * **fast_failover** / **splicing** — the `kar-baselines` table
+//!   schemes: zero header bits but per-switch state that grows with the
+//!   destination set (no traffic sim; their cost axis is state).
+//!
+//! Wall-clock is deliberately never measured: the emitted document is a
+//! pure function of the configuration, byte-identical across machines,
+//! so the `kar-trend` gate can diff it across commits.
+
+use crate::campaign::{fnv1a, json_f64, splitmix64, DrawStream, Family, FleetFlow, FlowFleet};
+use crate::runner::run_map;
+use kar::{
+    verify_hier_route, verify_route, DeflectionTechnique, EncodeRequest, HierController,
+    KarNetwork, Outcome, Protection, RecoveryConfig,
+};
+use kar_baselines::{FastFailover, PathSplicing};
+use kar_rns::IdStrategy;
+use kar_simnet::{EdgeLogic, SimTime};
+use kar_topology::{paths, LinkId, NodeId, Partition, Topology};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Routing scheme of a sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Flat KAR: one route ID over the whole path.
+    Flat,
+    /// Two-level hierarchical KAR: per-domain segments.
+    Hier,
+    /// Fast-failover tables (zero header, per-switch state).
+    FastFailover,
+    /// Path-splicing slices (zero header, k× per-switch state).
+    Splicing,
+}
+
+impl Scheme {
+    /// Stable label used in cell keys and JSON records.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Flat => "flat",
+            Scheme::Hier => "hier",
+            Scheme::FastFailover => "fast_failover",
+            Scheme::Splicing => "splicing",
+        }
+    }
+
+    /// Every scheme, in sweep order.
+    pub const ALL: [Scheme; 4] = [
+        Scheme::Flat,
+        Scheme::Hier,
+        Scheme::FastFailover,
+        Scheme::Splicing,
+    ];
+}
+
+/// One cell of the sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierCell {
+    /// Topology family.
+    pub family: Family,
+    /// Core switch count.
+    pub switches: usize,
+    /// Routing scheme.
+    pub scheme: Scheme,
+}
+
+impl HierCell {
+    /// The cell's stable key (`family/switches/scheme`).
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.family.label(),
+            self.switches,
+            self.scheme.label()
+        )
+    }
+}
+
+/// Sweep configuration. `Default` is the full 512→4096 sweep.
+#[derive(Debug, Clone)]
+pub struct HierConfig {
+    /// Base seed; placement is derived per `(family, switches)` so every
+    /// scheme sees identical pairs.
+    pub seed: u64,
+    /// Switch counts to sweep.
+    pub sizes: Vec<usize>,
+    /// Families to sweep.
+    pub families: Vec<Family>,
+    /// Target switches per domain; the partition gets
+    /// `max(2, switches / domain_target)` domains.
+    pub domain_target: usize,
+    /// Sampled `(src, dst)` pairs per cell.
+    pub pairs: usize,
+    /// Datagrams each pair sends in the traffic sim.
+    pub packets_per_pair: u64,
+    /// Pairs carried into the flat-vs-hier verification sample.
+    pub verify_pairs: usize,
+    /// Single-link failures verified per pair (primary-path links
+    /// first, then a stride over the remaining links).
+    pub verify_links: usize,
+    /// Worker threads for the cell sweep.
+    pub jobs: usize,
+}
+
+impl Default for HierConfig {
+    fn default() -> Self {
+        HierConfig {
+            seed: 1,
+            sizes: vec![512, 1024, 2048, 4096],
+            families: Family::ALL.to_vec(),
+            domain_target: 64,
+            pairs: 24,
+            packets_per_pair: 8,
+            verify_pairs: 2,
+            verify_links: 16,
+            jobs: 1,
+        }
+    }
+}
+
+impl HierConfig {
+    /// The cell grid in deterministic order: family-major, then size,
+    /// then scheme.
+    pub fn cells(&self) -> Vec<HierCell> {
+        let mut out = Vec::new();
+        for &family in &self.families {
+            for &switches in &self.sizes {
+                for &scheme in &Scheme::ALL {
+                    out.push(HierCell {
+                        family,
+                        switches,
+                        scheme,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Configuration fingerprint (see the campaign engine's contract:
+    /// two documents interoperate exactly when fingerprints match).
+    pub fn fingerprint(&self) -> String {
+        let join = |parts: Vec<String>| parts.join("+");
+        format!(
+            "hier-v1 seed={} sizes={} families={} domain={} pairs={} ppf={} vpairs={} vlinks={}",
+            self.seed,
+            join(self.sizes.iter().map(|n| n.to_string()).collect()),
+            join(
+                self.families
+                    .iter()
+                    .map(|f| f.label().to_string())
+                    .collect()
+            ),
+            self.domain_target,
+            self.pairs,
+            self.packets_per_pair,
+            self.verify_pairs,
+            self.verify_links,
+        )
+    }
+
+    /// The placement seed of a `(family, switches)` point — shared by
+    /// every scheme so their pair samples are identical.
+    fn placement_seed(&self, family: Family, switches: usize) -> u64 {
+        splitmix64(self.seed ^ fnv1a(&format!("{}/{}", family.label(), switches)))
+    }
+
+    /// Domains requested for `switches` switches.
+    fn domains_for(&self, switches: usize) -> usize {
+        (switches / self.domain_target).max(2)
+    }
+}
+
+/// Everything one completed cell reports.
+#[derive(Debug, Clone, Default)]
+pub struct HierRecord {
+    /// Cell key (`family/switches/scheme`).
+    pub key: String,
+    /// Topology family label.
+    pub family: String,
+    /// Core switches requested.
+    pub switches: usize,
+    /// Scheme label.
+    pub scheme: String,
+    /// Placement seed of the `(family, switches)` point.
+    pub seed: u64,
+    /// ID allocation ceiling, when the strategy could not cover the
+    /// cell (all other fields stay zero).
+    pub gen_error: Option<usize>,
+    /// Edge hosts.
+    pub hosts: usize,
+    /// Links.
+    pub links: usize,
+    /// Distinct `(src, dst)` pairs measured.
+    pub pairs: usize,
+    /// Domains of the partition (hier only, 0 otherwise).
+    pub domains: usize,
+    /// Domain-boundary links (hier only).
+    pub boundary_links: usize,
+    /// Worst-case bits a packet of this scheme carries (flat: largest
+    /// route ID; hier: largest *segment* ID; tables: 0).
+    pub header_bits_max: u32,
+    /// Per-switch forwarding state summed over the network (tables
+    /// only; KAR cores are stateless).
+    pub state_entries: usize,
+    /// Mean nominal (failure-free shortest-path) hop count of the pairs.
+    pub nominal_hops_mean: f64,
+    /// Boundary re-encodes on the nominal routes (hier only).
+    pub planned_reencodes: usize,
+    /// Traffic-sim results (flat and hier schemes only).
+    pub traffic: Option<TrafficOutcome>,
+    /// Flat-vs-hier verification sample (hier scheme only).
+    pub verify: Option<VerifyOutcome>,
+}
+
+/// Traffic-sim results of one cell (one mid-path link failure, NIP
+/// deflection).
+#[derive(Debug, Clone, Default)]
+pub struct TrafficOutcome {
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Delivery ratio.
+    pub delivery_ratio: f64,
+    /// Mean hops of delivered packets.
+    pub mean_hops: f64,
+    /// `mean_hops / nominal_hops_mean`.
+    pub stretch: f64,
+    /// Deflection events.
+    pub deflections: u64,
+    /// Boundary re-stamps observed in the dataplane (hier only).
+    pub boundary_restamps: u64,
+}
+
+/// Flat-vs-hier verification tallies over the sampled failure cases.
+///
+/// Two hierarchical postures are verified per case. The **deployed**
+/// posture (failure-aware controller, matching the traffic sim's
+/// configuration) feeds `hier_*` and the `new_violation_classes` gate.
+/// The **transient** posture (failure-unaware controller — segments
+/// planned on the intact topology, the same knowledge state as the
+/// flat comparator's stale route) is reported as data: before the
+/// failure notice lands, a boundary re-stamp can point a deflected
+/// packet straight back at the failed link, so the hierarchical
+/// transient can wander-loop on host-sparse topologies where flat KAR's
+/// whole-path residues happen to absorb the wanderer.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyOutcome {
+    /// Cases examined (pairs × sampled links).
+    pub cases: usize,
+    /// Flat (stale-route) cases classified as inescapable loops.
+    pub flat_loops: usize,
+    /// Flat (stale-route) cases classified as blackholes.
+    pub flat_blackholes: usize,
+    /// Deployed-posture hier cases classified as inescapable loops.
+    pub hier_loops: usize,
+    /// Deployed-posture hier cases classified as blackholes (including
+    /// ingress drops when the failure disconnects the pair).
+    pub hier_blackholes: usize,
+    /// Transient-posture hier cases classified as inescapable loops.
+    pub transient_hier_loops: usize,
+    /// Transient-posture hier cases classified as blackholes.
+    pub transient_hier_blackholes: usize,
+    /// Violation classes present in the deployed-posture hier tally but
+    /// absent from the flat one — the acceptance gate demands 0.
+    pub new_violation_classes: usize,
+    /// Violation classes present in the transient-posture hier tally
+    /// but absent from the flat one (informational).
+    pub transient_new_classes: usize,
+}
+
+impl HierRecord {
+    /// Serializes as one JSON object on a single line.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(512);
+        o.push('{');
+        write!(o, "\"cell\":\"{}\"", self.key).unwrap();
+        write!(o, ",\"family\":\"{}\"", self.family).unwrap();
+        write!(o, ",\"switches\":{}", self.switches).unwrap();
+        write!(o, ",\"scheme\":\"{}\"", self.scheme).unwrap();
+        write!(o, ",\"seed\":{}", self.seed).unwrap();
+        if let Some(achieved) = self.gen_error {
+            write!(o, ",\"gen_error_achieved\":{achieved}").unwrap();
+        }
+        write!(o, ",\"hosts\":{}", self.hosts).unwrap();
+        write!(o, ",\"links\":{}", self.links).unwrap();
+        write!(o, ",\"pairs\":{}", self.pairs).unwrap();
+        write!(o, ",\"domains\":{}", self.domains).unwrap();
+        write!(o, ",\"boundary_links\":{}", self.boundary_links).unwrap();
+        write!(o, ",\"header_bits_max\":{}", self.header_bits_max).unwrap();
+        write!(o, ",\"state_entries\":{}", self.state_entries).unwrap();
+        write!(
+            o,
+            ",\"nominal_hops_mean\":{}",
+            json_f64(self.nominal_hops_mean)
+        )
+        .unwrap();
+        write!(o, ",\"planned_reencodes\":{}", self.planned_reencodes).unwrap();
+        if let Some(t) = &self.traffic {
+            write!(o, ",\"injected\":{}", t.injected).unwrap();
+            write!(o, ",\"delivered\":{}", t.delivered).unwrap();
+            write!(o, ",\"delivery_ratio\":{}", json_f64(t.delivery_ratio)).unwrap();
+            write!(o, ",\"mean_hops\":{}", json_f64(t.mean_hops)).unwrap();
+            write!(o, ",\"stretch\":{}", json_f64(t.stretch)).unwrap();
+            write!(o, ",\"deflections\":{}", t.deflections).unwrap();
+            write!(o, ",\"boundary_restamps\":{}", t.boundary_restamps).unwrap();
+        }
+        if let Some(v) = &self.verify {
+            write!(o, ",\"verify_cases\":{}", v.cases).unwrap();
+            write!(o, ",\"flat_loops\":{}", v.flat_loops).unwrap();
+            write!(o, ",\"flat_blackholes\":{}", v.flat_blackholes).unwrap();
+            write!(o, ",\"hier_loops\":{}", v.hier_loops).unwrap();
+            write!(o, ",\"hier_blackholes\":{}", v.hier_blackholes).unwrap();
+            write!(o, ",\"transient_hier_loops\":{}", v.transient_hier_loops).unwrap();
+            write!(
+                o,
+                ",\"transient_hier_blackholes\":{}",
+                v.transient_hier_blackholes
+            )
+            .unwrap();
+            write!(o, ",\"verify_new_classes\":{}", v.new_violation_classes).unwrap();
+            write!(o, ",\"transient_new_classes\":{}", v.transient_new_classes).unwrap();
+        }
+        o.push('}');
+        o
+    }
+}
+
+/// The shared per-point context every scheme derives its record from.
+struct Point {
+    topo: Topology,
+    pairs: Vec<(NodeId, NodeId)>,
+    distinct: Vec<(NodeId, NodeId)>,
+    nominal_hops_mean: f64,
+    seed: u64,
+}
+
+fn build_point(cfg: &HierConfig, cell: &HierCell) -> Result<Point, usize> {
+    let seed = cfg.placement_seed(cell.family, cell.switches);
+    let topo = cell
+        .family
+        .build(cell.switches, seed, IdStrategy::SmallestPrimes)
+        .map_err(|e| e.assigned)?;
+    let hosts = topo.edge_nodes();
+    let mut draws = DrawStream::new(seed);
+    let mut pairs = Vec::with_capacity(cfg.pairs);
+    for _ in 0..cfg.pairs {
+        let src = hosts[draws.below(hosts.len())];
+        let mut dst = hosts[draws.below(hosts.len())];
+        while dst == src {
+            dst = hosts[draws.below(hosts.len())];
+        }
+        pairs.push((src, dst));
+    }
+    let distinct: Vec<(NodeId, NodeId)> = pairs
+        .iter()
+        .copied()
+        .collect::<BTreeSet<(NodeId, NodeId)>>()
+        .into_iter()
+        .collect();
+    let mut hop_sum = 0usize;
+    for &(src, dst) in &distinct {
+        let path = paths::bfs_shortest_path(&topo, src, dst).expect("families are connected");
+        hop_sum += path.len() - 1;
+    }
+    let nominal_hops_mean = hop_sum as f64 / distinct.len() as f64;
+    Ok(Point {
+        topo,
+        pairs,
+        distinct,
+        nominal_hops_mean,
+        seed,
+    })
+}
+
+/// The failed link of a point: the middle core link of the first pair's
+/// primary path (the same link for every scheme).
+fn failure_of(point: &Point) -> Option<LinkId> {
+    let (src, dst) = point.pairs[0];
+    let primary = paths::bfs_shortest_path(&point.topo, src, dst)?;
+    let core_links: Vec<LinkId> = primary
+        .windows(2)
+        .filter(|w| point.topo.switch_id(w[0]).is_some() && point.topo.switch_id(w[1]).is_some())
+        .filter_map(|w| point.topo.link_between(w[0], w[1]))
+        .collect();
+    core_links.get(core_links.len() / 2).copied()
+}
+
+/// Drives the point's pairs through a simulation of `net` with one
+/// mid-path failure, CBR pacing seeded from the placement stream.
+fn drive(
+    point: &Point,
+    net: KarNetwork<'_>,
+    packets_per_pair: u64,
+    nominal_hops_mean: f64,
+) -> TrafficOutcome {
+    let mut sim = net.into_sim();
+    if let Some(link) = failure_of(point) {
+        sim.schedule_link_down(SimTime::ZERO, link);
+    }
+    let mut draws = DrawStream::new(point.seed ^ 0x7261_6666_6963); // "raffic"
+    let mut fleets: BTreeMap<usize, Vec<FleetFlow>> = BTreeMap::new();
+    for (i, &(src, dst)) in point.pairs.iter().enumerate() {
+        let interval = SimTime::from_micros(1_000 + draws.below(1_000) as u64);
+        let offset = SimTime::from_micros(draws.below(2_000) as u64);
+        fleets.entry(src.0).or_default().push(FleetFlow {
+            dst,
+            flow: kar_simnet::FlowId(i as u32),
+            interval,
+            offset,
+            packet_bytes: 700,
+            limit: packets_per_pair,
+            sent: 0,
+        });
+    }
+    for (src, flows) in fleets {
+        sim.add_app(NodeId(src), Box::new(FlowFleet { flows }));
+    }
+    sim.run_to_quiescence();
+    let stats = sim.stats();
+    let mean_hops = stats.mean_hops().unwrap_or(0.0);
+    TrafficOutcome {
+        injected: stats.injected,
+        delivered: stats.delivered,
+        delivery_ratio: stats.delivery_ratio(),
+        mean_hops,
+        stretch: if nominal_hops_mean > 0.0 {
+            mean_hops / nominal_hops_mean
+        } else {
+            0.0
+        },
+        deflections: stats.deflections,
+        boundary_restamps: 0,
+    }
+}
+
+/// The sampled failed links for one verification pair: core links along
+/// the pair's primary path first (the failures that matter most), then
+/// a deterministic stride over the remaining link space.
+fn verify_link_sample(topo: &Topology, src: NodeId, dst: NodeId, budget: usize) -> Vec<LinkId> {
+    let mut out = Vec::new();
+    if let Some(primary) = paths::bfs_shortest_path(topo, src, dst) {
+        for w in primary.windows(2) {
+            if topo.switch_id(w[0]).is_some() && topo.switch_id(w[1]).is_some() {
+                if let Some(l) = topo.link_between(w[0], w[1]) {
+                    if out.len() < budget / 2 {
+                        out.push(l);
+                    }
+                }
+            }
+        }
+    }
+    let total = topo.link_count();
+    let want = budget.saturating_sub(out.len()).min(total);
+    if let Some(stride) = total.checked_div(want) {
+        let stride = stride.max(1);
+        for s in 0..want {
+            let l = LinkId((s * stride) % total);
+            if !out.contains(&l) {
+                out.push(l);
+            }
+        }
+    }
+    out
+}
+
+/// Classifies the verification pairs under sampled single-link failures
+/// on both dataplanes and compares violation classes.
+fn verify_point(cfg: &HierConfig, point: &Point, partition: &Arc<Partition>) -> VerifyOutcome {
+    let mut out = VerifyOutcome::default();
+    // Transient posture: segments planned on the intact topology, the
+    // same knowledge state as the flat comparator's stale route.
+    let mut stale = HierController::new(Arc::clone(partition));
+    for &(src, dst) in point.distinct.iter().take(cfg.verify_pairs) {
+        let primary =
+            paths::bfs_shortest_path(&point.topo, src, dst).expect("families are connected");
+        let flat = kar::protection::encode_with_protection(&point.topo, primary, &Protection::None)
+            .expect("unprotected paths encode");
+        for link in verify_link_sample(&point.topo, src, dst, cfg.verify_links) {
+            let failed: HashSet<LinkId> = [link].into_iter().collect();
+            // Deployed posture: a fresh controller told about the
+            // failure (as the sim's recovery notice would), so segments
+            // are planned around it. An install failure means the
+            // failure disconnected the pair — no routing scheme can
+            // deliver, so the case probes nothing and is skipped for
+            // all three tallies.
+            let mut aware = HierController::new(Arc::clone(partition));
+            aware.set_failure_aware(true);
+            aware.on_link_event(&point.topo, link, false, SimTime::ZERO);
+            let Ok(deployed) = verify_hier_route(
+                &point.topo,
+                &mut aware,
+                src,
+                dst,
+                DeflectionTechnique::Nip,
+                &failed,
+            )
+            .map(|r| r.outcome) else {
+                continue;
+            };
+            let f = verify_route(
+                &point.topo,
+                &flat,
+                src,
+                dst,
+                DeflectionTechnique::Nip,
+                &failed,
+            );
+            let t = verify_hier_route(
+                &point.topo,
+                &mut stale,
+                src,
+                dst,
+                DeflectionTechnique::Nip,
+                &failed,
+            )
+            .expect("hier routes install on the intact topology");
+            out.cases += 1;
+            match f.outcome {
+                Outcome::Loop => out.flat_loops += 1,
+                Outcome::Blackhole => out.flat_blackholes += 1,
+                _ => {}
+            }
+            match t.outcome {
+                Outcome::Loop => out.transient_hier_loops += 1,
+                Outcome::Blackhole => out.transient_hier_blackholes += 1,
+                _ => {}
+            }
+            match deployed {
+                Outcome::Loop => out.hier_loops += 1,
+                Outcome::Blackhole => out.hier_blackholes += 1,
+                _ => {}
+            }
+        }
+    }
+    out.new_violation_classes = usize::from(out.hier_loops > 0 && out.flat_loops == 0)
+        + usize::from(out.hier_blackholes > 0 && out.flat_blackholes == 0);
+    out.transient_new_classes = usize::from(out.transient_hier_loops > 0 && out.flat_loops == 0)
+        + usize::from(out.transient_hier_blackholes > 0 && out.flat_blackholes == 0);
+    out
+}
+
+/// Runs one sweep cell to completion.
+pub fn run_cell(cfg: &HierConfig, cell: &HierCell) -> HierRecord {
+    let mut record = HierRecord {
+        key: cell.key(),
+        family: cell.family.label().to_string(),
+        switches: cell.switches,
+        scheme: cell.scheme.label().to_string(),
+        ..HierRecord::default()
+    };
+    let point = match build_point(cfg, cell) {
+        Ok(p) => p,
+        Err(achieved) => {
+            record.gen_error = Some(achieved);
+            return record;
+        }
+    };
+    record.seed = point.seed;
+    record.hosts = point.topo.edge_nodes().len();
+    record.links = point.topo.link_count();
+    record.pairs = point.distinct.len();
+    record.nominal_hops_mean = point.nominal_hops_mean;
+    let ttl = ((cell.switches * 4).clamp(64, 16384)) as u16;
+    match cell.scheme {
+        Scheme::Flat => {
+            let mut net = KarNetwork::builder(&point.topo, DeflectionTechnique::Nip)
+                .seed(point.seed)
+                .ttl(ttl)
+                .fast_path(true)
+                // Without detection + recovery the wrong-edge recompute
+                // loop livelocks on stale routes (see the scale
+                // campaign); flat gets the reactive controller.
+                .detection_delay(SimTime::from_micros(50))
+                .recovery(RecoveryConfig {
+                    notification_delay: SimTime::from_micros(200),
+                    ..RecoveryConfig::default()
+                })
+                .build();
+            for &(src, dst) in &point.distinct {
+                let outcome = net
+                    .encode(&EncodeRequest::new(src, dst))
+                    .expect("families are connected");
+                record.header_bits_max = record.header_bits_max.max(outcome.route.bit_length());
+            }
+            record.traffic = Some(drive(
+                &point,
+                net,
+                cfg.packets_per_pair,
+                point.nominal_hops_mean,
+            ));
+        }
+        Scheme::Hier => {
+            let partition = Arc::new(
+                Partition::auto(&point.topo, cfg.domains_for(cell.switches))
+                    .expect("generated families partition"),
+            );
+            record.domains = partition.num_domains();
+            record.boundary_links = partition.boundary_links().len();
+            let mut net = KarNetwork::builder(&point.topo, DeflectionTechnique::Nip)
+                .seed(point.seed)
+                .ttl(ttl)
+                .fast_path(true)
+                .detection_delay(SimTime::from_micros(50))
+                .hierarchy(Arc::clone(&partition))
+                .build();
+            {
+                let ctrl = net.hier_controller_mut().expect("hierarchy enabled");
+                // Post-failure quiescence: replan installed pairs when
+                // the failure notice lands (flat gets the recovery loop
+                // for the same reason).
+                ctrl.set_failure_aware(true);
+                for &(src, dst) in &point.distinct {
+                    let route = ctrl
+                        .install(&point.topo, src, dst, &Protection::None)
+                        .expect("families are connected");
+                    record.header_bits_max = record.header_bits_max.max(route.max_bits());
+                    record.planned_reencodes += route.reencodes();
+                }
+            }
+            let stats = net.hier_stats().expect("hierarchy enabled");
+            let mut traffic = drive(&point, net, cfg.packets_per_pair, point.nominal_hops_mean);
+            traffic.boundary_restamps = stats
+                .boundary_stamps
+                .load(std::sync::atomic::Ordering::Relaxed)
+                + stats
+                    .boundary_recomputes
+                    .load(std::sync::atomic::Ordering::Relaxed);
+            record.traffic = Some(traffic);
+            record.verify = Some(verify_point(cfg, &point, &partition));
+        }
+        Scheme::FastFailover => {
+            let dsts: Vec<NodeId> = point
+                .distinct
+                .iter()
+                .map(|&(_, d)| d)
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            record.state_entries = FastFailover::precompute(&point.topo, &dsts).total_entries();
+        }
+        Scheme::Splicing => {
+            let dsts: Vec<NodeId> = point
+                .distinct
+                .iter()
+                .map(|&(_, d)| d)
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            record.state_entries =
+                PathSplicing::precompute(&point.topo, &dsts, 4, point.seed).total_entries();
+        }
+    }
+    record
+}
+
+/// Outcome of [`run`].
+#[derive(Debug, Clone)]
+pub struct HierResult {
+    /// Configuration fingerprint.
+    pub fingerprint: String,
+    /// `(cell key, record JSON)` in grid order.
+    pub records: Vec<(String, String)>,
+}
+
+impl HierResult {
+    /// Renders the full `BENCH_hier.json` document (line-oriented, like
+    /// the other campaign documents).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"campaign\":\"hier\",\n");
+        out.push_str(&format!(
+            "\"fingerprint\":\"{}\",\n\"cells\":[\n",
+            self.fingerprint
+        ));
+        for (i, (_, json)) in self.records.iter().enumerate() {
+            out.push_str(json);
+            out.push_str(if i + 1 < self.records.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// A human-readable summary table (stdout side of `fig_hier`).
+    pub fn render_table(&self) -> String {
+        use crate::campaign::json_field;
+        let mut out = String::from(
+            "| Cell | Hdr bits | State | Domains | Delivery | Stretch | New classes |\n\
+             |---|---|---|---|---|---|---|\n",
+        );
+        for (key, json) in &self.records {
+            let get = |f: &str| json_field(json, f).unwrap_or("-").to_string();
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} |\n",
+                key,
+                get("header_bits_max"),
+                get("state_entries"),
+                get("domains"),
+                get("delivery_ratio"),
+                get("stretch"),
+                get("verify_new_classes"),
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the sweep over the configured grid.
+pub fn run(cfg: &HierConfig) -> HierResult {
+    let cells = cfg.cells();
+    let records = run_map(&cells, cfg.jobs, |cell| {
+        let record = run_cell(cfg, cell);
+        (record.key.clone(), record.to_json())
+    });
+    HierResult {
+        fingerprint: cfg.fingerprint(),
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::json_field;
+
+    fn smoke_config() -> HierConfig {
+        HierConfig {
+            seed: 9,
+            sizes: vec![24],
+            families: vec![Family::Ring],
+            domain_target: 6,
+            pairs: 6,
+            packets_per_pair: 4,
+            verify_pairs: 2,
+            verify_links: 6,
+            jobs: 2,
+        }
+    }
+
+    #[test]
+    fn run_cell_is_deterministic_and_hier_beats_flat_on_bits() {
+        let cfg = smoke_config();
+        let flat_cell = HierCell {
+            family: Family::Ring,
+            switches: 24,
+            scheme: Scheme::Flat,
+        };
+        let hier_cell = HierCell {
+            scheme: Scheme::Hier,
+            ..flat_cell
+        };
+        let flat = run_cell(&cfg, &flat_cell);
+        let hier = run_cell(&cfg, &hier_cell);
+        assert_eq!(flat.to_json(), run_cell(&cfg, &flat_cell).to_json());
+        assert_eq!(hier.to_json(), run_cell(&cfg, &hier_cell).to_json());
+        // Same placement: schemes measure identical pair samples.
+        assert_eq!(flat.seed, hier.seed);
+        assert_eq!(flat.pairs, hier.pairs);
+        assert_eq!(flat.nominal_hops_mean, hier.nominal_hops_mean);
+        // The headline: per-domain segments are smaller than whole-path
+        // route IDs.
+        assert!(
+            hier.header_bits_max < flat.header_bits_max,
+            "hier {} vs flat {}",
+            hier.header_bits_max,
+            flat.header_bits_max
+        );
+        assert_eq!(hier.domains, 4);
+        assert!(hier.boundary_links > 0);
+        let ht = hier.traffic.as_ref().unwrap();
+        let ft = flat.traffic.as_ref().unwrap();
+        assert!(ht.delivery_ratio > 0.9, "{ht:?}");
+        assert!(ft.delivery_ratio > 0.9, "{ft:?}");
+        assert!(ht.boundary_restamps > 0);
+        let v = hier.verify.as_ref().unwrap();
+        assert!(v.cases > 0);
+        assert_eq!(v.new_violation_classes, 0, "{v:?}");
+    }
+
+    #[test]
+    fn table_schemes_report_state_not_headers() {
+        let cfg = smoke_config();
+        let ff = run_cell(
+            &cfg,
+            &HierCell {
+                family: Family::Ring,
+                switches: 24,
+                scheme: Scheme::FastFailover,
+            },
+        );
+        assert_eq!(ff.header_bits_max, 0);
+        assert!(ff.state_entries > 0);
+        assert!(ff.traffic.is_none());
+        let sp = run_cell(
+            &cfg,
+            &HierCell {
+                family: Family::Ring,
+                switches: 24,
+                scheme: Scheme::Splicing,
+            },
+        );
+        assert!(sp.state_entries > ff.state_entries, "k slices cost more");
+    }
+
+    #[test]
+    fn sweep_document_shape_and_grid_order() {
+        let cfg = smoke_config();
+        let result = run(&cfg);
+        assert_eq!(result.records.len(), 4);
+        let keys: Vec<&str> = result.records.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "ring/24/flat",
+                "ring/24/hier",
+                "ring/24/fast_failover",
+                "ring/24/splicing"
+            ]
+        );
+        let doc = result.to_json();
+        assert!(doc.starts_with("{\"campaign\":\"hier\""));
+        let hier_line = &result.records[1].1;
+        assert!(json_field(hier_line, "verify_new_classes").is_some());
+        assert!(result.render_table().contains("ring/24/hier"));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let serial = run(&HierConfig {
+            jobs: 1,
+            ..smoke_config()
+        });
+        let parallel = run(&HierConfig {
+            jobs: 4,
+            ..smoke_config()
+        });
+        assert_eq!(serial.to_json(), parallel.to_json());
+    }
+}

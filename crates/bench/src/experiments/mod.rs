@@ -10,6 +10,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig7;
 pub mod fig8;
+pub mod hier;
 pub mod jitter;
 pub mod multi_failure;
 pub mod scalability;

@@ -23,13 +23,14 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::Command;
 
-/// The five trend-tracked documents at the repo root.
+/// The six trend-tracked documents at the repo root.
 pub const TREND_DOCS: &[&str] = &[
     "BENCH_dataplane.json",
     "BENCH_scale.json",
     "BENCH_breaking.json",
     "BENCH_adversary.json",
     "BENCH_service.json",
+    "BENCH_hier.json",
 ];
 
 /// Default regression tolerance: a metric may move up to this fraction
@@ -397,6 +398,35 @@ pub fn extract_metrics(doc: &str, json: &Json) -> Vec<Metric> {
                     format!("scale/{name}/delivery_ratio"),
                     cell.get("delivery_ratio").and_then(Json::as_f64),
                     HigherIsBetter,
+                );
+            }
+        }
+        "BENCH_hier.json" => {
+            for cell in json.get("cells").and_then(Json::as_arr).unwrap_or_default() {
+                let Some(name) = cell.get("cell").and_then(Json::as_str) else {
+                    continue;
+                };
+                push(
+                    format!("hier/{name}/header_bits_max"),
+                    cell.get("header_bits_max").and_then(Json::as_f64),
+                    LowerIsBetter,
+                );
+                // Traffic and verification fields exist only for the
+                // simulated schemes (flat/hier); table cells skip them.
+                push(
+                    format!("hier/{name}/delivery_ratio"),
+                    cell.get("delivery_ratio").and_then(Json::as_f64),
+                    HigherIsBetter,
+                );
+                push(
+                    format!("hier/{name}/stretch"),
+                    cell.get("stretch").and_then(Json::as_f64),
+                    LowerIsBetter,
+                );
+                push(
+                    format!("hier/{name}/verify_new_classes"),
+                    cell.get("verify_new_classes").and_then(Json::as_f64),
+                    LowerIsBetter,
                 );
             }
         }

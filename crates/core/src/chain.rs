@@ -21,6 +21,10 @@ use std::collections::HashSet;
 ///
 /// # Errors
 ///
+/// [`KarError::DuplicateWaypoint`] when a stop repeats a switch the
+/// chain already visits — including a waypoint equal to its
+/// predecessor (a zero-length leg) and `src` itself as the first
+/// waypoint, which earlier versions silently accepted.
 /// [`KarError::NoPath`] when some leg cannot be completed without
 /// revisiting an earlier switch.
 ///
@@ -51,12 +55,13 @@ pub fn chain_path(
     let mut cur = src;
     let stops: Vec<NodeId> = waypoints.iter().copied().chain([dst]).collect();
     for &stop in &stops {
-        if used.contains(&stop) && stop != cur {
+        if used.contains(&stop) {
             // An earlier leg already consumed this switch's residue.
-            return Err(KarError::NoPath {
-                src: cur,
-                dst: stop,
-            });
+            // `used` always holds `cur`, so this also rejects a
+            // waypoint equal to its predecessor (the old `stop != cur`
+            // exemption let those — and src as the first waypoint —
+            // slip through as silent zero-length legs).
+            return Err(KarError::DuplicateWaypoint { node: stop });
         }
         let leg = bfs_avoiding_nodes(topo, cur, stop, &used).ok_or(KarError::NoPath {
             src: cur,
@@ -163,7 +168,36 @@ mod tests {
         let as3 = topo.expect("AS3");
         let w = [topo.expect("SW43"), topo.expect("SW23")];
         let err = chain_path(&topo, as2, &w, as3).unwrap_err();
-        assert!(matches!(err, KarError::NoPath { .. }));
+        assert_eq!(
+            err,
+            KarError::DuplicateWaypoint {
+                node: topo.expect("SW23")
+            }
+        );
+    }
+
+    #[test]
+    fn consecutive_duplicate_waypoints_are_rejected() {
+        // The old `stop != cur` exemption turned SW17 → SW17 into a
+        // silent zero-length leg; it must be a DuplicateWaypoint.
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let sw17 = topo.expect("SW17");
+        let err = chain_path(&topo, as1, &[sw17, sw17], as3).unwrap_err();
+        assert_eq!(err, KarError::DuplicateWaypoint { node: sw17 });
+        assert!(err.to_string().contains("repeats"), "{err}");
+    }
+
+    #[test]
+    fn src_as_first_waypoint_is_rejected() {
+        // src is in the used set from the start; naming it as a
+        // waypoint used to slip through the same exemption.
+        let topo = topo15::build();
+        let as1 = topo.expect("AS1");
+        let as3 = topo.expect("AS3");
+        let err = chain_path(&topo, as1, &[as1], as3).unwrap_err();
+        assert_eq!(err, KarError::DuplicateWaypoint { node: as1 });
     }
 
     #[test]

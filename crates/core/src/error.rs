@@ -51,6 +51,13 @@ pub enum KarError {
     /// The underlying RNS encoding failed (non-coprime IDs, residue out
     /// of range, …).
     Rns(RnsError),
+    /// A service-chain waypoint repeats a switch the chain already
+    /// visits (immediately or via an earlier leg): each switch has one
+    /// residue per route ID, so no chain may stop at it twice.
+    DuplicateWaypoint {
+        /// The repeated switch.
+        node: NodeId,
+    },
     /// No route is installed for this `(src, dst)` pair.
     RouteNotInstalled {
         /// Requested source edge.
@@ -85,6 +92,9 @@ impl fmt::Display for KarError {
                 f,
                 "route ID needs {needed_bits} bits but the header field has {field_bits}"
             ),
+            KarError::DuplicateWaypoint { node } => {
+                write!(f, "waypoint {node} repeats a switch the chain already visits")
+            }
             KarError::Rns(e) => write!(f, "rns encoding failed: {e}"),
             KarError::RouteNotInstalled { src, dst } => {
                 write!(f, "no route installed from {src} to {dst}")

@@ -71,6 +71,7 @@ pub mod chain;
 mod controller;
 mod deflect;
 mod error;
+pub mod hier;
 pub mod multipath;
 mod network;
 pub mod protection;
@@ -84,6 +85,10 @@ pub use chain::chain_path;
 pub use controller::{Controller, EncodeOutcome, EncodeRequest, KarConfig, ReroutePolicy};
 pub use deflect::{DeflectionTechnique, KarForwarder};
 pub use error::KarError;
+pub use hier::{
+    split_segments, verify_hier_resilience, verify_hier_route, HierController, HierReport,
+    HierRoute, HierStats, HierSweep, OutcomeCounts, Segment,
+};
 pub use multipath::{edge_disjoint_paths, MultipathEdge};
 pub use network::KarNetwork;
 pub use protection::Protection;

@@ -13,12 +13,13 @@ use crate::cache::EncodingCache;
 use crate::controller::{Controller, EncodeOutcome, EncodeRequest, ReroutePolicy};
 use crate::deflect::{DeflectionTechnique, KarForwarder};
 use crate::error::KarError;
+use crate::hier::{HierController, HierStats};
 use crate::protection::Protection;
 use crate::recovery::{RecoveringController, RecoveryConfig, RecoveryLog};
 use crate::route::EncodedRoute;
 use kar_obs::{Entity, ObsHandle, Profiler};
 use kar_simnet::{Behavior, EdgeLogic, Sim, SimConfig};
-use kar_topology::{paths, NodeId, Topology};
+use kar_topology::{paths, NodeId, Partition, Topology};
 use std::sync::{Arc, Mutex};
 
 /// Collects every configuration knob of a KAR simulation; one
@@ -50,6 +51,7 @@ pub struct KarNetworkBuilder<'t> {
     reroute: ReroutePolicy,
     cache: Option<Arc<EncodingCache>>,
     recovery: Option<RecoveryConfig>,
+    hierarchy: Option<Arc<Partition>>,
     byzantine: Vec<(NodeId, Behavior)>,
     obs: ObsHandle,
     profiler: Option<Arc<Profiler>>,
@@ -65,6 +67,7 @@ impl<'t> KarNetworkBuilder<'t> {
             reroute: ReroutePolicy::default(),
             cache: None,
             recovery: None,
+            hierarchy: None,
             byzantine: Vec::new(),
             obs: ObsHandle::disabled(),
             profiler: None,
@@ -127,6 +130,19 @@ impl<'t> KarNetworkBuilder<'t> {
         self
     }
 
+    /// Routes hierarchically over `partition` (see [`crate::hier`]):
+    /// route IDs are encoded per domain and re-stamped at boundary
+    /// crossings, bounding header bits by the largest domain instead of
+    /// the path length. Encode-time protection applies to the ingress
+    /// segment only; boundary re-encodes are unprotected (the paper's
+    /// reactive-recompute posture). Mutually exclusive with
+    /// [`KarNetworkBuilder::recovery`] — both want to own the edge
+    /// logic.
+    pub fn hierarchy(mut self, partition: Arc<Partition>) -> Self {
+        self.hierarchy = Some(partition);
+        self
+    }
+
     /// Declares `node` a Byzantine switch with the given [`Behavior`]
     /// (accumulates across calls; the last behavior set for a node
     /// wins). Honest-only configurations never call this, keeping them
@@ -163,10 +179,21 @@ impl<'t> KarNetworkBuilder<'t> {
     /// Finalizes the configuration into a [`KarNetwork`] ready for route
     /// installs and [`KarNetwork::into_sim`].
     pub fn build(self) -> KarNetwork<'t> {
+        assert!(
+            self.hierarchy.is_none() || self.recovery.is_none(),
+            "hierarchy and recovery are mutually exclusive: both own the edge logic"
+        );
         let mut controller = Controller::new().with_reroute(self.reroute);
         if let Some(cache) = &self.cache {
             controller = controller.with_encoding_cache(Arc::clone(cache));
         }
+        let hier = self.hierarchy.map(|partition| {
+            let mut h = HierController::new(partition).with_reroute(self.reroute);
+            if let Some(cache) = &self.cache {
+                h = h.with_encoding_cache(Arc::clone(cache));
+            }
+            h
+        });
         let recovery = self
             .recovery
             .map(|config| (config, Arc::new(Mutex::new(RecoveryLog::default()))));
@@ -174,6 +201,7 @@ impl<'t> KarNetworkBuilder<'t> {
             topo: self.topo,
             technique: self.technique,
             controller,
+            hier,
             sim_config: self.sim_config,
             reroute: self.reroute,
             cache: self.cache,
@@ -195,6 +223,7 @@ pub struct KarNetwork<'t> {
     topo: &'t Topology,
     technique: DeflectionTechnique,
     controller: Controller,
+    hier: Option<HierController>,
     sim_config: SimConfig,
     // Mirrors of builder knobs that must be replayed onto a
     // RecoveringController (building it happens in `into_sim`, after the
@@ -238,6 +267,19 @@ impl<'t> KarNetwork<'t> {
         &mut self.controller
     }
 
+    /// Mutable access to the hierarchical controller, when
+    /// [`KarNetworkBuilder::hierarchy`] was set (failure awareness,
+    /// segment inspection).
+    pub fn hier_controller_mut(&mut self) -> Option<&mut HierController> {
+        self.hier.as_mut()
+    }
+
+    /// Handle onto the hierarchical controller's counters, when
+    /// hierarchy is enabled (survives [`KarNetwork::into_sim`]).
+    pub fn hier_stats(&self) -> Option<Arc<HierStats>> {
+        self.hier.as_ref().map(|h| h.stats())
+    }
+
     /// Serves one [`EncodeRequest`]: installs a shortest-path route
     /// with the requested protection and returns it together with its
     /// canonical wire header. The single public encode entry point —
@@ -269,6 +311,18 @@ impl<'t> KarNetwork<'t> {
         dst: NodeId,
         protection: &Protection,
     ) -> Result<EncodedRoute, KarError> {
+        if let Some(hier) = &mut self.hier {
+            // Hierarchical install: the returned route is the *ingress
+            // segment* (what the edge actually stamps); downstream
+            // segments live in the controller's boundary memo.
+            let route = hier.install(self.topo, src, dst, protection)?;
+            if self.obs.is_enabled() {
+                if let Some(primary) = paths::bfs_shortest_path(self.topo, src, dst) {
+                    self.note_install(&primary);
+                }
+            }
+            return Ok(route.segments[0].route.clone());
+        }
         if self.recovery.is_some() {
             // Record the concrete primary so the recovery controller can
             // match failures against it (same path selection as the
@@ -304,6 +358,10 @@ impl<'t> KarNetwork<'t> {
 
     /// Installs an explicit (pinned) primary path with protection.
     ///
+    /// Not supported under [`KarNetworkBuilder::hierarchy`] (segment
+    /// planning owns path selection there); hierarchical deployments
+    /// install via [`KarNetwork::encode`].
+    ///
     /// # Errors
     ///
     /// See [`Controller::install_explicit`].
@@ -324,6 +382,22 @@ impl<'t> KarNetwork<'t> {
 
     /// Finalizes into a runnable simulation.
     pub fn into_sim(self) -> Sim<'t> {
+        if let Some(hier) = self.hier {
+            let mut sim = Sim::new(
+                self.topo,
+                Box::new(KarForwarder::new(self.technique)),
+                Box::new(hier),
+                self.sim_config,
+            );
+            sim.attach_obs(&self.obs);
+            if let Some(profiler) = self.profiler {
+                sim.attach_profiler(profiler);
+            }
+            for (node, behavior) in self.byzantine {
+                sim.set_behavior(node, behavior);
+            }
+            return sim;
+        }
         let edge: Box<dyn EdgeLogic> = match self.recovery {
             Some((config, log)) => {
                 let mut rc = RecoveringController::new(config)
@@ -592,6 +666,59 @@ mod tests {
         assert_eq!(reencodes.len(), 1, "one detour, never restored");
         assert_eq!(reencodes[0].tag, "detour");
         assert_eq!(reencodes[0].node, Some(as1.0 as u32));
+    }
+
+    #[test]
+    fn hierarchy_through_the_builder_delivers_and_counts_boundaries() {
+        use kar_rns::IdStrategy;
+        use kar_topology::{gen, LinkParams};
+        let topo = gen::ring(12, IdStrategy::SmallestPrimes, LinkParams::default());
+        let partition = Arc::new(Partition::ring(&topo, 4).unwrap());
+        let mut net = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+            .seed(5)
+            .hierarchy(Arc::clone(&partition))
+            .build();
+        let src = topo.expect("H0");
+        let dst = topo.expect("H6");
+        let out = net.encode(&EncodeRequest::new(src, dst)).unwrap();
+        // The advertised route is the ingress segment: strictly smaller
+        // than the flat encoding over the same half-ring path.
+        let primary = paths::bfs_shortest_path(&topo, src, dst).unwrap();
+        let flat =
+            crate::protection::encode_with_protection(&topo, primary, &Protection::None).unwrap();
+        assert!(out.route.bit_length() < flat.bit_length());
+        let stats = net.hier_stats().unwrap();
+        let mut sim = net.into_sim();
+        for i in 0..10 {
+            sim.inject(src, dst, FlowId(0), i, PacketKind::Probe, 500);
+        }
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().delivered, 10, "{:?}", sim.stats());
+        assert!(
+            stats
+                .boundary_stamps
+                .load(std::sync::atomic::Ordering::Relaxed)
+                + stats
+                    .boundary_recomputes
+                    .load(std::sync::atomic::Ordering::Relaxed)
+                >= 10
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn hierarchy_and_recovery_refuse_to_combine() {
+        use kar_rns::IdStrategy;
+        use kar_topology::{gen, LinkParams};
+        let topo = gen::ring(8, IdStrategy::SmallestPrimes, LinkParams::default());
+        let partition = Arc::new(Partition::ring(&topo, 2).unwrap());
+        let _ = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+            .hierarchy(partition)
+            .recovery(crate::recovery::RecoveryConfig {
+                notification_delay: SimTime::from_millis(1),
+                protection: Protection::None,
+            })
+            .build();
     }
 
     #[test]

@@ -84,15 +84,15 @@ use std::fmt;
 /// from, and whether it has ever been deflected (the only bit of header
 /// state the techniques consult).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct State {
-    node: NodeId,
-    in_port: PortIx,
-    deflected: bool,
+pub(crate) struct State {
+    pub(crate) node: NodeId,
+    pub(crate) in_port: PortIx,
+    pub(crate) deflected: bool,
 }
 
 /// What can terminate a trajectory at one state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Terminal {
+pub(crate) enum Terminal {
     Delivered,
     WrongEdge(NodeId),
     Drop,
@@ -169,7 +169,7 @@ pub struct VerifyReport {
 /// [`crate::KarForwarder`]: residue first, then the deflection candidate
 /// set (core-facing ports preferred for AVP/NIP, input port excluded for
 /// NIP, unrestricted for hot-potato's random walk).
-fn possible_moves(
+pub(crate) fn possible_moves(
     topo: &Topology,
     route: &EncodedRoute,
     technique: DeflectionTechnique,
@@ -254,7 +254,7 @@ fn possible_moves(
 
 /// Where taking `port` from `state.node` lands: a successor state or a
 /// terminal (an edge node).
-fn step(
+pub(crate) fn step(
     topo: &Topology,
     dst: NodeId,
     from: NodeId,
@@ -473,7 +473,7 @@ fn loop_witness(states: &[State], succs: &[Vec<usize>], scc: &[usize]) -> Vec<No
 /// Iterative Tarjan strongly-connected components (indices into the
 /// state arrays). Iterative because NIP walks on larger topologies can
 /// produce graphs deeper than the default stack would like.
-fn tarjan_sccs(succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
+pub(crate) fn tarjan_sccs(succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
     let n = succs.len();
     let mut idx = vec![usize::MAX; n];
     let mut low = vec![0usize; n];

@@ -1,0 +1,101 @@
+//! Differential test for hierarchical KAR's degenerate case: with the
+//! whole topology as ONE domain there are no boundary links, so no
+//! ingress ever re-stamps and the hierarchical forwarder must walk
+//! exactly the flat KAR path — hop for hop, for every edge pair of
+//! both paper topologies. Any divergence means the hierarchy layer
+//! changes forwarding even when it should be a no-op.
+
+use kar::{DeflectionTechnique, EncodeRequest, KarNetwork, Protection};
+use kar_simnet::{FlowId, PacketFate, PacketKind};
+use kar_topology::{rnp28, topo15, Partition, Topology};
+use std::sync::Arc;
+
+/// Every ordered edge pair of `topo`.
+fn edge_pairs(topo: &Topology) -> Vec<(kar_topology::NodeId, kar_topology::NodeId)> {
+    let edges = topo.edge_nodes();
+    edges
+        .iter()
+        .flat_map(|&s| edges.iter().map(move |&d| (s, d)))
+        .filter(|(s, d)| s != d)
+        .collect()
+}
+
+/// Runs one probe per pair through `net` and returns each probe's
+/// traced hop sequence, in injection order.
+fn traced_paths(
+    mut sim: kar_simnet::Sim,
+    pairs: &[(kar_topology::NodeId, kar_topology::NodeId)],
+) -> Vec<Vec<kar_topology::NodeId>> {
+    for (i, &(src, dst)) in pairs.iter().enumerate() {
+        sim.inject(src, dst, FlowId(i as u32), 0, PacketKind::Probe, 500);
+    }
+    sim.run_to_quiescence();
+    assert_eq!(
+        sim.stats().delivered,
+        pairs.len() as u64,
+        "every probe delivers on the intact topology"
+    );
+    (0..pairs.len())
+        .map(|i| {
+            let trace = sim.trace().get(i as u64).expect("probe traced");
+            assert!(matches!(trace.fate, PacketFate::Delivered));
+            trace.path.clone()
+        })
+        .collect()
+}
+
+fn assert_single_domain_hier_equals_flat(topo: Topology) {
+    let pairs = edge_pairs(&topo);
+
+    let mut flat = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+        .seed(11)
+        .tracing()
+        .build();
+    for &(src, dst) in &pairs {
+        flat.encode(&EncodeRequest::new(src, dst))
+            .expect("paper topologies are connected");
+    }
+    let flat_paths = traced_paths(flat.into_sim(), &pairs);
+
+    let mut hier = KarNetwork::builder(&topo, DeflectionTechnique::Nip)
+        .seed(11)
+        .tracing()
+        .hierarchy(Arc::new(Partition::single(&topo)))
+        .build();
+    {
+        let ctrl = hier.hier_controller_mut().expect("hierarchy enabled");
+        for &(src, dst) in &pairs {
+            let route = ctrl
+                .install(&topo, src, dst, &Protection::None)
+                .expect("paper topologies are connected");
+            assert_eq!(route.reencodes(), 0, "one domain has no boundaries");
+        }
+    }
+    let stats = hier.hier_stats().expect("hierarchy enabled");
+    let hier_paths = traced_paths(hier.into_sim(), &pairs);
+
+    assert_eq!(
+        stats
+            .boundary_stamps
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0,
+        "no boundary links, so no re-stamps"
+    );
+    for (i, (f, h)) in flat_paths.iter().zip(&hier_paths).enumerate() {
+        let (src, dst) = pairs[i];
+        assert_eq!(
+            f, h,
+            "hier and flat walked different paths for {src} -> {dst}"
+        );
+    }
+}
+
+#[test]
+fn single_domain_hier_walks_flat_paths_on_topo15() {
+    assert_single_domain_hier_equals_flat(topo15::build());
+}
+
+#[test]
+fn single_domain_hier_walks_flat_paths_on_rnp28() {
+    assert_single_domain_hier_equals_flat(rnp28::build());
+}

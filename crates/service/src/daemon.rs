@@ -28,7 +28,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of one daemon instance.
 pub struct ServiceConfig {
@@ -36,6 +36,12 @@ pub struct ServiceConfig {
     pub topo: Topology,
     /// Worker threads serving connections.
     pub workers: usize,
+    /// How long a connection may sit silent between reads before the
+    /// worker closes it and moves on. Without a deadline a client that
+    /// connects and never writes (or stalls mid-frame) pins its worker
+    /// forever — `workers` such clients starve the whole pool. A zero
+    /// duration disables the deadline (trusted-peer setups only).
+    pub idle_timeout: Duration,
     /// Recovery-loop knobs. The default sets
     /// [`RecoveryConfig::notification_delay`] to zero: a service
     /// invalidate is acknowledged only once applied, so the control
@@ -50,12 +56,13 @@ pub struct ServiceConfig {
 }
 
 impl ServiceConfig {
-    /// Defaults: 4 workers, zero notification delay, a fresh cache, no
-    /// observability.
+    /// Defaults: 4 workers, a 30-second idle deadline, zero
+    /// notification delay, a fresh cache, no observability.
     pub fn new(topo: Topology) -> ServiceConfig {
         ServiceConfig {
             topo,
             workers: 4,
+            idle_timeout: Duration::from_secs(30),
             recovery: RecoveryConfig {
                 notification_delay: SimTime::ZERO,
                 protection: kar::Protection::None,
@@ -73,6 +80,7 @@ struct Counters {
     encode_ok: AtomicU64,
     encode_err: AtomicU64,
     invalidations: AtomicU64,
+    idle_timeouts: AtomicU64,
 }
 
 /// A link transition in flight on the control channel.
@@ -90,6 +98,7 @@ struct State {
     counters: Counters,
     start: Instant,
     obs: ObsHandle,
+    idle_timeout: Option<Duration>,
 }
 
 impl State {
@@ -105,6 +114,7 @@ impl State {
             encode_ok: self.counters.encode_ok.load(Ordering::Relaxed),
             encode_err: self.counters.encode_err.load(Ordering::Relaxed),
             invalidations: self.counters.invalidations.load(Ordering::Relaxed),
+            idle_timeouts: self.counters.idle_timeouts.load(Ordering::Relaxed),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             uptime_ns: self.start.elapsed().as_nanos() as u64,
@@ -142,6 +152,7 @@ impl Daemon {
             counters: Counters::default(),
             start: Instant::now(),
             obs: config.obs,
+            idle_timeout: (!config.idle_timeout.is_zero()).then_some(config.idle_timeout),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let (fault_tx, fault_rx) = mpsc::channel::<FaultMsg>();
@@ -254,16 +265,40 @@ fn worker_loop(
     }
 }
 
-/// Serves framed requests on one connection until the peer closes it.
+/// Serves framed requests on one connection until the peer closes it
+/// or stays silent past the idle deadline.
 fn serve_connection(
     state: &State,
     fault_tx: &mpsc::Sender<FaultMsg>,
     stream: TcpStream,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
+    // The slowloris guard: every blocking read carries the deadline, so
+    // a peer that connects and never writes — or stalls mid-frame —
+    // cannot pin this worker past it.
+    stream.set_read_timeout(state.idle_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    while let Some(payload) = proto::read_frame(&mut reader)? {
+    loop {
+        let payload = match proto::read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return Ok(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                state.counters.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = state.obs.get() {
+                    obs.metrics
+                        .counter(Entity::Global, "service.idle_timeouts")
+                        .inc();
+                }
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
         let started = Instant::now();
         state.counters.requests.fetch_add(1, Ordering::Relaxed);
         let response = match proto::decode_request(&payload) {
@@ -287,7 +322,6 @@ fn serve_connection(
             }
         }
     }
-    Ok(())
 }
 
 fn handle(state: &State, fault_tx: &mpsc::Sender<FaultMsg>, req: Request) -> Response {

@@ -88,6 +88,8 @@ pub struct ServiceStats {
     pub encode_err: u64,
     /// Link transitions applied.
     pub invalidations: u64,
+    /// Connections closed for staying silent past the idle deadline.
+    pub idle_timeouts: u64,
     /// Hits in the shared [`kar::EncodingCache`].
     pub cache_hits: u64,
     /// Misses in the shared [`kar::EncodingCache`].
@@ -374,6 +376,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 s.encode_ok,
                 s.encode_err,
                 s.invalidations,
+                s.idle_timeouts,
                 s.cache_hits,
                 s.cache_misses,
                 s.uptime_ns,
@@ -413,6 +416,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
                     encode_ok: c.u64()?,
                     encode_err: c.u64()?,
                     invalidations: c.u64()?,
+                    idle_timeouts: c.u64()?,
                     cache_hits: c.u64()?,
                     cache_misses: c.u64()?,
                     uptime_ns: c.u64()?,
@@ -466,6 +470,7 @@ mod tests {
             encode_ok: 6,
             encode_err: 1,
             invalidations: 2,
+            idle_timeouts: 1,
             cache_hits: 5,
             cache_misses: 1,
             uptime_ns: 123_456,

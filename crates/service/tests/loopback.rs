@@ -143,6 +143,44 @@ fn invalidate_switches_encodes_to_the_detour_and_back() {
 }
 
 #[test]
+fn silent_connections_are_reaped_and_cannot_starve_the_pool() {
+    use std::io::Write;
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    // One worker makes starvation deterministic: a pinned worker means
+    // nobody else is ever served.
+    let mut config = ServiceConfig::new(topo15::build());
+    config.workers = 1;
+    config.idle_timeout = Duration::from_millis(100);
+    let daemon = Daemon::spawn(config).expect("spawn");
+
+    // A slowloris peer: connects first, claims the only worker, and
+    // never writes a byte. Held open across the whole test — only the
+    // idle deadline can free the worker.
+    let silent = TcpStream::connect(daemon.addr()).expect("connect silent");
+
+    // A second peer sending a partial frame then stalling exercises the
+    // mid-frame case once the worker gets to it.
+    let mut stalled = TcpStream::connect(daemon.addr()).expect("connect stalled");
+    stalled.write_all(&[0, 0]).expect("partial length prefix");
+
+    // A real client queued behind both. With no idle deadline this
+    // stats call would block forever; with one it is served as soon as
+    // the reaper frees the worker.
+    let mut client = ServiceClient::connect(daemon.addr()).expect("connect");
+    let stats = client.stats().expect("stats served past the silent peers");
+    assert_eq!(
+        stats.idle_timeouts, 2,
+        "both the silent and the mid-frame connection were reaped"
+    );
+    assert_eq!(stats.requests, 1, "only the real client's frame counted");
+
+    drop((silent, stalled, client));
+    daemon.shutdown();
+}
+
+#[test]
 fn malformed_and_unroutable_requests_get_error_statuses() {
     use kar_service::proto::status;
     let topo = topo15::build();

@@ -147,6 +147,22 @@ pub trait EdgeLogic {
     fn on_link_event(&mut self, topo: &Topology, link: LinkId, up: bool, now: SimTime) {
         let _ = (topo, link, up, now);
     }
+
+    /// Observes a packet arriving at core switch `node` over `in_port`
+    /// (`None` for locally injected packets), *before* the forwarder
+    /// computes the output. Hierarchical controllers rewrite the route
+    /// tag here when the packet just crossed a domain boundary — a
+    /// planned re-encode, not a fault. The default does nothing, so
+    /// flat deployments keep byte-identical behavior.
+    fn core_ingress(
+        &mut self,
+        topo: &Topology,
+        node: NodeId,
+        in_port: Option<PortIx>,
+        pkt: &mut Packet,
+    ) {
+        let _ = (topo, node, in_port, pkt);
+    }
 }
 
 #[cfg(test)]

@@ -889,6 +889,11 @@ impl<'t> Sim<'t> {
                     self.drop_pkt(pkt.id, DropReason::TtlExpired);
                     return;
                 }
+                // Hierarchical controllers rewrite the route tag here
+                // when the packet just crossed a domain boundary; the
+                // default edge logic is a no-op (no RNG, no state), so
+                // flat runs stay byte-identical.
+                self.edge_logic.core_ingress(topo, node, in_port, &mut pkt);
                 let statuses: Vec<bool> = topo
                     .node(node)
                     .ports

@@ -1,0 +1,706 @@
+//! Two-level domain partitioning for hierarchical KAR.
+//!
+//! Flat KAR encodes one route ID over *every* core switch on the path,
+//! so the ID's bit length grows with path length — the scaling ceiling
+//! `BENCH_scale.json` charts (a ring/256 already needs 1265-bit IDs).
+//! Hierarchical KAR splits the topology into **domains**: a route is a
+//! chain of per-domain segments, each encoded over only that domain's
+//! coprime set, and the packet is re-encoded when it crosses a
+//! **boundary link** into the next domain. Route-ID size is then
+//! bounded by the longest intra-domain path, a per-domain constant.
+//!
+//! This module owns the partitioning side: [`Partition`] assigns every
+//! node to exactly one [`DomainId`], knows the boundary-link set, and
+//! can [`validate`](Partition::validate) the three invariants the
+//! encoder relies on (total assignment, symmetric boundary, connected
+//! domains). Topology-aware constructors exist for the generator
+//! families ([`ring`](Partition::ring) arcs, [`grid`](Partition::grid)
+//! column bands, [`fat_tree`](Partition::fat_tree) pods) plus a
+//! generic BFS-balanced region growing fallback
+//! ([`bfs_balanced`](Partition::bfs_balanced)) for arbitrary graphs.
+
+use crate::graph::{LinkId, NodeId, NodeKind, Topology};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Index of a domain in a [`Partition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub usize);
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// Why a partition could not be built or failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// Asked for more domains than there are core switches.
+    TooManyDomains {
+        /// Requested domain count.
+        domains: usize,
+        /// Core switches available.
+        cores: usize,
+    },
+    /// A node name did not match the pattern the partitioner expected
+    /// (e.g. `C{r}_{c}` for grids, `agg{pod}_{i}` for fat-trees).
+    NameParse {
+        /// The offending node name.
+        name: String,
+    },
+    /// The topology is not the shape the partitioner requires (e.g.
+    /// [`Partition::ring`] on a non-cycle core graph).
+    WrongShape {
+        /// What the partitioner expected to find.
+        expected: &'static str,
+    },
+    /// A domain ended up with no core switches.
+    EmptyDomain {
+        /// The empty domain.
+        domain: DomainId,
+    },
+    /// A domain's induced core subgraph is not connected, so an
+    /// intra-domain segment could not be routed without leaving it.
+    DisconnectedDomain {
+        /// The disconnected domain.
+        domain: DomainId,
+    },
+    /// The recorded boundary set disagrees with the domain assignment.
+    BoundaryMismatch {
+        /// The link present in exactly one of the two sets.
+        link: LinkId,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::TooManyDomains { domains, cores } => {
+                write!(
+                    f,
+                    "cannot split {cores} core switches into {domains} domains"
+                )
+            }
+            PartitionError::NameParse { name } => {
+                write!(f, "node name {name:?} does not match the expected pattern")
+            }
+            PartitionError::WrongShape { expected } => {
+                write!(f, "topology is not {expected}")
+            }
+            PartitionError::EmptyDomain { domain } => {
+                write!(f, "domain {domain} has no core switches")
+            }
+            PartitionError::DisconnectedDomain { domain } => {
+                write!(f, "domain {domain} is not internally connected")
+            }
+            PartitionError::BoundaryMismatch { link } => {
+                write!(f, "boundary set disagrees with domain assignment at {link}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A total assignment of nodes to domains plus the boundary-link set.
+///
+/// Every core switch belongs to exactly one domain; edge hosts inherit
+/// the domain of their first core neighbor. The **boundary** is the
+/// sorted set of core–core links whose endpoints lie in different
+/// domains — exactly the links where hierarchical KAR re-encodes.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Domain index per node (`domain_of[n.0]`), hosts included.
+    domain_of: Vec<usize>,
+    /// Core switches of each domain, sorted by node id.
+    domains: Vec<Vec<NodeId>>,
+    /// Core–core links crossing domains, sorted by link id.
+    boundary: Vec<LinkId>,
+}
+
+impl Partition {
+    /// The trivial partition: every node in one domain, no boundary.
+    ///
+    /// Hierarchical routing over this partition must behave exactly
+    /// like flat KAR — the differential tests pin that equivalence.
+    pub fn single(topo: &Topology) -> Partition {
+        let core_domain = vec![0usize; topo.node_count()];
+        Partition::finish(topo, core_domain, 1).expect("single domain is always valid")
+    }
+
+    /// Chops a ring of core switches into `k` contiguous arcs.
+    ///
+    /// Walks the core cycle from the lowest-id switch and assigns
+    /// near-equal runs of consecutive switches to each domain, so every
+    /// arc is connected by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::WrongShape`] when the core subgraph is not a
+    /// single cycle, [`PartitionError::TooManyDomains`] when `k`
+    /// exceeds the switch count.
+    pub fn ring(topo: &Topology, k: usize) -> Result<Partition, PartitionError> {
+        let cores = topo.core_nodes();
+        if k == 0 || k > cores.len() {
+            return Err(PartitionError::TooManyDomains {
+                domains: k,
+                cores: cores.len(),
+            });
+        }
+        // Trace the cycle: every core must have exactly two core peers.
+        let not_ring = PartitionError::WrongShape {
+            expected: "a single cycle of core switches",
+        };
+        let core_peers = |n: NodeId| -> Vec<NodeId> {
+            let mut p: Vec<NodeId> = topo
+                .neighbors(n)
+                .map(|(_, _, peer)| peer)
+                .filter(|&peer| topo.switch_id(peer).is_some())
+                .collect();
+            p.sort();
+            p
+        };
+        let start = cores[0];
+        let mut order = vec![start];
+        let first_peers = core_peers(start);
+        if first_peers.len() != 2 {
+            return Err(not_ring);
+        }
+        let mut prev = start;
+        let mut cur = first_peers[0];
+        while cur != start {
+            let peers = core_peers(cur);
+            if peers.len() != 2 {
+                return Err(not_ring);
+            }
+            order.push(cur);
+            let next = if peers[0] == prev { peers[1] } else { peers[0] };
+            prev = cur;
+            cur = next;
+        }
+        if order.len() != cores.len() {
+            return Err(not_ring);
+        }
+        let mut core_domain = vec![0usize; topo.node_count()];
+        for (i, &n) in order.iter().enumerate() {
+            // Arc d covers positions [d*len/k, (d+1)*len/k).
+            core_domain[n.0] = i * k / order.len();
+        }
+        Partition::finish(topo, core_domain, k)
+    }
+
+    /// Bands a generator grid (`C{r}_{c}` names) into `k` column bands.
+    ///
+    /// Each band is a contiguous run of columns spanning all rows, so
+    /// bands are connected and boundaries are vertical cuts.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::NameParse`] when a core name is not `C{r}_{c}`,
+    /// [`PartitionError::TooManyDomains`] when `k` exceeds the column
+    /// count.
+    pub fn grid(topo: &Topology, k: usize) -> Result<Partition, PartitionError> {
+        let cores = topo.core_nodes();
+        let mut col_of = vec![0usize; topo.node_count()];
+        let mut max_col = 0usize;
+        for &n in &cores {
+            let name = &topo.node(n).name;
+            let col = name
+                .strip_prefix('C')
+                .and_then(|rc| rc.split_once('_'))
+                .and_then(|(r, c)| r.parse::<usize>().ok().and(c.parse::<usize>().ok()))
+                .ok_or_else(|| PartitionError::NameParse { name: name.clone() })?;
+            col_of[n.0] = col;
+            max_col = max_col.max(col);
+        }
+        let cols = max_col + 1;
+        if k == 0 || k > cols {
+            return Err(PartitionError::TooManyDomains {
+                domains: k,
+                cores: cols,
+            });
+        }
+        let mut core_domain = vec![0usize; topo.node_count()];
+        for &n in &cores {
+            core_domain[n.0] = col_of[n.0] * k / cols;
+        }
+        Partition::finish(topo, core_domain, k)
+    }
+
+    /// One domain per fat-tree pod, with core-switch group `a` folded
+    /// into pod `a`'s domain (group `a` uplinks to `agg{a}_{a}`, so the
+    /// fold keeps every domain connected).
+    ///
+    /// Expects the generator's names: `core{i}`, `agg{pod}_{i}`,
+    /// `edge{pod}_{i}`.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::NameParse`] when a core-switch name matches
+    /// none of the three patterns.
+    pub fn fat_tree(topo: &Topology) -> Result<Partition, PartitionError> {
+        let cores = topo.core_nodes();
+        let pod_of = |name: &str| -> Option<usize> {
+            for prefix in ["agg", "edge"] {
+                if let Some(rest) = name.strip_prefix(prefix) {
+                    return rest.split_once('_').and_then(|(p, _)| p.parse().ok());
+                }
+            }
+            None
+        };
+        let mut pods = 0usize;
+        let mut half = 0usize;
+        let mut parsed: Vec<(NodeId, Option<usize>)> = Vec::with_capacity(cores.len());
+        for &n in &cores {
+            let name = &topo.node(n).name;
+            if let Some(pod) = pod_of(name) {
+                pods = pods.max(pod + 1);
+                parsed.push((n, Some(pod)));
+            } else if let Some(i) = name
+                .strip_prefix("core")
+                .and_then(|i| i.parse::<usize>().ok())
+            {
+                parsed.push((n, None));
+                // Core switch i belongs to uplink group i / (k/2); half is
+                // recovered below once the pod count (= k) is known.
+                half = half.max(i + 1);
+            } else {
+                return Err(PartitionError::NameParse { name: name.clone() });
+            }
+        }
+        if pods == 0 {
+            return Err(PartitionError::WrongShape {
+                expected: "a fat-tree with agg/edge pods",
+            });
+        }
+        let group_size = pods / 2; // (k/2)² cores in k/2 groups of k/2
+        let mut core_domain = vec![0usize; topo.node_count()];
+        for &(n, pod) in &parsed {
+            let name = &topo.node(n).name;
+            match pod {
+                Some(p) => core_domain[n.0] = p,
+                None => {
+                    let i: usize = name
+                        .strip_prefix("core")
+                        .and_then(|i| i.parse().ok())
+                        .expect("checked above");
+                    let group = i.checked_div(group_size).unwrap_or(0);
+                    core_domain[n.0] = group.min(pods - 1);
+                }
+            }
+        }
+        let _ = half;
+        Partition::finish(topo, core_domain, pods)
+    }
+
+    /// Generic fallback: grows `k` connected regions over the core
+    /// subgraph by multi-source BFS from spread-out seeds.
+    ///
+    /// Seeds are chosen farthest-first (the first is the lowest-id
+    /// core; each next seed maximizes hop distance to the chosen set),
+    /// then every core joins the domain of the first seed to reach it,
+    /// which keeps each region connected. Deterministic for a given
+    /// topology.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::TooManyDomains`] when `k` exceeds the core
+    /// count, [`PartitionError::DisconnectedDomain`] when the core
+    /// subgraph itself is disconnected.
+    pub fn bfs_balanced(topo: &Topology, k: usize) -> Result<Partition, PartitionError> {
+        let cores = topo.core_nodes();
+        if k == 0 || k > cores.len() {
+            return Err(PartitionError::TooManyDomains {
+                domains: k,
+                cores: cores.len(),
+            });
+        }
+        let is_core = |n: NodeId| topo.switch_id(n).is_some();
+        // Farthest-first seed selection over the core subgraph.
+        let mut seeds = vec![cores[0]];
+        let mut dist_to_seeds = core_bfs_dist(topo, &seeds);
+        while seeds.len() < k {
+            let far = cores
+                .iter()
+                .copied()
+                .filter(|n| !seeds.contains(n))
+                .max_by_key(|n| (dist_to_seeds[n.0], std::cmp::Reverse(n.0)))
+                .expect("k <= cores.len() leaves an unseeded core");
+            seeds.push(far);
+            let d = core_bfs_dist(topo, &[far]);
+            for (a, b) in dist_to_seeds.iter_mut().zip(d) {
+                *a = (*a).min(b);
+            }
+        }
+        // Region growing: one shared FIFO seeded in domain order makes
+        // the tie-break deterministic and every region connected.
+        let mut core_domain = vec![usize::MAX; topo.node_count()];
+        let mut q = VecDeque::new();
+        for (d, &s) in seeds.iter().enumerate() {
+            core_domain[s.0] = d;
+            q.push_back(s);
+        }
+        while let Some(n) = q.pop_front() {
+            let d = core_domain[n.0];
+            let mut peers: Vec<NodeId> = topo
+                .neighbors(n)
+                .map(|(_, _, p)| p)
+                .filter(|&p| is_core(p))
+                .collect();
+            peers.sort();
+            for p in peers {
+                if core_domain[p.0] == usize::MAX {
+                    core_domain[p.0] = d;
+                    q.push_back(p);
+                }
+            }
+        }
+        if let Some(&n) = cores.iter().find(|n| core_domain[n.0] == usize::MAX) {
+            // Unreached core: the core subgraph is disconnected.
+            let _ = n;
+            return Err(PartitionError::DisconnectedDomain {
+                domain: DomainId(0),
+            });
+        }
+        for d in &mut core_domain {
+            if *d == usize::MAX {
+                *d = 0; // hosts; rewritten by finish()
+            }
+        }
+        Partition::finish(topo, core_domain, k)
+    }
+
+    /// Picks a partitioner by inspecting the topology: fat-tree names,
+    /// then grid names, then a core cycle, falling back to
+    /// [`bfs_balanced`](Partition::bfs_balanced).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fallback's error when no shape matches and the
+    /// BFS fallback also fails.
+    pub fn auto(topo: &Topology, k: usize) -> Result<Partition, PartitionError> {
+        if let Ok(p) = Partition::fat_tree(topo) {
+            return Ok(p);
+        }
+        if let Ok(p) = Partition::grid(topo, k) {
+            return Ok(p);
+        }
+        if let Ok(p) = Partition::ring(topo, k) {
+            return Ok(p);
+        }
+        Partition::bfs_balanced(topo, k)
+    }
+
+    /// Completes a core-domain assignment: hosts inherit their first
+    /// core neighbor's domain, the boundary set is derived, and the
+    /// result is validated.
+    fn finish(
+        topo: &Topology,
+        mut domain_of: Vec<usize>,
+        k: usize,
+    ) -> Result<Partition, PartitionError> {
+        for n in 0..topo.node_count() {
+            let id = NodeId(n);
+            if topo.node(id).kind == NodeKind::Edge {
+                domain_of[n] = topo
+                    .neighbors(id)
+                    .map(|(_, _, p)| p)
+                    .find(|&p| topo.switch_id(p).is_some())
+                    .map(|p| domain_of[p.0])
+                    .unwrap_or(0);
+            }
+        }
+        let mut domains: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        for &n in &topo.core_nodes() {
+            domains[domain_of[n.0]].push(n);
+        }
+        let mut boundary = Vec::new();
+        for (i, link) in topo.links().iter().enumerate() {
+            let both_core = topo.switch_id(link.a).is_some() && topo.switch_id(link.b).is_some();
+            if both_core && domain_of[link.a.0] != domain_of[link.b.0] {
+                boundary.push(LinkId(i));
+            }
+        }
+        let p = Partition {
+            domain_of,
+            domains,
+            boundary,
+        };
+        p.validate(topo)?;
+        Ok(p)
+    }
+
+    /// The domain of `n` (hosts report their attached core's domain).
+    pub fn domain_of(&self, n: NodeId) -> DomainId {
+        DomainId(self.domain_of[n.0])
+    }
+
+    /// Number of domains.
+    pub fn num_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Core switches of each domain, sorted by node id.
+    pub fn domains(&self) -> &[Vec<NodeId>] {
+        &self.domains
+    }
+
+    /// Core switches of domain `d`, sorted by node id.
+    pub fn domain_cores(&self, d: DomainId) -> &[NodeId] {
+        &self.domains[d.0]
+    }
+
+    /// The sorted core–core links whose endpoints differ in domain.
+    pub fn boundary_links(&self) -> &[LinkId] {
+        &self.boundary
+    }
+
+    /// Whether `l` crosses a domain boundary.
+    pub fn is_boundary(&self, l: LinkId) -> bool {
+        self.boundary.binary_search(&l).is_ok()
+    }
+
+    /// Checks the three invariants hierarchical encoding relies on.
+    ///
+    /// 1. **Total assignment** — every core switch is in exactly one
+    ///    domain list, consistent with `domain_of`, and no domain is
+    ///    empty.
+    /// 2. **Symmetric boundary** — the boundary set is exactly the
+    ///    core–core links whose endpoint domains differ (an undirected
+    ///    link is boundary regardless of crossing direction).
+    /// 3. **Connected domains** — each domain's induced core subgraph
+    ///    is connected, so intra-domain segments never need to leave.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a [`PartitionError`].
+    pub fn validate(&self, topo: &Topology) -> Result<(), PartitionError> {
+        // 1. Total, consistent, non-empty.
+        let mut seen = vec![0usize; topo.node_count()];
+        for (d, members) in self.domains.iter().enumerate() {
+            if members.is_empty() {
+                return Err(PartitionError::EmptyDomain {
+                    domain: DomainId(d),
+                });
+            }
+            for &n in members {
+                seen[n.0] += 1;
+                if self.domain_of[n.0] != d {
+                    return Err(PartitionError::BoundaryMismatch {
+                        link: LinkId(usize::MAX),
+                    });
+                }
+            }
+        }
+        for &n in &topo.core_nodes() {
+            if seen[n.0] != 1 {
+                return Err(PartitionError::EmptyDomain {
+                    domain: DomainId(self.domain_of[n.0]),
+                });
+            }
+        }
+        // 2. Boundary = cross-domain core links, both directions.
+        for (i, link) in topo.links().iter().enumerate() {
+            let l = LinkId(i);
+            let both_core = topo.switch_id(link.a).is_some() && topo.switch_id(link.b).is_some();
+            let crosses = both_core && self.domain_of[link.a.0] != self.domain_of[link.b.0];
+            if crosses != self.is_boundary(l) {
+                return Err(PartitionError::BoundaryMismatch { link: l });
+            }
+        }
+        // 3. Each domain's induced core subgraph is connected.
+        for (d, members) in self.domains.iter().enumerate() {
+            let mut reach = vec![false; topo.node_count()];
+            let mut stack = vec![members[0]];
+            reach[members[0].0] = true;
+            let mut count = 1;
+            while let Some(n) = stack.pop() {
+                for (_, _, p) in topo.neighbors(n) {
+                    if topo.switch_id(p).is_some() && self.domain_of[p.0] == d && !reach[p.0] {
+                        reach[p.0] = true;
+                        count += 1;
+                        stack.push(p);
+                    }
+                }
+            }
+            if count != members.len() {
+                return Err(PartitionError::DisconnectedDomain {
+                    domain: DomainId(d),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Multi-source BFS hop distances over the core subgraph (`usize::MAX`
+/// for unreached nodes and hosts).
+fn core_bfs_dist(topo: &Topology, sources: &[NodeId]) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; topo.node_count()];
+    let mut q = VecDeque::new();
+    for &s in sources {
+        dist[s.0] = 0;
+        q.push_back(s);
+    }
+    while let Some(n) = q.pop_front() {
+        for (_, _, p) in topo.neighbors(n) {
+            if topo.switch_id(p).is_some() && dist[p.0] == usize::MAX {
+                dist[p.0] = dist[n.0] + 1;
+                q.push_back(p);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::graph::LinkParams;
+    use kar_rns::IdStrategy;
+
+    fn params() -> LinkParams {
+        LinkParams::default()
+    }
+
+    #[test]
+    fn single_domain_covers_everything() {
+        let t = crate::topo15::build();
+        let p = Partition::single(&t);
+        assert_eq!(p.num_domains(), 1);
+        assert!(p.boundary_links().is_empty());
+        assert_eq!(p.domain_cores(DomainId(0)).len(), t.core_nodes().len());
+        p.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn ring_arcs_are_contiguous_and_boundary_is_k() {
+        let t = gen::ring(12, IdStrategy::SmallestPrimes, params());
+        let p = Partition::ring(&t, 4).unwrap();
+        assert_eq!(p.num_domains(), 4);
+        // A ring cut into k arcs has exactly k boundary links.
+        assert_eq!(p.boundary_links().len(), 4);
+        for d in 0..4 {
+            assert_eq!(p.domain_cores(DomainId(d)).len(), 3);
+        }
+        p.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn ring_rejects_non_rings() {
+        let t = gen::grid(3, 3, IdStrategy::SmallestPrimes, params());
+        assert!(matches!(
+            Partition::ring(&t, 2),
+            Err(PartitionError::WrongShape { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_bands_split_columns() {
+        let t = gen::grid(4, 6, IdStrategy::SmallestPrimes, params());
+        let p = Partition::grid(&t, 3).unwrap();
+        assert_eq!(p.num_domains(), 3);
+        // Two vertical cuts × 4 rows of horizontal links.
+        assert_eq!(p.boundary_links().len(), 8);
+        for d in 0..3 {
+            assert_eq!(p.domain_cores(DomainId(d)).len(), 8);
+        }
+        p.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn fat_tree_pods_become_domains() {
+        let t = gen::fat_tree(4, IdStrategy::SmallestPrimes, params());
+        let p = Partition::fat_tree(&t).unwrap();
+        assert_eq!(p.num_domains(), 4);
+        p.validate(&t).unwrap();
+        // Every agg/edge switch sits in its pod's domain.
+        for &n in &t.core_nodes() {
+            let name = &t.node(n).name;
+            if let Some(rest) = name.strip_prefix("agg").or(name.strip_prefix("edge")) {
+                let pod: usize = rest.split_once('_').unwrap().0.parse().unwrap();
+                assert_eq!(p.domain_of(n), DomainId(pod), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_balanced_partitions_random_graphs() {
+        for seed in 0..4 {
+            let t = gen::try_random_connected_hosts(
+                24,
+                12,
+                seed,
+                IdStrategy::SmallestCoprime,
+                params(),
+            )
+            .unwrap();
+            let p = Partition::bfs_balanced(&t, 4).unwrap();
+            assert_eq!(p.num_domains(), 4);
+            p.validate(&t).unwrap();
+            // Reasonable balance: no domain is empty (validate) and the
+            // largest holds fewer than all cores.
+            let sizes: Vec<usize> = p.domains().iter().map(Vec::len).collect();
+            assert!(sizes.iter().all(|&s| s >= 1));
+            assert!(*sizes.iter().max().unwrap() < 24);
+        }
+    }
+
+    #[test]
+    fn too_many_domains_is_an_error() {
+        let t = gen::ring(4, IdStrategy::SmallestPrimes, params());
+        assert!(matches!(
+            Partition::bfs_balanced(&t, 5),
+            Err(PartitionError::TooManyDomains {
+                domains: 5,
+                cores: 4
+            })
+        ));
+        assert!(matches!(
+            Partition::ring(&t, 0),
+            Err(PartitionError::TooManyDomains { .. })
+        ));
+    }
+
+    #[test]
+    fn hosts_inherit_their_switch_domain() {
+        let t = gen::ring(8, IdStrategy::SmallestPrimes, params());
+        let p = Partition::ring(&t, 2).unwrap();
+        for i in 0..8 {
+            let host = t.expect(&format!("H{i}"));
+            let core = t.expect(&format!("C{i}"));
+            assert_eq!(p.domain_of(host), p.domain_of(core));
+        }
+    }
+
+    #[test]
+    fn auto_detects_each_family() {
+        let ring = gen::ring(12, IdStrategy::SmallestPrimes, params());
+        assert_eq!(Partition::auto(&ring, 3).unwrap().num_domains(), 3);
+        let grid = gen::grid(4, 4, IdStrategy::SmallestPrimes, params());
+        assert_eq!(Partition::auto(&grid, 2).unwrap().num_domains(), 2);
+        let ft = gen::fat_tree(4, IdStrategy::SmallestPrimes, params());
+        assert_eq!(Partition::auto(&ft, 4).unwrap().num_domains(), 4);
+        let rnd = gen::try_random_connected_hosts(20, 10, 3, IdStrategy::SmallestCoprime, params())
+            .unwrap();
+        assert_eq!(Partition::auto(&rnd, 4).unwrap().num_domains(), 4);
+    }
+
+    #[test]
+    fn boundary_membership_is_symmetric_in_link_direction() {
+        let t = gen::grid(3, 4, IdStrategy::SmallestPrimes, params());
+        let p = Partition::grid(&t, 2).unwrap();
+        for &l in p.boundary_links() {
+            let link = t.link(l);
+            assert_ne!(p.domain_of(link.a), p.domain_of(link.b));
+        }
+        for (i, link) in t.links().iter().enumerate() {
+            let both_core = t.switch_id(link.a).is_some() && t.switch_id(link.b).is_some();
+            if both_core && p.domain_of(link.a) != p.domain_of(link.b) {
+                assert!(p.is_boundary(LinkId(i)));
+            }
+        }
+    }
+}

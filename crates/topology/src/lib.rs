@@ -34,6 +34,7 @@ mod graph;
 
 pub mod analysis;
 pub mod gen;
+pub mod hier;
 pub mod paths;
 pub mod rnp28;
 pub mod sym;
@@ -42,3 +43,4 @@ pub mod topo15;
 pub use builder::{TopologyBuilder, TopologyError};
 pub use dot::to_dot;
 pub use graph::{Link, LinkId, LinkParams, Node, NodeId, NodeKind, PortIx, Topology};
+pub use hier::{DomainId, Partition, PartitionError};

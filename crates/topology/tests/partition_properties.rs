@@ -1,0 +1,123 @@
+//! Property tests for the domain partitioner behind hierarchical KAR.
+//!
+//! Whatever topology shape and domain count the sweep throws at
+//! `Partition::auto`, the result must uphold the invariants the
+//! hierarchical controller leans on: every core switch sits in exactly
+//! one domain, the boundary-link set is exactly (and symmetrically) the
+//! cross-domain core links, and each domain's induced core subgraph is
+//! connected — plus [`Partition::validate`] agreeing on all three.
+
+use kar_rns::IdStrategy;
+use kar_topology::{gen, LinkParams, NodeId, Partition, Topology};
+use proptest::prelude::*;
+
+/// The generator shapes the sweep actually uses, parameterized enough
+/// to hit the dedicated ring/grid recognizers *and* the BFS-balanced
+/// fallback.
+#[derive(Debug, Clone)]
+enum Shape {
+    Ring { n: usize },
+    Grid { rows: usize, cols: usize },
+    Random { n: usize, extra: usize, seed: u64 },
+}
+
+fn build(shape: &Shape) -> Option<Topology> {
+    let params = LinkParams::default();
+    match *shape {
+        Shape::Ring { n } => gen::try_ring(n, IdStrategy::SmallestPrimes, params).ok(),
+        Shape::Grid { rows, cols } => {
+            gen::try_grid(rows, cols, IdStrategy::SmallestPrimes, params).ok()
+        }
+        Shape::Random { n, extra, seed } => {
+            gen::try_random_connected(n, extra, seed, IdStrategy::SmallestPrimes, params).ok()
+        }
+    }
+}
+
+fn shapes() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (4usize..40).prop_map(|n| Shape::Ring { n }),
+        ((2usize..8), (2usize..8)).prop_map(|(rows, cols)| Shape::Grid { rows, cols }),
+        ((4usize..40), (0usize..20), any::<u64>()).prop_map(|(n, extra, seed)| Shape::Random {
+            n,
+            extra,
+            seed
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn auto_partitions_uphold_the_hier_invariants(
+        shape in shapes(),
+        k in 2usize..6,
+    ) {
+        let Some(topo) = build(&shape) else {
+            // ID allocation can run dry for big grids; nothing to test.
+            return Ok(());
+        };
+        let Ok(p) = Partition::auto(&topo, k) else {
+            // Too few switches for k domains is a legitimate refusal.
+            return Ok(());
+        };
+
+        // Every core switch appears in exactly one domain list, and
+        // that list is the one domain_of points at.
+        let mut owner = vec![0usize; topo.node_count()];
+        for (d, members) in p.domains().iter().enumerate() {
+            prop_assert!(!members.is_empty(), "empty domain {d}");
+            for &n in members {
+                owner[n.0] += 1;
+                prop_assert_eq!(p.domain_of(n).0, d, "{:?} listed in wrong domain", n);
+            }
+        }
+        for &n in &topo.core_nodes() {
+            prop_assert_eq!(owner[n.0], 1, "{:?} in {} domains", n, owner[n.0]);
+        }
+
+        // The boundary set is exactly the cross-domain core links, so
+        // membership is symmetric in the link's endpoints: asking from
+        // either side gives the same answer as comparing domains.
+        for (i, link) in topo.links().iter().enumerate() {
+            let l = kar_topology::LinkId(i);
+            let both_core =
+                topo.switch_id(link.a).is_some() && topo.switch_id(link.b).is_some();
+            let crosses = both_core && p.domain_of(link.a) != p.domain_of(link.b);
+            prop_assert_eq!(
+                p.is_boundary(l),
+                crosses,
+                "boundary set disagrees with endpoint domains on link {}",
+                i
+            );
+        }
+
+        // Each domain's induced core subgraph is connected: walking
+        // core links inside the domain from any member reaches all of
+        // them (segments never need to leave their domain).
+        for members in p.domains() {
+            let d = p.domain_of(members[0]);
+            let mut reach = vec![false; topo.node_count()];
+            let mut stack: Vec<NodeId> = vec![members[0]];
+            reach[members[0].0] = true;
+            while let Some(n) = stack.pop() {
+                for (_, _, peer) in topo.neighbors(n) {
+                    if topo.switch_id(peer).is_some()
+                        && p.domain_of(peer) == d
+                        && !reach[peer.0]
+                    {
+                        reach[peer.0] = true;
+                        stack.push(peer);
+                    }
+                }
+            }
+            for &n in members {
+                prop_assert!(reach[n.0], "{:?} unreachable inside its domain", n);
+            }
+        }
+
+        // And the partitioner's own validator agrees.
+        prop_assert!(p.validate(&topo).is_ok());
+    }
+}
